@@ -1,0 +1,438 @@
+// Benchmark harness regenerating the paper's evaluation artefacts:
+//
+//   - BenchmarkTable1_*      — E2, Table 1: overhead of the augmented
+//     monitor vs the bare monitor per checking interval × workload.
+//     The "ratio" metric is the paper's "ratio for overheads".
+//     Intervals are scaled from the paper's 0.5-3 s down to 5-30 ms so
+//     the suite stays fast; cmd/monbench runs the full-scale sweep.
+//   - BenchmarkE1FaultCoverage — E1: the full 21-kind injection sweep;
+//     the "coverage" metric must be 21.
+//   - BenchmarkFigure1Architecture — E3: the structural wiring check.
+//   - BenchmarkAblation*     — the design-choice ablations listed in
+//     DESIGN.md §6 (stop-the-world gate, pruned segments vs full-trace
+//     FD checking, real-time order checking).
+//   - Primitive microbenches — per-operation cost of the monitor with
+//     and without the extension, history appends, path-expression
+//     steps, checkpoints by segment size.
+package robustmon_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"robustmon/internal/checklists"
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/event"
+	"robustmon/internal/experiment"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/pathexpr"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+	"robustmon/internal/state"
+	"robustmon/internal/verify"
+)
+
+// benchIntervals are the Table 1 checking intervals, scaled 1:100 from
+// the paper's 0.5s/1s/2s/3s.
+var benchIntervals = []time.Duration{
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	30 * time.Millisecond,
+}
+
+const (
+	benchOps   = 4000
+	benchProcs = 4
+)
+
+// BenchmarkTable1 regenerates every cell of Table 1. Each sub-benchmark
+// reports the extended run's wall time per op and the overhead ratio
+// against a baseline measured in the same invocation.
+func BenchmarkTable1(b *testing.B) {
+	for _, w := range experiment.AllWorkloads() {
+		w := w
+		b.Run(string(w), func(b *testing.B) {
+			base, _, err := experiment.MeasureWorkload(w, benchOps, benchProcs, 0)
+			if err != nil {
+				b.Fatalf("baseline: %v", err)
+			}
+			for _, ivl := range benchIntervals {
+				ivl := ivl
+				b.Run(fmt.Sprintf("T=%v", ivl), func(b *testing.B) {
+					var total time.Duration
+					var checks int
+					for i := 0; i < b.N; i++ {
+						d, st, err := experiment.MeasureWorkload(w, benchOps, benchProcs, ivl)
+						if err != nil {
+							b.Fatalf("extended: %v", err)
+						}
+						total += d
+						checks += st.Checks
+					}
+					mean := total / time.Duration(b.N)
+					b.ReportMetric(experiment.Ratio(mean, base), "ratio")
+					b.ReportMetric(float64(checks)/float64(b.N), "checks/run")
+					b.ReportMetric(float64(mean.Nanoseconds())/benchOps, "ns/monitor-op")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkE1FaultCoverage times the full robustness experiment and
+// asserts the paper's 21/21 result as a metric.
+func BenchmarkE1FaultCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := experiment.RunCoverage(faults.AllKinds())
+		detected, total := experiment.Coverage(results)
+		if detected != total {
+			b.Fatalf("coverage %d/%d", detected, total)
+		}
+		b.ReportMetric(float64(detected), "coverage")
+	}
+}
+
+// BenchmarkFigure1Architecture times the structural verification of the
+// Figure 1 wiring.
+func BenchmarkFigure1Architecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiment.VerifyFigure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- primitive microbenches -----------------------------------------
+
+func managerSpec() monitor.Spec {
+	return monitor.Spec{
+		Name: "m", Kind: monitor.OperationManager,
+		Conditions: []string{"ok"}, Procedures: []string{"Op"},
+	}
+}
+
+// benchEnterExit measures one uncontended Enter+Exit pair.
+func benchEnterExit(b *testing.B, opts ...monitor.Option) {
+	m, err := monitor.New(managerSpec(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := proc.NewRuntime()
+	done := make(chan struct{})
+	rt.Spawn("bench", func(p *proc.P) {
+		defer close(done)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Enter(p, "Op"); err != nil {
+				return
+			}
+			_ = m.Exit(p, "Op")
+		}
+	})
+	<-done
+	rt.Join()
+}
+
+// BenchmarkEnterExitBare is the no-extension baseline primitive cost.
+func BenchmarkEnterExitBare(b *testing.B) {
+	benchEnterExit(b)
+}
+
+// BenchmarkEnterExitRecorded adds history recording (the data-gathering
+// routine) to every primitive.
+func BenchmarkEnterExitRecorded(b *testing.B) {
+	benchEnterExit(b, monitor.WithRecorder(history.New()))
+}
+
+// BenchmarkEnterExitRealtimeOrder adds the real-time calling-order
+// checker in front of the database (allocator configuration).
+func BenchmarkEnterExitRealtimeOrder(b *testing.B) {
+	spec := monitor.Spec{
+		Name: "m", Kind: monitor.ResourceAllocator,
+		Conditions: []string{"ok"}, Procedures: []string{"Op", "Op2"},
+		CallOrder: "path Op , Op2 end", AcquireProc: "Op", ReleaseProc: "Op2",
+	}
+	db := history.New()
+	rt, err := detect.NewRealTime(db, []monitor.Spec{spec}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := monitor.New(spec, monitor.WithRecorder(rt))
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime := proc.NewRuntime()
+	done := make(chan struct{})
+	runtime.Spawn("bench", func(p *proc.P) {
+		defer close(done)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Enter(p, "Op"); err != nil {
+				return
+			}
+			_ = m.Exit(p, "Op")
+		}
+	})
+	<-done
+	runtime.Join()
+}
+
+// BenchmarkHistoryAppend measures the raw event-recording cost.
+func BenchmarkHistoryAppend(b *testing.B) {
+	db := history.New()
+	e := event.Event{Monitor: "m", Type: event.Enter, Pid: 1, Proc: "Op", Flag: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Append(e)
+		if i%4096 == 4095 {
+			db.Drain() // keep the segment from growing unboundedly
+		}
+	}
+}
+
+// BenchmarkPathExprStep measures one matcher step on a realistic order
+// declaration.
+func BenchmarkPathExprStep(b *testing.B) {
+	p := pathexpr.MustParse("path Open ; { Read , Write } ; Close end")
+	m := p.NewMatcher()
+	word := []string{"Open", "Read", "Write", "Read", "Close"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(word[i%len(word)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpoint measures one CheckNow over segments of different
+// sizes — the per-check cost whose amortisation produces the Table 1
+// shape.
+func BenchmarkCheckpoint(b *testing.B) {
+	for _, segSize := range []int{0, 64, 512, 4096} {
+		segSize := segSize
+		b.Run(fmt.Sprintf("segment=%d", segSize), func(b *testing.B) {
+			db := history.New()
+			clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+			m, err := monitor.New(managerSpec(),
+				monitor.WithRecorder(db), monitor.WithClock(clk))
+			if err != nil {
+				b.Fatal(err)
+			}
+			det := detect.New(db, detect.Config{Clock: clk, HoldWorld: true}, m)
+			rt := proc.NewRuntime()
+			fill := func() {
+				rt.Spawn("filler", func(p *proc.P) {
+					for j := 0; j < segSize/2; j++ {
+						if err := m.Enter(p, "Op"); err != nil {
+							return
+						}
+						_ = m.Exit(p, "Op")
+					}
+				})
+				rt.Join()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fill()
+				b.StartTimer()
+				if vs := det.CheckNow(); len(vs) != 0 {
+					b.Fatalf("violations: %v", vs)
+				}
+			}
+		})
+	}
+}
+
+// --- ablations (DESIGN.md §6) ----------------------------------------
+
+// BenchmarkAblationHoldWorld compares checkpointing with the paper's
+// stop-the-world suspension against the concurrent variant.
+func BenchmarkAblationHoldWorld(b *testing.B) {
+	for _, hold := range []bool{true, false} {
+		hold := hold
+		name := "suspend"
+		if !hold {
+			name = "concurrent"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				d, err := measureManagerWithDetector(hold, 10*time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += d
+			}
+			b.ReportMetric(float64(total.Nanoseconds())/float64(b.N)/benchOps, "ns/monitor-op")
+		})
+	}
+}
+
+func measureManagerWithDetector(hold bool, interval time.Duration) (time.Duration, error) {
+	db := history.New()
+	m, err := monitor.New(managerSpec(), monitor.WithRecorder(db))
+	if err != nil {
+		return 0, err
+	}
+	det := detect.New(db, detect.Config{
+		Interval: interval, Clock: clock.Real{}, HoldWorld: hold,
+		Tmax: time.Hour, Tio: time.Hour,
+	}, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		det.Run(ctx)
+	}()
+	rt := proc.NewRuntime()
+	start := time.Now()
+	for w := 0; w < benchProcs; w++ {
+		rt.Spawn("worker", func(p *proc.P) {
+			for j := 0; j < benchOps/2/benchProcs; j++ {
+				if err := m.Enter(p, "Op"); err != nil {
+					return
+				}
+				_ = m.Exit(p, "Op")
+			}
+		})
+	}
+	rt.Join()
+	elapsed := time.Since(start)
+	cancel()
+	<-done
+	if st := det.Stats(); st.Violations > 0 {
+		return 0, fmt.Errorf("fault-free ablation run reported %d violations", st.Violations)
+	}
+	return elapsed, nil
+}
+
+// BenchmarkAblationChecking compares the paper's pruned-segment
+// strategy (checking lists over a drained segment) against keeping the
+// full trace and running the FD-Rules directly — the accuracy/space
+// trade-off §3.3 discusses.
+func BenchmarkAblationChecking(b *testing.B) {
+	const events = 2048
+	mkTrace := func() (event.Seq, monitor.Spec) {
+		spec := managerSpec()
+		db := history.New(history.WithFullTrace())
+		clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+		m, err := monitor.New(spec, monitor.WithRecorder(db), monitor.WithClock(clk))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := proc.NewRuntime()
+		rt.Spawn("filler", func(p *proc.P) {
+			for j := 0; j < events/2; j++ {
+				if err := m.Enter(p, "Op"); err != nil {
+					return
+				}
+				_ = m.Exit(p, "Op")
+			}
+		})
+		rt.Join()
+		return db.Full(), spec
+	}
+	trace, spec := mkTrace()
+
+	b.Run("segment-replay", func(b *testing.B) {
+		snap := emptyBenchSnapshot(spec)
+		for i := 0; i < b.N; i++ {
+			lists := benchSeedLists(spec, snap)
+			for _, e := range trace {
+				lists.Apply(e)
+			}
+			if vs := lists.Violations(); len(vs) != 0 {
+				b.Fatalf("violations: %v", vs)
+			}
+		}
+	})
+	b.Run("fd-full-trace", func(b *testing.B) {
+		cfg := rules.Config{Spec: spec}
+		for i := 0; i < b.N; i++ {
+			if vs := rules.Check(trace, cfg); len(vs) != 0 {
+				b.Fatalf("violations: %v", vs)
+			}
+		}
+	})
+}
+
+// BenchmarkVerifyTrace measures offline re-checking of a recorded
+// trace with all three rule engines (the cmd/montrace check path).
+func BenchmarkVerifyTrace(b *testing.B) {
+	spec := managerSpec()
+	db := history.New(history.WithFullTrace())
+	clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+	m, err := monitor.New(spec, monitor.WithRecorder(db), monitor.WithClock(clk))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := proc.NewRuntime()
+	rt.Spawn("filler", func(p *proc.P) {
+		for j := 0; j < 1024; j++ {
+			if err := m.Enter(p, "Op"); err != nil {
+				return
+			}
+			_ = m.Exit(p, "Op")
+		}
+	})
+	rt.Join()
+	trace := db.Full()
+	opts := verify.Options{Specs: []monitor.Spec{spec}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := verify.Trace(trace, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !results[0].Clean() {
+			b.Fatalf("clean trace flagged: %+v", results[0])
+		}
+	}
+}
+
+// BenchmarkEffective measures the §3.1 original-event-model
+// reconstruction.
+func BenchmarkEffective(b *testing.B) {
+	// A trace with plenty of blocked entries to reposition.
+	var trace event.Seq
+	seq := int64(1)
+	add := func(typ event.Type, pid int64, cond string, flag int) {
+		trace = append(trace, event.Event{
+			Seq: seq, Monitor: "m", Type: typ, Pid: pid, Proc: "Op",
+			Cond: cond, Flag: flag,
+		})
+		seq++
+	}
+	add(event.Enter, 1, "", 1)
+	for pid := int64(2); pid <= 64; pid++ {
+		add(event.Enter, pid, "", 0)
+	}
+	for pid := int64(1); pid <= 64; pid++ {
+		add(event.SignalExit, pid, "", 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eff := rules.Effective(trace); len(eff) != len(trace) {
+			b.Fatalf("effective length %d, want %d", len(eff), len(trace))
+		}
+	}
+}
+
+func emptyBenchSnapshot(spec monitor.Spec) state.Snapshot {
+	cq := make(map[string][]state.QueueEntry, len(spec.Conditions))
+	for _, c := range spec.Conditions {
+		cq[c] = nil
+	}
+	return state.Snapshot{Monitor: spec.Name, CQ: cq, Resources: spec.Rmax}
+}
+
+func benchSeedLists(spec monitor.Spec, snap state.Snapshot) *checklists.Lists {
+	return checklists.FromSnapshot(spec, snap, 0, 0)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"robustmon/internal/faults"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestSelectKindsDefaults(t *testing.T) {
+	t.Parallel()
+	kinds, code := selectKinds("", "", &strings.Builder{})
+	if code != 0 || len(kinds) != 21 {
+		t.Fatalf("default selection = %d kinds, code %d", len(kinds), code)
+	}
+}
+
+func TestSelectKindsByLevel(t *testing.T) {
+	t.Parallel()
+	cases := map[string]int{"I": 14, "II": 4, "III": 3}
+	for level, want := range cases {
+		kinds, code := selectKinds(level, "", &strings.Builder{})
+		if code != 0 || len(kinds) != want {
+			t.Errorf("level %s: %d kinds (code %d), want %d", level, len(kinds), code, want)
+		}
+	}
+}
+
+func TestSelectKindsByCodeAndName(t *testing.T) {
+	t.Parallel()
+	kinds, code := selectKinds("", "III.c", &strings.Builder{})
+	if code != 0 || len(kinds) != 1 || kinds[0] != faults.SelfDeadlock {
+		t.Fatalf("by code = %v (code %d)", kinds, code)
+	}
+	kinds, code = selectKinds("", "self-deadlock", &strings.Builder{})
+	if code != 0 || len(kinds) != 1 || kinds[0] != faults.SelfDeadlock {
+		t.Fatalf("by name = %v (code %d)", kinds, code)
+	}
+}
+
+func TestSelectKindsErrors(t *testing.T) {
+	t.Parallel()
+	var errOut strings.Builder
+	if _, code := selectKinds("IV", "", &errOut); code != 2 {
+		t.Fatalf("unknown level accepted (code %d)", code)
+	}
+	if _, code := selectKinds("", "IX.z", &errOut); code != 2 {
+		t.Fatalf("unknown kind accepted (code %d)", code)
+	}
+	// Level and kind filters compose: II.c is not at level I.
+	if _, code := selectKinds("I", "II.c", &errOut); code != 2 {
+		t.Fatalf("cross-level selection accepted (code %d)", code)
+	}
+}
+
+func TestRunSingleKindEndToEnd(t *testing.T) {
+	t.Parallel()
+	code, out, _ := runTool(t, "-kind", "I.c.2")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"injecting 1 fault kind", "I.c.2", "1 / 1", "matches the paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUserLevelEndToEnd(t *testing.T) {
+	t.Parallel()
+	code, out, _ := runTool(t, "-level", "III")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "3 / 3") {
+		t.Fatalf("output missing 3/3 coverage:\n%s", out)
+	}
+	if !strings.Contains(out, "realtime") {
+		t.Fatalf("user-level run should show realtime detections:\n%s", out)
+	}
+}
+
+func TestRunBadFlagExitCode(t *testing.T) {
+	t.Parallel()
+	code, _, _ := runTool(t, "-level", "IV")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,114 @@
+// Command monbench regenerates the paper's Table 1: the overhead ratio
+// of the augmented monitor construct (history recording + periodic
+// fault detection) over the bare monitor, swept across checking
+// intervals and the three monitor-class workloads.
+//
+//	monbench                      # paper-scale sweep (0.5s, 1s, 2s, 3s)
+//	monbench -quick               # scaled-down sweep for a fast look
+//	monbench -intervals 250ms,1s  # custom intervals
+//	monbench -arch                # print the Figure 1 architecture
+//
+// Absolute ratios depend on the host; the paper's shape — the ratio
+// falls as the checking interval grows — is what to compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"robustmon/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool against args, writing to out/errOut; split from
+// main for testability.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("monbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		arch      = fs.Bool("arch", false, "print the Figure 1 architecture and exit")
+		quick     = fs.Bool("quick", false, "scaled-down sweep (ms intervals, fewer ops)")
+		intervals = fs.String("intervals", "", "comma-separated checking intervals (e.g. 500ms,1s,2s,3s)")
+		ops       = fs.Int("ops", 0, "monitor operations per measurement (0 = default)")
+		procs     = fs.Int("procs", 0, "concurrent processes (0 = default)")
+		repeats   = fs.Int("repeats", 0, "repetitions per cell (0 = default)")
+		workloads = fs.String("workloads", "", "comma-separated workloads: coordinator,allocator,manager")
+		suspend   = fs.Duration("suspend", 0, "simulated per-checkpoint process-suspension cost (models the 2001 JVM prototype; 0 = native)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *arch {
+		fmt.Fprint(out, experiment.Figure1().String())
+		if err := experiment.VerifyFigure1(); err != nil {
+			fmt.Fprintf(errOut, "monbench: architecture verification FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(out, "\narchitecture verified: every edge carries data (E3)")
+		return 0
+	}
+
+	cfg := experiment.DefaultOverheadConfig()
+	if *quick {
+		cfg.Intervals = []time.Duration{
+			5 * time.Millisecond, 10 * time.Millisecond,
+			20 * time.Millisecond, 30 * time.Millisecond,
+		}
+		cfg.Ops = 4000
+		cfg.Repeats = 2
+	}
+	if *intervals != "" {
+		cfg.Intervals = nil
+		for _, s := range strings.Split(*intervals, ",") {
+			d, err := time.ParseDuration(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(errOut, "monbench: bad interval %q: %v\n", s, err)
+				return 2
+			}
+			cfg.Intervals = append(cfg.Intervals, d)
+		}
+	}
+	if *workloads != "" {
+		cfg.Workloads = nil
+		for _, s := range strings.Split(*workloads, ",") {
+			cfg.Workloads = append(cfg.Workloads, experiment.Workload(strings.TrimSpace(s)))
+		}
+	}
+	if *ops > 0 {
+		cfg.Ops = *ops
+	}
+	if *procs > 0 {
+		cfg.Procs = *procs
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+	cfg.SuspendOverhead = *suspend
+
+	fmt.Fprintf(out, "E2 (Table 1): ops=%d procs=%d repeats=%d suspend=%v\n\n",
+		cfg.Ops, cfg.Procs, cfg.Repeats, cfg.SuspendOverhead)
+	rows, err := experiment.RunOverhead(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(out, experiment.Table1(rows).String())
+	fmt.Fprintln(out)
+	detail := experiment.NewTable("workload", "interval", "checks", "events", "ratio")
+	for _, r := range rows {
+		detail.AddRow(string(r.Workload), r.Interval.String(),
+			fmt.Sprint(r.Checks), fmt.Sprint(r.Events), experiment.FormatRatio(r.Ratio))
+	}
+	fmt.Fprint(out, detail.String())
+	fmt.Fprintln(out, "\npaper's shape check: ratio should fall as the interval grows;")
+	fmt.Fprintln(out, "the paper reports ≈7x at 0.5s falling toward ≈4x at 3.0s (2001 JVM).")
+	return 0
+}

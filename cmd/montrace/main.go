@@ -1,0 +1,265 @@
+// Command montrace records and re-checks monitor execution traces.
+//
+//	montrace record -out trace.jsonl [-faulty]   # run a demo workload, export its trace
+//	montrace check  -in  trace.jsonl             # offline-check a trace with both rule engines
+//	montrace dump   -in  trace.jsonl             # print the events in the paper's notation
+//
+// Traces ending in .bin use the compact binary codec, anything else is
+// JSON Lines. The demo workload is a bounded-buffer producer/consumer
+// (the paper's communication-coordinator class); -faulty injects a
+// send-overflow bug so the checkers have something to find.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"robustmon/internal/apps/boundedbuffer"
+	"robustmon/internal/clock"
+	"robustmon/internal/event"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/mdl"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/report"
+	"robustmon/internal/rules"
+	"robustmon/internal/tracestat"
+	"robustmon/internal/verify"
+)
+
+const demoCapacity = 2
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) < 2 {
+		usage()
+		return 2
+	}
+	switch os.Args[1] {
+	case "record":
+		return record(os.Args[2:])
+	case "check":
+		return check(os.Args[2:])
+	case "dump":
+		return dump(os.Args[2:])
+	case "stats":
+		return stats(os.Args[2:])
+	default:
+		usage()
+		return 2
+	}
+}
+
+func stats(args []string) int {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "trace file to analyse")
+	_ = fs.Parse(args)
+	if *in == "" {
+		usage()
+		return 2
+	}
+	trace, err := load(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	fmt.Print(tracestat.Compute(trace).String())
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  montrace record -out <file> [-faulty]
+  montrace check  -in  <file> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
+  montrace dump   -in  <file> [-original]
+  montrace stats  -in  <file>`)
+}
+
+func record(args []string) int {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "trace.jsonl", "output trace file (.bin = binary)")
+	faulty := fs.Bool("faulty", false, "inject a send-overflow fault into the workload")
+	items := fs.Int("items", 50, "items to transfer through the buffer")
+	_ = fs.Parse(args)
+
+	db := history.New(history.WithFullTrace())
+	clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+	opts := []boundedbuffer.Option{
+		boundedbuffer.WithMonitorOptions(monitor.WithRecorder(db), monitor.WithClock(clk)),
+	}
+	var inj *faults.Injector
+	if *faulty {
+		inj = faults.NewInjector(faults.SendOverflow)
+		opts = append(opts, boundedbuffer.WithInjector(inj))
+	}
+	buf, err := boundedbuffer.New(demoCapacity, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	rt := proc.NewRuntime()
+	if *faulty {
+		// Fill the buffer, then arm so the next send overflows.
+		rt.Spawn("prefill", func(p *proc.P) {
+			for i := 0; i < demoCapacity; i++ {
+				_ = buf.Send(p, i)
+			}
+		})
+		rt.Join()
+		inj.Arm()
+		rt.Spawn("overflower", func(p *proc.P) { _ = buf.Send(p, 99) })
+		rt.Join()
+	}
+	// The consumer must drain everything the producer sends plus any
+	// items left over from the faulty phase, so totals balance and both
+	// processes terminate.
+	toConsume := *items + buf.Len()
+	rt.Spawn("producer", func(p *proc.P) {
+		for i := 0; i < *items; i++ {
+			if err := buf.Send(p, i); err != nil {
+				return
+			}
+		}
+	})
+	rt.Spawn("consumer", func(p *proc.P) {
+		for i := 0; i < toConsume; i++ {
+			if _, err := buf.Receive(p); err != nil {
+				return
+			}
+		}
+	})
+	rt.Join()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	trace := db.Full()
+	if strings.HasSuffix(*out, ".bin") {
+		err = event.WriteBinary(f, trace)
+	} else {
+		err = event.WriteJSON(f, trace)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	fmt.Printf("recorded %d events to %s (faulty=%v)\n", len(trace), *out, *faulty)
+	return 0
+}
+
+func load(path string) (event.Seq, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return event.ReadBinary(f)
+	}
+	return event.ReadJSON(f)
+}
+
+func check(args []string) int {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	in := fs.String("in", "", "trace file to check")
+	specFile := fs.String("spec", "", "monitor declaration file (mdl syntax); default: the demo buffer spec")
+	tmax := fs.Duration("tmax", 10*time.Second, "Tmax (0 disables)")
+	tio := fs.Duration("tio", 10*time.Second, "Tio (0 disables)")
+	tlimit := fs.Duration("tlimit", 10*time.Second, "Tlimit (0 disables)")
+	_ = fs.Parse(args)
+	if *in == "" {
+		usage()
+		return 2
+	}
+	trace, err := load(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	specs := []monitor.Spec{boundedbuffer.Spec("boundedbuffer", demoCapacity)}
+	if *specFile != "" {
+		src, err := os.ReadFile(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+			return 1
+		}
+		specs, err = mdl.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+			return 1
+		}
+	}
+	results, err := verify.Trace(trace, verify.Options{
+		Specs:  specs,
+		Tmax:   *tmax,
+		Tio:    *tio,
+		Tlimit: *tlimit,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	clean := true
+	var all []rules.Violation
+	for _, r := range results {
+		fmt.Printf("monitor %q: FD-rule violations %d, ST-rule violations %d, literal-rule violations %d\n",
+			r.Monitor, len(r.FD), len(r.ST), len(r.Literal))
+		all = append(all, r.FD...)
+		all = append(all, r.ST...)
+		all = append(all, r.Literal...)
+		if !r.Clean() {
+			clean = false
+		}
+	}
+	if len(all) > 0 {
+		if err := report.Render(os.Stdout, report.Dedup(all)); err != nil {
+			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+			return 1
+		}
+		fmt.Println(report.Summarize(all))
+	}
+	if !verify.Agreement(results) {
+		fmt.Println("WARNING: the two rule engines disagree (should be impossible, §3.3.2)")
+		return 1
+	}
+	if clean {
+		fmt.Println("trace is clean under both rule engines")
+		return 0
+	}
+	fmt.Println("trace contains faults (both engines agree)")
+	return 3
+}
+
+func dump(args []string) int {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("in", "", "trace file to dump")
+	original := fs.Bool("original", false, "render the §3.1 original event model (resumption updates applied)")
+	_ = fs.Parse(args)
+	if *in == "" {
+		usage()
+		return 2
+	}
+	trace, err := load(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	if *original {
+		trace = rules.Effective(trace)
+	}
+	for _, e := range trace {
+		fmt.Printf("%6d  %-13s  %s\n", e.Seq, e.Monitor, e)
+	}
+	fmt.Printf("%d events\n", len(trace))
+	return 0
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordCheckCleanJSON(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "clean.jsonl")
+	if code := record([]string{"-out", path, "-items", "20"}); code != 0 {
+		t.Fatalf("record exit = %d", code)
+	}
+	trace, err := load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// 20 sends + 20 receives, two events each, plus schedule-dependent
+	// Wait events when the buffer boundary is hit.
+	if len(trace) < 80 {
+		t.Fatalf("trace has %d events, want ≥ 80", len(trace))
+	}
+	if code := check([]string{"-in", path}); code != 0 {
+		t.Fatalf("check on clean trace exit = %d, want 0", code)
+	}
+}
+
+func TestRecordCheckFaultyBinary(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "faulty.bin")
+	if code := record([]string{"-out", path, "-items", "10", "-faulty"}); code != 0 {
+		t.Fatalf("record exit = %d", code)
+	}
+	if code := check([]string{"-in", path}); code != 3 {
+		t.Fatalf("check on faulty trace exit = %d, want 3", code)
+	}
+}
+
+func TestDumpBothModels(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if code := record([]string{"-out", path, "-items", "5"}); code != 0 {
+		t.Fatalf("record exit = %d", code)
+	}
+	if code := dump([]string{"-in", path}); code != 0 {
+		t.Fatalf("dump exit = %d", code)
+	}
+	if code := dump([]string{"-in", path, "-original"}); code != 0 {
+		t.Fatalf("dump -original exit = %d", code)
+	}
+}
+
+func TestCheckMissingInput(t *testing.T) {
+	t.Parallel()
+	if code := check([]string{}); code != 2 {
+		t.Fatalf("check without -in exit = %d, want 2", code)
+	}
+	if code := check([]string{"-in", filepath.Join(t.TempDir(), "nope.jsonl")}); code != 1 {
+		t.Fatalf("check on missing file exit = %d, want 1", code)
+	}
+}
+
+func TestStatsSubcommand(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	if code := record([]string{"-out", path, "-items", "10"}); code != 0 {
+		t.Fatalf("record exit = %d", code)
+	}
+	if code := stats([]string{"-in", path}); code != 0 {
+		t.Fatalf("stats exit = %d", code)
+	}
+	if code := stats([]string{}); code != 2 {
+		t.Fatalf("stats without -in exit = %d, want 2", code)
+	}
+	if code := stats([]string{"-in", filepath.Join(t.TempDir(), "missing")}); code != 1 {
+		t.Fatalf("stats on missing file exit = %d, want 1", code)
+	}
+}
+
+func TestDumpMissingInput(t *testing.T) {
+	t.Parallel()
+	if code := dump([]string{}); code != 2 {
+		t.Fatalf("dump without -in exit = %d, want 2", code)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if code := record([]string{"-out", filepath.Join(dir, "ok.jsonl"), "-items", "1"}); code != 0 {
+		t.Fatal("setup record failed")
+	}
+	if _, err := load(bad); err == nil {
+		t.Fatal("load of missing file succeeded")
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestMissingExpr(t *testing.T) {
+	t.Parallel()
+	code, _, errOut := runTool(t)
+	if code != 2 || !strings.Contains(errOut, "-expr is required") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestBadExpr(t *testing.T) {
+	t.Parallel()
+	code, _, errOut := runTool(t, "-expr", "path ; end")
+	if code != 1 || !strings.Contains(errOut, "syntax error") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestCompileOnly(t *testing.T) {
+	t.Parallel()
+	code, out, _ := runTool(t, "-expr", "Acquire ; Release")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "canonical: path Acquire ; Release end") {
+		t.Fatalf("out=%q", out)
+	}
+	if !strings.Contains(out, "symbols:   Acquire Release") {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestCompleteSequence(t *testing.T) {
+	t.Parallel()
+	code, out, _ := runTool(t, "-expr", "path A ; B end", "A", "B", "A", "B")
+	if code != 0 || !strings.Contains(out, "sequence complete") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestIncompleteSequence(t *testing.T) {
+	t.Parallel()
+	code, out, _ := runTool(t, "-expr", "path A ; B end", "A")
+	if code != 0 || !strings.Contains(out, "sequence incomplete") || !strings.Contains(out, "expected B") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestViolationExitCode(t *testing.T) {
+	t.Parallel()
+	code, out, _ := runTool(t, "-expr", "path A ; B end", "B")
+	if code != 3 || !strings.Contains(out, "VIOLATION") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestCycleBoundaryMarker(t *testing.T) {
+	t.Parallel()
+	_, out, _ := runTool(t, "-expr", "path A ; B end", "A", "B")
+	if !strings.Contains(out, "ok *") {
+		t.Fatalf("cycle boundary not marked: %q", out)
+	}
+}

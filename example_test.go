@@ -1,0 +1,83 @@
+package robustmon_test
+
+import (
+	"fmt"
+	"time"
+
+	"robustmon"
+)
+
+// Example shows the full pipeline on a deliberately faulty run: a
+// process terminates inside the monitor (fault I.d), and the periodic
+// detector reports it once Tmax elapses.
+func Example() {
+	spec := robustmon.Spec{
+		Name:       "account",
+		Kind:       robustmon.OperationManager,
+		Conditions: []string{"nonZero"},
+		Procedures: []string{"Deposit"},
+	}
+	db := robustmon.NewHistory()
+	clk := robustmon.NewVirtualClock(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+	mon, err := robustmon.NewMonitor(spec,
+		robustmon.WithRecorder(db), robustmon.WithClock(clk))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	det := robustmon.NewDetector(db, robustmon.DetectorConfig{
+		Tmax: 10 * time.Second, Clock: clk,
+	}, mon)
+
+	rt := robustmon.NewRuntime()
+	rt.Spawn("crasher", func(p *robustmon.Process) {
+		if err := mon.Enter(p, "Deposit"); err != nil {
+			return
+		}
+		// terminates inside the monitor
+	})
+	rt.Join()
+
+	clk.Advance(time.Minute)
+	for _, v := range det.CheckNow() {
+		fmt.Println(v)
+	}
+	// Output:
+	// ST-5[account] P1: Timer(P1) = 1m0s ≥ Tmax on Running-List
+}
+
+// ExampleParsePath demonstrates the calling-order declaration language.
+func ExampleParsePath() {
+	p, err := robustmon.ParsePath("path Acquire ; Release end")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m := p.NewMatcher()
+	fmt.Println(m.Step("Acquire"))
+	fmt.Println(m.Step("Acquire"))
+	// Output:
+	// <nil>
+	// pathexpr: call "Acquire" violates "path Acquire ; Release end" after [Acquire]; expected Release
+}
+
+// ExampleParseDeclarations parses the §4 textual monitor declaration
+// form into a validated Spec.
+func ExampleParseDeclarations() {
+	specs, err := robustmon.ParseDeclarations(`
+buffer: Monitor (communication-coordinator);
+    cond notFull, notEmpty;
+    proc Send, Receive;
+    rmax 4;
+    send Send;
+    receive Receive;
+end buffer.
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %s, Rmax=%d\n", specs[0].Name, specs[0].Kind, specs[0].Rmax)
+	// Output:
+	// buffer: communication-coordinator, Rmax=4
+}

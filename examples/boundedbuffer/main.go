@@ -1,0 +1,144 @@
+// Bounded buffer: the paper's communication-coordinator class built
+// directly on the public monitor API. A correct producer/consumer run
+// passes checking; a buggy Send that skips the full-buffer test (fault
+// II.d) violates the resource invariant 0 ≤ r ≤ s ≤ r+Rmax and is
+// caught by Algorithm-2 (ST-7a).
+//
+//	go run ./examples/boundedbuffer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"robustmon"
+)
+
+// buffer is a bounded buffer of ints behind an augmented monitor.
+type buffer struct {
+	mon      *robustmon.Monitor
+	capacity int
+	skipFull bool // the injected II.d bug
+
+	mu    sync.Mutex
+	items []int
+}
+
+func newBuffer(capacity int, skipFull bool, rec robustmon.Recorder, clk robustmon.Clock) (*buffer, error) {
+	mon, err := robustmon.NewMonitor(robustmon.Spec{
+		Name:        "buf",
+		Kind:        robustmon.CommunicationCoordinator,
+		Conditions:  []string{"notFull", "notEmpty"},
+		Procedures:  []string{"Send", "Receive"},
+		Rmax:        capacity,
+		SendProc:    "Send",
+		ReceiveProc: "Receive",
+	}, robustmon.WithRecorder(rec), robustmon.WithClock(clk))
+	if err != nil {
+		return nil, err
+	}
+	return &buffer{mon: mon, capacity: capacity, skipFull: skipFull}, nil
+}
+
+func (b *buffer) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+func (b *buffer) send(p *robustmon.Process, v int) error {
+	if err := b.mon.Enter(p, "Send"); err != nil {
+		return err
+	}
+	if b.len() == b.capacity && !b.skipFull { // the bug drops this guard
+		if err := b.mon.Wait(p, "Send", "notFull"); err != nil {
+			return err
+		}
+	}
+	b.mu.Lock()
+	b.items = append(b.items, v)
+	b.mu.Unlock()
+	return b.mon.SignalExit(p, "Send", "notEmpty")
+}
+
+func (b *buffer) receive(p *robustmon.Process) (int, error) {
+	if err := b.mon.Enter(p, "Receive"); err != nil {
+		return 0, err
+	}
+	if b.len() == 0 {
+		if err := b.mon.Wait(p, "Receive", "notEmpty"); err != nil {
+			return 0, err
+		}
+	}
+	b.mu.Lock()
+	v := b.items[0]
+	b.items = b.items[1:]
+	b.mu.Unlock()
+	return v, b.mon.SignalExit(p, "Receive", "notFull")
+}
+
+func runOnce(skipFull bool) {
+	db := robustmon.NewHistory()
+	clk := robustmon.NewVirtualClock(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+	buf, err := newBuffer(2, skipFull, db, clk)
+	if err != nil {
+		log.Fatalf("boundedbuffer: %v", err)
+	}
+	det := robustmon.NewDetector(db, robustmon.DetectorConfig{Clock: clk}, buf.mon)
+
+	rt := robustmon.NewRuntime()
+	const items = 20
+	if skipFull {
+		// The buggy Send never blocks, so a solo producer burst
+		// deterministically over-fills the two-slot buffer; the consumer
+		// drains afterwards.
+		rt.Spawn("producer", func(p *robustmon.Process) {
+			for i := 0; i < 5; i++ {
+				if err := buf.send(p, i); err != nil {
+					return
+				}
+			}
+		})
+		rt.Join()
+		rt.Spawn("consumer", func(p *robustmon.Process) {
+			for i := 0; i < 5; i++ {
+				if _, err := buf.receive(p); err != nil {
+					return
+				}
+			}
+		})
+	} else {
+		rt.Spawn("producer", func(p *robustmon.Process) {
+			for i := 0; i < items; i++ {
+				if err := buf.send(p, i); err != nil {
+					return
+				}
+			}
+		})
+		rt.Spawn("consumer", func(p *robustmon.Process) {
+			for i := 0; i < items; i++ {
+				if _, err := buf.receive(p); err != nil {
+					return
+				}
+			}
+		})
+	}
+	rt.Join()
+
+	vs := det.CheckNow()
+	label := "correct Send"
+	if skipFull {
+		label = "buggy Send (skips the full-buffer check, fault II.d)"
+	}
+	fmt.Printf("%s: %d violation(s)\n", label, len(vs))
+	for _, v := range vs {
+		fmt.Printf("  %v\n", v)
+	}
+}
+
+func main() {
+	runOnce(false)
+	runOnce(true)
+}

@@ -1,0 +1,205 @@
+package robustmon_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"robustmon"
+	"robustmon/internal/apps/allocator"
+	"robustmon/internal/apps/boundedbuffer"
+	"robustmon/internal/apps/bridge"
+	"robustmon/internal/apps/kvstore"
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/external"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+// TestSystemKitchenSink wires every layer of the system together —
+// four applications across all three monitor classes, one shared
+// history database, the real-time order checker, an external
+// consistency rule, checkpoint assertions and the periodic detector —
+// runs a mixed fault-free workload, verifies total silence, then
+// injects one fault and verifies it is reported and attributed to the
+// right monitor.
+func TestSystemKitchenSink(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+	db := history.New(history.WithFullTrace())
+
+	allocSpec := allocator.Spec("tapes")
+	bridgeSpec := bridge.Spec("bridge")
+	// Recorder chain: external consistency → real-time orders → DB.
+	rt, err := detect.NewRealTime(db, []monitor.Spec{allocSpec, bridgeSpec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := external.NewChecker(rt,
+		"path tapes_Acquire ; { kv_Put , kv_Get } ; tapes_Release end", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	monOpts := []monitor.Option{monitor.WithRecorder(ext), monitor.WithClock(clk)}
+	buf, err := boundedbuffer.New(2, boundedbuffer.WithName("buf"),
+		boundedbuffer.WithMonitorOptions(monOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapes, err := allocator.New(2, allocator.WithName("tapes"),
+		allocator.WithMonitorOptions(monOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := kvstore.New(kvstore.WithName("kv"),
+		kvstore.WithMonitorOptions(monOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := bridge.New(bridge.WithMonitorOptions(monOpts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asserts := robustmon.NewAssertionSet("buf")
+	asserts.Add("len-within-capacity", func() error {
+		if n := buf.Len(); n < 0 || n > buf.Capacity() {
+			return errors.New("buffer length out of bounds")
+		}
+		return nil
+	})
+	det := detect.New(db, detect.Config{
+		Tmax: 30 * time.Second, Tio: 30 * time.Second, Tlimit: 30 * time.Second,
+		Clock: clk, HoldWorld: true,
+		Extra: []detect.Checker{asserts},
+	}, buf.Monitor(), tapes.Monitor(), store.Monitor(), span.Monitor())
+
+	// Phase 1: a fault-free mixed workload.
+	run := proc.NewRuntime()
+	run.Spawn("producer", func(p *proc.P) {
+		for i := 0; i < 25; i++ {
+			if err := buf.Send(p, i); err != nil {
+				return
+			}
+		}
+	})
+	run.Spawn("consumer", func(p *proc.P) {
+		for i := 0; i < 25; i++ {
+			if _, err := buf.Receive(p); err != nil {
+				return
+			}
+		}
+	})
+	for i := 0; i < 2; i++ {
+		run.Spawn("archiver", func(p *proc.P) {
+			for j := 0; j < 10; j++ {
+				if err := tapes.Acquire(p); err != nil {
+					return
+				}
+				if err := store.Put(p, "job", "x"); err != nil {
+					return
+				}
+				if _, _, err := store.Get(p, "job"); err != nil {
+					return
+				}
+				if err := tapes.Release(p); err != nil {
+					return
+				}
+			}
+		})
+	}
+	for i := 0; i < 2; i++ {
+		d := bridge.North
+		if i == 1 {
+			d = bridge.South
+		}
+		run.Spawn("car", func(p *proc.P) {
+			for j := 0; j < 10; j++ {
+				if err := span.Enter(p, d); err != nil {
+					return
+				}
+				if err := span.Exit(p, d); err != nil {
+					return
+				}
+			}
+		})
+	}
+	run.Join()
+
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("fault-free system produced violations: %v", vs)
+	}
+	if vs := rt.Violations(); len(vs) != 0 {
+		t.Fatalf("real-time phase flagged a clean system: %v", vs)
+	}
+	if vs := ext.Violations(); len(vs) != 0 {
+		t.Fatalf("external checker flagged a clean system: %v", vs)
+	}
+
+	// Phase 2: one fault — a process dies holding a tape — must surface
+	// at the right monitor once the timers elapse, in both detectors and
+	// in the offline re-check of the exported trace.
+	run.Spawn("crasher", func(p *proc.P) {
+		_ = tapes.Acquire(p)
+		// dies without releasing or touching the store
+	})
+	run.Join()
+	clk.Advance(time.Minute)
+	vs := det.CheckNow()
+	if !rules.HasRule(vs, rules.ST8c) {
+		t.Fatalf("violations = %v, want ST-8c for the unreleased tape", vs)
+	}
+	for _, v := range vs {
+		if v.Monitor != "tapes" {
+			t.Fatalf("violation attributed to %q, want tapes: %v", v.Monitor, v)
+		}
+	}
+
+	results, err := robustmon.VerifyTrace(db.Full(), robustmon.VerifyOptions{
+		Specs: []robustmon.Spec{
+			boundedbuffer.Spec("buf", 2), allocSpec, kvstore.Spec("kv"), bridgeSpec,
+		},
+		Tlimit: 30 * time.Second,
+		End:    clk.Now(),
+	})
+	if err != nil {
+		t.Fatalf("VerifyTrace: %v", err)
+	}
+	flagged := false
+	for _, r := range results {
+		if r.Monitor == "tapes" && !r.Clean() {
+			flagged = true
+		} else if r.Monitor != "tapes" && !r.Clean() {
+			t.Fatalf("offline check flagged innocent monitor %q: %+v", r.Monitor, r)
+		}
+	}
+	if !flagged {
+		t.Fatal("offline check missed the unreleased tape")
+	}
+
+	// The injected-fault path must also work through this full stack.
+	inj := faults.NewInjector(faults.SignalMonitorNotReleased)
+	m2, err := monitor.New(monitor.Spec{
+		Name: "late", Kind: monitor.OperationManager, Conditions: []string{"c"},
+	}, monitor.WithRecorder(db), monitor.WithClock(clk), monitor.WithHooks(inj.Hooks()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det2 := detect.New(db, detect.Config{Clock: clk, HoldWorld: true}, m2)
+	inj.Arm()
+	run.Spawn("p", func(p *proc.P) {
+		if err := m2.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m2.Exit(p, "Op")
+	})
+	run.Join()
+	if vs := det2.CheckNow(); !rules.HasRule(vs, rules.STrn) {
+		t.Fatalf("late monitor violations = %v, want ST-R", vs)
+	}
+}

@@ -1,0 +1,131 @@
+// Package allocator is the resource-access-right allocator monitor of
+// §2.1: processes Acquire and Release units of a resource; the use of
+// the resource happens outside the monitor. Its declaration carries the
+// partial order "path Acquire ; Release end", which the real-time
+// checking phase enforces per process — the carrier for the
+// user-process-level faults (§2.2 III).
+package allocator
+
+import (
+	"fmt"
+	"sync"
+
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// Procedure and condition names in the monitor declaration.
+const (
+	ProcAcquire = "Acquire"
+	ProcRelease = "Release"
+	CondFree    = "free"
+)
+
+// Allocator hands out up to Units concurrent access rights.
+// Construct with New.
+type Allocator struct {
+	mon   *monitor.Monitor
+	units int
+
+	// mu guards free. Monitor mutual exclusion already serialises
+	// correct callers; the extra lock keeps the counter coherent (and
+	// the race detector quiet) when implementation-level faults are
+	// injected and two processes run inside at once.
+	mu   sync.Mutex
+	free int
+}
+
+// Option configures an Allocator.
+type Option func(*config)
+
+type config struct {
+	name    string
+	monOpts []monitor.Option
+}
+
+// WithName overrides the monitor name (default "allocator").
+func WithName(name string) Option {
+	return func(c *config) { c.name = name }
+}
+
+// WithMonitorOptions passes options (recorder, clock, hooks) to the
+// underlying monitor.
+func WithMonitorOptions(opts ...monitor.Option) Option {
+	return func(c *config) { c.monOpts = append(c.monOpts, opts...) }
+}
+
+// Spec returns the monitor declaration an Allocator of the given name
+// uses, including the calling-order path expression.
+func Spec(name string) monitor.Spec {
+	return monitor.Spec{
+		Name:        name,
+		Kind:        monitor.ResourceAllocator,
+		Conditions:  []string{CondFree},
+		Procedures:  []string{ProcAcquire, ProcRelease},
+		CallOrder:   "path Acquire ; Release end",
+		AcquireProc: ProcAcquire,
+		ReleaseProc: ProcRelease,
+	}
+}
+
+// New builds an allocator for the given number of resource units.
+func New(units int, opts ...Option) (*Allocator, error) {
+	if units <= 0 {
+		return nil, fmt.Errorf("allocator: units must be positive, got %d", units)
+	}
+	cfg := config{name: "allocator"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mon, err := monitor.New(Spec(cfg.name), cfg.monOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Allocator{mon: mon, units: units, free: units}, nil
+}
+
+// Monitor exposes the underlying monitor.
+func (a *Allocator) Monitor() *monitor.Monitor { return a.mon }
+
+// Units returns the total number of resource units.
+func (a *Allocator) Units() int { return a.units }
+
+// Free returns the number of currently unallocated units.
+func (a *Allocator) Free() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.free
+}
+
+// Acquire blocks until a unit is available and allocates it to p.
+func (a *Allocator) Acquire(p *proc.P) error {
+	if err := a.mon.Enter(p, ProcAcquire); err != nil {
+		return err
+	}
+	if a.Free() == 0 {
+		if err := a.mon.Wait(p, ProcAcquire, CondFree); err != nil {
+			return err
+		}
+	}
+	a.mu.Lock()
+	a.free--
+	a.mu.Unlock()
+	return a.mon.Exit(p, ProcAcquire)
+}
+
+// Release returns p's unit and wakes one waiting acquirer.
+//
+// Release performs no membership bookkeeping of its own: catching a
+// release-without-acquire is exactly the detector's job (ST-8b /
+// FD-7b), so the allocator must not mask the user bug.
+func (a *Allocator) Release(p *proc.P) error {
+	if err := a.mon.Enter(p, ProcRelease); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if a.free < a.units {
+		a.free++
+	}
+	a.mu.Unlock()
+	return a.mon.SignalExit(p, ProcRelease, CondFree)
+}

@@ -1,0 +1,250 @@
+package allocator
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(0); err == nil {
+		t.Fatal("0 units accepted")
+	}
+	a, err := New(2, WithName("disks"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if a.Units() != 2 || a.Free() != 2 || a.Monitor().Name() != "disks" {
+		t.Fatalf("Units=%d Free=%d Name=%q", a.Units(), a.Free(), a.Monitor().Name())
+	}
+}
+
+func TestAcquireReleaseAccounting(t *testing.T) {
+	t.Parallel()
+	a, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	r.Spawn("user", func(p *proc.P) {
+		if err := a.Acquire(p); err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		if got := a.Free(); got != 1 {
+			t.Errorf("Free = %d while holding, want 1", got)
+		}
+		if err := a.Release(p); err != nil {
+			t.Errorf("Release: %v", err)
+		}
+	})
+	r.Join()
+	if got := a.Free(); got != 2 {
+		t.Fatalf("Free = %d after release, want 2", got)
+	}
+}
+
+func TestAcquireBlocksWhenExhausted(t *testing.T) {
+	t.Parallel()
+	a, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	release := make(chan struct{})
+	r.Spawn("holder", func(p *proc.P) {
+		if err := a.Acquire(p); err != nil {
+			return
+		}
+		<-release
+		_ = a.Release(p)
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Free() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never acquired")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	var gotUnit atomic.Bool
+	r.Spawn("waiter", func(p *proc.P) {
+		if err := a.Acquire(p); err != nil {
+			return
+		}
+		gotUnit.Store(true)
+		_ = a.Release(p)
+	})
+	for a.Monitor().CondLen(CondFree) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never blocked on the free condition")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if gotUnit.Load() {
+		t.Fatal("waiter acquired while no unit was free")
+	}
+	close(release)
+	r.Join()
+	if !gotUnit.Load() {
+		t.Fatal("waiter never acquired after release")
+	}
+}
+
+func TestNeverOverAllocated(t *testing.T) {
+	t.Parallel()
+	const units, users, rounds = 2, 6, 10
+	a, err := New(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	var mu sync.Mutex
+	holding, maxHolding := 0, 0
+	for u := 0; u < users; u++ {
+		r.Spawn("user", func(p *proc.P) {
+			for i := 0; i < rounds; i++ {
+				if err := a.Acquire(p); err != nil {
+					return
+				}
+				mu.Lock()
+				holding++
+				if holding > maxHolding {
+					maxHolding = holding
+				}
+				mu.Unlock()
+				mu.Lock()
+				holding--
+				mu.Unlock()
+				if err := a.Release(p); err != nil {
+					return
+				}
+			}
+		})
+	}
+	r.Join()
+	if maxHolding > units {
+		t.Fatalf("max simultaneous holders = %d, want ≤ %d", maxHolding, units)
+	}
+	if a.Free() != units {
+		t.Fatalf("Free = %d after run, want %d", a.Free(), units)
+	}
+}
+
+// newChecked wires an allocator to both detection phases.
+func newChecked(t *testing.T) (*Allocator, *detect.RealTime, *detect.Detector, *proc.Runtime, *clock.Virtual) {
+	t.Helper()
+	db := history.New(history.WithFullTrace())
+	clk := clock.NewVirtual(epoch)
+	spec := Spec("allocator")
+	rt, err := detect.NewRealTime(db, []monitor.Spec{spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(1, WithMonitorOptions(monitor.WithRecorder(rt), monitor.WithClock(clk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := detect.New(db, detect.Config{Clock: clk, HoldWorld: true, Tlimit: 30 * time.Second}, a.Monitor())
+	return a, rt, det, proc.NewRuntime(), clk
+}
+
+func TestUserBugReleaseFirstCaughtRealtime(t *testing.T) {
+	t.Parallel()
+	a, rt, det, r, _ := newChecked(t)
+	r.Spawn("buggy", func(p *proc.P) {
+		_ = a.Release(p) // fault III.a
+	})
+	r.Join()
+	vs := rt.Violations()
+	if !rules.HasRule(vs, rules.FD7b) || !rules.HasFault(vs, faults.ReleaseWithoutAcquire) {
+		t.Fatalf("realtime violations = %v, want FD-7b", vs)
+	}
+	// The periodic phase independently flags it via the Request-List.
+	pvs := det.CheckNow()
+	if !rules.HasRule(pvs, rules.ST8b) {
+		t.Fatalf("periodic violations = %v, want ST-8b", pvs)
+	}
+}
+
+func TestUserBugNeverReleaseCaughtByTlimit(t *testing.T) {
+	t.Parallel()
+	a, _, det, r, clk := newChecked(t)
+	r.Spawn("hog", func(p *proc.P) {
+		_ = a.Acquire(p) // never released
+	})
+	r.Join()
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("premature violations: %v", vs)
+	}
+	clk.Advance(time.Minute)
+	vs := det.CheckNow()
+	if !rules.HasRule(vs, rules.ST8c) || !rules.HasFault(vs, faults.ResourceNeverReleased) {
+		t.Fatalf("violations = %v, want ST-8c/ResourceNeverReleased", vs)
+	}
+}
+
+func TestUserBugDoubleAcquireCaughtRealtime(t *testing.T) {
+	t.Parallel()
+	a, rt, det, r, _ := newChecked(t)
+	// Two units would be needed for the second acquire to return, but
+	// the order violation is flagged at the Enter already.
+	r.Spawn("buggy", func(p *proc.P) {
+		if err := a.Acquire(p); err != nil {
+			return
+		}
+		_ = a.Acquire(p) // fault III.c: blocks forever (self deadlock)
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rt.Violations()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("realtime checker never flagged the double acquire")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	vs := rt.Violations()
+	if !rules.HasRule(vs, rules.FD7a) || !rules.HasFault(vs, faults.SelfDeadlock) {
+		t.Fatalf("realtime violations = %v, want FD-7a/SelfDeadlock", vs)
+	}
+	pvs := det.CheckNow()
+	if !rules.HasRule(pvs, rules.ST8a) {
+		t.Fatalf("periodic violations = %v, want ST-8a", pvs)
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestCleanUsersPassBothPhases(t *testing.T) {
+	t.Parallel()
+	a, rt, det, r, _ := newChecked(t)
+	for i := 0; i < 3; i++ {
+		r.Spawn("user", func(p *proc.P) {
+			for j := 0; j < 5; j++ {
+				if err := a.Acquire(p); err != nil {
+					return
+				}
+				if err := a.Release(p); err != nil {
+					return
+				}
+			}
+		})
+	}
+	r.Join()
+	if vs := rt.Violations(); len(vs) != 0 {
+		t.Fatalf("realtime violations on clean users: %v", vs)
+	}
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("periodic violations on clean users: %v", vs)
+	}
+}

@@ -1,0 +1,134 @@
+// Package barbershop is the sleeping-barber problem as a second
+// communication-coordinator monitor: customers "send" themselves into a
+// bounded waiting room, the barber "receives" them. It exists to show
+// the coordinator integrity constraints (§2.1) are not tied to the
+// Send/Receive procedure names — the declaration maps GetHaircut and
+// NextCustomer onto the coordinator roles.
+package barbershop
+
+import (
+	"fmt"
+	"sync"
+
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// Procedure and condition names in the monitor declaration.
+const (
+	ProcGetHaircut   = "GetHaircut"
+	ProcNextCustomer = "NextCustomer"
+	CondChairFree    = "chairFree"
+	CondCustomer     = "customerArrived"
+)
+
+// Shop is a barbershop with a bounded waiting room. Construct with New.
+type Shop struct {
+	mon    *monitor.Monitor
+	chairs int
+
+	mu      sync.Mutex
+	waiting int
+	served  int
+}
+
+// Option configures a Shop.
+type Option func(*config)
+
+type config struct {
+	name    string
+	monOpts []monitor.Option
+}
+
+// WithName overrides the monitor name (default "barbershop").
+func WithName(name string) Option {
+	return func(c *config) { c.name = name }
+}
+
+// WithMonitorOptions passes options (recorder, clock, hooks) to the
+// underlying monitor.
+func WithMonitorOptions(opts ...monitor.Option) Option {
+	return func(c *config) { c.monOpts = append(c.monOpts, opts...) }
+}
+
+// Spec returns the monitor declaration a Shop of the given name and
+// waiting-room size uses.
+func Spec(name string, chairs int) monitor.Spec {
+	return monitor.Spec{
+		Name:        name,
+		Kind:        monitor.CommunicationCoordinator,
+		Conditions:  []string{CondChairFree, CondCustomer},
+		Procedures:  []string{ProcGetHaircut, ProcNextCustomer},
+		Rmax:        chairs,
+		SendProc:    ProcGetHaircut,
+		ReceiveProc: ProcNextCustomer,
+	}
+}
+
+// New builds a shop with the given number of waiting-room chairs.
+func New(chairs int, opts ...Option) (*Shop, error) {
+	if chairs <= 0 {
+		return nil, fmt.Errorf("barbershop: chairs must be positive, got %d", chairs)
+	}
+	cfg := config{name: "barbershop"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mon, err := monitor.New(Spec(cfg.name, chairs), cfg.monOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Shop{mon: mon, chairs: chairs}, nil
+}
+
+// Monitor exposes the underlying monitor.
+func (s *Shop) Monitor() *monitor.Monitor { return s.mon }
+
+// Waiting returns the number of customers in the waiting room.
+func (s *Shop) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiting
+}
+
+// Served returns the number of completed haircuts.
+func (s *Shop) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// GetHaircut seats the customer, blocking while the waiting room is
+// full, and announces the arrival to the barber.
+func (s *Shop) GetHaircut(p *proc.P) error {
+	if err := s.mon.Enter(p, ProcGetHaircut); err != nil {
+		return err
+	}
+	if s.Waiting() == s.chairs {
+		if err := s.mon.Wait(p, ProcGetHaircut, CondChairFree); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.waiting++
+	s.mu.Unlock()
+	return s.mon.SignalExit(p, ProcGetHaircut, CondCustomer)
+}
+
+// NextCustomer takes the next customer, blocking (sleeping) while the
+// waiting room is empty, and frees a chair.
+func (s *Shop) NextCustomer(p *proc.P) error {
+	if err := s.mon.Enter(p, ProcNextCustomer); err != nil {
+		return err
+	}
+	if s.Waiting() == 0 {
+		if err := s.mon.Wait(p, ProcNextCustomer, CondCustomer); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.waiting--
+	s.served++
+	s.mu.Unlock()
+	return s.mon.SignalExit(p, ProcNextCustomer, CondChairFree)
+}

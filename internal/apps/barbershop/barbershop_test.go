@@ -1,0 +1,111 @@
+package barbershop
+
+import (
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(0); err == nil {
+		t.Fatal("0 chairs accepted")
+	}
+	s, err := New(3, WithName("mario"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Monitor().Name() != "mario" {
+		t.Fatalf("Name = %q", s.Monitor().Name())
+	}
+}
+
+func TestBarberSleepsUntilCustomer(t *testing.T) {
+	t.Parallel()
+	s, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	barber := r.Spawn("barber", func(p *proc.P) {
+		if err := s.NextCustomer(p); err != nil {
+			return
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for barber.Status() != proc.Parked {
+		if time.Now().After(deadline) {
+			t.Fatal("barber never slept on an empty shop")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	r.Spawn("customer", func(p *proc.P) {
+		if err := s.GetHaircut(p); err != nil {
+			t.Errorf("GetHaircut: %v", err)
+		}
+	})
+	r.Join()
+	if s.Served() != 1 || s.Waiting() != 0 {
+		t.Fatalf("Served=%d Waiting=%d, want 1,0", s.Served(), s.Waiting())
+	}
+}
+
+func TestAllCustomersServed(t *testing.T) {
+	t.Parallel()
+	const customers = 20
+	s, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	r.Spawn("barber", func(p *proc.P) {
+		for i := 0; i < customers; i++ {
+			if err := s.NextCustomer(p); err != nil {
+				return
+			}
+		}
+	})
+	for c := 0; c < customers; c++ {
+		r.Spawn("customer", func(p *proc.P) {
+			_ = s.GetHaircut(p)
+		})
+	}
+	r.Join()
+	if s.Served() != customers {
+		t.Fatalf("Served = %d, want %d", s.Served(), customers)
+	}
+}
+
+func TestCleanShopPassesDetection(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	clk := clock.NewVirtual(epoch)
+	s, err := New(2, WithMonitorOptions(monitor.WithRecorder(db), monitor.WithClock(clk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := detect.New(db, detect.Config{Clock: clk, HoldWorld: true}, s.Monitor())
+	r := proc.NewRuntime()
+	const customers = 10
+	r.Spawn("barber", func(p *proc.P) {
+		for i := 0; i < customers; i++ {
+			if err := s.NextCustomer(p); err != nil {
+				return
+			}
+		}
+	})
+	for c := 0; c < customers; c++ {
+		r.Spawn("customer", func(p *proc.P) { _ = s.GetHaircut(p) })
+	}
+	r.Join()
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("clean shop produced violations: %v", vs)
+	}
+}

@@ -1,0 +1,175 @@
+// Package bridge is the classic single-lane bridge monitor: cars cross
+// in one direction at a time; a car may enter when the bridge is empty
+// or already flowing its way, and waits on its direction's condition
+// otherwise. Like rwlock it is declared as a resource-access-right
+// allocator with a selection path expression, so the order checker
+// catches a car that exits a bridge it never entered or enters twice.
+package bridge
+
+import (
+	"fmt"
+	"sync"
+
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// Direction of travel.
+type Direction int
+
+// The two directions.
+const (
+	North Direction = iota + 1
+	South
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "north"
+	case South:
+		return "south"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Procedure and condition names in the monitor declaration.
+const (
+	ProcEnterNorth = "EnterNorth"
+	ProcEnterSouth = "EnterSouth"
+	ProcExitNorth  = "ExitNorth"
+	ProcExitSouth  = "ExitSouth"
+	CondNorthOK    = "northOK"
+	CondSouthOK    = "southOK"
+)
+
+// CallOrder declares complete north or south crossings per process.
+const CallOrder = "path (EnterNorth ; ExitNorth) , (EnterSouth ; ExitSouth) end"
+
+// Bridge is the shared single-lane bridge. Construct with New.
+type Bridge struct {
+	mon *monitor.Monitor
+
+	mu      sync.Mutex
+	onSpan  int
+	flowing Direction // meaningful while onSpan > 0
+	waiting [2]int    // queued per direction (index Direction-1)
+}
+
+// Option configures a Bridge.
+type Option func(*config)
+
+type config struct {
+	name    string
+	monOpts []monitor.Option
+}
+
+// WithName overrides the monitor name (default "bridge").
+func WithName(name string) Option {
+	return func(c *config) { c.name = name }
+}
+
+// WithMonitorOptions passes options (recorder, clock, hooks) to the
+// underlying monitor.
+func WithMonitorOptions(opts ...monitor.Option) Option {
+	return func(c *config) { c.monOpts = append(c.monOpts, opts...) }
+}
+
+// Spec returns the monitor declaration a Bridge of the given name uses.
+func Spec(name string) monitor.Spec {
+	return monitor.Spec{
+		Name:       name,
+		Kind:       monitor.ResourceAllocator,
+		Conditions: []string{CondNorthOK, CondSouthOK},
+		Procedures: []string{ProcEnterNorth, ProcExitNorth, ProcEnterSouth, ProcExitSouth},
+		CallOrder:  CallOrder,
+	}
+}
+
+// New builds an empty bridge.
+func New(opts ...Option) (*Bridge, error) {
+	cfg := config{name: "bridge"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mon, err := monitor.New(Spec(cfg.name), cfg.monOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Bridge{mon: mon}, nil
+}
+
+// Monitor exposes the underlying monitor.
+func (b *Bridge) Monitor() *monitor.Monitor { return b.mon }
+
+// OnSpan returns the number of cars currently crossing.
+func (b *Bridge) OnSpan() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.onSpan
+}
+
+// Flowing returns the active direction (0 when the span is empty).
+func (b *Bridge) Flowing() Direction {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.onSpan == 0 {
+		return 0
+	}
+	return b.flowing
+}
+
+func dirNames(d Direction) (enterProc, exitProc, cond, otherCond string) {
+	if d == North {
+		return ProcEnterNorth, ProcExitNorth, CondNorthOK, CondSouthOK
+	}
+	return ProcEnterSouth, ProcExitSouth, CondSouthOK, CondNorthOK
+}
+
+// Enter blocks until the bridge is free or already flowing direction d,
+// then drives onto the span.
+func (b *Bridge) Enter(p *proc.P, d Direction) error {
+	enterProc, _, cond, _ := dirNames(d)
+	if err := b.mon.Enter(p, enterProc); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	blocked := b.onSpan > 0 && b.flowing != d
+	if blocked {
+		b.waiting[d-1]++
+	}
+	b.mu.Unlock()
+	if blocked {
+		if err := b.mon.Wait(p, enterProc, cond); err != nil {
+			return err
+		}
+		b.mu.Lock()
+		b.waiting[d-1]--
+		b.mu.Unlock()
+	}
+	b.mu.Lock()
+	b.onSpan++
+	b.flowing = d
+	b.mu.Unlock()
+	// Cascade: admit the next same-direction car, if any is waiting.
+	return b.mon.SignalExit(p, enterProc, cond)
+}
+
+// Exit leaves the span; the last car of a platoon hands the bridge to
+// the opposite direction.
+func (b *Bridge) Exit(p *proc.P, d Direction) error {
+	_, exitProc, _, otherCond := dirNames(d)
+	if err := b.mon.Enter(p, exitProc); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.onSpan--
+	last := b.onSpan == 0
+	b.mu.Unlock()
+	if last {
+		return b.mon.SignalExit(p, exitProc, otherCond)
+	}
+	return b.mon.Exit(p, exitProc)
+}

@@ -1,0 +1,172 @@
+package bridge
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDirectionString(t *testing.T) {
+	t.Parallel()
+	if North.String() != "north" || South.String() != "south" {
+		t.Fatal("direction names wrong")
+	}
+	if Direction(9).String() != "Direction(9)" {
+		t.Fatal("unknown direction not handled")
+	}
+}
+
+func TestNeverBothDirectionsOnSpan(t *testing.T) {
+	t.Parallel()
+	b, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	var mu sync.Mutex
+	var northOn, southOn, crossings int
+	cross := func(d Direction, n *int) func(p *proc.P) {
+		return func(p *proc.P) {
+			for i := 0; i < 15; i++ {
+				if err := b.Enter(p, d); err != nil {
+					return
+				}
+				mu.Lock()
+				*n++
+				if northOn > 0 && southOn > 0 {
+					t.Error("cars crossing in both directions")
+				}
+				crossings++
+				mu.Unlock()
+				mu.Lock()
+				*n--
+				mu.Unlock()
+				if err := b.Exit(p, d); err != nil {
+					return
+				}
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		r.Spawn("northbound", cross(North, &northOn))
+		r.Spawn("southbound", cross(South, &southOn))
+	}
+	r.Join()
+	if crossings != 90 {
+		t.Fatalf("crossings = %d, want 90 (no car starved)", crossings)
+	}
+	if b.OnSpan() != 0 || b.Flowing() != 0 {
+		t.Fatalf("bridge not empty after run: onSpan=%d flowing=%v", b.OnSpan(), b.Flowing())
+	}
+}
+
+func TestSameDirectionPlatoons(t *testing.T) {
+	t.Parallel()
+	b, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	// Two northbound cars enter; both must be on the span together
+	// before either exits.
+	var arrive, depart sync.WaitGroup
+	arrive.Add(2)
+	depart.Add(2)
+	var maxOn int
+	var mu sync.Mutex
+	for i := 0; i < 2; i++ {
+		r.Spawn("car", func(p *proc.P) {
+			if err := b.Enter(p, North); err != nil {
+				return
+			}
+			arrive.Done()
+			arrive.Wait()
+			mu.Lock()
+			if on := b.OnSpan(); on > maxOn {
+				maxOn = on
+			}
+			mu.Unlock()
+			depart.Done()
+			depart.Wait()
+			_ = b.Exit(p, North)
+		})
+	}
+	r.Join()
+	if maxOn != 2 {
+		t.Fatalf("max same-direction occupancy = %d, want 2", maxOn)
+	}
+}
+
+func TestCleanRunPassesBothPhases(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	clk := clock.NewVirtual(epoch)
+	rt, err := detect.NewRealTime(db, []monitor.Spec{Spec("bridge")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithMonitorOptions(monitor.WithRecorder(rt), monitor.WithClock(clk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := detect.New(db, detect.Config{Clock: clk, HoldWorld: true}, b.Monitor())
+	r := proc.NewRuntime()
+	for i := 0; i < 4; i++ {
+		d := North
+		if i%2 == 1 {
+			d = South
+		}
+		r.Spawn("car", func(p *proc.P) {
+			for j := 0; j < 10; j++ {
+				if err := b.Enter(p, d); err != nil {
+					return
+				}
+				if err := b.Exit(p, d); err != nil {
+					return
+				}
+			}
+		})
+	}
+	r.Join()
+	if vs := rt.Violations(); len(vs) != 0 {
+		t.Fatalf("realtime violations on clean crossings: %v", vs)
+	}
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("periodic violations on clean crossings: %v", vs)
+	}
+}
+
+func TestWrongExitDirectionCaught(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	clk := clock.NewVirtual(epoch)
+	rt, err := detect.NewRealTime(db, []monitor.Spec{Spec("bridge")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithMonitorOptions(monitor.WithRecorder(rt), monitor.WithClock(clk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	r.Spawn("confused", func(p *proc.P) {
+		if err := b.Enter(p, North); err != nil {
+			return
+		}
+		_ = b.Exit(p, South) // wrong direction: violates the path
+	})
+	r.Join()
+	vs := rt.Violations()
+	if !rules.HasRule(vs, rules.FD7a) {
+		t.Fatalf("violations = %v, want FD-7a for the wrong-direction exit", vs)
+	}
+}

@@ -1,0 +1,141 @@
+// Package kvstore is a resource-operation-manager monitor (§2.1):
+// synchronisation is implicit — the shared map and its operations live
+// inside the monitor, so user processes just call Get/Put/Delete and
+// never see a request/release pair. "This approach has the benefit of
+// more modularity and preventing user processes from possible misuses
+// of the resources."
+package kvstore
+
+import (
+	"sync"
+
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// Procedure names in the monitor declaration.
+const (
+	ProcGet    = "Get"
+	ProcPut    = "Put"
+	ProcDelete = "Delete"
+	// CondNonEmpty delays TakeAny callers on an empty store.
+	CondNonEmpty = "nonEmpty"
+	// ProcTakeAny is the blocking consumer procedure.
+	ProcTakeAny = "TakeAny"
+)
+
+// Store is a string-keyed map behind an operation-manager monitor.
+// Construct with New.
+type Store struct {
+	mon *monitor.Monitor
+
+	mu   sync.Mutex
+	data map[string]string
+}
+
+// Option configures a Store.
+type Option func(*config)
+
+type config struct {
+	name    string
+	monOpts []monitor.Option
+}
+
+// WithName overrides the monitor name (default "kvstore").
+func WithName(name string) Option {
+	return func(c *config) { c.name = name }
+}
+
+// WithMonitorOptions passes options (recorder, clock, hooks) to the
+// underlying monitor.
+func WithMonitorOptions(opts ...monitor.Option) Option {
+	return func(c *config) { c.monOpts = append(c.monOpts, opts...) }
+}
+
+// Spec returns the monitor declaration a Store of the given name uses.
+func Spec(name string) monitor.Spec {
+	return monitor.Spec{
+		Name:       name,
+		Kind:       monitor.OperationManager,
+		Conditions: []string{CondNonEmpty},
+		Procedures: []string{ProcGet, ProcPut, ProcDelete, ProcTakeAny},
+	}
+}
+
+// New builds an empty store.
+func New(opts ...Option) (*Store, error) {
+	cfg := config{name: "kvstore"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mon, err := monitor.New(Spec(cfg.name), cfg.monOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{mon: mon, data: make(map[string]string)}, nil
+}
+
+// Monitor exposes the underlying monitor.
+func (s *Store) Monitor() *monitor.Monitor { return s.mon }
+
+// Get returns the value for key and whether it exists.
+func (s *Store) Get(p *proc.P, key string) (string, bool, error) {
+	if err := s.mon.Enter(p, ProcGet); err != nil {
+		return "", false, err
+	}
+	s.mu.Lock()
+	v, ok := s.data[key]
+	s.mu.Unlock()
+	return v, ok, s.mon.Exit(p, ProcGet)
+}
+
+// Put stores value under key and wakes one TakeAny waiter.
+func (s *Store) Put(p *proc.P, key, value string) error {
+	if err := s.mon.Enter(p, ProcPut); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.data[key] = value
+	s.mu.Unlock()
+	return s.mon.SignalExit(p, ProcPut, CondNonEmpty)
+}
+
+// Delete removes key (a no-op for a missing key).
+func (s *Store) Delete(p *proc.P, key string) error {
+	if err := s.mon.Enter(p, ProcDelete); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.data, key)
+	s.mu.Unlock()
+	return s.mon.Exit(p, ProcDelete)
+}
+
+// TakeAny blocks until the store is non-empty, then removes and returns
+// an arbitrary entry — the conditional-synchronisation operation that
+// exercises the manager's condition queue.
+func (s *Store) TakeAny(p *proc.P) (key, value string, err error) {
+	if err := s.mon.Enter(p, ProcTakeAny); err != nil {
+		return "", "", err
+	}
+	if s.Len() == 0 {
+		if err := s.mon.Wait(p, ProcTakeAny, CondNonEmpty); err != nil {
+			return "", "", err
+		}
+	}
+	s.mu.Lock()
+	for k, v := range s.data {
+		key, value = k, v
+		break
+	}
+	delete(s.data, key)
+	s.mu.Unlock()
+	return key, value, s.mon.Exit(p, ProcTakeAny)
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

@@ -1,0 +1,127 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBasicOps(t *testing.T) {
+	t.Parallel()
+	s, err := New(WithName("cfg"))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Monitor().Name() != "cfg" {
+		t.Fatalf("Name = %q", s.Monitor().Name())
+	}
+	r := proc.NewRuntime()
+	r.Spawn("user", func(p *proc.P) {
+		if err := s.Put(p, "k", "v"); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		v, ok, err := s.Get(p, "k")
+		if err != nil || !ok || v != "v" {
+			t.Errorf("Get = (%q,%v,%v), want (v,true,nil)", v, ok, err)
+		}
+		if _, ok, _ := s.Get(p, "missing"); ok {
+			t.Error("Get(missing) reported ok")
+		}
+		if err := s.Delete(p, "k"); err != nil {
+			t.Errorf("Delete: %v", err)
+		}
+		if _, ok, _ := s.Get(p, "k"); ok {
+			t.Error("Get after Delete reported ok")
+		}
+	})
+	r.Join()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestTakeAnyBlocksUntilPut(t *testing.T) {
+	t.Parallel()
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	type kv struct{ k, v string }
+	got := make(chan kv, 1)
+	taker := r.Spawn("taker", func(p *proc.P) {
+		k, v, err := s.TakeAny(p)
+		if err != nil {
+			return
+		}
+		got <- kv{k, v}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for taker.Status() != proc.Parked {
+		if time.Now().After(deadline) {
+			t.Fatal("TakeAny never blocked on empty store")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	r.Spawn("putter", func(p *proc.P) {
+		if err := s.Put(p, "job1", "payload"); err != nil {
+			t.Errorf("Put: %v", err)
+		}
+	})
+	r.Join()
+	select {
+	case e := <-got:
+		if e.k != "job1" || e.v != "payload" {
+			t.Fatalf("TakeAny = %+v", e)
+		}
+	default:
+		t.Fatal("TakeAny did not deliver after Put")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after take, want 0", s.Len())
+	}
+}
+
+func TestConcurrentMixPassesDetection(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	clk := clock.NewVirtual(epoch)
+	s, err := New(WithMonitorOptions(monitor.WithRecorder(db), monitor.WithClock(clk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := detect.New(db, detect.Config{Clock: clk, HoldWorld: true}, s.Monitor())
+	r := proc.NewRuntime()
+	keys := []string{"a", "b", "c", "d"}
+	for w := 0; w < 4; w++ {
+		w := w
+		r.Spawn("writer", func(p *proc.P) {
+			for i := 0; i < 20; i++ {
+				key := keys[(w+i)%len(keys)]
+				if err := s.Put(p, key, "x"); err != nil {
+					return
+				}
+				if _, _, err := s.Get(p, key); err != nil {
+					return
+				}
+				if i%3 == 0 {
+					if err := s.Delete(p, key); err != nil {
+						return
+					}
+				}
+			}
+		})
+	}
+	r.Join()
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("clean kvstore run produced violations: %v", vs)
+	}
+}

@@ -1,0 +1,177 @@
+// Package rwlock is a readers-writers monitor whose declaration uses a
+// non-trivial path expression: each process alternates complete
+// StartRead;EndRead or StartWrite;EndWrite cycles,
+//
+//	path (StartRead ; EndRead) , (StartWrite ; EndWrite) end
+//
+// so the real-time order checker catches a process that ends a read it
+// never started, starts a write while reading, and so on. The monitor
+// itself implements the classic writers-priority protocol.
+package rwlock
+
+import (
+	"sync"
+
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// Procedure and condition names in the monitor declaration.
+const (
+	ProcStartRead  = "StartRead"
+	ProcEndRead    = "EndRead"
+	ProcStartWrite = "StartWrite"
+	ProcEndWrite   = "EndWrite"
+	CondOKToRead   = "okToRead"
+	CondOKToWrite  = "okToWrite"
+)
+
+// CallOrder is the declared per-process partial order.
+const CallOrder = "path (StartRead ; EndRead) , (StartWrite ; EndWrite) end"
+
+// Lock is a readers-writers lock built on an augmented monitor.
+// Construct with New.
+type Lock struct {
+	mon *monitor.Monitor
+
+	mu             sync.Mutex
+	readers        int
+	writing        bool
+	waitingWriters int
+}
+
+// Option configures a Lock.
+type Option func(*config)
+
+type config struct {
+	name    string
+	monOpts []monitor.Option
+}
+
+// WithName overrides the monitor name (default "rwlock").
+func WithName(name string) Option {
+	return func(c *config) { c.name = name }
+}
+
+// WithMonitorOptions passes options (recorder, clock, hooks) to the
+// underlying monitor.
+func WithMonitorOptions(opts ...monitor.Option) Option {
+	return func(c *config) { c.monOpts = append(c.monOpts, opts...) }
+}
+
+// Spec returns the monitor declaration a Lock of the given name uses.
+func Spec(name string) monitor.Spec {
+	return monitor.Spec{
+		Name:       name,
+		Kind:       monitor.ResourceAllocator,
+		Conditions: []string{CondOKToRead, CondOKToWrite},
+		Procedures: []string{ProcStartRead, ProcEndRead, ProcStartWrite, ProcEndWrite},
+		CallOrder:  CallOrder,
+	}
+}
+
+// New builds an unlocked readers-writers lock.
+func New(opts ...Option) (*Lock, error) {
+	cfg := config{name: "rwlock"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mon, err := monitor.New(Spec(cfg.name), cfg.monOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Lock{mon: mon}, nil
+}
+
+// Monitor exposes the underlying monitor.
+func (l *Lock) Monitor() *monitor.Monitor { return l.mon }
+
+// Readers returns the number of active readers.
+func (l *Lock) Readers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readers
+}
+
+// Writing reports whether a writer holds the lock.
+func (l *Lock) Writing() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writing
+}
+
+// StartRead blocks while a writer is active or waiting.
+func (l *Lock) StartRead(p *proc.P) error {
+	if err := l.mon.Enter(p, ProcStartRead); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	blocked := l.writing || l.waitingWriters > 0
+	l.mu.Unlock()
+	if blocked {
+		if err := l.mon.Wait(p, ProcStartRead, CondOKToRead); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	l.readers++
+	l.mu.Unlock()
+	// Cascade: one resumed reader admits the next waiting reader.
+	return l.mon.SignalExit(p, ProcStartRead, CondOKToRead)
+}
+
+// EndRead releases a read hold; the last reader admits a writer.
+func (l *Lock) EndRead(p *proc.P) error {
+	if err := l.mon.Enter(p, ProcEndRead); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.readers--
+	last := l.readers == 0
+	l.mu.Unlock()
+	if last {
+		return l.mon.SignalExit(p, ProcEndRead, CondOKToWrite)
+	}
+	return l.mon.Exit(p, ProcEndRead)
+}
+
+// StartWrite blocks until no reader or writer is active.
+func (l *Lock) StartWrite(p *proc.P) error {
+	if err := l.mon.Enter(p, ProcStartWrite); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	blocked := l.writing || l.readers > 0
+	if blocked {
+		l.waitingWriters++
+	}
+	l.mu.Unlock()
+	if blocked {
+		if err := l.mon.Wait(p, ProcStartWrite, CondOKToWrite); err != nil {
+			return err
+		}
+		l.mu.Lock()
+		l.waitingWriters--
+		l.mu.Unlock()
+	}
+	l.mu.Lock()
+	l.writing = true
+	l.mu.Unlock()
+	return l.mon.Exit(p, ProcStartWrite)
+}
+
+// EndWrite releases the write hold, preferring a waiting writer, then
+// readers.
+func (l *Lock) EndWrite(p *proc.P) error {
+	if err := l.mon.Enter(p, ProcEndWrite); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.writing = false
+	preferWriter := l.waitingWriters > 0
+	l.mu.Unlock()
+	if preferWriter {
+		return l.mon.SignalExit(p, ProcEndWrite, CondOKToWrite)
+	}
+	return l.mon.SignalExit(p, ProcEndWrite, CondOKToRead)
+}

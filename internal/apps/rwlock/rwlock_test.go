@@ -1,0 +1,216 @@
+package rwlock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestReadersShareWritersExclude(t *testing.T) {
+	t.Parallel()
+	l, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	var mu sync.Mutex
+	var maxReaders, writesSeen int
+	writerActive := false
+
+	const readers, writers, rounds = 4, 2, 8
+	for i := 0; i < readers; i++ {
+		r.Spawn("reader", func(p *proc.P) {
+			for j := 0; j < rounds; j++ {
+				if err := l.StartRead(p); err != nil {
+					return
+				}
+				mu.Lock()
+				if writerActive {
+					t.Error("reader active while writer holds the lock")
+				}
+				if got := l.Readers(); got > maxReaders {
+					maxReaders = got
+				}
+				mu.Unlock()
+				if err := l.EndRead(p); err != nil {
+					return
+				}
+			}
+		})
+	}
+	for i := 0; i < writers; i++ {
+		r.Spawn("writer", func(p *proc.P) {
+			for j := 0; j < rounds; j++ {
+				if err := l.StartWrite(p); err != nil {
+					return
+				}
+				mu.Lock()
+				if writerActive {
+					t.Error("two writers active at once")
+				}
+				writerActive = true
+				writesSeen++
+				mu.Unlock()
+				mu.Lock()
+				writerActive = false
+				mu.Unlock()
+				if err := l.EndWrite(p); err != nil {
+					return
+				}
+			}
+		})
+	}
+	r.Join()
+	if writesSeen != writers*rounds {
+		t.Fatalf("writesSeen = %d, want %d", writesSeen, writers*rounds)
+	}
+	if l.Readers() != 0 || l.Writing() {
+		t.Fatalf("lock not quiescent: readers=%d writing=%v", l.Readers(), l.Writing())
+	}
+}
+
+func TestCallOrderViolationCaught(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	clk := clock.NewVirtual(epoch)
+	spec := Spec("rwlock")
+	rt, err := detect.NewRealTime(db, []monitor.Spec{spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(WithMonitorOptions(monitor.WithRecorder(rt), monitor.WithClock(clk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	r.Spawn("buggy", func(p *proc.P) {
+		if err := l.StartRead(p); err != nil {
+			return
+		}
+		// Ends a WRITE it never started: violates the declared path
+		// (StartRead must pair with EndRead).
+		_ = l.EndWrite(p)
+	})
+	r.Join()
+	vs := rt.Violations()
+	if !rules.HasRule(vs, rules.FD7a) {
+		t.Fatalf("violations = %v, want FD-7a for mismatched end", vs)
+	}
+}
+
+func TestCleanCyclesPassRealtime(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	clk := clock.NewVirtual(epoch)
+	rt, err := detect.NewRealTime(db, []monitor.Spec{Spec("rwlock")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(WithMonitorOptions(monitor.WithRecorder(rt), monitor.WithClock(clk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	r.Spawn("mixed", func(p *proc.P) {
+		// A process may alternate read and write cycles freely.
+		for i := 0; i < 3; i++ {
+			if err := l.StartRead(p); err != nil {
+				return
+			}
+			if err := l.EndRead(p); err != nil {
+				return
+			}
+			if err := l.StartWrite(p); err != nil {
+				return
+			}
+			if err := l.EndWrite(p); err != nil {
+				return
+			}
+		}
+	})
+	r.Join()
+	if vs := rt.Violations(); len(vs) != 0 {
+		t.Fatalf("clean cycles produced %v", vs)
+	}
+}
+
+func TestWriterPriorityBlocksNewReaders(t *testing.T) {
+	t.Parallel()
+	l, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+
+	readerIn := make(chan struct{})
+	releaseReader := make(chan struct{})
+	r.Spawn("reader1", func(p *proc.P) {
+		if err := l.StartRead(p); err != nil {
+			return
+		}
+		close(readerIn)
+		<-releaseReader
+		_ = l.EndRead(p)
+	})
+	<-readerIn
+
+	// A writer queues behind the active reader.
+	writerDone := make(chan struct{})
+	r.Spawn("writer", func(p *proc.P) {
+		if err := l.StartWrite(p); err != nil {
+			return
+		}
+		_ = l.EndWrite(p)
+		close(writerDone)
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Monitor().CondLen(CondOKToWrite) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// A second reader must now wait behind the writer.
+	reader2Got := make(chan struct{})
+	r.Spawn("reader2", func(p *proc.P) {
+		if err := l.StartRead(p); err != nil {
+			return
+		}
+		close(reader2Got)
+		_ = l.EndRead(p)
+	})
+	for l.Monitor().CondLen(CondOKToRead) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second reader never queued behind the writer")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case <-reader2Got:
+		t.Fatal("second reader overtook the waiting writer")
+	default:
+	}
+
+	close(releaseReader)
+	r.Join()
+	select {
+	case <-writerDone:
+	default:
+		t.Fatal("writer never ran")
+	}
+	select {
+	case <-reader2Got:
+	default:
+		t.Fatal("second reader never ran")
+	}
+}

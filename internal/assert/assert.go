@@ -1,0 +1,77 @@
+// Package assert implements the paper's first future-work extension
+// (§5): "predefined and user-supplied assertions to be specified as
+// part of monitor declarations and used for checking the functional
+// operations and external use of the monitors."
+//
+// An assertion is a named predicate over the application's shared
+// state. A Set groups the assertions of one monitor; it plugs into the
+// periodic detector (detect.Config.Extra) so assertions are evaluated
+// at every checkpoint while the world is frozen, and can also be
+// checked explicitly at procedure boundaries.
+package assert
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"robustmon/internal/rules"
+)
+
+// Assertion is one named invariant.
+type Assertion struct {
+	// Name identifies the assertion in violation reports.
+	Name string
+	// Check returns nil while the invariant holds; the returned error
+	// becomes the violation message.
+	Check func() error
+}
+
+// Set holds the assertions declared for one monitor. The zero value is
+// unusable; construct with NewSet. Safe for concurrent use.
+type Set struct {
+	monitorName string
+
+	mu         sync.Mutex
+	assertions []Assertion
+}
+
+// NewSet returns an empty assertion set for the named monitor.
+func NewSet(monitorName string) *Set {
+	return &Set{monitorName: monitorName}
+}
+
+// Add declares an assertion. Declaration order is evaluation order.
+func (s *Set) Add(name string, check func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.assertions = append(s.assertions, Assertion{Name: name, Check: check})
+}
+
+// Len returns the number of declared assertions.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.assertions)
+}
+
+// Check evaluates every assertion at instant now and returns one
+// violation per failing assertion. It implements the detector's Extra
+// checker interface.
+func (s *Set) Check(now time.Time) []rules.Violation {
+	s.mu.Lock()
+	asserts := append([]Assertion(nil), s.assertions...)
+	s.mu.Unlock()
+	var out []rules.Violation
+	for _, a := range asserts {
+		if err := a.Check(); err != nil {
+			out = append(out, rules.Violation{
+				Rule:    rules.Assert,
+				Monitor: s.monitorName,
+				At:      now,
+				Message: fmt.Sprintf("assertion %q failed: %v", a.Name, err),
+			})
+		}
+	}
+	return out
+}

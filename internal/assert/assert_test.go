@@ -1,0 +1,92 @@
+package assert
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestEmptySetIsSilent(t *testing.T) {
+	t.Parallel()
+	s := NewSet("m")
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if vs := s.Check(epoch); len(vs) != 0 {
+		t.Fatalf("empty set produced %v", vs)
+	}
+}
+
+func TestFailingAssertionsReport(t *testing.T) {
+	t.Parallel()
+	s := NewSet("buf")
+	s.Add("holds", func() error { return nil })
+	s.Add("broken", func() error { return errors.New("count went negative") })
+	s.Add("also-broken", func() error { return errors.New("sum mismatch") })
+	vs := s.Check(epoch)
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Rule != rules.Assert || v.Monitor != "buf" {
+			t.Fatalf("violation = %+v", v)
+		}
+	}
+	if vs[0].Message == vs[1].Message {
+		t.Fatal("violations should carry the individual assertion names")
+	}
+}
+
+func TestSetPlugsIntoDetector(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	clk := clock.NewVirtual(epoch)
+	spec := monitor.Spec{
+		Name: "m", Kind: monitor.OperationManager,
+		Conditions: []string{"ok"},
+	}
+	m, err := monitor.New(spec, monitor.WithRecorder(db), monitor.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	invariantHolds := true
+	s := NewSet("m")
+	s.Add("app-invariant", func() error {
+		if invariantHolds {
+			return nil
+		}
+		return errors.New("invariant broken")
+	})
+	det := detect.New(db, detect.Config{
+		Clock: clk, HoldWorld: true, Extra: []detect.Checker{s},
+	}, m)
+
+	r := proc.NewRuntime()
+	r.Spawn("p", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op")
+	})
+	r.Join()
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("holding invariant flagged: %v", vs)
+	}
+	invariantHolds = false
+	vs := det.CheckNow()
+	if !rules.HasRule(vs, rules.Assert) {
+		t.Fatalf("violations = %v, want ASSERT", vs)
+	}
+	if vs[0].Phase != "periodic" {
+		t.Fatalf("phase = %q, want periodic", vs[0].Phase)
+	}
+}

@@ -1,0 +1,39 @@
+// Package clock abstracts time for the fault-detection machinery.
+//
+// The paper's detection model is parameterised by three durations — Tmax
+// (the longest any process may stay inside a monitor), Tio (the timeout
+// for interpreting starvation or deadlock on the entry queue) and Tlimit
+// (the longest a resource may be held) — and by the checking interval T.
+// All of them are measured against a Clock. Production code uses Real;
+// tests and the deterministic coverage experiments use Virtual so that
+// "waiting for Tio" is a single method call instead of a flaky sleep.
+package clock
+
+import "time"
+
+// Clock supplies the current instant and timer channels.
+//
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant on this clock.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once d
+	// has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks the caller for d on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock using the system clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock using time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock using time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }

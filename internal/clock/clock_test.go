@@ -1,0 +1,151 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2001, time.July, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealNowMonotoneEnough(t *testing.T) {
+	t.Parallel()
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("Real.Now went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	t.Parallel()
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 5s")
+	}
+}
+
+func TestVirtualNowFixedUntilAdvance(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want epoch %v", got, epoch)
+	}
+	v.Advance(3 * time.Second)
+	if got, want := v.Now(), epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceToBackwardsIsNoop(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	v.Advance(time.Minute)
+	v.AdvanceTo(epoch) // earlier than now
+	if got, want := v.Now(), epoch.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v (AdvanceTo must not rewind)", got, want)
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Second)
+	if n := v.Advance(9 * time.Second); n != 0 {
+		t.Fatalf("Advance(9s) fired %d timers, want 0", n)
+	}
+	select {
+	case tm := <-ch:
+		t.Fatalf("timer fired early at %v", tm)
+	default:
+	}
+	if n := v.Advance(time.Second); n != 1 {
+		t.Fatalf("Advance(1s) fired %d timers, want 1", n)
+	}
+	tm := <-ch
+	if want := epoch.Add(10 * time.Second); !tm.Equal(want) {
+		t.Fatalf("timer delivered %v, want %v", tm, want)
+	}
+}
+
+func TestVirtualEqualDeadlinesFireFIFO(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	a := v.After(time.Second)
+	b := v.After(time.Second)
+	v.Advance(time.Second)
+	ta := <-a
+	tb := <-b
+	if !ta.Equal(tb) {
+		t.Fatalf("equal-deadline timers saw different times: %v vs %v", ta, tb)
+	}
+}
+
+func TestVirtualPending(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	_ = v.After(time.Second)
+	_ = v.After(2 * time.Second)
+	if got := v.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	v.Advance(time.Second)
+	if got := v.Pending(); got != 1 {
+		t.Fatalf("Pending() after partial advance = %d, want 1", got)
+	}
+}
+
+func TestVirtualSleepUnblocksOnAdvance(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Let the sleeper register its timer before advancing. Poll Pending
+	// instead of sleeping a guess.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+}
+
+func TestVirtualZeroAfterFiresOnNextAdvance(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	ch := v.After(0)
+	if n := v.Advance(0); n != 1 {
+		t.Fatalf("Advance(0) fired %d timers, want 1", n)
+	}
+	<-ch
+}
+
+func TestVirtualManyTimersFireInDeadlineOrder(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(epoch)
+	const n = 50
+	chans := make([]<-chan time.Time, n)
+	// Register in reverse deadline order to make ordering non-trivial.
+	for i := n - 1; i >= 0; i-- {
+		chans[i] = v.After(time.Duration(i+1) * time.Second)
+	}
+	fired := v.Advance(time.Duration(n) * time.Second)
+	if fired != n {
+		t.Fatalf("Advance fired %d timers, want %d", fired, n)
+	}
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("timer %d did not fire", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic, manually advanced clock.
+//
+// Time only moves when Advance or AdvanceTo is called. Timers created
+// with After fire synchronously inside Advance, in timestamp order, so a
+// test can arrange "process P has been on the entry queue for longer
+// than Tio" exactly, with no real sleeping.
+//
+// Construct with NewVirtual; the zero value is not usable because the
+// epoch must be fixed up front to keep traces reproducible.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*virtualTimer
+	seq     int // tie-breaker so equal deadlines fire FIFO
+}
+
+type virtualTimer struct {
+	deadline time.Time
+	seq      int
+	ch       chan time.Time
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock whose current instant is epoch.
+func NewVirtual(epoch time.Time) *Virtual {
+	return &Virtual{now: epoch}
+}
+
+// Now returns the virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After returns a channel that fires when the virtual clock passes d
+// from now. A non-positive d fires on the next Advance (or immediately
+// if Advance(0) is called).
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &virtualTimer{
+		deadline: v.now.Add(d),
+		seq:      v.seq,
+		ch:       make(chan time.Time, 1),
+	}
+	v.seq++
+	v.waiters = append(v.waiters, t)
+	return t.ch
+}
+
+// Sleep blocks until the virtual clock has advanced past d. It only
+// returns once some other goroutine calls Advance far enough.
+func (v *Virtual) Sleep(d time.Duration) {
+	<-v.After(d)
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline is reached, in deadline order (FIFO among equal deadlines).
+// It reports how many timers fired.
+func (v *Virtual) Advance(d time.Duration) int {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.mu.Unlock()
+	return v.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock forward to instant t (no-op if t is not
+// after the current instant) and fires due timers. It reports how many
+// timers fired.
+func (v *Virtual) AdvanceTo(t time.Time) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	due := v.waiters[:0:0]
+	rest := v.waiters[:0]
+	for _, w := range v.waiters {
+		if !w.deadline.After(v.now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	v.waiters = rest
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].deadline.Equal(due[j].deadline) {
+			return due[i].seq < due[j].seq
+		}
+		return due[i].deadline.Before(due[j].deadline)
+	})
+	for _, w := range due {
+		w.ch <- v.now
+	}
+	return len(due)
+}
+
+// Pending reports how many timers have not fired yet. Useful for tests
+// that assert a detector armed (or disarmed) its periodic tick.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}

@@ -1,0 +1,189 @@
+package detect
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// TestPropertyNoFalsePositivesUnderRandomSchedules is the detector's
+// core soundness property: whatever interleaving a fault-free workload
+// takes, and wherever checkpoints land in it, no violation may be
+// reported. Randomised over seeds; any failure prints the seed.
+func TestPropertyNoFalsePositivesUnderRandomSchedules(t *testing.T) {
+	t.Parallel()
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			db := history.New()
+			m, err := monitor.New(monitor.Spec{
+				Name: "m", Kind: monitor.OperationManager,
+				Conditions: []string{"ping", "pong"},
+				Procedures: []string{"Op", "Ping", "Pong"},
+			}, monitor.WithRecorder(db))
+			if err != nil {
+				t.Fatal(err)
+			}
+			det := New(db, Config{
+				Tmax: time.Minute, Tio: time.Minute,
+				Clock: clock.Real{}, HoldWorld: true,
+			}, m)
+
+			rt := proc.NewRuntime()
+			// Plain critical-section workers with random op counts.
+			workers := 2 + rng.Intn(4)
+			for i := 0; i < workers; i++ {
+				n := 10 + rng.Intn(50)
+				rt.Spawn("worker", func(p *proc.P) {
+					for j := 0; j < n; j++ {
+						if err := m.Enter(p, "Op"); err != nil {
+							return
+						}
+						_ = m.Exit(p, "Op")
+					}
+				})
+			}
+			// A counted ping-pong pair exercising Wait/Signal-Exit with
+			// guaranteed liveness: the ponger waits only when no ping is
+			// pending, the pinger signals exactly rounds times.
+			rounds := 5 + rng.Intn(10)
+			var mu sync.Mutex
+			pending := 0
+			rt.Spawn("ponger", func(p *proc.P) {
+				for j := 0; j < rounds; j++ {
+					if err := m.Enter(p, "Pong"); err != nil {
+						return
+					}
+					mu.Lock()
+					empty := pending == 0
+					mu.Unlock()
+					if empty {
+						if err := m.Wait(p, "Pong", "ping"); err != nil {
+							return
+						}
+					}
+					mu.Lock()
+					pending--
+					mu.Unlock()
+					_ = m.Exit(p, "Pong")
+				}
+			})
+			rt.Spawn("pinger", func(p *proc.P) {
+				for j := 0; j < rounds; j++ {
+					if err := m.Enter(p, "Ping"); err != nil {
+						return
+					}
+					mu.Lock()
+					pending++
+					mu.Unlock()
+					_ = m.SignalExit(p, "Ping", "ping")
+				}
+			})
+			// Checkpoints land at random instants while the workload runs.
+			stop := make(chan struct{})
+			var checker sync.WaitGroup
+			checker.Add(1)
+			go func() {
+				defer checker.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(time.Duration(rng.Intn(500)+100) * time.Microsecond):
+						if vs := det.CheckNow(); len(vs) != 0 {
+							t.Errorf("seed %d: mid-run violations: %v", seed, vs)
+							return
+						}
+					}
+				}
+			}()
+			rt.Join()
+			close(stop)
+			checker.Wait()
+			if vs := det.CheckNow(); len(vs) != 0 {
+				t.Fatalf("seed %d: final violations: %v", seed, vs)
+			}
+			if m.InsideCount() != 0 || m.EntryLen() != 0 ||
+				m.CondLen("ping") != 0 || m.CondLen("pong") != 0 {
+				t.Fatalf("seed %d: monitor not quiescent", seed)
+			}
+		})
+	}
+}
+
+// TestPropertyMultiMonitorSharedDB: one detector and one database over
+// several monitors must attribute segments correctly (no cross-monitor
+// bleed) under concurrent load.
+func TestPropertyMultiMonitorSharedDB(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	var mons []*monitor.Monitor
+	for _, name := range []string{"a", "b", "c"} {
+		m, err := monitor.New(monitor.Spec{
+			Name: name, Kind: monitor.OperationManager,
+			Conditions: []string{"ok"}, Procedures: []string{"Op"},
+		}, monitor.WithRecorder(db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mons = append(mons, m)
+	}
+	det := New(db, Config{
+		Tmax: time.Minute, Tio: time.Minute,
+		Clock: clock.Real{}, HoldWorld: true,
+	}, mons...)
+
+	rt := proc.NewRuntime()
+	for i := 0; i < 6; i++ {
+		i := i
+		rt.Spawn("worker", func(p *proc.P) {
+			for j := 0; j < 100; j++ {
+				m := mons[(i+j)%len(mons)]
+				if err := m.Enter(p, "Op"); err != nil {
+					return
+				}
+				_ = m.Exit(p, "Op")
+			}
+		})
+	}
+	done := make(chan struct{})
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if vs := det.CheckNow(); len(vs) != 0 {
+					t.Errorf("mid-run violations: %v", vs)
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	rt.Join()
+	close(done)
+	checker.Wait()
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("final violations: %v", vs)
+	}
+	st := det.Stats()
+	if st.Events != 1200 {
+		t.Fatalf("detector replayed %d events, want 1200 (6 workers × 100 ops × 2 events)", st.Events)
+	}
+}

@@ -1,0 +1,108 @@
+package detect
+
+import (
+	"sync"
+
+	"robustmon/internal/event"
+	"robustmon/internal/faults"
+	"robustmon/internal/monitor"
+	"robustmon/internal/pathexpr"
+	"robustmon/internal/rules"
+)
+
+// RealTime is the first detection phase of §3.3: per-event checking of
+// monitor procedure calling orders, applied to resource-access-right
+// allocator monitors ("the execution sequence of the monitor procedures
+// of the resource-access-right allocator type monitors must be kept
+// correct" — the user-process-level faults induce immediate errors and
+// cannot wait for the next checkpoint).
+//
+// RealTime wraps the history database as a monitor.Recorder: the
+// instrumented primitives hand it every event synchronously, it steps
+// the per-process path-expression matcher, and forwards the event to
+// the wrapped recorder. Attach it with monitor.WithRecorder.
+type RealTime struct {
+	next monitor.Recorder
+
+	mu       sync.Mutex
+	paths    map[string]*pathexpr.Path              // per allocator monitor
+	matchers map[string]map[int64]*pathexpr.Matcher // per monitor, per pid
+	found    []rules.Violation
+	onV      func(rules.Violation)
+}
+
+// NewRealTime wraps next with real-time calling-order checking for
+// every allocator-kind monitor among specs. Non-allocator specs are
+// ignored, as the paper applies this phase only to allocators.
+// onViolation may be nil.
+func NewRealTime(next monitor.Recorder, specs []monitor.Spec, onViolation func(rules.Violation)) (*RealTime, error) {
+	rt := &RealTime{
+		next:     next,
+		paths:    make(map[string]*pathexpr.Path, len(specs)),
+		matchers: make(map[string]map[int64]*pathexpr.Matcher, len(specs)),
+		onV:      onViolation,
+	}
+	for _, spec := range specs {
+		if spec.Kind != monitor.ResourceAllocator || spec.CallOrder == "" {
+			continue
+		}
+		p, err := spec.Validate()
+		if err != nil {
+			return nil, err
+		}
+		rt.paths[spec.Name] = p
+		rt.matchers[spec.Name] = make(map[int64]*pathexpr.Matcher, 8)
+	}
+	return rt, nil
+}
+
+// Append implements monitor.Recorder: it forwards to the wrapped
+// recorder and checks allocator calling orders on the fly.
+func (rt *RealTime) Append(e event.Event) event.Event {
+	stored := rt.next.Append(e)
+	if stored.Type != event.Enter {
+		return stored
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	p, ok := rt.paths[stored.Monitor]
+	if !ok || !p.Mentions(stored.Proc) {
+		return stored
+	}
+	perPid := rt.matchers[stored.Monitor]
+	m := perPid[stored.Pid]
+	if m == nil {
+		m = p.NewMatcher()
+		perPid[stored.Pid] = m
+	}
+	atBoundary := m.AtCycleBoundary()
+	if err := m.Step(stored.Proc); err != nil {
+		rule, fault := rules.FD7a, faults.SelfDeadlock
+		if atBoundary {
+			rule, fault = rules.FD7b, faults.ReleaseWithoutAcquire
+		}
+		v := rules.Violation{
+			Rule:    rule,
+			Monitor: stored.Monitor,
+			Pid:     stored.Pid,
+			Proc:    stored.Proc,
+			Seq:     stored.Seq,
+			At:      stored.Time,
+			Fault:   fault,
+			Phase:   "realtime",
+			Message: err.Error(),
+		}
+		rt.found = append(rt.found, v)
+		if rt.onV != nil {
+			rt.onV(v)
+		}
+	}
+	return stored
+}
+
+// Violations returns the order violations caught so far.
+func (rt *RealTime) Violations() []rules.Violation {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]rules.Violation(nil), rt.found...)
+}

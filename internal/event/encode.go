@@ -1,0 +1,177 @@
+package event
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Codecs for exporting/importing history traces. Two formats are
+// supported:
+//
+//   - JSON Lines (one event object per line), for human inspection and
+//     interoperability with other tooling;
+//   - a compact length-prefixed binary format, for large traces.
+//
+// Both round-trip every field including the timestamp at nanosecond
+// resolution.
+
+// ErrBadMagic reports that a binary stream does not start with the
+// trace header.
+var ErrBadMagic = errors.New("event: bad trace magic")
+
+// binaryMagic identifies a binary trace stream; the trailing byte is a
+// format version.
+var binaryMagic = [4]byte{'R', 'M', 'T', 1}
+
+// WriteJSON writes the sequence as JSON Lines.
+func WriteJSON(w io.Writer, s Seq) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range s {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("event: encode json event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("event: flush json trace: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON reads a JSON Lines trace until EOF.
+func ReadJSON(r io.Reader) (Seq, error) {
+	dec := json.NewDecoder(r)
+	var out Seq
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("event: decode json event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// WriteBinary writes the sequence in the compact binary trace format.
+func WriteBinary(w io.Writer, s Seq) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("event: write trace magic: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putString := func(v string) error {
+		if err := putUvarint(uint64(len(v))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(v)
+		return err
+	}
+	if err := putUvarint(uint64(len(s))); err != nil {
+		return fmt.Errorf("event: write trace length: %w", err)
+	}
+	for i, e := range s {
+		err := errors.Join(
+			putVarint(e.Seq),
+			putString(e.Monitor),
+			putUvarint(uint64(e.Type)),
+			putVarint(e.Pid),
+			putString(e.Proc),
+			putString(e.Cond),
+			putUvarint(uint64(e.Flag)),
+			putVarint(e.Time.UnixNano()),
+		)
+		if err != nil {
+			return fmt.Errorf("event: write binary event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("event: flush binary trace: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary reads a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) (Seq, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("event: read trace magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	getString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("event: implausible string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("event: read trace length: %w", err)
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("event: implausible trace length %d", count)
+	}
+	out := make(Seq, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var e Event
+		if e.Seq, err = binary.ReadVarint(br); err != nil {
+			return nil, fmt.Errorf("event: read event %d seq: %w", i, err)
+		}
+		if e.Monitor, err = getString(); err != nil {
+			return nil, fmt.Errorf("event: read event %d monitor: %w", i, err)
+		}
+		typ, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("event: read event %d type: %w", i, err)
+		}
+		e.Type = Type(typ)
+		if e.Pid, err = binary.ReadVarint(br); err != nil {
+			return nil, fmt.Errorf("event: read event %d pid: %w", i, err)
+		}
+		if e.Proc, err = getString(); err != nil {
+			return nil, fmt.Errorf("event: read event %d proc: %w", i, err)
+		}
+		if e.Cond, err = getString(); err != nil {
+			return nil, fmt.Errorf("event: read event %d cond: %w", i, err)
+		}
+		flag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("event: read event %d flag: %w", i, err)
+		}
+		e.Flag = int(flag)
+		nanos, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("event: read event %d time: %w", i, err)
+		}
+		e.Time = time.Unix(0, nanos).UTC()
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package event
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleSeq() Seq {
+	return Seq{
+		mk(1, Enter, 1, "Send", "", 1),
+		mk(2, Wait, 1, "Send", "notFull", 0),
+		mk(3, Enter, 2, "Receive", "", 1),
+		mk(4, SignalExit, 2, "Receive", "notFull", 1),
+		mk(5, SignalExit, 1, "Send", "", 0),
+	}
+}
+
+func seqsEqual(a, b Seq) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Seq != y.Seq || x.Monitor != y.Monitor || x.Type != y.Type ||
+			x.Pid != y.Pid || x.Proc != y.Proc || x.Cond != y.Cond ||
+			x.Flag != y.Flag || !x.Time.Equal(y.Time) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	s := sampleSeq()
+	if err := WriteJSON(&buf, s); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !seqsEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n in: %v\nout: %v", s, got)
+	}
+}
+
+func TestJSONIsLineOriented(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleSeq()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(sampleSeq()) {
+		t.Fatalf("got %d lines, want %d", lines, len(sampleSeq()))
+	}
+}
+
+func TestJSONReadGarbage(t *testing.T) {
+	t.Parallel()
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("ReadJSON accepted garbage")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	s := sampleSeq()
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !seqsEqual(s, got) {
+		t.Fatalf("round trip mismatch:\n in: %v\nout: %v", s, got)
+	}
+}
+
+func TestBinaryEmptySeq(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatalf("WriteBinary(nil): %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d events, want 0", len(got))
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	t.Parallel()
+	if _, err := ReadBinary(strings.NewReader("XXXXgarbage")); err != ErrBadMagic {
+		t.Fatalf("ReadBinary bad magic error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleSeq()); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{5, 10, len(raw) - 1} {
+		if cut >= len(raw) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("ReadBinary accepted a trace truncated at %d bytes", cut)
+		}
+	}
+}
+
+func randomEvent(rng *rand.Rand, seq int64) Event {
+	typs := []Type{Enter, Wait, SignalExit}
+	typ := typs[rng.Intn(len(typs))]
+	cond := ""
+	if typ != Enter {
+		cond = []string{"notFull", "notEmpty", "free", "c"}[rng.Intn(4)]
+	}
+	return Event{
+		Seq:     seq,
+		Monitor: []string{"buf", "alloc", "rw"}[rng.Intn(3)],
+		Type:    typ,
+		Pid:     rng.Int63n(100) + 1,
+		Proc:    []string{"Send", "Receive", "Acquire", "Release"}[rng.Intn(4)],
+		Cond:    cond,
+		Flag:    rng.Intn(2),
+		Time:    t0.Add(time.Duration(rng.Int63n(1e9))).UTC(),
+	}
+}
+
+// TestCodecsQuickRoundTrip fuzzes both codecs with random traces.
+func TestCodecsQuickRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := make(Seq, 0, n)
+		for i := int64(1); i <= int64(n); i++ {
+			s = append(s, randomEvent(rng, i))
+		}
+		var jb, bb bytes.Buffer
+		if WriteJSON(&jb, s) != nil || WriteBinary(&bb, s) != nil {
+			return false
+		}
+		js, err1 := ReadJSON(&jb)
+		bs, err2 := ReadBinary(&bb)
+		return err1 == nil && err2 == nil && seqsEqual(s, js) && seqsEqual(s, bs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package event
+
+import "fmt"
+
+// Seq is a scheduling event sequence L = l1 … ln. The slice order is
+// the <L order; Seq values inside the events are consistent with it
+// when the sequence came from the history database.
+type Seq []Event
+
+// SubSeq returns the paper's L_{i,j}: the subsequence of events whose
+// sequence numbers lie in [i, j], preserving order. Events with Seq 0
+// (never registered with a history database) are excluded.
+func (s Seq) SubSeq(i, j int64) Seq {
+	out := make(Seq, 0, len(s))
+	for _, e := range s {
+		if e.Seq >= i && e.Seq <= j && e.Seq != 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByPid returns the subsequence of events caused by process pid.
+func (s Seq) ByPid(pid int64) Seq {
+	out := make(Seq, 0, len(s))
+	for _, e := range s {
+		if e.Pid == pid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByMonitor returns the subsequence of events on the named monitor.
+func (s Seq) ByMonitor(name string) Seq {
+	out := make(Seq, 0, len(s))
+	for _, e := range s {
+		if e.Monitor == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Pids returns the distinct pids appearing in the sequence, in order of
+// first appearance.
+func (s Seq) Pids() []int64 {
+	seen := make(map[int64]bool, 8)
+	var out []int64
+	for _, e := range s {
+		if !seen[e.Pid] {
+			seen[e.Pid] = true
+			out = append(out, e.Pid)
+		}
+	}
+	return out
+}
+
+// Conds returns the distinct condition names appearing in the sequence,
+// in order of first appearance (the empty condition is skipped).
+func (s Seq) Conds() []string {
+	seen := make(map[string]bool, 4)
+	var out []string
+	for _, e := range s {
+		if e.Cond != "" && !seen[e.Cond] {
+			seen[e.Cond] = true
+			out = append(out, e.Cond)
+		}
+	}
+	return out
+}
+
+// Validate checks every event and that sequence numbers are strictly
+// increasing (events with Seq 0 are rejected here: a checked sequence
+// must have been registered).
+func (s Seq) Validate() error {
+	var prev int64
+	for idx, e := range s {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("seq[%d]: %w", idx, err)
+		}
+		if e.Seq <= prev {
+			return fmt.Errorf("seq[%d]: sequence number %d not increasing (previous %d)", idx, e.Seq, prev)
+		}
+		prev = e.Seq
+	}
+	return nil
+}
+
+// Counts tallies successful Send/Receive completions in the sequence
+// for the resource-state invariants of FD-Rule 6 / ST-Rule 7: s is the
+// number of Signal-Exit events issued from sendProc, r the number
+// issued from recvProc.
+func (s Seq) Counts(sendProc, recvProc string) (sends, recvs int) {
+	for _, e := range s {
+		if e.Type != SignalExit {
+			continue
+		}
+		switch e.Proc {
+		case sendProc:
+			sends++
+		case recvProc:
+			recvs++
+		}
+	}
+	return sends, recvs
+}

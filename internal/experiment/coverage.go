@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"robustmon/internal/faults"
+	"robustmon/internal/rules"
+)
+
+// CoverageResult is the outcome of injecting one fault kind (one row of
+// the E1 robustness experiment).
+type CoverageResult struct {
+	// Kind is the injected fault.
+	Kind faults.Kind
+	// Fired reports whether the deviation actually happened during the
+	// scenario (a scenario whose injection never fired proves nothing).
+	Fired bool
+	// Detected reports whether at least one violation was raised.
+	Detected bool
+	// Realtime reports whether the real-time phase (calling-order
+	// checking) contributed a violation.
+	Realtime bool
+	// Rules lists the distinct rule IDs that fired, sorted.
+	Rules []rules.ID
+	// Err records a scenario failure (nil on success).
+	Err error
+}
+
+// RunCoverage injects every given fault kind (use faults.AllKinds() for
+// the full experiment) and reports per-kind detection results.
+func RunCoverage(kinds []faults.Kind) []CoverageResult {
+	out := make([]CoverageResult, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, runOne(k))
+	}
+	return out
+}
+
+func runOne(k faults.Kind) CoverageResult {
+	vs, fired, err := RunScenario(k)
+	res := CoverageResult{Kind: k, Fired: fired, Err: err}
+	if err != nil {
+		return res
+	}
+	seen := make(map[rules.ID]bool)
+	for _, v := range vs {
+		res.Detected = true
+		if v.Phase == "realtime" {
+			res.Realtime = true
+		}
+		if !seen[v.Rule] {
+			seen[v.Rule] = true
+			res.Rules = append(res.Rules, v.Rule)
+		}
+	}
+	sort.Slice(res.Rules, func(i, j int) bool { return res.Rules[i] < res.Rules[j] })
+	return res
+}
+
+// Coverage summarises results as (detected, total) over kinds whose
+// injection fired.
+func Coverage(results []CoverageResult) (detected, total int) {
+	for _, r := range results {
+		if r.Err != nil || !r.Fired {
+			continue
+		}
+		total++
+		if r.Detected {
+			detected++
+		}
+	}
+	return detected, total
+}
+
+// CoverageTable renders the E1 results in the layout of the paper's
+// robustness discussion: one row per fault kind with its taxonomy code,
+// level, whether it was detected, and the rules that caught it.
+func CoverageTable(results []CoverageResult) *Table {
+	t := NewTable("code", "fault", "level", "injected", "detected", "phase", "rules")
+	for _, r := range results {
+		detected := "no"
+		if r.Detected {
+			detected = "YES"
+		}
+		injected := "no"
+		if r.Fired {
+			injected = "yes"
+		}
+		phase := "periodic"
+		if r.Realtime {
+			phase = "realtime+periodic"
+		}
+		if !r.Detected {
+			phase = "-"
+		}
+		ruleList := ""
+		for i, id := range r.Rules {
+			if i > 0 {
+				ruleList += " "
+			}
+			ruleList += string(id)
+		}
+		if r.Err != nil {
+			detected = "ERR"
+			ruleList = r.Err.Error()
+		}
+		t.AddRow(r.Kind.Code(), r.Kind.String(), r.Kind.Level().String(),
+			injected, detected, phase, ruleList)
+	}
+	return t
+}
+
+// CoverageSummary renders the headline the paper reports: "The results
+// show that all injected faults are detected."
+func CoverageSummary(results []CoverageResult) string {
+	detected, total := Coverage(results)
+	return fmt.Sprintf("detected %d / %d injected fault kinds", detected, total)
+}

@@ -1,0 +1,597 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"robustmon/internal/apps/allocator"
+	"robustmon/internal/apps/boundedbuffer"
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+// The timer parameters every scenario runs with. The virtual clock is
+// advanced past all of them before the final checkpoint, so
+// timer-detected kinds (starvation, nontermination, unreleased
+// resources) fire deterministically.
+const (
+	scenTmax   = 10 * time.Second
+	scenTio    = 10 * time.Second
+	scenTlimit = 10 * time.Second
+	scenJump   = time.Minute
+)
+
+var scenEpoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// harness bundles the moving parts of one injection scenario.
+type harness struct {
+	db  *history.DB
+	clk *clock.Virtual
+	rt  *proc.Runtime
+	det *detect.Detector
+	rte *detect.RealTime
+}
+
+func newHarness() *harness {
+	return &harness{
+		db:  history.New(history.WithFullTrace()),
+		clk: clock.NewVirtual(scenEpoch),
+		rt:  proc.NewRuntime(),
+	}
+}
+
+// attach builds the detector over the given monitors.
+func (h *harness) attach(mons ...*monitor.Monitor) {
+	h.det = detect.New(h.db, detect.Config{
+		Tmax: scenTmax, Tio: scenTio, Tlimit: scenTlimit,
+		Clock: h.clk, HoldWorld: true,
+	}, mons...)
+}
+
+// finish advances virtual time past every timer, runs a final
+// checkpoint, aborts stragglers and joins the runtime. It returns all
+// violations from both phases.
+func (h *harness) finish() []rules.Violation {
+	h.det.CheckNow()
+	h.clk.Advance(scenJump)
+	h.det.CheckNow()
+	h.rt.AbortAll()
+	h.rt.Join()
+	out := h.det.Violations()
+	if h.rte != nil {
+		out = append(out, h.rte.Violations()...)
+	}
+	return out
+}
+
+// waitUntil polls pred with a real-time budget; scenarios use it to
+// sequence processes deterministically.
+func waitUntil(what string, pred func() bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("experiment: timeout waiting for %s", what)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return nil
+}
+
+func managerSpec() monitor.Spec {
+	return monitor.Spec{
+		Name: "m", Kind: monitor.OperationManager,
+		Conditions: []string{"ok"},
+		Procedures: []string{"Op"},
+	}
+}
+
+// newManager builds a plain operation-manager monitor with the
+// injector's hooks installed.
+func (h *harness) newManager(inj *faults.Injector) (*monitor.Monitor, error) {
+	return monitor.New(managerSpec(),
+		monitor.WithRecorder(h.db),
+		monitor.WithClock(h.clk),
+		monitor.WithHooks(inj.Hooks()),
+	)
+}
+
+// enterHold spawns a process that enters and holds the monitor until
+// the returned release function is called.
+func (h *harness) enterHold(m *monitor.Monitor) (release func(), err error) {
+	ch := make(chan struct{})
+	h.rt.Spawn("holder", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-ch
+		_ = m.Exit(p, "Op")
+	})
+	if err := waitUntil("holder inside", func() bool { return m.InsideCount() == 1 }); err != nil {
+		return nil, err
+	}
+	return func() { close(ch) }, nil
+}
+
+// RunScenario injects one fault kind into its matching workload and
+// returns every violation the two detection phases reported, plus
+// whether the injected deviation actually fired.
+func RunScenario(kind faults.Kind) (vs []rules.Violation, fired bool, err error) {
+	inj := faults.NewInjector(kind)
+	h := newHarness()
+	switch kind {
+	case faults.EnterMutexViolation:
+		err = scenarioEnterMutex(h, inj)
+	case faults.EnterLostProcess:
+		err = scenarioEnterLost(h, inj)
+	case faults.EnterNoResponse:
+		err = scenarioEnterNoResponse(h, inj)
+	case faults.EnterNotObserved:
+		err = scenarioBareEntry(h, inj)
+	case faults.WaitNoBlock:
+		err = scenarioWaitNoBlock(h, inj)
+	case faults.WaitLostProcess:
+		err = scenarioWaitLost(h, inj)
+	case faults.WaitNoHandoff:
+		err = scenarioWaitNoHandoff(h, inj)
+	case faults.WaitEntryStarved:
+		err = scenarioWaitStarved(h, inj)
+	case faults.WaitMutexViolation:
+		err = scenarioWaitMutex(h, inj)
+	case faults.WaitMonitorNotReleased:
+		err = scenarioWaitKeepLock(h, inj)
+	case faults.SignalNoResume:
+		err = scenarioSignalNoResume(h, inj)
+	case faults.SignalMonitorNotReleased:
+		err = scenarioSignalKeepLock(h, inj)
+	case faults.SignalMutexViolation:
+		err = scenarioSignalDoubleWake(h, inj)
+	case faults.InternalTermination:
+		err = scenarioInternalTermination(h, inj)
+	case faults.SendSpuriousDelay, faults.ReceiveSpuriousDelay,
+		faults.ReceiveOvertake, faults.SendOverflow:
+		err = scenarioBufferBug(h, inj)
+	case faults.ReleaseWithoutAcquire, faults.ResourceNeverReleased,
+		faults.SelfDeadlock:
+		err = scenarioUserBug(h, inj)
+	default:
+		return nil, false, fmt.Errorf("experiment: no scenario for fault kind %v", kind)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return h.finish(), injFired(inj, kind), nil
+}
+
+// injFired reports whether the deviation happened. Two kinds are
+// driven by the workload itself and fire by construction.
+func injFired(inj *faults.Injector, kind faults.Kind) bool {
+	if kind == faults.EnterNotObserved || kind == faults.InternalTermination {
+		return true
+	}
+	return inj.Fired() > 0
+}
+
+func scenarioEnterMutex(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	release, err := h.enterHold(m)
+	if err != nil {
+		return err
+	}
+	inj.Arm()
+	h.rt.Spawn("intruder", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op")
+	})
+	if err := waitUntil("intruder admitted", func() bool { return inj.Fired() > 0 }); err != nil {
+		return err
+	}
+	if err := waitUntil("intruder gone", func() bool { return m.InsideCount() == 1 }); err != nil {
+		return err
+	}
+	release()
+	return nil
+}
+
+func scenarioEnterLost(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	release, err := h.enterHold(m)
+	if err != nil {
+		return err
+	}
+	inj.Arm()
+	victim := h.rt.Spawn("victim", func(p *proc.P) { _ = m.Enter(p, "Op") })
+	if err := waitUntil("victim lost", func() bool { return victim.Status() == proc.Parked }); err != nil {
+		return err
+	}
+	release()
+	return waitUntil("monitor free", func() bool { return m.InsideCount() == 0 })
+}
+
+func scenarioEnterNoResponse(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	inj.Arm()
+	victim := h.rt.Spawn("victim", func(p *proc.P) { _ = m.Enter(p, "Op") })
+	return waitUntil("victim blocked on free monitor", func() bool {
+		return victim.Status() == proc.Parked && m.EntryLen() == 1
+	})
+}
+
+func scenarioBareEntry(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	h.rt.Spawn("ghost", func(p *proc.P) {
+		m.InjectBareEntry(p, "Op")
+		_ = m.Exit(p, "Op")
+	})
+	h.rt.Join()
+	return nil
+}
+
+func scenarioWaitNoBlock(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	inj.Arm()
+	h.rt.Spawn("runner", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		if err := m.Wait(p, "Op", "ok"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op") // runs on without any signal
+	})
+	h.rt.Join()
+	return nil
+}
+
+func scenarioWaitLost(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	inj.Arm()
+	victim := h.rt.Spawn("victim", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Wait(p, "Op", "ok")
+	})
+	return waitUntil("victim lost", func() bool {
+		return victim.Status() == proc.Parked && m.CondLen("ok") == 0
+	})
+}
+
+func scenarioWaitNoHandoff(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	goWait := make(chan struct{})
+	h.rt.Spawn("waiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-goWait
+		_ = m.Wait(p, "Op", "ok")
+	})
+	if err := waitUntil("waiter inside", func() bool { return m.InsideCount() == 1 }); err != nil {
+		return err
+	}
+	h.rt.Spawn("queued", func(p *proc.P) { _ = m.Enter(p, "Op") })
+	if err := waitUntil("queued on EQ", func() bool { return m.EntryLen() == 1 }); err != nil {
+		return err
+	}
+	inj.Arm()
+	close(goWait)
+	return waitUntil("handoff skipped", func() bool {
+		return m.InsideCount() == 0 && m.EntryLen() == 1
+	})
+}
+
+func scenarioWaitStarved(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	release, err := h.enterHold(m) // pid 1
+	if err != nil {
+		return err
+	}
+	inj.Arm()
+	inj.SetVictim(2)
+	victim := h.rt.Spawn("victim", func(p *proc.P) { _ = m.Enter(p, "Op") }) // pid 2
+	if err := waitUntil("victim queued", func() bool { return m.EntryLen() == 1 }); err != nil {
+		return err
+	}
+	h.rt.Spawn("other", func(p *proc.P) { // pid 3
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op")
+	})
+	if err := waitUntil("both queued", func() bool { return m.EntryLen() == 2 }); err != nil {
+		return err
+	}
+	release()
+	if err := waitUntil("victim overtaken", func() bool { return m.InsideCount() == 0 }); err != nil {
+		return err
+	}
+	return waitUntil("victim still parked", func() bool { return victim.Status() == proc.Parked })
+}
+
+func scenarioWaitMutex(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	goWait := make(chan struct{})
+	h.rt.Spawn("waiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-goWait
+		_ = m.Wait(p, "Op", "ok")
+	})
+	if err := waitUntil("waiter inside", func() bool { return m.InsideCount() == 1 }); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		h.rt.Spawn("queued", func(p *proc.P) {
+			if err := m.Enter(p, "Op"); err != nil {
+				return
+			}
+			_ = m.Exit(p, "Op")
+		})
+	}
+	if err := waitUntil("two queued", func() bool { return m.EntryLen() == 2 }); err != nil {
+		return err
+	}
+	inj.Arm()
+	close(goWait)
+	return waitUntil("deviation fired", func() bool { return inj.Fired() > 0 })
+}
+
+func scenarioWaitKeepLock(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	goWait := make(chan struct{})
+	waiter := h.rt.Spawn("waiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-goWait
+		_ = m.Wait(p, "Op", "ok")
+	})
+	if err := waitUntil("waiter inside", func() bool { return m.InsideCount() == 1 }); err != nil {
+		return err
+	}
+	h.rt.Spawn("queued", func(p *proc.P) { _ = m.Enter(p, "Op") })
+	if err := waitUntil("queued on EQ", func() bool { return m.EntryLen() == 1 }); err != nil {
+		return err
+	}
+	inj.Arm()
+	close(goWait)
+	return waitUntil("lock kept", func() bool {
+		return waiter.Status() == proc.Parked && m.InsideCount() == 1
+	})
+}
+
+func scenarioSignalNoResume(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	h.rt.Spawn("condWaiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Wait(p, "Op", "ok")
+	})
+	if err := waitUntil("cond waiter queued", func() bool { return m.CondLen("ok") == 1 }); err != nil {
+		return err
+	}
+	release, err := h.enterHold(m)
+	if err != nil {
+		return err
+	}
+	h.rt.Spawn("queued", func(p *proc.P) { _ = m.Enter(p, "Op") })
+	if err := waitUntil("queued on EQ", func() bool { return m.EntryLen() == 1 }); err != nil {
+		return err
+	}
+	inj.Arm()
+	release() // the exit resumes nobody
+	return waitUntil("nobody resumed", func() bool { return m.InsideCount() == 0 })
+}
+
+func scenarioSignalKeepLock(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	inj.Arm()
+	h.rt.Spawn("p", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op")
+	})
+	h.rt.Join()
+	return nil
+}
+
+func scenarioSignalDoubleWake(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	// The replay only exposes the double wake when the entry-queue
+	// waiter's exit is recorded while the condition waiter is still the
+	// reconstructed occupant (§3.3: post-checking cannot see transient
+	// states between events). Order the exits accordingly: the condition
+	// waiter leaves only after the EQ waiter has finished.
+	eqDone := make(chan struct{})
+	h.rt.Spawn("condWaiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		if err := m.Wait(p, "Op", "ok"); err != nil {
+			return
+		}
+		<-eqDone
+		_ = m.Exit(p, "Op")
+	})
+	if err := waitUntil("cond waiter queued", func() bool { return m.CondLen("ok") == 1 }); err != nil {
+		return err
+	}
+	hold := make(chan struct{})
+	h.rt.Spawn("signaler", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-hold
+		_ = m.SignalExit(p, "Op", "ok")
+	})
+	if err := waitUntil("signaler inside", func() bool { return m.InsideCount() == 1 }); err != nil {
+		return err
+	}
+	h.rt.Spawn("eqWaiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op")
+		close(eqDone)
+	})
+	if err := waitUntil("eq waiter queued", func() bool { return m.EntryLen() == 1 }); err != nil {
+		return err
+	}
+	inj.Arm()
+	close(hold)
+	if err := waitUntil("deviation fired", func() bool { return inj.Fired() > 0 }); err != nil {
+		return err
+	}
+	h.rt.Join()
+	return nil
+}
+
+func scenarioInternalTermination(h *harness, inj *faults.Injector) error {
+	m, err := h.newManager(inj)
+	if err != nil {
+		return err
+	}
+	h.attach(m)
+	h.rt.Spawn("dier", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		// Returns without exiting: fault I.d.
+	})
+	h.rt.Join()
+	return nil
+}
+
+func scenarioBufferBug(h *harness, inj *faults.Injector) error {
+	buf, err := boundedbuffer.New(1,
+		boundedbuffer.WithInjector(inj),
+		boundedbuffer.WithMonitorOptions(monitor.WithRecorder(h.db), monitor.WithClock(h.clk)),
+	)
+	if err != nil {
+		return err
+	}
+	h.attach(buf.Monitor())
+	// Prepare the state the bug needs: a full buffer for overflow bugs,
+	// one item for the spurious receive delay, empty otherwise.
+	switch inj.Kind() {
+	case faults.SendOverflow, faults.ReceiveSpuriousDelay:
+		h.rt.Spawn("prefill", func(p *proc.P) { _ = buf.Send(p, 0) })
+		h.rt.Join()
+	}
+	inj.Arm()
+	switch inj.Kind() {
+	case faults.SendSpuriousDelay, faults.SendOverflow:
+		h.rt.Spawn("sender", func(p *proc.P) { _ = buf.Send(p, 1) })
+	case faults.ReceiveSpuriousDelay, faults.ReceiveOvertake:
+		h.rt.Spawn("receiver", func(p *proc.P) { _, _ = buf.Receive(p) })
+	}
+	return waitUntil("buffer bug fired", func() bool { return inj.Fired() > 0 })
+}
+
+func scenarioUserBug(h *harness, inj *faults.Injector) error {
+	spec := allocator.Spec("allocator")
+	rte, err := detect.NewRealTime(h.db, []monitor.Spec{spec}, nil)
+	if err != nil {
+		return err
+	}
+	h.rte = rte
+	alloc, err := allocator.New(2,
+		allocator.WithMonitorOptions(monitor.WithRecorder(rte), monitor.WithClock(h.clk)),
+	)
+	if err != nil {
+		return err
+	}
+	h.attach(alloc.Monitor())
+	inj.Arm()
+	done := make(chan struct{})
+	switch inj.UserBug() {
+	case faults.UserReleaseFirst:
+		h.rt.Spawn("buggy", func(p *proc.P) {
+			defer close(done)
+			if inj.TryFire() {
+				_ = alloc.Release(p) // fault III.a
+			}
+		})
+	case faults.UserNeverRelease:
+		h.rt.Spawn("hog", func(p *proc.P) {
+			defer close(done)
+			if inj.TryFire() {
+				_ = alloc.Acquire(p) // never released: fault III.b
+			}
+		})
+	case faults.UserDoubleAcquire:
+		h.rt.Spawn("buggy", func(p *proc.P) {
+			defer close(done)
+			if err := alloc.Acquire(p); err != nil {
+				return
+			}
+			if inj.TryFire() {
+				_ = alloc.Acquire(p) // fault III.c
+			}
+		})
+	}
+	<-done
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package external implements external-consistency checking, an
+// extension the paper motivates in §1: "the external consistency of a
+// monitor, defined as the observation of a sequential constraint upon
+// the order of procedure invocation that may be initiated by any
+// individual user, must be proved separately for each program that
+// uses the monitor." Run-time checking replaces that per-program proof.
+//
+// An external order is a path expression over qualified procedure
+// names "monitor.Procedure", tracked per process across *all* monitors
+// — e.g. a program rule like "a process must acquire the lock before
+// touching the store and release it afterwards":
+//
+//	path lock.Acquire ; { store.Put , store.Get } ; lock.Release end
+//
+// Checker wraps the history recorder (like detect.RealTime) and steps
+// each process's matcher on every Enter event, reporting violations in
+// real time.
+package external
+
+import (
+	"fmt"
+	"sync"
+
+	"robustmon/internal/event"
+	"robustmon/internal/monitor"
+	"robustmon/internal/pathexpr"
+	"robustmon/internal/rules"
+)
+
+// ID is the rule identifier for external-consistency violations.
+const ID rules.ID = "EXT"
+
+// Checker enforces one program-wide external order. Construct with
+// NewChecker; attach as (or chain into) the monitors' Recorder.
+type Checker struct {
+	next monitor.Recorder
+	path *pathexpr.Path
+	onV  func(rules.Violation)
+
+	mu       sync.Mutex
+	matchers map[int64]*pathexpr.Matcher
+	found    []rules.Violation
+}
+
+// NewChecker compiles the external order declaration (a path
+// expression over "monitor.Procedure" names) and wraps next with its
+// enforcement. onViolation may be nil.
+func NewChecker(next monitor.Recorder, order string, onViolation func(rules.Violation)) (*Checker, error) {
+	p, err := pathexpr.Parse(order)
+	if err != nil {
+		return nil, fmt.Errorf("external: %w", err)
+	}
+	for _, sym := range p.Symbols() {
+		if !validQualified(sym) {
+			return nil, fmt.Errorf("external: symbol %q is not of the form monitor_Procedure or monitor.Procedure", sym)
+		}
+	}
+	return &Checker{
+		next:     next,
+		path:     p,
+		onV:      onViolation,
+		matchers: make(map[int64]*pathexpr.Matcher, 8),
+	}, nil
+}
+
+// Path identifiers cannot contain '.', so qualified names use '_' as
+// the separator in the expression; Qualify builds the canonical symbol
+// for a (monitor, procedure) pair.
+func Qualify(monitorName, procName string) string {
+	return monitorName + "_" + procName
+}
+
+func validQualified(sym string) bool {
+	for i := 1; i < len(sym)-1; i++ {
+		if sym[i] == '_' {
+			return true
+		}
+	}
+	return false
+}
+
+// Append implements monitor.Recorder: it forwards the event and steps
+// the issuing process's matcher on Enter events.
+func (c *Checker) Append(e event.Event) event.Event {
+	stored := c.next.Append(e)
+	if stored.Type != event.Enter {
+		return stored
+	}
+	sym := Qualify(stored.Monitor, stored.Proc)
+	if !c.path.Mentions(sym) {
+		return stored
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.matchers[stored.Pid]
+	if m == nil {
+		m = c.path.NewMatcher()
+		c.matchers[stored.Pid] = m
+	}
+	if err := m.Step(sym); err != nil {
+		v := rules.Violation{
+			Rule:    ID,
+			Monitor: stored.Monitor,
+			Pid:     stored.Pid,
+			Proc:    stored.Proc,
+			Seq:     stored.Seq,
+			At:      stored.Time,
+			Phase:   "realtime",
+			Message: fmt.Sprintf("external consistency: %v", err),
+		}
+		c.found = append(c.found, v)
+		if c.onV != nil {
+			c.onV(v)
+		}
+	}
+	return stored
+}
+
+// Violations returns the external-consistency violations found so far.
+func (c *Checker) Violations() []rules.Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]rules.Violation(nil), c.found...)
+}
+
+// PendingProcesses returns the pids that currently hold an unfinished
+// traversal (e.g. acquired but not yet released), for end-of-program
+// auditing.
+func (c *Checker) PendingProcesses() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int64
+	for pid, m := range c.matchers {
+		if !m.AtCycleBoundary() {
+			out = append(out, pid)
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package external
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// fixture: a lock monitor and a store monitor sharing one recorder
+// chain with the external order "lock then store ops then unlock".
+type fixture struct {
+	chk   *Checker
+	lock  *monitor.Monitor
+	store *monitor.Monitor
+	rt    *proc.Runtime
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	db := history.New()
+	chk, err := NewChecker(db,
+		"path lock_Acquire ; { store_Put , store_Get } ; lock_Release end", nil)
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	clk := clock.NewVirtual(epoch)
+	lock, err := monitor.New(monitor.Spec{
+		Name: "lock", Kind: monitor.OperationManager,
+		Conditions: []string{"free"}, Procedures: []string{"Acquire", "Release"},
+	}, monitor.WithRecorder(chk), monitor.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := monitor.New(monitor.Spec{
+		Name: "store", Kind: monitor.OperationManager,
+		Conditions: []string{"ok"}, Procedures: []string{"Put", "Get"},
+	}, monitor.WithRecorder(chk), monitor.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{chk: chk, lock: lock, store: store, rt: proc.NewRuntime()}
+}
+
+func call(m *monitor.Monitor, p *proc.P, procName string) {
+	if err := m.Enter(p, procName); err != nil {
+		return
+	}
+	_ = m.Exit(p, procName)
+}
+
+func TestCleanCrossMonitorOrder(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.rt.Spawn("good", func(p *proc.P) {
+		call(f.lock, p, "Acquire")
+		call(f.store, p, "Put")
+		call(f.store, p, "Get")
+		call(f.lock, p, "Release")
+	})
+	f.rt.Join()
+	if vs := f.chk.Violations(); len(vs) != 0 {
+		t.Fatalf("clean cross-monitor order flagged: %v", vs)
+	}
+	if pending := f.chk.PendingProcesses(); len(pending) != 0 {
+		t.Fatalf("pending = %v, want none", pending)
+	}
+}
+
+func TestStoreAccessWithoutLockFlagged(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.rt.Spawn("bad", func(p *proc.P) {
+		call(f.store, p, "Put") // never acquired the lock
+	})
+	f.rt.Join()
+	vs := f.chk.Violations()
+	if !rules.HasRule(vs, ID) {
+		t.Fatalf("violations = %v, want EXT", vs)
+	}
+	if vs[0].Phase != "realtime" || vs[0].Monitor != "store" {
+		t.Fatalf("violation = %+v", vs[0])
+	}
+}
+
+func TestUnlockWithoutLockFlagged(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.rt.Spawn("bad", func(p *proc.P) {
+		call(f.lock, p, "Release")
+	})
+	f.rt.Join()
+	if vs := f.chk.Violations(); !rules.HasRule(vs, ID) {
+		t.Fatalf("violations = %v, want EXT", vs)
+	}
+}
+
+func TestPerProcessIsolationAcrossMonitors(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	gate := make(chan struct{})
+	f.rt.Spawn("a", func(p *proc.P) {
+		call(f.lock, p, "Acquire")
+		<-gate
+		call(f.store, p, "Put")
+		call(f.lock, p, "Release")
+	})
+	f.rt.Spawn("b", func(p *proc.P) {
+		call(f.lock, p, "Acquire")
+		close(gate)
+		call(f.store, p, "Get")
+		call(f.lock, p, "Release")
+	})
+	f.rt.Join()
+	if vs := f.chk.Violations(); len(vs) != 0 {
+		t.Fatalf("interleaved clean processes flagged: %v", vs)
+	}
+}
+
+func TestPendingProcessesReportsOpenTraversals(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t)
+	f.rt.Spawn("holder", func(p *proc.P) {
+		call(f.lock, p, "Acquire")
+		// never releases
+	})
+	f.rt.Spawn("clean", func(p *proc.P) {
+		call(f.lock, p, "Acquire")
+		call(f.lock, p, "Release")
+	})
+	f.rt.Join()
+	pending := f.chk.PendingProcesses()
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	if len(pending) != 1 || pending[0] != 1 {
+		t.Fatalf("pending = %v, want [1]", pending)
+	}
+}
+
+func TestUnmentionedProceduresIgnored(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	chk, err := NewChecker(db, "path lock_Acquire ; lock_Release end", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual(epoch)
+	other, err := monitor.New(monitor.Spec{
+		Name: "other", Kind: monitor.OperationManager, Conditions: []string{"c"},
+	}, monitor.WithRecorder(chk), monitor.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := proc.NewRuntime()
+	rt.Spawn("p", func(p *proc.P) { call(other, p, "Anything") })
+	rt.Join()
+	if vs := chk.Violations(); len(vs) != 0 {
+		t.Fatalf("unmentioned monitor flagged: %v", vs)
+	}
+}
+
+func TestCallbackFires(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	var got []rules.Violation
+	chk, err := NewChecker(db, "path m_A ; m_B end", func(v rules.Violation) {
+		got = append(got, v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual(epoch)
+	m, err := monitor.New(monitor.Spec{
+		Name: "m", Kind: monitor.OperationManager, Conditions: []string{"c"},
+		Procedures: []string{"A", "B"},
+	}, monitor.WithRecorder(chk), monitor.WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := proc.NewRuntime()
+	rt.Spawn("p", func(p *proc.P) { call(m, p, "B") })
+	rt.Join()
+	if len(got) != 1 {
+		t.Fatalf("callback fired %d times, want 1", len(got))
+	}
+}
+
+func TestRejectsBadDeclarations(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	if _, err := NewChecker(db, "path ; end", nil); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if _, err := NewChecker(db, "path Acquire ; Release end", nil); err == nil {
+		t.Fatal("unqualified symbols accepted")
+	}
+}
+
+func TestQualify(t *testing.T) {
+	t.Parallel()
+	if got := Qualify("lock", "Acquire"); got != "lock_Acquire" {
+		t.Fatalf("Qualify = %q", got)
+	}
+}

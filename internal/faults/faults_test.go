@@ -1,0 +1,251 @@
+package faults
+
+import (
+	"testing"
+
+	"robustmon/internal/monitor"
+)
+
+func TestTaxonomyHasTwentyOneKinds(t *testing.T) {
+	t.Parallel()
+	all := AllKinds()
+	if len(all) != 21 || KindCount != 21 {
+		t.Fatalf("taxonomy has %d kinds (KindCount=%d), want 21", len(all), KindCount)
+	}
+	seenCodes := make(map[string]bool)
+	for _, k := range all {
+		if !k.Valid() {
+			t.Errorf("kind %d invalid", int(k))
+		}
+		if k.Code() == "?" || k.Description() == "unknown fault kind" {
+			t.Errorf("kind %v missing metadata", k)
+		}
+		if seenCodes[k.Code()] {
+			t.Errorf("duplicate taxonomy code %s", k.Code())
+		}
+		seenCodes[k.Code()] = true
+	}
+}
+
+func TestLevelPartition(t *testing.T) {
+	t.Parallel()
+	impl := KindsAtLevel(LevelImplementation)
+	procL := KindsAtLevel(LevelProcedure)
+	user := KindsAtLevel(LevelUser)
+	if len(impl) != 14 {
+		t.Errorf("implementation level has %d kinds, want 14", len(impl))
+	}
+	if len(procL) != 4 {
+		t.Errorf("procedure level has %d kinds, want 4", len(procL))
+	}
+	if len(user) != 3 {
+		t.Errorf("user level has %d kinds, want 3", len(user))
+	}
+	if len(impl)+len(procL)+len(user) != 21 {
+		t.Error("levels do not partition the taxonomy")
+	}
+}
+
+func TestKindStringAndCodes(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		k    Kind
+		name string
+		code string
+		lvl  Level
+	}{
+		{EnterMutexViolation, "enter-mutex-violation", "I.a.1", LevelImplementation},
+		{InternalTermination, "internal-termination", "I.d", LevelImplementation},
+		{SendOverflow, "send-overflow", "II.d", LevelProcedure},
+		{SelfDeadlock, "self-deadlock", "III.c", LevelUser},
+	}
+	for _, tc := range cases {
+		if tc.k.String() != tc.name || tc.k.Code() != tc.code || tc.k.Level() != tc.lvl {
+			t.Errorf("kind %d = (%s,%s,%v), want (%s,%s,%v)",
+				int(tc.k), tc.k.String(), tc.k.Code(), tc.k.Level(), tc.name, tc.code, tc.lvl)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" || Kind(99).Valid() {
+		t.Error("unknown kind not handled")
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Error("unknown level not handled")
+	}
+}
+
+func TestInjectorDisarmedByDefault(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(WaitNoBlock)
+	h := i.Hooks()
+	if got := h.Wait(1, "P", "c"); got != monitor.WaitDefault {
+		t.Fatalf("disarmed injector deviated: %v", got)
+	}
+	if i.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", i.Fired())
+	}
+}
+
+func TestInjectorFiresOncePerArming(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(WaitNoBlock)
+	i.Arm()
+	h := i.Hooks()
+	if got := h.Wait(1, "P", "c"); got != monitor.WaitNoBlock {
+		t.Fatalf("armed injector did not deviate: %v", got)
+	}
+	if got := h.Wait(1, "P", "c"); got != monitor.WaitDefault {
+		t.Fatalf("once-only injector deviated twice: %v", got)
+	}
+	if i.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", i.Fired())
+	}
+	i.Arm() // re-arming resets the budget
+	if got := h.Wait(1, "P", "c"); got != monitor.WaitNoBlock {
+		t.Fatalf("re-armed injector did not deviate: %v", got)
+	}
+}
+
+func TestInjectorFireEveryTime(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(SignalNoResume, FireEveryTime())
+	i.Arm()
+	h := i.Hooks()
+	for n := 0; n < 3; n++ {
+		if got := h.SignalExit(1, "P", "c"); got != monitor.SignalNoWake {
+			t.Fatalf("firing %d: got %v", n, got)
+		}
+	}
+	if i.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", i.Fired())
+	}
+}
+
+func TestInjectorDisarmStopsFiring(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(EnterLostProcess, FireEveryTime())
+	i.Arm()
+	i.Disarm()
+	h := i.Hooks()
+	if got := h.Enter(1, "P", false); got != monitor.EnterDefault {
+		t.Fatalf("disarmed injector deviated: %v", got)
+	}
+}
+
+func TestEnterMutexViolationNeedsOccupancy(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(EnterMutexViolation)
+	i.Arm()
+	h := i.Hooks()
+	if got := h.Enter(1, "P", false); got != monitor.EnterDefault {
+		t.Fatalf("deviated on a free monitor: %v", got)
+	}
+	if got := h.Enter(1, "P", true); got != monitor.EnterForceGrant {
+		t.Fatalf("did not deviate on an occupied monitor: %v", got)
+	}
+}
+
+func TestEnterNoResponseNeedsFreeMonitor(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(EnterNoResponse)
+	i.Arm()
+	h := i.Hooks()
+	if got := h.Enter(1, "P", true); got != monitor.EnterDefault {
+		t.Fatalf("deviated on an occupied monitor: %v", got)
+	}
+	if got := h.Enter(1, "P", false); got != monitor.EnterForceBlock {
+		t.Fatalf("did not deviate on a free monitor: %v", got)
+	}
+}
+
+func TestVictimTargeting(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(WaitEntryStarved, FireEveryTime())
+	i.Arm()
+	i.SetVictim(7)
+	h := i.Hooks()
+	if h.SkipHandoff(3) {
+		t.Fatal("skipped a non-victim")
+	}
+	if !h.SkipHandoff(7) {
+		t.Fatal("did not skip the victim")
+	}
+	if i.Fired() == 0 {
+		t.Fatal("victim skip not counted as firing")
+	}
+}
+
+func TestHookMapping(t *testing.T) {
+	t.Parallel()
+	hookKinds := map[Kind]bool{
+		EnterMutexViolation: true, EnterLostProcess: true, EnterNoResponse: true,
+		WaitNoBlock: true, WaitLostProcess: true, WaitNoHandoff: true,
+		WaitEntryStarved: true, WaitMutexViolation: true, WaitMonitorNotReleased: true,
+		SignalNoResume: true, SignalMonitorNotReleased: true, SignalMutexViolation: true,
+	}
+	for _, k := range AllKinds() {
+		h := NewInjector(k).Hooks()
+		hasHook := h.Enter != nil || h.Wait != nil || h.SignalExit != nil || h.SkipHandoff != nil
+		if hasHook != hookKinds[k] {
+			t.Errorf("kind %v: hook presence = %v, want %v", k, hasHook, hookKinds[k])
+		}
+	}
+}
+
+func TestBufferBugMapping(t *testing.T) {
+	t.Parallel()
+	cases := map[Kind]BufferBug{
+		SendSpuriousDelay:    BufSendSpuriousDelay,
+		ReceiveSpuriousDelay: BufReceiveSpuriousDelay,
+		ReceiveOvertake:      BufReceiveSkipEmptyCheck,
+		SendOverflow:         BufSendSkipFullCheck,
+		WaitNoBlock:          BufNone,
+	}
+	for k, want := range cases {
+		if got := NewInjector(k).BufferBug(); got != want {
+			t.Errorf("kind %v BufferBug = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestUserBugMapping(t *testing.T) {
+	t.Parallel()
+	cases := map[Kind]UserBug{
+		ReleaseWithoutAcquire: UserReleaseFirst,
+		ResourceNeverReleased: UserNeverRelease,
+		SelfDeadlock:          UserDoubleAcquire,
+		SendOverflow:          UserNone,
+	}
+	for k, want := range cases {
+		if got := NewInjector(k).UserBug(); got != want {
+			t.Errorf("kind %v UserBug = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestWorkloadPredicates(t *testing.T) {
+	t.Parallel()
+	if !NewInjector(EnterNotObserved).WantsBareEntry() {
+		t.Error("EnterNotObserved should want bare entry")
+	}
+	if !NewInjector(InternalTermination).WantsTermination() {
+		t.Error("InternalTermination should want termination")
+	}
+	if NewInjector(WaitNoBlock).WantsBareEntry() || NewInjector(WaitNoBlock).WantsTermination() {
+		t.Error("unrelated kind triggered workload predicates")
+	}
+}
+
+func TestTryFireRespectsArming(t *testing.T) {
+	t.Parallel()
+	i := NewInjector(SendOverflow)
+	if i.TryFire() {
+		t.Fatal("TryFire fired while disarmed")
+	}
+	i.Arm()
+	if !i.TryFire() {
+		t.Fatal("TryFire did not fire while armed")
+	}
+	if i.TryFire() {
+		t.Fatal("TryFire exceeded once-only budget")
+	}
+}

@@ -1,0 +1,275 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"robustmon/internal/monitor"
+)
+
+// BufferBug selects a deliberate bug in a bounded-buffer implementation
+// (the monitor-procedure-level faults, §2.2 II). The boundedbuffer app
+// consults it on every Send/Receive.
+type BufferBug int
+
+// Buffer bugs.
+const (
+	// BufNone is a correct buffer.
+	BufNone BufferBug = iota
+	// BufSendSpuriousDelay makes Send wait although the buffer has room
+	// — fault II.a.
+	BufSendSpuriousDelay
+	// BufReceiveSpuriousDelay makes Receive wait although the buffer has
+	// items — fault II.b.
+	BufReceiveSpuriousDelay
+	// BufReceiveSkipEmptyCheck makes Receive proceed on an empty buffer
+	// — fault II.c (r overtakes s).
+	BufReceiveSkipEmptyCheck
+	// BufSendSkipFullCheck makes Send proceed on a full buffer — fault
+	// II.d (s exceeds r+Rmax).
+	BufSendSkipFullCheck
+)
+
+// UserBug selects a misbehaving user process against an allocator
+// monitor (the user-process-level faults, §2.2 III).
+type UserBug int
+
+// User bugs.
+const (
+	// UserNone is a correct user process.
+	UserNone UserBug = iota
+	// UserReleaseFirst releases before acquiring — fault III.a.
+	UserReleaseFirst
+	// UserNeverRelease acquires and never releases — fault III.b.
+	UserNeverRelease
+	// UserDoubleAcquire acquires twice without releasing — fault III.c.
+	UserDoubleAcquire
+)
+
+// Injector realises one fault kind. It is safe for concurrent use.
+//
+// Implementation-level kinds surface as monitor Hooks (attach Hooks()
+// to the monitor under test); procedure-level kinds surface as a
+// BufferBug; user-level kinds as a UserBug; two kinds
+// (EnterNotObserved, InternalTermination) are realised by the workload
+// driver itself and surface as the WantsBareEntry / WantsTermination
+// predicates.
+//
+// The injector is disarmed until Arm is called and, by default, fires
+// its deviation exactly once per arming so a run contains one fault
+// occurrence whose detection can be asserted.
+type Injector struct {
+	kind  Kind
+	every bool // fire on every opportunity instead of once
+
+	mu     sync.Mutex
+	armed  bool
+	victim int64
+	fired  atomic.Int64
+}
+
+// InjectorOption configures an Injector.
+type InjectorOption func(*Injector)
+
+// FireEveryTime makes the deviation fire on every opportunity while
+// armed, instead of once per arming.
+func FireEveryTime() InjectorOption {
+	return func(i *Injector) { i.every = true }
+}
+
+// NewInjector returns a disarmed injector for the given fault kind.
+func NewInjector(kind Kind, opts ...InjectorOption) *Injector {
+	i := &Injector{kind: kind}
+	for _, o := range opts {
+		o(i)
+	}
+	return i
+}
+
+// Kind returns the injected fault kind.
+func (i *Injector) Kind() Kind { return i.kind }
+
+// Arm enables the deviation (and resets the once-per-arming budget).
+func (i *Injector) Arm() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.armed = true
+	i.fired.Store(0)
+}
+
+// Disarm disables the deviation.
+func (i *Injector) Disarm() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.armed = false
+}
+
+// SetVictim selects the pid targeted by victim-specific kinds
+// (WaitEntryStarved starves exactly this process).
+func (i *Injector) SetVictim(pid int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.victim = pid
+}
+
+// Fired reports how many times the deviation actually happened.
+func (i *Injector) Fired() int64 { return i.fired.Load() }
+
+// take consumes one firing opportunity. It returns false when disarmed
+// or when the once-only budget is spent.
+func (i *Injector) take() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.armed {
+		return false
+	}
+	if !i.every && i.fired.Load() > 0 {
+		return false
+	}
+	i.fired.Add(1)
+	return true
+}
+
+// Hooks returns the monitor hooks realising an implementation-level
+// kind. For other levels it returns zero hooks (a correct monitor).
+func (i *Injector) Hooks() monitor.Hooks {
+	switch i.kind {
+	case EnterMutexViolation:
+		return monitor.Hooks{Enter: func(_ int64, _ string, occupied bool) monitor.EnterAction {
+			if occupied && i.take() {
+				return monitor.EnterForceGrant
+			}
+			return monitor.EnterDefault
+		}}
+	case EnterLostProcess:
+		return monitor.Hooks{Enter: func(int64, string, bool) monitor.EnterAction {
+			if i.take() {
+				return monitor.EnterDrop
+			}
+			return monitor.EnterDefault
+		}}
+	case EnterNoResponse:
+		return monitor.Hooks{Enter: func(_ int64, _ string, occupied bool) monitor.EnterAction {
+			if !occupied && i.take() {
+				return monitor.EnterForceBlock
+			}
+			return monitor.EnterDefault
+		}}
+	case WaitNoBlock:
+		return monitor.Hooks{Wait: func(int64, string, string) monitor.WaitAction {
+			if i.take() {
+				return monitor.WaitNoBlock
+			}
+			return monitor.WaitDefault
+		}}
+	case WaitLostProcess:
+		return monitor.Hooks{Wait: func(int64, string, string) monitor.WaitAction {
+			if i.take() {
+				return monitor.WaitDrop
+			}
+			return monitor.WaitDefault
+		}}
+	case WaitNoHandoff:
+		return monitor.Hooks{Wait: func(int64, string, string) monitor.WaitAction {
+			if i.take() {
+				return monitor.WaitNoHandoff
+			}
+			return monitor.WaitDefault
+		}}
+	case WaitEntryStarved:
+		return monitor.Hooks{SkipHandoff: func(pid int64) bool {
+			i.mu.Lock()
+			armed, victim := i.armed, i.victim
+			i.mu.Unlock()
+			if armed && pid == victim {
+				i.fired.Add(1)
+				return true
+			}
+			return false
+		}}
+	case WaitMutexViolation:
+		return monitor.Hooks{Wait: func(int64, string, string) monitor.WaitAction {
+			if i.take() {
+				return monitor.WaitDoubleHandoff
+			}
+			return monitor.WaitDefault
+		}}
+	case WaitMonitorNotReleased:
+		return monitor.Hooks{Wait: func(int64, string, string) monitor.WaitAction {
+			if i.take() {
+				return monitor.WaitKeepLock
+			}
+			return monitor.WaitDefault
+		}}
+	case SignalNoResume:
+		return monitor.Hooks{SignalExit: func(int64, string, string) monitor.SignalAction {
+			if i.take() {
+				return monitor.SignalNoWake
+			}
+			return monitor.SignalDefault
+		}}
+	case SignalMonitorNotReleased:
+		return monitor.Hooks{SignalExit: func(int64, string, string) monitor.SignalAction {
+			if i.take() {
+				return monitor.SignalKeepLock
+			}
+			return monitor.SignalDefault
+		}}
+	case SignalMutexViolation:
+		return monitor.Hooks{SignalExit: func(int64, string, string) monitor.SignalAction {
+			if i.take() {
+				return monitor.SignalDoubleWake
+			}
+			return monitor.SignalDefault
+		}}
+	default:
+		return monitor.Hooks{}
+	}
+}
+
+// BufferBug returns the buffer bug realising a procedure-level kind
+// (BufNone otherwise). The returned value is constant; the buffer app
+// must still call TryFire at the faulting site so firing is counted and
+// respects arming.
+func (i *Injector) BufferBug() BufferBug {
+	switch i.kind {
+	case SendSpuriousDelay:
+		return BufSendSpuriousDelay
+	case ReceiveSpuriousDelay:
+		return BufReceiveSpuriousDelay
+	case ReceiveOvertake:
+		return BufReceiveSkipEmptyCheck
+	case SendOverflow:
+		return BufSendSkipFullCheck
+	default:
+		return BufNone
+	}
+}
+
+// UserBug returns the user-process bug realising a user-level kind
+// (UserNone otherwise).
+func (i *Injector) UserBug() UserBug {
+	switch i.kind {
+	case ReleaseWithoutAcquire:
+		return UserReleaseFirst
+	case ResourceNeverReleased:
+		return UserNeverRelease
+	case SelfDeadlock:
+		return UserDoubleAcquire
+	default:
+		return UserNone
+	}
+}
+
+// WantsBareEntry reports whether the workload should smuggle a process
+// into the monitor without Enter (fault I.a.4).
+func (i *Injector) WantsBareEntry() bool { return i.kind == EnterNotObserved }
+
+// WantsTermination reports whether the workload should terminate a
+// process inside the monitor (fault I.d).
+func (i *Injector) WantsTermination() bool { return i.kind == InternalTermination }
+
+// TryFire consumes a firing opportunity for workload- and app-level
+// kinds (bare entry, termination, buffer bugs, user bugs). It returns
+// true when the deviation should happen now.
+func (i *Injector) TryFire() bool { return i.take() }

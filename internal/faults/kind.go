@@ -1,0 +1,202 @@
+// Package faults enumerates the paper's taxonomy of twenty-one
+// concurrency-control faults (§2.2) and provides the Injector used by
+// the robustness experiment (§4): each fault kind maps to a deviation
+// in the monitor protocol (via monitor.Hooks), a deliberate bug in the
+// monitor procedures, or a misbehaving user process.
+package faults
+
+import "fmt"
+
+// Level is the taxonomy level of a fault (§2.2 I/II/III).
+type Level int
+
+// The three taxonomy levels.
+const (
+	// LevelImplementation faults live in the monitor primitives
+	// themselves (Enter/Wait/Signal-Exit protocol errors).
+	LevelImplementation Level = iota + 1
+	// LevelProcedure faults are monitor procedure operations that leave
+	// shared-resource state inconsistent (coordinator integrity).
+	LevelProcedure
+	// LevelUser faults are logic errors in user processes (calling-order
+	// violations on allocator monitors).
+	LevelUser
+)
+
+// String names the level as in the paper.
+func (l Level) String() string {
+	switch l {
+	case LevelImplementation:
+		return "implementation"
+	case LevelProcedure:
+		return "monitor-procedure"
+	case LevelUser:
+		return "user-process"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Kind identifies one fault from the taxonomy.
+type Kind int
+
+// The twenty-one fault kinds of §2.2, in the paper's order.
+const (
+	// EnterMutexViolation — I.a.1: two or more processes have entered
+	// the monitor at the same time.
+	EnterMutexViolation Kind = iota + 1
+	// EnterLostProcess — I.a.2: the requesting process is neither queued
+	// nor admitted.
+	EnterLostProcess
+	// EnterNoResponse — I.a.3: the process is queued indefinitely, or
+	// blocked although no process is inside the monitor.
+	EnterNoResponse
+	// EnterNotObserved — I.a.4: a process runs inside the monitor
+	// without having invoked Enter.
+	EnterNotObserved
+	// WaitNoBlock — I.b.1: the caller is not blocked and keeps running
+	// inside the monitor.
+	WaitNoBlock
+	// WaitLostProcess — I.b.2: the caller is neither queued on the
+	// condition nor running.
+	WaitLostProcess
+	// WaitNoHandoff — I.b.3: no entry-queue waiter is resumed when the
+	// caller blocks.
+	WaitNoHandoff
+	// WaitEntryStarved — I.b.4: a specific entry-queue waiter is never
+	// resumed.
+	WaitEntryStarved
+	// WaitMutexViolation — I.b.5: more than one entry-queue waiter is
+	// resumed when the caller blocks.
+	WaitMutexViolation
+	// WaitMonitorNotReleased — I.b.6: the caller blocks without
+	// releasing the monitor.
+	WaitMonitorNotReleased
+	// SignalNoResume — I.c.1: no waiter (condition or entry) is resumed
+	// when the caller exits.
+	SignalNoResume
+	// SignalMonitorNotReleased — I.c.2: the caller exits but the monitor
+	// stays held.
+	SignalMonitorNotReleased
+	// SignalMutexViolation — I.c.3: more than one process is resumed
+	// when the caller exits.
+	SignalMutexViolation
+	// InternalTermination — I.d: a process terminates inside the monitor
+	// without ever exiting.
+	InternalTermination
+	// SendSpuriousDelay — II.a: Send is delayed although the buffer is
+	// not full (or not delayed although it is; see SendOverflow).
+	SendSpuriousDelay
+	// ReceiveSpuriousDelay — II.b: Receive is delayed although the
+	// buffer is not empty (or not delayed although it is; see
+	// ReceiveOvertake).
+	ReceiveSpuriousDelay
+	// ReceiveOvertake — II.c: successful Receives exceed successful
+	// Sends (a receive completed on an empty buffer).
+	ReceiveOvertake
+	// SendOverflow — II.d: successful Sends exceed Rmax plus successful
+	// Receives (a send completed on a full buffer).
+	SendOverflow
+	// ReleaseWithoutAcquire — III.a: a process releases a resource it
+	// never acquired.
+	ReleaseWithoutAcquire
+	// ResourceNeverReleased — III.b: a process never releases an
+	// acquired resource.
+	ResourceNeverReleased
+	// SelfDeadlock — III.c: a process re-acquires a resource it already
+	// holds.
+	SelfDeadlock
+)
+
+// KindCount is the number of fault kinds in the taxonomy.
+const KindCount = int(SelfDeadlock)
+
+// info is the static metadata of one fault kind.
+type info struct {
+	name  string
+	code  string // the paper's taxonomy index
+	level Level
+	desc  string
+}
+
+var kindInfo = map[Kind]info{
+	EnterMutexViolation:      {"enter-mutex-violation", "I.a.1", LevelImplementation, "mutual exclusion not guaranteed on Enter"},
+	EnterLostProcess:         {"enter-lost-process", "I.a.2", LevelImplementation, "requesting process lost (neither queued nor admitted)"},
+	EnterNoResponse:          {"enter-no-response", "I.a.3", LevelImplementation, "requesting process receives no response"},
+	EnterNotObserved:         {"enter-not-observed", "I.a.4", LevelImplementation, "process inside monitor without invoking Enter"},
+	WaitNoBlock:              {"wait-no-block", "I.b.1", LevelImplementation, "synchronisation not guaranteed: Wait does not block"},
+	WaitLostProcess:          {"wait-lost-process", "I.b.2", LevelImplementation, "waiting process lost (neither queued nor running)"},
+	WaitNoHandoff:            {"wait-no-handoff", "I.b.3", LevelImplementation, "entry waiters not resumed on Wait"},
+	WaitEntryStarved:         {"wait-entry-starved", "I.b.4", LevelImplementation, "entry waiter starved (never resumed)"},
+	WaitMutexViolation:       {"wait-mutex-violation", "I.b.5", LevelImplementation, "mutual exclusion not guaranteed on Wait handoff"},
+	WaitMonitorNotReleased:   {"wait-monitor-not-released", "I.b.6", LevelImplementation, "monitor not released when caller blocks"},
+	SignalNoResume:           {"signal-no-resume", "I.c.1", LevelImplementation, "waiting processes not resumed on Signal-Exit"},
+	SignalMonitorNotReleased: {"signal-monitor-not-released", "I.c.2", LevelImplementation, "monitor not released on Signal-Exit"},
+	SignalMutexViolation:     {"signal-mutex-violation", "I.c.3", LevelImplementation, "mutual exclusion not guaranteed on Signal-Exit"},
+	InternalTermination:      {"internal-termination", "I.d", LevelImplementation, "process terminated inside the monitor"},
+	SendSpuriousDelay:        {"send-spurious-delay", "II.a", LevelProcedure, "Send delayed although the buffer is not full"},
+	ReceiveSpuriousDelay:     {"receive-spurious-delay", "II.b", LevelProcedure, "Receive delayed although the buffer is not empty"},
+	ReceiveOvertake:          {"receive-overtake", "II.c", LevelProcedure, "successful Receives exceed successful Sends"},
+	SendOverflow:             {"send-overflow", "II.d", LevelProcedure, "successful Sends exceed capacity plus Receives"},
+	ReleaseWithoutAcquire:    {"release-without-acquire", "III.a", LevelUser, "resource released before being acquired"},
+	ResourceNeverReleased:    {"resource-never-released", "III.b", LevelUser, "acquired resource never released"},
+	SelfDeadlock:             {"self-deadlock", "III.c", LevelUser, "resource re-acquired while already held"},
+}
+
+// String returns the kebab-case fault name.
+func (k Kind) String() string {
+	if in, ok := kindInfo[k]; ok {
+		return in.name
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Code returns the paper's taxonomy index, e.g. "I.a.1".
+func (k Kind) Code() string {
+	if in, ok := kindInfo[k]; ok {
+		return in.code
+	}
+	return "?"
+}
+
+// Level returns the taxonomy level.
+func (k Kind) Level() Level {
+	if in, ok := kindInfo[k]; ok {
+		return in.level
+	}
+	return 0
+}
+
+// Description returns the one-line fault description from §2.2.
+func (k Kind) Description() string {
+	if in, ok := kindInfo[k]; ok {
+		return in.desc
+	}
+	return "unknown fault kind"
+}
+
+// Valid reports whether k is in the taxonomy.
+func (k Kind) Valid() bool {
+	_, ok := kindInfo[k]
+	return ok
+}
+
+// AllKinds returns the taxonomy in the paper's order.
+func AllKinds() []Kind {
+	out := make([]Kind, 0, KindCount)
+	for k := EnterMutexViolation; k <= SelfDeadlock; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// KindsAtLevel returns the kinds on one taxonomy level, in order.
+func KindsAtLevel(l Level) []Kind {
+	var out []Kind
+	for _, k := range AllKinds() {
+		if k.Level() == l {
+			out = append(out, k)
+		}
+	}
+	return out
+}

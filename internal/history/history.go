@@ -1,0 +1,181 @@
+// Package history is the history-information database of §3/§4.
+//
+// Data-gathering routines (the instrumented monitor primitives) append
+// scheduling events in real time; the checking routine drains the
+// segment of events recorded since the previous checkpoint and replays
+// it against the checking lists. Following §3.3 — "only a small amount
+// of information needs to be kept … most of the information can be
+// removed after being used" — a drained segment is discarded unless the
+// database was configured to keep the full trace (useful for offline
+// FD-rule checking, export, and the T=1 accuracy mode).
+package history
+
+import (
+	"io"
+	"sync"
+
+	"robustmon/internal/event"
+	"robustmon/internal/state"
+)
+
+// DB is a concurrent, append-only event store with checkpoint draining.
+// Construct with New.
+type DB struct {
+	mu       sync.Mutex
+	nextSeq  int64
+	segment  []event.Event
+	full     event.Seq
+	keepFull bool
+	total    int64
+	states   []state.Snapshot
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithFullTrace keeps every event ever recorded (in addition to the
+// per-checkpoint segment) so the run can be exported or re-checked
+// offline. Without it the database holds only the current segment, as
+// in the paper's space-efficient strategy.
+func WithFullTrace() Option {
+	return func(db *DB) { db.keepFull = true }
+}
+
+// New returns an empty database.
+func New(opts ...Option) *DB {
+	db := &DB{}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Append records the event, assigns it the next sequence number
+// (starting at 1), and returns the stored copy.
+func (db *DB) Append(e event.Event) event.Event {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextSeq++
+	e.Seq = db.nextSeq
+	db.segment = append(db.segment, e)
+	if db.keepFull {
+		db.full = append(db.full, e)
+	}
+	db.total++
+	return e
+}
+
+// Drain returns the events recorded since the previous Drain (the
+// checking segment L = l1…ln of Algorithm 1–3) and resets the segment.
+func (db *DB) Drain() event.Seq {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seg := event.Seq(db.segment)
+	db.segment = nil
+	return seg
+}
+
+// Peek returns a copy of the current segment without draining it.
+func (db *DB) Peek() event.Seq {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append(event.Seq(nil), db.segment...)
+}
+
+// LastSeq returns the sequence number of the most recently recorded
+// event (0 when nothing was recorded yet).
+func (db *DB) LastSeq() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.nextSeq
+}
+
+// Total returns the number of events ever recorded.
+func (db *DB) Total() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.total
+}
+
+// SegmentLen returns the number of events in the current segment.
+func (db *DB) SegmentLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.segment)
+}
+
+// Full returns a copy of the complete trace. It returns nil unless the
+// database was built with WithFullTrace.
+func (db *DB) Full() event.Seq {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.keepFull {
+		return nil
+	}
+	return append(event.Seq(nil), db.full...)
+}
+
+// KeepsFull reports whether the database retains the complete trace.
+func (db *DB) KeepsFull() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.keepFull
+}
+
+// AppendState records a checkpoint snapshot — §4's database "consists
+// of the scheduling event sequence recorded during monitor operation
+// AND the checking lists generated at the checking points". The
+// detector records each monitor's frozen snapshot here so offline
+// tooling can reconstruct the exact checkpoint boundaries.
+//
+// Snapshots are only retained when the database keeps the full trace;
+// in the space-efficient configuration they are discarded like drained
+// segments.
+func (db *DB) AppendState(snap state.Snapshot) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.keepFull {
+		return
+	}
+	db.states = append(db.states, snap.Clone())
+}
+
+// States returns the recorded checkpoint snapshots in order (nil
+// without WithFullTrace).
+func (db *DB) States() []state.Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]state.Snapshot, 0, len(db.states))
+	for _, s := range db.states {
+		out = append(out, s.Clone())
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// LastState returns the most recent checkpoint snapshot for the named
+// monitor, if one was recorded.
+func (db *DB) LastState(monitorName string) (state.Snapshot, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i := len(db.states) - 1; i >= 0; i-- {
+		if db.states[i].Monitor == monitorName {
+			return db.states[i].Clone(), true
+		}
+	}
+	return state.Snapshot{}, false
+}
+
+// ExportJSON writes the full trace as JSON Lines. It requires
+// WithFullTrace.
+func (db *DB) ExportJSON(w io.Writer) error {
+	return event.WriteJSON(w, db.Full())
+}
+
+// ExportBinary writes the full trace in the binary format. It requires
+// WithFullTrace.
+func (db *DB) ExportBinary(w io.Writer) error {
+	return event.WriteBinary(w, db.Full())
+}

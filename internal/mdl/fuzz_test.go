@@ -1,0 +1,37 @@
+package mdl
+
+import "testing"
+
+// FuzzParse checks the declaration parser never panics, and that every
+// accepted declaration survives a Format/Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		bufferDecl,
+		allocDecl,
+		"m: Monitor (manager); cond ok; end m.",
+		"m: Monitor (manager); end",
+		"m: Monitor(widget); end m.",
+		"m: Monitor (allocator); path a ; b end; acquire a; release b; end m.",
+		"# only a comment",
+		":;,(){}",
+		"m: Monitor (coordinator); rmax 999999999; send S; receive R; cond c; end m.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		specs, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, spec := range specs {
+			again, err := Parse(Format(spec))
+			if err != nil {
+				t.Fatalf("Format output does not reparse: %v\n%s", err, Format(spec))
+			}
+			if len(again) != 1 || again[0].Name != spec.Name || again[0].Kind != spec.Kind {
+				t.Fatalf("round trip changed the declaration: %+v vs %+v", spec, again)
+			}
+		}
+	})
+}

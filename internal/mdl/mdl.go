@@ -1,0 +1,369 @@
+// Package mdl parses the textual monitor declaration language — the
+// "general form of the monitor specification" of §4:
+//
+//	MonitorName: Monitor (type);
+//	    Declarations of local variables;
+//	    Declarations of condition variables;
+//	    Specification of procedure call orders;
+//	    Declarations of monitor procedures;
+//	    ...
+//	End MonitorName.
+//
+// concretely rendered here as
+//
+//	buffer: Monitor (communication-coordinator);
+//	    cond notFull, notEmpty;
+//	    proc Send, Receive;
+//	    rmax 4;
+//	    send Send;
+//	    receive Receive;
+//	end buffer.
+//
+//	disk: Monitor (resource-access-right-allocator);
+//	    cond free;
+//	    proc Acquire, Release;
+//	    path Acquire ; Release end;
+//	    acquire Acquire;
+//	    release Release;
+//	end disk.
+//
+// A file may declare several monitors. Parse returns monitor.Spec
+// values ready for monitor.New or offline checking, so tools
+// (cmd/montrace -spec) can work with declarations instead of
+// hard-coded specs.
+package mdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"robustmon/internal/monitor"
+)
+
+// ParseError reports a declaration syntax error with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("mdl: line %d: %s", e.Line, e.Msg)
+}
+
+// kindNames maps accepted class names (long form per the paper, plus
+// the short aliases the tools use) to monitor kinds.
+var kindNames = map[string]monitor.Kind{
+	"communication-coordinator":       monitor.CommunicationCoordinator,
+	"coordinator":                     monitor.CommunicationCoordinator,
+	"resource-access-right-allocator": monitor.ResourceAllocator,
+	"allocator":                       monitor.ResourceAllocator,
+	"resource-operation-manager":      monitor.OperationManager,
+	"manager":                         monitor.OperationManager,
+}
+
+// Parse parses one or more monitor declarations and validates each
+// resulting spec.
+func Parse(src string) ([]monitor.Spec, error) {
+	toks, err := scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var specs []monitor.Spec
+	for !p.atEOF() {
+		spec, err := p.parseMonitor()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("mdl: declaration %q: %w", spec.Name, err)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, &ParseError{Line: 1, Msg: "no monitor declaration found"}
+	}
+	return specs, nil
+}
+
+// token kinds: identifiers/numbers carry text; punctuation carries the
+// rune itself.
+type mtoken struct {
+	text string
+	line int
+	eof  bool
+}
+
+func scan(src string) ([]mtoken, error) {
+	var toks []mtoken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.ContainsRune(":;,().{}[]", rune(c)):
+			toks = append(toks, mtoken{text: string(c), line: line})
+			i++
+		case isWordRune(rune(c)):
+			start := i
+			for i < len(src) && isWordRune(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, mtoken{text: src[start:i], line: line})
+		default:
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("illegal character %q", rune(c))}
+		}
+	}
+	toks = append(toks, mtoken{eof: true, line: line})
+	return toks, nil
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+type parser struct {
+	toks []mtoken
+	pos  int
+}
+
+func (p *parser) peek() mtoken { return p.toks[p.pos] }
+
+func (p *parser) next() mtoken {
+	t := p.toks[p.pos]
+	if !t.eof {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().eof }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.peek().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.eof || !strings.EqualFold(t.text, text) {
+		return &ParseError{Line: t.line, Msg: fmt.Sprintf("expected %q, found %q", text, t.text)}
+	}
+	return nil
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t := p.next()
+	if t.eof || !isWordStart(t.text) {
+		return "", &ParseError{Line: t.line, Msg: fmt.Sprintf("expected %s, found %q", what, t.text)}
+	}
+	return t.text, nil
+}
+
+func isWordStart(s string) bool {
+	if s == "" {
+		return false
+	}
+	r := rune(s[0])
+	return unicode.IsLetter(r) || r == '_'
+}
+
+// parseMonitor = ident ":" "Monitor" "(" kind ")" ";" { clause }
+// "end" [ident] ["."] .
+func (p *parser) parseMonitor() (monitor.Spec, error) {
+	var spec monitor.Spec
+	name, err := p.ident("monitor name")
+	if err != nil {
+		return spec, err
+	}
+	spec.Name = name
+	if err := p.expect(":"); err != nil {
+		return spec, err
+	}
+	if err := p.expect("Monitor"); err != nil {
+		return spec, err
+	}
+	if err := p.expect("("); err != nil {
+		return spec, err
+	}
+	kindTok, err := p.ident("monitor class")
+	if err != nil {
+		return spec, err
+	}
+	kind, ok := kindNames[strings.ToLower(kindTok)]
+	if !ok {
+		return spec, p.errf("unknown monitor class %q", kindTok)
+	}
+	spec.Kind = kind
+	if err := p.expect(")"); err != nil {
+		return spec, err
+	}
+	if err := p.expect(";"); err != nil {
+		return spec, err
+	}
+
+	for {
+		t := p.peek()
+		if t.eof {
+			return spec, p.errf("unexpected end of input inside %q", spec.Name)
+		}
+		if strings.EqualFold(t.text, "end") {
+			p.next()
+			// Optional trailing name and period.
+			if nt := p.peek(); !nt.eof && strings.EqualFold(nt.text, spec.Name) {
+				p.next()
+			}
+			if nt := p.peek(); !nt.eof && nt.text == "." {
+				p.next()
+			}
+			return spec, nil
+		}
+		if err := p.parseClause(&spec); err != nil {
+			return spec, err
+		}
+	}
+}
+
+func (p *parser) parseClause(spec *monitor.Spec) error {
+	key, err := p.ident("clause keyword")
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(key) {
+	case "cond":
+		names, err := p.identList()
+		if err != nil {
+			return err
+		}
+		spec.Conditions = append(spec.Conditions, names...)
+	case "proc":
+		names, err := p.identList()
+		if err != nil {
+			return err
+		}
+		spec.Procedures = append(spec.Procedures, names...)
+	case "path":
+		expr, err := p.pathText()
+		if err != nil {
+			return err
+		}
+		spec.CallOrder = expr
+	case "rmax":
+		t := p.next()
+		n, convErr := strconv.Atoi(t.text)
+		if t.eof || convErr != nil {
+			return &ParseError{Line: t.line, Msg: fmt.Sprintf("rmax expects an integer, found %q", t.text)}
+		}
+		spec.Rmax = n
+	case "send":
+		name, err := p.ident("procedure name")
+		if err != nil {
+			return err
+		}
+		spec.SendProc = name
+	case "receive":
+		name, err := p.ident("procedure name")
+		if err != nil {
+			return err
+		}
+		spec.ReceiveProc = name
+	case "acquire":
+		name, err := p.ident("procedure name")
+		if err != nil {
+			return err
+		}
+		spec.AcquireProc = name
+	case "release":
+		name, err := p.ident("procedure name")
+		if err != nil {
+			return err
+		}
+		spec.ReleaseProc = name
+	default:
+		return p.errf("unknown clause %q (want cond, proc, path, rmax, send, receive, acquire or release)", key)
+	}
+	return p.expect(";")
+}
+
+// identList = ident { "," ident } .
+func (p *parser) identList() ([]string, error) {
+	first, err := p.ident("identifier")
+	if err != nil {
+		return nil, err
+	}
+	out := []string{first}
+	for p.peek().text == "," {
+		p.next()
+		next, err := p.ident("identifier")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+	}
+	return out, nil
+}
+
+// pathText collects the raw path expression up to its closing "end"
+// keyword (path expressions contain ';' internally, so the clause
+// terminator only applies after that "end").
+func (p *parser) pathText() (string, error) {
+	var parts []string
+	for {
+		t := p.next()
+		if t.eof {
+			return "", &ParseError{Line: t.line, Msg: `unterminated path clause (missing "end")`}
+		}
+		if strings.EqualFold(t.text, "end") {
+			break
+		}
+		parts = append(parts, t.text)
+	}
+	return "path " + strings.Join(parts, " ") + " end", nil
+}
+
+// Format renders a spec back into declaration syntax (the inverse of
+// Parse, modulo whitespace). Useful for tooling round-trips.
+func Format(spec monitor.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: Monitor (%s);\n", spec.Name, spec.Kind)
+	if len(spec.Conditions) > 0 {
+		fmt.Fprintf(&b, "    cond %s;\n", strings.Join(spec.Conditions, ", "))
+	}
+	if len(spec.Procedures) > 0 {
+		fmt.Fprintf(&b, "    proc %s;\n", strings.Join(spec.Procedures, ", "))
+	}
+	if spec.CallOrder != "" {
+		order := strings.TrimSpace(spec.CallOrder)
+		order = strings.TrimPrefix(order, "path ")
+		order = strings.TrimSuffix(order, " end")
+		fmt.Fprintf(&b, "    path %s end;\n", order)
+	}
+	if spec.Rmax > 0 {
+		fmt.Fprintf(&b, "    rmax %d;\n", spec.Rmax)
+	}
+	if spec.SendProc != "" {
+		fmt.Fprintf(&b, "    send %s;\n", spec.SendProc)
+	}
+	if spec.ReceiveProc != "" {
+		fmt.Fprintf(&b, "    receive %s;\n", spec.ReceiveProc)
+	}
+	if spec.AcquireProc != "" {
+		fmt.Fprintf(&b, "    acquire %s;\n", spec.AcquireProc)
+	}
+	if spec.ReleaseProc != "" {
+		fmt.Fprintf(&b, "    release %s;\n", spec.ReleaseProc)
+	}
+	fmt.Fprintf(&b, "end %s.\n", spec.Name)
+	return b.String()
+}

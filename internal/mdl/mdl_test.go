@@ -1,0 +1,197 @@
+package mdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"robustmon/internal/monitor"
+)
+
+const bufferDecl = `
+# the paper's bounded-buffer coordinator
+buffer: Monitor (communication-coordinator);
+    cond notFull, notEmpty;
+    proc Send, Receive;
+    rmax 4;
+    send Send;
+    receive Receive;
+end buffer.
+`
+
+const allocDecl = `
+disk: Monitor (resource-access-right-allocator);
+    cond free;
+    proc Acquire, Release;
+    path Acquire ; Release end;
+    acquire Acquire;
+    release Release;
+end disk.
+`
+
+func TestParseCoordinator(t *testing.T) {
+	t.Parallel()
+	specs, err := Parse(bufferDecl)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	s := specs[0]
+	if s.Name != "buffer" || s.Kind != monitor.CommunicationCoordinator {
+		t.Fatalf("spec = %+v", s)
+	}
+	if len(s.Conditions) != 2 || s.Conditions[0] != "notFull" {
+		t.Fatalf("conditions = %v", s.Conditions)
+	}
+	if s.Rmax != 4 || s.SendProc != "Send" || s.ReceiveProc != "Receive" {
+		t.Fatalf("coordinator fields = %+v", s)
+	}
+}
+
+func TestParseAllocatorWithPath(t *testing.T) {
+	t.Parallel()
+	specs, err := Parse(allocDecl)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s := specs[0]
+	if s.Kind != monitor.ResourceAllocator {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	if s.CallOrder != "path Acquire ; Release end" {
+		t.Fatalf("call order = %q", s.CallOrder)
+	}
+	if s.AcquireProc != "Acquire" || s.ReleaseProc != "Release" {
+		t.Fatalf("allocator procs = %+v", s)
+	}
+	// The produced spec must build a working monitor.
+	if _, err := monitor.New(s); err != nil {
+		t.Fatalf("monitor.New on parsed spec: %v", err)
+	}
+}
+
+func TestParseMultipleDeclarations(t *testing.T) {
+	t.Parallel()
+	specs, err := Parse(bufferDecl + "\n" + allocDecl)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(specs) != 2 || specs[0].Name != "buffer" || specs[1].Name != "disk" {
+		t.Fatalf("specs = %+v", specs)
+	}
+}
+
+func TestParseShortKindAliases(t *testing.T) {
+	t.Parallel()
+	specs, err := Parse(`kv: Monitor (manager); cond ok; end kv.`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if specs[0].Kind != monitor.OperationManager {
+		t.Fatalf("kind = %v", specs[0].Kind)
+	}
+}
+
+func TestParseComplexPathClause(t *testing.T) {
+	t.Parallel()
+	specs, err := Parse(`
+rw: Monitor (allocator);
+    cond okToRead, okToWrite;
+    proc StartRead, EndRead, StartWrite, EndWrite;
+    path (StartRead ; EndRead) , (StartWrite ; EndWrite) end;
+end rw.
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := "path ( StartRead ; EndRead ) , ( StartWrite ; EndWrite ) end"
+	if specs[0].CallOrder != want {
+		t.Fatalf("call order = %q, want %q", specs[0].CallOrder, want)
+	}
+	if _, err := specs[0].Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name, src, wantMsg string
+	}{
+		{"empty", "", "no monitor declaration"},
+		{"missing colon", "m Monitor (manager); end m.", `expected ":"`},
+		{"unknown class", "m: Monitor (widget); end m.", "unknown monitor class"},
+		{"unknown clause", "m: Monitor (manager); pth a end; end m.", "unknown clause"},
+		{"bad rmax", "m: Monitor (coordinator); rmax lots; end m.", "expects an integer"},
+		{"unterminated path", "m: Monitor (allocator); path a ; b", "unterminated path"},
+		{"unterminated monitor", "m: Monitor (manager); cond ok;", "unexpected end of input"},
+		{"illegal char", "m: Monitor (manager); cond @; end m.", "illegal character"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error = %v, want containing %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	t.Parallel()
+	_, err := Parse("m: Monitor (manager);\ncond ok;\nbogus x;\nend m.")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestParseRejectsInvalidSpecs(t *testing.T) {
+	t.Parallel()
+	// A coordinator without rmax is syntactically fine but semantically
+	// invalid; Parse must surface the spec validation error.
+	_, err := Parse(`b: Monitor (coordinator); cond c; send S; receive R; end b.`)
+	if err == nil || !strings.Contains(err.Error(), "Rmax") {
+		t.Fatalf("error = %v, want Rmax validation failure", err)
+	}
+}
+
+func TestFormatRoundTrips(t *testing.T) {
+	t.Parallel()
+	for _, src := range []string{bufferDecl, allocDecl} {
+		specs, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := Format(specs[0])
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", rendered, err)
+		}
+		if again[0].Name != specs[0].Name || again[0].Kind != specs[0].Kind ||
+			again[0].CallOrder != specs[0].CallOrder || again[0].Rmax != specs[0].Rmax {
+			t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", specs[0], again[0])
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	t.Parallel()
+	specs, err := Parse("# header\nm: Monitor (manager); # inline\ncond ok;\nend m.")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if specs[0].Name != "m" {
+		t.Fatal("comment handling broke parsing")
+	}
+}

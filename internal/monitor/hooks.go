@@ -1,0 +1,111 @@
+package monitor
+
+// Hooks are the fault-injection surface of the prototype. A correct
+// monitor uses the zero value (every field nil/default). The injector
+// in internal/faults sets exactly one deviation to realise one fault
+// kind from the §2.2 taxonomy; the detection experiment then verifies
+// the checking routines catch it.
+//
+// Hooks are consulted inside the monitor's critical section; they must
+// not block or call back into the monitor.
+type Hooks struct {
+	// Enter overrides the entry protocol decision for the given process.
+	// The bool argument reports whether the monitor is occupied.
+	Enter func(pid int64, proc string, occupied bool) EnterAction
+	// Wait overrides the Wait protocol decision.
+	Wait func(pid int64, proc, cond string) WaitAction
+	// SignalExit overrides the Signal-Exit protocol decision.
+	SignalExit func(pid int64, proc, cond string) SignalAction
+	// SkipHandoff, when set, makes the monitor skip the given pid when
+	// popping the entry queue for a handoff: the starvation faults
+	// (Enter I.a.3 "no response" for a victim, Wait I.b.4 "entry waiting
+	// process is starved").
+	SkipHandoff func(pid int64) bool
+}
+
+// EnterAction directs the entry protocol.
+type EnterAction int
+
+// Entry protocol deviations.
+const (
+	// EnterDefault follows the correct protocol.
+	EnterDefault EnterAction = iota
+	// EnterForceGrant admits the caller even though the monitor is
+	// occupied — fault I.a.1, mutual exclusion not guaranteed.
+	EnterForceGrant
+	// EnterDrop records the blocked-entry event but then loses the
+	// process: it is neither queued nor admitted — fault I.a.2.
+	EnterDrop
+	// EnterForceBlock queues the caller even though the monitor is free
+	// — fault I.a.3, the requesting process receives no response.
+	EnterForceBlock
+)
+
+// WaitAction directs the Wait protocol.
+type WaitAction int
+
+// Wait protocol deviations.
+const (
+	// WaitDefault follows the correct protocol.
+	WaitDefault WaitAction = iota
+	// WaitNoBlock records the Wait event and queues the caller on the
+	// condition, but lets it keep running inside the monitor — fault
+	// I.b.1, synchronisation not guaranteed.
+	WaitNoBlock
+	// WaitDrop records the event but loses the process: not queued on
+	// the condition, never resumed — fault I.b.2.
+	WaitDrop
+	// WaitNoHandoff blocks the caller without resuming the head of the
+	// entry queue — fault I.b.3, entry waiting processes not resumed.
+	WaitNoHandoff
+	// WaitDoubleHandoff resumes two entry-queue waiters at once — fault
+	// I.b.5, mutual exclusion not guaranteed.
+	WaitDoubleHandoff
+	// WaitKeepLock blocks the caller but fails to release the monitor —
+	// fault I.b.6.
+	WaitKeepLock
+)
+
+// SignalAction directs the Signal-Exit protocol.
+type SignalAction int
+
+// Signal-Exit protocol deviations.
+const (
+	// SignalDefault follows the correct protocol.
+	SignalDefault SignalAction = iota
+	// SignalNoWake releases the monitor without resuming any waiter —
+	// fault I.c.1, waiting processes not resumed.
+	SignalNoWake
+	// SignalKeepLock exits without releasing the monitor (the caller
+	// remains the recorded occupant) — fault I.c.2.
+	SignalKeepLock
+	// SignalDoubleWake resumes both a condition waiter and an
+	// entry-queue waiter — fault I.c.3, mutual exclusion not
+	// guaranteed.
+	SignalDoubleWake
+)
+
+func (h Hooks) enterAction(pid int64, proc string, occupied bool) EnterAction {
+	if h.Enter == nil {
+		return EnterDefault
+	}
+	return h.Enter(pid, proc, occupied)
+}
+
+func (h Hooks) waitAction(pid int64, proc, cond string) WaitAction {
+	if h.Wait == nil {
+		return WaitDefault
+	}
+	return h.Wait(pid, proc, cond)
+}
+
+func (h Hooks) signalAction(pid int64, proc, cond string) SignalAction {
+	if h.SignalExit == nil {
+		return SignalDefault
+	}
+	return h.SignalExit(pid, proc, cond)
+}
+
+func (h Hooks) skip(pid int64) bool {
+	return h.SkipHandoff != nil && h.SkipHandoff(pid)
+}

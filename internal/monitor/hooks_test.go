@@ -1,0 +1,417 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/proc"
+)
+
+// Hook tests verify each injected deviation produces exactly the
+// physically observable misbehaviour the §2.2 taxonomy describes. The
+// detection of these misbehaviours is tested in internal/detect.
+
+func TestHookEnterForceGrantViolatesMutex(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Enter: func(pid int64, _ string, occupied bool) EnterAction {
+		if occupied {
+			return EnterForceGrant
+		}
+		return EnterDefault
+	}}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+
+	hold := make(chan struct{})
+	r.Spawn("first", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-hold
+		_ = m.Exit(p, "Op")
+	})
+	waitCond(t, "first inside", func() bool { return m.InsideCount() == 1 })
+	entered := make(chan struct{})
+	var observed int32
+	r.Spawn("intruder", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		// The holder is still blocked on <-hold, so both processes are
+		// inside right now.
+		atomic.StoreInt32(&observed, int32(m.InsideCount()))
+		close(entered)
+		_ = m.Exit(p, "Op")
+	})
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("forced grant did not admit the intruder")
+	}
+	if got := atomic.LoadInt32(&observed); got != 2 {
+		t.Fatalf("occupancy seen by intruder = %d, want 2 (mutex violated)", got)
+	}
+	close(hold)
+	r.Join()
+}
+
+func TestHookEnterDropLosesProcess(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Enter: func(int64, string, bool) EnterAction { return EnterDrop }}
+	m, db := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+	victim := r.Spawn("victim", func(p *proc.P) {
+		_ = m.Enter(p, "Op") // lost forever
+	})
+	waitCond(t, "victim parked", func() bool { return victim.Status() == proc.Parked })
+	if m.EntryLen() != 0 || m.InsideCount() != 0 {
+		t.Fatalf("victim should be neither queued nor inside: eq=%d inside=%d",
+			m.EntryLen(), m.InsideCount())
+	}
+	trace := db.Full()
+	if len(trace) != 1 || trace[0].Flag != event.Blocked {
+		t.Fatalf("trace = %v, want a single blocked Enter", trace)
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestHookEnterForceBlockQueuesOnFreeMonitor(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Enter: func(int64, string, bool) EnterAction { return EnterForceBlock }}
+	m, db := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+	victim := r.Spawn("victim", func(p *proc.P) {
+		_ = m.Enter(p, "Op")
+	})
+	waitCond(t, "victim parked", func() bool { return victim.Status() == proc.Parked })
+	if m.EntryLen() != 1 || m.InsideCount() != 0 {
+		t.Fatalf("want queued-on-free-monitor: eq=%d inside=%d", m.EntryLen(), m.InsideCount())
+	}
+	trace := db.Full()
+	if len(trace) != 1 || trace[0].Flag != event.Blocked {
+		t.Fatalf("trace = %v, want one blocked Enter", trace)
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestHookWaitNoBlockKeepsRunning(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Wait: func(int64, string, string) WaitAction { return WaitNoBlock }}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+	done := make(chan struct{})
+	r.Spawn("p", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		if err := m.Wait(p, "Op", "ok"); err != nil {
+			return
+		}
+		close(done) // reached without any signal: synchronisation lost
+		_ = m.Exit(p, "Op")
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitNoBlock blocked the caller")
+	}
+	r.Join()
+	if m.CondLen("ok") != 1 {
+		t.Fatalf("CondLen(ok) = %d, want 1 (queued yet ran on)", m.CondLen("ok"))
+	}
+}
+
+func TestHookWaitDropProcessNeitherQueuedNorRunning(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Wait: func(int64, string, string) WaitAction { return WaitDrop }}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+	victim := r.Spawn("p", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Wait(p, "Op", "ok") // lost
+	})
+	waitCond(t, "victim parked", func() bool { return victim.Status() == proc.Parked })
+	if m.CondLen("ok") != 0 || m.InsideCount() != 0 {
+		t.Fatalf("victim tracked somewhere: cq=%d inside=%d", m.CondLen("ok"), m.InsideCount())
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestHookWaitNoHandoffStrandsEntryQueue(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Wait: func(int64, string, string) WaitAction { return WaitNoHandoff }}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+
+	inCh := make(chan struct{})
+	goWait := make(chan struct{})
+	r.Spawn("waiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		close(inCh)
+		<-goWait
+		_ = m.Wait(p, "Op", "ok")
+	})
+	<-inCh
+	queued := r.Spawn("queued", func(p *proc.P) {
+		_ = m.Enter(p, "Op")
+	})
+	waitCond(t, "second queued", func() bool { return m.EntryLen() == 1 })
+	// Only now trigger the faulty Wait: the handoff it skips would have
+	// admitted the queued process.
+	close(goWait)
+	waitCond(t, "monitor empty", func() bool { return m.InsideCount() == 0 })
+	if m.EntryLen() != 1 {
+		t.Fatalf("EntryLen = %d, want 1 (handoff skipped)", m.EntryLen())
+	}
+	if queued.Status() != proc.Parked {
+		t.Fatalf("queued process status = %v, want parked forever", queued.Status())
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestHookWaitDoubleHandoffAdmitsTwo(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Wait: func(int64, string, string) WaitAction { return WaitDoubleHandoff }}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+
+	inCh := make(chan struct{})
+	goWait := make(chan struct{})
+	r.Spawn("waiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		close(inCh)
+		<-goWait
+		_ = m.Wait(p, "Op", "ok")
+	})
+	<-inCh
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		r.Spawn("queued", func(p *proc.P) {
+			if err := m.Enter(p, "Op"); err != nil {
+				return
+			}
+			<-release
+			_ = m.Exit(p, "Op")
+		})
+	}
+	waitCond(t, "two queued", func() bool { return m.EntryLen() == 2 })
+	close(goWait)
+	waitCond(t, "both admitted", func() bool { return m.InsideCount() == 2 })
+	close(release)
+	// Nobody signals "ok"; abort the waiter to finish.
+	r.AbortAll()
+	r.Join()
+}
+
+func TestHookWaitKeepLockMonitorNotReleased(t *testing.T) {
+	t.Parallel()
+	h := Hooks{Wait: func(int64, string, string) WaitAction { return WaitKeepLock }}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+
+	inCh := make(chan struct{})
+	waiter := r.Spawn("waiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		close(inCh)
+		_ = m.Wait(p, "Op", "ok")
+	})
+	<-inCh
+	waitCond(t, "waiter parked", func() bool { return waiter.Status() == proc.Parked })
+	if m.InsideCount() != 1 {
+		t.Fatalf("InsideCount = %d, want 1 (lock kept while parked)", m.InsideCount())
+	}
+	if m.CondLen("ok") != 1 {
+		t.Fatalf("CondLen = %d, want 1", m.CondLen("ok"))
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestHookSignalNoWakeStrandsWaiters(t *testing.T) {
+	t.Parallel()
+	h := Hooks{SignalExit: func(int64, string, string) SignalAction { return SignalNoWake }}
+	m, db := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+
+	inCh := make(chan struct{})
+	waiter := r.Spawn("waiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		close(inCh)
+		_ = m.Wait(p, "Op", "ok")
+	})
+	<-inCh
+	waitCond(t, "waiter on cond", func() bool { return m.CondLen("ok") == 1 })
+	r.Spawn("signaler", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.SignalExit(p, "Op", "ok")
+	})
+	waitCond(t, "monitor free", func() bool { return m.InsideCount() == 0 })
+	if m.CondLen("ok") != 1 {
+		t.Fatalf("CondLen = %d, want 1 (waiter stranded)", m.CondLen("ok"))
+	}
+	if waiter.Status() != proc.Parked {
+		t.Fatalf("waiter = %v, want parked", waiter.Status())
+	}
+	// The recorded flag must reflect what the implementation actually
+	// did (resumed nobody), not what it should have done.
+	for _, e := range db.Full() {
+		if e.Type == event.SignalExit && e.Flag != event.Blocked {
+			t.Fatalf("Signal-Exit recorded flag %d, want 0", e.Flag)
+		}
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestHookSignalKeepLockLeavesStaleOccupancy(t *testing.T) {
+	t.Parallel()
+	h := Hooks{SignalExit: func(int64, string, string) SignalAction { return SignalKeepLock }}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+	r.Spawn("p", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op") // exits but the lock is kept
+	})
+	r.Join()
+	if m.InsideCount() != 1 {
+		t.Fatalf("InsideCount = %d, want 1 stale occupant", m.InsideCount())
+	}
+}
+
+func TestHookSignalDoubleWakeAdmitsTwo(t *testing.T) {
+	t.Parallel()
+	h := Hooks{SignalExit: func(_ int64, _ string, cond string) SignalAction {
+		if cond == "ok" {
+			return SignalDoubleWake
+		}
+		return SignalDefault
+	}}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+
+	// Both resumed processes rendezvous inside the monitor before
+	// exiting, so each can observe the double occupancy directly.
+	var arrive, depart sync.WaitGroup
+	arrive.Add(2)
+	depart.Add(2)
+	var seenByCond, seenByEQ int32
+	rendezvous := func(out *int32) {
+		arrive.Done()
+		arrive.Wait() // both are now inside
+		atomic.StoreInt32(out, int32(m.InsideCount()))
+		depart.Done()
+		depart.Wait() // neither exits before both have looked
+	}
+
+	inCh := make(chan struct{})
+	r.Spawn("condWaiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		close(inCh)
+		if err := m.Wait(p, "Op", "ok"); err != nil {
+			return
+		}
+		rendezvous(&seenByCond)
+		_ = m.Exit(p, "Op")
+	})
+	<-inCh
+	waitCond(t, "cond waiter queued", func() bool { return m.CondLen("ok") == 1 })
+
+	hold := make(chan struct{})
+	r.Spawn("holder", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-hold
+		_ = m.SignalExit(p, "Op", "ok")
+	})
+	waitCond(t, "holder inside", func() bool { return m.InsideCount() == 1 })
+	r.Spawn("eqWaiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		rendezvous(&seenByEQ)
+		_ = m.Exit(p, "Op")
+	})
+	waitCond(t, "eq waiter queued", func() bool { return m.EntryLen() == 1 })
+	close(hold)
+	r.Join()
+	if seenByCond != 2 || seenByEQ != 2 {
+		t.Fatalf("occupancy seen = (%d,%d), want (2,2): double wake not concurrent",
+			seenByCond, seenByEQ)
+	}
+}
+
+func TestHookSkipHandoffStarvesVictim(t *testing.T) {
+	t.Parallel()
+	var victimPid int64 = 2
+	h := Hooks{SkipHandoff: func(pid int64) bool { return pid == victimPid }}
+	m, _ := newTestMonitor(t, managerSpec(), WithHooks(h))
+	r := proc.NewRuntime()
+
+	hold := make(chan struct{})
+	r.Spawn("holder", func(p *proc.P) { // pid 1
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-hold
+		_ = m.Exit(p, "Op")
+	})
+	waitCond(t, "holder inside", func() bool { return m.InsideCount() == 1 })
+	victim := r.Spawn("victim", func(p *proc.P) { // pid 2
+		_ = m.Enter(p, "Op")
+	})
+	waitCond(t, "victim queued", func() bool { return m.EntryLen() == 1 })
+	other := r.Spawn("other", func(p *proc.P) { // pid 3
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op")
+	})
+	waitCond(t, "both queued", func() bool { return m.EntryLen() == 2 })
+	close(hold)
+	waitCond(t, "other finished", func() bool { return other.Status() == proc.Done })
+	if victim.Status() != proc.Parked || m.EntryLen() != 1 {
+		t.Fatalf("victim = %v eq=%d, want parked,1 (overtaken and starved)",
+			victim.Status(), m.EntryLen())
+	}
+	r.AbortAll()
+	r.Join()
+}
+
+func TestInjectBareEntryEmitsNoEvent(t *testing.T) {
+	t.Parallel()
+	m, db := newTestMonitor(t, managerSpec())
+	r := proc.NewRuntime()
+	r.Spawn("ghost", func(p *proc.P) {
+		m.InjectBareEntry(p, "Op")
+		_ = m.Exit(p, "Op")
+	})
+	r.Join()
+	trace := db.Full()
+	if len(trace) != 1 || trace[0].Type != event.SignalExit {
+		t.Fatalf("trace = %v, want only the Signal-Exit", trace)
+	}
+}

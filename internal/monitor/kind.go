@@ -1,0 +1,52 @@
+// Package monitor implements the paper's augmented monitor construct:
+// a Hoare-style monitor (Enter / Wait / Signal-Exit primitives over an
+// entry queue and condition queues) whose primitives double as the
+// data-gathering routines of §4 — every invocation emits a scheduling
+// event to the history database — and whose internals expose a
+// stop-the-world gate and state snapshots for the periodic checking
+// routine, plus injection hooks that realise the implementation-level
+// faults of the §2.2 taxonomy.
+package monitor
+
+import "fmt"
+
+// Kind is the functional classification of a monitor (§2.1). The kind
+// selects which detection algorithms apply: Algorithm-2
+// (resource-state consistency) runs for communication coordinators,
+// Algorithm-3 (calling orders) and the real-time order check run for
+// resource-access-right allocators.
+type Kind int
+
+// The three monitor classes of §2.1.
+const (
+	// CommunicationCoordinator mediates data exchange between process
+	// pairs through a bounded buffer (Send/Receive); subject to the
+	// integrity constraints of §2.1(1-4).
+	CommunicationCoordinator Kind = iota + 1
+	// ResourceAllocator hands out access rights (Request/Release) and
+	// declares a partial order on its procedures; the use of the
+	// resource itself happens outside the monitor.
+	ResourceAllocator
+	// OperationManager combines the resource and its operations in one
+	// shared module (implicit synchronisation).
+	OperationManager
+)
+
+// String names the kind as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case CommunicationCoordinator:
+		return "communication-coordinator"
+	case ResourceAllocator:
+		return "resource-access-right-allocator"
+	case OperationManager:
+		return "resource-operation-manager"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is one of the three classes.
+func (k Kind) Valid() bool {
+	return k >= CommunicationCoordinator && k <= OperationManager
+}

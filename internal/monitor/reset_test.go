@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+
+	"robustmon/internal/proc"
+)
+
+func TestResetAbortsAllWaiters(t *testing.T) {
+	t.Parallel()
+	m, _ := newTestMonitor(t, managerSpec())
+	r := proc.NewRuntime()
+
+	// One process inside, one on the entry queue, one on a condition.
+	inCh := make(chan struct{})
+	r.Spawn("condWaiter", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		close(inCh)
+		_ = m.Wait(p, "Op", "ok") // will be aborted
+	})
+	<-inCh
+	waitCond(t, "cond waiter queued", func() bool { return m.CondLen("ok") == 1 })
+
+	hold := make(chan struct{})
+	r.Spawn("holder", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-hold
+		// After the reset this exit targets a cleared monitor; it must
+		// not panic or corrupt state.
+		_ = m.Exit(p, "Op")
+	})
+	waitCond(t, "holder inside", func() bool { return m.InsideCount() == 1 })
+	r.Spawn("eqWaiter", func(p *proc.P) {
+		_ = m.Enter(p, "Op") // will be aborted
+	})
+	waitCond(t, "eq waiter queued", func() bool { return m.EntryLen() == 1 })
+
+	m.Reset()
+	if m.InsideCount() != 0 || m.EntryLen() != 0 || m.CondLen("ok") != 0 {
+		t.Fatalf("state after reset: inside=%d eq=%d cq=%d",
+			m.InsideCount(), m.EntryLen(), m.CondLen("ok"))
+	}
+	close(hold)
+	r.Join()
+
+	// The monitor must be fully serviceable again.
+	r2 := proc.NewRuntime()
+	served := false
+	r2.Spawn("fresh", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		served = true
+		_ = m.Exit(p, "Op")
+	})
+	r2.Join()
+	if !served {
+		t.Fatal("monitor unusable after reset")
+	}
+}
+
+func TestResetRestoresCoordinatorResources(t *testing.T) {
+	t.Parallel()
+	m, _ := newTestMonitor(t, coordSpec())
+	r := proc.NewRuntime()
+	runInside(r, m, "p", "Send", nil)
+	r.Join()
+	if m.Resources() == m.Spec().Rmax {
+		t.Fatal("setup: a send should have consumed a slot")
+	}
+	m.Reset()
+	if got := m.Resources(); got != m.Spec().Rmax {
+		t.Fatalf("Resources after reset = %d, want Rmax=%d", got, m.Spec().Rmax)
+	}
+}
+
+// TestFreezeSnapshotConsistency: a snapshot taken under Freeze must be
+// internally consistent (every process accounted for exactly once) no
+// matter when the freeze lands in a busy schedule.
+func TestFreezeSnapshotConsistency(t *testing.T) {
+	t.Parallel()
+	m, _ := newTestMonitor(t, managerSpec())
+	r := proc.NewRuntime()
+	const workers, opsEach = 6, 200
+	for i := 0; i < workers; i++ {
+		r.Spawn("w", func(p *proc.P) {
+			for j := 0; j < opsEach; j++ {
+				if err := m.Enter(p, "Op"); err != nil {
+					return
+				}
+				_ = m.Exit(p, "Op")
+			}
+		})
+	}
+	done := make(chan struct{})
+	var snapper sync.WaitGroup
+	snapper.Add(1)
+	go func() {
+		defer snapper.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			m.Freeze()
+			snap := m.Snapshot()
+			m.Thaw()
+			seen := make(map[int64]int)
+			for _, e := range snap.EQ {
+				seen[e.Pid]++
+			}
+			for _, q := range snap.CQ {
+				for _, e := range q {
+					seen[e.Pid]++
+				}
+			}
+			for _, e := range snap.Running {
+				seen[e.Pid]++
+			}
+			for pid, n := range seen {
+				if n > 1 {
+					t.Errorf("P%d appears %d times in one snapshot: %v", pid, n, snap)
+					return
+				}
+			}
+			if len(snap.Running) > 1 {
+				t.Errorf("snapshot shows %d processes inside: %v", len(snap.Running), snap)
+				return
+			}
+		}
+	}()
+	r.Join()
+	close(done)
+	snapper.Wait()
+}

@@ -1,0 +1,119 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"robustmon/internal/pathexpr"
+)
+
+// Spec is the visible part of the augmented monitor declaration (§3,
+// §4): the information the programmer supplies so the invisible part
+// (data gathering + fault detection) can do its work. It mirrors the
+// paper's declaration form
+//
+//	MonitorName: Monitor (type);
+//	  Declarations of condition variables;
+//	  Specification of procedure call orders;
+//	  Declarations of monitor procedures;
+type Spec struct {
+	// Name identifies the monitor in events and reports.
+	Name string
+	// Kind is the §2.1 functional class.
+	Kind Kind
+	// Conditions declares the condition variables. Wait/Signal-Exit on
+	// an undeclared condition is rejected.
+	Conditions []string
+	// Procedures declares the monitor procedures (informational; used
+	// by tooling and validated against CallOrder symbols).
+	Procedures []string
+	// CallOrder optionally declares the partial ordering of procedure
+	// calls in path-expression notation, e.g. "path Acquire ; Release
+	// end". Required for ResourceAllocator monitors, whose user-level
+	// faults are checked in real time against this declaration.
+	CallOrder string
+	// Rmax is the maximum number of resources (buffer capacity) for a
+	// CommunicationCoordinator; R# starts at Rmax (all slots free).
+	Rmax int
+	// SendProc and ReceiveProc name the producer/consumer procedures of
+	// a CommunicationCoordinator so the implementation can maintain R#
+	// (a completed SendProc consumes a slot, a completed ReceiveProc
+	// frees one) and the detector can apply FD-Rule 6 / ST-Rule 7.
+	SendProc string
+	// ReceiveProc is the consumer procedure name; see SendProc.
+	ReceiveProc string
+	// AcquireProc and ReleaseProc name the request/release procedures of
+	// a ResourceAllocator so Algorithm-3 can maintain the Request-List
+	// (§3.3.1 list 5). Optional: when empty, calling-order checking
+	// relies solely on the CallOrder path expression.
+	AcquireProc string
+	// ReleaseProc is the release procedure name; see AcquireProc.
+	ReleaseProc string
+}
+
+// Errors returned by spec validation and the monitor primitives.
+var (
+	// ErrSpec reports an invalid monitor declaration.
+	ErrSpec = errors.New("monitor: invalid spec")
+	// ErrUnknownCond reports a Wait or Signal-Exit on an undeclared
+	// condition variable.
+	ErrUnknownCond = errors.New("monitor: unknown condition variable")
+	// ErrAborted reports that a blocked primitive was woken by runtime
+	// shutdown (or a recovery policy) rather than by the protocol.
+	ErrAborted = errors.New("monitor: process aborted while blocked")
+)
+
+// Validate checks the declaration and compiles the call-order path
+// expression. It returns the compiled path (nil when no order is
+// declared).
+func (s Spec) Validate() (*pathexpr.Path, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrSpec)
+	}
+	if !s.Kind.Valid() {
+		return nil, fmt.Errorf("%w: bad kind %d", ErrSpec, int(s.Kind))
+	}
+	seen := make(map[string]bool, len(s.Conditions))
+	for _, c := range s.Conditions {
+		if c == "" {
+			return nil, fmt.Errorf("%w: empty condition name", ErrSpec)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("%w: duplicate condition %q", ErrSpec, c)
+		}
+		seen[c] = true
+	}
+	if s.Kind == CommunicationCoordinator {
+		if s.Rmax <= 0 {
+			return nil, fmt.Errorf("%w: coordinator %q needs Rmax > 0, got %d", ErrSpec, s.Name, s.Rmax)
+		}
+		if s.SendProc == "" || s.ReceiveProc == "" {
+			return nil, fmt.Errorf("%w: coordinator %q must declare SendProc and ReceiveProc", ErrSpec, s.Name)
+		}
+		if s.SendProc == s.ReceiveProc {
+			return nil, fmt.Errorf("%w: coordinator %q: SendProc and ReceiveProc must differ", ErrSpec, s.Name)
+		}
+	}
+	if s.Kind == ResourceAllocator && s.CallOrder == "" {
+		return nil, fmt.Errorf("%w: allocator %q must declare a CallOrder path expression", ErrSpec, s.Name)
+	}
+	if s.CallOrder == "" {
+		return nil, nil
+	}
+	path, err := pathexpr.Parse(s.CallOrder)
+	if err != nil {
+		return nil, fmt.Errorf("%w: call order: %v", ErrSpec, err)
+	}
+	if len(s.Procedures) > 0 {
+		declared := make(map[string]bool, len(s.Procedures))
+		for _, p := range s.Procedures {
+			declared[p] = true
+		}
+		for _, sym := range path.Symbols() {
+			if !declared[sym] {
+				return nil, fmt.Errorf("%w: call order mentions undeclared procedure %q", ErrSpec, sym)
+			}
+		}
+	}
+	return path, nil
+}

@@ -1,0 +1,70 @@
+package pathexpr
+
+import "strings"
+
+// Expr is a node of a parsed path expression.
+type Expr interface {
+	// String renders the node in source notation (parenthesised where
+	// needed so the output re-parses to an equivalent expression).
+	String() string
+	// symbols appends the procedure names mentioned by the node.
+	symbols(set map[string]bool)
+}
+
+// Name is a monitor procedure name.
+type Name struct{ Sym string }
+
+// Sequence is "a ; b ; …" — the operands must occur in order.
+type Sequence struct{ Parts []Expr }
+
+// Selection is "a , b , …" — exactly one alternative per traversal.
+type Selection struct{ Alts []Expr }
+
+// Repetition is "{ e }" — zero or more traversals of e.
+type Repetition struct{ Body Expr }
+
+// Option is "[ e ]" — zero or one traversal of e.
+type Option struct{ Body Expr }
+
+// String implements Expr.
+func (n *Name) String() string { return n.Sym }
+
+// String implements Expr.
+func (s *Sequence) String() string {
+	parts := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		if sel, ok := p.(*Selection); ok {
+			parts[i] = "(" + sel.String() + ")"
+		} else {
+			parts[i] = p.String()
+		}
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// String implements Expr.
+func (s *Selection) String() string {
+	alts := make([]string, len(s.Alts))
+	for i, a := range s.Alts {
+		alts[i] = a.String()
+	}
+	return strings.Join(alts, " , ")
+}
+
+// String implements Expr.
+func (r *Repetition) String() string { return "{ " + r.Body.String() + " }" }
+
+// String implements Expr.
+func (o *Option) String() string { return "[ " + o.Body.String() + " ]" }
+
+func (n *Name) symbols(set map[string]bool)       { set[n.Sym] = true }
+func (s *Sequence) symbols(set map[string]bool)   { forEach(s.Parts, set) }
+func (s *Selection) symbols(set map[string]bool)  { forEach(s.Alts, set) }
+func (r *Repetition) symbols(set map[string]bool) { r.Body.symbols(set) }
+func (o *Option) symbols(set map[string]bool)     { o.Body.symbols(set) }
+
+func forEach(es []Expr, set map[string]bool) {
+	for _, e := range es {
+		e.symbols(set)
+	}
+}

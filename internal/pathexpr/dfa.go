@@ -1,0 +1,98 @@
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dfa is the subset-construction determinisation of a path NFA. State 0
+// is the start state. A call symbol with no outgoing edge from the
+// current state is an ordering violation.
+type dfa struct {
+	// next[s][sym] is the successor of state s on sym; absence of the
+	// key means no valid continuation.
+	next []map[string]int
+	// accepting[s] reports whether state s represents a whole number of
+	// completed path traversals (zero included): it contains the NFA
+	// accept state or the NFA start state. The start state's only
+	// incoming edge is the cycle edge from accept, so containing it is
+	// equivalent to being at a traversal boundary.
+	accepting []bool
+	// alphabet is the sorted set of symbols the path mentions.
+	alphabet []string
+}
+
+// buildDFA determinises n.
+func buildDFA(n *nfa) *dfa {
+	d := &dfa{alphabet: n.alphabet()}
+	startSet := n.closure([]int{n.start})
+	index := map[string]int{key(startSet): 0}
+	sets := [][]int{startSet}
+	d.next = append(d.next, make(map[string]int, len(d.alphabet)))
+	d.accepting = append(d.accepting, contains(startSet, n.accept) || contains(startSet, n.start))
+
+	for i := 0; i < len(sets); i++ {
+		for _, sym := range d.alphabet {
+			moved := n.move(sets[i], sym)
+			if len(moved) == 0 {
+				continue
+			}
+			target := n.closure(moved)
+			k := key(target)
+			j, ok := index[k]
+			if !ok {
+				j = len(sets)
+				index[k] = j
+				sets = append(sets, target)
+				d.next = append(d.next, make(map[string]int, len(d.alphabet)))
+				d.accepting = append(d.accepting, contains(target, n.accept) || contains(target, n.start))
+			}
+			d.next[i][sym] = j
+		}
+	}
+	return d
+}
+
+// step returns the successor state, or -1 when sym is not a valid
+// continuation from state s.
+func (d *dfa) step(s int, sym string) int {
+	if t, ok := d.next[s][sym]; ok {
+		return t
+	}
+	return -1
+}
+
+// expected returns the symbols with a valid transition from state s,
+// in alphabet order.
+func (d *dfa) expected(s int) []string {
+	out := make([]string, 0, len(d.next[s]))
+	for _, sym := range d.alphabet {
+		if _, ok := d.next[s][sym]; ok {
+			out = append(out, sym)
+		}
+	}
+	return out
+}
+
+func key(set []int) string {
+	var b strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	return b.String()
+}
+
+func contains(sorted []int, v int) bool {
+	for _, s := range sorted {
+		if s == v {
+			return true
+		}
+		if s > v {
+			return false
+		}
+	}
+	return false
+}

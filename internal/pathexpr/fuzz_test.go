@@ -1,0 +1,45 @@
+package pathexpr
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that every
+// successfully parsed expression round-trips through its canonical
+// rendering to an equivalent expression.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"path Acquire ; Release end",
+		"a , b ; c",
+		"{ x } ; [ y ]",
+		"path (a ; b) , { c } end",
+		"path ; end",
+		"((((((a))))))",
+		"path a",
+		"end",
+		"{ , }",
+		"path  Open ; { Read , Write } ; Close  end",
+		"\x00\x01",
+		"path ユニコード ; 識別子 end",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, src, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, p2.String())
+		}
+		// The matcher must not panic on arbitrary symbols either.
+		m := p.NewMatcher()
+		for _, sym := range append(p.Symbols(), "nonesuch") {
+			_ = m.Step(sym)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package pathexpr
+
+import "sort"
+
+// nfa is a Thompson automaton for one path expression with an ε-edge
+// from accept back to start, realising the implicit cycling of a path
+// declaration (after one complete traversal the order constraint
+// restarts).
+type nfa struct {
+	// eps[s] lists the ε-successors of state s.
+	eps [][]int
+	// sym[s] maps a procedure name to the labelled successors of s.
+	sym []map[string][]int
+	// start and accept are the distinguished states.
+	start, accept int
+}
+
+func newNFA() *nfa { return &nfa{} }
+
+func (n *nfa) newState() int {
+	n.eps = append(n.eps, nil)
+	n.sym = append(n.sym, nil)
+	return len(n.eps) - 1
+}
+
+func (n *nfa) addEps(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+func (n *nfa) addSym(from int, s string, to int) {
+	if n.sym[from] == nil {
+		n.sym[from] = make(map[string][]int, 2)
+	}
+	n.sym[from][s] = append(n.sym[from][s], to)
+}
+
+// frag is a partially built automaton fragment with one entry and one
+// exit state.
+type frag struct{ in, out int }
+
+// buildNFA compiles the AST into an NFA with the cycle edge installed.
+func buildNFA(e Expr) *nfa {
+	n := newNFA()
+	f := n.compile(e)
+	n.start = f.in
+	n.accept = f.out
+	// Implicit repetition of the whole path.
+	n.addEps(n.accept, n.start)
+	return n
+}
+
+func (n *nfa) compile(e Expr) frag {
+	switch e := e.(type) {
+	case *Name:
+		in, out := n.newState(), n.newState()
+		n.addSym(in, e.Sym, out)
+		return frag{in, out}
+	case *Sequence:
+		cur := n.compile(e.Parts[0])
+		for _, p := range e.Parts[1:] {
+			next := n.compile(p)
+			n.addEps(cur.out, next.in)
+			cur = frag{cur.in, next.out}
+		}
+		return cur
+	case *Selection:
+		in, out := n.newState(), n.newState()
+		for _, a := range e.Alts {
+			f := n.compile(a)
+			n.addEps(in, f.in)
+			n.addEps(f.out, out)
+		}
+		return frag{in, out}
+	case *Repetition:
+		in, out := n.newState(), n.newState()
+		f := n.compile(e.Body)
+		n.addEps(in, f.in)
+		n.addEps(f.out, f.in)
+		n.addEps(f.out, out)
+		n.addEps(in, out)
+		return frag{in, out}
+	case *Option:
+		in, out := n.newState(), n.newState()
+		f := n.compile(e.Body)
+		n.addEps(in, f.in)
+		n.addEps(f.out, out)
+		n.addEps(in, out)
+		return frag{in, out}
+	default:
+		// Unreachable: the parser only builds the five node kinds above.
+		in := n.newState()
+		return frag{in, in}
+	}
+}
+
+// closure expands a state set with every ε-reachable state, returning a
+// sorted, deduplicated slice (the canonical key for subset
+// construction).
+func (n *nfa) closure(states []int) []int {
+	seen := make(map[int]bool, len(states)*2)
+	stack := append([]int(nil), states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// move returns the states reachable from the set via one edge labelled
+// sym (before ε-closure).
+func (n *nfa) move(states []int, symName string) []int {
+	var out []int
+	for _, s := range states {
+		out = append(out, n.sym[s][symName]...)
+	}
+	return out
+}
+
+// alphabet returns every symbol labelling some edge, sorted.
+func (n *nfa) alphabet() []string {
+	set := make(map[string]bool)
+	for _, m := range n.sym {
+		for s := range m {
+			set[s] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,157 @@
+// Package pathexpr implements the path-expression notation the paper
+// adopts (via Campbell & Kolstad [3]) for the visible part of the
+// augmented monitor: "the partial ordering of procedure calls within a
+// monitor be specified in the monitor declaration" (§3).
+//
+// Grammar (EBNF):
+//
+//	path   = [ "path" ] expr [ "end" ] .
+//	expr   = seq { "," seq } .        // selection: one alternative per cycle
+//	seq    = term { ";" term } .      // sequence: strict order
+//	term   = ident                    // a monitor procedure name
+//	       | "(" expr ")"             // grouping
+//	       | "{" expr "}"             // repetition: zero or more
+//	       | "[" expr "]" .           // option: zero or one
+//
+// The whole path implicitly repeats: after one full traversal the
+// expression restarts, so "path Acquire ; Release end" admits the call
+// string Acquire Release Acquire Release … for each process. A Matcher
+// (one per process) steps through calls and reports the first call that
+// cannot extend any valid traversal — exactly the user-process-level
+// ordering faults of §2.2 III.
+package pathexpr
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokenKind discriminates lexer tokens.
+type tokenKind int
+
+const (
+	tokIdent  tokenKind = iota + 1
+	tokSemi             // ;
+	tokComma            // ,
+	tokLParen           // (
+	tokRParen           // )
+	tokLBrace           // {
+	tokRBrace           // }
+	tokLBrack           // [
+	tokRBrack           // ]
+	tokPath             // keyword "path"
+	tokEnd              // keyword "end"
+	tokEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokPath:
+		return `"path"`
+	case tokEnd:
+		return `"end"`
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexed token with its byte offset (for error messages).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int    // byte offset into the source
+	Msg string // human-readable description
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pathexpr: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lex tokenises src. It returns a SyntaxError on the first illegal rune.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBrack, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBrack, "]", i})
+			i++
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentRune(rune(src[i])) {
+				i++
+			}
+			text := src[start:i]
+			switch text {
+			case "path":
+				toks = append(toks, token{tokPath, text, start})
+			case "end":
+				toks = append(toks, token{tokEnd, text, start})
+			default:
+				toks = append(toks, token{tokIdent, text, start})
+			}
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("illegal character %q", rune(c))}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,127 @@
+// Package queue provides the FIFO queues underlying monitor scheduling.
+//
+// Hoare monitors are specified over queues: the entry queue EQ holds
+// processes blocked on Enter, and each condition variable owns a
+// condition queue CQ[c] of processes blocked on Wait(c). The fault
+// detector additionally needs to know *when* each process was enqueued
+// (the paper's Timer(Pid)), so the monitor uses TimedFIFO rather than a
+// bare list.
+package queue
+
+// FIFO is a growable ring-buffer queue. The zero value is an empty
+// queue ready for use. FIFO is not safe for concurrent use; callers
+// (the monitor, the checking lists) hold their own locks.
+type FIFO[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+// Len reports the number of queued elements.
+func (q *FIFO[T]) Len() int { return q.count }
+
+// Empty reports whether the queue has no elements.
+func (q *FIFO[T]) Empty() bool { return q.count == 0 }
+
+// PushBack appends v at the tail.
+func (q *FIFO[T]) PushBack(v T) {
+	q.grow(1)
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+}
+
+// PopFront removes and returns the head element. The second result is
+// false when the queue is empty.
+func (q *FIFO[T]) PopFront() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return v, true
+}
+
+// Front returns the head element without removing it. The second
+// result is false when the queue is empty.
+func (q *FIFO[T]) Front() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th element from the head (0 = head). It reports
+// false when i is out of range.
+func (q *FIFO[T]) At(i int) (T, bool) {
+	var zero T
+	if i < 0 || i >= q.count {
+		return zero, false
+	}
+	return q.buf[(q.head+i)%len(q.buf)], true
+}
+
+// RemoveFunc removes the first element (from the head) for which match
+// returns true, preserving the order of the rest. It reports whether an
+// element was removed.
+func (q *FIFO[T]) RemoveFunc(match func(T) bool) (T, bool) {
+	var zero T
+	for i := 0; i < q.count; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if !match(q.buf[idx]) {
+			continue
+		}
+		v := q.buf[idx]
+		// Shift the tail segment left by one to close the gap.
+		for j := i; j < q.count-1; j++ {
+			from := (q.head + j + 1) % len(q.buf)
+			to := (q.head + j) % len(q.buf)
+			q.buf[to] = q.buf[from]
+		}
+		q.buf[(q.head+q.count-1)%len(q.buf)] = zero
+		q.count--
+		return v, true
+	}
+	return zero, false
+}
+
+// Snapshot returns the queued elements head-first in a freshly
+// allocated slice, so callers may retain it without aliasing the queue.
+func (q *FIFO[T]) Snapshot() []T {
+	out := make([]T, 0, q.count)
+	for i := 0; i < q.count; i++ {
+		out = append(out, q.buf[(q.head+i)%len(q.buf)])
+	}
+	return out
+}
+
+// Clear removes all elements.
+func (q *FIFO[T]) Clear() {
+	var zero T
+	for i := 0; i < q.count; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head, q.count = 0, 0
+}
+
+func (q *FIFO[T]) grow(n int) {
+	if q.count+n <= len(q.buf) {
+		return
+	}
+	newCap := 2 * len(q.buf)
+	if newCap < 8 {
+		newCap = 8
+	}
+	for newCap < q.count+n {
+		newCap *= 2
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -1,0 +1,286 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFIFOPushPopOrder(t *testing.T) {
+	t.Parallel()
+	var q FIFO[int]
+	for i := 0; i < 100; i++ {
+		q.PushBack(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.PopFront(); ok {
+		t.Fatal("PopFront on empty queue reported ok")
+	}
+}
+
+func TestFIFOEmptyAccessors(t *testing.T) {
+	t.Parallel()
+	var q FIFO[string]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatalf("zero FIFO: Empty=%v Len=%d, want true,0", q.Empty(), q.Len())
+	}
+	if _, ok := q.Front(); ok {
+		t.Fatal("Front on empty queue reported ok")
+	}
+	if _, ok := q.At(0); ok {
+		t.Fatal("At(0) on empty queue reported ok")
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	t.Parallel()
+	var q FIFO[int]
+	// Force the head to travel around the ring several times.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 7; i++ {
+			q.PushBack(round*7 + i)
+		}
+		for i := 0; i < 7; i++ {
+			v, ok := q.PopFront()
+			if !ok || v != round*7+i {
+				t.Fatalf("round %d: PopFront = %d,%v, want %d", round, v, ok, round*7+i)
+			}
+		}
+	}
+}
+
+func TestFIFOAt(t *testing.T) {
+	t.Parallel()
+	var q FIFO[int]
+	for i := 0; i < 5; i++ {
+		q.PushBack(i * 10)
+	}
+	q.PopFront() // head now at element 10
+	for i := 0; i < 4; i++ {
+		v, ok := q.At(i)
+		if !ok || v != (i+1)*10 {
+			t.Fatalf("At(%d) = %d,%v, want %d", i, v, ok, (i+1)*10)
+		}
+	}
+	if _, ok := q.At(4); ok {
+		t.Fatal("At(len) reported ok")
+	}
+	if _, ok := q.At(-1); ok {
+		t.Fatal("At(-1) reported ok")
+	}
+}
+
+func TestFIFORemoveFuncMiddle(t *testing.T) {
+	t.Parallel()
+	var q FIFO[int]
+	for i := 0; i < 6; i++ {
+		q.PushBack(i)
+	}
+	v, ok := q.RemoveFunc(func(x int) bool { return x == 3 })
+	if !ok || v != 3 {
+		t.Fatalf("RemoveFunc = %d,%v, want 3,true", v, ok)
+	}
+	want := []int{0, 1, 2, 4, 5}
+	got := q.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFORemoveFuncAbsent(t *testing.T) {
+	t.Parallel()
+	var q FIFO[int]
+	q.PushBack(1)
+	if _, ok := q.RemoveFunc(func(x int) bool { return x == 9 }); ok {
+		t.Fatal("RemoveFunc reported ok for absent element")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after failed remove, want 1", q.Len())
+	}
+}
+
+func TestFIFORemoveFuncAcrossWrap(t *testing.T) {
+	t.Parallel()
+	var q FIFO[int]
+	for i := 0; i < 8; i++ {
+		q.PushBack(i)
+	}
+	for i := 0; i < 6; i++ {
+		q.PopFront()
+	}
+	for i := 8; i < 13; i++ { // these wrap around the internal buffer
+		q.PushBack(i)
+	}
+	if _, ok := q.RemoveFunc(func(x int) bool { return x == 9 }); !ok {
+		t.Fatal("RemoveFunc failed across wrap")
+	}
+	want := []int{6, 7, 8, 10, 11, 12}
+	got := q.Snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOClear(t *testing.T) {
+	t.Parallel()
+	var q FIFO[int]
+	for i := 0; i < 20; i++ {
+		q.PushBack(i)
+	}
+	q.Clear()
+	if !q.Empty() {
+		t.Fatal("queue not empty after Clear")
+	}
+	q.PushBack(42)
+	if v, _ := q.Front(); v != 42 {
+		t.Fatalf("Front after Clear+Push = %d, want 42", v)
+	}
+}
+
+// TestFIFOQuickAgainstSlice model-checks the ring buffer against a
+// plain slice under random operation sequences.
+func TestFIFOQuickAgainstSlice(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q FIFO[int]
+		var model []int
+		for op := 0; op < int(nOps)+20; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // push (biased so the queue actually grows)
+				v := rng.Int()
+				q.PushBack(v)
+				model = append(model, v)
+			case 2: // pop
+				v, ok := q.PopFront()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			case 3: // remove a random present value
+				if len(model) == 0 {
+					continue
+				}
+				target := model[rng.Intn(len(model))]
+				v, ok := q.RemoveFunc(func(x int) bool { return x == target })
+				if !ok {
+					return false
+				}
+				for i, m := range model {
+					if m == v {
+						model = append(model[:i:i], model[i+1:]...)
+						break
+					}
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		got := q.Snapshot()
+		if len(got) != len(model) {
+			return false
+		}
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimedFIFOBasics(t *testing.T) {
+	t.Parallel()
+	var q TimedFIFO
+	t0 := time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+	q.Push(1, "Send", t0)
+	q.Push(2, "Receive", t0.Add(time.Second))
+	if q.Len() != 2 || q.Empty() {
+		t.Fatalf("Len=%d Empty=%v, want 2,false", q.Len(), q.Empty())
+	}
+	if !q.Contains(2) || q.Contains(3) {
+		t.Fatal("Contains gave wrong answer")
+	}
+	since, ok := q.Oldest()
+	if !ok || !since.Equal(t0) {
+		t.Fatalf("Oldest = %v,%v, want %v,true", since, ok, t0)
+	}
+	w, ok := q.Pop()
+	if !ok || w.Pid != 1 || w.Proc != "Send" {
+		t.Fatalf("Pop = %+v, want pid 1 Send", w)
+	}
+	pids := q.Pids()
+	if len(pids) != 1 || pids[0] != 2 {
+		t.Fatalf("Pids = %v, want [2]", pids)
+	}
+}
+
+func TestTimedFIFORemoveByPid(t *testing.T) {
+	t.Parallel()
+	var q TimedFIFO
+	now := time.Now()
+	for pid := int64(1); pid <= 4; pid++ {
+		q.Push(pid, "P", now)
+	}
+	w, ok := q.Remove(3)
+	if !ok || w.Pid != 3 {
+		t.Fatalf("Remove(3) = %+v,%v", w, ok)
+	}
+	if _, ok := q.Remove(3); ok {
+		t.Fatal("Remove(3) twice reported ok")
+	}
+	want := []int64{1, 2, 4}
+	got := q.Pids()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pids = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimedFIFOPeekDoesNotConsume(t *testing.T) {
+	t.Parallel()
+	var q TimedFIFO
+	q.Push(7, "Acquire", time.Now())
+	w1, ok1 := q.Peek()
+	w2, ok2 := q.Peek()
+	if !ok1 || !ok2 || w1.Pid != 7 || w2.Pid != 7 || q.Len() != 1 {
+		t.Fatal("Peek consumed the head")
+	}
+}
+
+func TestTimedFIFOClearAndOldestEmpty(t *testing.T) {
+	t.Parallel()
+	var q TimedFIFO
+	q.Push(1, "P", time.Now())
+	q.Clear()
+	if _, ok := q.Oldest(); ok {
+		t.Fatal("Oldest on empty queue reported ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+}

@@ -1,0 +1,78 @@
+package queue
+
+import "time"
+
+// Waiter is one blocked process as the monitor's queues see it: the
+// process identifier, the monitor procedure it was executing when it
+// blocked, and the instant it joined the queue (for Timer(Pid)).
+type Waiter struct {
+	Pid   int64
+	Proc  string
+	Since time.Time
+}
+
+// TimedFIFO is a FIFO of Waiters with helpers keyed by Pid. It is the
+// concrete type of the entry queue and of every condition queue.
+type TimedFIFO struct {
+	q FIFO[Waiter]
+}
+
+// Len reports the number of waiting processes.
+func (t *TimedFIFO) Len() int { return t.q.Len() }
+
+// Empty reports whether no process waits.
+func (t *TimedFIFO) Empty() bool { return t.q.Empty() }
+
+// Push enqueues pid (executing proc) at instant now.
+func (t *TimedFIFO) Push(pid int64, proc string, now time.Time) {
+	t.q.PushBack(Waiter{Pid: pid, Proc: proc, Since: now})
+}
+
+// Pop dequeues the longest-waiting process.
+func (t *TimedFIFO) Pop() (Waiter, bool) { return t.q.PopFront() }
+
+// Peek returns the head waiter without dequeuing.
+func (t *TimedFIFO) Peek() (Waiter, bool) { return t.q.Front() }
+
+// Remove removes the first waiter with the given pid, preserving order
+// of the rest. It reports whether such a waiter existed.
+func (t *TimedFIFO) Remove(pid int64) (Waiter, bool) {
+	return t.q.RemoveFunc(func(w Waiter) bool { return w.Pid == pid })
+}
+
+// Contains reports whether some waiter has the given pid.
+func (t *TimedFIFO) Contains(pid int64) bool {
+	for i := 0; i < t.q.Len(); i++ {
+		w, _ := t.q.At(i)
+		if w.Pid == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// Pids returns the queued pids head-first.
+func (t *TimedFIFO) Pids() []int64 {
+	ws := t.q.Snapshot()
+	out := make([]int64, len(ws))
+	for i, w := range ws {
+		out[i] = w.Pid
+	}
+	return out
+}
+
+// Snapshot returns the queued waiters head-first.
+func (t *TimedFIFO) Snapshot() []Waiter { return t.q.Snapshot() }
+
+// Oldest returns the Since instant of the head waiter; ok is false when
+// the queue is empty. The detector uses it to bound Timer(Pid) checks.
+func (t *TimedFIFO) Oldest() (time.Time, bool) {
+	w, ok := t.q.Front()
+	if !ok {
+		return time.Time{}, false
+	}
+	return w.Since, true
+}
+
+// Clear removes all waiters.
+func (t *TimedFIFO) Clear() { t.q.Clear() }

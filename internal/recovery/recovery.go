@@ -1,0 +1,129 @@
+// Package recovery implements the paper's second future-work extension
+// (§5): "in order to make the monitor construct fault-tolerant, error
+// recovery mechanisms should be incorporated into the model to handle
+// the faults detected by recovering the errors."
+//
+// A Manager receives violations (wire Handle into detect.Config's
+// OnViolation and the real-time checker's callback) and applies a
+// policy: report only, reset the offending monitor, or abort the
+// offending process. Every action is logged for inspection.
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+// Policy selects the reaction to a detected violation.
+type Policy int
+
+// The recovery policies.
+const (
+	// ReportOnly records the violation and takes no action — the bare
+	// detection behaviour of the paper's prototype.
+	ReportOnly Policy = iota + 1
+	// ResetMonitor reinitialises the monitor the violation occurred on:
+	// queues cleared, blocked processes aborted, R# restored.
+	ResetMonitor
+	// AbortOffender aborts the process the violation names (when it
+	// names one and the process is blocked).
+	AbortOffender
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case ReportOnly:
+		return "report-only"
+	case ResetMonitor:
+		return "reset-monitor"
+	case AbortOffender:
+		return "abort-offender"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Action records one recovery step.
+type Action struct {
+	// At is when the action was taken.
+	At time.Time
+	// Violation is the triggering violation.
+	Violation rules.Violation
+	// Taken describes what the manager did.
+	Taken string
+}
+
+// Manager applies a recovery policy to incoming violations.
+// Construct with NewManager; safe for concurrent use.
+type Manager struct {
+	policy  Policy
+	runtime *proc.Runtime
+
+	mu       sync.Mutex
+	monitors map[string]*monitor.Monitor
+	log      []Action
+	handled  map[string]bool // dedup: one recovery per (rule, monitor, pid)
+}
+
+// NewManager builds a manager over the given monitors. runtime may be
+// nil unless the AbortOffender policy is used.
+func NewManager(policy Policy, runtime *proc.Runtime, mons ...*monitor.Monitor) *Manager {
+	m := &Manager{
+		policy:   policy,
+		runtime:  runtime,
+		monitors: make(map[string]*monitor.Monitor, len(mons)),
+		handled:  make(map[string]bool),
+	}
+	for _, mon := range mons {
+		m.monitors[mon.Name()] = mon
+	}
+	return m
+}
+
+// Policy returns the configured policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Handle reacts to one violation according to the policy. It is safe to
+// pass as a detector/realtime callback.
+func (m *Manager) Handle(v rules.Violation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := fmt.Sprintf("%s|%s|%d", v.Rule, v.Monitor, v.Pid)
+	if m.handled[key] {
+		return
+	}
+	m.handled[key] = true
+
+	taken := "reported"
+	switch m.policy {
+	case ResetMonitor:
+		if mon, ok := m.monitors[v.Monitor]; ok {
+			mon.Reset()
+			taken = "monitor reset"
+		} else {
+			taken = "reported (monitor unknown, no reset)"
+		}
+	case AbortOffender:
+		taken = "reported (no offender named)"
+		if v.Pid != 0 && m.runtime != nil {
+			if p, ok := m.runtime.Get(v.Pid); ok {
+				p.Abort()
+				taken = fmt.Sprintf("aborted P%d", v.Pid)
+			}
+		}
+	}
+	m.log = append(m.log, Action{At: v.At, Violation: v, Taken: taken})
+}
+
+// Log returns the actions taken so far.
+func (m *Manager) Log() []Action {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Action(nil), m.log...)
+}

@@ -1,0 +1,188 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func newMonitor(t *testing.T) *monitor.Monitor {
+	t.Helper()
+	m, err := monitor.New(monitor.Spec{
+		Name: "m", Kind: monitor.OperationManager,
+		Conditions: []string{"ok"},
+	}, monitor.WithRecorder(history.New()), monitor.WithClock(clock.NewVirtual(epoch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPolicyString(t *testing.T) {
+	t.Parallel()
+	cases := map[Policy]string{
+		ReportOnly:    "report-only",
+		ResetMonitor:  "reset-monitor",
+		AbortOffender: "abort-offender",
+		Policy(9):     "Policy(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestReportOnlyLogs(t *testing.T) {
+	t.Parallel()
+	m := newMonitor(t)
+	mgr := NewManager(ReportOnly, nil, m)
+	if mgr.Policy() != ReportOnly {
+		t.Fatal("Policy() wrong")
+	}
+	mgr.Handle(rules.Violation{Rule: rules.ST5, Monitor: "m", Pid: 1, At: epoch})
+	log := mgr.Log()
+	if len(log) != 1 || log[0].Taken != "reported" {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestDuplicateViolationsHandledOnce(t *testing.T) {
+	t.Parallel()
+	m := newMonitor(t)
+	mgr := NewManager(ReportOnly, nil, m)
+	v := rules.Violation{Rule: rules.ST5, Monitor: "m", Pid: 1, At: epoch}
+	mgr.Handle(v)
+	mgr.Handle(v)
+	mgr.Handle(rules.Violation{Rule: rules.ST6, Monitor: "m", Pid: 1, At: epoch})
+	if got := len(mgr.Log()); got != 2 {
+		t.Fatalf("log has %d entries, want 2 (dedup by rule/monitor/pid)", got)
+	}
+}
+
+func TestResetMonitorUnblocksStuckProcesses(t *testing.T) {
+	t.Parallel()
+	// A keep-lock fault leaves the monitor permanently held; the reset
+	// policy must restore it to service.
+	inj := faults.NewInjector(faults.SignalMonitorNotReleased)
+	db := history.New()
+	m, err := monitor.New(monitor.Spec{
+		Name: "m", Kind: monitor.OperationManager, Conditions: []string{"ok"},
+	}, monitor.WithRecorder(db), monitor.WithClock(clock.NewVirtual(epoch)), monitor.WithHooks(inj.Hooks()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm()
+	r := proc.NewRuntime()
+	r.Spawn("faulty", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = m.Exit(p, "Op") // lock kept
+	})
+	r.Join()
+	if m.InsideCount() != 1 {
+		t.Fatal("fault did not leave a stale occupant")
+	}
+	// A second process is now stuck on the entry queue.
+	stuck := r.Spawn("stuck", func(p *proc.P) { _ = m.Enter(p, "Op") })
+	deadline := time.Now().Add(5 * time.Second)
+	for stuck.Status() != proc.Parked {
+		if time.Now().After(deadline) {
+			t.Fatal("second process never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	mgr := NewManager(ResetMonitor, r, m)
+	mgr.Handle(rules.Violation{Rule: rules.STrn, Monitor: "m", At: epoch})
+	r.Join() // the stuck process was aborted by the reset
+	if m.InsideCount() != 0 || m.EntryLen() != 0 {
+		t.Fatalf("monitor not reset: inside=%d eq=%d", m.InsideCount(), m.EntryLen())
+	}
+	log := mgr.Log()
+	if len(log) != 1 || log[0].Taken != "monitor reset" {
+		t.Fatalf("log = %+v", log)
+	}
+	// The monitor is serviceable again.
+	r2 := proc.NewRuntime()
+	done := false
+	r2.Spawn("fresh", func(p *proc.P) {
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		done = true
+		_ = m.Exit(p, "Op")
+	})
+	r2.Join()
+	if !done {
+		t.Fatal("monitor unusable after reset")
+	}
+}
+
+func TestResetUnknownMonitorFallsBack(t *testing.T) {
+	t.Parallel()
+	mgr := NewManager(ResetMonitor, nil)
+	mgr.Handle(rules.Violation{Rule: rules.ST5, Monitor: "ghost", At: epoch})
+	log := mgr.Log()
+	if len(log) != 1 || !strings.Contains(log[0].Taken, "no reset") {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestAbortOffender(t *testing.T) {
+	t.Parallel()
+	m := newMonitor(t)
+	r := proc.NewRuntime()
+	hold := make(chan struct{})
+	r.Spawn("holder", func(p *proc.P) { // pid 1
+		if err := m.Enter(p, "Op"); err != nil {
+			return
+		}
+		<-hold
+		_ = m.Exit(p, "Op")
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for m.InsideCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never entered")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	victim := r.Spawn("victim", func(p *proc.P) { // pid 2
+		_ = m.Enter(p, "Op")
+	})
+	for victim.Status() != proc.Parked {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	mgr := NewManager(AbortOffender, r, m)
+	mgr.Handle(rules.Violation{Rule: rules.ST6, Monitor: "m", Pid: 2, At: epoch})
+	close(hold)
+	r.Join()
+	log := mgr.Log()
+	if len(log) != 1 || log[0].Taken != "aborted P2" {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestAbortOffenderWithoutPid(t *testing.T) {
+	t.Parallel()
+	mgr := NewManager(AbortOffender, proc.NewRuntime())
+	mgr.Handle(rules.Violation{Rule: rules.ST1, Monitor: "m", At: epoch})
+	log := mgr.Log()
+	if len(log) != 1 || !strings.Contains(log[0].Taken, "no offender") {
+		t.Fatalf("log = %+v", log)
+	}
+}

@@ -1,0 +1,161 @@
+// Package report aggregates and renders violation reports — the
+// "reports" box of Figure 1. Detectors produce raw rule violations;
+// this package deduplicates, groups and formats them for operators
+// (the command-line tools and examples all render through it).
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"robustmon/internal/faults"
+	"robustmon/internal/rules"
+)
+
+// Summary aggregates a violation batch.
+type Summary struct {
+	// Total is the number of violations summarised.
+	Total int
+	// ByRule counts violations per rule ID.
+	ByRule map[rules.ID]int
+	// ByFault counts violations per classified fault kind (unclassified
+	// violations count under kind 0).
+	ByFault map[faults.Kind]int
+	// ByMonitor counts violations per monitor.
+	ByMonitor map[string]int
+	// ByPhase counts violations per detection phase.
+	ByPhase map[string]int
+}
+
+// Summarize aggregates the batch.
+func Summarize(vs []rules.Violation) Summary {
+	s := Summary{
+		Total:     len(vs),
+		ByRule:    make(map[rules.ID]int),
+		ByFault:   make(map[faults.Kind]int),
+		ByMonitor: make(map[string]int),
+		ByPhase:   make(map[string]int),
+	}
+	for _, v := range vs {
+		s.ByRule[v.Rule]++
+		s.ByFault[v.Fault]++
+		s.ByMonitor[v.Monitor]++
+		s.ByPhase[v.Phase]++
+	}
+	return s
+}
+
+// String renders the summary as "total=N rules{...} monitors{...}".
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%d", s.Total)
+	if len(s.ByRule) > 0 {
+		b.WriteString(" rules{")
+		b.WriteString(joinCounts(ruleKeys(s.ByRule), func(k rules.ID) string {
+			return fmt.Sprintf("%s:%d", k, s.ByRule[k])
+		}))
+		b.WriteString("}")
+	}
+	if len(s.ByMonitor) > 0 {
+		b.WriteString(" monitors{")
+		b.WriteString(joinCounts(stringKeys(s.ByMonitor), func(k string) string {
+			return fmt.Sprintf("%s:%d", k, s.ByMonitor[k])
+		}))
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+func joinCounts[K any](keys []K, format func(K) string) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = format(k)
+	}
+	return strings.Join(parts, " ")
+}
+
+func ruleKeys(m map[rules.ID]int) []rules.ID {
+	out := make([]rules.ID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func stringKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dedup collapses violations that share (rule, monitor, pid, cond),
+// keeping the earliest of each group by sequence number. Timer rules
+// re-fire at every checkpoint while the condition persists; operators
+// usually want one line per underlying problem.
+func Dedup(vs []rules.Violation) []rules.Violation {
+	type key struct {
+		rule    rules.ID
+		monitor string
+		pid     int64
+		cond    string
+	}
+	best := make(map[key]rules.Violation, len(vs))
+	order := make([]key, 0, len(vs))
+	for _, v := range vs {
+		k := key{rule: v.Rule, monitor: v.Monitor, pid: v.Pid, cond: v.Cond}
+		if cur, ok := best[k]; ok {
+			if v.Seq != 0 && (cur.Seq == 0 || v.Seq < cur.Seq) {
+				best[k] = v
+			}
+			continue
+		}
+		best[k] = v
+		order = append(order, k)
+	}
+	out := make([]rules.Violation, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	return out
+}
+
+// Render writes a grouped, human-readable listing: one section per
+// monitor (sorted), violations in sequence order within each.
+func Render(w io.Writer, vs []rules.Violation) error {
+	byMon := make(map[string][]rules.Violation)
+	for _, v := range vs {
+		byMon[v.Monitor] = append(byMon[v.Monitor], v)
+	}
+	mons := make([]string, 0, len(byMon))
+	for m := range byMon {
+		mons = append(mons, m)
+	}
+	sort.Strings(mons)
+	for _, mon := range mons {
+		group := byMon[mon]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].Seq < group[j].Seq })
+		if _, err := fmt.Fprintf(w, "monitor %s (%d violations)\n", mon, len(group)); err != nil {
+			return err
+		}
+		for _, v := range group {
+			fault := ""
+			if v.Fault != 0 {
+				fault = fmt.Sprintf("  [%s %s]", v.Fault.Code(), v.Fault)
+			}
+			phase := v.Phase
+			if phase == "" {
+				phase = "-"
+			}
+			if _, err := fmt.Fprintf(w, "  %-6s %-9s %s%s\n", v.Rule, phase, v.Message, fault); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"robustmon/internal/faults"
+	"robustmon/internal/rules"
+)
+
+func sample() []rules.Violation {
+	return []rules.Violation{
+		{Rule: rules.ST5, Monitor: "buf", Pid: 1, Seq: 9, Phase: "periodic",
+			Fault: faults.InternalTermination, Message: "stuck"},
+		{Rule: rules.ST5, Monitor: "buf", Pid: 1, Seq: 4, Phase: "periodic",
+			Fault: faults.InternalTermination, Message: "stuck earlier"},
+		{Rule: rules.ST7a, Monitor: "buf", Pid: 2, Seq: 7, Phase: "periodic",
+			Fault: faults.SendOverflow, Message: "overflow"},
+		{Rule: rules.FD7b, Monitor: "alloc", Pid: 3, Seq: 2, Phase: "realtime",
+			Fault: faults.ReleaseWithoutAcquire, Message: "release first"},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	s := Summarize(sample())
+	if s.Total != 4 {
+		t.Fatalf("Total = %d", s.Total)
+	}
+	if s.ByRule[rules.ST5] != 2 || s.ByRule[rules.ST7a] != 1 || s.ByRule[rules.FD7b] != 1 {
+		t.Fatalf("ByRule = %v", s.ByRule)
+	}
+	if s.ByMonitor["buf"] != 3 || s.ByMonitor["alloc"] != 1 {
+		t.Fatalf("ByMonitor = %v", s.ByMonitor)
+	}
+	if s.ByPhase["realtime"] != 1 || s.ByPhase["periodic"] != 3 {
+		t.Fatalf("ByPhase = %v", s.ByPhase)
+	}
+	if s.ByFault[faults.InternalTermination] != 2 {
+		t.Fatalf("ByFault = %v", s.ByFault)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	t.Parallel()
+	got := Summarize(sample()).String()
+	for _, want := range []string{"total=4", "ST-5:2", "buf:3", "alloc:1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	if empty := Summarize(nil).String(); empty != "total=0" {
+		t.Errorf("empty summary = %q", empty)
+	}
+}
+
+func TestDedupKeepsEarliestPerProblem(t *testing.T) {
+	t.Parallel()
+	out := Dedup(sample())
+	if len(out) != 3 {
+		t.Fatalf("Dedup kept %d, want 3: %v", len(out), out)
+	}
+	for _, v := range out {
+		if v.Rule == rules.ST5 && v.Seq != 4 {
+			t.Fatalf("Dedup kept seq %d for ST-5, want the earliest (4)", v.Seq)
+		}
+	}
+}
+
+func TestDedupDistinguishesConditions(t *testing.T) {
+	t.Parallel()
+	vs := []rules.Violation{
+		{Rule: rules.ST5, Monitor: "m", Pid: 1, Cond: "a", Seq: 1},
+		{Rule: rules.ST5, Monitor: "m", Pid: 1, Cond: "b", Seq: 2},
+	}
+	if got := Dedup(vs); len(got) != 2 {
+		t.Fatalf("Dedup merged distinct conditions: %v", got)
+	}
+}
+
+func TestDedupZeroSeqDoesNotWin(t *testing.T) {
+	t.Parallel()
+	vs := []rules.Violation{
+		{Rule: rules.ST1, Monitor: "m", Seq: 5, Message: "first"},
+		{Rule: rules.ST1, Monitor: "m", Seq: 0, Message: "checkpoint-time"},
+	}
+	out := Dedup(vs)
+	if len(out) != 1 || out[0].Seq != 5 {
+		t.Fatalf("Dedup = %v, want the seq=5 entry", out)
+	}
+}
+
+func TestRenderGroupsAndOrders(t *testing.T) {
+	t.Parallel()
+	var b strings.Builder
+	if err := Render(&b, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	allocIdx := strings.Index(out, "monitor alloc")
+	bufIdx := strings.Index(out, "monitor buf")
+	if allocIdx < 0 || bufIdx < 0 || allocIdx > bufIdx {
+		t.Fatalf("monitors not grouped/sorted:\n%s", out)
+	}
+	// Within buf, the seq-4 ST-5 line must precede the seq-7 ST-7a line.
+	if i, j := strings.Index(out, "stuck earlier"), strings.Index(out, "overflow"); i < 0 || j < 0 || i > j {
+		t.Fatalf("violations not in sequence order:\n%s", out)
+	}
+	if !strings.Contains(out, "[I.d internal-termination]") {
+		t.Fatalf("fault classification missing:\n%s", out)
+	}
+	if !strings.Contains(out, "realtime") {
+		t.Fatalf("phase missing:\n%s", out)
+	}
+}
+
+func TestRenderEmptyBatch(t *testing.T) {
+	t.Parallel()
+	var b strings.Builder
+	if err := Render(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty batch rendered %q", b.String())
+	}
+}

@@ -1,0 +1,184 @@
+package rules
+
+import (
+	"fmt"
+
+	"robustmon/internal/event"
+)
+
+// The recording pipeline stores the simplified event set of §3.3.1,
+// where the resumption of a blocked process emits no new event. The
+// paper's FD-Rules, however, are stated over the original model of
+// §3.1, in which a blocked Enter or Wait record has its flag changed
+// from 0 to 1 when the process is resumed. Effective reconstructs that
+// original sequence:
+//
+//   - a blocked Enter that is later resumed appears at its RESUMPTION
+//     point with flag 1 (its scheduling-state change — entering the
+//     monitor — happens there; this is what makes FD-Rule 1a's
+//     quantifier sound);
+//   - a Wait appears at its ISSUE point (its state change — leaving the
+//     monitor — happens there) with its flag mutated to 1 once a
+//     Signal-Exit resumes it, exactly the in-place update §3.1
+//     describes;
+//   - records never resumed keep flag 0 — the starvation witnesses
+//     FD-Rule 4 quantifies over.
+//
+// The Literal* checks then implement FD-Rules exactly as the paper
+// quantifies them, giving a third, independently derived implementation
+// to cross-validate the interpreter-based Check and the checking-list
+// algorithms.
+
+// Effective reconstructs the §3.1 event sequence from a recorded
+// (simplified) trace of one monitor. Repositioned Enter records carry
+// the Seq and time of the event that resumed them.
+func Effective(trace event.Seq) event.Seq {
+	var eq []event.Event     // blocked Enter records awaiting resumption
+	cq := map[string][]int{} // cond → indices into out of pending Wait records
+	out := make(event.Seq, 0, len(trace))
+
+	// resumeEQ re-emits the entry-queue head at the current position
+	// with flag 1.
+	resumeEQ := func(cause event.Event) {
+		if len(eq) == 0 {
+			return
+		}
+		head := eq[0]
+		eq = eq[1:]
+		head.Flag = event.Completed
+		head.Time = cause.Time
+		head.Seq = cause.Seq
+		out = append(out, head)
+	}
+
+	for _, e := range trace {
+		switch e.Type {
+		case event.Enter:
+			if e.Flag == event.Blocked {
+				eq = append(eq, e)
+				continue
+			}
+			out = append(out, e)
+		case event.Wait:
+			out = append(out, e)
+			cq[e.Cond] = append(cq[e.Cond], len(out)-1)
+			resumeEQ(e)
+		case event.SignalExit:
+			out = append(out, e)
+			if e.Flag == event.Completed {
+				if idxs := cq[e.Cond]; len(idxs) > 0 {
+					cq[e.Cond] = idxs[1:]
+					out[idxs[0]].Flag = event.Completed
+					out[idxs[0]].Time = e.Time
+				}
+			} else {
+				resumeEQ(e)
+			}
+		}
+	}
+	// Never-resumed blocked entries close the sequence in issue order,
+	// still flagged 0. (Never-resumed Waits are already in place.)
+	out = append(out, eq...)
+	return out
+}
+
+// LiteralFD1a implements FD-Rule 1a exactly as §3.2 states it over the
+// effective sequence: for every l_r = Enter(P, Pr, t_r, 1), every
+// earlier l_j = Enter(P', Pr', t_j, 1) must be followed by some l_k,
+// j < k < r, that is a Wait or Signal-Exit by P'.
+func LiteralFD1a(eff event.Seq, monitorName string) []Violation {
+	var out []Violation
+	for r, er := range eff {
+		if er.Type != event.Enter || er.Flag != event.Completed {
+			continue
+		}
+		for j := 0; j < r; j++ {
+			ej := eff[j]
+			if ej.Type != event.Enter || ej.Flag != event.Completed {
+				continue
+			}
+			left := false
+			for k := j + 1; k < r; k++ {
+				ek := eff[k]
+				if ek.Pid == ej.Pid && (ek.Type == event.Wait || ek.Type == event.SignalExit) {
+					left = true
+					break
+				}
+			}
+			if !left {
+				out = append(out, Violation{
+					Rule: FD1a, Monitor: monitorName, Pid: er.Pid, Proc: er.Proc,
+					Seq: er.Seq, At: er.Time,
+					Message: fmt.Sprintf("literal FD-1a: P%d enters while P%d never left (events %d and %d)",
+						er.Pid, ej.Pid, ej.Seq, er.Seq),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// LiteralFD1d implements FD-Rule 1d as stated: every Wait or
+// Signal-Exit by P must be preceded by some Enter(P, Pr, t, 1).
+func LiteralFD1d(eff event.Seq, monitorName string) []Violation {
+	var out []Violation
+	entered := make(map[int64]bool)
+	for _, e := range eff {
+		switch e.Type {
+		case event.Enter:
+			if e.Flag == event.Completed {
+				entered[e.Pid] = true
+			}
+		case event.Wait, event.SignalExit:
+			if !entered[e.Pid] {
+				out = append(out, Violation{
+					Rule: FD1d, Monitor: monitorName, Pid: e.Pid, Proc: e.Proc,
+					Seq: e.Seq, At: e.Time,
+					Message: fmt.Sprintf("literal FD-1d: %s by P%d with no prior completed Enter", e.Type, e.Pid),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// LiteralFD5a implements FD-Rule 5a as stated: every Wait(P, Pr, Cond,
+// t, 1) — a condition waiter that was resumed — requires some
+// Signal-Exit(P', Pr', Cond, t', 1) elsewhere in the sequence.
+func LiteralFD5a(eff event.Seq, monitorName string) []Violation {
+	signals := make(map[string]int)
+	for _, e := range eff {
+		if e.Type == event.SignalExit && e.Flag == event.Completed {
+			signals[e.Cond]++
+		}
+	}
+	var out []Violation
+	resumed := make(map[string]int)
+	for _, e := range eff {
+		if e.Type != event.Wait || e.Flag != event.Completed {
+			continue
+		}
+		resumed[e.Cond]++
+		if resumed[e.Cond] > signals[e.Cond] {
+			out = append(out, Violation{
+				Rule: FD5a, Monitor: monitorName, Pid: e.Pid, Proc: e.Proc, Cond: e.Cond,
+				Seq: e.Seq, At: e.Time,
+				Message: fmt.Sprintf("literal FD-5a: P%d resumed from %q without a matching Signal-Exit",
+					e.Pid, e.Cond),
+			})
+		}
+	}
+	return out
+}
+
+// CheckLiteral runs the literal-form rules over a recorded trace
+// (reconstructing the effective sequence first) and returns their
+// combined findings.
+func CheckLiteral(trace event.Seq, monitorName string) []Violation {
+	eff := Effective(trace)
+	var out []Violation
+	out = append(out, LiteralFD1a(eff, monitorName)...)
+	out = append(out, LiteralFD1d(eff, monitorName)...)
+	out = append(out, LiteralFD5a(eff, monitorName)...)
+	return out
+}

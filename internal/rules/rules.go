@@ -1,0 +1,150 @@
+// Package rules defines the paper's validity rules for scheduling
+// sequences and implements the FD-Rules (§3.2) as a direct checker over
+// a complete recorded trace.
+//
+// The FD-Rules characterise a valid scheduling sequence L, S:
+//
+//	FD-1  mutually exclusive access to the monitor
+//	FD-2  nontermination inside a monitor (Tmax)
+//	FD-3  fair response (a request is delayed only when the monitor is
+//	      in use)
+//	FD-4  free of starvation and losing processes (Tio; blocked events
+//	      actually grow their queue)
+//	FD-5  correct synchronisation (waiters resumed only by the matching
+//	      Signal-Exit / handoff)
+//	FD-6  consistency of resource states (0 ≤ r ≤ s ≤ r+Rmax; Send
+//	      waits only when R#=0, Receive only when R#=Rmax)
+//	FD-7  correct ordering of procedure calls (the declared path)
+//
+// The checker here replays the whole trace (the T=1 "real-time" limit
+// of §3.3); the incremental segment-based algorithms live in
+// internal/detect. The two implementations are developed independently
+// and cross-validated in tests, mirroring the paper's claim that the
+// FD-Rules and ST-Rules are equivalent.
+package rules
+
+import (
+	"fmt"
+	"time"
+
+	"robustmon/internal/faults"
+)
+
+// ID names a violated rule. FD-* ids are produced by this package's
+// full-trace checker; ST-* ids by the incremental algorithms in
+// internal/detect.
+type ID string
+
+// FD-Rule identifiers (§3.2).
+const (
+	FD1a ID = "FD-1a" // enter granted while monitor in use
+	FD1b ID = "FD-1b" // wait/exit did not pass the monitor to the entry queue head
+	FD1c ID = "FD-1c" // signal did not resume exactly the condition queue head
+	FD1d ID = "FD-1d" // operation inside the monitor without a prior Enter
+	FD2  ID = "FD-2"  // process never left the monitor within Tmax
+	FD3  ID = "FD-3"  // request delayed although the monitor was free
+	FD4  ID = "FD-4"  // starvation / lost process on a queue
+	FD5a ID = "FD-5a" // condition waiter resumed without a signal
+	FD5b ID = "FD-5b" // entry waiter resumed without a handoff
+	FD6a ID = "FD-6a" // resource invariant 0 ≤ r ≤ s ≤ r+Rmax violated
+	FD6b ID = "FD-6b" // Send waited although R# ≠ 0
+	FD6c ID = "FD-6c" // Receive waited although R# ≠ Rmax
+	FD7a ID = "FD-7a" // call order violated (e.g. acquire while holding)
+	FD7b ID = "FD-7b" // release without acquire
+	FD7c ID = "FD-7c" // obligation never completed (resource held past Tlimit)
+)
+
+// ST-Rule identifiers (§3.3.2), reported by internal/detect.
+const (
+	ST1  ID = "ST-1"  // Enter-0-List ≠ actual EQ at checkpoint
+	ST2  ID = "ST-2"  // Wait-Cond-List ≠ actual CQ[cond] at checkpoint
+	ST3a ID = "ST-3a" // |Running-List| > 1
+	ST3b ID = "ST-3b" // Wait/Signal-Exit by a process not in Running-List
+	ST3c ID = "ST-3c" // Enter(flag 1) while another process runs
+	ST3d ID = "ST-3d" // Enter(flag 0) while the monitor is free
+	ST4  ID = "ST-4"  // event by a process already on a waiting list
+	ST5  ID = "ST-5"  // Timer(Pid) ≥ Tmax on Running/Wait-Cond lists
+	ST6  ID = "ST-6"  // Timer(Pid) ≥ Tio on Enter-0-List
+	ST7a ID = "ST-7a" // 0 ≤ r ≤ s ≤ r+Rmax violated
+	ST7b ID = "ST-7b" // R#(t) ≠ R#(p) + r − s across the segment
+	ST7c ID = "ST-7c" // Send waited with Resource-No ≠ 0
+	ST7d ID = "ST-7d" // Receive waited with Resource-No ≠ Rmax
+	ST8a ID = "ST-8a" // duplicate Pid in Request-List (self deadlock)
+	ST8b ID = "ST-8b" // Release by a Pid not in Request-List
+	ST8c ID = "ST-8c" // Pid in Request-List past Tlimit
+	STrn ID = "ST-R"  // Running-List ≠ actual occupancy at checkpoint
+	STrs ID = "ST-RS" // reconstructed R# ≠ actual R# at checkpoint
+)
+
+// Assert is the rule ID for user-supplied monitor assertions (the §5
+// future-work extension implemented in internal/assert).
+const Assert ID = "ASSERT"
+
+// Violation is one detected rule violation.
+type Violation struct {
+	// Rule is the violated rule.
+	Rule ID
+	// Monitor names the monitor the violation occurred on.
+	Monitor string
+	// Pid is the offending (or victimised) process, 0 when not
+	// attributable to one process.
+	Pid int64
+	// Proc is the monitor procedure involved, if any.
+	Proc string
+	// Cond is the condition variable involved, if any.
+	Cond string
+	// Seq is the sequence number of the event that exposed the
+	// violation (0 for checkpoint-time checks).
+	Seq int64
+	// At is the instant the violation was established.
+	At time.Time
+	// Fault is the taxonomy classification the detector assigns, when
+	// one is implied by the rule (0 = unclassified).
+	Fault faults.Kind
+	// Phase records which detection phase found the violation:
+	// "realtime" for the per-event calling-order checks on allocator
+	// monitors, "periodic" for the checkpoint algorithms, "offline" for
+	// trace re-checking (§3.3: "two phases").
+	Phase string
+	// Message is a human-readable description.
+	Message string
+}
+
+// String renders "rule[monitor] P<pid>: message".
+func (v Violation) String() string {
+	pid := ""
+	if v.Pid != 0 {
+		pid = fmt.Sprintf(" P%d", v.Pid)
+	}
+	return fmt.Sprintf("%s[%s]%s: %s", v.Rule, v.Monitor, pid, v.Message)
+}
+
+// ByRule groups violations by rule ID.
+func ByRule(vs []Violation) map[ID][]Violation {
+	out := make(map[ID][]Violation)
+	for _, v := range vs {
+		out[v.Rule] = append(out[v.Rule], v)
+	}
+	return out
+}
+
+// HasRule reports whether any violation has the given rule ID.
+func HasRule(vs []Violation, id ID) bool {
+	for _, v := range vs {
+		if v.Rule == id {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFault reports whether any violation was classified as the given
+// fault kind.
+func HasFault(vs []Violation, k faults.Kind) bool {
+	for _, v := range vs {
+		if v.Fault == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package state
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func sample() Snapshot {
+	return Snapshot{
+		Monitor: "buf",
+		At:      t0,
+		EQ: []QueueEntry{
+			{Pid: 4, Proc: "Send", Since: t0.Add(-time.Second)},
+			{Pid: 5, Proc: "Receive", Since: t0},
+		},
+		CQ: map[string][]QueueEntry{
+			"notFull":  {{Pid: 2, Proc: "Send", Since: t0}},
+			"notEmpty": {},
+		},
+		Running:   []RunningEntry{{Pid: 1, Since: t0}},
+		Resources: 3,
+		LastSeq:   17,
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	t.Parallel()
+	s := sample()
+	if got := s.EQPids(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("EQPids = %v", got)
+	}
+	if got := s.CQPids("notFull"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CQPids(notFull) = %v", got)
+	}
+	if got := s.CQPids("absent"); len(got) != 0 {
+		t.Fatalf("CQPids(absent) = %v, want empty", got)
+	}
+	if got := s.RunningPids(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RunningPids = %v", got)
+	}
+	names := s.CondNames()
+	if len(names) != 2 || names[0] != "notEmpty" || names[1] != "notFull" {
+		t.Fatalf("CondNames = %v, want sorted [notEmpty notFull]", names)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	t.Parallel()
+	s := sample()
+	c := s.Clone()
+	c.EQ[0].Pid = 99
+	c.CQ["notFull"][0].Pid = 99
+	c.Running[0].Pid = 99
+	if s.EQ[0].Pid == 99 || s.CQ["notFull"][0].Pid == 99 || s.Running[0].Pid == 99 {
+		t.Fatal("Clone shares backing storage with the original")
+	}
+}
+
+func TestStringRendersTuple(t *testing.T) {
+	t.Parallel()
+	got := sample().String()
+	for _, want := range []string{"EQ=[4 5]", "R#=3", "Running=[1]", "notFull=[2]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestCompareListsAgreement(t *testing.T) {
+	t.Parallel()
+	s := sample()
+	diffs := s.CompareLists(
+		[]int64{4, 5},
+		map[string][]int64{"notFull": {2}, "notEmpty": nil},
+		[]int64{1},
+		3,
+		true,
+	)
+	if len(diffs) != 0 {
+		t.Fatalf("CompareLists on agreeing state = %v, want none", diffs)
+	}
+}
+
+func TestCompareListsDisagreements(t *testing.T) {
+	t.Parallel()
+	s := sample()
+	cases := []struct {
+		name      string
+		eq        []int64
+		cq        map[string][]int64
+		running   []int64
+		resources int
+		field     string
+	}{
+		{"eq order", []int64{5, 4}, map[string][]int64{"notFull": {2}}, []int64{1}, 3, "EQ"},
+		{"eq missing", []int64{4}, map[string][]int64{"notFull": {2}}, []int64{1}, 3, "EQ"},
+		{"cq wrong", []int64{4, 5}, map[string][]int64{"notFull": {9}}, []int64{1}, 3, "CQ[notFull]"},
+		{"cq extra cond", []int64{4, 5}, map[string][]int64{"notFull": {2}, "ghost": {3}}, []int64{1}, 3, "CQ[ghost]"},
+		{"running", []int64{4, 5}, map[string][]int64{"notFull": {2}}, []int64{2}, 3, "Running"},
+		{"resources", []int64{4, 5}, map[string][]int64{"notFull": {2}}, []int64{1}, 7, "Resources"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			diffs := s.CompareLists(tc.eq, tc.cq, tc.running, tc.resources, true)
+			found := false
+			for _, d := range diffs {
+				if d.Field == tc.field {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("CompareLists = %v, want a diff on %s", diffs, tc.field)
+			}
+		})
+	}
+}
+
+func TestCompareListsRunningIsASet(t *testing.T) {
+	t.Parallel()
+	s := sample()
+	s.Running = []RunningEntry{{Pid: 1}, {Pid: 2}}
+	diffs := s.CompareLists([]int64{4, 5}, map[string][]int64{"notFull": {2}}, []int64{2, 1}, 3, true)
+	for _, d := range diffs {
+		if d.Field == "Running" {
+			t.Fatalf("Running compared with order sensitivity: %v", diffs)
+		}
+	}
+}
+
+func TestCompareListsResourcesIgnoredWhenNotWanted(t *testing.T) {
+	t.Parallel()
+	s := sample()
+	diffs := s.CompareLists([]int64{4, 5}, map[string][]int64{"notFull": {2}}, []int64{1}, 99, false)
+	if len(diffs) != 0 {
+		t.Fatalf("CompareLists with wantResources=false = %v, want none", diffs)
+	}
+}

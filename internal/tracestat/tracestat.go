@@ -1,0 +1,151 @@
+// Package tracestat computes descriptive statistics over recorded
+// scheduling-event traces: event mix, contention (share of entries
+// that blocked), queue high-water marks and per-process activity.
+// Operators use it (via montrace stats) to understand a workload
+// before or after checking it for faults.
+package tracestat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"robustmon/internal/event"
+)
+
+// MonitorStats describes one monitor's activity within a trace.
+type MonitorStats struct {
+	// Monitor names the monitor.
+	Monitor string
+	// Events counts all events on this monitor.
+	Events int
+	// Enters, Waits, SignalExits count events by type.
+	Enters, Waits, SignalExits int
+	// BlockedEnters counts Enter events with flag 0.
+	BlockedEnters int
+	// Signalled counts Signal-Exit events that resumed a condition
+	// waiter (flag 1).
+	Signalled int
+	// Pids is the number of distinct processes seen.
+	Pids int
+	// MaxEntryQueue is the reconstructed entry-queue high-water mark.
+	MaxEntryQueue int
+	// MaxCondQueue maps each condition to its reconstructed queue
+	// high-water mark.
+	MaxCondQueue map[string]int
+}
+
+// Contention is the share of entries that had to block ([0,1]; 0 for a
+// monitor with no Enter events).
+func (m MonitorStats) Contention() float64 {
+	if m.Enters == 0 {
+		return 0
+	}
+	return float64(m.BlockedEnters) / float64(m.Enters)
+}
+
+// Stats describes a whole trace.
+type Stats struct {
+	// Events is the total event count.
+	Events int
+	// Monitors holds per-monitor statistics, sorted by monitor name.
+	Monitors []MonitorStats
+	// PerPid counts events per process.
+	PerPid map[int64]int
+}
+
+// Compute scans the trace once and derives the statistics.
+func Compute(trace event.Seq) Stats {
+	type track struct {
+		stats MonitorStats
+		pids  map[int64]bool
+		eq    int
+		cq    map[string]int
+	}
+	byMon := make(map[string]*track)
+	perPid := make(map[int64]int)
+	get := func(name string) *track {
+		t, ok := byMon[name]
+		if !ok {
+			t = &track{
+				stats: MonitorStats{Monitor: name, MaxCondQueue: make(map[string]int)},
+				pids:  make(map[int64]bool),
+				cq:    make(map[string]int),
+			}
+			byMon[name] = t
+		}
+		return t
+	}
+
+	for _, e := range trace {
+		t := get(e.Monitor)
+		t.stats.Events++
+		t.pids[e.Pid] = true
+		perPid[e.Pid]++
+		switch e.Type {
+		case event.Enter:
+			t.stats.Enters++
+			if e.Flag == event.Blocked {
+				t.stats.BlockedEnters++
+				t.eq++
+				if t.eq > t.stats.MaxEntryQueue {
+					t.stats.MaxEntryQueue = t.eq
+				}
+			}
+		case event.Wait:
+			t.stats.Waits++
+			t.cq[e.Cond]++
+			if t.cq[e.Cond] > t.stats.MaxCondQueue[e.Cond] {
+				t.stats.MaxCondQueue[e.Cond] = t.cq[e.Cond]
+			}
+			if t.eq > 0 {
+				t.eq--
+			}
+		case event.SignalExit:
+			t.stats.SignalExits++
+			if e.Flag == event.Completed {
+				t.stats.Signalled++
+				if t.cq[e.Cond] > 0 {
+					t.cq[e.Cond]--
+				}
+			} else if t.eq > 0 {
+				t.eq--
+			}
+		}
+	}
+
+	out := Stats{Events: len(trace), PerPid: perPid}
+	names := make([]string, 0, len(byMon))
+	for n := range byMon {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := byMon[n]
+		t.stats.Pids = len(t.pids)
+		out.Monitors = append(out.Monitors, t.stats)
+	}
+	return out
+}
+
+// String renders a compact multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d across %d monitor(s), %d process(es)\n",
+		s.Events, len(s.Monitors), len(s.PerPid))
+	for _, m := range s.Monitors {
+		fmt.Fprintf(&b, "monitor %s: %d events (enter %d, wait %d, signal-exit %d)\n",
+			m.Monitor, m.Events, m.Enters, m.Waits, m.SignalExits)
+		fmt.Fprintf(&b, "  contention %.1f%% (%d blocked entries), max EQ depth %d\n",
+			100*m.Contention(), m.BlockedEnters, m.MaxEntryQueue)
+		conds := make([]string, 0, len(m.MaxCondQueue))
+		for c := range m.MaxCondQueue {
+			conds = append(conds, c)
+		}
+		sort.Strings(conds)
+		for _, c := range conds {
+			fmt.Fprintf(&b, "  max CQ[%s] depth %d\n", c, m.MaxCondQueue[c])
+		}
+	}
+	return b.String()
+}

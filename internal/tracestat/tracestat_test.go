@@ -1,0 +1,95 @@
+package tracestat
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"robustmon/internal/event"
+)
+
+var t0 = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func ev(seq int64, mon string, typ event.Type, pid int64, cond string, flag int) event.Event {
+	return event.Event{
+		Seq: seq, Monitor: mon, Type: typ, Pid: pid, Proc: "P", Cond: cond, Flag: flag,
+		Time: t0.Add(time.Duration(seq) * time.Millisecond),
+	}
+}
+
+func TestComputeCounts(t *testing.T) {
+	t.Parallel()
+	trace := event.Seq{
+		ev(1, "m", event.Enter, 1, "", 1),
+		ev(2, "m", event.Enter, 2, "", 0),        // blocked: EQ depth 1
+		ev(3, "m", event.Enter, 3, "", 0),        // blocked: EQ depth 2
+		ev(4, "m", event.Wait, 1, "ok", 0),       // CQ depth 1, hands off (EQ 1)
+		ev(5, "m", event.SignalExit, 2, "ok", 1), // resumes waiter (CQ 0)
+		ev(6, "m", event.SignalExit, 1, "", 0),   // hands off (EQ 0)
+		ev(7, "m", event.SignalExit, 3, "", 0),
+		ev(8, "other", event.Enter, 9, "", 1),
+	}
+	s := Compute(trace)
+	if s.Events != 8 {
+		t.Fatalf("Events = %d", s.Events)
+	}
+	if len(s.Monitors) != 2 || s.Monitors[0].Monitor != "m" || s.Monitors[1].Monitor != "other" {
+		t.Fatalf("Monitors = %+v", s.Monitors)
+	}
+	m := s.Monitors[0]
+	if m.Enters != 3 || m.Waits != 1 || m.SignalExits != 3 {
+		t.Fatalf("event mix = %+v", m)
+	}
+	if m.BlockedEnters != 2 || m.MaxEntryQueue != 2 {
+		t.Fatalf("EQ stats = %+v", m)
+	}
+	if m.MaxCondQueue["ok"] != 1 || m.Signalled != 1 {
+		t.Fatalf("CQ stats = %+v", m)
+	}
+	if m.Pids != 3 {
+		t.Fatalf("Pids = %d, want 3", m.Pids)
+	}
+	if got := m.Contention(); got < 0.66 || got > 0.67 {
+		t.Fatalf("Contention = %v, want 2/3", got)
+	}
+	if s.PerPid[1] != 3 || s.PerPid[9] != 1 {
+		t.Fatalf("PerPid = %v", s.PerPid)
+	}
+}
+
+func TestContentionEmptyMonitor(t *testing.T) {
+	t.Parallel()
+	var m MonitorStats
+	if m.Contention() != 0 {
+		t.Fatal("contention of empty monitor should be 0")
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	t.Parallel()
+	trace := event.Seq{
+		ev(1, "m", event.Enter, 1, "", 1),
+		ev(2, "m", event.Wait, 1, "ok", 0),
+		ev(3, "m", event.Enter, 2, "", 1),
+		ev(4, "m", event.SignalExit, 2, "ok", 1),
+		ev(5, "m", event.SignalExit, 1, "", 0),
+	}
+	out := Compute(trace).String()
+	for _, want := range []string{
+		"events: 5 across 1 monitor(s), 2 process(es)",
+		"monitor m: 5 events",
+		"max CQ[ok] depth 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeEmptyTrace(t *testing.T) {
+	t.Parallel()
+	s := Compute(nil)
+	if s.Events != 0 || len(s.Monitors) != 0 || len(s.PerPid) != 0 {
+		t.Fatalf("empty trace stats = %+v", s)
+	}
+}

@@ -1,0 +1,216 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/event"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func managerSpec() monitor.Spec {
+	return monitor.Spec{
+		Name: "m", Kind: monitor.OperationManager,
+		Conditions: []string{"ok"}, Procedures: []string{"Op"},
+	}
+}
+
+// record runs a workload against an instrumented monitor and returns
+// the recorded trace.
+func record(t *testing.T, spec monitor.Spec, hooks monitor.Hooks, load func(*monitor.Monitor, *proc.Runtime)) event.Seq {
+	t.Helper()
+	db := history.New(history.WithFullTrace())
+	m, err := monitor.New(spec,
+		monitor.WithRecorder(db),
+		monitor.WithClock(clock.NewVirtual(epoch)),
+		monitor.WithHooks(hooks),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := proc.NewRuntime()
+	load(m, r)
+	r.AbortAll()
+	r.Join()
+	return db.Full()
+}
+
+func TestCleanTraceBothCheckersSilent(t *testing.T) {
+	t.Parallel()
+	trace := record(t, managerSpec(), monitor.Hooks{}, func(m *monitor.Monitor, r *proc.Runtime) {
+		for i := 0; i < 5; i++ {
+			r.Spawn("w", func(p *proc.P) {
+				if err := m.Enter(p, "Op"); err != nil {
+					return
+				}
+				_ = m.Exit(p, "Op")
+			})
+		}
+		r.Join()
+	})
+	results, err := Trace(trace, Options{Specs: []monitor.Spec{managerSpec()}})
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if len(results) != 1 || !results[0].Clean() {
+		t.Fatalf("results = %+v, want clean", results)
+	}
+	if !Agreement(results) {
+		t.Fatal("checkers disagree on a clean trace")
+	}
+}
+
+func TestFaultyTraceBothCheckersFlag(t *testing.T) {
+	t.Parallel()
+	hooks := monitor.Hooks{SignalExit: func(int64, string, string) monitor.SignalAction {
+		return monitor.SignalKeepLock
+	}}
+	trace := record(t, managerSpec(), hooks, func(m *monitor.Monitor, r *proc.Runtime) {
+		r.Spawn("p", func(p *proc.P) {
+			if err := m.Enter(p, "Op"); err != nil {
+				return
+			}
+			_ = m.Exit(p, "Op")
+		})
+		r.Join()
+		// A second process enters after the stale exit: with the lock
+		// kept, it queues forever; the trace shows Enter(0) with no
+		// running process explaining it.
+		r.Spawn("q", func(p *proc.P) { _ = m.Enter(p, "Op") })
+		deadline := time.Now().Add(5 * time.Second)
+		for m.EntryLen() != 1 && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	results, err := Trace(trace, Options{
+		Specs: []monitor.Spec{managerSpec()},
+		Tio:   time.Second,
+		End:   epoch.Add(time.Minute),
+	})
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	r := results[0]
+	if len(r.FD) == 0 {
+		t.Fatal("FD checker missed the faulty trace")
+	}
+	if len(r.ST) == 0 {
+		t.Fatal("ST checker missed the faulty trace")
+	}
+	if !Agreement(results) {
+		t.Fatal("checkers disagree")
+	}
+	for _, v := range append(append([]rules.Violation(nil), r.FD...), r.ST...) {
+		if v.Phase != "offline" {
+			t.Fatalf("violation phase = %q, want offline", v.Phase)
+		}
+	}
+}
+
+func TestTraceRejectsUndeclaredMonitor(t *testing.T) {
+	t.Parallel()
+	trace := event.Seq{{
+		Seq: 1, Monitor: "ghost", Type: event.Enter, Pid: 1, Proc: "P",
+		Flag: event.Completed, Time: epoch,
+	}}
+	if _, err := Trace(trace, Options{Specs: []monitor.Spec{managerSpec()}}); err == nil {
+		t.Fatal("undeclared monitor accepted")
+	}
+}
+
+func TestTraceRejectsDuplicateSpecs(t *testing.T) {
+	t.Parallel()
+	if _, err := Trace(nil, Options{Specs: []monitor.Spec{managerSpec(), managerSpec()}}); err == nil {
+		t.Fatal("duplicate specs accepted")
+	}
+}
+
+func TestTraceRejectsCorruptSeq(t *testing.T) {
+	t.Parallel()
+	trace := event.Seq{
+		{Seq: 2, Monitor: "m", Type: event.Enter, Pid: 1, Proc: "P", Flag: 1, Time: epoch},
+		{Seq: 1, Monitor: "m", Type: event.Enter, Pid: 2, Proc: "P", Flag: 1, Time: epoch},
+	}
+	if _, err := Trace(trace, Options{Specs: []monitor.Spec{managerSpec()}}); err == nil {
+		t.Fatal("non-monotonic trace accepted")
+	}
+}
+
+// TestQuickAgreementOnRandomCleanWorkloads cross-validates the two
+// checkers on randomly generated fault-free workloads: both must stay
+// silent, which is the equivalence claim of §3.3.2 restricted to the
+// clean side.
+func TestQuickAgreementOnRandomCleanWorkloads(t *testing.T) {
+	t.Parallel()
+	seeds := []int64{1, 7, 42, 1234, 99999}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			nProcs := 2 + rng.Intn(4)
+			nOps := 5 + rng.Intn(20)
+			rounds := 3 + rng.Intn(8)
+			trace := record(t, managerSpec(), monitor.Hooks{}, func(m *monitor.Monitor, r *proc.Runtime) {
+				for i := 0; i < nProcs; i++ {
+					r.Spawn("w", func(p *proc.P) {
+						for j := 0; j < nOps; j++ {
+							if err := m.Enter(p, "Op"); err != nil {
+								return
+							}
+							_ = m.Exit(p, "Op")
+						}
+					})
+				}
+				// A counted wait/signal pair so the trace also contains
+				// condition-queue traffic. The waiter only waits when no
+				// signal credit is pending; both checks run inside the
+				// monitor, so there are no lost wake-ups.
+				credits := 0
+				r.Spawn("waiter", func(p *proc.P) {
+					for j := 0; j < rounds; j++ {
+						if err := m.Enter(p, "Op"); err != nil {
+							return
+						}
+						if credits == 0 {
+							if err := m.Wait(p, "Op", "ok"); err != nil {
+								return
+							}
+						}
+						credits--
+						_ = m.Exit(p, "Op")
+					}
+				})
+				r.Spawn("signaler", func(p *proc.P) {
+					for j := 0; j < rounds; j++ {
+						if err := m.Enter(p, "Op"); err != nil {
+							return
+						}
+						credits++
+						_ = m.SignalExit(p, "Op", "ok")
+					}
+				})
+				r.Join()
+			})
+			results, err := Trace(trace, Options{
+				Specs: []monitor.Spec{managerSpec()},
+				Tmax:  time.Hour, Tio: time.Hour,
+				End: epoch.Add(time.Second),
+			})
+			if err != nil {
+				t.Fatalf("Trace: %v", err)
+			}
+			if !results[0].Clean() {
+				t.Fatalf("random clean workload flagged: FD=%v ST=%v Literal=%v",
+					results[0].FD, results[0].ST, results[0].Literal)
+			}
+		})
+	}
+}

@@ -1,0 +1,306 @@
+// Package workload generates deterministic, seed-reproducible workloads
+// for the evaluation harness and stress tests: scripted sequences of
+// monitor procedure calls for each of the paper's three monitor
+// classes, balanced so a fault-free run always terminates (every Send
+// has a Receive, every Acquire its Release).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"robustmon/internal/apps/allocator"
+	"robustmon/internal/apps/boundedbuffer"
+	"robustmon/internal/apps/kvstore"
+	"robustmon/internal/proc"
+)
+
+// OpKind is one scripted operation type.
+type OpKind int
+
+// The scripted operations.
+const (
+	// OpSend deposits Arg into a bounded buffer.
+	OpSend OpKind = iota + 1
+	// OpReceive takes one item from a bounded buffer.
+	OpReceive
+	// OpAcquire takes one allocator unit.
+	OpAcquire
+	// OpRelease returns the allocator unit.
+	OpRelease
+	// OpPut stores key K with value V in the kv store.
+	OpPut
+	// OpGet reads key K.
+	OpGet
+	// OpDelete removes key K.
+	OpDelete
+	// OpSpin burns Arg iterations of CPU between monitor calls (think
+	// time, so workloads are not pure lock-ping-pong).
+	OpSpin
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpSend:
+		return "send"
+	case OpReceive:
+		return "receive"
+	case OpAcquire:
+		return "acquire"
+	case OpRelease:
+		return "release"
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpSpin:
+		return "spin"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one scripted operation.
+type Op struct {
+	Kind OpKind
+	// Arg is the payload for OpSend / spin count for OpSpin.
+	Arg int
+	// Key is the key for kv-store operations.
+	Key string
+}
+
+// Script is the operation sequence of one process.
+type Script struct {
+	Name string
+	Ops  []Op
+}
+
+// Config parameterises generation.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// Procs is the number of processes (scripts).
+	Procs int
+	// OpsPerProc is the approximate number of monitor operations per
+	// process.
+	OpsPerProc int
+	// Think inserts an OpSpin of up to this many iterations between
+	// monitor calls (0 disables).
+	Think int
+}
+
+// Gen generates scripts. Construct with NewGen.
+type Gen struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGen returns a generator; invalid fields are clamped to minimums.
+func NewGen(cfg Config) *Gen {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	if cfg.OpsPerProc < 1 {
+		cfg.OpsPerProc = 1
+	}
+	return &Gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func (g *Gen) think(ops []Op) []Op {
+	if g.cfg.Think <= 0 {
+		return ops
+	}
+	return append(ops, Op{Kind: OpSpin, Arg: 1 + g.rng.Intn(g.cfg.Think)})
+}
+
+// Coordinator generates producer and consumer scripts with balanced
+// totals: half the processes send, half receive, and the grand totals
+// match so the run drains completely.
+func (g *Gen) Coordinator() []Script {
+	producers := g.cfg.Procs / 2
+	if producers == 0 {
+		producers = 1
+	}
+	consumers := g.cfg.Procs - producers
+	if consumers == 0 {
+		consumers = 1
+	}
+	total := producers * g.cfg.OpsPerProc
+	scripts := make([]Script, 0, producers+consumers)
+	for i := 0; i < producers; i++ {
+		var ops []Op
+		for j := 0; j < g.cfg.OpsPerProc; j++ {
+			ops = append(ops, Op{Kind: OpSend, Arg: g.rng.Int()})
+			ops = g.think(ops)
+		}
+		scripts = append(scripts, Script{Name: fmt.Sprintf("producer%d", i), Ops: ops})
+	}
+	// Distribute the receives across consumers, remainder to the first.
+	per := total / consumers
+	rem := total % consumers
+	for i := 0; i < consumers; i++ {
+		n := per
+		if i == 0 {
+			n += rem
+		}
+		var ops []Op
+		for j := 0; j < n; j++ {
+			ops = append(ops, Op{Kind: OpReceive})
+			ops = g.think(ops)
+		}
+		scripts = append(scripts, Script{Name: fmt.Sprintf("consumer%d", i), Ops: ops})
+	}
+	return scripts
+}
+
+// Allocator generates well-behaved acquire/release cycles with random
+// cycle counts around OpsPerProc/2.
+func (g *Gen) Allocator() []Script {
+	scripts := make([]Script, 0, g.cfg.Procs)
+	for i := 0; i < g.cfg.Procs; i++ {
+		cycles := g.cfg.OpsPerProc / 2
+		if cycles < 1 {
+			cycles = 1
+		}
+		cycles += g.rng.Intn(cycles + 1)
+		var ops []Op
+		for j := 0; j < cycles; j++ {
+			ops = append(ops, Op{Kind: OpAcquire})
+			ops = g.think(ops)
+			ops = append(ops, Op{Kind: OpRelease})
+			ops = g.think(ops)
+		}
+		scripts = append(scripts, Script{Name: fmt.Sprintf("user%d", i), Ops: ops})
+	}
+	return scripts
+}
+
+// Manager generates a put/get/delete mix over a small key space.
+func (g *Gen) Manager() []Script {
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	scripts := make([]Script, 0, g.cfg.Procs)
+	for i := 0; i < g.cfg.Procs; i++ {
+		var ops []Op
+		for j := 0; j < g.cfg.OpsPerProc; j++ {
+			key := keys[g.rng.Intn(len(keys))]
+			switch g.rng.Intn(4) {
+			case 0, 1:
+				ops = append(ops, Op{Kind: OpPut, Key: key, Arg: g.rng.Int()})
+			case 2:
+				ops = append(ops, Op{Kind: OpGet, Key: key})
+			default:
+				ops = append(ops, Op{Kind: OpDelete, Key: key})
+			}
+			ops = g.think(ops)
+		}
+		scripts = append(scripts, Script{Name: fmt.Sprintf("client%d", i), Ops: ops})
+	}
+	return scripts
+}
+
+// spinSink defeats dead-code elimination of the OpSpin busy loop;
+// atomic because every scripted process spins concurrently.
+var spinSink atomic.Int64
+
+func spin(n int) {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	spinSink.Store(int64(s))
+}
+
+// RunCoordinator executes coordinator scripts against a bounded buffer,
+// one process per script, and waits for completion.
+func RunCoordinator(rt *proc.Runtime, buf *boundedbuffer.Buffer, scripts []Script) {
+	for _, s := range scripts {
+		s := s
+		rt.Spawn(s.Name, func(p *proc.P) {
+			for _, op := range s.Ops {
+				switch op.Kind {
+				case OpSend:
+					if err := buf.Send(p, op.Arg); err != nil {
+						return
+					}
+				case OpReceive:
+					if _, err := buf.Receive(p); err != nil {
+						return
+					}
+				case OpSpin:
+					spin(op.Arg)
+				}
+			}
+		})
+	}
+	rt.Join()
+}
+
+// RunAllocator executes allocator scripts against an allocator.
+func RunAllocator(rt *proc.Runtime, alloc *allocator.Allocator, scripts []Script) {
+	for _, s := range scripts {
+		s := s
+		rt.Spawn(s.Name, func(p *proc.P) {
+			for _, op := range s.Ops {
+				switch op.Kind {
+				case OpAcquire:
+					if err := alloc.Acquire(p); err != nil {
+						return
+					}
+				case OpRelease:
+					if err := alloc.Release(p); err != nil {
+						return
+					}
+				case OpSpin:
+					spin(op.Arg)
+				}
+			}
+		})
+	}
+	rt.Join()
+}
+
+// RunManager executes manager scripts against a kv store.
+func RunManager(rt *proc.Runtime, store *kvstore.Store, scripts []Script) {
+	for _, s := range scripts {
+		s := s
+		rt.Spawn(s.Name, func(p *proc.P) {
+			for _, op := range s.Ops {
+				switch op.Kind {
+				case OpPut:
+					if err := store.Put(p, op.Key, "v"); err != nil {
+						return
+					}
+				case OpGet:
+					if _, _, err := store.Get(p, op.Key); err != nil {
+						return
+					}
+				case OpDelete:
+					if err := store.Delete(p, op.Key); err != nil {
+						return
+					}
+				case OpSpin:
+					spin(op.Arg)
+				}
+			}
+		})
+	}
+	rt.Join()
+}
+
+// Totals tallies the monitor operations in a set of scripts (excluding
+// think time), useful for assertions and reporting.
+func Totals(scripts []Script) map[OpKind]int {
+	out := make(map[OpKind]int)
+	for _, s := range scripts {
+		for _, op := range s.Ops {
+			if op.Kind != OpSpin {
+				out[op.Kind]++
+			}
+		}
+	}
+	return out
+}

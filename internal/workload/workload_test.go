@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"robustmon/internal/apps/allocator"
+	"robustmon/internal/apps/boundedbuffer"
+	"robustmon/internal/apps/kvstore"
+	"robustmon/internal/detect"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Seed: 42, Procs: 4, OpsPerProc: 10, Think: 8}
+	a := NewGen(cfg).Coordinator()
+	b := NewGen(cfg).Coordinator()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Ops) != len(b[i].Ops) {
+			t.Fatalf("script %d differs", i)
+		}
+		for j := range a[i].Ops {
+			if a[i].Ops[j] != b[i].Ops[j] {
+				t.Fatalf("script %d op %d differs: %+v vs %+v", i, j, a[i].Ops[j], b[i].Ops[j])
+			}
+		}
+	}
+}
+
+func TestCoordinatorScriptsBalanced(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, procs, ops uint8) bool {
+		g := NewGen(Config{Seed: seed, Procs: int(procs%8) + 1, OpsPerProc: int(ops%20) + 1})
+		totals := Totals(g.Coordinator())
+		return totals[OpSend] == totals[OpReceive] && totals[OpSend] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorScriptsBalanced(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, procs, ops uint8) bool {
+		g := NewGen(Config{Seed: seed, Procs: int(procs%8) + 1, OpsPerProc: int(ops%20) + 1})
+		totals := Totals(g.Allocator())
+		return totals[OpAcquire] == totals[OpRelease] && totals[OpAcquire] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThinkInsertsSpins(t *testing.T) {
+	t.Parallel()
+	g := NewGen(Config{Seed: 1, Procs: 2, OpsPerProc: 5, Think: 100})
+	spins := 0
+	for _, s := range g.Manager() {
+		for _, op := range s.Ops {
+			if op.Kind == OpSpin {
+				spins++
+				if op.Arg < 1 || op.Arg > 100 {
+					t.Fatalf("spin arg %d out of range", op.Arg)
+				}
+			}
+		}
+	}
+	if spins == 0 {
+		t.Fatal("Think > 0 produced no spin ops")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	t.Parallel()
+	for k := OpSend; k <= OpSpin; k++ {
+		if k.String() == "" || k.String()[0] == 'O' {
+			t.Fatalf("OpKind(%d).String() = %q", int(k), k.String())
+		}
+	}
+	if OpKind(99).String() != "OpKind(99)" {
+		t.Fatal("unknown kind not handled")
+	}
+}
+
+// TestSoakAllWorkloadsFaultFree is the integration soak: all three
+// monitor classes run generated workloads under full recording and a
+// fast periodic detector on the real clock; no violations may appear
+// and the monitors must drain. This is the no-false-positives property
+// at system scale.
+func TestSoakAllWorkloadsFaultFree(t *testing.T) {
+	t.Parallel()
+	seeds := []int64{3, 17}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			g := NewGen(Config{Seed: seed, Procs: 6, OpsPerProc: 200, Think: 50})
+
+			db := history.New()
+			buf, err := boundedbuffer.New(3,
+				boundedbuffer.WithName("soak-buf"),
+				boundedbuffer.WithMonitorOptions(monitor.WithRecorder(db)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			alloc, err := allocator.New(2,
+				allocator.WithName("soak-alloc"),
+				allocator.WithMonitorOptions(monitor.WithRecorder(db)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			store, err := kvstore.New(
+				kvstore.WithName("soak-kv"),
+				kvstore.WithMonitorOptions(monitor.WithRecorder(db)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			det := detect.New(db, detect.Config{
+				Tmax: time.Minute, Tio: time.Minute, Tlimit: time.Minute,
+				HoldWorld: true,
+			}, buf.Monitor(), alloc.Monitor(), store.Monitor())
+
+			stop := make(chan struct{})
+			tickerDone := make(chan struct{})
+			go func() {
+				defer close(tickerDone)
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(2 * time.Millisecond):
+						det.CheckNow()
+					}
+				}
+			}()
+
+			rt := proc.NewRuntime()
+			RunCoordinator(rt, buf, g.Coordinator())
+			rt2 := proc.NewRuntime()
+			RunAllocator(rt2, alloc, g.Allocator())
+			rt3 := proc.NewRuntime()
+			RunManager(rt3, store, g.Manager())
+			close(stop)
+			<-tickerDone
+
+			if vs := det.CheckNow(); len(vs) != 0 {
+				t.Fatalf("final check: %v", vs)
+			}
+			if all := det.Violations(); len(all) != 0 {
+				t.Fatalf("soak produced %d violations; first: %v", len(all), all[0])
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("buffer not drained: %d items", buf.Len())
+			}
+			if alloc.Free() != alloc.Units() {
+				t.Fatalf("allocator not drained: free=%d", alloc.Free())
+			}
+		})
+	}
+}

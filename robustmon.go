@@ -1,0 +1,387 @@
+// Package robustmon is a Go reproduction of "Run-time Fault Detection
+// in Monitor Based Concurrent Programming" (Cao, Cheung, Chan — DSN
+// 2001): an augmented monitor construct whose Enter / Wait /
+// Signal-Exit primitives record scheduling events into a history
+// database, checked periodically (and, for resource allocators, in real
+// time) against the paper's fault-detection rules. The package is a
+// facade over the implementation packages; everything needed to build
+// monitors, run workloads, inject the 21 classified fault kinds and
+// detect them is re-exported here.
+//
+// # Quick start
+//
+//	spec := robustmon.Spec{
+//	    Name:       "account",
+//	    Kind:       robustmon.OperationManager,
+//	    Conditions: []string{"nonZero"},
+//	}
+//	db := robustmon.NewHistory(robustmon.WithFullTrace())
+//	mon, err := robustmon.NewMonitor(spec, robustmon.WithRecorder(db))
+//	if err != nil { ... }
+//	det := robustmon.NewDetector(db, robustmon.DetectorConfig{
+//	    Tmax: 10 * time.Second,
+//	    Tio:  10 * time.Second,
+//	}, mon)
+//
+//	rt := robustmon.NewRuntime()
+//	rt.Spawn("worker", func(p *robustmon.Process) {
+//	    if err := mon.Enter(p, "Deposit"); err != nil { return }
+//	    // ... operate on the shared state ...
+//	    _ = mon.SignalExit(p, "Deposit", "nonZero")
+//	})
+//	rt.Join()
+//
+//	for _, v := range det.CheckNow() {
+//	    fmt.Println(v)
+//	}
+//
+// See the examples directory for complete programs and DESIGN.md for
+// the mapping from the paper's concepts to packages.
+package robustmon
+
+import (
+	"io"
+	"time"
+
+	"robustmon/internal/assert"
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/event"
+	"robustmon/internal/experiment"
+	"robustmon/internal/external"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/mdl"
+	"robustmon/internal/monitor"
+	"robustmon/internal/pathexpr"
+	"robustmon/internal/proc"
+	"robustmon/internal/recovery"
+	"robustmon/internal/report"
+	"robustmon/internal/rules"
+	"robustmon/internal/state"
+	"robustmon/internal/verify"
+)
+
+// Monitor construct.
+type (
+	// Monitor is the augmented monitor (Enter / Wait / SignalExit /
+	// Exit primitives with instrumentation and checkpoint support).
+	Monitor = monitor.Monitor
+	// Spec is the visible part of a monitor declaration.
+	Spec = monitor.Spec
+	// MonitorKind classifies a monitor per §2.1.
+	MonitorKind = monitor.Kind
+	// MonitorOption configures NewMonitor.
+	MonitorOption = monitor.Option
+	// Hooks is the fault-injection surface of the monitor protocol.
+	Hooks = monitor.Hooks
+	// Recorder receives scheduling events (history databases and the
+	// real-time checker implement it).
+	Recorder = monitor.Recorder
+)
+
+// The three monitor classes.
+const (
+	CommunicationCoordinator = monitor.CommunicationCoordinator
+	ResourceAllocator        = monitor.ResourceAllocator
+	OperationManager         = monitor.OperationManager
+)
+
+// Monitor construction errors.
+var (
+	// ErrSpec reports an invalid monitor declaration.
+	ErrSpec = monitor.ErrSpec
+	// ErrUnknownCond reports a Wait/Signal-Exit on an undeclared
+	// condition.
+	ErrUnknownCond = monitor.ErrUnknownCond
+	// ErrAborted reports that a blocked process was aborted.
+	ErrAborted = monitor.ErrAborted
+)
+
+// NewMonitor validates the declaration and builds a monitor.
+func NewMonitor(spec Spec, opts ...MonitorOption) (*Monitor, error) {
+	return monitor.New(spec, opts...)
+}
+
+// WithRecorder attaches a history database (or checking tee) to a
+// monitor. A monitor without a recorder runs bare — the paper's
+// "without extension" baseline.
+func WithRecorder(r Recorder) MonitorOption { return monitor.WithRecorder(r) }
+
+// WithClock sets the monitor's time source.
+func WithClock(c Clock) MonitorOption { return monitor.WithClock(c) }
+
+// WithHooks installs protocol-deviation hooks (fault injection).
+func WithHooks(h Hooks) MonitorOption { return monitor.WithHooks(h) }
+
+// Processes.
+type (
+	// Process is one user process bound to a goroutine.
+	Process = proc.P
+	// Runtime spawns and tracks processes.
+	Runtime = proc.Runtime
+	// ProcessStatus is a process life-cycle state.
+	ProcessStatus = proc.Status
+)
+
+// NewRuntime returns an empty process runtime.
+func NewRuntime() *Runtime { return proc.NewRuntime() }
+
+// Clocks.
+type (
+	// Clock abstracts time (real or virtual).
+	Clock = clock.Clock
+	// RealClock is the wall clock.
+	RealClock = clock.Real
+	// VirtualClock is a deterministic, manually advanced clock.
+	VirtualClock = clock.Virtual
+)
+
+// NewVirtualClock returns a virtual clock at the given epoch.
+func NewVirtualClock(epoch time.Time) *VirtualClock { return clock.NewVirtual(epoch) }
+
+// History.
+type (
+	// History is the history-information database.
+	History = history.DB
+	// HistoryOption configures NewHistory.
+	HistoryOption = history.Option
+	// Event is one scheduling event.
+	Event = event.Event
+	// EventSeq is a scheduling event sequence L.
+	EventSeq = event.Seq
+	// Snapshot is a monitor scheduling state ⟨EQ, CQ[], R#⟩ + Running.
+	Snapshot = state.Snapshot
+)
+
+// NewHistory returns an empty history database.
+func NewHistory(opts ...HistoryOption) *History { return history.New(opts...) }
+
+// WithFullTrace keeps the complete event trace for export and offline
+// checking.
+func WithFullTrace() HistoryOption { return history.WithFullTrace() }
+
+// Trace I/O.
+
+// WriteTraceJSON writes a trace as JSON Lines.
+func WriteTraceJSON(w io.Writer, s EventSeq) error { return event.WriteJSON(w, s) }
+
+// ReadTraceJSON reads a JSON Lines trace.
+func ReadTraceJSON(r io.Reader) (EventSeq, error) { return event.ReadJSON(r) }
+
+// WriteTraceBinary writes a trace in the compact binary format.
+func WriteTraceBinary(w io.Writer, s EventSeq) error { return event.WriteBinary(w, s) }
+
+// ReadTraceBinary reads a binary trace.
+func ReadTraceBinary(r io.Reader) (EventSeq, error) { return event.ReadBinary(r) }
+
+// Detection.
+type (
+	// Detector is the periodic checking routine (Algorithms 1-3).
+	Detector = detect.Detector
+	// DetectorConfig parameterises a Detector.
+	DetectorConfig = detect.Config
+	// DetectorStats summarises detector activity.
+	DetectorStats = detect.Stats
+	// RealTime is the per-event calling-order checker for allocators.
+	RealTime = detect.RealTime
+	// Checker is an extra checkpoint-time check (assertions).
+	Checker = detect.Checker
+	// Violation is one detected rule violation.
+	Violation = rules.Violation
+	// RuleID names a violated rule (FD-* or ST-*).
+	RuleID = rules.ID
+)
+
+// NewDetector builds the periodic detector over the database and
+// monitors, taking the initial checkpoint snapshots.
+func NewDetector(db *History, cfg DetectorConfig, mons ...*Monitor) *Detector {
+	cfg.HoldWorld = true
+	return detect.New(db, cfg, mons...)
+}
+
+// NewDetectorNoFreeze is NewDetector without the stop-the-world hold
+// during checking (the ablation configuration; the paper's prototype
+// suspends all processes).
+func NewDetectorNoFreeze(db *History, cfg DetectorConfig, mons ...*Monitor) *Detector {
+	cfg.HoldWorld = false
+	return detect.New(db, cfg, mons...)
+}
+
+// NewRealTime wraps a recorder with real-time calling-order checking
+// for the allocator-kind monitors among specs.
+func NewRealTime(next Recorder, specs []Spec, onViolation func(Violation)) (*RealTime, error) {
+	return detect.NewRealTime(next, specs, onViolation)
+}
+
+// Fault taxonomy and injection.
+type (
+	// FaultKind identifies one fault from the §2.2 taxonomy.
+	FaultKind = faults.Kind
+	// FaultLevel is the taxonomy level.
+	FaultLevel = faults.Level
+	// Injector realises one fault kind.
+	Injector = faults.Injector
+)
+
+// The twenty-one fault kinds (§2.2).
+const (
+	EnterMutexViolation      = faults.EnterMutexViolation
+	EnterLostProcess         = faults.EnterLostProcess
+	EnterNoResponse          = faults.EnterNoResponse
+	EnterNotObserved         = faults.EnterNotObserved
+	WaitNoBlock              = faults.WaitNoBlock
+	WaitLostProcess          = faults.WaitLostProcess
+	WaitNoHandoff            = faults.WaitNoHandoff
+	WaitEntryStarved         = faults.WaitEntryStarved
+	WaitMutexViolation       = faults.WaitMutexViolation
+	WaitMonitorNotReleased   = faults.WaitMonitorNotReleased
+	SignalNoResume           = faults.SignalNoResume
+	SignalMonitorNotReleased = faults.SignalMonitorNotReleased
+	SignalMutexViolation     = faults.SignalMutexViolation
+	InternalTermination      = faults.InternalTermination
+	SendSpuriousDelay        = faults.SendSpuriousDelay
+	ReceiveSpuriousDelay     = faults.ReceiveSpuriousDelay
+	ReceiveOvertake          = faults.ReceiveOvertake
+	SendOverflow             = faults.SendOverflow
+	ReleaseWithoutAcquire    = faults.ReleaseWithoutAcquire
+	ResourceNeverReleased    = faults.ResourceNeverReleased
+	SelfDeadlock             = faults.SelfDeadlock
+)
+
+// AllFaultKinds returns the taxonomy in the paper's order.
+func AllFaultKinds() []FaultKind { return faults.AllKinds() }
+
+// NewInjector returns a disarmed injector for one fault kind.
+func NewInjector(kind FaultKind, opts ...faults.InjectorOption) *Injector {
+	return faults.NewInjector(kind, opts...)
+}
+
+// Path expressions.
+type (
+	// Path is a compiled call-order declaration.
+	Path = pathexpr.Path
+	// PathMatcher tracks one process's position in a Path.
+	PathMatcher = pathexpr.Matcher
+	// OrderError reports a call violating the declared order.
+	OrderError = pathexpr.OrderError
+)
+
+// ParsePath parses and compiles a path expression such as
+// "path Acquire ; Release end".
+func ParsePath(src string) (*Path, error) { return pathexpr.Parse(src) }
+
+// Offline checking.
+type (
+	// VerifyOptions parameterises offline trace checking.
+	VerifyOptions = verify.Options
+	// VerifyResult holds both rule checkers' findings for one monitor.
+	VerifyResult = verify.Result
+)
+
+// VerifyTrace re-checks a recorded trace offline with both independent
+// rule implementations.
+func VerifyTrace(trace EventSeq, opts VerifyOptions) ([]VerifyResult, error) {
+	return verify.Trace(trace, opts)
+}
+
+// VerifyAgreement reports whether the two offline checkers agree.
+func VerifyAgreement(results []VerifyResult) bool { return verify.Agreement(results) }
+
+// Extensions (§5 future work).
+type (
+	// AssertionSet groups user-supplied assertions for one monitor.
+	AssertionSet = assert.Set
+	// RecoveryManager applies a recovery policy to violations.
+	RecoveryManager = recovery.Manager
+	// RecoveryPolicy selects the reaction to a violation.
+	RecoveryPolicy = recovery.Policy
+)
+
+// Recovery policies.
+const (
+	ReportOnly    = recovery.ReportOnly
+	ResetMonitor  = recovery.ResetMonitor
+	AbortOffender = recovery.AbortOffender
+)
+
+// NewAssertionSet returns an empty assertion set for the named monitor.
+func NewAssertionSet(monitorName string) *AssertionSet { return assert.NewSet(monitorName) }
+
+// NewRecoveryManager builds a recovery manager over the given monitors.
+func NewRecoveryManager(p RecoveryPolicy, rt *Runtime, mons ...*Monitor) *RecoveryManager {
+	return recovery.NewManager(p, rt, mons...)
+}
+
+// Experiments (the paper's evaluation, §4).
+type (
+	// CoverageResult is one row of the E1 robustness experiment.
+	CoverageResult = experiment.CoverageResult
+	// OverheadConfig parameterises the E2 overhead experiment.
+	OverheadConfig = experiment.OverheadConfig
+	// OverheadRow is one cell of Table 1.
+	OverheadRow = experiment.OverheadRow
+)
+
+// RunCoverage injects the given fault kinds and reports detection
+// results (E1: the paper's "all injected faults are detected").
+func RunCoverage(kinds []FaultKind) []CoverageResult { return experiment.RunCoverage(kinds) }
+
+// RunOverhead executes the Table 1 overhead sweep (E2).
+func RunOverhead(cfg OverheadConfig) ([]OverheadRow, error) { return experiment.RunOverhead(cfg) }
+
+// External consistency (§1's per-program sequential constraints,
+// checked at run time across monitors).
+type (
+	// ExternalChecker enforces a program-wide calling order over
+	// qualified "monitor_Procedure" names, per process.
+	ExternalChecker = external.Checker
+)
+
+// NewExternalChecker compiles the external order declaration and wraps
+// next with its enforcement.
+func NewExternalChecker(next Recorder, order string, onViolation func(Violation)) (*ExternalChecker, error) {
+	return external.NewChecker(next, order, onViolation)
+}
+
+// QualifyProc builds the qualified symbol for a (monitor, procedure)
+// pair used in external order declarations.
+func QualifyProc(monitorName, procName string) string {
+	return external.Qualify(monitorName, procName)
+}
+
+// Reporting.
+type (
+	// ViolationSummary aggregates a violation batch by rule, fault,
+	// monitor and phase.
+	ViolationSummary = report.Summary
+)
+
+// SummarizeViolations aggregates a violation batch.
+func SummarizeViolations(vs []Violation) ViolationSummary { return report.Summarize(vs) }
+
+// DedupViolations collapses repeated reports of the same underlying
+// problem (timer rules re-fire every checkpoint).
+func DedupViolations(vs []Violation) []Violation { return report.Dedup(vs) }
+
+// RenderViolations writes a grouped human-readable violation listing.
+func RenderViolations(w io.Writer, vs []Violation) error { return report.Render(w, vs) }
+
+// Monitor declaration language (the §4 "general form of the monitor
+// specification").
+
+// ParseDeclarations parses textual monitor declarations such as
+//
+//	buffer: Monitor (communication-coordinator);
+//	    cond notFull, notEmpty;
+//	    proc Send, Receive;
+//	    rmax 4;
+//	    send Send;
+//	    receive Receive;
+//	end buffer.
+//
+// into validated Specs.
+func ParseDeclarations(src string) ([]Spec, error) { return mdl.Parse(src) }
+
+// FormatDeclaration renders a Spec back into declaration syntax.
+func FormatDeclaration(spec Spec) string { return mdl.Format(spec) }
