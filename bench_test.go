@@ -14,11 +14,17 @@
 //   - Primitive microbenches — per-operation cost of the monitor with
 //     and without the extension, history appends, path-expression
 //     steps, checkpoints by segment size.
+//   - Sharding comparatives — BenchmarkHistoryGlobal vs
+//     BenchmarkHistorySharded (single-mutex vs per-monitor-shard
+//     recording under parallel load) and BenchmarkCheckNowManyMonitors
+//     (the parallel checkpoint pipeline across N monitors, in both
+//     hold-world and per-monitor modes).
 package robustmon_test
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -192,6 +198,99 @@ func BenchmarkHistoryAppend(b *testing.B) {
 		db.Append(e)
 		if i%4096 == 4095 {
 			db.Drain() // keep the segment from growing unboundedly
+		}
+	}
+}
+
+// benchHistoryAppendParallel measures concurrent appends from many
+// monitors into one database — the contention profile the sharding
+// refactor targets. Each parallel worker writes its own monitor name,
+// as distinct monitors wired to a shared database do.
+func benchHistoryAppendParallel(b *testing.B, opts ...history.Option) {
+	db := history.New(opts...)
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := atomic.AddInt64(&worker, 1)
+		e := event.Event{
+			Monitor: fmt.Sprintf("mon%02d", id),
+			Type:    event.Enter, Pid: id, Proc: "Op", Flag: 1,
+		}
+		i := 0
+		for pb.Next() {
+			db.Append(e)
+			if i++; i%4096 == 0 {
+				db.DrainMonitor(e.Monitor) // keep the shard bounded
+			}
+		}
+	})
+}
+
+// BenchmarkHistoryGlobal is the pre-sharding single-mutex profile:
+// every monitor funnels through one lock.
+func BenchmarkHistoryGlobal(b *testing.B) {
+	benchHistoryAppendParallel(b, history.WithGlobalLock())
+}
+
+// BenchmarkHistorySharded is the same workload on per-monitor shards;
+// the speedup over BenchmarkHistoryGlobal is what the sharding buys.
+func BenchmarkHistorySharded(b *testing.B) {
+	benchHistoryAppendParallel(b)
+}
+
+// BenchmarkCheckNowManyMonitors measures one checkpoint over N
+// monitors with full segments, comparing the stop-the-world barrier
+// against the per-monitor pipeline. The per-monitor work is
+// distributed across the detector's worker pool in both modes.
+func BenchmarkCheckNowManyMonitors(b *testing.B) {
+	const perMonitorEvents = 256
+	for _, nMons := range []int{4, 16} {
+		for _, hold := range []bool{true, false} {
+			name := fmt.Sprintf("monitors=%d/hold-world", nMons)
+			if !hold {
+				name = fmt.Sprintf("monitors=%d/per-monitor", nMons)
+			}
+			b.Run(name, func(b *testing.B) {
+				db := history.New()
+				clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+				mons := make([]*monitor.Monitor, nMons)
+				for i := range mons {
+					spec := monitor.Spec{
+						Name: fmt.Sprintf("mon%02d", i), Kind: monitor.OperationManager,
+						Conditions: []string{"ok"}, Procedures: []string{"Op"},
+					}
+					m, err := monitor.New(spec, monitor.WithRecorder(db), monitor.WithClock(clk))
+					if err != nil {
+						b.Fatal(err)
+					}
+					mons[i] = m
+				}
+				det := detect.New(db, detect.Config{Clock: clk, HoldWorld: hold}, mons...)
+				rt := proc.NewRuntime()
+				fill := func() {
+					for _, m := range mons {
+						m := m
+						rt.Spawn("filler", func(p *proc.P) {
+							for j := 0; j < perMonitorEvents/2; j++ {
+								if err := m.Enter(p, "Op"); err != nil {
+									return
+								}
+								_ = m.Exit(p, "Op")
+							}
+						})
+					}
+					rt.Join()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					fill()
+					b.StartTimer()
+					if vs := det.CheckNow(); len(vs) != 0 {
+						b.Fatalf("violations: %v", vs)
+					}
+				}
+				b.ReportMetric(float64(nMons*perMonitorEvents), "events/check")
+			})
 		}
 	}
 }

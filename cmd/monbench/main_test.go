@@ -44,6 +44,73 @@ func TestTinySweepProducesTable(t *testing.T) {
 	}
 }
 
+func TestScalingSweepProducesTable(t *testing.T) {
+	t.Parallel()
+	code, out, errOut := runTool(t,
+		"-monitors", "1,2",
+		"-ops", "200",
+		"-procs", "1",
+		"-intervals", "2ms",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q\n%s", code, errOut, out)
+	}
+	for _, want := range []string{"E4 (scaling)", "hold-world", "per-monitor", "events/sec", "shape check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingGlobalLockFlag(t *testing.T) {
+	t.Parallel()
+	code, out, errOut := runTool(t,
+		"-monitors", "1",
+		"-ops", "100",
+		"-procs", "1",
+		"-globallock",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "db=global-lock") {
+		t.Errorf("output missing global-lock marker:\n%s", out)
+	}
+}
+
+func TestBadMonitorCountRejected(t *testing.T) {
+	t.Parallel()
+	code, _, errOut := runTool(t, "-monitors", "several")
+	if code != 2 || !strings.Contains(errOut, "bad monitor count") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestScalingRejectsIntervalSweep(t *testing.T) {
+	t.Parallel()
+	code, _, errOut := runTool(t, "-monitors", "1,2", "-intervals", "2ms,4ms")
+	if code != 2 || !strings.Contains(errOut, "single -intervals") {
+		t.Fatalf("code=%d err=%q, want rejection of multi-interval scaling sweep", code, errOut)
+	}
+}
+
+func TestTable1ReportsThroughput(t *testing.T) {
+	t.Parallel()
+	code, out, errOut := runTool(t,
+		"-intervals", "2ms",
+		"-ops", "200",
+		"-procs", "1",
+		"-repeats", "1",
+		"-workloads", "manager",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "events/sec") {
+		t.Errorf("detail table missing events/sec column:\n%s", out)
+	}
+}
+
 func TestBadIntervalRejected(t *testing.T) {
 	t.Parallel()
 	code, _, errOut := runTool(t, "-intervals", "soon")

@@ -1,0 +1,3 @@
+module robustmon
+
+go 1.24

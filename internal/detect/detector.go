@@ -7,17 +7,24 @@
 // checking of calling orders … and periodical checking of other
 // errors").
 //
-// At each checkpoint the detector freezes every monitored monitor
-// (suspending all processes attempting monitor operations, as §4
-// prescribes), snapshots their actual scheduling states, drains the
-// event segment recorded since the previous checkpoint, replays it
-// through the checking lists, and compares the reconstruction with
-// reality. Timers (Tmax, Tio, Tlimit) close the gap for faults whose
-// only symptom is that nothing happens.
+// Checkpoints run as a parallel pipeline over the sharded history
+// database: each monitor's freeze → snapshot → drain-own-shard →
+// replay → thaw is independent work, distributed across a bounded
+// worker pool. Two modes exist. HoldWorld (the paper-faithful default)
+// is a two-phase barrier: phase one freezes every monitored monitor
+// and takes all snapshots and shard drains while the world is stopped,
+// phase two replays the per-monitor segments in parallel before
+// thawing, so the checkpoint observes one consistent global state
+// exactly as §4 prescribes. With HoldWorld off, each monitor is
+// frozen, snapshotted, drained and thawed individually and never stops
+// an unrelated monitor — the cheap mode for many-monitor workloads.
+// Timers (Tmax, Tio, Tlimit) close the gap for faults whose only
+// symptom is that nothing happens. See DESIGN.md for the architecture.
 package detect
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"time"
 
@@ -48,10 +55,16 @@ type Config struct {
 	Clock clock.Clock
 	// HoldWorld keeps every monitor frozen for the whole check, exactly
 	// as the paper's prototype suspends all processes during checking.
-	// When false, monitors are thawed as soon as their snapshot and the
-	// segment are taken (the cheaper variant measured by the ablation
-	// benchmarks). Default true via New.
+	// When false, each monitor is frozen only while its own snapshot and
+	// shard drain are taken, and unrelated monitors never stop (the
+	// cheaper variant measured by the ablation benchmarks). Default true
+	// via New.
 	HoldWorld bool
+	// Workers bounds the checkpoint worker pool: how many monitors are
+	// checked concurrently within one checkpoint. Zero means
+	// min(GOMAXPROCS, number of monitors); 1 reproduces the serial
+	// checking order exactly.
+	Workers int
 	// OnViolation, when set, is called synchronously for each violation
 	// as it is found.
 	OnViolation func(rules.Violation)
@@ -80,20 +93,28 @@ type Checker interface {
 // checkpoints.
 type counts struct{ sends, recvs int }
 
+// monState is the per-monitor checking state carried across
+// checkpoints. Each monitor has exactly one monState, and within a
+// checkpoint exactly one worker touches it, so no lock is needed
+// beyond the checkpoint barrier itself.
+type monState struct {
+	mon  *monitor.Monitor
+	prev state.Snapshot
+	tot  counts
+	rl   *checklists.RequestList
+}
+
 // Detector is the periodic checking routine. Construct with New; all
-// methods are safe for concurrent use, though checks themselves are
-// serialised.
+// methods are safe for concurrent use, though checkpoints themselves
+// are serialised (the worker pool parallelises within a checkpoint).
 type Detector struct {
 	cfg Config
 	db  *history.DB
 
-	mu       sync.Mutex
-	mons     []*monitor.Monitor
-	prev     map[string]state.Snapshot
-	totals   map[string]counts
-	reqLists map[string]*checklists.RequestList
-	found    []rules.Violation
-	stats    Stats
+	mu    sync.Mutex
+	mons  []*monState
+	found []rules.Violation
+	stats Stats
 }
 
 // Stats summarises detector activity (used by the overhead benches).
@@ -111,24 +132,28 @@ type Stats struct {
 // New builds a detector over the given history database and monitors,
 // and takes the initial checkpoint snapshots. Create the detector
 // before starting the workload so the first segment is anchored at a
-// known state.
+// known state. Checkpoints drain only the shards of the monitors
+// given here: a monitor recording into db but listed with no detector
+// keeps buffering its events (see history.DB.DrainMonitor), so every
+// recording monitor should be covered by some detector.
 func New(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
 	d := &Detector{
-		cfg:      cfg,
-		db:       db,
-		mons:     mons,
-		prev:     make(map[string]state.Snapshot, len(mons)),
-		totals:   make(map[string]counts, len(mons)),
-		reqLists: make(map[string]*checklists.RequestList, len(mons)),
+		cfg:  cfg,
+		db:   db,
+		mons: make([]*monState, 0, len(mons)),
 	}
 	for _, m := range mons {
 		m.Freeze()
-		d.prev[m.Name()] = m.Snapshot().Clone()
+		prev := m.Snapshot().Clone()
 		m.Thaw()
-		d.reqLists[m.Name()] = checklists.NewRequestList(m.Spec())
+		d.mons = append(d.mons, &monState{
+			mon:  m,
+			prev: prev,
+			rl:   checklists.NewRequestList(m.Spec()),
+		})
 	}
 	return d
 }
@@ -139,55 +164,102 @@ func NewDefault(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector 
 	return New(db, cfg, mons...)
 }
 
+// workers returns the effective checkpoint pool size.
+func (d *Detector) workers() int {
+	n := d.cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(d.mons) {
+		n = len(d.mons)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // CheckNow runs one checkpoint (all three algorithms) and returns the
-// violations found at this checkpoint.
+// violations found at this checkpoint. Violations are reported in
+// monitor order regardless of worker scheduling, so the parallel
+// pipeline yields the same violation set (and order) as a serial pass.
 func (d *Detector) CheckNow() []rules.Violation {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
 	start := d.cfg.Clock.Now()
-	for _, m := range d.mons {
-		m.Freeze()
-	}
-	segment := d.db.Drain()
-	lastSeq := d.db.LastSeq()
-	snaps := make(map[string]state.Snapshot, len(d.mons))
-	for _, m := range d.mons {
-		snap := m.Snapshot().Clone()
-		snap.LastSeq = lastSeq
-		snaps[m.Name()] = snap
-		// §4: the database keeps the checkpoint states alongside the
-		// event sequence (retained only in full-trace configurations).
-		d.db.AppendState(snap)
-	}
-	if !d.cfg.HoldWorld {
-		for _, m := range d.mons {
-			m.Thaw()
+	perMon := make([][]rules.Violation, len(d.mons))
+	events := make([]int, len(d.mons))
+
+	if d.cfg.HoldWorld {
+		// Two-phase barrier (§4): stop the whole world, capture every
+		// snapshot and shard segment against the same frozen state …
+		for _, ms := range d.mons {
+			ms.mon.Freeze()
+		}
+		lastSeq := d.db.LastSeq()
+		segs := make([]event.Seq, len(d.mons))
+		snaps := make([]state.Snapshot, len(d.mons))
+		for i, ms := range d.mons {
+			snap := ms.mon.Snapshot().Clone()
+			snap.LastSeq = lastSeq
+			snaps[i] = snap
+			// §4: the database keeps the checkpoint states alongside the
+			// event sequence (retained only in full-trace configurations).
+			d.db.AppendState(snap)
+			segs[i] = d.db.DrainMonitor(ms.mon.Name())
+		}
+		// … then replay all segments through the worker pool while the
+		// world is still held, as the paper's prototype does.
+		now := d.cfg.Clock.Now()
+		d.runPool(func(i int, ms *monState) {
+			perMon[i] = d.checkMonitor(ms, segs[i], snaps[i], now)
+			events[i] = len(segs[i])
+		})
+		// Extras run while the world is still frozen, as before.
+		for _, extra := range d.cfg.Extra {
+			perMon = append(perMon, extra.Check(now))
+		}
+		if d.cfg.SuspendOverhead > 0 {
+			// Simulated platform suspension cost (see Config.SuspendOverhead).
+			// Real sleep, deliberately not the configured clock: this models
+			// wall-clock stall of the frozen world.
+			time.Sleep(d.cfg.SuspendOverhead)
+		}
+		for _, ms := range d.mons {
+			ms.mon.Thaw()
+		}
+	} else {
+		// Per-monitor mode: each worker freezes only its own monitor for
+		// the snapshot+drain instant and never stops an unrelated one.
+		now := d.cfg.Clock.Now()
+		d.runPool(func(i int, ms *monState) {
+			ms.mon.Freeze()
+			snap := ms.mon.Snapshot().Clone()
+			seg := d.db.DrainMonitor(ms.mon.Name())
+			snap.LastSeq = ms.prev.LastSeq
+			if n := len(seg); n > 0 {
+				snap.LastSeq = seg[n-1].Seq
+			}
+			d.db.AppendState(snap)
+			ms.mon.Thaw()
+			perMon[i] = d.checkMonitor(ms, seg, snap, now)
+			events[i] = len(seg)
+		})
+		// Duplicated rather than hoisted below the if/else: the HoldWorld
+		// branch must run extras before thawing, this one has no frozen
+		// world to order against.
+		for _, extra := range d.cfg.Extra {
+			perMon = append(perMon, extra.Check(now))
 		}
 	}
 
 	var out []rules.Violation
-	now := d.cfg.Clock.Now()
-	for _, m := range d.mons {
-		name := m.Name()
-		seg := segment.ByMonitor(name)
-		out = append(out, d.checkMonitor(m, seg, snaps[name], now)...)
-		d.stats.Events += len(seg)
+	for _, vs := range perMon {
+		out = append(out, vs...)
 	}
-	for _, extra := range d.cfg.Extra {
-		out = append(out, extra.Check(now)...)
-	}
-	if d.cfg.SuspendOverhead > 0 && d.cfg.HoldWorld {
-		// Simulated platform suspension cost (see Config.SuspendOverhead).
-		// Real sleep, deliberately not the configured clock: this models
-		// wall-clock stall of the frozen world.
-		time.Sleep(d.cfg.SuspendOverhead)
-	}
-
-	if d.cfg.HoldWorld {
-		for _, m := range d.mons {
-			m.Thaw()
-		}
+	for _, n := range events {
+		d.stats.Events += n
 	}
 	d.stats.FrozenFor += d.cfg.Clock.Now().Sub(start)
 	d.stats.Checks++
@@ -202,22 +274,50 @@ func (d *Detector) CheckNow() []rules.Violation {
 	return out
 }
 
-// checkMonitor runs Algorithms 1–3 for one monitor's segment. Caller
-// holds d.mu.
-func (d *Detector) checkMonitor(m *monitor.Monitor, seg event.Seq, cur state.Snapshot, now time.Time) []rules.Violation {
-	spec := m.Spec()
-	name := m.Name()
-	tot := d.totals[name]
+// runPool applies fn to every monitor state through the bounded worker
+// pool and waits for all of them. fn for different indices runs
+// concurrently; each index runs exactly once.
+func (d *Detector) runPool(fn func(i int, ms *monState)) {
+	n := d.workers()
+	if n == 1 {
+		for i, ms := range d.mons {
+			fn(i, ms)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i, d.mons[i])
+			}
+		}()
+	}
+	for i := range d.mons {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// checkMonitor runs Algorithms 1–3 for one monitor's segment and
+// advances its cross-checkpoint state. Within a checkpoint it is
+// called by exactly one worker per monitor; the checkpoint barrier in
+// CheckNow orders these calls across checkpoints.
+func (d *Detector) checkMonitor(ms *monState, seg event.Seq, cur state.Snapshot, now time.Time) []rules.Violation {
+	spec := ms.mon.Spec()
 
 	// Algorithm-1 Step 1 (+ Algorithm-2 Step 1 for coordinators): seed
 	// from the previous snapshot and replay the segment.
-	lists := checklists.FromSnapshot(spec, d.prev[name], tot.sends, tot.recvs)
+	lists := checklists.FromSnapshot(spec, ms.prev, ms.tot.sends, ms.tot.recvs)
 	var out []rules.Violation
-	rl := d.reqLists[name]
 	for _, e := range seg {
 		lists.Apply(e)
 		if spec.Kind == monitor.ResourceAllocator {
-			out = append(out, rl.Apply(e)...)
+			out = append(out, ms.rl.Apply(e)...)
 		}
 	}
 	out = append(out, lists.Violations()...)
@@ -226,11 +326,11 @@ func (d *Detector) checkMonitor(m *monitor.Monitor, seg event.Seq, cur state.Sna
 	out = append(out, lists.CompareWith(cur)...)
 	out = append(out, lists.CheckTimers(now, d.cfg.Tmax, d.cfg.Tio)...)
 	if spec.Kind == monitor.ResourceAllocator {
-		out = append(out, rl.CheckTimers(now, d.cfg.Tlimit)...)
+		out = append(out, ms.rl.CheckTimers(now, d.cfg.Tlimit)...)
 	}
 
-	d.totals[name] = counts{sends: lists.Sends, recvs: lists.Recvs}
-	d.prev[name] = cur
+	ms.tot = counts{sends: lists.Sends, recvs: lists.Recvs}
+	ms.prev = cur
 	return out
 }
 

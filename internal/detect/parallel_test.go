@@ -1,0 +1,251 @@
+package detect
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+// newManyMonitors builds n operation-manager monitors wired to one
+// shared database.
+func newManyMonitors(t testing.TB, db *history.DB, n int, opts ...monitor.Option) []*monitor.Monitor {
+	t.Helper()
+	mons := make([]*monitor.Monitor, n)
+	for i := range mons {
+		spec := monitor.Spec{
+			Name:       fmt.Sprintf("mon%02d", i),
+			Kind:       monitor.OperationManager,
+			Conditions: []string{"ok"},
+			Procedures: []string{"Op"},
+		}
+		m, err := monitor.New(spec, append([]monitor.Option{monitor.WithRecorder(db)}, opts...)...)
+		if err != nil {
+			t.Fatalf("monitor %d: %v", i, err)
+		}
+		mons[i] = m
+	}
+	return mons
+}
+
+// hammer drives every monitor with procs concurrent processes doing
+// Enter/Exit pairs and returns after all of them finish.
+func hammer(rt *proc.Runtime, mons []*monitor.Monitor, procs, pairs int) {
+	for _, m := range mons {
+		m := m
+		for w := 0; w < procs; w++ {
+			rt.Spawn("w", func(p *proc.P) {
+				for j := 0; j < pairs; j++ {
+					if err := m.Enter(p, "Op"); err != nil {
+						return
+					}
+					_ = m.Exit(p, "Op")
+				}
+			})
+		}
+	}
+	rt.Join()
+}
+
+// TestParallelCheckpointCleanUnderLoad hammers a sharded database from
+// many goroutines across many monitors while CheckNow runs repeatedly
+// in both checkpoint modes — the -race workout for the worker pool. A
+// torn drain or snapshot would surface as a reconstruction violation.
+func TestParallelCheckpointCleanUnderLoad(t *testing.T) {
+	t.Parallel()
+	for _, hold := range []bool{true, false} {
+		hold := hold
+		name := "hold-world"
+		if !hold {
+			name = "per-monitor"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			db := history.New()
+			mons := newManyMonitors(t, db, 6)
+			det := New(db, Config{
+				Tmax: time.Minute, Tio: time.Minute,
+				Clock: clock.Real{}, HoldWorld: hold, Workers: 4,
+			}, mons...)
+			rt := proc.NewRuntime()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				hammer(rt, mons, 3, 50)
+			}()
+			for {
+				select {
+				case <-done:
+					if vs := det.CheckNow(); len(vs) != 0 {
+						t.Fatalf("final check: %v", vs)
+					}
+					if st := det.Stats(); st.Events != int(db.Total()) {
+						t.Fatalf("replayed %d events, recorded %d — events lost or duplicated",
+							st.Events, db.Total())
+					}
+					return
+				default:
+					if vs := det.CheckNow(); len(vs) != 0 {
+						t.Fatalf("checkpoint under load: %v", vs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHoldWorldSnapshotConsistency proves the two-phase barrier still
+// observes one consistent world-stop picture across shards: every
+// snapshot taken at a HoldWorld checkpoint carries the same LastSeq,
+// and no event beyond that LastSeq is drained by that checkpoint.
+func TestHoldWorldSnapshotConsistency(t *testing.T) {
+	t.Parallel()
+	const nMons = 5
+	db := history.New(history.WithFullTrace())
+	mons := newManyMonitors(t, db, nMons)
+	det := New(db, Config{
+		Tmax: time.Minute, Tio: time.Minute,
+		Clock: clock.Real{}, HoldWorld: true, Workers: 3,
+	}, mons...)
+
+	rt := proc.NewRuntime()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hammer(rt, mons, 2, 40)
+	}()
+	checks := 0
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		if vs := det.CheckNow(); len(vs) != 0 {
+			t.Fatalf("violations under load: %v", vs)
+		}
+		checks++
+	}
+
+	states := db.States()
+	if len(states) != checks*nMons {
+		t.Fatalf("recorded %d states over %d checkpoints of %d monitors", len(states), checks, nMons)
+	}
+	prevLast := int64(0)
+	for c := 0; c < checks; c++ {
+		group := states[c*nMons : (c+1)*nMons]
+		last := group[0].LastSeq
+		for _, s := range group {
+			if s.LastSeq != last {
+				t.Fatalf("checkpoint %d: snapshots disagree on LastSeq (%d vs %d) — world-stop torn across shards",
+					c, s.LastSeq, last)
+			}
+		}
+		if last < prevLast {
+			t.Fatalf("checkpoint %d: LastSeq went backwards (%d after %d)", c, last, prevLast)
+		}
+		prevLast = last
+	}
+	// Every recorded event must fall under the final checkpoint horizon.
+	if total := db.LastSeq(); prevLast != total {
+		t.Fatalf("final checkpoint horizon %d, database LastSeq %d", prevLast, total)
+	}
+}
+
+// TestPerMonitorModeNeverStopsOthers checks the per-monitor pipeline:
+// while one monitor is held frozen by a stuck in-flight checkpoint
+// concern — simulated by freezing it directly — checkpoints with
+// HoldWorld=false must still complete for the remaining monitors.
+func TestPerMonitorModeNeverStopsOthers(t *testing.T) {
+	t.Parallel()
+	db := history.New()
+	mons := newManyMonitors(t, db, 3)
+	// The detector only checks monitors 1 and 2; monitor 0 stays frozen
+	// for the whole test. A world-stop checkpoint over it would hang.
+	det := New(db, Config{
+		Tmax: time.Minute, Tio: time.Minute,
+		Clock: clock.Real{}, HoldWorld: false, Workers: 2,
+	}, mons[1], mons[2])
+	mons[0].Freeze()
+	defer mons[0].Thaw()
+
+	rt := proc.NewRuntime()
+	hammer(rt, mons[1:], 2, 25)
+	doneCh := make(chan []rules.Violation, 1)
+	go func() { doneCh <- det.CheckNow() }()
+	select {
+	case vs := <-doneCh:
+		if len(vs) != 0 {
+			t.Fatalf("violations: %v", vs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("per-monitor checkpoint blocked behind an unrelated frozen monitor")
+	}
+}
+
+// TestParallelViolationParity runs the same deterministic faulty
+// workload under Workers=1 (the serial order) and Workers=4 and
+// requires identical violation sequences: the worker pool must not
+// change what is detected or how it is reported.
+func TestParallelViolationParity(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) []rules.Violation {
+		db := history.New()
+		clk := clock.NewVirtual(epoch)
+		const nMons = 4
+		mons := make([]*monitor.Monitor, nMons)
+		injs := make([]*faults.Injector, nMons)
+		for i := range mons {
+			injs[i] = faults.NewInjector(faults.SignalMonitorNotReleased)
+			m, err := monitor.New(monitor.Spec{
+				Name:       fmt.Sprintf("mon%02d", i),
+				Kind:       monitor.OperationManager,
+				Conditions: []string{"ok"},
+				Procedures: []string{"Op"},
+			}, monitor.WithRecorder(db), monitor.WithClock(clk), monitor.WithHooks(injs[i].Hooks()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mons[i] = m
+		}
+		det := New(db, Config{Clock: clk, HoldWorld: true, Workers: workers}, mons...)
+		rt := proc.NewRuntime()
+		// Deterministic: one process per monitor, run strictly in order,
+		// fault armed on even monitors only.
+		for i, m := range mons {
+			if i%2 == 0 {
+				injs[i].Arm()
+			}
+			m := m
+			rt.Spawn("p", func(p *proc.P) {
+				if err := m.Enter(p, "Op"); err != nil {
+					return
+				}
+				_ = m.Exit(p, "Op")
+			})
+			rt.Join()
+		}
+		return det.CheckNow()
+	}
+
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) == 0 {
+		t.Fatal("faulty corpus produced no violations")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial found %d violations, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Rule != p.Rule || s.Monitor != p.Monitor || s.Pid != p.Pid || s.Fault != p.Fault {
+			t.Fatalf("violation %d differs: serial %v vs parallel %v", i, s, p)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+func seqOf(monitor string, seqs ...int64) Seq {
+	out := make(Seq, 0, len(seqs))
+	for _, n := range seqs {
+		out = append(out, Event{
+			Seq: n, Monitor: monitor, Type: Enter, Pid: n, Proc: "P",
+			Flag: Completed, Time: time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC),
+		})
+	}
+	return out
+}
+
+func TestMergeRestoresGlobalOrder(t *testing.T) {
+	t.Parallel()
+	merged := Merge(
+		seqOf("a", 1, 4, 5, 9),
+		seqOf("b", 2, 3, 8),
+		seqOf("c", 6, 7),
+	)
+	if len(merged) != 9 {
+		t.Fatalf("Merge returned %d events, want 9", len(merged))
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged sequence invalid: %v", err)
+	}
+	for i, e := range merged {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("merged[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	t.Parallel()
+	if got := Merge(); got != nil {
+		t.Fatalf("Merge() = %v, want nil", got)
+	}
+	if got := Merge(nil, Seq{}, nil); got != nil {
+		t.Fatalf("Merge of empties = %v, want nil", got)
+	}
+	one := seqOf("a", 1, 2, 3)
+	got := Merge(nil, one, Seq{})
+	if len(got) != 3 {
+		t.Fatalf("single-input Merge = %v", got)
+	}
+	got[0].Pid = 99
+	if one[0].Pid == 99 {
+		t.Fatal("single-input Merge aliases its input")
+	}
+}
+
+func TestMergeManyShards(t *testing.T) {
+	t.Parallel()
+	// Round-robin 16 shards over 1..1600, as a 16-monitor database would
+	// produce under a strict rotation.
+	const shards, per = 16, 100
+	in := make([]Seq, shards)
+	for s := 0; s < shards; s++ {
+		for i := 0; i < per; i++ {
+			in[s] = append(in[s], Event{
+				Seq: int64(i*shards + s + 1), Monitor: "m", Type: Enter,
+				Pid: 1, Proc: "P", Flag: Completed,
+			})
+		}
+	}
+	merged := Merge(in...)
+	if len(merged) != shards*per {
+		t.Fatalf("merged %d events, want %d", len(merged), shards*per)
+	}
+	for i, e := range merged {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("merged[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/detect"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// ScalingConfig parameterises the many-monitor scaling experiment (E4):
+// N independent operation-manager monitors, all recording into one
+// shared (sharded) history database, checked by one detector whose
+// checkpoint pipeline distributes the per-monitor work across a worker
+// pool. The sweep compares the paper-faithful stop-the-world checkpoint
+// (HoldWorld) against the per-monitor variant at each monitor count.
+type ScalingConfig struct {
+	// Monitors are the monitor counts N to sweep.
+	Monitors []int
+	// OpsPerMonitor is the number of monitor operations (Enter+Exit
+	// pairs count as two) each monitor receives per run.
+	OpsPerMonitor int
+	// ProcsPerMonitor is the number of concurrent processes driving each
+	// monitor.
+	ProcsPerMonitor int
+	// Interval is the checking period T of the detector.
+	Interval time.Duration
+	// Workers bounds the detector's checkpoint worker pool (0 = auto).
+	Workers int
+	// GlobalLock, when set, forces the single-mutex history database
+	// (history.WithGlobalLock) so the sweep can expose the contention
+	// the sharding removes.
+	GlobalLock bool
+}
+
+// DefaultScalingConfig is the sweep cmd/monbench runs for -monitors.
+func DefaultScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		Monitors:        []int{1, 4, 16},
+		OpsPerMonitor:   4000,
+		ProcsPerMonitor: 2,
+		Interval:        5 * time.Millisecond,
+	}
+}
+
+// ScalingRow is one cell of the scaling sweep.
+type ScalingRow struct {
+	Monitors  int
+	HoldWorld bool
+	// Elapsed is the wall time of the workload (recording side).
+	Elapsed time.Duration
+	// Events is the number of events recorded (= replayed: the final
+	// checkpoint drains every shard).
+	Events int64
+	// Checks is the number of checkpoints completed.
+	Checks int
+	// EventsPerSec is the recording throughput Events/Elapsed — the
+	// headline metric future PRs track.
+	EventsPerSec float64
+}
+
+// RunScaling executes the scaling sweep: for each monitor count it
+// measures both checkpoint modes on the same workload shape.
+func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	if len(cfg.Monitors) == 0 || cfg.OpsPerMonitor <= 0 || cfg.ProcsPerMonitor <= 0 {
+		return nil, fmt.Errorf("experiment: bad scaling config %+v", cfg)
+	}
+	var rows []ScalingRow
+	for _, n := range cfg.Monitors {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiment: bad monitor count %d", n)
+		}
+		for _, hold := range []bool{true, false} {
+			row, err := runScalingCell(cfg, n, hold)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runScalingCell measures one (monitor count, checkpoint mode) cell.
+func runScalingCell(cfg ScalingConfig, monitors int, hold bool) (ScalingRow, error) {
+	var dbOpts []history.Option
+	if cfg.GlobalLock {
+		dbOpts = append(dbOpts, history.WithGlobalLock())
+	}
+	db := history.New(dbOpts...)
+	mons := make([]*monitor.Monitor, monitors)
+	for i := range mons {
+		spec := monitor.Spec{
+			Name:       fmt.Sprintf("shard%03d", i),
+			Kind:       monitor.OperationManager,
+			Conditions: []string{"ok"},
+			Procedures: []string{"Op"},
+		}
+		m, err := monitor.New(spec, monitor.WithRecorder(db))
+		if err != nil {
+			return ScalingRow{}, fmt.Errorf("experiment: scaling monitor %d: %w", i, err)
+		}
+		mons[i] = m
+	}
+	det := detect.New(db, detect.Config{
+		Interval:  cfg.Interval,
+		Tmax:      time.Hour,
+		Tio:       time.Hour,
+		Clock:     clock.Real{},
+		HoldWorld: hold,
+		Workers:   cfg.Workers,
+	}, mons...)
+	ctx, cancel := context.WithCancel(context.Background())
+	detDone := make(chan struct{})
+	go func() {
+		defer close(detDone)
+		det.Run(ctx)
+	}()
+
+	rt := proc.NewRuntime()
+	pairs := cfg.OpsPerMonitor / 2 / cfg.ProcsPerMonitor
+	if pairs == 0 {
+		pairs = 1
+	}
+	start := time.Now()
+	for _, m := range mons {
+		m := m
+		for w := 0; w < cfg.ProcsPerMonitor; w++ {
+			rt.Spawn("driver", func(p *proc.P) {
+				for j := 0; j < pairs; j++ {
+					if err := m.Enter(p, "Op"); err != nil {
+						return
+					}
+					_ = m.Exit(p, "Op")
+				}
+			})
+		}
+	}
+	rt.Join()
+	elapsed := time.Since(start)
+	cancel()
+	<-detDone
+	st := det.Stats()
+	if st.Violations > 0 {
+		vs := det.Violations()
+		return ScalingRow{}, fmt.Errorf("experiment: fault-free scaling run reported %d violations (first: %v)",
+			st.Violations, vs[0])
+	}
+	row := ScalingRow{
+		Monitors:  monitors,
+		HoldWorld: hold,
+		Elapsed:   elapsed,
+		Events:    db.Total(),
+		Checks:    st.Checks,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		row.EventsPerSec = float64(row.Events) / s
+	}
+	return row, nil
+}
+
+// ScalingTable renders the sweep with one row per (monitors, mode) and
+// the events/sec trajectory column.
+func ScalingTable(rows []ScalingRow) *Table {
+	t := NewTable("monitors", "checkpoint", "elapsed", "events", "checks", "events/sec")
+	for _, r := range rows {
+		mode := "hold-world"
+		if !r.HoldWorld {
+			mode = "per-monitor"
+		}
+		t.AddRow(fmt.Sprint(r.Monitors), mode, r.Elapsed.Round(time.Microsecond).String(),
+			fmt.Sprint(r.Events), fmt.Sprint(r.Checks), FormatEventsPerSec(r.EventsPerSec))
+	}
+	return t
+}
+
+// FormatEventsPerSec renders a throughput figure compactly (e.g.
+// "1.25M", "830k").
+func FormatEventsPerSec(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

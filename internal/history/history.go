@@ -8,26 +8,69 @@
 // removed after being used" — a drained segment is discarded unless the
 // database was configured to keep the full trace (useful for offline
 // FD-rule checking, export, and the T=1 accuracy mode).
+//
+// # Sharding
+//
+// The database is sharded per monitor: each monitor's events land in a
+// shard with its own lock and segment buffer, so monitors that run
+// concurrently never contend on a database-wide mutex. Global event
+// order — the paper's <L relation — is preserved by an atomic sequence
+// counter: every Append claims the next global sequence number while
+// holding only its shard's lock, so each shard's segment is internally
+// seq-sorted and the global sequence is recovered by merging shards
+// (event.Merge) on Drain, Full and the exports. The merged trace is
+// byte-identical to what a single global database would have recorded.
+// DrainMonitor lets the detector's parallel checkpoint pipeline drain
+// one monitor's shard without touching any other — which also means
+// detectors only consume the shards of monitors they were given, so
+// several detectors can share one database without stealing each
+// other's segments. The flip side: a monitor wired to a database but
+// covered by no detector (and never drained) buffers its events
+// indefinitely; give every recording monitor a detector, or drain its
+// shard yourself.
+//
+// WithGlobalLock collapses the database to a single shard guarded by
+// one mutex — the pre-sharding contention profile, kept for the
+// comparative benchmarks (BenchmarkHistoryGlobal vs
+// BenchmarkHistorySharded).
 package history
 
 import (
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"robustmon/internal/event"
 	"robustmon/internal/state"
 )
 
-// DB is a concurrent, append-only event store with checkpoint draining.
-// Construct with New.
+// shard holds one monitor's slice of the database. Its segment (and
+// full trace, when retained) is sorted by global sequence number,
+// because Append claims the sequence number under the shard lock.
+type shard struct {
+	mu      sync.Mutex
+	segment []event.Event
+	full    event.Seq
+}
+
+// DB is a concurrent, append-only event store with checkpoint draining,
+// sharded per monitor. Construct with New.
 type DB struct {
-	mu       sync.Mutex
-	nextSeq  int64
-	segment  []event.Event
-	full     event.Seq
+	nextSeq  atomic.Int64
+	total    atomic.Int64
 	keepFull bool
-	total    int64
-	states   []state.Snapshot
+	global   bool // WithGlobalLock: single shard, legacy contention profile
+
+	// shardMu guards the shards map itself (shard creation); appends on
+	// an existing shard take only the shard's own lock.
+	shardMu sync.RWMutex
+	shards  map[string]*shard
+
+	// stateMu guards the checkpoint snapshots — a cold path written only
+	// at checkpoints, deliberately outside the shard locks.
+	stateMu sync.Mutex
+	states  []state.Snapshot
 }
 
 // Option configures a DB.
@@ -41,86 +84,212 @@ func WithFullTrace() Option {
 	return func(db *DB) { db.keepFull = true }
 }
 
-// New returns an empty database.
+// WithGlobalLock routes every monitor through a single shard, restoring
+// the pre-sharding single-mutex behaviour. It exists so benchmarks can
+// measure what the sharding buys; production callers should not use it.
+func WithGlobalLock() Option {
+	return func(db *DB) { db.global = true }
+}
+
+// New returns an empty database (sharded per monitor by default).
 func New(opts ...Option) *DB {
-	db := &DB{}
+	db := &DB{shards: make(map[string]*shard, 8)}
 	for _, o := range opts {
 		o(db)
 	}
 	return db
 }
 
-// Append records the event, assigns it the next sequence number
-// (starting at 1), and returns the stored copy.
-func (db *DB) Append(e event.Event) event.Event {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.nextSeq++
-	e.Seq = db.nextSeq
-	db.segment = append(db.segment, e)
-	if db.keepFull {
-		db.full = append(db.full, e)
+// shardFor returns the shard receiving events of the named monitor,
+// creating it on first use.
+func (db *DB) shardFor(monitor string) *shard {
+	if db.global {
+		monitor = ""
 	}
-	db.total++
+	db.shardMu.RLock()
+	s := db.shards[monitor]
+	db.shardMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	db.shardMu.Lock()
+	defer db.shardMu.Unlock()
+	if s = db.shards[monitor]; s == nil {
+		s = &shard{}
+		db.shards[monitor] = s
+	}
+	return s
+}
+
+// lockAllShards locks every shard in deterministic (name) order and
+// returns them with an unlock function. The shard-map read lock is
+// held until unlock, so no new shard can appear mid-operation, and
+// with every shard lock held no Append can be mid-flight: the
+// recorded events are exactly sequence numbers 1..nextSeq. Multi-
+// shard operations therefore observe one consistent global state even
+// without freezing the monitors. The deterministic order makes
+// concurrent multi-shard operations deadlock-free (single-shard paths
+// hold at most one shard lock and never a shard lock under shardMu).
+func (db *DB) lockAllShards() ([]*shard, func()) {
+	db.shardMu.RLock()
+	names := make([]string, 0, len(db.shards))
+	for name := range db.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	shards := make([]*shard, 0, len(names))
+	for _, name := range names {
+		shards = append(shards, db.shards[name])
+	}
+	for _, s := range shards {
+		s.mu.Lock()
+	}
+	return shards, func() {
+		for _, s := range shards {
+			s.mu.Unlock()
+		}
+		db.shardMu.RUnlock()
+	}
+}
+
+// Append records the event, assigns it the next global sequence number
+// (starting at 1), and returns the stored copy. Appends to different
+// monitors contend only on the atomic counter, never on a common lock.
+func (db *DB) Append(e event.Event) event.Event {
+	s := db.shardFor(e.Monitor)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Claimed under the shard lock, so the shard's segment stays sorted
+	// by global sequence number.
+	e.Seq = db.nextSeq.Add(1)
+	s.segment = append(s.segment, e)
+	if db.keepFull {
+		s.full = append(s.full, e)
+	}
+	db.total.Add(1)
 	return e
 }
 
 // Drain returns the events recorded since the previous Drain (the
-// checking segment L = l1…ln of Algorithm 1–3) and resets the segment.
+// checking segment L = l1…ln of Algorithm 1–3), merged across shards
+// into global sequence order, and resets every shard's segment. It
+// holds every shard lock for the duration, so even without freezing
+// the monitors the drained segment is a consistent prefix of the
+// global sequence: it contains every recorded event up to its highest
+// sequence number.
 func (db *DB) Drain() event.Seq {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	seg := event.Seq(db.segment)
-	db.segment = nil
+	shards, unlock := db.lockAllShards()
+	defer unlock()
+	segs := make([]event.Seq, 0, len(shards))
+	for _, s := range shards {
+		if len(s.segment) > 0 {
+			segs = append(segs, event.Seq(s.segment))
+			s.segment = nil
+		}
+	}
+	if len(segs) == 1 {
+		return segs[0] // ownership transferred; skip Merge's copy
+	}
+	return event.Merge(segs...)
+}
+
+// DrainMonitor returns and resets only the named monitor's segment —
+// the per-monitor checkpoint path: the detector freezes one monitor,
+// drains its shard, and replays it without stopping any other monitor.
+// With WithGlobalLock the single shared shard holds every monitor's
+// events, so DrainMonitor filters the named monitor's events out of it
+// and keeps the rest queued.
+func (db *DB) DrainMonitor(monitor string) event.Seq {
+	if db.global {
+		s := db.shardFor(monitor)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var mine, rest []event.Event
+		for _, e := range s.segment {
+			if e.Monitor == monitor {
+				mine = append(mine, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		s.segment = rest
+		return mine
+	}
+	s := db.shardFor(monitor)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg := event.Seq(s.segment)
+	s.segment = nil
 	return seg
 }
 
-// Peek returns a copy of the current segment without draining it.
+// Peek returns a copy of the current segment, merged across shards,
+// without draining it. Like Drain it holds every shard lock, so the
+// result is a consistent view of the buffered events.
 func (db *DB) Peek() event.Seq {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return append(event.Seq(nil), db.segment...)
+	shards, unlock := db.lockAllShards()
+	defer unlock()
+	segs := make([]event.Seq, 0, len(shards))
+	for _, s := range shards {
+		if len(s.segment) > 0 {
+			// Merge never aliases its inputs into its output, so the live
+			// segments can be read directly under the held locks.
+			segs = append(segs, event.Seq(s.segment))
+		}
+	}
+	return event.Merge(segs...)
 }
 
 // LastSeq returns the sequence number of the most recently recorded
 // event (0 when nothing was recorded yet).
-func (db *DB) LastSeq() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.nextSeq
-}
+func (db *DB) LastSeq() int64 { return db.nextSeq.Load() }
 
 // Total returns the number of events ever recorded.
-func (db *DB) Total() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.total
-}
+func (db *DB) Total() int64 { return db.total.Load() }
 
-// SegmentLen returns the number of events in the current segment.
+// SegmentLen returns the number of events currently buffered across
+// all shards.
 func (db *DB) SegmentLen() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.segment)
+	shards, unlock := db.lockAllShards()
+	defer unlock()
+	n := 0
+	for _, s := range shards {
+		n += len(s.segment)
+	}
+	return n
 }
 
-// Full returns a copy of the complete trace. It returns nil unless the
-// database was built with WithFullTrace.
+// Shards reports how many shards the database currently holds (one per
+// monitor seen so far; 1 at most under WithGlobalLock).
+func (db *DB) Shards() int {
+	db.shardMu.RLock()
+	defer db.shardMu.RUnlock()
+	return len(db.shards)
+}
+
+// Full returns a copy of the complete trace in global sequence order.
+// It returns nil unless the database was built with WithFullTrace.
+// Every shard lock is held while copying, so a Full taken mid-run is
+// a consistent prefix of the run — it never contains an event while
+// missing a lower-numbered one.
 func (db *DB) Full() event.Seq {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if !db.keepFull {
 		return nil
 	}
-	return append(event.Seq(nil), db.full...)
+	shards, unlock := db.lockAllShards()
+	defer unlock()
+	fulls := make([]event.Seq, 0, len(shards))
+	for _, s := range shards {
+		if len(s.full) > 0 {
+			// Merge copies, so the live per-shard traces are safe to pass.
+			fulls = append(fulls, event.Seq(s.full))
+		}
+	}
+	return event.Merge(fulls...)
 }
 
 // KeepsFull reports whether the database retains the complete trace.
-func (db *DB) KeepsFull() bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.keepFull
-}
+func (db *DB) KeepsFull() bool { return db.keepFull }
 
 // AppendState records a checkpoint snapshot — §4's database "consists
 // of the scheduling event sequence recorded during monitor operation
@@ -132,19 +301,21 @@ func (db *DB) KeepsFull() bool {
 // in the space-efficient configuration they are discarded like drained
 // segments.
 func (db *DB) AppendState(snap state.Snapshot) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if !db.keepFull {
 		return
 	}
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	db.states = append(db.states, snap.Clone())
 }
 
 // States returns the recorded checkpoint snapshots in order (nil
-// without WithFullTrace).
+// without WithFullTrace). Within one HoldWorld checkpoint the per-
+// monitor snapshots appear in detector monitor order; in per-monitor
+// checkpoint mode they appear in completion order.
 func (db *DB) States() []state.Snapshot {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	out := make([]state.Snapshot, 0, len(db.states))
 	for _, s := range db.states {
 		out = append(out, s.Clone())
@@ -158,8 +329,8 @@ func (db *DB) States() []state.Snapshot {
 // LastState returns the most recent checkpoint snapshot for the named
 // monitor, if one was recorded.
 func (db *DB) LastState(monitorName string) (state.Snapshot, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	for i := len(db.states) - 1; i >= 0; i-- {
 		if db.states[i].Monitor == monitorName {
 			return db.states[i].Clone(), true

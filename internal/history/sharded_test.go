@@ -1,0 +1,210 @@
+package history
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmon/internal/event"
+)
+
+func mev(monitor string, pid int64) event.Event {
+	return event.Event{
+		Monitor: monitor,
+		Type:    event.Enter,
+		Pid:     pid,
+		Proc:    "P",
+		Flag:    event.Completed,
+		Time:    time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestShardPerMonitor(t *testing.T) {
+	t.Parallel()
+	db := New()
+	for _, m := range []string{"a", "b", "c", "a"} {
+		db.Append(mev(m, 1))
+	}
+	if got := db.Shards(); got != 3 {
+		t.Fatalf("Shards = %d, want 3 (one per monitor)", got)
+	}
+
+	global := New(WithGlobalLock())
+	for _, m := range []string{"a", "b", "c"} {
+		global.Append(mev(m, 1))
+	}
+	if got := global.Shards(); got != 1 {
+		t.Fatalf("Shards = %d under WithGlobalLock, want 1", got)
+	}
+}
+
+func TestDrainMergesGlobalOrder(t *testing.T) {
+	t.Parallel()
+	db := New()
+	// Interleave three monitors; the drain must restore the global
+	// append order by sequence number.
+	mons := []string{"a", "b", "c"}
+	for i := 0; i < 30; i++ {
+		db.Append(mev(mons[i%3], int64(i+1)))
+	}
+	seg := db.Drain()
+	if len(seg) != 30 {
+		t.Fatalf("Drain returned %d events, want 30", len(seg))
+	}
+	if err := seg.Validate(); err != nil {
+		t.Fatalf("merged segment out of order: %v", err)
+	}
+	for i, e := range seg {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("seg[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestDrainMonitorTouchesOnlyOwnShard(t *testing.T) {
+	t.Parallel()
+	db := New()
+	db.Append(mev("a", 1))
+	db.Append(mev("b", 2))
+	db.Append(mev("a", 3))
+
+	seg := db.DrainMonitor("a")
+	if len(seg) != 2 || seg[0].Monitor != "a" || seg[1].Monitor != "a" {
+		t.Fatalf("DrainMonitor(a) = %v, want the two a events", seg)
+	}
+	if db.SegmentLen() != 1 {
+		t.Fatalf("SegmentLen after per-monitor drain = %d, want 1 (b retained)", db.SegmentLen())
+	}
+	rest := db.Drain()
+	if len(rest) != 1 || rest[0].Monitor != "b" {
+		t.Fatalf("remaining segment = %v, want only b", rest)
+	}
+}
+
+func TestDrainMonitorUnderGlobalLock(t *testing.T) {
+	t.Parallel()
+	db := New(WithGlobalLock())
+	db.Append(mev("a", 1))
+	db.Append(mev("b", 2))
+	db.Append(mev("a", 3))
+
+	seg := db.DrainMonitor("a")
+	if len(seg) != 2 {
+		t.Fatalf("DrainMonitor(a) = %v, want 2 events", seg)
+	}
+	rest := db.Drain()
+	if len(rest) != 1 || rest[0].Monitor != "b" {
+		t.Fatalf("remaining segment = %v, want only b", rest)
+	}
+}
+
+// TestExportParityShardedVsGlobal feeds the same deterministic event
+// stream to a sharded and a global-lock database and requires
+// byte-identical exports: sharding must not change the recorded trace.
+func TestExportParityShardedVsGlobal(t *testing.T) {
+	t.Parallel()
+	sharded := New(WithFullTrace())
+	global := New(WithFullTrace(), WithGlobalLock())
+	mons := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 200; i++ {
+		e := mev(mons[i%len(mons)], int64(i%7+1))
+		sharded.Append(e)
+		global.Append(e)
+	}
+	var sj, gj, sb, gb bytes.Buffer
+	if err := sharded.ExportJSON(&sj); err != nil {
+		t.Fatal(err)
+	}
+	if err := global.ExportJSON(&gj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj.Bytes(), gj.Bytes()) {
+		t.Fatal("sharded and global-lock JSON exports differ")
+	}
+	if err := sharded.ExportBinary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := global.ExportBinary(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), gb.Bytes()) {
+		t.Fatal("sharded and global-lock binary exports differ")
+	}
+}
+
+// TestConcurrentMultiMonitorAppends hammers one database from many
+// goroutines, each writing its own monitor, with concurrent Peeks and
+// Drains — the -race workout for the shard map and atomic counter.
+func TestConcurrentMultiMonitorAppends(t *testing.T) {
+	t.Parallel()
+	db := New(WithFullTrace())
+	const monitors, perMonitor = 8, 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var drainMu sync.Mutex
+	var drained event.Seq
+	wg.Add(1)
+	go func() { // concurrent checkpoint-ish reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				db.Peek()
+				// A mid-run Full must be a consistent prefix of the run:
+				// contiguous sequence numbers with nothing missing.
+				full := db.Full()
+				for i, e := range full {
+					if e.Seq != int64(i+1) {
+						t.Errorf("mid-run Full torn: position %d has seq %d", i, e.Seq)
+						return
+					}
+				}
+				drainMu.Lock()
+				drained = append(drained, db.Drain()...)
+				drainMu.Unlock()
+			}
+		}
+	}()
+	for m := 0; m < monitors; m++ {
+		name := fmt.Sprintf("mon%d", m)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perMonitor; i++ {
+				db.Append(mev(name, int64(i+1)))
+			}
+		}()
+	}
+	for db.Total() < monitors*perMonitor {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	drained = append(drained, db.Drain()...)
+
+	if db.Total() != monitors*perMonitor {
+		t.Fatalf("Total = %d, want %d", db.Total(), monitors*perMonitor)
+	}
+	if len(drained) != monitors*perMonitor {
+		t.Fatalf("drained %d events in total, want %d", len(drained), monitors*perMonitor)
+	}
+	seen := make(map[int64]bool, len(drained))
+	for _, e := range drained {
+		if e.Seq < 1 || e.Seq > int64(monitors*perMonitor) || seen[e.Seq] {
+			t.Fatalf("bad or duplicate sequence number %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	// The full trace is the merged, seq-ordered union of all shards.
+	full := db.Full()
+	if err := full.Validate(); err != nil {
+		t.Fatalf("full trace invalid: %v", err)
+	}
+	if len(full) != monitors*perMonitor {
+		t.Fatalf("full trace has %d events, want %d", len(full), monitors*perMonitor)
+	}
+}

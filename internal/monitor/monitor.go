@@ -17,6 +17,11 @@ import (
 // history.DB implements it; detect wraps it to add real-time checks.
 // A nil recorder disables recording entirely — that configuration is
 // the paper's "monitor without the extension" baseline in Table 1.
+//
+// Many monitors may share one Recorder: the sharded history database
+// routes each event to the per-monitor shard named by Event.Monitor
+// (which record fills in before forwarding), so concurrently running
+// monitors wired to the same database never contend on a common lock.
 type Recorder interface {
 	// Append stores the event, assigns its sequence number, and returns
 	// the stored copy.

@@ -8,6 +8,18 @@
 // monitors, run workloads, inject the 21 classified fault kinds and
 // detect them is re-exported here.
 //
+// The hot path is built to scale with the number of monitors: the
+// history database is sharded per monitor (each shard has its own lock
+// and segment buffer; global event order is preserved by an atomic
+// sequence counter), and the detector's checkpoints run as a parallel
+// pipeline — each monitor's freeze → snapshot → drain-own-shard →
+// replay → thaw is distributed across a bounded worker pool
+// (DetectorConfig.Workers). NewDetector keeps the paper-faithful
+// stop-the-world barrier; NewDetectorNoFreeze checks each monitor
+// independently and never stops an unrelated one. Many monitors share
+// one database: wire them all with WithRecorder(db) and hand them to a
+// single detector.
+//
 // # Quick start
 //
 //	spec := robustmon.Spec{
@@ -154,12 +166,20 @@ type (
 	Snapshot = state.Snapshot
 )
 
-// NewHistory returns an empty history database.
+// NewHistory returns an empty history database, sharded per monitor:
+// events from different monitors are recorded into independent shards
+// under independent locks, while an atomic sequence counter keeps the
+// global <L order for drains, exports and offline replay.
 func NewHistory(opts ...HistoryOption) *History { return history.New(opts...) }
 
 // WithFullTrace keeps the complete event trace for export and offline
 // checking.
 func WithFullTrace() HistoryOption { return history.WithFullTrace() }
+
+// WithGlobalLock collapses the database to a single shard behind one
+// mutex — the pre-sharding contention profile, retained only so the
+// comparative benchmarks can measure what sharding buys.
+func WithGlobalLock() HistoryOption { return history.WithGlobalLock() }
 
 // Trace I/O.
 
