@@ -8,11 +8,14 @@
 //	monbench -intervals 250ms,1s  # custom intervals
 //	monbench -arch                # print the Figure 1 architecture
 //	monbench -monitors 1,4,16     # E4: many-monitor scaling sweep
+//	monbench ... -json BENCH_scaling.json   # also write a machine-readable artefact
 //
 // Absolute ratios depend on the host; the paper's shape — the ratio
 // falls as the checking interval grows — is what to compare. Every
 // sweep also reports events/sec (recording throughput) so successive
-// PRs can track the performance trajectory.
+// PRs can track the performance trajectory; -json persists the sweep
+// (config, rows, events/sec) as a JSON artefact for exactly that
+// tracking.
 //
 // The -monitors sweep drives N independent monitors into one sharded
 // history database and one detector, comparing the paper-faithful
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +36,30 @@ import (
 
 	"robustmon/internal/experiment"
 )
+
+// benchArtefact is the schema of the -json perf artefact tracked
+// across PRs (e.g. BENCH_scaling.json).
+type benchArtefact struct {
+	// Kind is "E2-overhead" or "E4-scaling".
+	Kind string `json:"kind"`
+	// GeneratedAt is the RFC 3339 UTC instant the sweep finished.
+	GeneratedAt string `json:"generated_at"`
+	// Config echoes the sweep parameters so rows are comparable.
+	Config map[string]any `json:"config"`
+	// Rows hold one entry per sweep cell; events_per_sec is the
+	// headline trajectory metric.
+	Rows []map[string]any `json:"rows"`
+}
+
+// writeArtefact marshals the artefact to path (pretty-printed, so
+// diffs between PRs stay reviewable).
+func writeArtefact(path string, a benchArtefact) error {
+	blob, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o666)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -54,6 +82,7 @@ func run(args []string, out, errOut io.Writer) int {
 		monitors  = fs.String("monitors", "", "comma-separated monitor counts for the E4 scaling sweep (e.g. 1,4,16); empty = run E2 instead. E4 honours -ops, -procs, a single -intervals value, -workers and -globallock; the other E2 flags do not apply")
 		workers   = fs.Int("workers", 0, "checkpoint worker-pool bound for -monitors (0 = auto)")
 		global    = fs.Bool("globallock", false, "run -monitors against the legacy single-mutex history database")
+		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,7 +99,7 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	if *monitors != "" {
-		return runScaling(*monitors, *ops, *procs, *intervals, *workers, *global, out, errOut)
+		return runScaling(*monitors, *ops, *procs, *intervals, *workers, *global, *jsonPath, out, errOut)
 	}
 
 	cfg := experiment.DefaultOverheadConfig()
@@ -134,11 +163,37 @@ func run(args []string, out, errOut io.Writer) int {
 	fmt.Fprint(out, detail.String())
 	fmt.Fprintln(out, "\npaper's shape check: ratio should fall as the interval grows;")
 	fmt.Fprintln(out, "the paper reports ≈7x at 0.5s falling toward ≈4x at 3.0s (2001 JVM).")
+	if *jsonPath != "" {
+		art := benchArtefact{
+			Kind:        "E2-overhead",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Config: map[string]any{
+				"ops": cfg.Ops, "procs": cfg.Procs, "repeats": cfg.Repeats,
+				"suspend_ns": cfg.SuspendOverhead.Nanoseconds(),
+			},
+		}
+		for _, r := range rows {
+			var eps float64
+			if total := r.Extended.Seconds() * float64(cfg.Repeats); total > 0 {
+				eps = float64(r.Events) / total
+			}
+			art.Rows = append(art.Rows, map[string]any{
+				"workload": string(r.Workload), "interval_ns": r.Interval.Nanoseconds(),
+				"ratio": r.Ratio, "checks": r.Checks, "events": r.Events,
+				"events_per_sec": eps,
+			})
+		}
+		if err := writeArtefact(*jsonPath, art); err != nil {
+			fmt.Fprintf(errOut, "monbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+	}
 	return 0
 }
 
 // runScaling executes the E4 many-monitor sweep (-monitors).
-func runScaling(monitorCounts string, ops, procs int, intervals string, workers int, global bool, out, errOut io.Writer) int {
+func runScaling(monitorCounts string, ops, procs int, intervals string, workers int, global bool, jsonPath string, out, errOut io.Writer) int {
 	cfg := experiment.DefaultScalingConfig()
 	cfg.Monitors = nil
 	for _, s := range strings.Split(monitorCounts, ",") {
@@ -185,5 +240,32 @@ func runScaling(monitorCounts string, ops, procs int, intervals string, workers 
 	fmt.Fprintln(out, "\nshape check: events/sec should hold (or grow) as monitors are added —")
 	fmt.Fprintln(out, "per-monitor shards remove DB contention and the checkpoint worker pool")
 	fmt.Fprintln(out, "spreads replay; compare against -globallock for the pre-sharding profile.")
+	if jsonPath != "" {
+		art := benchArtefact{
+			Kind:        "E4-scaling",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Config: map[string]any{
+				"ops_per_monitor": cfg.OpsPerMonitor, "procs_per_monitor": cfg.ProcsPerMonitor,
+				"interval_ns": cfg.Interval.Nanoseconds(), "workers": cfg.Workers,
+				"db": db,
+			},
+		}
+		for _, r := range rows {
+			mode := "hold-world"
+			if !r.HoldWorld {
+				mode = "per-monitor"
+			}
+			art.Rows = append(art.Rows, map[string]any{
+				"monitors": r.Monitors, "checkpoint": mode,
+				"elapsed_ns": r.Elapsed.Nanoseconds(), "events": r.Events,
+				"checks": r.Checks, "events_per_sec": r.EventsPerSec,
+			})
+		}
+		if err := writeArtefact(jsonPath, art); err != nil {
+			fmt.Fprintf(errOut, "monbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "\nwrote %s\n", jsonPath)
+	}
 	return 0
 }

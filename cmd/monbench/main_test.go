@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -134,5 +137,74 @@ func TestBadFlagRejected(t *testing.T) {
 	code, _, _ := runTool(t, "-nonsense")
 	if code != 2 {
 		t.Fatalf("code=%d, want 2", code)
+	}
+}
+
+func TestJSONArtefactWritten(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	code, out, errOut := runTool(t,
+		"-monitors", "1,2",
+		"-ops", "200",
+		"-procs", "1",
+		"-intervals", "2ms",
+		"-json", path,
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q\n%s", code, errOut, out)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artefact not written: %v", err)
+	}
+	var art struct {
+		Kind        string           `json:"kind"`
+		GeneratedAt string           `json:"generated_at"`
+		Config      map[string]any   `json:"config"`
+		Rows        []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatalf("artefact is not valid JSON: %v", err)
+	}
+	if art.Kind != "E4-scaling" || art.GeneratedAt == "" {
+		t.Fatalf("artefact header = %q/%q", art.Kind, art.GeneratedAt)
+	}
+	if len(art.Rows) != 4 { // 2 monitor counts × 2 checkpoint modes
+		t.Fatalf("artefact has %d rows, want 4", len(art.Rows))
+	}
+	for i, r := range art.Rows {
+		if _, ok := r["events_per_sec"]; !ok {
+			t.Fatalf("row %d missing events_per_sec: %v", i, r)
+		}
+	}
+}
+
+func TestJSONArtefactOverheadSweep(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	code, _, errOut := runTool(t,
+		"-intervals", "2ms",
+		"-ops", "200",
+		"-procs", "2",
+		"-repeats", "1",
+		"-workloads", "manager",
+		"-json", path,
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q", code, errOut)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artefact not written: %v", err)
+	}
+	var art struct {
+		Kind string           `json:"kind"`
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatalf("artefact is not valid JSON: %v", err)
+	}
+	if art.Kind != "E2-overhead" || len(art.Rows) != 1 {
+		t.Fatalf("artefact = kind %q with %d rows, want E2-overhead with 1", art.Kind, len(art.Rows))
 	}
 }

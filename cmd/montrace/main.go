@@ -1,13 +1,20 @@
 // Command montrace records and re-checks monitor execution traces.
 //
 //	montrace record -out trace.jsonl [-faulty]   # run a demo workload, export its trace
+//	montrace record -outdir run/     [-faulty]   # same, streamed to a WAL export directory
 //	montrace check  -in  trace.jsonl             # offline-check a trace with both rule engines
+//	montrace check  -in  run/                    # …directly from an export directory
 //	montrace dump   -in  trace.jsonl             # print the events in the paper's notation
 //
 // Traces ending in .bin use the compact binary codec, anything else is
-// JSON Lines. The demo workload is a bounded-buffer producer/consumer
-// (the paper's communication-coordinator class); -faulty injects a
-// send-overflow bug so the checkers have something to find.
+// JSON Lines; a directory is read as a segmented WAL export directory
+// (internal/export), recovering from a crash-truncated tail. With
+// -outdir the recorder keeps no full trace in memory at all: a
+// detector streams every drained checkpoint segment through the async
+// exporter into the WAL. The demo workload is a bounded-buffer
+// producer/consumer (the paper's communication-coordinator class);
+// -faulty injects a send-overflow bug so the checkers have something
+// to find.
 package main
 
 import (
@@ -19,7 +26,9 @@ import (
 
 	"robustmon/internal/apps/boundedbuffer"
 	"robustmon/internal/clock"
+	"robustmon/internal/detect"
 	"robustmon/internal/event"
+	"robustmon/internal/export"
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
 	"robustmon/internal/mdl"
@@ -76,20 +85,30 @@ func stats(args []string) int {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  montrace record -out <file> [-faulty]
-  montrace check  -in  <file> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
-  montrace dump   -in  <file> [-original]
-  montrace stats  -in  <file>`)
+  montrace record -out <file> | -outdir <dir> [-faulty]
+  montrace check  -in  <file|dir> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
+  montrace dump   -in  <file|dir> [-original]
+  montrace stats  -in  <file|dir>
+
+a <dir> input is a segmented WAL export directory (streamed recording)`)
 }
 
 func record(args []string) int {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	out := fs.String("out", "trace.jsonl", "output trace file (.bin = binary)")
+	outdir := fs.String("outdir", "", "stream the trace into a WAL export directory instead of a single file (no full trace is kept in memory)")
 	faulty := fs.Bool("faulty", false, "inject a send-overflow fault into the workload")
 	items := fs.Int("items", 50, "items to transfer through the buffer")
 	_ = fs.Parse(args)
 
-	db := history.New(history.WithFullTrace())
+	// Single-file mode keeps the full trace and serializes it at the
+	// end; -outdir keeps nothing: a detector checkpoint drains the
+	// segments and the exporter streams them to disk as the run goes.
+	var dbOpts []history.Option
+	if *outdir == "" {
+		dbOpts = append(dbOpts, history.WithFullTrace())
+	}
+	db := history.New(dbOpts...)
 	clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
 	opts := []boundedbuffer.Option{
 		boundedbuffer.WithMonitorOptions(monitor.WithRecorder(db), monitor.WithClock(clk)),
@@ -103,6 +122,24 @@ func record(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
+	}
+	var exp *export.Exporter
+	var det *detect.Detector
+	if *outdir != "" {
+		sink, err := export.NewWALSink(*outdir, export.WALConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+			return 1
+		}
+		exp = export.New(sink, export.Config{Policy: export.Block})
+		// The detector exists to drain checkpoints into the exporter;
+		// its violations (if any, under -faulty) are the check
+		// subcommand's business, not record's.
+		det = detect.New(db, detect.Config{
+			Clock:     clk,
+			HoldWorld: true,
+			Exporter:  exp,
+		}, buf.Monitor())
 	}
 	rt := proc.NewRuntime()
 	if *faulty {
@@ -126,6 +163,12 @@ func record(args []string) int {
 			if err := buf.Send(p, i); err != nil {
 				return
 			}
+			if det != nil && i%8 == 7 {
+				// Streaming mode: periodic checkpoints push the segments
+				// recorded so far through the exporter, so the WAL grows
+				// as the run goes instead of in one final burst.
+				det.CheckNow()
+			}
 		}
 	})
 	rt.Spawn("consumer", func(p *proc.P) {
@@ -136,6 +179,20 @@ func record(args []string) int {
 		}
 	})
 	rt.Join()
+
+	if *outdir != "" {
+		// Final checkpoint drains every remaining segment through the
+		// exporter; mid-run violations are deliberately ignored here.
+		det.CheckNow()
+		if err := exp.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+			return 1
+		}
+		st := exp.Stats()
+		fmt.Printf("recorded %d events to %s in %d segments (faulty=%v)\n",
+			st.Events, *outdir, st.Written, *faulty)
+		return 0
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -158,6 +215,21 @@ func record(args []string) int {
 }
 
 func load(path string) (event.Seq, error) {
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		rep, err := export.ReadDir(path)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Recovered {
+			last := int64(0)
+			if n := len(rep.Events); n > 0 {
+				last = rep.Events[n-1].Seq
+			}
+			fmt.Fprintf(os.Stderr, "montrace: %s: torn tail recovered, trace ends at seq %d\n",
+				rep.TruncatedFile, last)
+		}
+		return rep.Events, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

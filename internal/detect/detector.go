@@ -71,6 +71,14 @@ type Config struct {
 	// Extra checkers run at every checkpoint while the world is frozen;
 	// the assertion sets of the §5 extension plug in here.
 	Extra []Checker
+	// Exporter, when set, receives every segment drained from the
+	// history database: New adds it as a drain tee (additive, so
+	// detectors sharing a database never unwire each other), and Run
+	// flushes it after the final checkpoint so the exported trace
+	// covers the whole run. This is the streaming replacement for
+	// history.WithFullTrace — offline tooling replays the exporter's
+	// sink instead of an in-memory full trace.
+	Exporter SegmentExporter
 	// SuspendOverhead simulates the fixed per-checkpoint cost of the
 	// paper's prototype, whose checking routine suspended every user
 	// process via 2001-era JVM thread suspension — a platform cost that
@@ -87,6 +95,16 @@ type Config struct {
 type Checker interface {
 	// Check evaluates at instant now and returns any violations.
 	Check(now time.Time) []rules.Violation
+}
+
+// SegmentExporter is the detector's view of the async trace-export
+// pipeline (internal/export.Exporter implements it; the indirection
+// keeps detect free of an export dependency). Consume matches
+// history.DrainTee; Flush forces everything consumed so far to the
+// sink.
+type SegmentExporter interface {
+	Consume(monitor string, seg event.Seq)
+	Flush() error
 }
 
 // counts carries the cumulative r/s counters of one coordinator across
@@ -144,6 +162,14 @@ func New(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector {
 		cfg:  cfg,
 		db:   db,
 		mons: make([]*monState, 0, len(mons)),
+	}
+	if cfg.Exporter != nil {
+		// Checkpoints now feed the export pipeline for free: every
+		// drained segment is teed to the exporter. Added, not set, so
+		// detectors sharing one database never unwire each other's
+		// exporters — each added exporter observes the whole drain
+		// stream.
+		db.AddDrainTee(cfg.Exporter.Consume)
 	}
 	for _, m := range mons {
 		m.Freeze()
@@ -335,9 +361,16 @@ func (d *Detector) checkMonitor(ms *monState, seg event.Seq, cur state.Snapshot,
 }
 
 // Run invokes CheckNow every Interval until ctx is cancelled, then
-// performs one final check so no recorded events go unchecked. It
-// returns all violations found while running.
+// performs one final check so no recorded events go unchecked (and,
+// when an Exporter is configured, flushes it so the exported trace is
+// complete through that final checkpoint). It returns all violations
+// found while running.
 func (d *Detector) Run(ctx context.Context) []rules.Violation {
+	defer func() {
+		if d.cfg.Exporter != nil {
+			_ = d.cfg.Exporter.Flush()
+		}
+	}()
 	if d.cfg.Interval <= 0 {
 		<-ctx.Done()
 		return d.CheckNow()

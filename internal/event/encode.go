@@ -138,7 +138,10 @@ func ReadBinary(r io.Reader) (Seq, error) {
 	if count > 1<<30 {
 		return nil, fmt.Errorf("event: implausible trace length %d", count)
 	}
-	out := make(Seq, 0, count)
+	// Pre-size from the declared count, but cap the speculative
+	// allocation: the count field of a corrupt or truncated stream must
+	// not make the reader balloon before the decode loop fails.
+	out := make(Seq, 0, min(count, 4096))
 	for i := uint64(0); i < count; i++ {
 		var e Event
 		if e.Seq, err = binary.ReadVarint(br); err != nil {

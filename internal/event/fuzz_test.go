@@ -1,0 +1,91 @@
+package event
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// FuzzReadBinary throws corrupt, truncated and hostile inputs at the
+// binary trace decoder. The contract: ReadBinary either returns a
+// valid decode or an error — it must never panic, and a lying length
+// field must never trigger a huge allocation before the decode loop
+// has proven the stream real (the pre-size cap in ReadBinary).
+func FuzzReadBinary(f *testing.F) {
+	// Seed: a well-formed two-event trace, its truncations, and a few
+	// classic liars.
+	var good bytes.Buffer
+	err := WriteBinary(&good, Seq{
+		{Seq: 1, Monitor: "buf", Type: Enter, Pid: 3, Proc: "Send", Flag: Completed,
+			Time: time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)},
+		{Seq: 2, Monitor: "buf", Type: SignalExit, Pid: 3, Proc: "Send", Cond: "notEmpty", Flag: Blocked,
+			Time: time.Date(2001, 7, 1, 0, 0, 1, 0, time.UTC)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	for _, cut := range []int{0, 3, 4, 5, 7, good.Len() / 2, good.Len() - 1} {
+		if cut < good.Len() {
+			f.Add(good.Bytes()[:cut])
+		}
+	}
+	f.Add([]byte{'R', 'M', 'T', 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // absurd count
+	f.Add([]byte{'R', 'M', 'T', 1, 0x02, 0x01})                                                 // count 2, garbage event
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trace, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip: re-encoding and
+		// re-decoding yields the same events.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, trace); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of accepted trace failed: %v", err)
+		}
+		if len(again) != len(trace) {
+			t.Fatalf("round trip changed length: %d → %d", len(trace), len(again))
+		}
+		for i := range trace {
+			if !trace[i].Time.Equal(again[i].Time) {
+				t.Fatalf("event %d time changed in round trip", i)
+			}
+			a, b := trace[i], again[i]
+			a.Time, b.Time = time.Time{}, time.Time{}
+			if a != b {
+				t.Fatalf("event %d changed in round trip: %+v → %+v", i, trace[i], again[i])
+			}
+		}
+	})
+}
+
+// TestReadBinaryLyingCountDoesNotOverAllocate pins the pre-size guard
+// directly: a tiny stream whose header claims 2^29 events must fail
+// with a decode error, not allocate gigabytes first.
+func TestReadBinaryLyingCountDoesNotOverAllocate(t *testing.T) {
+	// Not parallel: the allocation measurement below would absorb other
+	// tests' allocations.
+	var buf bytes.Buffer
+	buf.Write([]byte{'R', 'M', 'T', 1})
+	// uvarint 1<<29 = 0x80 0x80 0x80 0x80 0x02, then nothing: the
+	// stream dies on the first event.
+	buf.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x02})
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadBinary accepted a truncated stream claiming 2^29 events")
+	}
+	runtime.ReadMemStats(&after)
+	// 2^29 events would be tens of GiB of Seq backing array; the guard
+	// caps the speculative allocation to 4096 entries (< 1 MiB).
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("ReadBinary allocated %d bytes on a lying 9-byte stream", grew)
+	}
+}

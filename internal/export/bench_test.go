@@ -1,0 +1,69 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"robustmon/internal/history"
+)
+
+// The tentpole's proof obligation: at high event counts the streaming
+// exporter keeps the database bounded (each drained segment is written
+// out and released), while WithFullTrace accumulates the entire run in
+// memory and pays a full-trace merge on export. Compare with
+//
+//	go test -bench 'FullTraceExport|StreamingExport' -benchmem ./internal/export
+//
+// and watch B/op: full-trace grows linearly with the event count,
+// streaming stays flat per drain cycle.
+
+const benchDrainEvery = 1024
+
+// driveDB appends n events round-robin over four monitors, draining
+// every benchDrainEvery appends — the checkpoint rhythm.
+func driveDB(db *history.DB, n int) {
+	names := [4]string{"m0", "m1", "m2", "m3"}
+	for i := 0; i < n; i++ {
+		db.Append(tev(names[i%len(names)], 0))
+		if i%benchDrainEvery == benchDrainEvery-1 {
+			db.Drain()
+		}
+	}
+	db.Drain()
+}
+
+func BenchmarkFullTraceExport(b *testing.B) {
+	for _, events := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := history.New(history.WithFullTrace())
+				driveDB(db, events)
+				if err := db.ExportBinary(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStreamingExport(b *testing.B) {
+	for _, events := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink, err := NewWALSink(b.TempDir(), WALConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				exp := New(sink, Config{Policy: Block})
+				db := history.New(history.WithDrainTee(exp.Consume))
+				driveDB(db, events)
+				if err := exp.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+// Package export is the asynchronous trace-export pipeline: it moves
+// trace persistence off the instrumented hot path, replacing the
+// memory-unbounded history.WithFullTrace strategy with a bounded
+// streaming one.
+//
+// The paper (§3.3) prunes a drained history segment as soon as the
+// checking routine has replayed it; everything offline tooling wants —
+// export, re-checking, the FD-rule ablation — therefore used to demand
+// WithFullTrace, which keeps the whole run in memory and merges it
+// under every shard lock on each Full() call. This package instead
+// consumes the segments the checkpoints drain anyway and streams them
+// to a pluggable Sink on a dedicated writer goroutine, following the
+// detectEr line of work (Cassar & Francalanza): asynchronous trace
+// consumption is where the monitoring-overhead win lives.
+//
+// # Pipeline
+//
+//	monitors → history.DB ──Drain/DrainMonitor──▶ checking routine
+//	                      └──drain-tee──▶ Exporter ──chan──▶ writer ──▶ Sink
+//
+// The Exporter accepts drained per-monitor segments through a bounded
+// channel with an explicit backpressure policy — Block stalls the
+// drainer (lossless), Drop discards the segment and counts it — and a
+// single writer goroutine forwards them to the Sink. WALSink persists
+// segments to numbered files with per-record headers (monitor id, seq
+// range, CRC) and fsyncs on rotation; ReadDir merges the files back
+// into the global <L order (event.Merge) and recovers from a
+// crash-truncated tail. The wiring is one line at either end:
+// history.DB.SetDrainTee(exp.Consume) on the database, or
+// detect.Config.Exporter on the detector, which installs the tee and
+// flushes on shutdown.
+package export
+
+import (
+	"robustmon/internal/event"
+)
+
+// Segment is one drained per-monitor history segment: the unit the
+// checkpoints hand to the exporter and the unit the WAL persists as a
+// record. Events are seq-sorted (history shards claim global sequence
+// numbers under the shard lock) and belong to a single monitor.
+type Segment struct {
+	// Monitor names the monitor whose shard the segment was drained
+	// from.
+	Monitor string
+	// Events is the drained slice. It is shared read-only with the
+	// checking routine that drained it; sinks must not mutate it.
+	Events event.Seq
+}
+
+// First returns the lowest sequence number in the segment (0 when
+// empty).
+func (s Segment) First() int64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[0].Seq
+}
+
+// Last returns the highest sequence number in the segment (0 when
+// empty).
+func (s Segment) Last() int64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].Seq
+}
+
+// Sink persists exported segments. Implementations are driven by the
+// exporter's single writer goroutine, so they need not be safe for
+// concurrent use.
+type Sink interface {
+	// WriteSegment persists one drained segment.
+	WriteSegment(seg Segment) error
+	// Flush forces buffered data to stable storage.
+	Flush() error
+	// Close flushes and releases the sink. No calls follow Close.
+	Close() error
+}
+
+// MemorySink collects segments in memory — the test double and the
+// cheapest way to tail a database programmatically.
+type MemorySink struct {
+	segments []Segment
+}
+
+// WriteSegment appends the segment.
+func (m *MemorySink) WriteSegment(seg Segment) error {
+	m.segments = append(m.segments, seg)
+	return nil
+}
+
+// Flush is a no-op.
+func (m *MemorySink) Flush() error { return nil }
+
+// Close is a no-op.
+func (m *MemorySink) Close() error { return nil }
+
+// Segments returns the collected segments in arrival order.
+func (m *MemorySink) Segments() []Segment { return m.segments }
+
+// Events merges every collected segment into the global <L order.
+func (m *MemorySink) Events() event.Seq {
+	seqs := make([]event.Seq, 0, len(m.segments))
+	for _, s := range m.segments {
+		seqs = append(seqs, s.Events)
+	}
+	return event.Merge(seqs...)
+}

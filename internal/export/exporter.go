@@ -1,0 +1,236 @@
+package export
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"robustmon/internal/event"
+)
+
+// Policy selects what Consume does when the exporter's buffer is full.
+type Policy int
+
+const (
+	// Block stalls the caller until the writer frees a slot — lossless,
+	// at the price of propagating sink latency back to the drainer.
+	Block Policy = iota
+	// Drop discards the segment and counts it — the drainer never
+	// waits, at the price of gaps in the exported trace.
+	Drop
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Drop:
+		return "drop"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// Config parameterises an Exporter.
+type Config struct {
+	// Buffer is the capacity of the pending-segment channel (default
+	// 64). Together with Policy it is the explicit backpressure knob:
+	// the exporter never queues more than Buffer segments.
+	Buffer int
+	// Policy is the backpressure policy when the buffer is full
+	// (default Block).
+	Policy Policy
+	// OnError, when set, is called from the writer goroutine for each
+	// sink write error.
+	OnError func(error)
+}
+
+// Stats counts exporter activity. Dropped counters stay zero under the
+// Block policy.
+type Stats struct {
+	// Segments and Events were accepted into the buffer.
+	Segments, Events int64
+	// Written counts segments the sink persisted without error.
+	Written int64
+	// DroppedSegments and DroppedEvents were discarded: buffer full
+	// under Drop, or arrival after Close.
+	DroppedSegments, DroppedEvents int64
+	// WriteErrors counts failed sink writes.
+	WriteErrors int64
+}
+
+// ErrClosed reports an operation on a closed exporter.
+var ErrClosed = errors.New("export: exporter closed")
+
+// item is one unit of writer work: a segment, or a flush request.
+type item struct {
+	seg   Segment
+	flush chan error
+}
+
+// Exporter streams drained history segments to a Sink off the hot
+// path: Consume enqueues into a bounded channel, a single writer
+// goroutine drains it. Construct with New; Consume, Flush and Close
+// are safe for concurrent use.
+type Exporter struct {
+	cfg  Config
+	sink Sink
+	ch   chan item
+	done chan struct{}
+
+	// mu orders Consume/Flush sends (read side) against Close's channel
+	// close (write side), so a send never races the close.
+	mu     sync.RWMutex
+	closed bool
+
+	segments, events, written      atomic.Int64
+	droppedSegments, droppedEvents atomic.Int64
+	writeErrors                    atomic.Int64
+	errMu                          sync.Mutex
+	lastErr, closeErr              error
+}
+
+// New starts an exporter writing to sink. Close it to stop the writer
+// and close the sink.
+func New(sink Sink, cfg Config) *Exporter {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	e := &Exporter{
+		cfg:  cfg,
+		sink: sink,
+		ch:   make(chan item, cfg.Buffer),
+		done: make(chan struct{}),
+	}
+	go e.writer()
+	return e
+}
+
+// writer is the single consumer of e.ch; it owns the sink.
+func (e *Exporter) writer() {
+	defer close(e.done)
+	for it := range e.ch {
+		if it.flush != nil {
+			it.flush <- e.sink.Flush()
+			continue
+		}
+		if err := e.sink.WriteSegment(it.seg); err != nil {
+			e.writeErrors.Add(1)
+			e.setErr(err)
+			if e.cfg.OnError != nil {
+				e.cfg.OnError(err)
+			}
+			continue
+		}
+		e.written.Add(1)
+	}
+	e.errMu.Lock()
+	e.closeErr = e.sink.Close()
+	e.errMu.Unlock()
+}
+
+func (e *Exporter) setErr(err error) {
+	e.errMu.Lock()
+	e.lastErr = err
+	e.errMu.Unlock()
+}
+
+// Consume accepts one drained per-monitor segment. It has the
+// history.DrainTee signature, so an exporter is wired to a database
+// with db.SetDrainTee(exp.Consume). Empty segments are ignored; a
+// segment arriving after Close is counted as dropped. The events slice
+// is retained until written and must not be mutated by the caller
+// (drained segments never are).
+func (e *Exporter) Consume(monitor string, events event.Seq) {
+	if len(events) == 0 {
+		return
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		e.drop(events)
+		return
+	}
+	it := item{seg: Segment{Monitor: monitor, Events: events}}
+	if e.cfg.Policy == Drop {
+		select {
+		case e.ch <- it:
+		default:
+			e.drop(events)
+			return
+		}
+	} else {
+		e.ch <- it
+	}
+	e.segments.Add(1)
+	e.events.Add(int64(len(events)))
+}
+
+func (e *Exporter) drop(events event.Seq) {
+	e.droppedSegments.Add(1)
+	e.droppedEvents.Add(int64(len(events)))
+}
+
+// Flush blocks until every segment accepted before the call has been
+// handed to the sink and the sink's own buffers are forced down, then
+// reports the sink's flush error, or else the most recent write error
+// (sticky: a failed export keeps reporting from Flush and Close until
+// the exporter is rebuilt, so no caller path can lose it). A flush
+// request is never dropped, even under the Drop policy.
+func (e *Exporter) Flush() error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		if err := e.lastError(); err != nil {
+			return err
+		}
+		return ErrClosed
+	}
+	reply := make(chan error, 1)
+	e.ch <- item{flush: reply}
+	e.mu.RUnlock()
+	if err := <-reply; err != nil {
+		e.setErr(err)
+		return err
+	}
+	return e.lastError()
+}
+
+func (e *Exporter) lastError() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.lastErr
+}
+
+// Close drains the buffer, closes the sink and stops the writer. It
+// is idempotent and reports the sticky write error (else the sink's
+// close error). Segments consumed after Close are dropped, not
+// written.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.ch)
+	}
+	e.mu.Unlock()
+	<-e.done
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.lastErr != nil {
+		return e.lastErr
+	}
+	return e.closeErr
+}
+
+// Stats returns a snapshot of the exporter's counters.
+func (e *Exporter) Stats() Stats {
+	return Stats{
+		Segments:        e.segments.Load(),
+		Events:          e.events.Load(),
+		Written:         e.written.Load(),
+		DroppedSegments: e.droppedSegments.Load(),
+		DroppedEvents:   e.droppedEvents.Load(),
+		WriteErrors:     e.writeErrors.Load(),
+	}
+}

@@ -1,0 +1,200 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"robustmon/internal/event"
+)
+
+// ErrBadWALMagic reports that a file in the export directory does not
+// start with the WAL header.
+var ErrBadWALMagic = errors.New("export: bad wal magic")
+
+// Replay is the result of reading an export directory back.
+type Replay struct {
+	// Events is the recorded trace merged into the global <L order —
+	// what history.DB.Full() of a WithFullTrace run would have
+	// returned.
+	Events event.Seq
+	// Files and Segments count the WAL files and valid records read.
+	Files, Segments int
+	// Recovered reports that the newest file ended in a torn record
+	// (crash mid-write); the tail was dropped and Events holds
+	// everything up to the last valid record.
+	Recovered bool
+	// TruncatedFile names the file with the torn tail (empty when
+	// Recovered is false).
+	TruncatedFile string
+}
+
+// ReadDir replays an export directory written by WALSink: every valid
+// record of every segment file, k-way-merged (event.Merge) back into
+// the global sequence order. Records land in the WAL in drain order,
+// which may interleave monitors arbitrarily — each record's payload is
+// seq-sorted, and the merge restores the total order.
+//
+// A torn record — short header, short payload, or a zero-filled tail
+// block — is tolerated only at the tail of the newest file, where it
+// is the expected signature of a crash mid-write: the tail is dropped
+// and Replay.Recovered is set. A torn record in any older file, or a
+// CRC mismatch over a full-length payload anywhere (an append-only
+// tear is a prefix, never a full-length scramble), is corruption and
+// an error.
+func ReadDir(dir string) (*Replay, error) {
+	names, err := walFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("export: no %s files in %s", walExt, dir)
+	}
+	rep := &Replay{Files: len(names)}
+	var payloads []event.Seq
+	for i, name := range names {
+		segs, torn, err := readWALFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if torn != nil {
+			if i != len(names)-1 {
+				return nil, fmt.Errorf("export: %s: %w (not the newest file — corruption, not a crash tail)", name, torn)
+			}
+			rep.Recovered = true
+			rep.TruncatedFile = name
+		}
+		payloads = append(payloads, segs...)
+	}
+	rep.Segments = len(payloads)
+	rep.Events = event.Merge(payloads...)
+	return rep, nil
+}
+
+// readWALFile reads one segment file. It returns the record payloads
+// read, plus a non-nil torn error when the file ends mid-record (the
+// valid prefix is still returned) — the caller decides whether a torn
+// tail is acceptable for this file.
+func readWALFile(name string) (segs []event.Seq, torn error, err error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("export: open wal file: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		// Even the magic can be torn: a crash right after file creation.
+		return nil, fmt.Errorf("torn wal header: %w", err), nil
+	}
+	if magic != walMagic {
+		return nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+	}
+	for {
+		events, terr, rerr := readRecord(br)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("export: %s record %d: %w", name, len(segs), rerr)
+		}
+		if terr != nil {
+			if terr == io.EOF {
+				return segs, nil, nil // EOF exactly at a record boundary: clean end
+			}
+			return segs, terr, nil
+		}
+		segs = append(segs, events)
+	}
+}
+
+// readRecord reads one WAL record. A short read at any point is a torn
+// record and comes back in terr (io.EOF exactly at a record boundary,
+// io.ErrUnexpectedEOF or an implausible-header error otherwise); rerr
+// is reserved for damage that cannot result from a crashed append —
+// a CRC mismatch over a full-length payload, or a CRC-valid record
+// whose header and payload disagree.
+func readRecord(br *bufio.Reader) (events event.Seq, terr, rerr error) {
+	var scratch [8]byte
+	if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+		return nil, err, nil // io.EOF here = clean boundary
+	}
+	monLen := int(binary.LittleEndian.Uint16(scratch[:2]))
+	if monLen > maxMonitorName {
+		// The writer refuses such names, so these bytes were never the
+		// start of a record — but a torn header leaves arbitrary bytes
+		// behind, so at the tail this still reads as a torn record.
+		return nil, fmt.Errorf("export: monitor name %d bytes long (limit %d)", monLen, maxMonitorName), nil
+	}
+	mon := make([]byte, monLen)
+	if _, err := io.ReadFull(br, mon); err != nil {
+		return nil, noEOFBoundary(err), nil
+	}
+	var first, last int64
+	var count, payloadLen, sum uint32
+	for _, dst := range []any{&first, &last, &count, &payloadLen, &sum} {
+		n := 8
+		if _, ok := dst.(*uint32); ok {
+			n = 4
+		}
+		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
+			return nil, noEOFBoundary(err), nil
+		}
+		switch p := dst.(type) {
+		case *int64:
+			*p = int64(binary.LittleEndian.Uint64(scratch[:8]))
+		case *uint32:
+			*p = binary.LittleEndian.Uint32(scratch[:4])
+		}
+	}
+	// Guard the allocation before trusting the length field: a torn or
+	// bit-flipped header must not make the reader balloon.
+	const maxPayload = 1 << 30
+	if payloadLen > maxPayload {
+		return nil, fmt.Errorf("export: implausible payload length %d", payloadLen), nil
+	}
+	if count == 0 {
+		// The writer skips empty segments, so no real record has count
+		// 0 — but a filesystem that zero-fills a torn tail block
+		// produces exactly this shape. Torn, not corrupt.
+		return nil, fmt.Errorf("export: zero-count record (zero-filled torn tail)"), nil
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, noEOFBoundary(err), nil
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		// The payload is full-length, so this is no crash tear (an
+		// append-only tear is always a prefix, i.e. a short read):
+		// corruption wherever it appears.
+		return nil, nil, fmt.Errorf("record CRC mismatch (got %08x, header says %08x)", got, sum)
+	}
+	events, err := event.ReadBinary(bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, fmt.Errorf("decode payload: %w", err)
+	}
+	// The CRC passed, so header/payload disagreement is a writer bug,
+	// not a torn write.
+	seg := Segment{Monitor: string(mon), Events: events}
+	if len(events) != int(count) || seg.First() != first || seg.Last() != last {
+		return nil, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
+			mon, count, first, last, len(events), seg.First(), seg.Last())
+	}
+	for _, e := range events {
+		if e.Monitor != seg.Monitor {
+			return nil, nil, fmt.Errorf("event %d belongs to monitor %q, record header says %q", e.Seq, e.Monitor, seg.Monitor)
+		}
+	}
+	return events, nil, nil
+}
+
+// noEOFBoundary maps io.EOF mid-record to io.ErrUnexpectedEOF so only
+// a boundary EOF reads as a clean end of file.
+func noEOFBoundary(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

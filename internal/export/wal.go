@@ -1,0 +1,225 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"robustmon/internal/event"
+)
+
+// The on-disk WAL layout. A directory of numbered files
+// ("00000001.wal", …); each file starts with the 5-byte walMagic and
+// holds a sequence of records. One record is one exported Segment:
+//
+//	uint16  len(monitor)      ┐
+//	bytes   monitor           │ little-endian record header
+//	int64   first seq         │
+//	int64   last seq          │
+//	uint32  event count       │
+//	uint32  len(payload)      │
+//	uint32  CRC-32 (IEEE) of payload ┘
+//	bytes   payload = event.WriteBinary(segment events)
+//
+// The payload reuses the internal/event binary codec verbatim, so a
+// record body is itself a well-formed single-segment trace. The header
+// duplicates the seq range and count so a reader can index a WAL
+// without decoding payloads, and the CRC turns a torn write into a
+// detectable truncation instead of silent corruption. Files are
+// fsynced when rotated and on Flush/Close; a crash can therefore only
+// lose or tear the tail of the newest file, which the reader recovers
+// from by dropping the torn record.
+
+// walMagic identifies a WAL segment file; the trailing byte is a
+// format version.
+var walMagic = [5]byte{'R', 'M', 'W', 'L', 1}
+
+// walExt is the segment-file extension.
+const walExt = ".wal"
+
+// maxMonitorName bounds the monitor-id field of a record header.
+const maxMonitorName = 1 << 10
+
+// DefaultMaxFileBytes is the rotation threshold when WALConfig leaves
+// MaxFileBytes zero: a file is closed (and fsynced) once it grows past
+// this many bytes.
+const DefaultMaxFileBytes = 8 << 20
+
+// WALConfig parameterises a WALSink.
+type WALConfig struct {
+	// MaxFileBytes rotates to a new segment file once the current one
+	// exceeds this size (default DefaultMaxFileBytes). Rotation is the
+	// durability boundary: the outgoing file is flushed and fsynced
+	// before the next one opens.
+	MaxFileBytes int64
+	// SyncEveryWrite additionally fsyncs after every record — maximum
+	// durability for crash-recovery tests; too slow for production.
+	SyncEveryWrite bool
+}
+
+// WALSink persists exported segments to a directory of numbered,
+// CRC-protected segment files. Construct with NewWALSink; it is driven
+// by the exporter's writer goroutine and is not safe for concurrent
+// use.
+type WALSink struct {
+	dir  string
+	cfg  WALConfig
+	next int // number of the next file to create
+
+	f    *os.File
+	bw   *bufio.Writer
+	size int64
+	hdr  bytes.Buffer
+}
+
+// NewWALSink opens (creating if needed) dir for appending. An existing
+// WAL is never clobbered: numbering continues after the highest
+// existing file.
+func NewWALSink(dir string, cfg WALConfig) (*WALSink, error) {
+	if cfg.MaxFileBytes <= 0 {
+		cfg.MaxFileBytes = DefaultMaxFileBytes
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("export: create wal dir: %w", err)
+	}
+	names, err := walFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if len(names) > 0 {
+		last := strings.TrimSuffix(filepath.Base(names[len(names)-1]), walExt)
+		if _, err := fmt.Sscanf(last, "%d", &next); err != nil {
+			return nil, fmt.Errorf("export: bad wal file name %q", names[len(names)-1])
+		}
+		next++
+	}
+	return &WALSink{dir: dir, cfg: cfg, next: next}, nil
+}
+
+// walFiles lists dir's segment files sorted by name — numeric order,
+// since names are zero-padded.
+func walFiles(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*"+walExt))
+	if err != nil {
+		return nil, fmt.Errorf("export: list wal dir: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Dir returns the sink's directory.
+func (w *WALSink) Dir() string { return w.dir }
+
+// open starts the next numbered segment file.
+func (w *WALSink) open() error {
+	name := filepath.Join(w.dir, fmt.Sprintf("%08d%s", w.next, walExt))
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return fmt.Errorf("export: create wal file: %w", err)
+	}
+	w.next++
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	w.size = 0
+	if _, err := w.bw.Write(walMagic[:]); err != nil {
+		return fmt.Errorf("export: write wal magic: %w", err)
+	}
+	w.size += int64(len(walMagic))
+	return nil
+}
+
+// WriteSegment appends one record and rotates if the file outgrew the
+// threshold.
+func (w *WALSink) WriteSegment(seg Segment) error {
+	if len(seg.Events) == 0 {
+		return nil
+	}
+	if len(seg.Monitor) > maxMonitorName {
+		return fmt.Errorf("export: monitor name %d bytes long (limit %d)", len(seg.Monitor), maxMonitorName)
+	}
+	if w.f == nil {
+		if err := w.open(); err != nil {
+			return err
+		}
+	}
+	var payload bytes.Buffer
+	if err := event.WriteBinary(&payload, seg.Events); err != nil {
+		return fmt.Errorf("export: encode segment: %w", err)
+	}
+	w.hdr.Reset()
+	var scratch [8]byte
+	put := func(b []byte) { w.hdr.Write(b) }
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(seg.Monitor)))
+	put(scratch[:2])
+	w.hdr.WriteString(seg.Monitor)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(seg.First()))
+	put(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(seg.Last()))
+	put(scratch[:])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(seg.Events)))
+	put(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(payload.Len()))
+	put(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload.Bytes()))
+	put(scratch[:4])
+	if _, err := w.bw.Write(w.hdr.Bytes()); err != nil {
+		return fmt.Errorf("export: write record header: %w", err)
+	}
+	if _, err := w.bw.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("export: write record payload: %w", err)
+	}
+	w.size += int64(w.hdr.Len() + payload.Len())
+	if w.cfg.SyncEveryWrite {
+		if err := w.sync(); err != nil {
+			return err
+		}
+	}
+	if w.size >= w.cfg.MaxFileBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// sync flushes the buffered writer and fsyncs the current file.
+func (w *WALSink) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("export: flush wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("export: fsync wal: %w", err)
+	}
+	return nil
+}
+
+// rotate seals the current file — flush, fsync, close — and arranges
+// for the next write to open a fresh one. Everything before the
+// rotation point is durable from here on.
+func (w *WALSink) rotate() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("export: close wal file: %w", err)
+	}
+	w.f, w.bw = nil, nil
+	return nil
+}
+
+// Flush makes everything written so far durable without rotating.
+func (w *WALSink) Flush() error { return w.sync() }
+
+// Close seals the current file. The sink is unusable afterwards.
+func (w *WALSink) Close() error { return w.rotate() }

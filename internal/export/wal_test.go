@@ -1,0 +1,280 @@
+package export
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"robustmon/internal/detect"
+	"robustmon/internal/event"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/proc"
+)
+
+// writeWAL writes the given segments through a WALSink and returns the
+// directory.
+func writeWAL(t *testing.T, cfg WALConfig, segs ...Segment) string {
+	t.Helper()
+	dir := t.TempDir()
+	sink, err := NewWALSink(dir, cfg)
+	if err != nil {
+		t.Fatalf("NewWALSink: %v", err)
+	}
+	for _, s := range segs {
+		if err := sink.WriteSegment(s); err != nil {
+			t.Fatalf("WriteSegment: %v", err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return dir
+}
+
+func TestWALRoundTripMergesGlobalOrder(t *testing.T) {
+	t.Parallel()
+	// Interleaved drains from three monitors, deliberately written out
+	// of global order across records — the reader's merge must restore
+	// <L. Tiny MaxFileBytes forces rotation after every record, so the
+	// trace also spans several files.
+	dir := writeWAL(t, WALConfig{MaxFileBytes: 1},
+		Segment{Monitor: "b", Events: event.Seq{tev("b", 2), tev("b", 4)}},
+		Segment{Monitor: "a", Events: event.Seq{tev("a", 1), tev("a", 3)}},
+		Segment{Monitor: "c", Events: event.Seq{tev("c", 5)}},
+		Segment{Monitor: "a", Events: event.Seq{tev("a", 6), tev("a", 7)}},
+	)
+	rep, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if rep.Recovered {
+		t.Fatal("clean WAL reported Recovered")
+	}
+	if rep.Segments != 4 || rep.Files != 4 {
+		t.Fatalf("Replay = %d segments in %d files, want 4 in 4 (rotate-per-record)", rep.Segments, rep.Files)
+	}
+	if err := rep.Events.Validate(); err != nil {
+		t.Fatalf("replayed trace invalid: %v", err)
+	}
+	if len(rep.Events) != 7 || rep.Events[0].Seq != 1 || rep.Events[6].Seq != 7 {
+		t.Fatalf("replayed %d events (first %d, last %d), want 1..7 in order",
+			len(rep.Events), rep.Events[0].Seq, rep.Events[len(rep.Events)-1].Seq)
+	}
+}
+
+func TestWALResumesNumberingWithoutClobbering(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	for i := int64(0); i < 2; i++ {
+		sink, err := NewWALSink(dir, WALConfig{})
+		if err != nil {
+			t.Fatalf("NewWALSink #%d: %v", i, err)
+		}
+		if err := sink.WriteSegment(Segment{Monitor: "m", Events: tseq("m", i*3+1, i*3+3)}); err != nil {
+			t.Fatalf("WriteSegment #%d: %v", i, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i, err)
+		}
+	}
+	names, err := walFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("dir holds %d wal files after two sink sessions, want 2", len(names))
+	}
+	rep, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(rep.Events) != 6 {
+		t.Fatalf("replayed %d events across sessions, want 6", len(rep.Events))
+	}
+}
+
+func TestWALCrashTruncatedTailRecovers(t *testing.T) {
+	t.Parallel()
+	// Cut the newest file at every possible torn-write length and check
+	// the reader always recovers exactly the records before the tear.
+	full := writeWAL(t, WALConfig{},
+		Segment{Monitor: "a", Events: tseq("a", 1, 4)},
+		Segment{Monitor: "a", Events: tseq("a", 5, 8)},
+	)
+	names, err := walFiles(full)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("walFiles = %v, %v", names, err)
+	}
+	blob, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the boundary of the first record by reading a one-record WAL.
+	oneRec := writeWAL(t, WALConfig{}, Segment{Monitor: "a", Events: tseq("a", 1, 4)})
+	oneNames, _ := walFiles(oneRec)
+	one, err := os.ReadFile(oneNames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := len(one)
+
+	for cut := boundary; cut < len(blob); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "00000001.wal"), blob[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ReadDir(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: ReadDir: %v", cut, err)
+		}
+		wantRecovered := cut != boundary // a cut exactly at the boundary is a clean EOF
+		if rep.Recovered != wantRecovered {
+			t.Fatalf("cut=%d: Recovered = %v, want %v", cut, rep.Recovered, wantRecovered)
+		}
+		if len(rep.Events) != 4 || rep.Events[3].Seq != 4 {
+			t.Fatalf("cut=%d: recovered %d events, want the 4 of the intact record", cut, len(rep.Events))
+		}
+		if wantRecovered && rep.TruncatedFile == "" {
+			t.Fatalf("cut=%d: TruncatedFile not set", cut)
+		}
+	}
+}
+
+func TestWALTruncationInOlderFileIsCorruption(t *testing.T) {
+	t.Parallel()
+	dir := writeWAL(t, WALConfig{MaxFileBytes: 1}, // rotate per record → 2 files
+		Segment{Monitor: "a", Events: tseq("a", 1, 3)},
+		Segment{Monitor: "a", Events: tseq("a", 4, 6)},
+	)
+	names, err := walFiles(dir)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("walFiles = %v, %v", names, err)
+	}
+	blob, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(names[0], blob[:len(blob)-3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("ReadDir accepted a truncated non-newest file")
+	}
+}
+
+func TestWALCRCMismatchMidFileIsCorruption(t *testing.T) {
+	t.Parallel()
+	dir := writeWAL(t, WALConfig{},
+		Segment{Monitor: "a", Events: tseq("a", 1, 3)},
+		Segment{Monitor: "a", Events: tseq("a", 4, 6)},
+	)
+	names, _ := walFiles(dir)
+	blob, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit well inside the first record's payload (past the file
+	// magic and record header) so the second, intact record follows a
+	// corrupt — not torn — one.
+	blob[40] ^= 0x01
+	if err := os.WriteFile(names[0], blob, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadDir(dir)
+	if err == nil {
+		t.Fatalf("ReadDir accepted a mid-file corrupt record: %+v", rep)
+	}
+}
+
+// TestReplayMatchesFullTraceExport is the subsystem's acceptance
+// criterion: the same HoldWorld workload is recorded twice at once —
+// through WithFullTrace (the memory-unbounded baseline) and through
+// the detector-fed exporter — and replaying the exporter's on-disk
+// segments must be byte-identical to ExportBinary of the full trace.
+func TestReplayMatchesFullTraceExport(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	sink, err := NewWALSink(dir, WALConfig{MaxFileBytes: 4 << 10}) // several rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := New(sink, Config{Policy: Block})
+
+	db := history.New(history.WithFullTrace())
+	const monitors = 4
+	mons := make([]*monitor.Monitor, monitors)
+	for i := range mons {
+		spec := monitor.Spec{
+			Name:       "m" + string(rune('A'+i)),
+			Kind:       monitor.OperationManager,
+			Conditions: []string{"ok"},
+			Procedures: []string{"Op"},
+		}
+		m, err := monitor.New(spec, monitor.WithRecorder(db))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mons[i] = m
+	}
+	det := detect.New(db, detect.Config{
+		Tmax:      time.Hour,
+		Tio:       time.Hour,
+		HoldWorld: true,
+		Exporter:  exp,
+	}, mons...)
+
+	rt := proc.NewRuntime()
+	for _, m := range mons {
+		m := m
+		for w := 0; w < 2; w++ {
+			rt.Spawn("driver", func(p *proc.P) {
+				for j := 0; j < 200; j++ {
+					if err := m.Enter(p, "Op"); err != nil {
+						return
+					}
+					_ = m.Exit(p, "Op")
+					if j%50 == 25 {
+						det.CheckNow() // mid-run checkpoints stream segments out
+					}
+				}
+			})
+		}
+	}
+	rt.Join()
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("fault-free workload reported violations: %v", vs)
+	}
+	if err := exp.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := exp.Stats()
+	if st.DroppedSegments != 0 {
+		t.Fatalf("Block-policy exporter dropped segments: %+v", st)
+	}
+
+	var want bytes.Buffer
+	if err := db.ExportBinary(&want); err != nil {
+		t.Fatalf("ExportBinary: %v", err)
+	}
+	rep, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if rep.Recovered {
+		t.Fatal("clean run reported Recovered")
+	}
+	var got bytes.Buffer
+	if err := event.WriteBinary(&got, rep.Events); err != nil {
+		t.Fatalf("WriteBinary(replay): %v", err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("replayed export differs from WithFullTrace export: %d vs %d bytes, %d vs %d events",
+			got.Len(), want.Len(), len(rep.Events), int(db.Total()))
+	}
+}

@@ -54,6 +54,15 @@ type shard struct {
 	full    event.Seq
 }
 
+// DrainTee observes drained segments. The database calls each
+// installed tee once per (monitor, segment) pair for every Drain and
+// DrainMonitor, after the shard locks are released; the events slice
+// is shared read-only with the drain caller (and any other tees) and
+// must not be mutated. internal/export.Exporter satisfies this
+// signature, which is how checkpoints feed the async trace-export
+// pipeline for free.
+type DrainTee func(monitor string, seg event.Seq)
+
 // DB is a concurrent, append-only event store with checkpoint draining,
 // sharded per monitor. Construct with New.
 type DB struct {
@@ -61,6 +70,11 @@ type DB struct {
 	total    atomic.Int64
 	keepFull bool
 	global   bool // WithGlobalLock: single shard, legacy contention profile
+
+	// tees observe every drained segment (see DrainTee). Guarded by
+	// teeMu so SetDrainTee/AddDrainTee can race drains safely.
+	teeMu sync.RWMutex
+	tees  []DrainTee
 
 	// shardMu guards the shards map itself (shard creation); appends on
 	// an existing shard take only the shard's own lock.
@@ -89,6 +103,12 @@ func WithFullTrace() Option {
 // measure what the sharding buys; production callers should not use it.
 func WithGlobalLock() Option {
 	return func(db *DB) { db.global = true }
+}
+
+// WithDrainTee adds a drain tee at construction time (see
+// AddDrainTee).
+func WithDrainTee(tee DrainTee) Option {
+	return func(db *DB) { db.tees = append(db.tees, tee) }
 }
 
 // New returns an empty database (sharded per monitor by default).
@@ -122,15 +142,16 @@ func (db *DB) shardFor(monitor string) *shard {
 }
 
 // lockAllShards locks every shard in deterministic (name) order and
-// returns them with an unlock function. The shard-map read lock is
-// held until unlock, so no new shard can appear mid-operation, and
-// with every shard lock held no Append can be mid-flight: the
-// recorded events are exactly sequence numbers 1..nextSeq. Multi-
-// shard operations therefore observe one consistent global state even
-// without freezing the monitors. The deterministic order makes
-// concurrent multi-shard operations deadlock-free (single-shard paths
-// hold at most one shard lock and never a shard lock under shardMu).
-func (db *DB) lockAllShards() ([]*shard, func()) {
+// returns them (with their monitor names, index-aligned) and an
+// unlock function. The shard-map read lock is held until unlock, so
+// no new shard can appear mid-operation, and with every shard lock
+// held no Append can be mid-flight: the recorded events are exactly
+// sequence numbers 1..nextSeq. Multi-shard operations therefore
+// observe one consistent global state even without freezing the
+// monitors. The deterministic order makes concurrent multi-shard
+// operations deadlock-free (single-shard paths hold at most one shard
+// lock and never a shard lock under shardMu).
+func (db *DB) lockAllShards() ([]string, []*shard, func()) {
 	db.shardMu.RLock()
 	names := make([]string, 0, len(db.shards))
 	for name := range db.shards {
@@ -144,12 +165,73 @@ func (db *DB) lockAllShards() ([]*shard, func()) {
 	for _, s := range shards {
 		s.mu.Lock()
 	}
-	return shards, func() {
+	return names, shards, func() {
 		for _, s := range shards {
 			s.mu.Unlock()
 		}
 		db.shardMu.RUnlock()
 	}
+}
+
+// AddDrainTee adds a tee observing every segment drained from now on
+// — by any Drain or DrainMonitor caller, so several detectors sharing
+// the database each see the whole stream, not just their own drains.
+// Tees run on the draining goroutine after the shard locks are
+// released — a slow tee delays the drainer but never blocks
+// concurrent Appends; hand it an export.Exporter (whose Consume
+// signature matches) to move even that cost off the drain path.
+func (db *DB) AddDrainTee(tee DrainTee) {
+	db.teeMu.Lock()
+	db.tees = append(db.tees, tee)
+	db.teeMu.Unlock()
+}
+
+// SetDrainTee replaces every installed tee with the given one (or,
+// with nil, removes them all). Prefer AddDrainTee: replacing silently
+// unwires any exporter another component installed.
+func (db *DB) SetDrainTee(tee DrainTee) {
+	db.teeMu.Lock()
+	if tee == nil {
+		db.tees = nil
+	} else {
+		db.tees = []DrainTee{tee}
+	}
+	db.teeMu.Unlock()
+}
+
+// drainTees snapshots the installed tees (nil when none).
+func (db *DB) drainTees() []DrainTee {
+	db.teeMu.RLock()
+	defer db.teeMu.RUnlock()
+	if len(db.tees) == 0 {
+		return nil
+	}
+	return append([]DrainTee(nil), db.tees...)
+}
+
+// teePair is one (monitor, drained segment) observation for the tee.
+type teePair struct {
+	monitor string
+	seg     event.Seq
+}
+
+// splitByMonitor splits a mixed-monitor segment (the WithGlobalLock
+// single shard) into per-monitor subsequences, preserving seq order
+// within each.
+func splitByMonitor(seg event.Seq) []teePair {
+	byMon := make(map[string]event.Seq, 4)
+	var order []string
+	for _, e := range seg {
+		if _, ok := byMon[e.Monitor]; !ok {
+			order = append(order, e.Monitor)
+		}
+		byMon[e.Monitor] = append(byMon[e.Monitor], e)
+	}
+	pairs := make([]teePair, 0, len(order))
+	for _, m := range order {
+		pairs = append(pairs, teePair{monitor: m, seg: byMon[m]})
+	}
+	return pairs
 }
 
 // Append records the event, assigns it the next global sequence number
@@ -176,15 +258,32 @@ func (db *DB) Append(e event.Event) event.Event {
 // holds every shard lock for the duration, so even without freezing
 // the monitors the drained segment is a consistent prefix of the
 // global sequence: it contains every recorded event up to its highest
-// sequence number.
+// sequence number. The drained per-monitor segments are fed to the
+// drain tee (if one is installed) after the locks are released.
 func (db *DB) Drain() event.Seq {
-	shards, unlock := db.lockAllShards()
-	defer unlock()
+	tees := db.drainTees()
+	names, shards, unlock := db.lockAllShards()
 	segs := make([]event.Seq, 0, len(shards))
-	for _, s := range shards {
-		if len(s.segment) > 0 {
-			segs = append(segs, event.Seq(s.segment))
-			s.segment = nil
+	var pairs []teePair
+	for i, s := range shards {
+		if len(s.segment) == 0 {
+			continue
+		}
+		seg := event.Seq(s.segment)
+		s.segment = nil
+		segs = append(segs, seg)
+		if tees != nil {
+			if db.global {
+				pairs = append(pairs, splitByMonitor(seg)...)
+			} else {
+				pairs = append(pairs, teePair{monitor: names[i], seg: seg})
+			}
+		}
+	}
+	unlock()
+	for _, tee := range tees {
+		for _, p := range pairs {
+			tee(p.monitor, p.seg)
 		}
 	}
 	if len(segs) == 1 {
@@ -198,12 +297,13 @@ func (db *DB) Drain() event.Seq {
 // drains its shard, and replays it without stopping any other monitor.
 // With WithGlobalLock the single shared shard holds every monitor's
 // events, so DrainMonitor filters the named monitor's events out of it
-// and keeps the rest queued.
+// and keeps the rest queued. The drained segment is fed to the drain
+// tee (if one is installed) after the shard lock is released.
 func (db *DB) DrainMonitor(monitor string) event.Seq {
+	s := db.shardFor(monitor)
+	var seg event.Seq
 	if db.global {
-		s := db.shardFor(monitor)
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		var mine, rest []event.Event
 		for _, e := range s.segment {
 			if e.Monitor == monitor {
@@ -213,13 +313,19 @@ func (db *DB) DrainMonitor(monitor string) event.Seq {
 			}
 		}
 		s.segment = rest
-		return mine
+		s.mu.Unlock()
+		seg = mine
+	} else {
+		s.mu.Lock()
+		seg = event.Seq(s.segment)
+		s.segment = nil
+		s.mu.Unlock()
 	}
-	s := db.shardFor(monitor)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seg := event.Seq(s.segment)
-	s.segment = nil
+	if len(seg) > 0 {
+		for _, tee := range db.drainTees() {
+			tee(monitor, seg)
+		}
+	}
 	return seg
 }
 
@@ -227,7 +333,7 @@ func (db *DB) DrainMonitor(monitor string) event.Seq {
 // without draining it. Like Drain it holds every shard lock, so the
 // result is a consistent view of the buffered events.
 func (db *DB) Peek() event.Seq {
-	shards, unlock := db.lockAllShards()
+	_, shards, unlock := db.lockAllShards()
 	defer unlock()
 	segs := make([]event.Seq, 0, len(shards))
 	for _, s := range shards {
@@ -250,7 +356,7 @@ func (db *DB) Total() int64 { return db.total.Load() }
 // SegmentLen returns the number of events currently buffered across
 // all shards.
 func (db *DB) SegmentLen() int {
-	shards, unlock := db.lockAllShards()
+	_, shards, unlock := db.lockAllShards()
 	defer unlock()
 	n := 0
 	for _, s := range shards {
@@ -276,7 +382,7 @@ func (db *DB) Full() event.Seq {
 	if !db.keepFull {
 		return nil
 	}
-	shards, unlock := db.lockAllShards()
+	_, shards, unlock := db.lockAllShards()
 	defer unlock()
 	fulls := make([]event.Seq, 0, len(shards))
 	for _, s := range shards {

@@ -208,3 +208,126 @@ func TestConcurrentMultiMonitorAppends(t *testing.T) {
 		t.Fatalf("full trace has %d events, want %d", len(full), monitors*perMonitor)
 	}
 }
+
+// teeRecorder collects drain-tee observations.
+type teeRecorder struct {
+	mu    sync.Mutex
+	pairs []struct {
+		monitor string
+		seg     event.Seq
+	}
+}
+
+func (r *teeRecorder) tee(monitor string, seg event.Seq) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pairs = append(r.pairs, struct {
+		monitor string
+		seg     event.Seq
+	}{monitor, seg})
+}
+
+func TestDrainTeeObservesPerMonitorSegments(t *testing.T) {
+	t.Parallel()
+	rec := &teeRecorder{}
+	db := New(WithDrainTee(rec.tee))
+	for _, m := range []string{"a", "b", "a", "c"} {
+		db.Append(mev(m, 1))
+	}
+	drained := db.Drain()
+	if len(drained) != 4 {
+		t.Fatalf("Drain returned %d events, want 4", len(drained))
+	}
+	if len(rec.pairs) != 3 {
+		t.Fatalf("tee observed %d segments, want 3 (one per monitor)", len(rec.pairs))
+	}
+	total := 0
+	for _, p := range rec.pairs {
+		total += len(p.seg)
+		for _, e := range p.seg {
+			if e.Monitor != p.monitor {
+				t.Fatalf("tee segment for %q contains event of %q", p.monitor, e.Monitor)
+			}
+		}
+	}
+	if total != 4 {
+		t.Fatalf("tee observed %d events in total, want 4", total)
+	}
+	// A drain with nothing buffered must not call the tee.
+	db.Drain()
+	if len(rec.pairs) != 3 {
+		t.Fatalf("empty Drain fed the tee (now %d segments)", len(rec.pairs))
+	}
+}
+
+func TestDrainMonitorFeedsTee(t *testing.T) {
+	t.Parallel()
+	rec := &teeRecorder{}
+	db := New()
+	db.SetDrainTee(rec.tee)
+	db.Append(mev("a", 1))
+	db.Append(mev("b", 2))
+	if got := db.DrainMonitor("a"); len(got) != 1 {
+		t.Fatalf("DrainMonitor(a) = %d events, want 1", len(got))
+	}
+	if len(rec.pairs) != 1 || rec.pairs[0].monitor != "a" || len(rec.pairs[0].seg) != 1 {
+		t.Fatalf("tee observed %+v, want one single-event segment for a", rec.pairs)
+	}
+	// Removing the tee stops observations.
+	db.SetDrainTee(nil)
+	db.DrainMonitor("b")
+	if len(rec.pairs) != 1 {
+		t.Fatalf("tee called after removal (now %d segments)", len(rec.pairs))
+	}
+}
+
+func TestDrainTeeSplitsGlobalLockSegments(t *testing.T) {
+	t.Parallel()
+	rec := &teeRecorder{}
+	db := New(WithGlobalLock(), WithDrainTee(rec.tee))
+	for _, m := range []string{"a", "b", "a"} {
+		db.Append(mev(m, 1))
+	}
+	db.Drain()
+	if len(rec.pairs) != 2 {
+		t.Fatalf("tee observed %d segments under WithGlobalLock, want 2 (split per monitor)", len(rec.pairs))
+	}
+	for _, p := range rec.pairs {
+		for _, e := range p.seg {
+			if e.Monitor != p.monitor {
+				t.Fatalf("tee segment for %q contains event of %q", p.monitor, e.Monitor)
+			}
+		}
+	}
+	db.Append(mev("a", 1))
+	db.Append(mev("b", 1))
+	if got := db.DrainMonitor("a"); len(got) != 1 {
+		t.Fatalf("DrainMonitor(a) = %d events, want 1", len(got))
+	}
+	if last := rec.pairs[len(rec.pairs)-1]; last.monitor != "a" || len(last.seg) != 1 {
+		t.Fatalf("tee observed %+v for global-lock DrainMonitor, want a's single event", last)
+	}
+}
+
+func TestAddDrainTeeIsAdditive(t *testing.T) {
+	t.Parallel()
+	a, b := &teeRecorder{}, &teeRecorder{}
+	db := New()
+	db.AddDrainTee(a.tee)
+	db.AddDrainTee(b.tee) // must not unwire a — both observe everything
+	db.Append(mev("m", 1))
+	db.DrainMonitor("m")
+	db.Append(mev("m", 2))
+	db.Drain()
+	if len(a.pairs) != 2 || len(b.pairs) != 2 {
+		t.Fatalf("tees observed %d and %d segments, want 2 and 2", len(a.pairs), len(b.pairs))
+	}
+	// SetDrainTee replaces every installed tee.
+	c := &teeRecorder{}
+	db.SetDrainTee(c.tee)
+	db.Append(mev("m", 3))
+	db.Drain()
+	if len(a.pairs) != 2 || len(b.pairs) != 2 || len(c.pairs) != 1 {
+		t.Fatalf("after SetDrainTee: observed %d/%d/%d segments, want 2/2/1", len(a.pairs), len(b.pairs), len(c.pairs))
+	}
+}

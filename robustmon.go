@@ -20,6 +20,13 @@
 // one database: wire them all with WithRecorder(db) and hand them to a
 // single detector.
 //
+// Offline artefacts no longer require holding the run in memory
+// (WithFullTrace): an Exporter (DetectorConfig.Exporter) streams every
+// drained checkpoint segment through a bounded buffer to a pluggable
+// sink — e.g. a WALSink directory of CRC-protected segment files —
+// and ReadExportDir replays the run from disk in the exact <L order,
+// recovering from a crash-truncated tail.
+//
 // # Quick start
 //
 //	spec := robustmon.Spec{
@@ -60,6 +67,7 @@ import (
 	"robustmon/internal/detect"
 	"robustmon/internal/event"
 	"robustmon/internal/experiment"
+	"robustmon/internal/export"
 	"robustmon/internal/external"
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
@@ -180,6 +188,63 @@ func WithFullTrace() HistoryOption { return history.WithFullTrace() }
 // mutex — the pre-sharding contention profile, retained only so the
 // comparative benchmarks can measure what sharding buys.
 func WithGlobalLock() HistoryOption { return history.WithGlobalLock() }
+
+// Streaming trace export (the async pipeline replacing WithFullTrace
+// for offline artefacts — see internal/export).
+type (
+	// Exporter streams drained history segments to a Sink off the hot
+	// path through a bounded buffer.
+	Exporter = export.Exporter
+	// ExporterConfig parameterises NewExporter (buffer size,
+	// backpressure policy).
+	ExporterConfig = export.Config
+	// ExporterStats counts exporter activity, including drops.
+	ExporterStats = export.Stats
+	// ExportPolicy is the backpressure policy when the buffer fills.
+	ExportPolicy = export.Policy
+	// ExportSegment is one drained per-monitor segment.
+	ExportSegment = export.Segment
+	// ExportSink persists exported segments.
+	ExportSink = export.Sink
+	// WALSink persists segments to a directory of CRC-protected,
+	// fsync-on-rotate files.
+	WALSink = export.WALSink
+	// WALConfig parameterises NewWALSink.
+	WALConfig = export.WALConfig
+	// ExportReplay is a trace read back from an export directory.
+	ExportReplay = export.Replay
+	// MemoryExportSink collects exported segments in memory.
+	MemoryExportSink = export.MemorySink
+	// DrainTee observes drained segments (History.SetDrainTee).
+	DrainTee = history.DrainTee
+)
+
+// Backpressure policies.
+const (
+	// ExportBlock stalls the drainer until the exporter has room —
+	// lossless.
+	ExportBlock = export.Block
+	// ExportDrop discards segments when the buffer is full and counts
+	// them.
+	ExportDrop = export.Drop
+)
+
+// NewExporter starts an exporter writing to sink. Wire it to a
+// detector via DetectorConfig.Exporter (checkpoints then stream their
+// drained segments for free) or to a database directly via
+// History.SetDrainTee(exp.Consume); Close it after the run.
+func NewExporter(sink ExportSink, cfg ExporterConfig) *Exporter { return export.New(sink, cfg) }
+
+// NewWALSink opens (creating if needed) an export directory for
+// appending.
+func NewWALSink(dir string, cfg WALConfig) (*WALSink, error) { return export.NewWALSink(dir, cfg) }
+
+// ReadExportDir replays an export directory back into the global <L
+// order, recovering from a crash-truncated tail.
+func ReadExportDir(dir string) (*ExportReplay, error) { return export.ReadDir(dir) }
+
+// WithDrainTee installs a drain tee at database construction time.
+func WithDrainTee(tee DrainTee) HistoryOption { return history.WithDrainTee(tee) }
 
 // Trace I/O.
 

@@ -184,3 +184,75 @@ func TestAllFaultKindsExported(t *testing.T) {
 		t.Fatal("fault kind constants out of order")
 	}
 }
+
+// TestPublicAPIStreamingExport drives the facade's export pipeline:
+// a detector streams checkpoint segments through an Exporter into a
+// WAL directory, and ReadExportDir replays the run without the
+// database ever keeping a full trace.
+func TestPublicAPIStreamingExport(t *testing.T) {
+	t.Parallel()
+	spec := robustmon.Spec{
+		Name:       "account",
+		Kind:       robustmon.OperationManager,
+		Conditions: []string{"nonZero"},
+		Procedures: []string{"Deposit"},
+	}
+	dir := t.TempDir()
+	sink, err := robustmon.NewWALSink(dir, robustmon.WALConfig{})
+	if err != nil {
+		t.Fatalf("NewWALSink: %v", err)
+	}
+	exp := robustmon.NewExporter(sink, robustmon.ExporterConfig{Policy: robustmon.ExportBlock})
+	db := robustmon.NewHistory() // no WithFullTrace: the WAL is the only copy
+	mon, err := robustmon.NewMonitor(spec, robustmon.WithRecorder(db))
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	det := robustmon.NewDetector(db, robustmon.DetectorConfig{
+		Tmax:     time.Hour,
+		Tio:      time.Hour,
+		Exporter: exp,
+	}, mon)
+
+	rt := robustmon.NewRuntime()
+	rt.Spawn("worker", func(p *robustmon.Process) {
+		for i := 0; i < 50; i++ {
+			if err := mon.Enter(p, "Deposit"); err != nil {
+				return
+			}
+			_ = mon.SignalExit(p, "Deposit", "nonZero")
+		}
+	})
+	rt.Join()
+	if vs := det.CheckNow(); len(vs) != 0 {
+		t.Fatalf("fault-free run reported violations: %v", vs)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := exp.Stats(); st.DroppedSegments != 0 || st.Written == 0 {
+		t.Fatalf("exporter stats = %+v, want writes and no drops", st)
+	}
+
+	rep, err := robustmon.ReadExportDir(dir)
+	if err != nil {
+		t.Fatalf("ReadExportDir: %v", err)
+	}
+	if rep.Recovered {
+		t.Fatal("clean run reported a recovered truncation")
+	}
+	if int64(len(rep.Events)) != 100 {
+		t.Fatalf("replayed %d events, want 100", len(rep.Events))
+	}
+	results, err := robustmon.VerifyTrace(rep.Events, robustmon.VerifyOptions{
+		Specs: []robustmon.Spec{spec},
+	})
+	if err != nil {
+		t.Fatalf("VerifyTrace on replay: %v", err)
+	}
+	for _, r := range results {
+		if !r.Clean() {
+			t.Fatalf("replayed trace not clean: %+v", r)
+		}
+	}
+}
