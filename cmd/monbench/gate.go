@@ -1,0 +1,172 @@
+// The perf gate: compare a fresh sweep artefact against a committed
+// baseline (BENCH_scaling.json) and fail on regression. CI builds
+// monbench, reruns the baseline's sweep configuration and calls this
+// via -baseline; a PR that slows recording throughput or inflates
+// checkpoint tail latency beyond the tolerance fails its gate job.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// latencyFloorNs is the absolute slack applied to latency comparisons:
+// p99 deltas below this are scheduler noise on any host (CI containers
+// routinely jitter checkpoint tails by several ms, and p99 is
+// nearest-rank — the worst observed checkpoint, the noisiest possible
+// statistic), not regressions, however large they are relatively. The
+// latency gate exists to catch order-of-magnitude stalls — an
+// unbatched drain of a huge shard puts p99 tens to hundreds of ms
+// over the baseline — while throughput stays the fine-grained
+// ±tolerance signal, since it is averaged over the whole run and far
+// more stable.
+const latencyFloorNs = float64(10 * time.Millisecond)
+
+// rowKey identifies a sweep cell across artefacts: every config-like
+// field of the row, i.e. everything except the measurements.
+func rowKey(row map[string]any) string {
+	measurements := map[string]bool{
+		"events_per_sec": true, "elapsed_ns": true, "checks": true,
+		"events": true, "ratio": true,
+		"checkpoint_p50_ns": true, "checkpoint_p99_ns": true,
+	}
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		if !measurements[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%v|", k, row[k])
+	}
+	return out
+}
+
+// num extracts a numeric field from a normalized row (absent or
+// non-numeric fields read as not-ok). Rows reach comparisons only
+// after a JSON round-trip, so every number is a float64.
+func num(row map[string]any, field string) (float64, bool) {
+	v, ok := row[field].(float64)
+	return v, ok
+}
+
+// normalize round-trips a value through JSON so in-memory artefacts
+// (ints, time.Durations) and unmarshalled baselines (float64
+// everywhere) compare under one type regime.
+func normalize[T any](v T) (T, error) {
+	var out T
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(blob, &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// compareArtefacts matches fresh rows to baseline rows by key and
+// returns one message per regression: events/sec dropping more than
+// tol below the baseline, or checkpoint p99 rising more than tol (and
+// more than latencyFloorNs) above it. Baseline rows with no fresh
+// counterpart are ignored (sweep configs may shrink); zero matched
+// rows is itself an error, since it means the gate compared nothing.
+func compareArtefacts(baseline, fresh []map[string]any, tol float64) ([]string, error) {
+	base := make(map[string]map[string]any, len(baseline))
+	for _, row := range baseline {
+		base[rowKey(row)] = row
+	}
+	matched := 0
+	var regressions []string
+	for _, row := range fresh {
+		bRow, ok := base[rowKey(row)]
+		if !ok {
+			continue
+		}
+		matched++
+		if bEPS, ok := num(bRow, "events_per_sec"); ok && bEPS > 0 {
+			if fEPS, ok := num(row, "events_per_sec"); ok && fEPS < bEPS*(1-tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s events/sec %.0f < baseline %.0f −%d%%",
+					rowKey(row), fEPS, bEPS, int(tol*100)))
+			}
+		}
+		if bP99, ok := num(bRow, "checkpoint_p99_ns"); ok && bP99 > 0 {
+			if fP99, ok := num(row, "checkpoint_p99_ns"); ok &&
+				fP99 > bP99*(1+tol) && fP99-bP99 > latencyFloorNs {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s checkpoint p99 %v > baseline %v +%d%%",
+					rowKey(row), time.Duration(fP99), time.Duration(bP99), int(tol*100)))
+			}
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no fresh row matched any baseline row — key schema drift? regenerate the baseline")
+	}
+	return regressions, nil
+}
+
+// gateAgainstBaseline loads the baseline artefact, compares the fresh
+// sweep against it and reports the verdict. Returns a process exit
+// code: 0 pass, 1 regression or error.
+func gateAgainstBaseline(path string, fresh benchArtefact, tol float64, out, errOut io.Writer) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: read baseline: %v\n", err)
+		return 1
+	}
+	var base benchArtefact
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(errOut, "monbench: parse baseline %s: %v\n", path, err)
+		return 1
+	}
+	if base.Kind != fresh.Kind {
+		fmt.Fprintf(errOut, "monbench: baseline kind %q, fresh sweep kind %q — not comparable\n",
+			base.Kind, fresh.Kind)
+		return 1
+	}
+	// Row keys carry only per-cell config (monitors, modes); the sweep
+	// parameters live in the config block. A fresh sweep run with
+	// different ops/procs/interval would silently key-match baseline
+	// rows and gate apples against oranges — reject it instead. Keys
+	// present on one side only are tolerated (schema evolution), but
+	// every shared key must agree.
+	freshCfg, err := normalize(fresh.Config)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return 1
+	}
+	for k, bv := range base.Config {
+		if fv, ok := freshCfg[k]; ok && fmt.Sprint(fv) != fmt.Sprint(bv) {
+			fmt.Fprintf(errOut, "monbench: baseline config %s=%v but fresh sweep ran %s=%v — rerun with the baseline's configuration (or regenerate the baseline)\n",
+				k, bv, k, fv)
+			return 1
+		}
+	}
+	freshRows, err := normalize(fresh.Rows)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return 1
+	}
+	regressions, err := compareArtefacts(base.Rows, freshRows, tol)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: perf gate: %v\n", err)
+		return 1
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(errOut, "monbench: perf gate FAILED against %s (tolerance ±%d%%):\n",
+			path, int(tol*100))
+		for _, r := range regressions {
+			fmt.Fprintf(errOut, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Fprintf(out, "\nperf gate passed against %s (tolerance ±%d%%)\n", path, int(tol*100))
+	return 0
+}

@@ -76,13 +76,17 @@ func run(args []string, out, errOut io.Writer) int {
 		intervals = fs.String("intervals", "", "comma-separated checking intervals (e.g. 500ms,1s,2s,3s)")
 		ops       = fs.Int("ops", 0, "monitor operations per measurement (0 = default)")
 		procs     = fs.Int("procs", 0, "concurrent processes (0 = default)")
-		repeats   = fs.Int("repeats", 0, "repetitions per cell (0 = default)")
+		repeats   = fs.Int("repeats", 0, "repetitions per cell (0 = default); E4 reports the per-metric median")
 		workloads = fs.String("workloads", "", "comma-separated workloads: coordinator,allocator,manager")
 		suspend   = fs.Duration("suspend", 0, "simulated per-checkpoint process-suspension cost (models the 2001 JVM prototype; 0 = native)")
-		monitors  = fs.String("monitors", "", "comma-separated monitor counts for the E4 scaling sweep (e.g. 1,4,16); empty = run E2 instead. E4 honours -ops, -procs, a single -intervals value, -workers and -globallock; the other E2 flags do not apply")
+		monitors  = fs.String("monitors", "", "comma-separated monitor counts for the E4 scaling sweep (e.g. 1,4,16); empty = run E2 instead. E4 honours -ops, -procs, a single -intervals value, -workers, -globallock, -adaptive and -batch; the other E2 flags do not apply")
 		workers   = fs.Int("workers", 0, "checkpoint worker-pool bound for -monitors (0 = auto)")
 		global    = fs.Bool("globallock", false, "run -monitors against the legacy single-mutex history database")
+		adaptive  = fs.Bool("adaptive", false, "add adaptive-scheduler rows to the -monitors sweep (per-monitor intervals next to every fixed-T cell)")
+		batch     = fs.Int("batch", 0, "batched-replay batch size for the -monitors sweep (0 = unbatched)")
 		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
+		baseline  = fs.String("baseline", "", "perf gate: compare the fresh sweep against this JSON artefact and exit non-zero on regression")
+		tolerance = fs.Float64("tolerance", 0.25, "perf gate: relative tolerance for -baseline comparisons")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,7 +103,20 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	if *monitors != "" {
-		return runScaling(*monitors, *ops, *procs, *intervals, *workers, *global, *jsonPath, out, errOut)
+		return runScaling(scalingFlags{
+			monitorCounts: *monitors,
+			ops:           *ops,
+			procs:         *procs,
+			repeats:       *repeats,
+			intervals:     *intervals,
+			workers:       *workers,
+			global:        *global,
+			adaptive:      *adaptive,
+			batch:         *batch,
+			jsonPath:      *jsonPath,
+			baseline:      *baseline,
+			tolerance:     *tolerance,
+		}, out, errOut)
 	}
 
 	cfg := experiment.DefaultOverheadConfig()
@@ -163,40 +180,58 @@ func run(args []string, out, errOut io.Writer) int {
 	fmt.Fprint(out, detail.String())
 	fmt.Fprintln(out, "\npaper's shape check: ratio should fall as the interval grows;")
 	fmt.Fprintln(out, "the paper reports ≈7x at 0.5s falling toward ≈4x at 3.0s (2001 JVM).")
+	art := benchArtefact{
+		Kind:        "E2-overhead",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Config: map[string]any{
+			"ops": cfg.Ops, "procs": cfg.Procs, "repeats": cfg.Repeats,
+			"suspend_ns": cfg.SuspendOverhead.Nanoseconds(),
+		},
+	}
+	for _, r := range rows {
+		var eps float64
+		if total := r.Extended.Seconds() * float64(cfg.Repeats); total > 0 {
+			eps = float64(r.Events) / total
+		}
+		art.Rows = append(art.Rows, map[string]any{
+			"workload": string(r.Workload), "interval_ns": r.Interval.Nanoseconds(),
+			"ratio": r.Ratio, "checks": r.Checks, "events": r.Events,
+			"events_per_sec": eps,
+		})
+	}
 	if *jsonPath != "" {
-		art := benchArtefact{
-			Kind:        "E2-overhead",
-			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-			Config: map[string]any{
-				"ops": cfg.Ops, "procs": cfg.Procs, "repeats": cfg.Repeats,
-				"suspend_ns": cfg.SuspendOverhead.Nanoseconds(),
-			},
-		}
-		for _, r := range rows {
-			var eps float64
-			if total := r.Extended.Seconds() * float64(cfg.Repeats); total > 0 {
-				eps = float64(r.Events) / total
-			}
-			art.Rows = append(art.Rows, map[string]any{
-				"workload": string(r.Workload), "interval_ns": r.Interval.Nanoseconds(),
-				"ratio": r.Ratio, "checks": r.Checks, "events": r.Events,
-				"events_per_sec": eps,
-			})
-		}
 		if err := writeArtefact(*jsonPath, art); err != nil {
 			fmt.Fprintf(errOut, "monbench: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
 	}
+	if *baseline != "" {
+		return gateAgainstBaseline(*baseline, art, *tolerance, out, errOut)
+	}
 	return 0
 }
 
+// scalingFlags carries the E4 sweep's command-line configuration.
+type scalingFlags struct {
+	monitorCounts string
+	ops, procs    int
+	repeats       int
+	intervals     string
+	workers       int
+	global        bool
+	adaptive      bool
+	batch         int
+	jsonPath      string
+	baseline      string
+	tolerance     float64
+}
+
 // runScaling executes the E4 many-monitor sweep (-monitors).
-func runScaling(monitorCounts string, ops, procs int, intervals string, workers int, global bool, jsonPath string, out, errOut io.Writer) int {
+func runScaling(f scalingFlags, out, errOut io.Writer) int {
 	cfg := experiment.DefaultScalingConfig()
 	cfg.Monitors = nil
-	for _, s := range strings.Split(monitorCounts, ",") {
+	for _, s := range strings.Split(f.monitorCounts, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n <= 0 {
 			fmt.Fprintf(errOut, "monbench: bad monitor count %q\n", s)
@@ -204,33 +239,36 @@ func runScaling(monitorCounts string, ops, procs int, intervals string, workers 
 		}
 		cfg.Monitors = append(cfg.Monitors, n)
 	}
-	if intervals != "" {
-		if strings.Contains(intervals, ",") {
-			fmt.Fprintf(errOut, "monbench: -monitors sweeps monitor counts at one checking interval; give a single -intervals value (got %q)\n", intervals)
+	if f.intervals != "" {
+		if strings.Contains(f.intervals, ",") {
+			fmt.Fprintf(errOut, "monbench: -monitors sweeps monitor counts at one checking interval; give a single -intervals value (got %q)\n", f.intervals)
 			return 2
 		}
-		d, err := time.ParseDuration(strings.TrimSpace(intervals))
+		d, err := time.ParseDuration(strings.TrimSpace(f.intervals))
 		if err != nil {
-			fmt.Fprintf(errOut, "monbench: bad interval %q: %v\n", intervals, err)
+			fmt.Fprintf(errOut, "monbench: bad interval %q: %v\n", f.intervals, err)
 			return 2
 		}
 		cfg.Interval = d
 	}
-	if ops > 0 {
-		cfg.OpsPerMonitor = ops
+	if f.ops > 0 {
+		cfg.OpsPerMonitor = f.ops
 	}
-	if procs > 0 {
-		cfg.ProcsPerMonitor = procs
+	if f.procs > 0 {
+		cfg.ProcsPerMonitor = f.procs
 	}
-	cfg.Workers = workers
-	cfg.GlobalLock = global
+	cfg.Workers = f.workers
+	cfg.GlobalLock = f.global
+	cfg.Adaptive = f.adaptive
+	cfg.BatchSize = f.batch
+	cfg.Repeats = f.repeats
 
 	db := "sharded"
-	if global {
+	if f.global {
 		db = "global-lock"
 	}
-	fmt.Fprintf(out, "E4 (scaling): ops/monitor=%d procs/monitor=%d interval=%v workers=%d db=%s\n\n",
-		cfg.OpsPerMonitor, cfg.ProcsPerMonitor, cfg.Interval, cfg.Workers, db)
+	fmt.Fprintf(out, "E4 (scaling): ops/monitor=%d procs/monitor=%d interval=%v workers=%d db=%s adaptive=%v batch=%d\n\n",
+		cfg.OpsPerMonitor, cfg.ProcsPerMonitor, cfg.Interval, cfg.Workers, db, cfg.Adaptive, cfg.BatchSize)
 	rows, err := experiment.RunScaling(cfg)
 	if err != nil {
 		fmt.Fprintf(errOut, "monbench: %v\n", err)
@@ -240,32 +278,36 @@ func runScaling(monitorCounts string, ops, procs int, intervals string, workers 
 	fmt.Fprintln(out, "\nshape check: events/sec should hold (or grow) as monitors are added —")
 	fmt.Fprintln(out, "per-monitor shards remove DB contention and the checkpoint worker pool")
 	fmt.Fprintln(out, "spreads replay; compare against -globallock for the pre-sharding profile.")
-	if jsonPath != "" {
-		art := benchArtefact{
-			Kind:        "E4-scaling",
-			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-			Config: map[string]any{
-				"ops_per_monitor": cfg.OpsPerMonitor, "procs_per_monitor": cfg.ProcsPerMonitor,
-				"interval_ns": cfg.Interval.Nanoseconds(), "workers": cfg.Workers,
-				"db": db,
-			},
-		}
-		for _, r := range rows {
-			mode := "hold-world"
-			if !r.HoldWorld {
-				mode = "per-monitor"
-			}
-			art.Rows = append(art.Rows, map[string]any{
-				"monitors": r.Monitors, "checkpoint": mode,
-				"elapsed_ns": r.Elapsed.Nanoseconds(), "events": r.Events,
-				"checks": r.Checks, "events_per_sec": r.EventsPerSec,
-			})
-		}
-		if err := writeArtefact(jsonPath, art); err != nil {
+	fmt.Fprintln(out, "check p99 is the batched-replay target: it should stay bounded as segments grow.")
+	art := benchArtefact{
+		Kind:        "E4-scaling",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Config: map[string]any{
+			"ops_per_monitor": cfg.OpsPerMonitor, "procs_per_monitor": cfg.ProcsPerMonitor,
+			"interval_ns": cfg.Interval.Nanoseconds(), "workers": cfg.Workers,
+			"db": db, "adaptive": cfg.Adaptive, "batch": cfg.BatchSize,
+			"repeats": cfg.Repeats,
+		},
+	}
+	for _, r := range rows {
+		art.Rows = append(art.Rows, map[string]any{
+			"monitors": r.Monitors, "checkpoint": r.CheckpointName(),
+			"scheduler": r.SchedName(), "batch": r.BatchSize,
+			"elapsed_ns": r.Elapsed.Nanoseconds(), "events": r.Events,
+			"checks": r.Checks, "events_per_sec": r.EventsPerSec,
+			"checkpoint_p50_ns": r.CheckP50.Nanoseconds(),
+			"checkpoint_p99_ns": r.CheckP99.Nanoseconds(),
+		})
+	}
+	if f.jsonPath != "" {
+		if err := writeArtefact(f.jsonPath, art); err != nil {
 			fmt.Fprintf(errOut, "monbench: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(out, "\nwrote %s\n", jsonPath)
+		fmt.Fprintf(out, "\nwrote %s\n", f.jsonPath)
+	}
+	if f.baseline != "" {
+		return gateAgainstBaseline(f.baseline, art, f.tolerance, out, errOut)
 	}
 	return 0
 }

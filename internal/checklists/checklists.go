@@ -97,6 +97,19 @@ func FromSnapshot(spec monitor.Spec, snap state.Snapshot, prevSends, prevRecvs i
 // Violations returns the violations found so far during replay.
 func (l *Lists) Violations() []rules.Violation { return l.violations }
 
+// Replay applies one batch of a checking segment, in order. A Lists
+// value seeded once with FromSnapshot can Replay any number of
+// consecutive batches before the final CompareWith/CheckTimers pass —
+// this is the incremental seeding behind the detector's batched
+// checkpoints: the per-checkpoint seeding cost is paid once per
+// checkpoint, not once per batch, and a huge segment can be drained
+// and replayed in bounded slices.
+func (l *Lists) Replay(seg event.Seq) {
+	for _, e := range seg {
+		l.Apply(e)
+	}
+}
+
 func (l *Lists) violate(rule rules.ID, e event.Event, fault faults.Kind, format string, args ...any) {
 	l.violations = append(l.violations, rules.Violation{
 		Rule:    rule,

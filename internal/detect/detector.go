@@ -20,16 +20,36 @@
 // an unrelated monitor — the cheap mode for many-monitor workloads.
 // Timers (Tmax, Tio, Tlimit) close the gap for faults whose only
 // symptom is that nothing happens. See DESIGN.md for the architecture.
+//
+// Two scaling controls sit on top of the pipeline. Batched replay
+// (Config.BatchSize) drains and replays each monitor's segment in
+// fixed-size batches with the checking-list seeding paid once per
+// checkpoint, so a shard that buffered a million events no longer
+// stalls its checkpoint on one giant drain — and in per-monitor mode
+// the monitor is frozen only long enough to fix the checkpoint
+// horizon, with the whole replay running while it keeps executing.
+// Adaptive scheduling (Config.MinInterval/MaxInterval, package sched)
+// replaces the single fixed checking interval with a per-monitor
+// effective interval driven by observed per-shard event rates: hot
+// monitors are checked often enough that their segments stay near
+// Config.TargetBatch events, idle monitors back off toward
+// MaxInterval. Both controls are detection-equivalent to the fixed-T
+// serial path: the same events replay through the same seeded lists,
+// so the violation set is identical (pinned by TestBatchedAdaptive-
+// Equivalence).
 package detect
 
 import (
 	"context"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"robustmon/internal/checklists"
 	"robustmon/internal/clock"
+	"robustmon/internal/detect/sched"
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 	"robustmon/internal/monitor"
@@ -79,6 +99,35 @@ type Config struct {
 	// history.WithFullTrace — offline tooling replays the exporter's
 	// sink instead of an in-memory full trace.
 	Exporter SegmentExporter
+	// BatchSize, when positive, drains and replays checkpoint segments
+	// in batches of this many events instead of one drain per monitor:
+	// the checking lists are seeded once per checkpoint and each batch
+	// replays incrementally, so worst-case checkpoint latency is bounded
+	// by the batch size rather than by how much a shard buffered. In
+	// per-monitor mode the monitor is frozen only while the checkpoint
+	// horizon is fixed; the drains and the replay run while it keeps
+	// executing. Zero keeps the single-drain path. The violation set is
+	// unchanged either way; only WAL record framing (one record per
+	// drained batch) differs.
+	BatchSize int
+	// MaxInterval, when positive, switches Run to the adaptive
+	// scheduler (package sched): each monitor gets its own effective
+	// checking interval in [MinInterval, MaxInterval], derived from its
+	// observed event rate, instead of the single fixed Interval. Hot
+	// monitors are checked more often (their interval aims their
+	// segment size at TargetBatch events); idle monitors back off
+	// toward MaxInterval, which is therefore the worst-case detection
+	// latency for periodic-phase faults. CheckNow still checks every
+	// monitor on demand.
+	MaxInterval time.Duration
+	// MinInterval is the adaptive scheduler's floor (its Tmin): no
+	// monitor is checked more often than this. Zero falls back to
+	// Interval, then to 1ms.
+	MinInterval time.Duration
+	// TargetBatch is the per-checkpoint segment size (events) the
+	// adaptive scheduler tunes each monitor's interval toward. Zero
+	// means BatchSize when set, else sched.DefaultTargetBatch.
+	TargetBatch int
 	// SuspendOverhead simulates the fixed per-checkpoint cost of the
 	// paper's prototype, whose checking routine suspended every user
 	// process via 2001-era JVM thread suspension — a platform cost that
@@ -126,14 +175,26 @@ type monState struct {
 // methods are safe for concurrent use, though checkpoints themselves
 // are serialised (the worker pool parallelises within a checkpoint).
 type Detector struct {
-	cfg Config
-	db  *history.DB
+	cfg   Config
+	db    *history.DB
+	sched *sched.Scheduler // nil unless cfg.MaxInterval > 0
+	// byName maps monitor name → d.mons index; fixed at construction,
+	// used by every adaptive checkpoint to translate due names.
+	byName map[string]int
 
 	mu    sync.Mutex
 	mons  []*monState
 	found []rules.Violation
 	stats Stats
+	// lat is a bounded ring of recent per-checkpoint durations (the
+	// p50/p99 source); latN counts how many were ever recorded.
+	lat  []time.Duration
+	latN int
 }
+
+// latWindow bounds the latency ring: recent enough to reflect the
+// current regime, large enough for a stable p99.
+const latWindow = 4096
 
 // Stats summarises detector activity (used by the overhead benches).
 type Stats struct {
@@ -143,8 +204,17 @@ type Stats struct {
 	Events int
 	// Violations is the number of violations found (periodic phase).
 	Violations int
-	// FrozenFor is the cumulative wall time the world was held frozen.
+	// FrozenFor is the cumulative wall time monitors were held frozen:
+	// in hold-world mode the whole checkpoint duration (the world is
+	// stopped throughout), in per-monitor mode the sum of the
+	// individual freeze windows — which batching shrinks to the
+	// horizon fix, and which this metric exists to show.
 	FrozenFor time.Duration
+	// CheckP50 and CheckP99 are percentile checkpoint latencies over
+	// the most recent latWindow checkpoints — the perf-gate signal for
+	// "a huge shard no longer stalls a checkpoint". Zero until the
+	// first checkpoint completes.
+	CheckP50, CheckP99 time.Duration
 }
 
 // New builds a detector over the given history database and monitors,
@@ -171,15 +241,36 @@ func New(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector {
 		// stream.
 		db.AddDrainTee(cfg.Exporter.Consume)
 	}
+	d.byName = make(map[string]int, len(mons))
 	for _, m := range mons {
 		m.Freeze()
 		prev := m.Snapshot().Clone()
 		m.Thaw()
+		d.byName[m.Name()] = len(d.mons)
 		d.mons = append(d.mons, &monState{
 			mon:  m,
 			prev: prev,
 			rl:   checklists.NewRequestList(m.Spec()),
 		})
+	}
+	if cfg.MaxInterval > 0 {
+		tmin := cfg.MinInterval
+		if tmin <= 0 {
+			tmin = cfg.Interval
+		}
+		target := cfg.TargetBatch
+		if target <= 0 {
+			target = cfg.BatchSize
+		}
+		d.sched = sched.New(sched.Config{
+			Tmin:        tmin,
+			Tmax:        cfg.MaxInterval,
+			TargetBatch: target,
+		})
+		now := cfg.Clock.Now()
+		for _, ms := range d.mons {
+			d.sched.Add(ms.mon.Name(), now)
+		}
 	}
 	return d
 }
@@ -190,58 +281,101 @@ func NewDefault(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector 
 	return New(db, cfg, mons...)
 }
 
-// workers returns the effective checkpoint pool size.
-func (d *Detector) workers() int {
-	n := d.cfg.Workers
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+// workers returns the effective checkpoint pool size for n selected
+// monitors.
+func (d *Detector) workers(n int) int {
+	w := d.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	if n > len(d.mons) {
-		n = len(d.mons)
+	if w > n {
+		w = n
 	}
-	if n < 1 {
-		n = 1
+	if w < 1 {
+		w = 1
 	}
-	return n
+	return w
 }
 
-// CheckNow runs one checkpoint (all three algorithms) and returns the
-// violations found at this checkpoint. Violations are reported in
-// monitor order regardless of worker scheduling, so the parallel
-// pipeline yields the same violation set (and order) as a serial pass.
+// CheckNow runs one checkpoint (all three algorithms) over every
+// monitor and returns the violations found at this checkpoint.
+// Violations are reported in monitor order regardless of worker
+// scheduling, so the parallel pipeline yields the same violation set
+// (and order) as a serial pass.
 func (d *Detector) CheckNow() []rules.Violation {
+	sel := make([]int, len(d.mons))
+	for i := range sel {
+		sel[i] = i
+	}
+	return d.checkSubset(sel)
+}
+
+// checkNames runs one checkpoint over the named monitors — the
+// adaptive scheduler's entry point, where only the monitors that are
+// due get checked. Unknown names are ignored.
+func (d *Detector) checkNames(names []string) []rules.Violation {
+	sel := make([]int, 0, len(names))
+	for _, name := range names {
+		if i, ok := d.byName[name]; ok {
+			sel = append(sel, i)
+		}
+	}
+	sort.Ints(sel) // monitor order, whatever order the names came in
+	return d.checkSubset(sel)
+}
+
+// checkSubset runs one checkpoint over the selected monitor indices.
+// It is the single checkpoint implementation behind CheckNow (all
+// monitors) and the adaptive scheduler (the due subset).
+func (d *Detector) checkSubset(sel []int) []rules.Violation {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
 	start := d.cfg.Clock.Now()
-	perMon := make([][]rules.Violation, len(d.mons))
-	events := make([]int, len(d.mons))
+	perMon := make([][]rules.Violation, len(sel))
+	events := make([]int, len(sel))
 
 	if d.cfg.HoldWorld {
-		// Two-phase barrier (§4): stop the whole world, capture every
-		// snapshot and shard segment against the same frozen state …
+		// Two-phase barrier (§4): stop the whole world — every monitor,
+		// selected or not, so the checkpoint observes one consistent
+		// global state — and capture the selected snapshots against it …
 		for _, ms := range d.mons {
 			ms.mon.Freeze()
 		}
 		lastSeq := d.db.LastSeq()
-		segs := make([]event.Seq, len(d.mons))
-		snaps := make([]state.Snapshot, len(d.mons))
-		for i, ms := range d.mons {
-			snap := ms.mon.Snapshot().Clone()
+		snaps := make([]state.Snapshot, len(sel))
+		for k, i := range sel {
+			snap := d.mons[i].mon.Snapshot().Clone()
 			snap.LastSeq = lastSeq
-			snaps[i] = snap
+			snaps[k] = snap
 			// §4: the database keeps the checkpoint states alongside the
 			// event sequence (retained only in full-trace configurations).
 			d.db.AppendState(snap)
-			segs[i] = d.db.DrainMonitor(ms.mon.Name())
 		}
-		// … then replay all segments through the worker pool while the
-		// world is still held, as the paper's prototype does.
 		now := d.cfg.Clock.Now()
-		d.runPool(func(i int, ms *monState) {
-			perMon[i] = d.checkMonitor(ms, segs[i], snaps[i], now)
-			events[i] = len(segs[i])
-		})
+		if d.cfg.BatchSize > 0 {
+			// Batched: each worker drains its monitor's shard in bounded
+			// slices up to the frozen horizon and replays as it goes; the
+			// checking-list seeding is paid once per monitor, not once
+			// per batch.
+			d.runPool(len(sel), func(k int) {
+				ms := d.mons[sel[k]]
+				perMon[k], events[k] = d.replayMonitor(ms,
+					d.batchDrain(ms.mon.Name(), lastSeq), snaps[k], now)
+			})
+		} else {
+			// Single-drain: capture every segment while the world is
+			// stopped, then replay through the worker pool while the
+			// world is still held, as the paper's prototype does.
+			segs := make([]event.Seq, len(sel))
+			for k, i := range sel {
+				segs[k] = d.db.DrainMonitor(d.mons[i].mon.Name())
+			}
+			d.runPool(len(sel), func(k int) {
+				perMon[k], events[k] = d.replayMonitor(d.mons[sel[k]],
+					drainOnce(segs[k]), snaps[k], now)
+			})
+		}
 		// Extras run while the world is still frozen, as before.
 		for _, extra := range d.cfg.Extra {
 			perMon = append(perMon, extra.Check(now))
@@ -256,22 +390,44 @@ func (d *Detector) CheckNow() []rules.Violation {
 			ms.mon.Thaw()
 		}
 	} else {
-		// Per-monitor mode: each worker freezes only its own monitor for
-		// the snapshot+drain instant and never stops an unrelated one.
+		// Per-monitor mode: each worker freezes only its own monitor and
+		// never stops an unrelated one. Unbatched, the freeze covers the
+		// snapshot and the whole drain; batched, it covers only fixing
+		// the checkpoint horizon — the drains and the replay run while
+		// the monitor keeps executing, since events recorded after the
+		// thaw carry sequence numbers beyond the horizon and stay
+		// buffered for the next checkpoint.
 		now := d.cfg.Clock.Now()
-		d.runPool(func(i int, ms *monState) {
+		frozen := make([]time.Duration, len(sel))
+		d.runPool(len(sel), func(k int) {
+			ms := d.mons[sel[k]]
 			ms.mon.Freeze()
+			t0 := d.cfg.Clock.Now()
 			snap := ms.mon.Snapshot().Clone()
-			seg := d.db.DrainMonitor(ms.mon.Name())
-			snap.LastSeq = ms.prev.LastSeq
-			if n := len(seg); n > 0 {
-				snap.LastSeq = seg[n-1].Seq
+			var drain func() (event.Seq, bool)
+			if d.cfg.BatchSize > 0 {
+				horizon := d.db.LastSeq()
+				snap.LastSeq = horizon
+				d.db.AppendState(snap)
+				frozen[k] = d.cfg.Clock.Now().Sub(t0)
+				ms.mon.Thaw()
+				drain = d.batchDrain(ms.mon.Name(), horizon)
+			} else {
+				seg := d.db.DrainMonitor(ms.mon.Name())
+				snap.LastSeq = ms.prev.LastSeq
+				if n := len(seg); n > 0 {
+					snap.LastSeq = seg[n-1].Seq
+				}
+				d.db.AppendState(snap)
+				frozen[k] = d.cfg.Clock.Now().Sub(t0)
+				ms.mon.Thaw()
+				drain = drainOnce(seg)
 			}
-			d.db.AppendState(snap)
-			ms.mon.Thaw()
-			perMon[i] = d.checkMonitor(ms, seg, snap, now)
-			events[i] = len(seg)
+			perMon[k], events[k] = d.replayMonitor(ms, drain, snap, now)
 		})
+		for _, f := range frozen {
+			d.stats.FrozenFor += f
+		}
 		// Duplicated rather than hoisted below the if/else: the HoldWorld
 		// branch must run extras before thawing, this one has no frozen
 		// world to order against.
@@ -287,7 +443,13 @@ func (d *Detector) CheckNow() []rules.Violation {
 	for _, n := range events {
 		d.stats.Events += n
 	}
-	d.stats.FrozenFor += d.cfg.Clock.Now().Sub(start)
+	elapsed := d.cfg.Clock.Now().Sub(start)
+	if d.cfg.HoldWorld {
+		// The world was stopped for the whole checkpoint; per-monitor
+		// mode accumulated its individual freeze windows above.
+		d.stats.FrozenFor += elapsed
+	}
+	d.recordLatency(elapsed)
 	d.stats.Checks++
 	d.stats.Violations += len(out)
 	for i := range out {
@@ -300,50 +462,94 @@ func (d *Detector) CheckNow() []rules.Violation {
 	return out
 }
 
-// runPool applies fn to every monitor state through the bounded worker
-// pool and waits for all of them. fn for different indices runs
+// recordLatency folds one checkpoint duration into the bounded ring
+// behind Stats.CheckP50/CheckP99. Caller holds d.mu.
+func (d *Detector) recordLatency(elapsed time.Duration) {
+	if len(d.lat) < latWindow {
+		d.lat = append(d.lat, elapsed)
+	} else {
+		d.lat[d.latN%latWindow] = elapsed
+	}
+	d.latN++
+}
+
+// batchDrain returns a drain function pulling the named monitor's
+// buffered events up to the checkpoint horizon in Config.BatchSize
+// slices.
+func (d *Detector) batchDrain(name string, horizon int64) func() (event.Seq, bool) {
+	return func() (event.Seq, bool) {
+		return d.db.DrainMonitorUpTo(name, horizon, d.cfg.BatchSize)
+	}
+}
+
+// drainOnce adapts a pre-drained segment to the drain-function shape
+// used by replayMonitor: one batch, nothing more.
+func drainOnce(seg event.Seq) func() (event.Seq, bool) {
+	return func() (event.Seq, bool) { return seg, false }
+}
+
+// runPool applies fn to every index in [0, n) through the bounded
+// worker pool and waits for all of them. fn for different indices runs
 // concurrently; each index runs exactly once.
-func (d *Detector) runPool(fn func(i int, ms *monState)) {
-	n := d.workers()
-	if n == 1 {
-		for i, ms := range d.mons {
-			fn(i, ms)
+func (d *Detector) runPool(n int, fn func(k int)) {
+	if n == 0 {
+		return
+	}
+	w := d.workers(n)
+	if w == 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
-	wg.Add(n)
-	for w := 0; w < n; w++ {
+	wg.Add(w)
+	for i := 0; i < w; i++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				fn(i, d.mons[i])
+			for k := range next {
+				fn(k)
 			}
 		}()
 	}
-	for i := range d.mons {
-		next <- i
+	for k := 0; k < n; k++ {
+		next <- k
 	}
 	close(next)
 	wg.Wait()
 }
 
-// checkMonitor runs Algorithms 1–3 for one monitor's segment and
-// advances its cross-checkpoint state. Within a checkpoint it is
-// called by exactly one worker per monitor; the checkpoint barrier in
-// CheckNow orders these calls across checkpoints.
-func (d *Detector) checkMonitor(ms *monState, seg event.Seq, cur state.Snapshot, now time.Time) []rules.Violation {
+// replayMonitor runs Algorithms 1–3 for one monitor's segment —
+// delivered by drain in one or more batches — and advances its
+// cross-checkpoint state. The checking lists are seeded once from the
+// previous snapshot and replay every batch incrementally (the
+// amortised-seeding half of batched checkpoints). Within a checkpoint
+// it is called by exactly one worker per monitor; the checkpoint
+// barrier in checkSubset orders these calls across checkpoints.
+func (d *Detector) replayMonitor(ms *monState, drain func() (event.Seq, bool), cur state.Snapshot, now time.Time) ([]rules.Violation, int) {
 	spec := ms.mon.Spec()
 
 	// Algorithm-1 Step 1 (+ Algorithm-2 Step 1 for coordinators): seed
-	// from the previous snapshot and replay the segment.
+	// from the previous snapshot and replay the segment batch by batch.
 	lists := checklists.FromSnapshot(spec, ms.prev, ms.tot.sends, ms.tot.recvs)
 	var out []rules.Violation
-	for _, e := range seg {
-		lists.Apply(e)
+	events := 0
+	for {
+		seg, more := drain()
 		if spec.Kind == monitor.ResourceAllocator {
-			out = append(out, ms.rl.Apply(e)...)
+			// The request list interleaves its findings with replay, so
+			// allocators step event by event.
+			for _, e := range seg {
+				lists.Apply(e)
+				out = append(out, ms.rl.Apply(e)...)
+			}
+		} else {
+			lists.Replay(seg)
+		}
+		events += len(seg)
+		if !more {
+			break
 		}
 	}
 	out = append(out, lists.Violations()...)
@@ -357,20 +563,26 @@ func (d *Detector) checkMonitor(ms *monState, seg event.Seq, cur state.Snapshot,
 
 	ms.tot = counts{sends: lists.Sends, recvs: lists.Recvs}
 	ms.prev = cur
-	return out
+	return out, events
 }
 
-// Run invokes CheckNow every Interval until ctx is cancelled, then
-// performs one final check so no recorded events go unchecked (and,
-// when an Exporter is configured, flushes it so the exported trace is
-// complete through that final checkpoint). It returns all violations
-// found while running.
+// Run drives the periodic checking routine until ctx is cancelled,
+// then performs one final all-monitor check so no recorded events go
+// unchecked (and, when an Exporter is configured, flushes it so the
+// exported trace is complete through that final checkpoint). With the
+// adaptive scheduler enabled (Config.MaxInterval > 0) each monitor is
+// checked on its own rate-derived interval; otherwise every monitor is
+// checked every Interval. It returns all violations found while
+// running.
 func (d *Detector) Run(ctx context.Context) []rules.Violation {
 	defer func() {
 		if d.cfg.Exporter != nil {
 			_ = d.cfg.Exporter.Flush()
 		}
 	}()
+	if d.sched != nil {
+		return d.runAdaptive(ctx)
+	}
 	if d.cfg.Interval <= 0 {
 		<-ctx.Done()
 		return d.CheckNow()
@@ -386,6 +598,61 @@ func (d *Detector) Run(ctx context.Context) []rules.Violation {
 	}
 }
 
+// runAdaptive is Run's adaptive-scheduler loop: sleep until the
+// earliest monitor is due, refresh every monitor's rate estimate from
+// the database's per-shard counters, and checkpoint exactly the due
+// subset. The final cancellation check still covers every monitor.
+func (d *Detector) runAdaptive(ctx context.Context) []rules.Violation {
+	for {
+		wait, ok := d.sched.NextWake(d.cfg.Clock.Now())
+		if !ok {
+			// No monitors: nothing to schedule, but honour the contract
+			// of a final check on cancellation.
+			<-ctx.Done()
+			d.CheckNow()
+			return d.Violations()
+		}
+		select {
+		case <-ctx.Done():
+			d.CheckNow()
+			return d.Violations()
+		case <-d.cfg.Clock.After(wait):
+			now := d.cfg.Clock.Now()
+			// Rates refresh for every monitor on every tick — that is
+			// what decays an idle monitor's estimate and backs its
+			// interval off toward MaxInterval. The tick does O(monitors)
+			// uncontended lock hops (EventCount is an RLock + atomic
+			// load; Append stopped touching countMu once shards cached
+			// their counter); if fleets grow to many thousands of
+			// monitors, batch Observe/EventCounts APIs are the next
+			// step.
+			for _, ms := range d.mons {
+				name := ms.mon.Name()
+				d.sched.Observe(name, d.db.EventCount(name), now)
+			}
+			due := d.sched.Due(now)
+			if len(due) == 0 {
+				continue
+			}
+			d.checkNames(due)
+			done := d.cfg.Clock.Now()
+			for _, name := range due {
+				d.sched.MarkChecked(name, done)
+			}
+		}
+	}
+}
+
+// Intervals returns each monitor's current effective checking
+// interval when the adaptive scheduler is enabled (nil otherwise) —
+// the observability hook the adaptive example and benchmarks read.
+func (d *Detector) Intervals() map[string]time.Duration {
+	if d.sched == nil {
+		return nil
+	}
+	return d.sched.Intervals()
+}
+
 // Violations returns every violation found so far, in detection order.
 func (d *Detector) Violations() []rules.Violation {
 	d.mu.Lock()
@@ -393,9 +660,33 @@ func (d *Detector) Violations() []rules.Violation {
 	return append([]rules.Violation(nil), d.found...)
 }
 
-// Stats returns a copy of the detector's activity counters.
+// Stats returns a copy of the detector's activity counters, with the
+// checkpoint-latency percentiles computed over the recent window.
 func (d *Detector) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.stats
+	st := d.stats
+	st.CheckP50, st.CheckP99 = latencyQuantiles(d.lat)
+	return st
+}
+
+// latencyQuantiles computes the p50/p99 of the recorded checkpoint
+// durations (zeros when none were recorded yet). Nearest-rank
+// (ceil(p·n)): with the few checkpoints a short run completes, p99
+// must report the worst observation, not exclude it — a single
+// stalled checkpoint is exactly what the perf gate watches for.
+func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return q(0.50), q(0.99)
 }

@@ -1,0 +1,267 @@
+// Package sched is the adaptive checkpoint scheduler: it replaces the
+// detector's single fixed checking interval T with a per-monitor
+// effective interval driven by observed per-shard event rates.
+//
+// The paper's checking routine re-checks every monitor every T, which
+// wastes checkpoints on idle monitors and lets hot monitors build huge
+// segments between checks. The scheduler keeps, for each monitor, an
+// exponentially weighted moving average of its event rate (sampled
+// from the history database's per-shard cumulative counters) and aims
+// each checkpoint at a target segment size: the effective interval is
+//
+//	interval = TargetBatch / rate, clamped to [Tmin, Tmax]
+//
+// so a hot shard is checked often enough that its segments stay near
+// TargetBatch events, while an idle shard backs off toward Tmax and
+// stops paying for empty checkpoints. Tmin bounds the checking
+// frequency (and thus the instrumentation overhead) from above; Tmax
+// bounds the detection latency from above — a fault on an idle monitor
+// is still caught within Tmax, which is why Tmax must stay below any
+// meaning the caller attaches to "detected promptly".
+//
+// The scheduler is pure bookkeeping over instants supplied by the
+// caller: it never reads a clock, so the detector can drive it from
+// its configured clock.Clock and tests can drive it from a virtual
+// one. All methods are safe for concurrent use.
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTargetBatch is the per-checkpoint segment size the scheduler
+// aims for when Config.TargetBatch is zero.
+const DefaultTargetBatch = 1024
+
+// defaultAlpha is the EWMA smoothing factor when Config.Alpha is zero:
+// moderately reactive, but one quiet tick does not erase a hot
+// monitor's history.
+const defaultAlpha = 0.5
+
+// Config parameterises a Scheduler.
+type Config struct {
+	// Tmin is the shortest effective checking interval — the floor a
+	// hot monitor's interval is clamped to. Must be positive.
+	Tmin time.Duration
+	// Tmax is the longest effective checking interval — the ceiling an
+	// idle monitor backs off to, and therefore the worst-case detection
+	// latency for periodic-phase faults. Must be ≥ Tmin.
+	Tmax time.Duration
+	// TargetBatch is the per-checkpoint segment size (events) each
+	// monitor's interval is tuned toward. Zero means
+	// DefaultTargetBatch.
+	TargetBatch int
+	// Alpha is the EWMA smoothing factor in (0, 1]: 1 tracks only the
+	// latest sample, small values average over a long history. Zero
+	// means the default (0.5).
+	Alpha float64
+}
+
+// withDefaults normalises cfg, resolving zero values.
+func (cfg Config) withDefaults() Config {
+	if cfg.TargetBatch <= 0 {
+		cfg.TargetBatch = DefaultTargetBatch
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = defaultAlpha
+	}
+	if cfg.Tmin <= 0 {
+		cfg.Tmin = time.Millisecond
+	}
+	if cfg.Tmax < cfg.Tmin {
+		cfg.Tmax = cfg.Tmin
+	}
+	return cfg
+}
+
+// monSched is one monitor's scheduling state.
+type monSched struct {
+	// lastCount is the monitor's cumulative event counter at the last
+	// Observe, and lastObs its instant; their deltas are the rate
+	// samples.
+	lastCount int64
+	lastObs   time.Time
+	// rate is the EWMA event rate in events/second.
+	rate float64
+	// interval is the current effective checking interval.
+	interval time.Duration
+	// lastChecked is the instant of the monitor's most recent
+	// checkpoint (registration counts as one).
+	lastChecked time.Time
+	// next is the instant the monitor is next due for a checkpoint.
+	next time.Time
+}
+
+// Scheduler assigns each registered monitor an adaptive checking
+// interval. Construct with New.
+type Scheduler struct {
+	cfg Config
+
+	mu   sync.Mutex
+	mons map[string]*monSched
+}
+
+// New returns a scheduler with no monitors registered.
+func New(cfg Config) *Scheduler {
+	return &Scheduler{cfg: cfg.withDefaults(), mons: make(map[string]*monSched)}
+}
+
+// Add registers a monitor at instant now. Its first checkpoint is due
+// after Tmin — the scheduler has no rate history yet, so it starts
+// eager and lets the first observations back the interval off.
+func (s *Scheduler) Add(name string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mons[name]; ok {
+		return
+	}
+	s.mons[name] = &monSched{
+		lastObs:     now,
+		interval:    s.cfg.Tmin,
+		lastChecked: now,
+		next:        now.Add(s.cfg.Tmin),
+	}
+}
+
+// Observe feeds the monitor's cumulative event count (the history
+// database's EventCount) at instant now: the delta against the
+// previous observation becomes a rate sample folded into the EWMA, and
+// the effective interval is re-derived from the smoothed rate. Calling
+// it every tick — not just when the monitor is checked — keeps idle
+// monitors' rates decaying toward zero, which is what backs their
+// intervals off to Tmax.
+func (s *Scheduler) Observe(name string, count int64, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.mons[name]
+	if m == nil {
+		return
+	}
+	dt := now.Sub(m.lastObs)
+	if dt <= 0 {
+		return
+	}
+	sample := float64(count-m.lastCount) / dt.Seconds()
+	if sample < 0 {
+		sample = 0 // counter reset (new database); re-learn from here
+	}
+	m.lastCount = count
+	m.lastObs = now
+	m.rate = s.cfg.Alpha*sample + (1-s.cfg.Alpha)*m.rate
+	m.interval = s.intervalFor(m.rate)
+	// A shrinking interval must pull the already-armed deadline in:
+	// an idle monitor sits on a Tmax-distant next, and a burst that
+	// drops its interval to Tmin would otherwise wait out the stale
+	// deadline, building a segment far past TargetBatch before its
+	// first checkpoint. (A growing interval leaves an earlier armed
+	// deadline alone — one possibly-early check is harmless.)
+	if next := m.lastChecked.Add(m.interval); next.Before(m.next) {
+		m.next = next
+	}
+}
+
+// intervalFor maps a smoothed rate to an effective interval: the time
+// a monitor at that rate needs to accumulate TargetBatch events,
+// clamped to [Tmin, Tmax]. A (near-)zero rate means idle: back off all
+// the way. The Tmax clamp is applied in the float domain — an EWMA
+// decaying toward zero passes through rates tiny enough that the
+// nanosecond count overflows time.Duration, and the overflowed
+// (negative) value would otherwise clamp to Tmin, checking an idle
+// monitor at maximum frequency.
+func (s *Scheduler) intervalFor(rate float64) time.Duration {
+	if rate <= 0 {
+		return s.cfg.Tmax
+	}
+	ns := float64(s.cfg.TargetBatch) / rate * float64(time.Second)
+	if ns >= float64(s.cfg.Tmax) {
+		return s.cfg.Tmax
+	}
+	if iv := time.Duration(ns); iv > s.cfg.Tmin {
+		return iv
+	}
+	return s.cfg.Tmin
+}
+
+// Due returns the monitors whose next checkpoint instant has arrived,
+// in name order (deterministic for tests and for the detector's
+// monitor-ordered violation reporting).
+func (s *Scheduler) Due(now time.Time) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var due []string
+	for name, m := range s.mons {
+		if !m.next.After(now) {
+			due = append(due, name)
+		}
+	}
+	sort.Strings(due)
+	return due
+}
+
+// MarkChecked records that the monitor was just checked at instant
+// now: its next checkpoint is one effective interval away.
+func (s *Scheduler) MarkChecked(name string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.mons[name]; m != nil {
+		m.lastChecked = now
+		m.next = now.Add(m.interval)
+	}
+}
+
+// NextWake returns how long after now the earliest registered monitor
+// becomes due (zero if one is already due), and false when no monitor
+// is registered.
+func (s *Scheduler) NextWake(now time.Time) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.mons) == 0 {
+		return 0, false
+	}
+	first := time.Time{}
+	for _, m := range s.mons {
+		if first.IsZero() || m.next.Before(first) {
+			first = m.next
+		}
+	}
+	d := first.Sub(now)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// Interval returns the monitor's current effective checking interval
+// (zero when the monitor is not registered).
+func (s *Scheduler) Interval(name string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.mons[name]; m != nil {
+		return m.interval
+	}
+	return 0
+}
+
+// Intervals returns every registered monitor's current effective
+// interval — the observability hook behind Detector.Intervals.
+func (s *Scheduler) Intervals() map[string]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Duration, len(s.mons))
+	for name, m := range s.mons {
+		out[name] = m.interval
+	}
+	return out
+}
+
+// Rate returns the monitor's smoothed event rate in events/second.
+func (s *Scheduler) Rate(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.mons[name]; m != nil {
+		return m.rate
+	}
+	return 0
+}

@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestSched() *Scheduler {
+	return New(Config{
+		Tmin:        10 * time.Millisecond,
+		Tmax:        time.Second,
+		TargetBatch: 100,
+		Alpha:       1, // track the latest sample exactly: deterministic maths
+	})
+}
+
+func TestIntervalTracksRate(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	s.Add("m", epoch)
+
+	// 1000 events over 1s → rate 1000/s → interval = 100/1000 = 100ms.
+	now := epoch.Add(time.Second)
+	s.Observe("m", 1000, now)
+	if got, want := s.Interval("m"), 100*time.Millisecond; got != want {
+		t.Fatalf("hot interval = %v, want %v", got, want)
+	}
+
+	// Another second with no events: rate sample 0 → idle → Tmax.
+	now = now.Add(time.Second)
+	s.Observe("m", 1000, now)
+	if got, want := s.Interval("m"), time.Second; got != want {
+		t.Fatalf("idle interval = %v, want Tmax %v", got, want)
+	}
+}
+
+func TestIntervalClamping(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	s.Add("hot", epoch)
+	s.Add("cold", epoch)
+	now := epoch.Add(time.Second)
+
+	// 10M events/s → raw interval 10µs → clamped up to Tmin.
+	s.Observe("hot", 10_000_000, now)
+	if got, want := s.Interval("hot"), 10*time.Millisecond; got != want {
+		t.Fatalf("hot interval = %v, want Tmin %v", got, want)
+	}
+	// 1 event/s → raw interval 100s → clamped down to Tmax.
+	s.Observe("cold", 1, now)
+	if got, want := s.Interval("cold"), time.Second; got != want {
+		t.Fatalf("cold interval = %v, want Tmax %v", got, want)
+	}
+}
+
+// TestIntervalTinyRateNoOverflow pins the float-domain Tmax clamp: an
+// EWMA decaying toward zero passes through rates so small that the
+// raw nanosecond count overflows time.Duration, and the overflow must
+// not read as "shorter than Tmin".
+func TestIntervalTinyRateNoOverflow(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Tmin: time.Millisecond, Tmax: time.Second, TargetBatch: 512, Alpha: 0.5})
+	s.Add("m", epoch)
+	now := epoch.Add(time.Second)
+	// One hot tick, then idle ticks decay the EWMA through the
+	// overflow-prone range (~1e-8 events/s) without ever reaching 0.
+	s.Observe("m", 1000, now)
+	count := int64(1000)
+	for i := 0; i < 200; i++ {
+		now = now.Add(time.Second)
+		s.Observe("m", count, now)
+		if got := s.Interval("m"); got < time.Millisecond || got > time.Second {
+			t.Fatalf("tick %d: interval %v escaped [Tmin, Tmax] (rate %v)", i, got, s.Rate("m"))
+		}
+	}
+	if got := s.Interval("m"); got != time.Second {
+		t.Fatalf("decayed-idle interval = %v, want Tmax", got)
+	}
+}
+
+func TestDueAndMarkChecked(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	s.Add("b", epoch)
+	s.Add("a", epoch)
+
+	if due := s.Due(epoch); len(due) != 0 {
+		t.Fatalf("due immediately after Add: %v", due)
+	}
+	// Both start at Tmin; both due, in name order.
+	now := epoch.Add(10 * time.Millisecond)
+	if due := s.Due(now); len(due) != 2 || due[0] != "a" || due[1] != "b" {
+		t.Fatalf("due = %v, want [a b]", due)
+	}
+
+	// Make a hot (100ms) and b idle (Tmax = 1s), then check both.
+	s.Observe("a", 100, now)
+	s.Observe("b", 0, now)
+	s.MarkChecked("a", now)
+	s.MarkChecked("b", now)
+
+	at := now.Add(100 * time.Millisecond)
+	if due := s.Due(at); len(due) != 1 || due[0] != "a" {
+		t.Fatalf("after 100ms due = %v, want [a]", due)
+	}
+	at = now.Add(time.Second)
+	if due := s.Due(at); len(due) != 2 {
+		t.Fatalf("after Tmax due = %v, want both", due)
+	}
+}
+
+func TestBurstPullsStaleDeadlineIn(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	s.Add("m", epoch)
+	// Go idle: interval backs off to Tmax and the next deadline lands
+	// a full second out.
+	now := epoch.Add(10 * time.Millisecond)
+	s.Observe("m", 0, now)
+	s.MarkChecked("m", now)
+	if due := s.Due(now.Add(500 * time.Millisecond)); len(due) != 0 {
+		t.Fatalf("idle monitor due early: %v", due)
+	}
+	// A burst 100ms later must not wait out the stale Tmax deadline:
+	// the shrunken interval pulls the deadline in to lastChecked+Tmin.
+	at := now.Add(100 * time.Millisecond)
+	s.Observe("m", 100_000, at) // 1M events/s → interval clamps to Tmin
+	if got, want := s.Interval("m"), 10*time.Millisecond; got != want {
+		t.Fatalf("burst interval = %v, want Tmin %v", got, want)
+	}
+	if due := s.Due(at); len(due) != 1 || due[0] != "m" {
+		t.Fatalf("burst monitor not due immediately: %v", due)
+	}
+	d, _ := s.NextWake(at)
+	if d != 0 {
+		t.Fatalf("NextWake after burst = %v, want 0", d)
+	}
+}
+
+func TestNextWake(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	if _, ok := s.NextWake(epoch); ok {
+		t.Fatal("NextWake with no monitors reported a wake")
+	}
+	s.Add("m", epoch)
+	d, ok := s.NextWake(epoch)
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("NextWake = %v, %v; want Tmin, true", d, ok)
+	}
+	// Past due → zero, never negative.
+	d, _ = s.NextWake(epoch.Add(time.Minute))
+	if d != 0 {
+		t.Fatalf("overdue NextWake = %v, want 0", d)
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	t.Parallel()
+	s := New(Config{Tmin: time.Millisecond, Tmax: time.Minute, TargetBatch: 100, Alpha: 0.5})
+	s.Add("m", epoch)
+	now := epoch
+	// Constant 1000/s for a few ticks: EWMA converges toward 1000.
+	count := int64(0)
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Second)
+		count += 1000
+		s.Observe("m", count, now)
+	}
+	if r := s.Rate("m"); r < 990 || r > 1000 {
+		t.Fatalf("EWMA rate = %v, want ≈1000", r)
+	}
+	// One idle tick must not erase the history (alpha 0.5 → half).
+	now = now.Add(time.Second)
+	s.Observe("m", count, now)
+	if r := s.Rate("m"); r < 450 || r > 510 {
+		t.Fatalf("rate after one idle tick = %v, want ≈500", r)
+	}
+}
+
+func TestObserveDefensiveCases(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	s.Add("m", epoch)
+	// Unknown monitor and non-advancing clock are no-ops, not panics.
+	s.Observe("ghost", 5, epoch.Add(time.Second))
+	s.MarkChecked("ghost", epoch)
+	s.Observe("m", 100, epoch) // dt = 0
+	if got := s.Rate("m"); got != 0 {
+		t.Fatalf("rate after zero-dt observe = %v, want 0", got)
+	}
+	// A counter that goes backwards (database swapped) clamps to 0.
+	s.Observe("m", 100, epoch.Add(time.Second))
+	s.Observe("m", 50, epoch.Add(2*time.Second))
+	if got := s.Interval("m"); got != time.Second {
+		t.Fatalf("interval after counter reset = %v, want Tmax", got)
+	}
+	// Double Add keeps existing state.
+	s.Add("m", epoch.Add(time.Hour))
+	if _, ok := s.NextWake(epoch.Add(2 * time.Second)); !ok {
+		t.Fatal("monitor lost after double Add")
+	}
+}
+
+func TestIntervalsSnapshot(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	s.Add("a", epoch)
+	s.Add("b", epoch)
+	ivs := s.Intervals()
+	if len(ivs) != 2 || ivs["a"] != 10*time.Millisecond {
+		t.Fatalf("Intervals = %v", ivs)
+	}
+}
+
+// TestSchedulerConcurrentAccess is the -race workout: Observe, Due,
+// MarkChecked, NextWake and Intervals from many goroutines at once.
+func TestSchedulerConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	s := newTestSched()
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		s.Add(n, epoch)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := names[i%len(names)]
+			now := epoch
+			for j := 0; j < 200; j++ {
+				now = now.Add(time.Millisecond)
+				s.Observe(name, int64(j*10), now)
+				s.Due(now)
+				s.MarkChecked(name, now)
+				s.NextWake(now)
+				s.Intervals()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"robustmon/internal/clock"
@@ -35,6 +36,28 @@ type ScalingConfig struct {
 	// (history.WithGlobalLock) so the sweep can expose the contention
 	// the sharding removes.
 	GlobalLock bool
+	// BatchSize, when positive, makes checkpoints drain and replay in
+	// batches of this many events (detect.Config.BatchSize) in every
+	// cell of the sweep.
+	BatchSize int
+	// Adaptive, when set, doubles the sweep: next to every fixed-T cell
+	// an adaptive-scheduler cell runs with per-monitor intervals in
+	// [MinInterval, MaxInterval].
+	Adaptive bool
+	// MinInterval and MaxInterval bound the adaptive scheduler's
+	// per-monitor intervals. Zero defaults to Interval and 8×Interval.
+	MinInterval, MaxInterval time.Duration
+	// Repeats re-runs every cell this many times and reports the
+	// median throughput and the minimum latency percentiles. The
+	// asymmetry is deliberate: container noise is one-sided — it can
+	// only add latency — so the minimum across runs of each run's p99
+	// estimates the clean-machine tail, where a median of maxima stays
+	// hostage to whichever runs the scheduler interfered with.
+	// Throughput noise is closer to symmetric, and its median is
+	// robust where best-of-N is biased (the baseline captures a lucky
+	// maximum later runs cannot reproduce). Zero or one means a single
+	// run.
+	Repeats int
 }
 
 // DefaultScalingConfig is the sweep cmd/monbench runs for -monitors.
@@ -51,6 +74,11 @@ func DefaultScalingConfig() ScalingConfig {
 type ScalingRow struct {
 	Monitors  int
 	HoldWorld bool
+	// Adaptive reports whether the cell ran the adaptive scheduler
+	// instead of the fixed interval, and BatchSize the replay batch
+	// size in force (0 = unbatched).
+	Adaptive  bool
+	BatchSize int
 	// Elapsed is the wall time of the workload (recording side).
 	Elapsed time.Duration
 	// Events is the number of events recorded (= replayed: the final
@@ -61,13 +89,21 @@ type ScalingRow struct {
 	// EventsPerSec is the recording throughput Events/Elapsed — the
 	// headline metric future PRs track.
 	EventsPerSec float64
+	// CheckP50 and CheckP99 are the per-checkpoint latency percentiles
+	// (detect.Stats) — the perf gate's latency signal.
+	CheckP50, CheckP99 time.Duration
 }
 
 // RunScaling executes the scaling sweep: for each monitor count it
-// measures both checkpoint modes on the same workload shape.
+// measures both checkpoint modes on the same workload shape (and, with
+// cfg.Adaptive, both scheduler modes).
 func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
 	if len(cfg.Monitors) == 0 || cfg.OpsPerMonitor <= 0 || cfg.ProcsPerMonitor <= 0 {
 		return nil, fmt.Errorf("experiment: bad scaling config %+v", cfg)
+	}
+	scheds := []bool{false}
+	if cfg.Adaptive {
+		scheds = append(scheds, true)
 	}
 	var rows []ScalingRow
 	for _, n := range cfg.Monitors {
@@ -75,18 +111,62 @@ func RunScaling(cfg ScalingConfig) ([]ScalingRow, error) {
 			return nil, fmt.Errorf("experiment: bad monitor count %d", n)
 		}
 		for _, hold := range []bool{true, false} {
-			row, err := runScalingCell(cfg, n, hold)
-			if err != nil {
-				return nil, err
+			for _, adaptive := range scheds {
+				row, err := runScalingCellMedian(cfg, n, hold, adaptive)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
 			}
-			rows = append(rows, row)
 		}
 	}
 	return rows, nil
 }
 
-// runScalingCell measures one (monitor count, checkpoint mode) cell.
-func runScalingCell(cfg ScalingConfig, monitors int, hold bool) (ScalingRow, error) {
+// runScalingCellMedian measures one cell cfg.Repeats times and
+// reports median throughput + minimum latency percentiles (see
+// ScalingConfig.Repeats).
+func runScalingCellMedian(cfg ScalingConfig, monitors int, hold, adaptive bool) (ScalingRow, error) {
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	runs := make([]ScalingRow, repeats)
+	for i := range runs {
+		row, err := runScalingCell(cfg, monitors, hold, adaptive)
+		if err != nil {
+			return ScalingRow{}, err
+		}
+		runs[i] = row
+	}
+	if repeats == 1 {
+		return runs[0], nil
+	}
+	// The median run by throughput carries the row; the latency
+	// percentiles take the minimum across runs (one-sided noise — see
+	// ScalingConfig.Repeats).
+	byEPS := append([]ScalingRow(nil), runs...)
+	sort.Slice(byEPS, func(i, j int) bool { return byEPS[i].EventsPerSec < byEPS[j].EventsPerSec })
+	row := byEPS[len(byEPS)/2]
+	row.CheckP50 = minDuration(runs, func(r ScalingRow) time.Duration { return r.CheckP50 })
+	row.CheckP99 = minDuration(runs, func(r ScalingRow) time.Duration { return r.CheckP99 })
+	return row, nil
+}
+
+// minDuration extracts one duration per run and returns the smallest.
+func minDuration(runs []ScalingRow, get func(ScalingRow) time.Duration) time.Duration {
+	out := get(runs[0])
+	for _, r := range runs[1:] {
+		if d := get(r); d < out {
+			out = d
+		}
+	}
+	return out
+}
+
+// runScalingCell measures one (monitor count, checkpoint mode,
+// scheduler mode) cell.
+func runScalingCell(cfg ScalingConfig, monitors int, hold, adaptive bool) (ScalingRow, error) {
 	var dbOpts []history.Option
 	if cfg.GlobalLock {
 		dbOpts = append(dbOpts, history.WithGlobalLock())
@@ -106,14 +186,26 @@ func runScalingCell(cfg ScalingConfig, monitors int, hold bool) (ScalingRow, err
 		}
 		mons[i] = m
 	}
-	det := detect.New(db, detect.Config{
+	dcfg := detect.Config{
 		Interval:  cfg.Interval,
 		Tmax:      time.Hour,
 		Tio:       time.Hour,
 		Clock:     clock.Real{},
 		HoldWorld: hold,
 		Workers:   cfg.Workers,
-	}, mons...)
+		BatchSize: cfg.BatchSize,
+	}
+	if adaptive {
+		dcfg.MinInterval = cfg.MinInterval
+		if dcfg.MinInterval <= 0 {
+			dcfg.MinInterval = cfg.Interval
+		}
+		dcfg.MaxInterval = cfg.MaxInterval
+		if dcfg.MaxInterval <= 0 {
+			dcfg.MaxInterval = 8 * cfg.Interval
+		}
+	}
+	det := detect.New(db, dcfg, mons...)
 	ctx, cancel := context.WithCancel(context.Background())
 	detDone := make(chan struct{})
 	go func() {
@@ -153,9 +245,13 @@ func runScalingCell(cfg ScalingConfig, monitors int, hold bool) (ScalingRow, err
 	row := ScalingRow{
 		Monitors:  monitors,
 		HoldWorld: hold,
+		Adaptive:  adaptive,
+		BatchSize: cfg.BatchSize,
 		Elapsed:   elapsed,
 		Events:    db.Total(),
 		Checks:    st.Checks,
+		CheckP50:  st.CheckP50,
+		CheckP99:  st.CheckP99,
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		row.EventsPerSec = float64(row.Events) / s
@@ -163,17 +259,34 @@ func runScalingCell(cfg ScalingConfig, monitors int, hold bool) (ScalingRow, err
 	return row, nil
 }
 
-// ScalingTable renders the sweep with one row per (monitors, mode) and
-// the events/sec trajectory column.
+// SchedName renders a row's scheduler mode for tables and artefacts.
+func (r ScalingRow) SchedName() string {
+	if r.Adaptive {
+		return "adaptive"
+	}
+	return "fixed"
+}
+
+// CheckpointName renders a row's checkpoint mode for tables and
+// artefacts.
+func (r ScalingRow) CheckpointName() string {
+	if r.HoldWorld {
+		return "hold-world"
+	}
+	return "per-monitor"
+}
+
+// ScalingTable renders the sweep with one row per (monitors,
+// checkpoint mode, scheduler mode), the events/sec trajectory column
+// and the checkpoint-latency percentiles.
 func ScalingTable(rows []ScalingRow) *Table {
-	t := NewTable("monitors", "checkpoint", "elapsed", "events", "checks", "events/sec")
+	t := NewTable("monitors", "checkpoint", "sched", "batch", "elapsed",
+		"events", "checks", "events/sec", "check p50", "check p99")
 	for _, r := range rows {
-		mode := "hold-world"
-		if !r.HoldWorld {
-			mode = "per-monitor"
-		}
-		t.AddRow(fmt.Sprint(r.Monitors), mode, r.Elapsed.Round(time.Microsecond).String(),
-			fmt.Sprint(r.Events), fmt.Sprint(r.Checks), FormatEventsPerSec(r.EventsPerSec))
+		t.AddRow(fmt.Sprint(r.Monitors), r.CheckpointName(), r.SchedName(),
+			fmt.Sprint(r.BatchSize), r.Elapsed.Round(time.Microsecond).String(),
+			fmt.Sprint(r.Events), fmt.Sprint(r.Checks), FormatEventsPerSec(r.EventsPerSec),
+			r.CheckP50.Round(time.Microsecond).String(), r.CheckP99.Round(time.Microsecond).String())
 	}
 	return t
 }

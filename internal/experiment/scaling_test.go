@@ -41,6 +41,53 @@ func TestScalingSmokeRun(t *testing.T) {
 	}
 }
 
+func TestScalingAdaptiveBatchedVariant(t *testing.T) {
+	t.Parallel()
+	cfg := ScalingConfig{
+		Monitors:        []int{2},
+		OpsPerMonitor:   200,
+		ProcsPerMonitor: 2,
+		Interval:        2 * time.Millisecond,
+		Adaptive:        true,
+		BatchSize:       16,
+	}
+	rows, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatalf("RunScaling(adaptive): %v", err)
+	}
+	// 1 count × 2 checkpoint modes × 2 scheduler modes.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.CheckpointName()+"/"+r.SchedName()] = true
+		if r.BatchSize != 16 {
+			t.Fatalf("row %+v: batch size not threaded through", r)
+		}
+		if r.Events != 400 {
+			t.Fatalf("row %+v: events = %d, want 400", r, r.Events)
+		}
+		if r.Checks >= 1 && r.CheckP99 < r.CheckP50 {
+			t.Fatalf("row %+v: latency quantiles inverted", r)
+		}
+	}
+	for _, want := range []string{
+		"hold-world/fixed", "hold-world/adaptive",
+		"per-monitor/fixed", "per-monitor/adaptive",
+	} {
+		if !seen[want] {
+			t.Fatalf("sweep missing cell %s (got %v)", want, seen)
+		}
+	}
+	table := ScalingTable(rows).String()
+	for _, want := range []string{"sched", "adaptive", "check p99"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
 func TestScalingGlobalLockVariant(t *testing.T) {
 	t.Parallel()
 	cfg := ScalingConfig{

@@ -161,10 +161,20 @@ func readRecord(br *bufio.Reader) (events event.Seq, terr, rerr error) {
 		// produces exactly this shape. Torn, not corrupt.
 		return nil, fmt.Errorf("export: zero-count record (zero-filled torn tail)"), nil
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(br, payload); err != nil {
+	// Pre-size only a bounded buffer and grow as real bytes arrive
+	// (io.CopyN), so a lying sub-cap length field still cannot allocate
+	// more than the input actually backs — the same guard
+	// event.ReadBinary applies to its count field.
+	const maxPayloadPrealloc = 64 << 10
+	prealloc := int(payloadLen)
+	if prealloc > maxPayloadPrealloc {
+		prealloc = maxPayloadPrealloc
+	}
+	pbuf := bytes.NewBuffer(make([]byte, 0, prealloc))
+	if _, err := io.CopyN(pbuf, br, int64(payloadLen)); err != nil {
 		return nil, noEOFBoundary(err), nil
 	}
+	payload := pbuf.Bytes()
 	if got := crc32.ChecksumIEEE(payload); got != sum {
 		// The payload is full-length, so this is no crash tear (an
 		// append-only tear is always a prefix, i.e. a short read):

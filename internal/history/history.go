@@ -52,7 +52,20 @@ type shard struct {
 	mu      sync.Mutex
 	segment []event.Event
 	full    event.Seq
+	// counter is the owning monitor's cumulative event counter,
+	// resolved once at shard creation so Append never touches the
+	// counter map. Nil for the WithGlobalLock shared shard, whose
+	// events span monitors — that mode looks counters up per append
+	// (it is the legacy contention profile anyway).
+	counter *counter
 }
+
+// counter is one monitor's cumulative event count. It lives outside
+// the shard so that rate estimators (the adaptive checkpoint
+// scheduler) can read it lock-free while appends and drains are in
+// flight — and so per-monitor counts survive WithGlobalLock, which
+// collapses the shards but not the counters.
+type counter struct{ n atomic.Int64 }
 
 // DrainTee observes drained segments. The database calls each
 // installed tee once per (monitor, segment) pair for every Drain and
@@ -80,6 +93,11 @@ type DB struct {
 	// an existing shard take only the shard's own lock.
 	shardMu sync.RWMutex
 	shards  map[string]*shard
+
+	// countMu guards the counters map itself; the counts are atomics so
+	// readers (EventCount) never take a lock on the hot path.
+	countMu sync.RWMutex
+	counts  map[string]*counter
 
 	// stateMu guards the checkpoint snapshots — a cold path written only
 	// at checkpoints, deliberately outside the shard locks.
@@ -113,7 +131,10 @@ func WithDrainTee(tee DrainTee) Option {
 
 // New returns an empty database (sharded per monitor by default).
 func New(opts ...Option) *DB {
-	db := &DB{shards: make(map[string]*shard, 8)}
+	db := &DB{
+		shards: make(map[string]*shard, 8),
+		counts: make(map[string]*counter, 8),
+	}
 	for _, o := range opts {
 		o(db)
 	}
@@ -136,9 +157,41 @@ func (db *DB) shardFor(monitor string) *shard {
 	defer db.shardMu.Unlock()
 	if s = db.shards[monitor]; s == nil {
 		s = &shard{}
+		if !db.global {
+			s.counter = db.counterFor(monitor)
+		}
 		db.shards[monitor] = s
 	}
 	return s
+}
+
+// counterFor returns the named monitor's cumulative event counter,
+// creating it on first use. Unlike shardFor it never aliases monitors
+// together under WithGlobalLock: counts stay per monitor.
+func (db *DB) counterFor(monitor string) *counter {
+	db.countMu.RLock()
+	c := db.counts[monitor]
+	db.countMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	db.countMu.Lock()
+	defer db.countMu.Unlock()
+	if c = db.counts[monitor]; c == nil {
+		c = &counter{}
+		db.counts[monitor] = c
+	}
+	return c
+}
+
+// EventCount returns how many events the named monitor has recorded
+// over the database's lifetime (drains do not decrement it). It is a
+// single atomic load after the first call for a monitor, so rate
+// estimators — the adaptive checkpoint scheduler samples every
+// monitor's counter on each tick — can poll it while appends, drains
+// and hold-world barriers are in flight.
+func (db *DB) EventCount(monitor string) int64 {
+	return db.counterFor(monitor).n.Load()
 }
 
 // lockAllShards locks every shard in deterministic (name) order and
@@ -239,6 +292,10 @@ func splitByMonitor(seg event.Seq) []teePair {
 // monitors contend only on the atomic counter, never on a common lock.
 func (db *DB) Append(e event.Event) event.Event {
 	s := db.shardFor(e.Monitor)
+	c := s.counter
+	if c == nil { // WithGlobalLock: shared shard, per-monitor counters
+		c = db.counterFor(e.Monitor)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Claimed under the shard lock, so the shard's segment stays sorted
@@ -249,6 +306,7 @@ func (db *DB) Append(e event.Event) event.Event {
 		s.full = append(s.full, e)
 	}
 	db.total.Add(1)
+	c.n.Add(1)
 	return e
 }
 
@@ -327,6 +385,65 @@ func (db *DB) DrainMonitor(monitor string) event.Seq {
 		}
 	}
 	return seg
+}
+
+// DrainMonitorUpTo drains at most max events (max <= 0 means no bound)
+// of the named monitor's segment, restricted to sequence numbers ≤
+// upTo, and reports whether more such events remain buffered. It is
+// the batched-checkpoint drain: the detector freezes a monitor only
+// long enough to fix the checkpoint horizon upTo, thaws it, and then
+// pulls the segment in bounded batches while the monitor keeps
+// running — events recorded after the freeze have sequence numbers >
+// upTo and stay buffered for the next checkpoint, so the drained
+// prefix is exactly what a single DrainMonitor at the freeze instant
+// would have returned. Each batch is fed to the drain tees after the
+// shard lock is released, like every other drain path.
+//
+// Under WithGlobalLock the shared shard interleaves monitors and has
+// no per-monitor prefix to cut cheaply: honouring max there would
+// rescan (and reallocate) the whole remaining segment once per batch
+// — O(S²/B) under the single mutex, the opposite of what batching is
+// for. The legacy mode therefore drains the monitor's whole eligible
+// set in one O(S) filter pass and ignores max; callers receive it as
+// a single batch.
+func (db *DB) DrainMonitorUpTo(monitor string, upTo int64, max int) (event.Seq, bool) {
+	s := db.shardFor(monitor)
+	var seg event.Seq
+	var more bool
+	s.mu.Lock()
+	if db.global {
+		var mine, rest []event.Event
+		for _, e := range s.segment {
+			if e.Monitor == monitor && e.Seq <= upTo {
+				mine = append(mine, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		s.segment = rest
+		seg = mine
+	} else {
+		// The shard is seq-sorted, so the events ≤ upTo are a prefix.
+		k := sort.Search(len(s.segment), func(i int) bool {
+			return s.segment[i].Seq > upTo
+		})
+		n := k
+		if max > 0 && n > max {
+			n = max
+		}
+		// Cap the drained slice so an appending consumer can never
+		// scribble over the events left buffered.
+		seg = event.Seq(s.segment[:n:n])
+		s.segment = s.segment[n:]
+		more = k > n
+	}
+	s.mu.Unlock()
+	if len(seg) > 0 {
+		for _, tee := range db.drainTees() {
+			tee(monitor, seg)
+		}
+	}
+	return seg, more
 }
 
 // Peek returns a copy of the current segment, merged across shards,

@@ -20,6 +20,19 @@
 // one database: wire them all with WithRecorder(db) and hand them to a
 // single detector.
 //
+// Checkpoint cost is governed by two further knobs. Batched replay
+// (DetectorConfig.BatchSize) drains and replays segments in bounded
+// batches with the checking-list seeding paid once per checkpoint, so
+// a shard that buffered millions of events cannot stall a checkpoint
+// (in the no-freeze mode the monitor is frozen only long enough to
+// fix the checkpoint horizon). The adaptive scheduler
+// (DetectorConfig.MinInterval/MaxInterval/TargetBatch) replaces the
+// single fixed checking interval in Run: each monitor's interval is
+// derived from its observed event rate, so hot monitors are checked
+// often and idle ones back off — Detector.Intervals exposes the live
+// values. Both knobs report the identical violation set as the
+// fixed-interval serial path.
+//
 // Offline artefacts no longer require holding the run in memory
 // (WithFullTrace): an Exporter (DetectorConfig.Exporter) streams every
 // drained checkpoint segment through a bounded buffer to a pluggable
