@@ -1,0 +1,50 @@
+// Command montrace records and re-checks monitor execution traces.
+//
+// # Usage
+//
+//	montrace record -out trace.jsonl [-faulty]   # run a demo workload, export its trace
+//	montrace record -outdir run/     [-faulty]   # same, streamed to a WAL export directory
+//	montrace check  -in  trace.jsonl             # offline-check a trace with both rule engines
+//	montrace check  -in  run/                    # …directly from an export directory
+//	montrace dump   -in  trace.jsonl             # print the events in the paper's notation
+//	montrace stats  -in  run/                    # summarise a trace
+//	montrace help                                # print the full usage text
+//
+// # Inputs: trace files and export directories
+//
+// Traces ending in .bin use the compact binary codec, anything else is
+// JSON Lines. Wherever a trace file is accepted, a directory is
+// accepted too and is read as a segmented WAL export directory
+// (internal/export): numbered *.wal files of CRC-protected records as
+// written by the streaming export pipeline, merged back into the
+// global <L event order on read, with crash recovery — a torn record
+// at the tail of the newest file (the signature of a crash mid-append)
+// is dropped and reported, never mistaken for corruption. With
+// record -outdir the recorder keeps no full trace in memory at all: a
+// detector streams every drained checkpoint segment through the async
+// exporter into the WAL as the run goes.
+//
+// # Recovery markers
+//
+// An export directory can also hold recovery markers — records written
+// when a shard-local online reset (robustmon's ResetMonitor recovery
+// policy wired to a detector) recovered a faulty monitor while the
+// rest of the system kept running. A reset discards the monitor's
+// buffered, never-checked events, so the exported trace has a
+// deliberate gap for that monitor at or below the marker's horizon
+// sequence number. montrace surfaces the markers instead of letting
+// the gap masquerade as corruption or as program misbehaviour:
+//
+//   - dump interleaves a "RESET at seq H" line at the horizon position
+//     so the monitor's two lives are visually separated;
+//   - check prints a note per marker, because violations reported on
+//     the reset monitor at or below the horizon (an Enter whose Exit
+//     was discarded, a broken call-order pair, …) may be artefacts of
+//     the gap rather than faults in the monitored program.
+//
+// The demo workload is a bounded-buffer producer/consumer (the paper's
+// communication-coordinator class); -faulty injects a send-overflow
+// bug so the checkers have something to find.
+//
+// Exit codes: 0 clean, 1 error, 2 usage, 3 faults found (check).
+package main

@@ -1,26 +1,10 @@
-// Command montrace records and re-checks monitor execution traces.
-//
-//	montrace record -out trace.jsonl [-faulty]   # run a demo workload, export its trace
-//	montrace record -outdir run/     [-faulty]   # same, streamed to a WAL export directory
-//	montrace check  -in  trace.jsonl             # offline-check a trace with both rule engines
-//	montrace check  -in  run/                    # …directly from an export directory
-//	montrace dump   -in  trace.jsonl             # print the events in the paper's notation
-//
-// Traces ending in .bin use the compact binary codec, anything else is
-// JSON Lines; a directory is read as a segmented WAL export directory
-// (internal/export), recovering from a crash-truncated tail. With
-// -outdir the recorder keeps no full trace in memory at all: a
-// detector streams every drained checkpoint segment through the async
-// exporter into the WAL. The demo workload is a bounded-buffer
-// producer/consumer (the paper's communication-coordinator class);
-// -faulty injects a send-overflow bug so the checkers have something
-// to find.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -60,6 +44,9 @@ func run() int {
 		return dump(os.Args[2:])
 	case "stats":
 		return stats(os.Args[2:])
+	case "help", "-h", "-help", "--help":
+		fmt.Fprint(os.Stdout, usageText)
+		return 0
 	default:
 		usage()
 		return 2
@@ -74,7 +61,7 @@ func stats(args []string) int {
 		usage()
 		return 2
 	}
-	trace, err := load(*in)
+	trace, _, err := load(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
@@ -83,14 +70,39 @@ func stats(args []string) int {
 	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  montrace record -out <file> | -outdir <dir> [-faulty]
+// usageText is the full help text (montrace help); the golden test in
+// main_test.go pins it so the documented surface cannot drift silently.
+const usageText = `usage:
+  montrace record -out <file> | -outdir <dir> [-faulty] [-items N]
   montrace check  -in  <file|dir> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
   montrace dump   -in  <file|dir> [-original]
   montrace stats  -in  <file|dir>
+  montrace help
 
-a <dir> input is a segmented WAL export directory (streamed recording)`)
+inputs and outputs:
+  A <file> ending in .bin uses the compact binary trace codec; any
+  other file is JSON Lines. A <dir> is a segmented WAL export
+  directory (internal/export): numbered *.wal files of CRC-protected
+  records, as written by a streaming recorder. Reading a directory
+  merges every record back into the global event order and recovers
+  from a crash-truncated tail of the newest file. With record -outdir
+  no full trace is ever held in memory — a detector streams each
+  drained checkpoint segment through the async exporter into the WAL.
+
+recovery markers:
+  An export directory may contain recovery markers: records written
+  when a shard-local online reset discarded a faulty monitor's
+  buffered, never-checked events. dump renders each marker at its
+  horizon position; check prints a note per marker, because
+  violations on the reset monitor at or below the marker's horizon
+  can be artefacts of the deliberate trace gap rather than faults in
+  the monitored program.
+
+exit codes: 0 clean, 1 error, 2 usage, 3 faults found (check)
+`
+
+func usage() {
+	fmt.Fprint(os.Stderr, usageText)
 }
 
 func record(args []string) int {
@@ -214,11 +226,14 @@ func record(args []string) int {
 	return 0
 }
 
-func load(path string) (event.Seq, error) {
+// load reads a trace from a file or an export directory. Recovery
+// markers only exist in export directories; for flat files the marker
+// slice is always nil.
+func load(path string) (event.Seq, []history.RecoveryMarker, error) {
 	if info, err := os.Stat(path); err == nil && info.IsDir() {
 		rep, err := export.ReadDir(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if rep.Recovered {
 			last := int64(0)
@@ -228,17 +243,20 @@ func load(path string) (event.Seq, error) {
 			fmt.Fprintf(os.Stderr, "montrace: %s: torn tail recovered, trace ends at seq %d\n",
 				rep.TruncatedFile, last)
 		}
-		return rep.Events, nil
+		return rep.Events, rep.Markers, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
+	var trace event.Seq
 	if strings.HasSuffix(path, ".bin") {
-		return event.ReadBinary(f)
+		trace, err = event.ReadBinary(f)
+	} else {
+		trace, err = event.ReadJSON(f)
 	}
-	return event.ReadJSON(f)
+	return trace, nil, err
 }
 
 func check(args []string) int {
@@ -253,10 +271,14 @@ func check(args []string) int {
 		usage()
 		return 2
 	}
-	trace, err := load(*in)
+	trace, markers, err := load(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
+	}
+	for _, mk := range markers {
+		fmt.Printf("note: monitor %q was reset online at seq %d (rule %s, %d unchecked events discarded); violations on it at or below that horizon may be reset artefacts, not program faults\n",
+			mk.Monitor, mk.Horizon, mk.Rule, mk.Dropped)
 	}
 	specs := []monitor.Spec{boundedbuffer.Spec("boundedbuffer", demoCapacity)}
 	if *specFile != "" {
@@ -321,7 +343,7 @@ func dump(args []string) int {
 		usage()
 		return 2
 	}
-	trace, err := load(*in)
+	trace, markers, err := load(*in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
@@ -329,9 +351,29 @@ func dump(args []string) int {
 	if *original {
 		trace = rules.Effective(trace)
 	}
+	// Markers interleave at their horizon: every event at or below the
+	// horizon precedes the reset, everything after belongs to the
+	// monitor's fresh life.
+	sort.SliceStable(markers, func(i, j int) bool { return markers[i].Horizon < markers[j].Horizon })
+	next := 0
+	printMarker := func(mk history.RecoveryMarker) {
+		fmt.Printf("------  %-13s  RESET at seq %d (rule %s, %d unchecked events discarded)\n",
+			mk.Monitor, mk.Horizon, mk.Rule, mk.Dropped)
+	}
 	for _, e := range trace {
+		for next < len(markers) && markers[next].Horizon < e.Seq {
+			printMarker(markers[next])
+			next++
+		}
 		fmt.Printf("%6d  %-13s  %s\n", e.Seq, e.Monitor, e)
 	}
-	fmt.Printf("%d events\n", len(trace))
+	for ; next < len(markers); next++ {
+		printMarker(markers[next])
+	}
+	if len(markers) > 0 {
+		fmt.Printf("%d events, %d recovery markers\n", len(trace), len(markers))
+	} else {
+		fmt.Printf("%d events\n", len(trace))
+	}
 	return 0
 }

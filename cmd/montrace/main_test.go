@@ -5,7 +5,71 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/history"
 )
+
+// TestHelpTextGolden pins the documented command surface: `montrace
+// help` (and every usage error) prints exactly testdata/help.golden.
+// Regenerate deliberately with `go run ./cmd/montrace help >
+// cmd/montrace/testdata/help.golden` when the surface changes.
+func TestHelpTextGolden(t *testing.T) {
+	t.Parallel()
+	want, err := os.ReadFile(filepath.Join("testdata", "help.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usageText != string(want) {
+		t.Fatalf("usage text drifted from testdata/help.golden:\n--- got ---\n%s\n--- want ---\n%s", usageText, want)
+	}
+}
+
+// TestLoadExportDirWithMarkers: an export directory holding recovery
+// markers loads them alongside the events, and both dump and check
+// accept it (check still exits clean — a marker is not a fault).
+func TestLoadExportDirWithMarkers(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "run")
+	sink, err := export.NewWALSink(dir, export.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+	seg := event.Seq{
+		{Seq: 1, Monitor: "boundedbuffer", Type: event.Enter, Pid: 1, Proc: "Send", Flag: event.Completed, Time: at},
+		{Seq: 2, Monitor: "boundedbuffer", Type: event.SignalExit, Pid: 1, Proc: "Send", Cond: "notEmpty", Time: at},
+	}
+	if err := sink.WriteSegment(export.Segment{Monitor: "boundedbuffer", Events: seg}); err != nil {
+		t.Fatal(err)
+	}
+	mk := history.RecoveryMarker{Monitor: "boundedbuffer", Horizon: 2, Dropped: 3, Rule: "ST-R", At: at}
+	if err := sink.WriteMarker(mk); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	trace, markers, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2 || len(markers) != 1 || markers[0] != mk {
+		t.Fatalf("load: %d events, markers %+v", len(trace), markers)
+	}
+	if code := dump([]string{"-in", dir}); code != 0 {
+		t.Fatalf("dump on marker dir exit = %d", code)
+	}
+	if code := check([]string{"-in", dir}); code != 0 {
+		t.Fatalf("check on marker dir exit = %d, want 0 (markers are notes, not faults)", code)
+	}
+	if code := stats([]string{"-in", dir}); code != 0 {
+		t.Fatalf("stats on marker dir exit = %d", code)
+	}
+}
 
 func TestRecordCheckCleanJSON(t *testing.T) {
 	t.Parallel()
@@ -13,7 +77,7 @@ func TestRecordCheckCleanJSON(t *testing.T) {
 	if code := record([]string{"-out", path, "-items", "20"}); code != 0 {
 		t.Fatalf("record exit = %d", code)
 	}
-	trace, err := load(path)
+	trace, _, err := load(path)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -93,7 +157,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if code := record([]string{"-out", filepath.Join(dir, "ok.jsonl"), "-items", "1"}); code != 0 {
 		t.Fatal("setup record failed")
 	}
-	if _, err := load(bad); err == nil {
+	if _, _, err := load(bad); err == nil {
 		t.Fatal("load of missing file succeeded")
 	}
 }
@@ -104,7 +168,7 @@ func TestRecordToExportDirRoundTrip(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "20"}); code != 0 {
 		t.Fatalf("record -outdir exit = %d", code)
 	}
-	trace, err := load(dir)
+	trace, _, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(dir): %v", err)
 	}
@@ -143,7 +207,7 @@ func TestLoadTruncatedExportDirRecovers(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "20"}); code != 0 {
 		t.Fatalf("record -outdir exit = %d", code)
 	}
-	full, err := load(dir)
+	full, _, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(full): %v", err)
 	}
@@ -161,7 +225,7 @@ func TestLoadTruncatedExportDirRecovers(t *testing.T) {
 	if err := os.WriteFile(newest, blob[:len(blob)-5], 0o666); err != nil {
 		t.Fatal(err)
 	}
-	got, err := load(dir)
+	got, _, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(truncated): %v", err)
 	}

@@ -10,6 +10,18 @@
 // transformation, and any disagreement between the reconstructed lists
 // and the actual monitor state, is a rule violation.
 //
+// Replay is incremental on purpose: the batched checkpoint path
+// (detect.Config.BatchSize over history.DB.DrainMonitorUpTo) seeds a
+// Lists once per checkpoint via FromSnapshot and then feeds it the
+// segment in bounded slices through Lists.Replay (or Apply, event by
+// event, for allocator monitors whose request list interleaves its
+// findings with the replay). Splitting a segment across any number of
+// Replay calls yields the same violations as one call over the whole
+// segment — that invariant is what makes batched checkpoints
+// detection-equivalent to the paper's single-drain Step 1, and it also
+// means a shard-local recovery reset can simply throw a seeded Lists
+// away and reseed from the post-reset snapshot.
+//
 // One deliberate deviation from the paper's literal text: §3.3.1 says
 // every Wait or Signal-Exit deletes the head of Enter-0-List. Taken
 // literally that double-counts Signal-Exit events that resumed a

@@ -135,7 +135,7 @@ type Config struct {
 	// When positive and HoldWorld is set, the detector stalls this long
 	// at each checkpoint while the world is frozen. Zero (the default)
 	// measures the native cost. Used by the E2 experiment to reproduce
-	// Table 1's interval-dependence; see DESIGN.md and EXPERIMENTS.md.
+	// Table 1's interval-dependence; see DESIGN.md §5.
 	SuspendOverhead time.Duration
 }
 
@@ -154,6 +154,16 @@ type Checker interface {
 type SegmentExporter interface {
 	Consume(monitor string, seg event.Seq)
 	Flush() error
+}
+
+// MarkerExporter is the optional SegmentExporter extension for
+// shard-local recovery: when Config.Exporter also implements it, every
+// reset applied through RequestReset emits a history.RecoveryMarker
+// into the export stream, so offline replay (export.ReadDir,
+// cmd/montrace) knows a reset horizon exists. export.Exporter
+// implements it; a plain SegmentExporter simply records no markers.
+type MarkerExporter interface {
+	ConsumeMarker(history.RecoveryMarker)
 }
 
 // counts carries the cumulative r/s counters of one coordinator across
@@ -190,6 +200,12 @@ type Detector struct {
 	// p50/p99 source); latN counts how many were ever recorded.
 	lat  []time.Duration
 	latN int
+
+	// resetMu guards the queue of pending shard-local recovery resets;
+	// they are applied under d.mu at checkpoint boundaries (see
+	// RequestReset in recovery.go).
+	resetMu sync.Mutex
+	resetQ  []resetReq
 }
 
 // latWindow bounds the latency ring: recent enough to reflect the
@@ -215,6 +231,12 @@ type Stats struct {
 	// "a huge shard no longer stalls a checkpoint". Zero until the
 	// first checkpoint completes.
 	CheckP50, CheckP99 time.Duration
+	// Resets is the number of shard-local recovery resets applied
+	// (RequestReset), and ResetDropped the total buffered events those
+	// resets discarded unreplayed. Checks keeps advancing while resets
+	// are applied — that progress is how tests observe that recovery
+	// never stops the world.
+	Resets, ResetDropped int
 }
 
 // New builds a detector over the given history database and monitors,
@@ -326,11 +348,27 @@ func (d *Detector) checkNames(names []string) []rules.Violation {
 
 // checkSubset runs one checkpoint over the selected monitor indices.
 // It is the single checkpoint implementation behind CheckNow (all
-// monitors) and the adaptive scheduler (the due subset).
+// monitors) and the adaptive scheduler (the due subset). Pending
+// shard-local recovery resets (RequestReset) are applied at both
+// checkpoint boundaries while the checkpoint lock is held — never
+// inside the checkpoint — so a reset can never interleave with an
+// in-flight snapshot, drain or batched replay of the same shard.
 func (d *Detector) checkSubset(sel []int) []rules.Violation {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.applyResetsLocked()
+	out := d.checkSubsetLocked(sel)
+	// A violation found by this checkpoint reaches OnViolation (and so
+	// a recovery manager) synchronously above; its reset request lands
+	// here, before the checkpoint returns. Requests enqueued after
+	// this drain are picked up by their own detached goroutines (see
+	// RequestReset) as soon as the lock frees.
+	d.applyResetsLocked()
+	return out
+}
 
+// checkSubsetLocked is checkSubset's body; the caller holds d.mu.
+func (d *Detector) checkSubsetLocked(sel []int) []rules.Violation {
 	start := d.cfg.Clock.Now()
 	perMon := make([][]rules.Violation, len(sel))
 	events := make([]int, len(sel))

@@ -125,6 +125,27 @@ func (s *Scheduler) Add(name string, now time.Time) {
 	}
 }
 
+// Reset re-arms the named monitor after a shard-local recovery reset:
+// the rate history is cleared (the shard's cumulative counter was
+// restarted from zero, so the old lastCount would read as a huge
+// negative delta) and the next checkpoint is due after Tmin — the same
+// eager start as Add, because the freshly reset monitor has no rate
+// history to trust. Unknown names are ignored.
+func (s *Scheduler) Reset(name string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.mons[name]
+	if m == nil {
+		return
+	}
+	m.lastCount = 0
+	m.lastObs = now
+	m.rate = 0
+	m.interval = s.cfg.Tmin
+	m.lastChecked = now
+	m.next = now.Add(s.cfg.Tmin)
+}
+
 // Observe feeds the monitor's cumulative event count (the history
 // database's EventCount) at instant now: the delta against the
 // previous observation becomes a rate sample folded into the EWMA, and

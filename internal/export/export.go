@@ -21,18 +21,34 @@
 // The Exporter accepts drained per-monitor segments through a bounded
 // channel with an explicit backpressure policy — Block stalls the
 // drainer (lossless), Drop discards the segment and counts it — and a
-// single writer goroutine forwards them to the Sink. WALSink persists
-// segments to numbered files with per-record headers (monitor id, seq
-// range, CRC) and fsyncs on rotation; ReadDir merges the files back
-// into the global <L order (event.Merge) and recovers from a
-// crash-truncated tail. The wiring is one line at either end:
-// history.DB.SetDrainTee(exp.Consume) on the database, or
+// single writer goroutine forwards them to the Sink. Drain tees are
+// additive (history.DB.AddDrainTee): every tee observes the whole
+// drain stream, so several detectors sharing one database never unwire
+// each other's exporters. The wiring is one line at either end:
+// db.AddDrainTee(exp.Consume) on the database, or
 // detect.Config.Exporter on the detector, which installs the tee and
 // flushes on shutdown.
+//
+// WALSink persists to numbered files of typed, CRC-protected records —
+// segments (per-record monitor id, seq range, count) and recovery
+// markers (see MarkerSink; a marker records a shard-local online reset
+// and the resulting deliberate gap in the monitor's trace) — fsyncing
+// on rotation. ReadDir replays a directory into a Replay: the record
+// payloads k-way-merged (event.Merge) back into the global <L order in
+// Replay.Events, the recovery markers in Replay.Markers, and
+// crash-truncated-tail recovery reported via Replay.Recovered — a torn
+// record is tolerated only at the tail of the newest file, where it is
+// the expected signature of a crash mid-append; anywhere else it is
+// corruption and an error. Batched checkpoints
+// (history.DB.DrainMonitorUpTo) change only how many records frame a
+// checkpoint's events, never which events are exported nor their
+// order: for a lossless (Block-policy) run Replay.Events is
+// byte-identical to what ExportBinary of a WithFullTrace run produces.
 package export
 
 import (
 	"robustmon/internal/event"
+	"robustmon/internal/history"
 )
 
 // Segment is one drained per-monitor history segment: the unit the
@@ -78,10 +94,11 @@ type Sink interface {
 	Close() error
 }
 
-// MemorySink collects segments in memory — the test double and the
-// cheapest way to tail a database programmatically.
+// MemorySink collects segments (and recovery markers) in memory — the
+// test double and the cheapest way to tail a database programmatically.
 type MemorySink struct {
 	segments []Segment
+	markers  []history.RecoveryMarker
 }
 
 // WriteSegment appends the segment.
@@ -89,6 +106,15 @@ func (m *MemorySink) WriteSegment(seg Segment) error {
 	m.segments = append(m.segments, seg)
 	return nil
 }
+
+// WriteMarker appends the recovery marker (the MarkerSink extension).
+func (m *MemorySink) WriteMarker(mk history.RecoveryMarker) error {
+	m.markers = append(m.markers, mk)
+	return nil
+}
+
+// Markers returns the collected recovery markers in arrival order.
+func (m *MemorySink) Markers() []history.RecoveryMarker { return m.markers }
 
 // Flush is a no-op.
 func (m *MemorySink) Flush() error { return nil }

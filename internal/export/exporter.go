@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"robustmon/internal/event"
+	"robustmon/internal/history"
 )
 
 // Policy selects what Consume does when the exporter's buffer is full.
@@ -53,6 +54,9 @@ type Stats struct {
 	Segments, Events int64
 	// Written counts segments the sink persisted without error.
 	Written int64
+	// Markers counts recovery markers accepted; MarkersWritten those a
+	// MarkerSink persisted without error (zero for a plain Sink).
+	Markers, MarkersWritten int64
 	// DroppedSegments and DroppedEvents were discarded: buffer full
 	// under Drop, or arrival after Close.
 	DroppedSegments, DroppedEvents int64
@@ -63,10 +67,12 @@ type Stats struct {
 // ErrClosed reports an operation on a closed exporter.
 var ErrClosed = errors.New("export: exporter closed")
 
-// item is one unit of writer work: a segment, or a flush request.
+// item is one unit of writer work: a segment, a recovery marker, or a
+// flush request.
 type item struct {
-	seg   Segment
-	flush chan error
+	seg    Segment
+	marker *history.RecoveryMarker
+	flush  chan error
 }
 
 // Exporter streams drained history segments to a Sink off the hot
@@ -85,6 +91,7 @@ type Exporter struct {
 	closed bool
 
 	segments, events, written      atomic.Int64
+	markers, markersWritten        atomic.Int64
 	droppedSegments, droppedEvents atomic.Int64
 	writeErrors                    atomic.Int64
 	errMu                          sync.Mutex
@@ -113,6 +120,22 @@ func (e *Exporter) writer() {
 	for it := range e.ch {
 		if it.flush != nil {
 			it.flush <- e.sink.Flush()
+			continue
+		}
+		if it.marker != nil {
+			ms, ok := e.sink.(MarkerSink)
+			if !ok {
+				continue // sink has no marker support; nothing to persist
+			}
+			if err := ms.WriteMarker(*it.marker); err != nil {
+				e.writeErrors.Add(1)
+				e.setErr(err)
+				if e.cfg.OnError != nil {
+					e.cfg.OnError(err)
+				}
+			} else {
+				e.markersWritten.Add(1)
+			}
 			continue
 		}
 		if err := e.sink.WriteSegment(it.seg); err != nil {
@@ -165,6 +188,23 @@ func (e *Exporter) Consume(monitor string, events event.Seq) {
 	}
 	e.segments.Add(1)
 	e.events.Add(int64(len(events)))
+}
+
+// ConsumeMarker accepts one recovery marker (detect.MarkerExporter's
+// signature, so a detector's shard-local resets reach the sink through
+// the same pipeline as their segments). Markers are rare and
+// load-bearing — a dropped marker would make a deliberate trace gap
+// look like corruption — so the send always blocks for a free slot,
+// even under the Drop policy, exactly like Flush. A marker arriving
+// after Close is discarded.
+func (e *Exporter) ConsumeMarker(m history.RecoveryMarker) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return
+	}
+	e.ch <- item{marker: &m}
+	e.markers.Add(1)
 }
 
 func (e *Exporter) drop(events event.Seq) {
@@ -229,6 +269,8 @@ func (e *Exporter) Stats() Stats {
 		Segments:        e.segments.Load(),
 		Events:          e.events.Load(),
 		Written:         e.written.Load(),
+		Markers:         e.markers.Load(),
+		MarkersWritten:  e.markersWritten.Load(),
 		DroppedSegments: e.droppedSegments.Load(),
 		DroppedEvents:   e.droppedEvents.Load(),
 		WriteErrors:     e.writeErrors.Load(),

@@ -54,26 +54,51 @@ func fuzzSeedWAL(f *testing.F) []byte {
 // round-trip through the WAL writer byte-identically.
 func FuzzReadWALFile(f *testing.F) {
 	seed := fuzzSeedWAL(f)
+	magicLen := len(walMagicPrefix) + 1
+	magicV1 := append(append([]byte{}, walMagicPrefix[:]...), walVersion1)
+	magicV2 := append(append([]byte{}, walMagicPrefix[:]...), walVersion2)
 	f.Add(seed)
-	for _, cut := range []int{0, 1, len(walMagic), len(walMagic) + 1, len(seed) / 2, len(seed) - 1} {
+	for _, cut := range []int{0, 1, magicLen, magicLen + 1, len(seed) / 2, len(seed) - 1} {
 		if cut < len(seed) {
 			f.Add(seed[:cut])
 		}
 	}
 	// Zero-filled tail after a valid prefix: the filesystem crash shape.
 	f.Add(append(append([]byte{}, seed...), make([]byte, 64)...))
-	// Valid magic, absurd monitor-name length.
-	f.Add(append(append([]byte{}, walMagic[:]...), 0xff, 0xff, 0x01))
-	// Full record header whose payload-length field lies just under the
-	// 1 GiB plausibility cap, with nothing behind it: the reader must
-	// report a torn record without ballooning (the io.CopyN guard).
-	lyingHeader := append([]byte{}, walMagic[:]...)
+	// Valid magic, absurd monitor-name length (v1: no record-type byte).
+	f.Add(append(append([]byte{}, magicV1...), 0xff, 0xff, 0x01))
+	// Same in the current format, behind a segment record-type byte.
+	f.Add(append(append([]byte{}, magicV2...), recSegment, 0xff, 0xff, 0x01))
+	// Unknown record type right after a valid v2 magic.
+	f.Add(append(append([]byte{}, magicV2...), 0x7f))
+	// Full v1 record header whose payload-length field lies just under
+	// the 1 GiB plausibility cap, with nothing behind it: the reader
+	// must report a torn record without ballooning (the io.CopyN guard).
+	lyingHeader := append([]byte{}, magicV1...)
 	lyingHeader = append(lyingHeader, 1, 0, 'a')              // monitor "a"
 	lyingHeader = append(lyingHeader, make([]byte, 16)...)    // first/last seq
 	lyingHeader = append(lyingHeader, 1, 0, 0, 0)             // count 1
 	lyingHeader = append(lyingHeader, 0x00, 0x00, 0x00, 0x3f) // payload len ≈ 1 GiB − ε
 	lyingHeader = append(lyingHeader, 0xde, 0xad, 0xbe, 0xef) // CRC (never reached)
 	f.Add(lyingHeader)
+	// A marker record (current format) so the fuzzer mutates that shape
+	// too.
+	mdir := f.TempDir()
+	mw, err := NewWALSink(mdir, WALConfig{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := mw.WriteMarker(historyMarkerSeed()); err != nil {
+		f.Fatal(err)
+	}
+	if err := mw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	if names, err := walFiles(mdir); err == nil && len(names) == 1 {
+		if blob, err := os.ReadFile(names[0]); err == nil {
+			f.Add(blob)
+		}
+	}
 	f.Add([]byte("not a wal at all"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -84,7 +109,7 @@ func FuzzReadWALFile(f *testing.F) {
 		}
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
-		segs, torn, err := readWALFile(name)
+		segs, markers, torn, err := readWALFile(name)
 		runtime.ReadMemStats(&after)
 		// A hostile header may claim up to 1 GiB of payload; anything the
 		// reader actually allocates must be backed by real input bytes,
@@ -139,6 +164,6 @@ func FuzzReadWALFile(f *testing.F) {
 		if !bytes.Equal(a.Bytes(), b.Bytes()) {
 			t.Fatal("round trip changed event bytes")
 		}
-		_ = torn
+		_, _ = torn, markers
 	})
 }

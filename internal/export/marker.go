@@ -1,0 +1,115 @@
+package export
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"robustmon/internal/history"
+)
+
+// Recovery markers in the export stream. A shard-local online reset
+// (detect.Detector.RequestReset) discards a monitor's buffered,
+// never-checked events; the exported trace therefore has a gap for
+// that monitor at or below the reset horizon. The marker is the
+// durable record of that gap: it flows through the exporter like a
+// segment, is persisted by sinks implementing MarkerSink (WALSink as a
+// typed WAL record, MemorySink in memory), and comes back from ReadDir
+// in Replay.Markers so offline tooling (cmd/montrace) can tell a
+// reset artefact from a genuine fault.
+
+// MarkerSink is the optional Sink extension for recovery markers. A
+// sink without it simply drops markers (the exporter counts them as
+// accepted either way); both built-in sinks implement it.
+type MarkerSink interface {
+	// WriteMarker persists one recovery marker. Like WriteSegment it is
+	// driven by the exporter's single writer goroutine.
+	WriteMarker(m history.RecoveryMarker) error
+}
+
+// markerVersion versions the marker payload blob.
+const markerVersion = 1
+
+// encodeMarker serialises a marker into the self-contained payload
+// blob of a recMarker WAL record: a version byte followed by varint
+// fields (horizon, dropped, pid, unix-nano instant) and the
+// length-prefixed rule and monitor strings. Self-contained on purpose
+// — a marker payload can be interpreted without its record header,
+// mirroring how a segment payload is a well-formed trace on its own.
+func encodeMarker(m history.RecoveryMarker) []byte {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	putVarint := func(v int64) {
+		buf.Write(scratch[:binary.PutVarint(scratch[:], v)])
+	}
+	putUvarint := func(v uint64) {
+		buf.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	buf.WriteByte(markerVersion)
+	putVarint(m.Horizon)
+	putUvarint(uint64(m.Dropped))
+	putVarint(m.Pid)
+	putVarint(m.At.UnixNano())
+	putString(m.Rule)
+	putString(m.Monitor)
+	return buf.Bytes()
+}
+
+// decodeMarker reverses encodeMarker.
+func decodeMarker(payload []byte) (history.RecoveryMarker, error) {
+	br := bytes.NewReader(payload)
+	var m history.RecoveryMarker
+	ver, err := br.ReadByte()
+	if err != nil {
+		return m, fmt.Errorf("marker version: %w", err)
+	}
+	if ver != markerVersion {
+		return m, fmt.Errorf("unknown marker version %d", ver)
+	}
+	getString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > maxMonitorName {
+			return "", fmt.Errorf("implausible marker string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	if m.Horizon, err = binary.ReadVarint(br); err != nil {
+		return m, fmt.Errorf("marker horizon: %w", err)
+	}
+	dropped, err := binary.ReadUvarint(br)
+	if err != nil {
+		return m, fmt.Errorf("marker dropped count: %w", err)
+	}
+	m.Dropped = int(dropped)
+	if m.Pid, err = binary.ReadVarint(br); err != nil {
+		return m, fmt.Errorf("marker pid: %w", err)
+	}
+	nanos, err := binary.ReadVarint(br)
+	if err != nil {
+		return m, fmt.Errorf("marker instant: %w", err)
+	}
+	m.At = time.Unix(0, nanos).UTC()
+	if m.Rule, err = getString(); err != nil {
+		return m, fmt.Errorf("marker rule: %w", err)
+	}
+	if m.Monitor, err = getString(); err != nil {
+		return m, fmt.Errorf("marker monitor: %w", err)
+	}
+	if br.Len() != 0 {
+		return m, fmt.Errorf("%d trailing bytes after marker", br.Len())
+	}
+	return m, nil
+}

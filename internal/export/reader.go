@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"robustmon/internal/event"
+	"robustmon/internal/history"
 )
 
 // ErrBadWALMagic reports that a file in the export directory does not
@@ -23,7 +24,17 @@ type Replay struct {
 	// what history.DB.Full() of a WithFullTrace run would have
 	// returned.
 	Events event.Seq
-	// Files and Segments count the WAL files and valid records read.
+	// Markers are the recovery markers found in the WAL, in record
+	// order (which is reset order — the exporter's single writer
+	// serialises them). Each marks a shard-local online reset: the
+	// named monitor's events at or below Marker.Horizon that were still
+	// buffered at reset time were discarded unreplayed, so Events has a
+	// deliberate gap there and violations straddling the horizon on
+	// that monitor may be reset artefacts. Nil for a run that never
+	// reset (including every format-v1 WAL).
+	Markers []history.RecoveryMarker
+	// Files and Segments count the WAL files and valid records read
+	// (Segments excludes marker records).
 	Files, Segments int
 	// Recovered reports that the newest file ended in a torn record
 	// (crash mid-write); the tail was dropped and Events holds
@@ -58,7 +69,7 @@ func ReadDir(dir string) (*Replay, error) {
 	rep := &Replay{Files: len(names)}
 	var payloads []event.Seq
 	for i, name := range names {
-		segs, torn, err := readWALFile(name)
+		segs, markers, torn, err := readWALFile(name)
 		if err != nil {
 			return nil, err
 		}
@@ -70,67 +81,92 @@ func ReadDir(dir string) (*Replay, error) {
 			rep.TruncatedFile = name
 		}
 		payloads = append(payloads, segs...)
+		rep.Markers = append(rep.Markers, markers...)
 	}
 	rep.Segments = len(payloads)
 	rep.Events = event.Merge(payloads...)
 	return rep, nil
 }
 
-// readWALFile reads one segment file. It returns the record payloads
-// read, plus a non-nil torn error when the file ends mid-record (the
-// valid prefix is still returned) — the caller decides whether a torn
-// tail is acceptable for this file.
-func readWALFile(name string) (segs []event.Seq, torn error, err error) {
+// readWALFile reads one segment file (either format version). It
+// returns the segment payloads and recovery markers read, plus a
+// non-nil torn error when the file ends mid-record (the valid prefix
+// is still returned) — the caller decides whether a torn tail is
+// acceptable for this file.
+func readWALFile(name string) (segs []event.Seq, markers []history.RecoveryMarker, torn error, err error) {
 	f, err := os.Open(name)
 	if err != nil {
-		return nil, nil, fmt.Errorf("export: open wal file: %w", err)
+		return nil, nil, nil, fmt.Errorf("export: open wal file: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
-	var magic [len(walMagic)]byte
+	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		// Even the magic can be torn: a crash right after file creation.
-		return nil, fmt.Errorf("torn wal header: %w", err), nil
+		return nil, nil, fmt.Errorf("torn wal header: %w", err), nil
 	}
-	if magic != walMagic {
-		return nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+	version := magic[4]
+	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
+		return nil, nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
 	}
 	for {
-		events, terr, rerr := readRecord(br)
+		events, marker, terr, rerr := readRecord(br, version)
 		if rerr != nil {
-			return nil, nil, fmt.Errorf("export: %s record %d: %w", name, len(segs), rerr)
+			return nil, nil, nil, fmt.Errorf("export: %s record %d: %w", name, len(segs)+len(markers), rerr)
 		}
 		if terr != nil {
 			if terr == io.EOF {
-				return segs, nil, nil // EOF exactly at a record boundary: clean end
+				return segs, markers, nil, nil // EOF exactly at a record boundary: clean end
 			}
-			return segs, terr, nil
+			return segs, markers, terr, nil
 		}
-		segs = append(segs, events)
+		if marker != nil {
+			markers = append(markers, *marker)
+		} else {
+			segs = append(segs, events)
+		}
 	}
 }
 
-// readRecord reads one WAL record. A short read at any point is a torn
-// record and comes back in terr (io.EOF exactly at a record boundary,
-// io.ErrUnexpectedEOF or an implausible-header error otherwise); rerr
-// is reserved for damage that cannot result from a crashed append —
-// a CRC mismatch over a full-length payload, or a CRC-valid record
-// whose header and payload disagree.
-func readRecord(br *bufio.Reader) (events event.Seq, terr, rerr error) {
+// readRecord reads one WAL record of the given format version. A short
+// read at any point is a torn record and comes back in terr (io.EOF
+// exactly at a record boundary, io.ErrUnexpectedEOF or an
+// implausible-header error otherwise); rerr is reserved for damage
+// that cannot result from a crashed append — a CRC mismatch over a
+// full-length payload, or a CRC-valid record whose header and payload
+// disagree. Exactly one of events / marker is set on success.
+func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *history.RecoveryMarker, terr, rerr error) {
+	typ := recSegment
 	var scratch [8]byte
+	if version >= walVersion2 {
+		if _, err := io.ReadFull(br, scratch[:1]); err != nil {
+			return nil, nil, err, nil // io.EOF here = clean boundary
+		}
+		typ = scratch[0]
+		if typ != recSegment && typ != recMarker {
+			// No writer emits such a type, but a torn tail leaves
+			// arbitrary bytes behind — torn at the tail, corruption
+			// elsewhere (the caller decides which).
+			return nil, nil, fmt.Errorf("export: unknown record type %d", typ), nil
+		}
+	}
 	if _, err := io.ReadFull(br, scratch[:2]); err != nil {
-		return nil, err, nil // io.EOF here = clean boundary
+		if version >= walVersion2 {
+			// The type byte was already consumed: EOF here is mid-record.
+			err = noEOFBoundary(err)
+		}
+		return nil, nil, err, nil // v1: io.EOF here = clean boundary
 	}
 	monLen := int(binary.LittleEndian.Uint16(scratch[:2]))
 	if monLen > maxMonitorName {
 		// The writer refuses such names, so these bytes were never the
 		// start of a record — but a torn header leaves arbitrary bytes
 		// behind, so at the tail this still reads as a torn record.
-		return nil, fmt.Errorf("export: monitor name %d bytes long (limit %d)", monLen, maxMonitorName), nil
+		return nil, nil, fmt.Errorf("export: monitor name %d bytes long (limit %d)", monLen, maxMonitorName), nil
 	}
 	mon := make([]byte, monLen)
 	if _, err := io.ReadFull(br, mon); err != nil {
-		return nil, noEOFBoundary(err), nil
+		return nil, nil, noEOFBoundary(err), nil
 	}
 	var first, last int64
 	var count, payloadLen, sum uint32
@@ -140,7 +176,7 @@ func readRecord(br *bufio.Reader) (events event.Seq, terr, rerr error) {
 			n = 4
 		}
 		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
-			return nil, noEOFBoundary(err), nil
+			return nil, nil, noEOFBoundary(err), nil
 		}
 		switch p := dst.(type) {
 		case *int64:
@@ -153,13 +189,15 @@ func readRecord(br *bufio.Reader) (events event.Seq, terr, rerr error) {
 	// bit-flipped header must not make the reader balloon.
 	const maxPayload = 1 << 30
 	if payloadLen > maxPayload {
-		return nil, fmt.Errorf("export: implausible payload length %d", payloadLen), nil
+		return nil, nil, fmt.Errorf("export: implausible payload length %d", payloadLen), nil
 	}
-	if count == 0 {
-		// The writer skips empty segments, so no real record has count
-		// 0 — but a filesystem that zero-fills a torn tail block
-		// produces exactly this shape. Torn, not corrupt.
-		return nil, fmt.Errorf("export: zero-count record (zero-filled torn tail)"), nil
+	if typ == recSegment && count == 0 {
+		// The writer skips empty segments, so no real segment record has
+		// count 0 — but a filesystem that zero-fills a torn tail block
+		// produces exactly this shape (in v2 the zero fill also reads as
+		// type 0 = segment). Torn, not corrupt. Markers are exempt: a
+		// reset that found nothing buffered legitimately drops 0 events.
+		return nil, nil, fmt.Errorf("export: zero-count record (zero-filled torn tail)"), nil
 	}
 	// Pre-size only a bounded buffer and grow as real bytes arrive
 	// (io.CopyN), so a lying sub-cap length field still cannot allocate
@@ -172,32 +210,45 @@ func readRecord(br *bufio.Reader) (events event.Seq, terr, rerr error) {
 	}
 	pbuf := bytes.NewBuffer(make([]byte, 0, prealloc))
 	if _, err := io.CopyN(pbuf, br, int64(payloadLen)); err != nil {
-		return nil, noEOFBoundary(err), nil
+		return nil, nil, noEOFBoundary(err), nil
 	}
 	payload := pbuf.Bytes()
 	if got := crc32.ChecksumIEEE(payload); got != sum {
 		// The payload is full-length, so this is no crash tear (an
 		// append-only tear is always a prefix, i.e. a short read):
 		// corruption wherever it appears.
-		return nil, nil, fmt.Errorf("record CRC mismatch (got %08x, header says %08x)", got, sum)
+		return nil, nil, nil, fmt.Errorf("record CRC mismatch (got %08x, header says %08x)", got, sum)
 	}
+
+	// The CRC passed, so header/payload disagreement below is a writer
+	// bug, not a torn write.
+	if typ == recMarker {
+		m, err := decodeMarker(payload)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("decode marker payload: %w", err)
+		}
+		if m.Monitor != string(mon) || m.Horizon != first || m.Horizon != last || m.Dropped != int(count) {
+			return nil, nil, nil, fmt.Errorf("marker header (monitor %q, horizon %d..%d, %d dropped) disagrees with payload (monitor %q, horizon %d, %d dropped)",
+				mon, first, last, count, m.Monitor, m.Horizon, m.Dropped)
+		}
+		return nil, &m, nil, nil
+	}
+
 	events, err := event.ReadBinary(bytes.NewReader(payload))
 	if err != nil {
-		return nil, nil, fmt.Errorf("decode payload: %w", err)
+		return nil, nil, nil, fmt.Errorf("decode payload: %w", err)
 	}
-	// The CRC passed, so header/payload disagreement is a writer bug,
-	// not a torn write.
 	seg := Segment{Monitor: string(mon), Events: events}
 	if len(events) != int(count) || seg.First() != first || seg.Last() != last {
-		return nil, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
+		return nil, nil, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
 			mon, count, first, last, len(events), seg.First(), seg.Last())
 	}
 	for _, e := range events {
 		if e.Monitor != seg.Monitor {
-			return nil, nil, fmt.Errorf("event %d belongs to monitor %q, record header says %q", e.Seq, e.Monitor, seg.Monitor)
+			return nil, nil, nil, fmt.Errorf("event %d belongs to monitor %q, record header says %q", e.Seq, e.Monitor, seg.Monitor)
 		}
 	}
-	return events, nil, nil
+	return events, nil, nil, nil
 }
 
 // noEOFBoundary maps io.EOF mid-record to io.ErrUnexpectedEOF so only

@@ -12,33 +12,55 @@ import (
 	"strings"
 
 	"robustmon/internal/event"
+	"robustmon/internal/history"
 )
 
 // The on-disk WAL layout. A directory of numbered files
-// ("00000001.wal", …); each file starts with the 5-byte walMagic and
-// holds a sequence of records. One record is one exported Segment:
+// ("00000001.wal", …); each file starts with the 5-byte magic (4-byte
+// prefix + format version) and holds a sequence of records. In format
+// version 2 every record begins with a one-byte record type; version 1
+// files (written before recovery markers existed) have no type byte
+// and hold only segment records. Both record types share one header:
 //
+//	uint8   record type (v2 only: 0 = segment, 1 = recovery marker)
 //	uint16  len(monitor)      ┐
 //	bytes   monitor           │ little-endian record header
-//	int64   first seq         │
+//	int64   first seq         │ (marker: reset horizon twice)
 //	int64   last seq          │
-//	uint32  event count       │
+//	uint32  event count       │ (marker: discarded-event count)
 //	uint32  len(payload)      │
 //	uint32  CRC-32 (IEEE) of payload ┘
-//	bytes   payload = event.WriteBinary(segment events)
+//	bytes   payload
 //
-// The payload reuses the internal/event binary codec verbatim, so a
-// record body is itself a well-formed single-segment trace. The header
-// duplicates the seq range and count so a reader can index a WAL
-// without decoding payloads, and the CRC turns a torn write into a
-// detectable truncation instead of silent corruption. Files are
-// fsynced when rotated and on Flush/Close; a crash can therefore only
-// lose or tear the tail of the newest file, which the reader recovers
-// from by dropping the torn record.
+// A segment record's payload is event.WriteBinary of the drained
+// events — itself a well-formed single-segment trace. A recovery
+// marker's payload is the self-contained marker blob of
+// encodeMarker: the shard-local reset's horizon, discarded-event
+// count, triggering rule/pid and instant. The header duplicates the
+// seq range and count so a reader can index a WAL without decoding
+// payloads, and the CRC turns a torn write into a detectable
+// truncation instead of silent corruption. Files are fsynced when
+// rotated and on Flush/Close; a crash can therefore only lose or tear
+// the tail of the newest file, which the reader recovers from by
+// dropping the torn record.
 
-// walMagic identifies a WAL segment file; the trailing byte is a
-// format version.
-var walMagic = [5]byte{'R', 'M', 'W', 'L', 1}
+// walMagicPrefix identifies a WAL segment file; the byte that follows
+// it on disk is the format version.
+var walMagicPrefix = [4]byte{'R', 'M', 'W', 'L'}
+
+// The WAL format versions the reader accepts. The writer always writes
+// the current version.
+const (
+	walVersion1      = 1 // segments only, no record-type byte
+	walVersion2      = 2 // record-type byte: segments + recovery markers
+	walVersionLatest = walVersion2
+)
+
+// Record types (format version ≥ 2).
+const (
+	recSegment byte = 0
+	recMarker  byte = 1
+)
 
 // walExt is the segment-file extension.
 const walExt = ".wal"
@@ -128,54 +150,71 @@ func (w *WALSink) open() error {
 	w.f = f
 	w.bw = bufio.NewWriter(f)
 	w.size = 0
-	if _, err := w.bw.Write(walMagic[:]); err != nil {
+	magic := append(append([]byte(nil), walMagicPrefix[:]...), walVersionLatest)
+	if _, err := w.bw.Write(magic); err != nil {
 		return fmt.Errorf("export: write wal magic: %w", err)
 	}
-	w.size += int64(len(walMagic))
+	w.size += int64(len(magic))
 	return nil
 }
 
-// WriteSegment appends one record and rotates if the file outgrew the
-// threshold.
+// WriteSegment appends one segment record and rotates if the file
+// outgrew the threshold.
 func (w *WALSink) WriteSegment(seg Segment) error {
 	if len(seg.Events) == 0 {
 		return nil
 	}
-	if len(seg.Monitor) > maxMonitorName {
-		return fmt.Errorf("export: monitor name %d bytes long (limit %d)", len(seg.Monitor), maxMonitorName)
+	var payload bytes.Buffer
+	if err := event.WriteBinary(&payload, seg.Events); err != nil {
+		return fmt.Errorf("export: encode segment: %w", err)
+	}
+	return w.writeRecord(recSegment, seg.Monitor,
+		seg.First(), seg.Last(), uint32(len(seg.Events)), payload.Bytes())
+}
+
+// WriteMarker appends one recovery-marker record — the durable trace of
+// a shard-local online reset (see history.RecoveryMarker). It
+// implements the optional MarkerSink extension.
+func (w *WALSink) WriteMarker(m history.RecoveryMarker) error {
+	return w.writeRecord(recMarker, m.Monitor,
+		m.Horizon, m.Horizon, uint32(m.Dropped), encodeMarker(m))
+}
+
+// writeRecord appends one record of either type and rotates if the
+// file outgrew the threshold.
+func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count uint32, payload []byte) error {
+	if len(monitor) > maxMonitorName {
+		return fmt.Errorf("export: monitor name %d bytes long (limit %d)", len(monitor), maxMonitorName)
 	}
 	if w.f == nil {
 		if err := w.open(); err != nil {
 			return err
 		}
 	}
-	var payload bytes.Buffer
-	if err := event.WriteBinary(&payload, seg.Events); err != nil {
-		return fmt.Errorf("export: encode segment: %w", err)
-	}
 	w.hdr.Reset()
 	var scratch [8]byte
 	put := func(b []byte) { w.hdr.Write(b) }
-	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(seg.Monitor)))
+	w.hdr.WriteByte(typ)
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(monitor)))
 	put(scratch[:2])
-	w.hdr.WriteString(seg.Monitor)
-	binary.LittleEndian.PutUint64(scratch[:], uint64(seg.First()))
+	w.hdr.WriteString(monitor)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(first))
 	put(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], uint64(seg.Last()))
+	binary.LittleEndian.PutUint64(scratch[:], uint64(last))
 	put(scratch[:])
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(seg.Events)))
+	binary.LittleEndian.PutUint32(scratch[:4], count)
 	put(scratch[:4])
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(payload)))
 	put(scratch[:4])
-	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload.Bytes()))
+	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload))
 	put(scratch[:4])
 	if _, err := w.bw.Write(w.hdr.Bytes()); err != nil {
 		return fmt.Errorf("export: write record header: %w", err)
 	}
-	if _, err := w.bw.Write(payload.Bytes()); err != nil {
+	if _, err := w.bw.Write(payload); err != nil {
 		return fmt.Errorf("export: write record payload: %w", err)
 	}
-	w.size += int64(w.hdr.Len() + payload.Len())
+	w.size += int64(w.hdr.Len() + len(payload))
 	if w.cfg.SyncEveryWrite {
 		if err := w.sync(); err != nil {
 			return err

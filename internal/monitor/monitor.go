@@ -376,9 +376,37 @@ func (m *Monitor) forget(pid int64) {
 // process is aborted (its blocked primitive returns ErrAborted), the
 // queues and the inside set are cleared, and R# is restored to Rmax.
 // Recovery policies (§5 future work) use it to restore normal operation
-// after a detected fault.
+// after a detected fault. Reset alone is only checkpoint-safe against a
+// stopped world — it does not coordinate with a detector's in-flight
+// snapshot or drain of this monitor; the shard-local online path is
+// Detector.RequestReset, which linearises the reset against checkpoints
+// and calls ResetFrozen under its own freeze.
 func (m *Monitor) Reset() {
 	m.gate.RLock()
+	parked := m.resetLocked()
+	m.gate.RUnlock()
+	for _, p := range parked {
+		p.Abort()
+	}
+}
+
+// ResetFrozen is Reset for a caller that already holds this monitor's
+// freeze (the checkpoint gate's write lock): the gate is not
+// re-acquired, so the reset lands atomically inside the caller's frozen
+// window — between the freeze and the thaw no primitive can observe a
+// half-reset monitor. It returns the processes that were parked on the
+// monitor's queues; the caller must Abort them (Abort never blocks, so
+// before or after Thaw both work — the woken processes unwind only once
+// the monitor thaws).
+func (m *Monitor) ResetFrozen() []*proc.P {
+	return m.resetLocked()
+}
+
+// resetLocked clears the queues, the inside set and R#, and returns the
+// previously parked processes for the caller to abort. The caller holds
+// the gate (read side for Reset, write side for ResetFrozen); m.mu is
+// taken here.
+func (m *Monitor) resetLocked() []*proc.P {
 	m.mu.Lock()
 	parked := make([]*proc.P, 0, len(m.parked))
 	for _, p := range m.parked {
@@ -394,10 +422,7 @@ func (m *Monitor) Reset() {
 		m.resources = m.spec.Rmax
 	}
 	m.mu.Unlock()
-	m.gate.RUnlock()
-	for _, p := range parked {
-		p.Abort()
-	}
+	return parked
 }
 
 // Freeze stops the world for this monitor: it blocks until no primitive

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"robustmon/internal/faults"
+	"robustmon/internal/recovery"
 	"robustmon/internal/rules"
 )
 
@@ -123,6 +124,20 @@ func Dedup(vs []rules.Violation) []rules.Violation {
 		out = append(out, best[k])
 	}
 	return out
+}
+
+// RenderRecovery writes the recovery manager's action log as a
+// human-readable listing — one line per action, in the order the
+// manager took them, each naming what was done and the violation that
+// demanded it. Render the violations themselves with Render; this is
+// the "what did recovery do about them" half of the report.
+func RenderRecovery(w io.Writer, actions []recovery.Action) error {
+	for _, a := range actions {
+		if _, err := fmt.Fprintf(w, "  %-28s ← %s\n", a.Taken, a.Violation); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Render writes a grouped, human-readable listing: one section per

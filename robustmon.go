@@ -40,6 +40,16 @@
 // and ReadExportDir replays the run from disk in the exact <L order,
 // recovering from a crash-truncated tail.
 //
+// Detection can also recover, not just report (the paper's §5 future
+// work): a RecoveryManager with the ResetMonitor policy, attached to
+// its detector via SetResetter, resets a faulty monitor online —
+// shard-local and world-stop free. Only the offending monitor is
+// frozen while its unchecked history is discarded, its queues, blocked
+// processes and R# reinitialised and its checking/scheduler state
+// reseeded; every other monitor keeps running and checkpointing, and a
+// RecoveryMarker is streamed into the export so offline replay knows
+// the reset horizon.
+//
 // # Quick start
 //
 //	spec := robustmon.Spec{
@@ -219,6 +229,9 @@ type (
 	ExportSegment = export.Segment
 	// ExportSink persists exported segments.
 	ExportSink = export.Sink
+	// ExportMarkerSink is the optional ExportSink extension persisting
+	// recovery markers (both built-in sinks implement it).
+	ExportMarkerSink = export.MarkerSink
 	// WALSink persists segments to a directory of CRC-protected,
 	// fsync-on-rotate files.
 	WALSink = export.WALSink
@@ -394,6 +407,16 @@ type (
 	RecoveryManager = recovery.Manager
 	// RecoveryPolicy selects the reaction to a violation.
 	RecoveryPolicy = recovery.Policy
+	// RecoveryAction records one step the recovery manager took.
+	RecoveryAction = recovery.Action
+	// RecoveryResetter performs shard-local online monitor resets; a
+	// Detector implements it (RequestReset).
+	RecoveryResetter = recovery.Resetter
+	// RecoveryMarker records one shard-local online reset in the
+	// history/export stream: the reset horizon and how many buffered,
+	// never-checked events were discarded. Exported through the WAL
+	// and returned by ReadExportDir in ExportReplay.Markers.
+	RecoveryMarker = history.RecoveryMarker
 )
 
 // Recovery policies.
@@ -406,7 +429,17 @@ const (
 // NewAssertionSet returns an empty assertion set for the named monitor.
 func NewAssertionSet(monitorName string) *AssertionSet { return assert.NewSet(monitorName) }
 
-// NewRecoveryManager builds a recovery manager over the given monitors.
+// NewRecoveryManager builds a recovery manager over the given monitors
+// — the set the ResetMonitor policy may reset. Wire mgr.Handle into
+// DetectorConfig.OnViolation, and call mgr.SetResetter(det) with the
+// detector checking those monitors to make the ResetMonitor policy
+// shard-local and online: a violation on monitor M then freezes and
+// reinitialises only M (history segment, queues, blocked processes,
+// R#, checking lists, adaptive interval) while every other monitor
+// keeps running, and a RecoveryMarker is streamed through the exporter
+// so offline replay knows the reset horizon. Without a resetter the
+// policy falls back to the direct Monitor.Reset, which is only safe
+// against a stopped world.
 func NewRecoveryManager(p RecoveryPolicy, rt *Runtime, mons ...*Monitor) *RecoveryManager {
 	return recovery.NewManager(p, rt, mons...)
 }
@@ -464,6 +497,12 @@ func DedupViolations(vs []Violation) []Violation { return report.Dedup(vs) }
 
 // RenderViolations writes a grouped human-readable violation listing.
 func RenderViolations(w io.Writer, vs []Violation) error { return report.Render(w, vs) }
+
+// RenderRecoveryActions writes the recovery manager's action log as a
+// human-readable listing.
+func RenderRecoveryActions(w io.Writer, actions []RecoveryAction) error {
+	return report.RenderRecovery(w, actions)
+}
 
 // Monitor declaration language (the §4 "general form of the monitor
 // specification").

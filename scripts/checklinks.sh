@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# checklinks.sh — grep-based markdown link checker for the CI docs job.
+#
+# Usage: scripts/checklinks.sh README.md DESIGN.md ...
+#
+# Extracts every inline markdown link [text](target) from the given
+# files and verifies that each relative target exists on disk (anchors
+# are stripped; http(s) and mailto targets are skipped — this is an
+# offline repo-consistency check, not a web crawler). Exits non-zero
+# listing every broken link.
+set -euo pipefail
+
+if [ "$#" -eq 0 ]; then
+  echo "usage: $0 <markdown file> ..." >&2
+  exit 2
+fi
+
+fail=0
+for doc in "$@"; do
+  if [ ! -f "$doc" ]; then
+    echo "MISSING DOC: $doc" >&2
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$doc")
+  # Inline links only; reference-style links are not used in this repo.
+  grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}" # strip anchor
+    [ -z "$path" ] && continue # pure in-page anchor
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK in $doc: ($target) -> $dir/$path does not exist"
+    fi
+  done | sort -u > /tmp/broken.$$ || true
+  if [ -s /tmp/broken.$$ ]; then
+    cat /tmp/broken.$$ >&2
+    fail=1
+  fi
+  rm -f /tmp/broken.$$
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "link check FAILED" >&2
+  exit 1
+fi
+echo "link check OK: $*"
