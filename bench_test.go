@@ -9,7 +9,7 @@
 //     the "coverage" metric must be 21.
 //   - BenchmarkFigure1Architecture — E3: the structural wiring check.
 //   - BenchmarkAblation*     — the design-choice ablations listed in
-//     DESIGN.md §6 (stop-the-world gate, pruned segments vs full-trace
+//     DESIGN.md §8 (stop-the-world gate, pruned segments vs full-trace
 //     FD checking, real-time order checking).
 //   - Primitive microbenches — per-operation cost of the monitor with
 //     and without the extension, history appends, path-expression
@@ -349,7 +349,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 	}
 }
 
-// --- ablations (DESIGN.md §6) ----------------------------------------
+// --- ablations (DESIGN.md §8) ----------------------------------------
 
 // BenchmarkAblationHoldWorld compares checkpointing with the paper's
 // stop-the-world suspension against the concurrent variant.

@@ -33,6 +33,7 @@ func rowKey(row map[string]any) string {
 		"events_per_sec": true, "elapsed_ns": true, "checks": true,
 		"events": true, "ratio": true,
 		"checkpoint_p50_ns": true, "checkpoint_p99_ns": true,
+		"files_opened": true, "files_total": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {

@@ -84,6 +84,7 @@ func run(args []string, out, errOut io.Writer) int {
 		global    = fs.Bool("globallock", false, "run -monitors against the legacy single-mutex history database")
 		adaptive  = fs.Bool("adaptive", false, "add adaptive-scheduler rows to the -monitors sweep (per-monitor intervals next to every fixed-T cell)")
 		batch     = fs.Int("batch", 0, "batched-replay batch size for the -monitors sweep (0 = unbatched)")
+		store     = fs.Bool("tracestore", false, "add the E5 trace-store rows (full ReadDir vs index-backed windowed SeekReader over a synthetic export directory); combines with -monitors into one artefact, or runs standalone")
 		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
 		baseline  = fs.String("baseline", "", "perf gate: compare the fresh sweep against this JSON artefact and exit non-zero on regression")
 		tolerance = fs.Float64("tolerance", 0.25, "perf gate: relative tolerance for -baseline comparisons")
@@ -113,10 +114,36 @@ func run(args []string, out, errOut io.Writer) int {
 			global:        *global,
 			adaptive:      *adaptive,
 			batch:         *batch,
+			tracestore:    *store,
 			jsonPath:      *jsonPath,
 			baseline:      *baseline,
 			tolerance:     *tolerance,
 		}, out, errOut)
+	}
+
+	if *store {
+		// Standalone E5: its own artefact kind.
+		rows, cfgEntries, code := runTraceStore(*repeats, out, errOut)
+		if code != 0 {
+			return code
+		}
+		art := benchArtefact{
+			Kind:        "E5-tracestore",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Config:      cfgEntries,
+			Rows:        rows,
+		}
+		if *jsonPath != "" {
+			if err := writeArtefact(*jsonPath, art); err != nil {
+				fmt.Fprintf(errOut, "monbench: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(out, "\nwrote %s\n", *jsonPath)
+		}
+		if *baseline != "" {
+			return gateAgainstBaseline(*baseline, art, *tolerance, out, errOut)
+		}
+		return 0
 	}
 
 	cfg := experiment.DefaultOverheadConfig()
@@ -222,9 +249,59 @@ type scalingFlags struct {
 	global        bool
 	adaptive      bool
 	batch         int
+	tracestore    bool
 	jsonPath      string
 	baseline      string
 	tolerance     float64
+}
+
+// runTraceStore executes the E5 trace-store sweep and returns its
+// artefact rows and config entries (exit code non-zero on failure).
+// The rows carry "bench":"tracestore" so they can share an artefact
+// with E4 rows without colliding in the gate's key space.
+func runTraceStore(repeats int, out, errOut io.Writer) ([]map[string]any, map[string]any, int) {
+	cfg := experiment.DefaultTraceStoreConfig()
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	fmt.Fprintf(out, "E5 (trace store): events=%d monitors=%d segment=%d window=%.0f%% repeats=%d\n\n",
+		cfg.Events, cfg.Monitors, cfg.SegmentEvents, cfg.Window*100, cfg.Repeats)
+	rows, err := experiment.RunTraceStore(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return nil, nil, 1
+	}
+	fmt.Fprint(out, experiment.TraceStoreTable(rows).String())
+	var full, seek time.Duration
+	for _, r := range rows {
+		switch r.Mode {
+		case "full":
+			full = r.Elapsed
+		case "seek":
+			seek = r.Elapsed
+		}
+	}
+	if seek > 0 {
+		fmt.Fprintf(out, "\nwindowed replay is %.1fx faster than a full ReadDir for a %.0f%% window\n",
+			float64(full)/float64(seek), cfg.Window*100)
+	}
+	var artRows []map[string]any
+	for _, r := range rows {
+		artRows = append(artRows, map[string]any{
+			"bench": "tracestore", "replay": r.Mode,
+			"events": r.Events, "elapsed_ns": r.Elapsed.Nanoseconds(),
+			"events_per_sec": r.EventsPerSec,
+			"files_opened":   r.FilesOpened, "files_total": r.FilesTotal,
+		})
+	}
+	cfgEntries := map[string]any{
+		"store_events": cfg.Events, "store_monitors": cfg.Monitors,
+		"store_segment_events": cfg.SegmentEvents,
+		"store_max_file_bytes": cfg.MaxFileBytes,
+		"store_window":         cfg.Window,
+		"store_repeats":        cfg.Repeats,
+	}
+	return artRows, cfgEntries, 0
 }
 
 // runScaling executes the E4 many-monitor sweep (-monitors).
@@ -298,6 +375,19 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 			"checkpoint_p50_ns": r.CheckP50.Nanoseconds(),
 			"checkpoint_p99_ns": r.CheckP99.Nanoseconds(),
 		})
+	}
+	if f.tracestore {
+		fmt.Fprintln(out)
+		storeRows, storeCfg, code := runTraceStore(f.repeats, out, errOut)
+		if code != 0 {
+			return code
+		}
+		// One artefact for both sweeps: the E5 rows are keyed apart by
+		// their "bench" field, the config blocks merge disjoint keys.
+		art.Rows = append(art.Rows, storeRows...)
+		for k, v := range storeCfg {
+			art.Config[k] = v
+		}
 	}
 	if f.jsonPath != "" {
 		if err := writeArtefact(f.jsonPath, art); err != nil {

@@ -208,3 +208,45 @@ func TestJSONArtefactOverheadSweep(t *testing.T) {
 		t.Fatalf("artefact = kind %q with %d rows, want E2-overhead with 1", art.Kind, len(art.Rows))
 	}
 }
+
+func TestTraceStoreStandaloneArtefactAndSelfGate(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "store.json")
+	code, out, errOut := runTool(t, "-tracestore", "-repeats", "1", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q\n%s", code, errOut, out)
+	}
+	for _, want := range []string{"E5 (trace store)", "full", "seek", "faster than a full ReadDir"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Kind string           `json:"kind"`
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Kind != "E5-tracestore" || len(art.Rows) != 2 {
+		t.Fatalf("artefact kind=%q rows=%d, want E5-tracestore with 2 rows", art.Kind, len(art.Rows))
+	}
+	for _, row := range art.Rows {
+		if _, ok := row["events_per_sec"].(float64); !ok {
+			t.Fatalf("row missing events_per_sec: %+v", row)
+		}
+		if row["bench"] != "tracestore" {
+			t.Fatalf("row missing the bench key that separates E5 from E4 rows: %+v", row)
+		}
+	}
+	// A sweep gated against its own artefact must pass (the CI gate's
+	// happy path).
+	code, _, errOut = runTool(t, "-tracestore", "-repeats", "1", "-baseline", path, "-tolerance", "0.99")
+	if code != 0 {
+		t.Fatalf("self-baseline gate failed: %s", errOut)
+	}
+}

@@ -42,6 +42,31 @@
 //     was discarded, a broken call-order pair, …) may be artefacts of
 //     the gap rather than faults in the monitored program.
 //
+// # Trace store: windowed queries, index, compact
+//
+// A long run leaves hundreds of rotated segment files; decoding all of
+// them to look at the neighbourhood of one violation is the cost the
+// trace store removes. dump and check accept -from/-to (a global
+// sequence-number window) and -monitor (a comma-separated monitor
+// set); over an export directory the window is answered through the
+// directory's index (wal.index) — a per-file table of seq ranges,
+// monitor sets and marker offsets that admits only the files the
+// window can touch, with the pruning reported on stderr. Over a flat
+// trace file the same flags filter after loading.
+//
+//	montrace index   -in run/            # rebuild the index from the files
+//	montrace index   -in run/ -verify    # check it against the files
+//	montrace compact -in run/            # merge the rotated backlog per monitor
+//	montrace dump    -in run/ -from 12000 -to 12400 -monitor buffer
+//
+// compact merges every rotated file's records into dense per-monitor
+// segments (replay-identical to the original — recovery markers and
+// their horizons included), leaving the -keep newest files untouched
+// (default 1, the active segment of a live recorder); -drop-reset
+// additionally discards events at or below each reset horizon and
+// reports how many. A check over a window prints a note that pairing
+// violations at the window edges may be artefacts of the cut.
+//
 // The demo workload is a bounded-buffer producer/consumer (the paper's
 // communication-coordinator class); -faulty injects a send-overflow
 // bug so the checkers have something to find.

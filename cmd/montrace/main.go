@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -13,6 +14,8 @@ import (
 	"robustmon/internal/detect"
 	"robustmon/internal/event"
 	"robustmon/internal/export"
+	"robustmon/internal/export/compact"
+	"robustmon/internal/export/index"
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
 	"robustmon/internal/mdl"
@@ -44,6 +47,10 @@ func run() int {
 		return dump(os.Args[2:])
 	case "stats":
 		return stats(os.Args[2:])
+	case "index":
+		return indexCmd(os.Args[2:])
+	case "compact":
+		return compactCmd(os.Args[2:])
 	case "help", "-h", "-help", "--help":
 		fmt.Fprint(os.Stdout, usageText)
 		return 0
@@ -73,10 +80,13 @@ func stats(args []string) int {
 // usageText is the full help text (montrace help); the golden test in
 // main_test.go pins it so the documented surface cannot drift silently.
 const usageText = `usage:
-  montrace record -out <file> | -outdir <dir> [-faulty] [-items N]
-  montrace check  -in  <file|dir> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
-  montrace dump   -in  <file|dir> [-original]
-  montrace stats  -in  <file|dir>
+  montrace record  -out <file> | -outdir <dir> [-faulty] [-items N]
+  montrace check   -in  <file|dir> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
+                   [-from N] [-to N] [-monitor a,b]
+  montrace dump    -in  <file|dir> [-original] [-from N] [-to N] [-monitor a,b]
+  montrace stats   -in  <file|dir>
+  montrace index   -in  <dir> [-verify]
+  montrace compact -in  <dir> [-keep N] [-drop-reset] [-max-bytes N]
   montrace help
 
 inputs and outputs:
@@ -98,11 +108,111 @@ recovery markers:
   can be artefacts of the deliberate trace gap rather than faults in
   the monitored program.
 
+trace store (windowing, index, compact):
+  -from/-to restrict dump and check to a sequence-number window and
+  -monitor to a comma-separated monitor set. Over an export directory
+  the window is answered through the trace-store index (wal.index):
+  only the segment files whose indexed seq ranges intersect the
+  window are opened; everything else is skipped. index rebuilds that
+  index from the segment files (v1 and v2 alike) — or, with -verify,
+  checks the existing one against the files (sizes and record-header
+  chains). compact merges the rotated segment files per monitor into
+  dense records, preserving markers at their horizons; -keep N
+  protects the N newest files (default 1 — the active segment of a
+  live recorder), -drop-reset additionally discards events at or
+  below each reset horizon (reported, never silent). Violations that
+  pair across a window's edges can be artefacts of the cut; check
+  prints the window it used.
+
 exit codes: 0 clean, 1 error, 2 usage, 3 faults found (check)
 `
 
 func usage() {
 	fmt.Fprint(os.Stderr, usageText)
+}
+
+// indexCmd rebuilds (default) or verifies an export directory's
+// trace-store index.
+func indexCmd(args []string) int {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	in := fs.String("in", "", "export directory to index")
+	verifyIdx := fs.Bool("verify", false, "verify the existing index against the segment files instead of rebuilding")
+	_ = fs.Parse(args)
+	if *in == "" {
+		usage()
+		return 2
+	}
+	if *verifyIdx {
+		idx, err := index.Load(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+			return 1
+		}
+		if errs := idx.Verify(*in); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "montrace: %v\n", e)
+			}
+			fmt.Printf("index DISAGREES with %d of %d files\n", len(errs), len(idx.Files))
+			return 1
+		}
+		fmt.Printf("index verified: %d files, %d events\n", len(idx.Files), idx.Events())
+		return 0
+	}
+	idx, err := index.Rebuild(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	if err := idx.Write(*in); err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	fmt.Printf("indexed %d files, %d events\n", len(idx.Files), idx.Events())
+	for _, f := range idx.Files {
+		mons := make([]string, 0, len(f.Monitors))
+		for _, mr := range f.Monitors {
+			mons = append(mons, mr.Monitor)
+		}
+		torn := ""
+		if f.Torn {
+			torn = "  (torn tail)"
+		}
+		fmt.Printf("  %s  v%d  seq %d..%d  %d events  %d markers  [%s]%s\n",
+			f.Name, f.Version, f.MinSeq, f.MaxSeq, f.Events, len(f.Markers), strings.Join(mons, ","), torn)
+	}
+	return 0
+}
+
+// compactCmd merges an export directory's rotated segment files.
+func compactCmd(args []string) int {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	in := fs.String("in", "", "export directory to compact")
+	keep := fs.Int("keep", 1, "newest files to leave untouched (use 0 only when no recorder is live)")
+	dropReset := fs.Bool("drop-reset", false, "also drop events at or below each monitor's reset horizon (the superseded pre-reset life); the drop is reported")
+	maxBytes := fs.Int64("max-bytes", 0, "output file rotation threshold (0 = default)")
+	_ = fs.Parse(args)
+	if *in == "" {
+		usage()
+		return 2
+	}
+	keepNewest := *keep
+	if keepNewest == 0 {
+		// The CLI's "-keep 0" means compact everything; the library
+		// spells that opt-in as a negative (its zero value is the safe
+		// default of 1).
+		keepNewest = -1
+	}
+	res, err := compact.Dir(*in, compact.Config{
+		KeepNewest:     keepNewest,
+		DropBelowReset: *dropReset,
+		MaxFileBytes:   *maxBytes,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+		return 1
+	}
+	fmt.Println(res)
+	return 0
 }
 
 func record(args []string) int {
@@ -226,6 +336,113 @@ func record(args []string) int {
 	return 0
 }
 
+// window carries the -from/-to/-monitor flags shared by dump and
+// check.
+type window struct {
+	from, to int64
+	monitors string
+}
+
+// addFlags registers the windowing flags on a subcommand's flag set.
+func (w *window) addFlags(fs *flag.FlagSet) {
+	fs.Int64Var(&w.from, "from", 0, "lowest sequence number to include (0 = from the start)")
+	fs.Int64Var(&w.to, "to", 0, "highest sequence number to include (0 = to the end)")
+	fs.StringVar(&w.monitors, "monitor", "", "comma-separated monitors to include (empty = all)")
+}
+
+// active reports whether any windowing was requested.
+func (w window) active() bool { return w.from > 0 || w.to > 0 || w.monitors != "" }
+
+// names returns the monitor filter as a slice (nil = all).
+func (w window) names() []string {
+	if w.monitors == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(w.monitors, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// loadWindowed reads a trace applying the window. An export directory
+// is answered through the trace-store SeekReader — only the files the
+// index admits are opened, and the pruning is reported on stderr; a
+// flat file is filtered after loading (there is nothing to prune).
+func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, error) {
+	info, err := os.Stat(path)
+	if err == nil && info.IsDir() && w.active() {
+		r, err := index.OpenDir(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := r.ReplayRange(w.from, w.to, w.names()...)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := r.LastStats()
+		fmt.Fprintf(os.Stderr, "montrace: window opened %d of %d files (%d skipped via index, %d unindexed)\n",
+			st.Opened, st.FilesTotal, st.Skipped, st.Unindexed)
+		warnReplay(rep)
+		return rep.Events, rep.Markers, nil
+	}
+	trace, markers, err := load(path)
+	if err != nil || !w.active() {
+		return trace, markers, err
+	}
+	from, to := w.from, w.to
+	if from <= 0 {
+		from = 1
+	}
+	if to <= 0 {
+		to = math.MaxInt64
+	}
+	trace = trace.SubSeq(from, to)
+	if names := w.names(); names != nil {
+		keep := make(map[string]bool, len(names))
+		for _, n := range names {
+			keep[n] = true
+		}
+		filtered := make(event.Seq, 0, len(trace))
+		for _, e := range trace {
+			if keep[e.Monitor] {
+				filtered = append(filtered, e)
+			}
+		}
+		trace = filtered
+		kept := markers[:0]
+		for _, m := range markers {
+			if keep[m.Monitor] {
+				kept = append(kept, m)
+			}
+		}
+		markers = kept
+	}
+	return trace, markers, nil
+}
+
+// warnReplay surfaces a replay's damage accounting on stderr.
+func warnReplay(rep *export.Replay) {
+	if rep.Recovered {
+		last := int64(0)
+		if n := len(rep.Events); n > 0 {
+			last = rep.Events[n-1].Seq
+		}
+		fmt.Fprintf(os.Stderr, "montrace: %s: torn tail recovered, trace ends at seq %d\n",
+			rep.TruncatedFile, last)
+	}
+	if rep.CorruptRecords > 0 {
+		fmt.Fprintf(os.Stderr, "montrace: %d corrupt records skipped (their events are missing from the trace)\n",
+			rep.CorruptRecords)
+	}
+	if rep.DuplicateEvents > 0 {
+		fmt.Fprintf(os.Stderr, "montrace: %d duplicate events collapsed (interrupted compaction leftovers; run montrace compact)\n",
+			rep.DuplicateEvents)
+	}
+}
+
 // load reads a trace from a file or an export directory. Recovery
 // markers only exist in export directories; for flat files the marker
 // slice is always nil.
@@ -235,14 +452,7 @@ func load(path string) (event.Seq, []history.RecoveryMarker, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if rep.Recovered {
-			last := int64(0)
-			if n := len(rep.Events); n > 0 {
-				last = rep.Events[n-1].Seq
-			}
-			fmt.Fprintf(os.Stderr, "montrace: %s: torn tail recovered, trace ends at seq %d\n",
-				rep.TruncatedFile, last)
-		}
+		warnReplay(rep)
 		return rep.Events, rep.Markers, nil
 	}
 	f, err := os.Open(path)
@@ -266,15 +476,21 @@ func check(args []string) int {
 	tmax := fs.Duration("tmax", 10*time.Second, "Tmax (0 disables)")
 	tio := fs.Duration("tio", 10*time.Second, "Tio (0 disables)")
 	tlimit := fs.Duration("tlimit", 10*time.Second, "Tlimit (0 disables)")
+	var win window
+	win.addFlags(fs)
 	_ = fs.Parse(args)
 	if *in == "" {
 		usage()
 		return 2
 	}
-	trace, markers, err := load(*in)
+	trace, markers, err := loadWindowed(*in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
+	}
+	if win.active() && len(trace) > 0 {
+		fmt.Printf("note: checking the window seq %d..%d; calling-order or pairing violations at the window edges may be artefacts of the cut, not program faults\n",
+			trace[0].Seq, trace[len(trace)-1].Seq)
 	}
 	for _, mk := range markers {
 		fmt.Printf("note: monitor %q was reset online at seq %d (rule %s, %d unchecked events discarded); violations on it at or below that horizon may be reset artefacts, not program faults\n",
@@ -338,12 +554,14 @@ func dump(args []string) int {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	in := fs.String("in", "", "trace file to dump")
 	original := fs.Bool("original", false, "render the §3.1 original event model (resumption updates applied)")
+	var win window
+	win.addFlags(fs)
 	_ = fs.Parse(args)
 	if *in == "" {
 		usage()
 		return 2
 	}
-	trace, markers, err := load(*in)
+	trace, markers, err := loadWindowed(*in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -236,5 +237,93 @@ func TestLoadTruncatedExportDirRecovers(t *testing.T) {
 		if e.Seq != full[i].Seq {
 			t.Fatalf("recovered trace diverges at %d: seq %d vs %d", i, e.Seq, full[i].Seq)
 		}
+	}
+}
+
+// TestTraceStoreWorkflow drives the whole trace-store surface through
+// the CLI: record a streamed run, index it, query a window, compact
+// it, and confirm the windowed query and the full check still agree.
+func TestTraceStoreWorkflow(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "run")
+	if code := record([]string{"-outdir", dir, "-items", "64"}); code != 0 {
+		t.Fatalf("record exit = %d", code)
+	}
+	full, _, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := indexCmd([]string{"-in", dir}); code != 0 {
+		t.Fatalf("index exit = %d", code)
+	}
+	if code := indexCmd([]string{"-in", dir, "-verify"}); code != 0 {
+		t.Fatalf("index -verify exit = %d", code)
+	}
+
+	// A window in the middle, via the index-backed reader.
+	mid := full[len(full)/2].Seq
+	win := window{from: mid - 10, to: mid + 10}
+	got, _, err := loadWindowed(dir, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.SubSeq(mid-10, mid+10)
+	if len(got) != len(want) {
+		t.Fatalf("windowed load returned %d events, want %d", len(got), len(want))
+	}
+
+	// Monitor filtering composes with the window.
+	byMon, _, err := loadWindowed(dir, window{from: mid - 10, to: mid + 10, monitors: "boundedbuffer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byMon) != len(want.ByMonitor("boundedbuffer")) {
+		t.Fatalf("monitor-filtered window returned %d events, want %d",
+			len(byMon), len(want.ByMonitor("boundedbuffer")))
+	}
+
+	// The same flags work through the subcommands.
+	if code := dump([]string{"-in", dir, "-from", fmt.Sprint(mid - 10), "-to", fmt.Sprint(mid + 10)}); code != 0 {
+		t.Fatalf("windowed dump exit = %d", code)
+	}
+
+	// Compact everything (the recorder is closed, so -keep 0 is safe)
+	// and the replay must be unchanged.
+	if code := compactCmd([]string{"-in", dir, "-keep", "0"}); code != 0 {
+		t.Fatalf("compact exit = %d", code)
+	}
+	after, _, err := load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(full) {
+		t.Fatalf("compaction changed the trace: %d -> %d events", len(full), len(after))
+	}
+	if code := indexCmd([]string{"-in", dir, "-verify"}); code != 0 {
+		t.Fatalf("index -verify after compact exit = %d (compaction must keep the index in step)", code)
+	}
+	if code := check([]string{"-in", dir}); code != 0 {
+		t.Fatalf("check on compacted dir exit = %d", code)
+	}
+}
+
+// TestWindowFlagsOnFlatFile: windowing degrades gracefully on single
+// trace files — filtered after load, no index involved.
+func TestWindowFlagsOnFlatFile(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if code := record([]string{"-out", path, "-items", "16"}); code != 0 {
+		t.Fatalf("record exit = %d", code)
+	}
+	full, _, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loadWindowed(path, window{from: 5, to: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := full.SubSeq(5, 14); len(got) != len(want) {
+		t.Fatalf("flat-file window returned %d events, want %d", len(got), len(want))
 	}
 }

@@ -135,7 +135,7 @@ type Config struct {
 	// When positive and HoldWorld is set, the detector stalls this long
 	// at each checkpoint while the world is frozen. Zero (the default)
 	// measures the native cost. Used by the E2 experiment to reproduce
-	// Table 1's interval-dependence; see DESIGN.md §5.
+	// Table 1's interval-dependence; see DESIGN.md §6.
 	SuspendOverhead time.Duration
 }
 

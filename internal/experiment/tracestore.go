@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/export/index"
+)
+
+// E5 — trace-store consumption cost. The export pipeline made the
+// monitoring artefact cheap to produce; this sweep measures how cheap
+// it is to consume: a full ReadDir replay of a many-file export
+// directory versus an index-backed SeekReader answering a narrow
+// window. The two rows land in the perf artefact (BENCH_scaling.json)
+// so a regression in either path — or in the index's pruning — fails
+// the perf gate like any throughput regression.
+
+// TraceStoreConfig parameterises the E5 sweep.
+type TraceStoreConfig struct {
+	// Events is the total number of synthetic events written.
+	Events int
+	// Monitors is how many monitors the events round-robin over.
+	Monitors int
+	// SegmentEvents is the events per WAL record.
+	SegmentEvents int
+	// MaxFileBytes is the sink's rotation threshold; keep it small so
+	// the directory holds many files (the shape the index exists for).
+	MaxFileBytes int64
+	// Window is the queried fraction of the sequence space, centred.
+	Window float64
+	// Repeats re-reads each mode this many times (after one untimed
+	// warm-up read); the minimum elapsed is reported. Minimum, not
+	// median: a replay is a pure read, so noise — scheduler
+	// interference, cold page cache — is strictly one-sided, and the
+	// fastest run is the best estimate of the code's actual cost (the
+	// same reasoning ScalingConfig.Repeats documents for latency
+	// percentiles). Zero or one means a single timed read.
+	Repeats int
+}
+
+// DefaultTraceStoreConfig is the sweep cmd/monbench runs for
+// -tracestore.
+func DefaultTraceStoreConfig() TraceStoreConfig {
+	return TraceStoreConfig{
+		Events:        200_000,
+		Monitors:      8,
+		SegmentEvents: 256,
+		MaxFileBytes:  64 << 10,
+		Window:        0.05,
+		Repeats:       3,
+	}
+}
+
+// TraceStoreRow is one cell of the E5 sweep: one replay mode.
+type TraceStoreRow struct {
+	// Mode is "full" (ReadDir over everything) or "seek" (SeekReader
+	// over the window).
+	Mode string
+	// Events is the number of events the replay returned.
+	Events int64
+	// Elapsed is the fastest replay wall time across the repeats.
+	Elapsed time.Duration
+	// EventsPerSec is Events/Elapsed — events delivered to the caller
+	// per second of query time, the gated metric for both modes.
+	EventsPerSec float64
+	// FilesOpened of FilesTotal were fully decoded.
+	FilesOpened, FilesTotal int
+}
+
+// RunTraceStore builds one synthetic export directory (WALSink with a
+// sink-maintained index) and measures both replay modes over it.
+func RunTraceStore(cfg TraceStoreConfig) ([]TraceStoreRow, error) {
+	if cfg.Events <= 0 || cfg.Monitors <= 0 || cfg.SegmentEvents <= 0 ||
+		cfg.Window <= 0 || cfg.Window > 1 {
+		return nil, fmt.Errorf("experiment: bad trace-store config %+v", cfg)
+	}
+	dir, err := os.MkdirTemp("", "robustmon-tracestore-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := buildTraceStoreDir(dir, cfg); err != nil {
+		return nil, err
+	}
+
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	fastest := func(runs []time.Duration) time.Duration {
+		return slices.Min(runs)
+	}
+
+	// Full replay: every record of every file. One untimed warm-up read
+	// levels the page cache between the two modes.
+	if _, err := export.ReadDir(dir); err != nil {
+		return nil, err
+	}
+	var fullRow TraceStoreRow
+	fullRuns := make([]time.Duration, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		rep, err := export.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		fullRuns = append(fullRuns, time.Since(start))
+		fullRow = TraceStoreRow{
+			Mode:        "full",
+			Events:      int64(len(rep.Events)),
+			FilesOpened: rep.Files,
+			FilesTotal:  rep.Files,
+		}
+	}
+	fullRow.Elapsed = fastest(fullRuns)
+
+	// Windowed replay through the index.
+	win := int64(float64(cfg.Events) * cfg.Window)
+	if win < 1 {
+		win = 1
+	}
+	from := int64(cfg.Events)/2 - win/2
+	if from < 1 {
+		from = 1
+	}
+	var seekRow TraceStoreRow
+	seekRuns := make([]time.Duration, 0, repeats)
+	for i := -1; i < repeats; i++ {
+		r, err := index.OpenDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rep, err := r.ReplayRange(from, from+win-1)
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 {
+			continue // warm-up
+		}
+		seekRuns = append(seekRuns, time.Since(start))
+		st := r.LastStats()
+		seekRow = TraceStoreRow{
+			Mode:        "seek",
+			Events:      int64(len(rep.Events)),
+			FilesOpened: st.Opened,
+			FilesTotal:  st.FilesTotal,
+		}
+	}
+	seekRow.Elapsed = fastest(seekRuns)
+
+	for _, row := range []*TraceStoreRow{&fullRow, &seekRow} {
+		if s := row.Elapsed.Seconds(); s > 0 {
+			row.EventsPerSec = float64(row.Events) / s
+		}
+	}
+	return []TraceStoreRow{fullRow, seekRow}, nil
+}
+
+// buildTraceStoreDir writes the synthetic directory: Events events
+// round-robining over Monitors in SegmentEvents-sized records, index
+// maintained by the sink.
+func buildTraceStoreDir(dir string, cfg TraceStoreConfig) error {
+	m := index.NewMaintainer(dir)
+	sink, err := export.NewWALSink(dir, export.WALConfig{
+		MaxFileBytes: cfg.MaxFileBytes,
+		OnRotate:     m.OnRotate,
+	})
+	if err != nil {
+		return err
+	}
+	at := time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+	seq := int64(0)
+	seg := 0
+	for seq < int64(cfg.Events) {
+		mon := fmt.Sprintf("m%d", seg%cfg.Monitors)
+		n := cfg.SegmentEvents
+		if rest := int(int64(cfg.Events) - seq); n > rest {
+			n = rest
+		}
+		events := make(event.Seq, 0, n)
+		for i := 0; i < n; i++ {
+			seq++
+			events = append(events, event.Event{
+				Seq: seq, Monitor: mon, Type: event.Enter, Pid: seq%7 + 1,
+				Proc: "Op", Flag: event.Completed,
+				Time: at.Add(time.Duration(seq) * time.Microsecond),
+			})
+		}
+		if err := sink.WriteSegment(export.Segment{Monitor: mon, Events: events}); err != nil {
+			return err
+		}
+		seg++
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	return m.Err()
+}
+
+// TraceStoreTable renders the E5 sweep.
+func TraceStoreTable(rows []TraceStoreRow) *Table {
+	t := NewTable("replay", "events", "files", "elapsed", "events/sec")
+	for _, r := range rows {
+		t.AddRow(r.Mode, fmt.Sprint(r.Events),
+			fmt.Sprintf("%d/%d", r.FilesOpened, r.FilesTotal),
+			r.Elapsed.Round(time.Microsecond).String(),
+			FormatEventsPerSec(r.EventsPerSec))
+	}
+	return t
+}

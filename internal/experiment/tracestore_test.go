@@ -1,0 +1,43 @@
+package experiment
+
+import "testing"
+
+func TestRunTraceStoreShape(t *testing.T) {
+	t.Parallel()
+	cfg := TraceStoreConfig{
+		Events:        4000,
+		Monitors:      4,
+		SegmentEvents: 64,
+		MaxFileBytes:  4 << 10,
+		Window:        0.1,
+		Repeats:       1,
+	}
+	rows, err := RunTraceStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "full" || rows[1].Mode != "seek" {
+		t.Fatalf("rows = %+v, want a full row then a seek row", rows)
+	}
+	full, seek := rows[0], rows[1]
+	if full.Events != 4000 {
+		t.Fatalf("full replay returned %d events, want 4000", full.Events)
+	}
+	if want := int64(400); seek.Events != want {
+		t.Fatalf("seek replay returned %d events, want the %d-event window", seek.Events, want)
+	}
+	if full.FilesOpened != full.FilesTotal {
+		t.Fatalf("full replay opened %d of %d files", full.FilesOpened, full.FilesTotal)
+	}
+	if seek.FilesOpened >= seek.FilesTotal {
+		t.Fatalf("seek replay opened %d of %d files — the index pruned nothing", seek.FilesOpened, seek.FilesTotal)
+	}
+	for _, r := range rows {
+		if r.EventsPerSec <= 0 || r.Elapsed <= 0 {
+			t.Fatalf("row %q has no measurement: %+v", r.Mode, r)
+		}
+	}
+	if _, err := RunTraceStore(TraceStoreConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -1,0 +1,447 @@
+// Package compact is the storage half of the trace store: it merges a
+// directory's rotated WAL segment files into dense, per-monitor v2
+// segments, bounding the on-disk footprint and the file count a
+// replaying reader must visit.
+//
+// A long-running detector rotates hundreds of small segment files
+// whose records interleave monitors in drain order. The compactor
+// rewrites the sealed backlog — never the active segment — so each
+// monitor's events sit in few large, seq-contiguous records, which is
+// both smaller (one record header amortised over thousands of events)
+// and exactly the shape the windowed SeekReader prunes best.
+//
+// # Invariants
+//
+// Replaying a compacted directory yields the identical merged event
+// stream and marker list as replaying the uncompacted original
+// (pinned by TestCompactionReplayByteIdentical): sequence numbers are
+// globally unique, so per-monitor re-segmentation never changes the
+// k-way merge, and recovery markers are carried over in their original
+// record order with their horizons intact. Pre-reset records — a reset
+// monitor's events at or below its reset horizon — are preserved by
+// default; Config.DropBelowReset discards them, counted in
+// Result.DroppedPreReset, never silently.
+//
+// # Crash and concurrency safety
+//
+// Output files are written and fsynced in a temporary subdirectory,
+// renamed into the directory under fresh generation-suffixed names
+// ("00000001-0001.wal" — never a name an existing file holds, sorting
+// just before the inputs they supersede), and only then are the
+// inputs unlinked. No step ever overwrites a live file, so every
+// intermediate state a crash or concurrent reader can observe is a
+// superset of the original records: complete files only, at worst
+// with a merged output coexisting with inputs it duplicates, which
+// the reader collapses (Replay.DuplicateEvents) back to the identical
+// stream. Rerunning the compactor after a crash converges.
+//
+// Compaction reads the whole eligible backlog into memory to merge it
+// (bounded by the backlog's decoded size, not the run's total
+// history once compaction runs periodically); a streaming merge is a
+// known follow-up for multi-GB cold backlogs.
+package compact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/export/index"
+	"robustmon/internal/history"
+)
+
+// tmpDirName is the staging subdirectory inside the export directory.
+// It matches no *.wal glob, and a stale one (a crashed compaction that
+// never got to install anything) is discarded on the next run.
+const tmpDirName = ".compact"
+
+// DefaultChunkEvents bounds one output segment record when
+// Config.ChunkEvents is zero: large enough to amortise the record
+// header, small enough that a windowed reader never decodes an
+// unbounded payload for a narrow window.
+const DefaultChunkEvents = 8192
+
+// Config parameterises a compaction.
+type Config struct {
+	// KeepNewest excludes that many of the highest-numbered segment
+	// files from compaction. Zero means the default of 1 — the
+	// possibly-active segment a live sink is appending to, which the
+	// compactor must never touch — so the zero-value Config is always
+	// safe to run against a live directory. Compacting *everything*
+	// (a directory whose sink is closed) takes an explicit negative
+	// value: the opt-in is deliberate, because compacting a file mid-
+	// append unlinks it under the writer and loses records.
+	KeepNewest int
+	// MaxFileBytes rotates output files at this size (default
+	// export.DefaultMaxFileBytes).
+	MaxFileBytes int64
+	// ChunkEvents bounds the events per output record (default
+	// DefaultChunkEvents).
+	ChunkEvents int
+	// DropBelowReset additionally discards a reset monitor's events at
+	// or below its highest reset horizon — the monitor's superseded
+	// pre-reset life. The drop is flagged (Result.DroppedPreReset), the
+	// markers recording the horizons are always preserved, and replay
+	// equivalence with the original deliberately no longer holds for
+	// the dropped monitor. Off by default.
+	DropBelowReset bool
+}
+
+// Result accounts one compaction.
+type Result struct {
+	// FilesIn inputs were merged into FilesOut outputs (both zero for a
+	// no-op: fewer than two eligible files).
+	FilesIn, FilesOut int
+	// RecordsIn and RecordsOut count the records before and after.
+	RecordsIn, RecordsOut int
+	// Events is the number of events written out.
+	Events int64
+	// Markers is the number of recovery markers carried over.
+	Markers int
+	// DroppedPreReset counts events discarded under DropBelowReset.
+	DroppedPreReset int
+	// CorruptDropped counts CRC-corrupt input records left behind —
+	// they were unreadable before compaction and stay unreadable; the
+	// compactor does not copy damage forward.
+	CorruptDropped int
+	// DuplicatesDropped counts exact duplicate events collapsed from
+	// the inputs — the leftovers of a previously interrupted
+	// compaction.
+	DuplicatesDropped int
+	// IndexUpdated reports that the directory's index file was brought
+	// in step (only attempted when one exists).
+	IndexUpdated bool
+
+	// outSummaries carries the staged outputs' file summaries from the
+	// writer to the index update.
+	outSummaries []export.FileSummary
+}
+
+// String renders the result for CLI output.
+func (r Result) String() string {
+	if r.FilesIn == 0 {
+		return "compact: nothing to do (fewer than two eligible files)"
+	}
+	s := fmt.Sprintf("compact: %d files (%d records) -> %d files (%d records), %d events, %d markers",
+		r.FilesIn, r.RecordsIn, r.FilesOut, r.RecordsOut, r.Events, r.Markers)
+	if r.DroppedPreReset > 0 {
+		s += fmt.Sprintf(", %d pre-reset events dropped", r.DroppedPreReset)
+	}
+	if r.CorruptDropped > 0 {
+		s += fmt.Sprintf(", %d corrupt records dropped", r.CorruptDropped)
+	}
+	if r.DuplicatesDropped > 0 {
+		s += fmt.Sprintf(", %d duplicate events collapsed", r.DuplicatesDropped)
+	}
+	if r.IndexUpdated {
+		s += ", index updated"
+	}
+	return s
+}
+
+// monStream is one monitor's merged event stream plus its highest
+// reset horizon (0 when the monitor was never reset).
+type monStream struct {
+	monitor string
+	events  event.Seq
+	horizon int64
+}
+
+// Dir compacts the eligible rotated files of an export directory. It
+// is a no-op (nil error, zero Result) when fewer than two files are
+// eligible. The directory's index file, when present, is updated to
+// describe the outputs.
+func Dir(dir string, cfg Config) (*Result, error) {
+	switch {
+	case cfg.KeepNewest == 0:
+		cfg.KeepNewest = 1 // the safe default: never the active segment
+	case cfg.KeepNewest < 0:
+		cfg.KeepNewest = 0 // explicit opt-in: closed directory, compact all
+	}
+	if cfg.MaxFileBytes <= 0 {
+		cfg.MaxFileBytes = export.DefaultMaxFileBytes
+	}
+	if cfg.ChunkEvents <= 0 {
+		cfg.ChunkEvents = DefaultChunkEvents
+	}
+	// A crashed previous run may have left a staging dir with outputs
+	// it never installed; they were never visible and are rebuilt.
+	tmpDir := filepath.Join(dir, tmpDirName)
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return nil, fmt.Errorf("compact: clear staging dir: %w", err)
+	}
+	names, err := export.WALFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	eligible := names
+	if cfg.KeepNewest > 0 {
+		if cfg.KeepNewest >= len(names) {
+			return &Result{}, nil
+		}
+		eligible = names[:len(names)-cfg.KeepNewest]
+	}
+	if len(eligible) < 2 {
+		return &Result{}, nil
+	}
+
+	res := &Result{FilesIn: len(eligible)}
+	streams, markers, err := readInputs(eligible, cfg.KeepNewest == 0, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Markers = len(markers)
+	if cfg.DropBelowReset {
+		for _, st := range streams {
+			if st.horizon <= 0 {
+				continue
+			}
+			kept := st.events.SubSeq(st.horizon+1, math.MaxInt64)
+			res.DroppedPreReset += len(st.events) - len(kept)
+			st.events = kept
+		}
+	}
+
+	outs, err := writeOutputs(tmpDir, cfg, streams, markers, res)
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) > len(eligible) {
+		// Cannot happen — merging only densifies — but more outputs than
+		// inputs would exhaust the fresh-name scheme below, so refuse
+		// loudly rather than corrupt the directory.
+		return nil, fmt.Errorf("compact: %d outputs for %d inputs", len(outs), len(eligible))
+	}
+
+	// Install under fresh names, delete inputs only afterwards. The
+	// j-th output takes the j-th input's number plus a generation
+	// suffix no existing file carries, so no rename ever lands on a
+	// live file — a crash at any point leaves a superset of the
+	// original records (duplicates, which replay collapses), never a
+	// subset.
+	gen := nextGeneration(names)
+	installed := make([]string, 0, len(outs))
+	for i, out := range outs {
+		target, err := outputName(eligible[i], gen)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.Rename(out, target); err != nil {
+			return nil, fmt.Errorf("compact: install output: %w", err)
+		}
+		installed = append(installed, target)
+	}
+	for _, name := range eligible {
+		if err := os.Remove(name); err != nil {
+			return nil, fmt.Errorf("compact: remove merged input: %w", err)
+		}
+	}
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return nil, fmt.Errorf("compact: clear staging dir: %w", err)
+	}
+	res.FilesOut = len(outs)
+
+	if err := updateIndex(dir, eligible, installed, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Compacted files carry a generation suffix: "00000007-0002.wal" is
+// the generation-2 compaction output that reused input number 7. The
+// '-' sorts before the '.' of a plain "00000007.wal", so an output
+// sorts just before the input it supersedes — always ahead of the
+// untouched newer files, keeping the directory's only torn-tail
+// candidate (the newest file) last. NewWALSink's resume parse reads
+// the leading number and ignores the suffix, so appending to a
+// compacted directory keeps numbering safely past every name.
+
+// nextGeneration returns one more than the highest generation suffix
+// among the given file names (1 when none carry one).
+func nextGeneration(names []string) int {
+	gen := 0
+	for _, name := range names {
+		stem := strings.TrimSuffix(filepath.Base(name), ".wal")
+		if i := strings.IndexByte(stem, '-'); i >= 0 {
+			var g int
+			if _, err := fmt.Sscanf(stem[i+1:], "%d", &g); err == nil && g > gen {
+				gen = g
+			}
+		}
+	}
+	return gen + 1
+}
+
+// outputName builds the fresh installed name for an output reusing the
+// given input's number at the given generation.
+func outputName(input string, gen int) (string, error) {
+	stem := strings.TrimSuffix(filepath.Base(input), ".wal")
+	if i := strings.IndexByte(stem, '-'); i >= 0 {
+		stem = stem[:i] // an input that is itself a compacted file
+	}
+	var num int
+	if _, err := fmt.Sscanf(stem, "%d", &num); err != nil {
+		return "", fmt.Errorf("compact: unparseable segment name %q", input)
+	}
+	return filepath.Join(filepath.Dir(input), fmt.Sprintf("%08d-%04d.wal", num, gen)), nil
+}
+
+// readInputs reads the eligible files into per-monitor merged streams
+// plus the marker list in record order. tornOK tolerates a torn tail
+// on the last eligible file (only correct when it is the directory's
+// newest, i.e. KeepNewest == 0 on a closed directory).
+func readInputs(eligible []string, tornOK bool, res *Result) ([]*monStream, []history.RecoveryMarker, error) {
+	byMon := make(map[string]*monStream, 8)
+	var order []*monStream
+	var segsByMon = make(map[string][]event.Seq, 8)
+	var markers []history.RecoveryMarker
+	for i, name := range eligible {
+		fr, err := export.ReadWALFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if fr.Torn && !(tornOK && i == len(eligible)-1) {
+			return nil, nil, fmt.Errorf("compact: %s: torn record in a rotated file — corruption, not a crash tail", name)
+		}
+		res.CorruptDropped += fr.CorruptRecords
+		res.RecordsIn += len(fr.Segments) + len(fr.Markers)
+		for _, seg := range fr.Segments {
+			st := byMon[seg.Monitor]
+			if st == nil {
+				st = &monStream{monitor: seg.Monitor}
+				byMon[seg.Monitor] = st
+				order = append(order, st)
+			}
+			segsByMon[seg.Monitor] = append(segsByMon[seg.Monitor], seg.Events)
+		}
+		for _, m := range fr.Markers {
+			st := byMon[m.Monitor]
+			if st == nil {
+				st = &monStream{monitor: m.Monitor}
+				byMon[m.Monitor] = st
+				order = append(order, st)
+			}
+			if m.Horizon > st.horizon {
+				st.horizon = m.Horizon
+			}
+			markers = append(markers, m)
+		}
+	}
+	for _, st := range order {
+		merged := event.Merge(segsByMon[st.monitor]...)
+		// Collapse exact duplicates (an interrupted earlier compaction);
+		// a seq collision between different events is corruption.
+		out := merged[:0]
+		for _, e := range merged {
+			if n := len(out); n > 0 && out[n-1].Seq == e.Seq {
+				if out[n-1] != e {
+					return nil, nil, fmt.Errorf("compact: monitor %q: two different events share sequence number %d", st.monitor, e.Seq)
+				}
+				res.DuplicatesDropped++
+				continue
+			}
+			out = append(out, e)
+		}
+		st.events = out
+	}
+	// Markers can duplicate the same way; collapse exact repeats,
+	// preserving first-occurrence (reset) order.
+	if len(markers) > 0 {
+		seen := make(map[history.RecoveryMarker]bool, len(markers))
+		kept := markers[:0]
+		for _, m := range markers {
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			kept = append(kept, m)
+		}
+		markers = kept
+	}
+	// Write monitors in order of their first event so output files'
+	// seq ranges grow roughly with file number — the shape the windowed
+	// reader prunes best.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i].events, order[j].events
+		if len(a) == 0 || len(b) == 0 {
+			return len(a) > len(b)
+		}
+		return a[0].Seq < b[0].Seq
+	})
+	return order, markers, nil
+}
+
+// writeOutputs writes the merged streams and markers through a WALSink
+// in the staging directory and returns the output paths in creation
+// order. The sink fsyncs each file as it rotates, so everything
+// returned is durable.
+func writeOutputs(tmpDir string, cfg Config, streams []*monStream, markers []history.RecoveryMarker, res *Result) ([]string, error) {
+	var summaries []export.FileSummary
+	sink, err := export.NewWALSink(tmpDir, export.WALConfig{
+		MaxFileBytes: cfg.MaxFileBytes,
+		OnRotate:     func(fs export.FileSummary) { summaries = append(summaries, fs) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range streams {
+		for off := 0; off < len(st.events); off += cfg.ChunkEvents {
+			end := min(off+cfg.ChunkEvents, len(st.events))
+			chunk := st.events[off:end:end]
+			if err := sink.WriteSegment(export.Segment{Monitor: st.monitor, Events: chunk}); err != nil {
+				return nil, err
+			}
+			res.RecordsOut++
+			res.Events += int64(len(chunk))
+		}
+	}
+	for _, m := range markers {
+		if err := sink.WriteMarker(m); err != nil {
+			return nil, err
+		}
+		res.RecordsOut++
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	outs := make([]string, 0, len(summaries))
+	for _, fs := range summaries {
+		outs = append(outs, filepath.Join(tmpDir, fs.Name))
+	}
+	res.outSummaries = summaries
+	return outs, nil
+}
+
+// updateIndex brings the directory's index (when one exists) in step
+// with the swap: entries of all eligible inputs are dropped and the
+// outputs' summaries added under their installed names.
+func updateIndex(dir string, eligible, installed []string, res *Result) error {
+	idx, err := index.Load(dir)
+	if err != nil {
+		if !errors.Is(err, index.ErrNoIndex) {
+			// A damaged index is simply removed: it is advisory and
+			// rebuildable, and leaving it would cost a hard OpenDir error
+			// forever.
+			_ = os.Remove(filepath.Join(dir, index.FileName))
+		}
+		return nil
+	}
+	for _, name := range eligible {
+		idx.Remove(filepath.Base(name))
+	}
+	for i, fs := range res.outSummaries {
+		fs.Name = filepath.Base(installed[i])
+		idx.Add(fs)
+	}
+	if err := idx.Write(dir); err != nil {
+		return fmt.Errorf("compact: update index: %w", err)
+	}
+	res.IndexUpdated = true
+	return nil
+}

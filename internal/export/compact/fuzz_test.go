@@ -1,0 +1,123 @@
+package compact
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/history"
+)
+
+// FuzzCompactRoundTrip drives the compactor over fuzzer-shaped WAL
+// directories and holds it to its core invariant: whatever the layout
+// — segment sizes, monitor interleavings, markers, file boundaries —
+// replaying the compacted directory must be byte-identical to
+// replaying the original, and the result must converge (a second
+// compaction changes nothing).
+//
+// The input bytes are a little program: each byte appends one segment
+// (monitor = b%3, length = b%7+1) or, every 13th value, a recovery
+// marker at the current horizon. The first byte picks the rotation
+// threshold, so file boundaries move with the input too.
+func FuzzCompactRoundTrip(f *testing.F) {
+	f.Add([]byte{8, 1, 2, 3, 13, 4, 5, 26, 6})
+	f.Add([]byte{1, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 13, 13, 13})
+	f.Add([]byte{4, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 256 {
+			return
+		}
+		dir := t.TempDir()
+		sink, err := export.NewWALSink(dir, export.WALConfig{
+			MaxFileBytes: int64(data[0])%512 + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+		mons := [3]string{"a", "b", "c"}
+		seq := int64(0)
+		wrote := false
+		for i, b := range data[1:] {
+			mon := mons[int(b)%3]
+			if b%13 == 0 {
+				if !wrote {
+					continue // a marker needs a horizon to point at
+				}
+				mk := history.RecoveryMarker{
+					Monitor: mon, Horizon: seq, Dropped: int(b) % 5,
+					Rule: "FD-1", Pid: int64(i), At: at.Add(time.Duration(i) * time.Second),
+				}
+				if err := sink.WriteMarker(mk); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			n := int64(b)%7 + 1
+			var seg event.Seq
+			for j := int64(0); j < n; j++ {
+				seq++
+				seg = append(seg, event.Event{
+					Seq: seq, Monitor: mon, Type: event.Enter, Pid: int64(i) + 1,
+					Proc: "Op", Flag: event.Completed,
+					Time: at.Add(time.Duration(seq) * time.Millisecond),
+				})
+			}
+			if err := sink.WriteSegment(export.Segment{Monitor: mon, Events: seg}); err != nil {
+				t.Fatal(err)
+			}
+			wrote = true
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !wrote {
+			return
+		}
+
+		before, err := export.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := event.WriteBinary(&want, before.Events); err != nil {
+			t.Fatal(err)
+		}
+
+		keep := 1 // alternate protecting the newest file vs compacting all
+		if data[0]%2 == 0 {
+			keep = -1 // the sink is closed, so compact-everything is legal
+		}
+		for round := 0; round < 2; round++ {
+			if _, err := Dir(dir, Config{KeepNewest: keep, ChunkEvents: int(data[0])%32 + 1}); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			after, err := export.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("round %d: replay: %v", round, err)
+			}
+			var got bytes.Buffer
+			if err := event.WriteBinary(&got, after.Events); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Fatalf("round %d: compaction changed the stream: %d -> %d events",
+					round, len(before.Events), len(after.Events))
+			}
+			if len(after.Markers) != len(before.Markers) {
+				t.Fatalf("round %d: compaction changed the marker count: %d -> %d",
+					round, len(before.Markers), len(after.Markers))
+			}
+			for i := range after.Markers {
+				if after.Markers[i] != before.Markers[i] {
+					t.Fatalf("round %d: marker %d changed: %+v -> %+v",
+						round, i, before.Markers[i], after.Markers[i])
+				}
+			}
+		}
+	})
+}

@@ -33,17 +33,34 @@
 // segments (per-record monitor id, seq range, count) and recovery
 // markers (see MarkerSink; a marker records a shard-local online reset
 // and the resulting deliberate gap in the monitor's trace) — fsyncing
-// on rotation. ReadDir replays a directory into a Replay: the record
-// payloads k-way-merged (event.Merge) back into the global <L order in
-// Replay.Events, the recovery markers in Replay.Markers, and
-// crash-truncated-tail recovery reported via Replay.Recovered — a torn
-// record is tolerated only at the tail of the newest file, where it is
-// the expected signature of a crash mid-append; anywhere else it is
-// corruption and an error. Batched checkpoints
+// on rotation, which is size-based (MaxFileBytes) and optionally
+// age-based (RotateEvery). ReadDir replays a directory into a Replay:
+// the record payloads k-way-merged (event.Merge) back into the global
+// <L order in Replay.Events, the recovery markers in Replay.Markers,
+// and crash-truncated-tail recovery reported via Replay.Recovered — a
+// torn record is tolerated only at the tail of the newest file, where
+// it is the expected signature of a crash mid-append; anywhere else it
+// is corruption and an error. A CRC-corrupt full-length record is
+// damage to that record alone: it is skipped and counted
+// (Replay.CorruptRecords) and reading continues. Batched checkpoints
 // (history.DB.DrainMonitorUpTo) change only how many records frame a
 // checkpoint's events, never which events are exported nor their
 // order: for a lossless (Block-policy) run Replay.Events is
 // byte-identical to what ExportBinary of a WithFullTrace run produces.
+//
+// # Trace store
+//
+// Two subpackages make the on-disk artefact cheap to consume and keep
+// it bounded (see DESIGN.md §5). index maintains a sparse per-file
+// index — WALConfig.OnRotate hands each sealed file's FileSummary
+// (seq ranges, monitor set, marker offsets, header-chain CRC; also
+// rebuildable via ScanFile) to an index.Maintainer — and answers
+// windowed queries (index.SeekReader.ReplayRange) by opening only the
+// files the index admits. compact merges the rotated backlog into
+// dense per-monitor segments, replay-identical to the original;
+// Config.CompactEvery/Compact let the exporter trigger it in the
+// background once the sink's SealedFiles backlog crosses a threshold,
+// so long-running detectors bound their own footprint.
 package export
 
 import (

@@ -45,6 +45,36 @@ type Config struct {
 	// OnError, when set, is called from the writer goroutine for each
 	// sink write error.
 	OnError func(error)
+	// CompactEvery, together with Compact, turns on background
+	// compaction: after each written segment the writer asks the sink
+	// (if it implements SealedFileCounter; WALSink does) how many
+	// rotated files have piled up, and once CompactEvery files have
+	// accumulated *since the last compaction finished* it launches
+	// Compact on its own goroutine. The "since" matters: compacted
+	// output is still bounded by the sink's rotation threshold, so a
+	// big trace has an incompressible file-count floor, and a naive
+	// absolute threshold would re-trigger a futile full-directory
+	// rewrite after every segment once the floor crossed it. At most
+	// one compaction runs at a time; Close waits for an in-flight one.
+	// This is how a long-running detector bounds its on-disk footprint
+	// without anyone ever calling a CLI. Zero disables.
+	CompactEvery int
+	// Compact is the compaction to run when CompactEvery triggers —
+	// typically a closure over compact.Dir for the sink's directory
+	// (the export package cannot import its compact subpackage; the
+	// robustmon facade wires the two for you). It runs concurrently
+	// with the writer, which is safe because the compactor never
+	// touches the active segment file. Errors are reported through
+	// OnError and counted (Stats.CompactErrors) but are not sticky:
+	// a failed background compaction must not fail a later Flush.
+	Compact func() error
+}
+
+// SealedFileCounter is the optional Sink extension the background-
+// compaction trigger polls: how many rotated (sealed) files the sink
+// has accumulated.
+type SealedFileCounter interface {
+	SealedFiles() int
 }
 
 // Stats counts exporter activity. Dropped counters stay zero under the
@@ -62,6 +92,10 @@ type Stats struct {
 	DroppedSegments, DroppedEvents int64
 	// WriteErrors counts failed sink writes.
 	WriteErrors int64
+	// Compactions counts background compactions launched
+	// (Config.CompactEvery); CompactErrors those that returned an
+	// error.
+	Compactions, CompactErrors int64
 }
 
 // ErrClosed reports an operation on a closed exporter.
@@ -94,8 +128,16 @@ type Exporter struct {
 	markers, markersWritten        atomic.Int64
 	droppedSegments, droppedEvents atomic.Int64
 	writeErrors                    atomic.Int64
-	errMu                          sync.Mutex
-	lastErr, closeErr              error
+	compactions, compactErrors     atomic.Int64
+	compacting                     atomic.Bool
+	compactDone                    atomic.Bool
+	compactWG                      sync.WaitGroup
+	// compactFloor is the sealed-file count the last compaction could
+	// not shrink below — the re-trigger baseline. Writer goroutine
+	// only.
+	compactFloor      int
+	errMu             sync.Mutex
+	lastErr, closeErr error
 }
 
 // New starts an exporter writing to sink. Close it to stop the writer
@@ -147,6 +189,7 @@ func (e *Exporter) writer() {
 			continue
 		}
 		e.written.Add(1)
+		e.maybeCompact()
 	}
 	e.errMu.Lock()
 	e.closeErr = e.sink.Close()
@@ -157,6 +200,51 @@ func (e *Exporter) setErr(err error) {
 	e.errMu.Lock()
 	e.lastErr = err
 	e.errMu.Unlock()
+}
+
+// maybeCompact launches the configured background compaction when the
+// sink's rotated backlog reaches the threshold. Called from the writer
+// goroutine after each written segment; the compaction itself runs on
+// its own goroutine (the writer must keep draining the channel, or a
+// long compaction would backpressure the detector), one at a time.
+func (e *Exporter) maybeCompact() {
+	if e.cfg.CompactEvery <= 0 || e.cfg.Compact == nil {
+		return
+	}
+	fc, ok := e.sink.(SealedFileCounter)
+	if !ok {
+		return
+	}
+	sealed := fc.SealedFiles()
+	if e.compactDone.CompareAndSwap(true, false) {
+		// First look after a compaction finished: whatever is sealed now
+		// is (approximately) its incompressible floor; only CompactEvery
+		// NEW files on top of it justify another pass. Sampled here, on
+		// the writer goroutine, because the sink is writer-owned and the
+		// compaction goroutine must not touch it.
+		e.compactFloor = sealed
+	}
+	if sealed-e.compactFloor < e.cfg.CompactEvery {
+		return
+	}
+	if !e.compacting.CompareAndSwap(false, true) {
+		return // one in flight already
+	}
+	e.compactions.Add(1)
+	e.compactWG.Add(1)
+	go func() {
+		defer e.compactWG.Done()
+		// LIFO: compactDone must be visible before compacting releases,
+		// so the writer refreshes the floor before it can relaunch.
+		defer e.compacting.Store(false)
+		defer e.compactDone.Store(true)
+		if err := e.cfg.Compact(); err != nil {
+			e.compactErrors.Add(1)
+			if e.cfg.OnError != nil {
+				e.cfg.OnError(err)
+			}
+		}
+	}()
 }
 
 // Consume accepts one drained per-monitor segment. It has the
@@ -255,6 +343,7 @@ func (e *Exporter) Close() error {
 	}
 	e.mu.Unlock()
 	<-e.done
+	e.compactWG.Wait()
 	e.errMu.Lock()
 	defer e.errMu.Unlock()
 	if e.lastErr != nil {
@@ -274,5 +363,7 @@ func (e *Exporter) Stats() Stats {
 		DroppedSegments: e.droppedSegments.Load(),
 		DroppedEvents:   e.droppedEvents.Load(),
 		WriteErrors:     e.writeErrors.Load(),
+		Compactions:     e.compactions.Load(),
+		CompactErrors:   e.compactErrors.Load(),
 	}
 }

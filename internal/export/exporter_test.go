@@ -183,3 +183,82 @@ func TestExporterSurfacesWriteErrors(t *testing.T) {
 		t.Fatalf("OnError called %d times, want 1", len(seen))
 	}
 }
+
+// countingSink wraps a WALSink-shaped sealed-file counter around a
+// MemorySink so the trigger logic is testable without disk.
+type countingSink struct {
+	MemorySink
+	sealed int
+}
+
+func (c *countingSink) SealedFiles() int { return c.sealed }
+
+func TestExporterBackgroundCompactionTrigger(t *testing.T) {
+	t.Parallel()
+	sink := &countingSink{sealed: 2}
+	var mu sync.Mutex
+	runs := 0
+	exp := New(sink, Config{
+		CompactEvery: 3,
+		Compact: func() error {
+			mu.Lock()
+			runs++
+			mu.Unlock()
+			return nil
+		},
+	})
+	// Below the threshold: no compaction.
+	exp.Consume("a", tseq("a", 1, 2))
+	if err := exp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := exp.Stats(); st.Compactions != 0 {
+		t.Fatalf("compaction launched below threshold: %+v", st)
+	}
+	// At the threshold: exactly one launch, awaited by Close.
+	sink.sealed = 3
+	exp.Consume("a", tseq("a", 3, 4))
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := exp.Stats()
+	mu.Lock()
+	defer mu.Unlock()
+	if runs != 1 || st.Compactions != 1 || st.CompactErrors != 0 {
+		t.Fatalf("runs=%d stats=%+v, want exactly one clean compaction", runs, st)
+	}
+}
+
+func TestExporterCompactionErrorNotSticky(t *testing.T) {
+	t.Parallel()
+	sink := &countingSink{sealed: 5}
+	errBoom := errors.New("boom")
+	var got error
+	var mu sync.Mutex
+	exp := New(sink, Config{
+		CompactEvery: 1,
+		Compact:      func() error { return errBoom },
+		OnError: func(err error) {
+			mu.Lock()
+			got = err
+			mu.Unlock()
+		},
+	})
+	exp.Consume("a", tseq("a", 1, 2))
+	// A failed background compaction is reported and counted but must
+	// not fail the export path itself.
+	if err := exp.Flush(); err != nil {
+		t.Fatalf("Flush poisoned by a compaction error: %v", err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("Close poisoned by a compaction error: %v", err)
+	}
+	if st := exp.Stats(); st.Compactions < 1 || st.CompactErrors < 1 {
+		t.Fatalf("stats = %+v, want the failed compaction counted", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != errBoom {
+		t.Fatalf("OnError saw %v, want %v", got, errBoom)
+	}
+}

@@ -109,7 +109,7 @@ func FuzzReadWALFile(f *testing.F) {
 		}
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
-		segs, markers, torn, err := readWALFile(name)
+		fr, err := readWALFile(name)
 		runtime.ReadMemStats(&after)
 		// A hostile header may claim up to 1 GiB of payload; anything the
 		// reader actually allocates must be backed by real input bytes,
@@ -119,6 +119,22 @@ func FuzzReadWALFile(f *testing.F) {
 		}
 		if err != nil {
 			return // corruption verdicts need no further checking
+		}
+		segs, markers, torn := fr.segs, fr.markers, fr.torn
+		// Whatever the reader accepts, the header-only scanner must
+		// accept too, and their structural views must agree — the index
+		// is built from scans but admits files for the replaying reader.
+		sum, serr := ScanFile(name)
+		if serr != nil {
+			t.Fatalf("ScanFile rejected what readWALFile accepted: %v", serr)
+		}
+		if want := len(segs) + len(markers) + fr.corrupt; sum.Records != want {
+			t.Fatalf("ScanFile saw %d records, reader decoded %d", sum.Records, want)
+		}
+		// Corrupt records keep their headers in the scan, so the scanner
+		// may index more markers than the reader decoded — never fewer.
+		if len(sum.Markers) < len(markers) {
+			t.Fatalf("ScanFile indexed %d markers, reader decoded %d", len(sum.Markers), len(markers))
 		}
 		// Accepted records must be internally coherent and re-writable:
 		// replaying them through a fresh sink and reading back yields the

@@ -1,0 +1,98 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"robustmon/internal/export"
+)
+
+// The trace store's proof obligation: a windowed query over a large
+// export directory must cost a fraction of a full replay, because the
+// index prunes the files the window cannot touch. Compare with
+//
+//	go test -bench 'SeekReplay|FullReadDir' -benchmem ./internal/export/index
+//
+// SeekReplay's time should track the window size; FullReadDir's tracks
+// the whole directory.
+
+// benchDir builds one indexed directory per benchmark: files of ~32
+// events across 4 monitors, seqs 1..events.
+func benchDir(b *testing.B, events int) string {
+	b.Helper()
+	dir := b.TempDir()
+	m := NewMaintainer(dir)
+	sink, err := export.NewWALSink(dir, export.WALConfig{
+		MaxFileBytes: 2 << 10,
+		OnRotate:     m.OnRotate,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := [4]string{"m0", "m1", "m2", "m3"}
+	const step = 8
+	for seq := int64(1); seq <= int64(events); {
+		mon := names[(seq/step)%4]
+		var seg export.Segment
+		seg.Monitor = mon
+		for i := 0; i < step && seq <= int64(events); i++ {
+			seg.Events = append(seg.Events, tev(mon, seq))
+			seq++
+		}
+		if err := sink.WriteSegment(seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+func BenchmarkFullReadDir(b *testing.B) {
+	for _, events := range []int{20_000, 100_000} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			dir := benchDir(b, events)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := export.ReadDir(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Events) != events {
+					b.Fatalf("replayed %d events, want %d", len(rep.Events), events)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSeekReplay(b *testing.B) {
+	for _, events := range []int{20_000, 100_000} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			dir := benchDir(b, events)
+			r, err := OpenDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A 5% window in the middle of the run.
+			win := int64(events / 20)
+			from := int64(events)/2 - win/2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := r.ReplayRange(from, from+win-1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Events) != int(win) {
+					b.Fatalf("window replayed %d events, want %d", len(rep.Events), win)
+				}
+			}
+		})
+	}
+}

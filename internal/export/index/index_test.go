@@ -1,0 +1,264 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/history"
+)
+
+// tev builds a test event with the given monitor and seq.
+func tev(monitor string, seq int64) event.Event {
+	return event.Event{
+		Seq:     seq,
+		Monitor: monitor,
+		Type:    event.Enter,
+		Pid:     seq,
+		Proc:    "Op",
+		Flag:    event.Completed,
+		Time:    time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Millisecond),
+	}
+}
+
+// tseq builds a seq-sorted segment for one monitor covering [from, to].
+func tseq(monitor string, from, to int64) event.Seq {
+	var s event.Seq
+	for i := from; i <= to; i++ {
+		s = append(s, tev(monitor, i))
+	}
+	return s
+}
+
+// buildDir writes an indexed WAL directory: n per-monitor segments of
+// step events each, alternating over monitors, rotating after every
+// record (MaxFileBytes 1) so each segment lands in its own file, with
+// the index maintained by the sink. Returns the directory.
+func buildDir(t *testing.T, monitors []string, segments int, step int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	m := NewMaintainer(dir)
+	sink, err := export.NewWALSink(dir, export.WALConfig{
+		MaxFileBytes: 1,
+		OnRotate:     m.OnRotate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := int64(1)
+	for i := 0; i < segments; i++ {
+		mon := monitors[i%len(monitors)]
+		if err := sink.WriteSegment(export.Segment{Monitor: mon, Events: tseq(mon, seq, seq+step-1)}); err != nil {
+			t.Fatal(err)
+		}
+		seq += step
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("maintainer: %v", err)
+	}
+	return dir
+}
+
+func TestIndexCodecRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := buildDir(t, []string{"a", "b", "c"}, 9, 10)
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Files) != 9 {
+		t.Fatalf("index holds %d files, want 9", len(loaded.Files))
+	}
+	re, err := decode(loaded.encode())
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if !reflect.DeepEqual(loaded, re) {
+		t.Fatalf("encode/decode changed the index:\n%+v\nvs\n%+v", loaded, re)
+	}
+	if errs := loaded.Verify(dir); len(errs) != 0 {
+		t.Fatalf("Verify of a sink-maintained index: %v", errs)
+	}
+}
+
+func TestIndexMatchesRebuild(t *testing.T) {
+	t.Parallel()
+	// The sink-maintained index and a from-scratch rebuild must agree
+	// exactly — two producers of the same truth.
+	dir := buildDir(t, []string{"a", "b"}, 6, 5)
+	maintained, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := Rebuild(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(maintained, rebuilt) {
+		t.Fatalf("maintained index != rebuilt index:\n%+v\nvs\n%+v", maintained, rebuilt)
+	}
+}
+
+func TestIndexVerifyDetectsEditedFile(t *testing.T) {
+	t.Parallel()
+	dir := buildDir(t, []string{"a"}, 3, 4)
+	idx, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := export.WALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(names[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside a record header (just past the 5-byte magic):
+	// the size is unchanged, so only the header-chain CRC can notice.
+	blob[6] ^= 0x01
+	if err := os.WriteFile(names[1], blob, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	errs := idx.Verify(dir)
+	if len(errs) != 1 {
+		t.Fatalf("Verify found %d problems (%v), want exactly the edited file", len(errs), errs)
+	}
+}
+
+// writeV1File hand-writes a format-version-1 WAL file (no record-type
+// bytes), as every pre-marker release of the sink produced.
+func writeV1File(t *testing.T, name string, segs []export.Segment) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte{'R', 'M', 'W', 'L', 1})
+	var scratch [8]byte
+	for _, seg := range segs {
+		var payload bytes.Buffer
+		if err := event.WriteBinary(&payload, seg.Events); err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(seg.Monitor)))
+		buf.Write(scratch[:2])
+		buf.WriteString(seg.Monitor)
+		binary.LittleEndian.PutUint64(scratch[:], uint64(seg.First()))
+		buf.Write(scratch[:8])
+		binary.LittleEndian.PutUint64(scratch[:], uint64(seg.Last()))
+		buf.Write(scratch[:8])
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(seg.Events)))
+		buf.Write(scratch[:4])
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(payload.Len()))
+		buf.Write(scratch[:4])
+		binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload.Bytes()))
+		buf.Write(scratch[:4])
+		buf.Write(payload.Bytes())
+	}
+	if err := os.WriteFile(name, buf.Bytes(), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildOverMixedV1V2Directory(t *testing.T) {
+	t.Parallel()
+	// A directory that predates both the index and the marker format:
+	// one hand-written v1 file, then a resumed v2 sink adding a segment
+	// and a marker. Rebuild must index all of it, and the index must
+	// answer windowed queries over both formats.
+	dir := t.TempDir()
+	writeV1File(t, filepath.Join(dir, "00000001.wal"), []export.Segment{
+		{Monitor: "old", Events: tseq("old", 1, 4)},
+		{Monitor: "older", Events: tseq("older", 5, 6)},
+	})
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSegment(export.Segment{Monitor: "new", Events: tseq("new", 7, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	mk := history.RecoveryMarker{Monitor: "new", Horizon: 9, Dropped: 2, Rule: "FD-1", Pid: 3,
+		At: time.Date(2001, 7, 2, 0, 0, 0, 0, time.UTC)}
+	if err := sink.WriteMarker(mk); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := Rebuild(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Files) != 3 {
+		t.Fatalf("rebuilt index holds %d files, want 3 (one v1, two v2)", len(idx.Files))
+	}
+	v1, ok := idx.Lookup("00000001.wal")
+	if !ok || v1.Version != 1 || v1.Events != 6 || v1.MinSeq != 1 || v1.MaxSeq != 6 || len(v1.Monitors) != 2 {
+		t.Fatalf("v1 entry wrong: %+v", v1)
+	}
+	if err := idx.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	if errs := idx.Verify(dir); len(errs) != 0 {
+		t.Fatalf("rebuilt index fails its own Verify: %v", errs)
+	}
+
+	// The windowed reader over the mixed directory: the v1-only window
+	// must skip both v2 files yet still surface the marker.
+	r, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ReplayRange(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 6 || rep.Events[0].Seq != 1 || rep.Events[5].Seq != 6 {
+		t.Fatalf("windowed replay over v1 file: %d events", len(rep.Events))
+	}
+	if len(rep.Markers) != 1 || rep.Markers[0] != mk {
+		t.Fatalf("windowed replay lost the marker: %+v", rep.Markers)
+	}
+	st := r.LastStats()
+	if st.Opened != 1 || st.Skipped != 2 {
+		t.Fatalf("stats = %+v, want 1 opened (the v1 file) and 2 skipped", st)
+	}
+}
+
+func TestMaintainerExtendsExistingIndex(t *testing.T) {
+	t.Parallel()
+	dir := buildDir(t, []string{"a"}, 2, 3)
+	// A second sink session resumes numbering; its maintainer must
+	// extend the session-one index, not clobber it.
+	m := NewMaintainer(dir)
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnRotate: m.OnRotate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSegment(export.Segment{Monitor: "a", Events: tseq("a", 7, 9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Files) != 3 || idx.Events() != 9 {
+		t.Fatalf("index holds %d files / %d events after resumed session, want 3 / 9", len(idx.Files), idx.Events())
+	}
+}

@@ -1,0 +1,198 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/history"
+)
+
+// SeekReader answers windowed replay queries over an export directory:
+// ReplayRange(minSeq, maxSeq, monitors...) opens only the segment
+// files whose indexed ranges can intersect the window, scans the
+// (hopefully few) files the index does not cover, and point-reads
+// recovery markers through their indexed byte offsets. Construct with
+// OpenDir. Not safe for concurrent use.
+type SeekReader struct {
+	dir   string
+	idx   *Index
+	stats Stats
+
+	// readFile is the full-file read, swappable so tests can prove
+	// which files a query actually opened.
+	readFile func(name string) (*export.FileReplay, error)
+}
+
+// Stats accounts one ReplayRange call — the proof that the index
+// pruned. FilesTotal is the directory's segment-file count; Opened of
+// those were fully read (because the index admitted them or did not
+// cover them — the Unindexed subset); Skipped were excluded by the
+// index without being opened; MarkerReads counts marker point-reads
+// into otherwise skipped files.
+type Stats struct {
+	FilesTotal, Opened, Skipped, Unindexed int
+	MarkerReads                            int
+}
+
+// OpenDir opens the directory for windowed reads, loading its index.
+// A directory with no index still works — every query then scans every
+// file, exactly like ReadDir — so OpenDir only fails on a *damaged*
+// index or an unreadable directory.
+func OpenDir(dir string) (*SeekReader, error) {
+	if _, err := export.WALFiles(dir); err != nil {
+		return nil, err
+	}
+	idx, err := Load(dir)
+	if err != nil {
+		if !errors.Is(err, ErrNoIndex) {
+			// "No index" is fine (scan everything); "index present but
+			// unreadable" is refused — the operator should rebuild rather
+			// than silently pay full scans forever.
+			return nil, err
+		}
+		idx = nil
+	}
+	return &SeekReader{
+		dir:      dir,
+		idx:      idx,
+		readFile: export.ReadWALFile,
+	}, nil
+}
+
+// Index returns the loaded index (nil when the directory has none).
+func (r *SeekReader) Index() *Index { return r.idx }
+
+// LastStats returns the accounting of the most recent ReplayRange.
+func (r *SeekReader) LastStats() Stats { return r.stats }
+
+// ReplayRange replays the window [minSeq, maxSeq] of the directory's
+// trace, optionally restricted to the named monitors. minSeq <= 0
+// means from the beginning; maxSeq <= 0 means to the end. The result
+// is exactly ReadDir's Replay filtered to the window — same merge,
+// same duplicate collapsing, same crash-tail tolerance on the newest
+// file — except that Replay.Markers carries every marker matching the
+// monitor filter regardless of its horizon: a reset before, inside or
+// after the window can all make the window's violations artefacts,
+// and the caller needs to know.
+//
+// Admission is per file. An indexed, size-validated file is opened
+// only if one of its (per-monitor, when filtering) sequence ranges
+// intersects the window; a file whose only relevant content is markers
+// has them point-read at their indexed offsets instead of being
+// decoded. Files the index does not cover — the active segment, files
+// newer than the last index write, files whose on-disk size disagrees
+// with their entry (compaction reuses names) — are scanned like ReadDir
+// would. The index can only ever over-admit, never under-admit, so the
+// replayed window is complete whatever state the index is in.
+func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*export.Replay, error) {
+	if minSeq <= 0 {
+		minSeq = 1
+	}
+	if maxSeq <= 0 {
+		maxSeq = math.MaxInt64
+	}
+	var monSet map[string]bool
+	if len(monitors) > 0 {
+		monSet = make(map[string]bool, len(monitors))
+		for _, m := range monitors {
+			monSet[m] = true
+		}
+	}
+	names, err := export.WALFiles(r.dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("index: no wal files in %s", r.dir)
+	}
+	r.stats = Stats{FilesTotal: len(names)}
+	rep := &export.Replay{Files: len(names)}
+	var payloads []event.Seq
+	var markers []history.RecoveryMarker
+	for i, name := range names {
+		newest := i == len(names)-1
+		fs, indexed := r.lookup(name)
+		if !indexed {
+			r.stats.Unindexed++
+		}
+		if indexed && !fs.Covers(minSeq, maxSeq, monSet) {
+			// The segments cannot matter; the markers still might — fetch
+			// those through their indexed offsets without decoding the
+			// file.
+			for _, mk := range fs.Markers {
+				if monSet != nil && !monSet[mk.Monitor] {
+					continue
+				}
+				m, err := export.ReadMarkerAt(name, mk.Offset)
+				if err != nil {
+					return nil, err
+				}
+				markers = append(markers, m)
+				r.stats.MarkerReads++
+			}
+			r.stats.Skipped++
+			continue
+		}
+		fr, err := r.readFile(name)
+		if err != nil {
+			return nil, err
+		}
+		r.stats.Opened++
+		if fr.Torn {
+			if !newest {
+				return nil, fmt.Errorf("index: %s: torn record (not the newest file — corruption, not a crash tail)", name)
+			}
+			rep.Recovered = true
+			rep.TruncatedFile = name
+		}
+		rep.CorruptRecords += fr.CorruptRecords
+		for _, seg := range fr.Segments {
+			if monSet != nil && !monSet[seg.Monitor] {
+				continue
+			}
+			if win := seg.Events.SubSeq(minSeq, maxSeq); len(win) > 0 {
+				payloads = append(payloads, win)
+			}
+		}
+		for _, m := range fr.Markers {
+			if monSet != nil && !monSet[m.Monitor] {
+				continue
+			}
+			markers = append(markers, m)
+		}
+	}
+	rep.Segments = len(payloads)
+	merged, err := export.MergeReplay(payloads, markers)
+	if err != nil {
+		return nil, err
+	}
+	rep.Events = merged.Events
+	rep.Markers = merged.Markers
+	rep.DuplicateEvents = merged.DuplicateEvents
+	rep.DuplicateMarkers = merged.DuplicateMarkers
+	return rep, nil
+}
+
+// lookup resolves the file's index entry, validating it against the
+// file on disk: an entry whose recorded size disagrees describes an
+// earlier file of the same name and is not trusted.
+func (r *SeekReader) lookup(name string) (export.FileSummary, bool) {
+	if r.idx == nil {
+		return export.FileSummary{}, false
+	}
+	fs, ok := r.idx.Lookup(filepath.Base(name))
+	if !ok {
+		return export.FileSummary{}, false
+	}
+	info, err := os.Stat(name)
+	if err != nil || info.Size() != fs.Size || fs.Torn {
+		// Torn entries describe a prefix of an unknown whole; scan.
+		return export.FileSummary{}, false
+	}
+	return fs, true
+}

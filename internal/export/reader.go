@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 
 	"robustmon/internal/event"
 	"robustmon/internal/history"
@@ -17,6 +19,14 @@ import (
 // ErrBadWALMagic reports that a file in the export directory does not
 // start with the WAL header.
 var ErrBadWALMagic = errors.New("export: bad wal magic")
+
+// errCRCMismatch marks a full-length record whose payload failed its
+// CRC — damage to one record, not to the file structure: the header
+// was plausible and the payload was fully consumed, so the reader is
+// positioned at the next record boundary and can keep going. ReadDir
+// skips such records and counts them (Replay.CorruptRecords) instead
+// of abandoning everything after them.
+var errCRCMismatch = errors.New("record CRC mismatch")
 
 // Replay is the result of reading an export directory back.
 type Replay struct {
@@ -33,9 +43,23 @@ type Replay struct {
 	// that monitor may be reset artefacts. Nil for a run that never
 	// reset (including every format-v1 WAL).
 	Markers []history.RecoveryMarker
-	// Files and Segments count the WAL files and valid records read
-	// (Segments excludes marker records).
+	// Files and Segments count the WAL files and valid segment records
+	// read (Segments excludes marker records).
 	Files, Segments int
+	// CorruptRecords counts records whose full-length payload failed
+	// its CRC — localised damage (a bit flip, a bad sector), not a
+	// crash tear, which is always a short read. Each such record is
+	// skipped and the reader continues with the next one, so a single
+	// corrupt record costs its own events, never the rest of the file.
+	CorruptRecords int
+	// DuplicateEvents and DuplicateMarkers count identical records
+	// collapsed during the merge. Duplicates never occur in a healthy
+	// WAL (sequence numbers are globally unique); they are the
+	// signature of a compaction interrupted between installing its
+	// merged output and unlinking the inputs it replaced — the reader
+	// recovers the exact stream either way. A sequence-number collision
+	// between *different* events is corruption and an error.
+	DuplicateEvents, DuplicateMarkers int
 	// Recovered reports that the newest file ended in a torn record
 	// (crash mid-write); the tail was dropped and Events holds
 	// everything up to the last valid record.
@@ -54,10 +78,11 @@ type Replay struct {
 // A torn record — short header, short payload, or a zero-filled tail
 // block — is tolerated only at the tail of the newest file, where it
 // is the expected signature of a crash mid-write: the tail is dropped
-// and Replay.Recovered is set. A torn record in any older file, or a
-// CRC mismatch over a full-length payload anywhere (an append-only
-// tear is a prefix, never a full-length scramble), is corruption and
-// an error.
+// and Replay.Recovered is set. A torn record in any older file is
+// corruption and an error. A CRC mismatch over a full-length payload
+// (an append-only tear is a prefix, never a full-length scramble) is
+// damage to that one record: it is skipped, counted in
+// Replay.CorruptRecords, and reading continues with the next record.
 func ReadDir(dir string) (*Replay, error) {
 	names, err := walFiles(dir)
 	if err != nil {
@@ -68,64 +93,314 @@ func ReadDir(dir string) (*Replay, error) {
 	}
 	rep := &Replay{Files: len(names)}
 	var payloads []event.Seq
+	var markers []history.RecoveryMarker
 	for i, name := range names {
-		segs, markers, torn, err := readWALFile(name)
+		fr, err := readWALFile(name)
 		if err != nil {
 			return nil, err
 		}
-		if torn != nil {
+		if fr.torn != nil {
 			if i != len(names)-1 {
-				return nil, fmt.Errorf("export: %s: %w (not the newest file — corruption, not a crash tail)", name, torn)
+				return nil, fmt.Errorf("export: %s: %w (not the newest file — corruption, not a crash tail)", name, fr.torn)
 			}
 			rep.Recovered = true
 			rep.TruncatedFile = name
 		}
-		payloads = append(payloads, segs...)
-		rep.Markers = append(rep.Markers, markers...)
+		payloads = append(payloads, fr.segs...)
+		markers = append(markers, fr.markers...)
+		rep.CorruptRecords += fr.corrupt
 	}
 	rep.Segments = len(payloads)
-	rep.Events = event.Merge(payloads...)
+	merged, err := MergeReplay(payloads, markers)
+	if err != nil {
+		return nil, err
+	}
+	rep.Events = merged.Events
+	rep.Markers = merged.Markers
+	rep.DuplicateEvents = merged.DuplicateEvents
+	rep.DuplicateMarkers = merged.DuplicateMarkers
 	return rep, nil
 }
 
-// readWALFile reads one segment file (either format version). It
-// returns the segment payloads and recovery markers read, plus a
-// non-nil torn error when the file ends mid-record (the valid prefix
-// is still returned) — the caller decides whether a torn tail is
-// acceptable for this file.
-func readWALFile(name string) (segs []event.Seq, markers []history.RecoveryMarker, torn error, err error) {
+// MergeReplay assembles per-record event payloads and markers into the
+// replayed form: events k-way-merged into the global <L order with
+// identical duplicates collapsed (and counted), markers deduplicated
+// preserving first-occurrence order. It is the shared back half of
+// ReadDir and the windowed index.SeekReader; only Events, Markers and
+// the duplicate counters of the returned Replay are populated. A
+// sequence-number collision between two different events is an error —
+// that is two runs (or a corrupted record) sharing one directory, not
+// a recoverable duplicate.
+func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker) (*Replay, error) {
+	rep := &Replay{}
+	merged := event.Merge(payloads...)
+	out := merged[:0]
+	for _, e := range merged {
+		if n := len(out); n > 0 && out[n-1].Seq == e.Seq {
+			if out[n-1] != e {
+				return nil, fmt.Errorf("export: two different events share sequence number %d (monitors %q and %q) — mixed runs or corruption",
+					e.Seq, out[n-1].Monitor, e.Monitor)
+			}
+			rep.DuplicateEvents++
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) > 0 {
+		rep.Events = out
+	}
+	if len(markers) > 0 {
+		// Into a fresh slice — never in place: the input belongs to the
+		// caller (this is an exported API) and must not be scrambled by
+		// the compaction under it.
+		seen := make(map[history.RecoveryMarker]bool, len(markers))
+		kept := make([]history.RecoveryMarker, 0, len(markers))
+		for _, m := range markers {
+			if seen[m] {
+				rep.DuplicateMarkers++
+				continue
+			}
+			seen[m] = true
+			kept = append(kept, m)
+		}
+		rep.Markers = kept
+	}
+	return rep, nil
+}
+
+// FileReplay is one WAL segment file read back on its own — the
+// per-file half of ReadDir, exported for the trace-store layers
+// (index.SeekReader opens exactly the files its index admits, the
+// compactor reads the rotated inputs it is about to merge).
+type FileReplay struct {
+	// Segments holds the file's valid segment records in record order.
+	Segments []Segment
+	// Markers holds the file's recovery markers in record order.
+	Markers []history.RecoveryMarker
+	// CorruptRecords counts skipped CRC-corrupt records (see Replay).
+	CorruptRecords int
+	// Torn reports that the file ends in a torn record; Segments and
+	// Markers hold the valid prefix. Acceptable only for the newest
+	// file of a directory — the crash-tail signature — and corruption
+	// anywhere else; that verdict is the caller's.
+	Torn bool
+}
+
+// ReadWALFile reads one segment file of either format version.
+func ReadWALFile(name string) (*FileReplay, error) {
+	fr, err := readWALFile(name)
+	if err != nil {
+		return nil, err
+	}
+	out := &FileReplay{
+		Markers:        fr.markers,
+		CorruptRecords: fr.corrupt,
+		Torn:           fr.torn != nil,
+	}
+	for _, seg := range fr.segs {
+		// readRecord enforces non-empty payloads with a single monitor,
+		// so the segment's monitor is its first event's.
+		out.Segments = append(out.Segments, Segment{Monitor: seg[0].Monitor, Events: seg})
+	}
+	return out, nil
+}
+
+// WALFiles lists the directory's segment files sorted by name — which
+// is creation order, since names are zero-padded numbers.
+func WALFiles(dir string) ([]string, error) { return walFiles(dir) }
+
+// ReadMarkerAt reads the single marker record at the given byte offset
+// of a WAL file — the point-read behind the index's marker offsets: a
+// windowed replay can collect a file's recovery markers without
+// decoding any of its segment payloads.
+func ReadMarkerAt(name string, offset int64) (history.RecoveryMarker, error) {
+	var zero history.RecoveryMarker
 	f, err := os.Open(name)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("export: open wal file: %w", err)
+		return zero, fmt.Errorf("export: open wal file: %w", err)
+	}
+	defer f.Close()
+	var magic [5]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return zero, fmt.Errorf("export: %s: read magic: %w", name, err)
+	}
+	version := magic[4]
+	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
+		return zero, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+	}
+	if offset < int64(len(magic)) || offset >= math.MaxInt64 {
+		return zero, fmt.Errorf("export: %s: implausible marker offset %d", name, offset)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return zero, fmt.Errorf("export: %s: seek marker: %w", name, err)
+	}
+	_, marker, terr, rerr := readRecord(bufio.NewReader(f), version)
+	if rerr != nil {
+		return zero, fmt.Errorf("export: %s offset %d: %w", name, offset, rerr)
+	}
+	if terr != nil {
+		return zero, fmt.Errorf("export: %s offset %d: torn record: %w", name, offset, terr)
+	}
+	if marker == nil {
+		return zero, fmt.Errorf("export: %s offset %d holds a segment record, not a marker", name, offset)
+	}
+	return *marker, nil
+}
+
+// fileReplay is readWALFile's result: the decoded records of one file
+// plus its damage accounting.
+type fileReplay struct {
+	segs    []event.Seq
+	markers []history.RecoveryMarker
+	corrupt int
+	torn    error // non-nil when the file ends mid-record
+}
+
+// readWALFile reads one segment file (either format version). A CRC-
+// corrupt record is skipped and counted; a torn tail ends the read
+// with the valid prefix and fr.torn set — the caller decides whether a
+// torn tail is acceptable for this file.
+func readWALFile(name string) (*fileReplay, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("export: open wal file: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
 	var magic [5]byte
+	fr := &fileReplay{}
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		// Even the magic can be torn: a crash right after file creation.
-		return nil, nil, fmt.Errorf("torn wal header: %w", err), nil
+		fr.torn = fmt.Errorf("torn wal header: %w", err)
+		return fr, nil
 	}
 	version := magic[4]
 	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
-		return nil, nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+		return nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
 	}
 	for {
 		events, marker, terr, rerr := readRecord(br, version)
 		if rerr != nil {
-			return nil, nil, nil, fmt.Errorf("export: %s record %d: %w", name, len(segs)+len(markers), rerr)
+			if errors.Is(rerr, errCRCMismatch) {
+				// Localised damage: the payload was fully consumed, so the
+				// stream is at the next record boundary — skip and go on.
+				fr.corrupt++
+				continue
+			}
+			return nil, fmt.Errorf("export: %s record %d: %w", name, len(fr.segs)+len(fr.markers)+fr.corrupt, rerr)
 		}
 		if terr != nil {
 			if terr == io.EOF {
-				return segs, markers, nil, nil // EOF exactly at a record boundary: clean end
+				return fr, nil // EOF exactly at a record boundary: clean end
 			}
-			return segs, markers, terr, nil
+			fr.torn = terr
+			return fr, nil
 		}
 		if marker != nil {
-			markers = append(markers, *marker)
+			fr.markers = append(fr.markers, *marker)
 		} else {
-			segs = append(segs, events)
+			fr.segs = append(fr.segs, events)
 		}
 	}
+}
+
+// recHeader is one decoded record header plus the exact bytes it was
+// read from (raw) — the unit of the per-file header chain that the
+// index checksums.
+type recHeader struct {
+	typ         byte
+	monitor     string
+	first, last int64
+	count       uint32
+	payloadLen  uint32
+	sum         uint32
+	raw         []byte
+}
+
+// readHeader reads one record header of the given format version. A
+// short read at any point is a torn record and comes back in terr:
+// io.EOF exactly at a record boundary (a clean end of file),
+// io.ErrUnexpectedEOF or an implausible-header error otherwise. No
+// header damage is distinguishable from a tear — arbitrary bytes left
+// by a torn tail produce exactly the same shapes — so readHeader never
+// reports corruption; that verdict needs the payload CRC.
+func readHeader(br *bufio.Reader, version byte) (*recHeader, error) {
+	h := &recHeader{typ: recSegment, raw: make([]byte, 0, 64)}
+	var scratch [8]byte
+	read := func(n int) error {
+		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
+			return err
+		}
+		h.raw = append(h.raw, scratch[:n]...)
+		return nil
+	}
+	if version >= walVersion2 {
+		if err := read(1); err != nil {
+			return nil, err // io.EOF here = clean boundary
+		}
+		h.typ = scratch[0]
+		if h.typ != recSegment && h.typ != recMarker {
+			// No writer emits such a type, but a torn tail leaves
+			// arbitrary bytes behind — torn at the tail, corruption
+			// elsewhere (the caller decides which).
+			return nil, fmt.Errorf("export: unknown record type %d", h.typ)
+		}
+	}
+	if err := read(2); err != nil {
+		if version >= walVersion2 {
+			// The type byte was already consumed: EOF here is mid-record.
+			err = noEOFBoundary(err)
+		}
+		return nil, err // v1: io.EOF here = clean boundary
+	}
+	monLen := int(binary.LittleEndian.Uint16(scratch[:2]))
+	if monLen > maxMonitorName {
+		// The writer refuses such names, so these bytes were never the
+		// start of a record — but a torn header leaves arbitrary bytes
+		// behind, so at the tail this still reads as a torn record.
+		return nil, fmt.Errorf("export: monitor name %d bytes long (limit %d)", monLen, maxMonitorName)
+	}
+	mon := make([]byte, monLen)
+	if _, err := io.ReadFull(br, mon); err != nil {
+		return nil, noEOFBoundary(err)
+	}
+	h.raw = append(h.raw, mon...)
+	h.monitor = string(mon)
+	if err := read(8); err != nil {
+		return nil, noEOFBoundary(err)
+	}
+	h.first = int64(binary.LittleEndian.Uint64(scratch[:8]))
+	if err := read(8); err != nil {
+		return nil, noEOFBoundary(err)
+	}
+	h.last = int64(binary.LittleEndian.Uint64(scratch[:8]))
+	if err := read(4); err != nil {
+		return nil, noEOFBoundary(err)
+	}
+	h.count = binary.LittleEndian.Uint32(scratch[:4])
+	if err := read(4); err != nil {
+		return nil, noEOFBoundary(err)
+	}
+	h.payloadLen = binary.LittleEndian.Uint32(scratch[:4])
+	if err := read(4); err != nil {
+		return nil, noEOFBoundary(err)
+	}
+	h.sum = binary.LittleEndian.Uint32(scratch[:4])
+	// Guard the allocation before trusting the length field: a torn or
+	// bit-flipped header must not make the reader balloon.
+	const maxPayload = 1 << 30
+	if h.payloadLen > maxPayload {
+		return nil, fmt.Errorf("export: implausible payload length %d", h.payloadLen)
+	}
+	if h.typ == recSegment && h.count == 0 {
+		// The writer skips empty segments, so no real segment record has
+		// count 0 — but a filesystem that zero-fills a torn tail block
+		// produces exactly this shape (in v2 the zero fill also reads as
+		// type 0 = segment). Torn, not corrupt. Markers are exempt: a
+		// reset that found nothing buffered legitimately drops 0 events.
+		return nil, fmt.Errorf("export: zero-count record (zero-filled torn tail)")
+	}
+	return h, nil
 }
 
 // readRecord reads one WAL record of the given format version. A short
@@ -133,115 +408,57 @@ func readWALFile(name string) (segs []event.Seq, markers []history.RecoveryMarke
 // exactly at a record boundary, io.ErrUnexpectedEOF or an
 // implausible-header error otherwise); rerr is reserved for damage
 // that cannot result from a crashed append — a CRC mismatch over a
-// full-length payload, or a CRC-valid record whose header and payload
-// disagree. Exactly one of events / marker is set on success.
+// full-length payload (errCRCMismatch, which the caller may skip), or
+// a CRC-valid record whose header and payload disagree. Exactly one of
+// events / marker is set on success.
 func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *history.RecoveryMarker, terr, rerr error) {
-	typ := recSegment
-	var scratch [8]byte
-	if version >= walVersion2 {
-		if _, err := io.ReadFull(br, scratch[:1]); err != nil {
-			return nil, nil, err, nil // io.EOF here = clean boundary
-		}
-		typ = scratch[0]
-		if typ != recSegment && typ != recMarker {
-			// No writer emits such a type, but a torn tail leaves
-			// arbitrary bytes behind — torn at the tail, corruption
-			// elsewhere (the caller decides which).
-			return nil, nil, fmt.Errorf("export: unknown record type %d", typ), nil
-		}
-	}
-	if _, err := io.ReadFull(br, scratch[:2]); err != nil {
-		if version >= walVersion2 {
-			// The type byte was already consumed: EOF here is mid-record.
-			err = noEOFBoundary(err)
-		}
-		return nil, nil, err, nil // v1: io.EOF here = clean boundary
-	}
-	monLen := int(binary.LittleEndian.Uint16(scratch[:2]))
-	if monLen > maxMonitorName {
-		// The writer refuses such names, so these bytes were never the
-		// start of a record — but a torn header leaves arbitrary bytes
-		// behind, so at the tail this still reads as a torn record.
-		return nil, nil, fmt.Errorf("export: monitor name %d bytes long (limit %d)", monLen, maxMonitorName), nil
-	}
-	mon := make([]byte, monLen)
-	if _, err := io.ReadFull(br, mon); err != nil {
-		return nil, nil, noEOFBoundary(err), nil
-	}
-	var first, last int64
-	var count, payloadLen, sum uint32
-	for _, dst := range []any{&first, &last, &count, &payloadLen, &sum} {
-		n := 8
-		if _, ok := dst.(*uint32); ok {
-			n = 4
-		}
-		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
-			return nil, nil, noEOFBoundary(err), nil
-		}
-		switch p := dst.(type) {
-		case *int64:
-			*p = int64(binary.LittleEndian.Uint64(scratch[:8]))
-		case *uint32:
-			*p = binary.LittleEndian.Uint32(scratch[:4])
-		}
-	}
-	// Guard the allocation before trusting the length field: a torn or
-	// bit-flipped header must not make the reader balloon.
-	const maxPayload = 1 << 30
-	if payloadLen > maxPayload {
-		return nil, nil, fmt.Errorf("export: implausible payload length %d", payloadLen), nil
-	}
-	if typ == recSegment && count == 0 {
-		// The writer skips empty segments, so no real segment record has
-		// count 0 — but a filesystem that zero-fills a torn tail block
-		// produces exactly this shape (in v2 the zero fill also reads as
-		// type 0 = segment). Torn, not corrupt. Markers are exempt: a
-		// reset that found nothing buffered legitimately drops 0 events.
-		return nil, nil, fmt.Errorf("export: zero-count record (zero-filled torn tail)"), nil
+	h, err := readHeader(br, version)
+	if err != nil {
+		return nil, nil, err, nil
 	}
 	// Pre-size only a bounded buffer and grow as real bytes arrive
 	// (io.CopyN), so a lying sub-cap length field still cannot allocate
 	// more than the input actually backs — the same guard
 	// event.ReadBinary applies to its count field.
 	const maxPayloadPrealloc = 64 << 10
-	prealloc := int(payloadLen)
+	prealloc := int(h.payloadLen)
 	if prealloc > maxPayloadPrealloc {
 		prealloc = maxPayloadPrealloc
 	}
 	pbuf := bytes.NewBuffer(make([]byte, 0, prealloc))
-	if _, err := io.CopyN(pbuf, br, int64(payloadLen)); err != nil {
+	if _, err := io.CopyN(pbuf, br, int64(h.payloadLen)); err != nil {
 		return nil, nil, noEOFBoundary(err), nil
 	}
 	payload := pbuf.Bytes()
-	if got := crc32.ChecksumIEEE(payload); got != sum {
+	if got := crc32.ChecksumIEEE(payload); got != h.sum {
 		// The payload is full-length, so this is no crash tear (an
 		// append-only tear is always a prefix, i.e. a short read):
-		// corruption wherever it appears.
-		return nil, nil, nil, fmt.Errorf("record CRC mismatch (got %08x, header says %08x)", got, sum)
+		// corruption of this one record, wherever it appears.
+		return nil, nil, nil, fmt.Errorf("%w (got %08x, header says %08x)", errCRCMismatch, got, h.sum)
 	}
 
 	// The CRC passed, so header/payload disagreement below is a writer
 	// bug, not a torn write.
-	if typ == recMarker {
+	if h.typ == recMarker {
 		m, err := decodeMarker(payload)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("decode marker payload: %w", err)
 		}
-		if m.Monitor != string(mon) || m.Horizon != first || m.Horizon != last || m.Dropped != int(count) {
+		if m.Monitor != h.monitor || m.Horizon != h.first || m.Horizon != h.last || m.Dropped != int(h.count) {
 			return nil, nil, nil, fmt.Errorf("marker header (monitor %q, horizon %d..%d, %d dropped) disagrees with payload (monitor %q, horizon %d, %d dropped)",
-				mon, first, last, count, m.Monitor, m.Horizon, m.Dropped)
+				h.monitor, h.first, h.last, h.count, m.Monitor, m.Horizon, m.Dropped)
 		}
 		return nil, &m, nil, nil
 	}
 
-	events, err := event.ReadBinary(bytes.NewReader(payload))
+	events, err = event.ReadBinary(bytes.NewReader(payload))
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("decode payload: %w", err)
 	}
-	seg := Segment{Monitor: string(mon), Events: events}
-	if len(events) != int(count) || seg.First() != first || seg.Last() != last {
+	seg := Segment{Monitor: h.monitor, Events: events}
+	if len(events) != int(h.count) || seg.First() != h.first || seg.Last() != h.last {
 		return nil, nil, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
-			mon, count, first, last, len(events), seg.First(), seg.Last())
+			h.monitor, h.count, h.first, h.last, len(events), seg.First(), seg.Last())
 	}
 	for _, e := range events {
 		if e.Monitor != seg.Monitor {
@@ -259,3 +476,7 @@ func noEOFBoundary(err error) error {
 	}
 	return err
 }
+
+// baseName is filepath.Base shared by the scanner and the sink so
+// FileSummary.Name is always the bare segment-file name.
+func baseName(name string) string { return filepath.Base(name) }

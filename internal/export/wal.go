@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"robustmon/internal/clock"
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 )
@@ -80,9 +82,29 @@ type WALConfig struct {
 	// durability boundary: the outgoing file is flushed and fsynced
 	// before the next one opens.
 	MaxFileBytes int64
+	// RotateEvery, when positive, additionally rotates by age: a write
+	// or Flush that finds the current file older than this seals it
+	// first. Size-based rotation alone lets an idle monitor's trickle
+	// sit in one open (undurable, uncompactable) file indefinitely;
+	// age-based rotation bounds how long any record stays outside a
+	// sealed, index-visible, compactable segment. The check runs at
+	// write/flush time — a sink nobody touches seals nothing, which is
+	// fine: it also wrote nothing new.
+	RotateEvery time.Duration
+	// Clock is the time source for age-based rotation (default: wall
+	// clock). Only consulted when RotateEvery is set.
+	Clock clock.Clock
 	// SyncEveryWrite additionally fsyncs after every record — maximum
 	// durability for crash-recovery tests; too slow for production.
 	SyncEveryWrite bool
+	// OnRotate, when set, is called with the sealed file's summary each
+	// time a file is rotated or closed — after the file is flushed,
+	// fsynced and closed, so the summary always describes durable
+	// bytes. This is the incremental-maintenance seam of the trace
+	// store: wire index.NewMaintainer(dir).OnRotate here and the
+	// directory's index tracks every sealed segment for free. Called
+	// from whatever goroutine drives the sink (the exporter's writer).
+	OnRotate func(FileSummary)
 }
 
 // WALSink persists exported segments to a directory of numbered,
@@ -94,10 +116,12 @@ type WALSink struct {
 	cfg  WALConfig
 	next int // number of the next file to create
 
-	f    *os.File
-	bw   *bufio.Writer
-	size int64
-	hdr  bytes.Buffer
+	f        *os.File
+	bw       *bufio.Writer
+	size     int64
+	hdr      bytes.Buffer
+	openedAt time.Time
+	cur      *summaryBuilder // summary of the file being written
 }
 
 // NewWALSink opens (creating if needed) dir for appending. An existing
@@ -106,6 +130,9 @@ type WALSink struct {
 func NewWALSink(dir string, cfg WALConfig) (*WALSink, error) {
 	if cfg.MaxFileBytes <= 0 {
 		cfg.MaxFileBytes = DefaultMaxFileBytes
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
 	}
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("export: create wal dir: %w", err)
@@ -139,6 +166,30 @@ func walFiles(dir string) ([]string, error) {
 // Dir returns the sink's directory.
 func (w *WALSink) Dir() string { return w.dir }
 
+// SealedFiles reports how many sealed segment files are on disk —
+// the rotated backlog a compactor can merge. It counts the directory
+// (one readdir per call — the exporter polls it once per written
+// segment, which is drain-rhythm, not event-rhythm), not the sink's
+// monotonic file number: compaction shrinks the directory, and the
+// backlog must shrink with it or a threshold trigger would keep
+// firing forever after first crossing it. Files inherited from
+// earlier sink sessions count too, since numbering resumes after
+// them; the file currently being written does not.
+func (w *WALSink) SealedFiles() int {
+	names, err := walFiles(w.dir)
+	if err != nil {
+		return 0
+	}
+	n := len(names)
+	if w.f != nil {
+		n-- // the active file is on disk but not sealed
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // open starts the next numbered segment file.
 func (w *WALSink) open() error {
 	name := filepath.Join(w.dir, fmt.Sprintf("%08d%s", w.next, walExt))
@@ -150,6 +201,8 @@ func (w *WALSink) open() error {
 	w.f = f
 	w.bw = bufio.NewWriter(f)
 	w.size = 0
+	w.openedAt = w.cfg.Clock.Now()
+	w.cur = newSummaryBuilder(baseName(name), walVersionLatest)
 	magic := append(append([]byte(nil), walMagicPrefix[:]...), walVersionLatest)
 	if _, err := w.bw.Write(magic); err != nil {
 		return fmt.Errorf("export: write wal magic: %w", err)
@@ -186,6 +239,14 @@ func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count
 	if len(monitor) > maxMonitorName {
 		return fmt.Errorf("export: monitor name %d bytes long (limit %d)", len(monitor), maxMonitorName)
 	}
+	if w.f != nil && w.stale() {
+		// Age-based rotation: seal the old file before this record, so
+		// the record lands in a fresh one and the backlog stays bounded
+		// in time, not just in bytes.
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
 	if w.f == nil {
 		if err := w.open(); err != nil {
 			return err
@@ -214,6 +275,10 @@ func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count
 	if _, err := w.bw.Write(payload); err != nil {
 		return fmt.Errorf("export: write record payload: %w", err)
 	}
+	w.cur.add(&recHeader{
+		typ: typ, monitor: monitor, first: first, last: last,
+		count: count, payloadLen: uint32(len(payload)), raw: w.hdr.Bytes(),
+	}, w.size)
 	w.size += int64(w.hdr.Len() + len(payload))
 	if w.cfg.SyncEveryWrite {
 		if err := w.sync(); err != nil {
@@ -240,9 +305,16 @@ func (w *WALSink) sync() error {
 	return nil
 }
 
+// stale reports whether the current file outlived the age-rotation
+// threshold.
+func (w *WALSink) stale() bool {
+	return w.cfg.RotateEvery > 0 && w.cfg.Clock.Now().Sub(w.openedAt) >= w.cfg.RotateEvery
+}
+
 // rotate seals the current file — flush, fsync, close — and arranges
 // for the next write to open a fresh one. Everything before the
-// rotation point is durable from here on.
+// rotation point is durable from here on; the sealed file's summary is
+// handed to OnRotate (if set) once it is.
 func (w *WALSink) rotate() error {
 	if w.f == nil {
 		return nil
@@ -254,11 +326,23 @@ func (w *WALSink) rotate() error {
 		return fmt.Errorf("export: close wal file: %w", err)
 	}
 	w.f, w.bw = nil, nil
+	if w.cfg.OnRotate != nil && w.cur != nil && w.cur.sum.Records > 0 {
+		w.cfg.OnRotate(w.cur.done(w.size, false))
+	}
+	w.cur = nil
 	return nil
 }
 
-// Flush makes everything written so far durable without rotating.
-func (w *WALSink) Flush() error { return w.sync() }
+// Flush makes everything written so far durable without rotating —
+// unless the current file outlived RotateEvery, in which case it is
+// sealed instead, so periodic flushers give even an idle trickle
+// bounded, compactable segments.
+func (w *WALSink) Flush() error {
+	if w.f != nil && w.stale() {
+		return w.rotate()
+	}
+	return w.sync()
+}
 
 // Close seals the current file. The sink is unusable afterwards.
 func (w *WALSink) Close() error { return w.rotate() }

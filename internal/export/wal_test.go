@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
+	"robustmon/internal/clock"
 	"robustmon/internal/detect"
 	"robustmon/internal/event"
 	"robustmon/internal/history"
@@ -165,11 +167,16 @@ func TestWALTruncationInOlderFileIsCorruption(t *testing.T) {
 	}
 }
 
-func TestWALCRCMismatchMidFileIsCorruption(t *testing.T) {
+func TestWALCRCMismatchSkipsOnlyThatRecord(t *testing.T) {
 	t.Parallel()
+	// A CRC-corrupt record mid-file is localised damage, not a torn
+	// tail: the reader must skip it, count it, and keep reading the
+	// intact records after it — losing one record's events, never the
+	// rest of the file.
 	dir := writeWAL(t, WALConfig{},
 		Segment{Monitor: "a", Events: tseq("a", 1, 3)},
 		Segment{Monitor: "a", Events: tseq("a", 4, 6)},
+		Segment{Monitor: "b", Events: tseq("b", 7, 9)},
 	)
 	names, _ := walFiles(dir)
 	blob, err := os.ReadFile(names[0])
@@ -177,15 +184,134 @@ func TestWALCRCMismatchMidFileIsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Flip a bit well inside the first record's payload (past the file
-	// magic and record header) so the second, intact record follows a
-	// corrupt — not torn — one.
+	// magic and record header) so two intact records follow a corrupt —
+	// not torn — one.
 	blob[40] ^= 0x01
 	if err := os.WriteFile(names[0], blob, 0o666); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := ReadDir(dir)
-	if err == nil {
-		t.Fatalf("ReadDir accepted a mid-file corrupt record: %+v", rep)
+	if err != nil {
+		t.Fatalf("ReadDir abandoned the file over one corrupt record: %v", err)
+	}
+	if rep.CorruptRecords != 1 {
+		t.Fatalf("CorruptRecords = %d, want 1", rep.CorruptRecords)
+	}
+	if rep.Recovered {
+		t.Fatal("a corrupt record is not a crash tail; Recovered must stay false")
+	}
+	if rep.Segments != 2 || len(rep.Events) != 6 {
+		t.Fatalf("replayed %d segments / %d events, want the 2 intact records' 6 events", rep.Segments, len(rep.Events))
+	}
+	if rep.Events[0].Seq != 4 || rep.Events[5].Seq != 9 {
+		t.Fatalf("surviving events span %d..%d, want 4..9 (the corrupt record's 1..3 dropped)",
+			rep.Events[0].Seq, rep.Events[5].Seq)
+	}
+}
+
+func TestWALAgeBasedRotation(t *testing.T) {
+	t.Parallel()
+	clk := clock.NewVirtual(time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC))
+	dir := t.TempDir()
+	sink, err := NewWALSink(dir, WALConfig{
+		RotateEvery: time.Minute,
+		Clock:       clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSegment(Segment{Monitor: "m", Events: tseq("m", 1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Within the age window: same file keeps growing.
+	clk.Advance(30 * time.Second)
+	if err := sink.WriteSegment(Segment{Monitor: "m", Events: tseq("m", 3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.SealedFiles(); got != 0 {
+		t.Fatalf("SealedFiles = %d before the age threshold, want 0", got)
+	}
+	// Past the threshold: the next write seals the stale file first and
+	// lands in a fresh one — an idle monitor's trickle cannot pin one
+	// open file forever.
+	clk.Advance(time.Hour)
+	if err := sink.WriteSegment(Segment{Monitor: "m", Events: tseq("m", 5, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.SealedFiles(); got != 1 {
+		t.Fatalf("SealedFiles = %d after an age rotation, want 1", got)
+	}
+	// A stale file is sealed by Flush too, not only by the next write.
+	clk.Advance(time.Hour)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.SealedFiles(); got != 2 {
+		t.Fatalf("SealedFiles = %d after a stale Flush, want 2", got)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := walFiles(dir)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("walFiles = %v, %v; want 2 files", names, err)
+	}
+	rep, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(rep.Events) != 6 {
+		t.Fatalf("replayed %d events across age-rotated files, want 6", len(rep.Events))
+	}
+}
+
+func TestWALOnRotateSummariesMatchScan(t *testing.T) {
+	t.Parallel()
+	// The sink's incrementally built summaries and ScanFile's header
+	// scan are two producers of the same FileSummary; they must agree
+	// exactly, or a sink-maintained index would diverge from a rebuilt
+	// one.
+	dir := t.TempDir()
+	var sealed []FileSummary
+	sink, err := NewWALSink(dir, WALConfig{
+		MaxFileBytes: 1, // rotate after every record
+		OnRotate:     func(fs FileSummary) { sealed = append(sealed, fs) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSegment(Segment{Monitor: "a", Events: tseq("a", 1, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteMarker(historyMarkerSeed()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := walFiles(dir)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("walFiles = %v, %v; want 2 files", names, err)
+	}
+	if len(sealed) != 2 {
+		t.Fatalf("OnRotate fired %d times, want 2", len(sealed))
+	}
+	for i, name := range names {
+		scanned, err := ScanFile(name)
+		if err != nil {
+			t.Fatalf("ScanFile(%s): %v", name, err)
+		}
+		if !reflect.DeepEqual(sealed[i], scanned) {
+			t.Fatalf("file %s: sink summary %+v != scanned summary %+v", name, sealed[i], scanned)
+		}
+	}
+	seg := sealed[0]
+	if seg.Events != 4 || seg.MinSeq != 1 || seg.MaxSeq != 4 || len(seg.Monitors) != 1 {
+		t.Fatalf("segment-file summary wrong: %+v", seg)
+	}
+	mk := sealed[1]
+	if mk.Events != 0 || len(mk.Markers) != 1 || mk.Markers[0].Horizon != historyMarkerSeed().Horizon {
+		t.Fatalf("marker-file summary wrong: %+v", mk)
 	}
 }
 

@@ -1,0 +1,82 @@
+package history
+
+import (
+	"testing"
+
+	"robustmon/internal/event"
+)
+
+// ResetMonitor under WithGlobalLock: the legacy single shard
+// interleaves every monitor's events, so the reset must filter out
+// exactly the named monitor's buffered events and leave everything
+// else queued — the sharded path was pinned when online recovery
+// landed; this pins the global-lock path it special-cases.
+func TestResetMonitorGlobalLockDropsOnlyNamedMonitor(t *testing.T) {
+	t.Parallel()
+	db := New(WithGlobalLock())
+	for i := 0; i < 4; i++ {
+		db.Append(mev("a", int64(i+1)))
+		db.Append(mev("b", int64(i+10)))
+	}
+	db.Append(mev("a", 99))
+
+	if got := db.ResetMonitor("a"); got != 5 {
+		t.Fatalf("ResetMonitor dropped %d events, want 5", got)
+	}
+	if got := db.EventCount("a"); got != 0 {
+		t.Fatalf("EventCount(a) = %d after reset, want 0 (counter restarts)", got)
+	}
+	if got := db.EventCount("b"); got != 4 {
+		t.Fatalf("EventCount(b) = %d, want 4 (untouched)", got)
+	}
+	seg := db.Drain()
+	if len(seg) != 4 {
+		t.Fatalf("Drain returned %d events, want b's 4", len(seg))
+	}
+	for _, e := range seg {
+		if e.Monitor != "a" {
+			continue
+		}
+		t.Fatalf("reset monitor's event survived in the shared shard: %+v", e)
+	}
+	// The global sequence and lifetime total keep counting: a reset
+	// discards buffered events, it does not rewrite history.
+	if db.LastSeq() != 9 || db.Total() != 9 {
+		t.Fatalf("LastSeq=%d Total=%d after reset, want 9,9", db.LastSeq(), db.Total())
+	}
+	// Fresh-life events keep claiming ascending sequence numbers.
+	if got := db.Append(mev("a", 100)); got.Seq != 10 {
+		t.Fatalf("post-reset append got seq %d, want 10", got.Seq)
+	}
+}
+
+func TestResetMonitorGlobalLockDoesNotFeedTees(t *testing.T) {
+	t.Parallel()
+	var teed []string
+	db := New(WithGlobalLock(), WithDrainTee(func(monitor string, seg event.Seq) {
+		teed = append(teed, monitor)
+	}))
+	db.Append(mev("a", 1))
+	db.Append(mev("b", 2))
+	db.ResetMonitor("a")
+	if len(teed) != 0 {
+		t.Fatalf("reset fed the drain tees (%v); discarded events were never checked and must not be exported", teed)
+	}
+	db.Drain()
+	if len(teed) != 1 || teed[0] != "b" {
+		t.Fatalf("post-reset drain teed %v, want only monitor b's segment", teed)
+	}
+}
+
+func TestResetMonitorGlobalLockKeepsFullTrace(t *testing.T) {
+	t.Parallel()
+	db := New(WithGlobalLock(), WithFullTrace())
+	db.Append(mev("a", 1))
+	db.Append(mev("b", 2))
+	db.Append(mev("a", 3))
+	db.ResetMonitor("a")
+	full := db.Full()
+	if len(full) != 3 {
+		t.Fatalf("full trace has %d events after reset, want 3 — the reset abandons only the unchecked segment", len(full))
+	}
+}

@@ -91,6 +91,8 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/experiment"
 	"robustmon/internal/export"
+	"robustmon/internal/export/compact"
+	"robustmon/internal/export/index"
 	"robustmon/internal/external"
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
@@ -271,6 +273,64 @@ func ReadExportDir(dir string) (*ExportReplay, error) { return export.ReadDir(di
 
 // WithDrainTee installs a drain tee at database construction time.
 func WithDrainTee(tee DrainTee) HistoryOption { return history.WithDrainTee(tee) }
+
+// Trace store (the query/storage layer over export directories —
+// internal/export/index and internal/export/compact): a sparse
+// per-file index maintained by the WAL sink on rotation (or rebuilt
+// from the files), a SeekReader answering windowed replay queries by
+// opening only index-admitted files, and a compactor merging the
+// rotated backlog per monitor.
+type (
+	// TraceIndex is the per-directory file-summary table.
+	TraceIndex = index.Index
+	// TraceIndexMaintainer keeps the index in step with a WALSink
+	// (wire its OnRotate into WALConfig.OnRotate).
+	TraceIndexMaintainer = index.Maintainer
+	// TraceSeekReader answers windowed replay queries through the
+	// index.
+	TraceSeekReader = index.SeekReader
+	// TraceSeekStats accounts one windowed query (files opened vs
+	// skipped).
+	TraceSeekStats = index.Stats
+	// TraceFileSummary describes one sealed WAL file (seq ranges,
+	// monitor set, marker offsets, header-chain CRC).
+	TraceFileSummary = export.FileSummary
+	// CompactionConfig parameterises CompactExportDir.
+	CompactionConfig = compact.Config
+	// CompactionResult accounts one compaction.
+	CompactionResult = compact.Result
+)
+
+// NewTraceIndexMaintainer returns a maintainer keeping dir's index
+// file in step with the sink that writes dir.
+func NewTraceIndexMaintainer(dir string) *TraceIndexMaintainer { return index.NewMaintainer(dir) }
+
+// RebuildTraceIndex reconstructs dir's index by scanning its segment
+// files' record headers (both WAL format versions). Call Write on the
+// result to persist it.
+func RebuildTraceIndex(dir string) (*TraceIndex, error) { return index.Rebuild(dir) }
+
+// OpenTraceReader opens an export directory for windowed replay
+// queries (ReplayRange); without an index every query scans every
+// file, exactly like ReadExportDir.
+func OpenTraceReader(dir string) (*TraceSeekReader, error) { return index.OpenDir(dir) }
+
+// CompactExportDir merges dir's rotated segment files per monitor —
+// never the active segment (Config.KeepNewest) — preserving recovery
+// markers and replay equivalence, and brings the index in step. Wire
+// it into ExporterConfig.Compact (with CompactEvery) to have a
+// long-running detector bound its own on-disk footprint:
+//
+//	cfg := robustmon.ExporterConfig{
+//	    CompactEvery: 64,
+//	    Compact: func() error {
+//	        _, err := robustmon.CompactExportDir(dir, robustmon.CompactionConfig{})
+//	        return err
+//	    },
+//	}
+func CompactExportDir(dir string, cfg CompactionConfig) (*CompactionResult, error) {
+	return compact.Dir(dir, cfg)
+}
 
 // Trace I/O.
 

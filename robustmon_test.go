@@ -256,3 +256,89 @@ func TestPublicAPIStreamingExport(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicAPITraceStore(t *testing.T) {
+	t.Parallel()
+	spec := robustmon.Spec{
+		Name:       "account",
+		Kind:       robustmon.OperationManager,
+		Conditions: []string{"nonZero"},
+		Procedures: []string{"Deposit"},
+	}
+	dir := t.TempDir()
+	maint := robustmon.NewTraceIndexMaintainer(dir)
+	sink, err := robustmon.NewWALSink(dir, robustmon.WALConfig{
+		MaxFileBytes: 1 << 10, // rotate often: a real backlog to index
+		OnRotate:     maint.OnRotate,
+	})
+	if err != nil {
+		t.Fatalf("NewWALSink: %v", err)
+	}
+	exp := robustmon.NewExporter(sink, robustmon.ExporterConfig{
+		Policy:       robustmon.ExportBlock,
+		CompactEvery: 4,
+		Compact: func() error {
+			_, err := robustmon.CompactExportDir(dir, robustmon.CompactionConfig{})
+			return err
+		},
+	})
+	db := robustmon.NewHistory()
+	mon, err := robustmon.NewMonitor(spec, robustmon.WithRecorder(db))
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	det := robustmon.NewDetector(db, robustmon.DetectorConfig{
+		Tmax:     time.Hour,
+		Tio:      time.Hour,
+		Exporter: exp,
+	}, mon)
+
+	rt := robustmon.NewRuntime()
+	rt.Spawn("worker", func(p *robustmon.Process) {
+		for i := 0; i < 400; i++ {
+			if err := mon.Enter(p, "Deposit"); err != nil {
+				return
+			}
+			_ = mon.SignalExit(p, "Deposit", "nonZero")
+			if i%25 == 24 {
+				det.CheckNow()
+			}
+		}
+	})
+	rt.Join()
+	det.CheckNow()
+	if err := exp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	full, err := robustmon.ReadExportDir(dir)
+	if err != nil {
+		t.Fatalf("ReadExportDir: %v", err)
+	}
+	if len(full.Events) != 800 {
+		t.Fatalf("replayed %d events, want 800", len(full.Events))
+	}
+
+	// Windowed query through the facade.
+	r, err := robustmon.OpenTraceReader(dir)
+	if err != nil {
+		t.Fatalf("OpenTraceReader: %v", err)
+	}
+	rep, err := r.ReplayRange(101, 200)
+	if err != nil {
+		t.Fatalf("ReplayRange: %v", err)
+	}
+	if len(rep.Events) != 100 || rep.Events[0].Seq != 101 {
+		t.Fatalf("window replayed %d events from seq %d", len(rep.Events), rep.Events[0].Seq)
+	}
+
+	// Rebuild must agree with whatever mix of sink maintenance and
+	// background compaction left on disk.
+	idx, err := robustmon.RebuildTraceIndex(dir)
+	if err != nil {
+		t.Fatalf("RebuildTraceIndex: %v", err)
+	}
+	if errs := idx.Verify(dir); len(errs) != 0 {
+		t.Fatalf("rebuilt index fails Verify: %v", errs)
+	}
+}
