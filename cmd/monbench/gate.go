@@ -26,6 +26,16 @@ import (
 // more stable.
 const latencyFloorNs = float64(10 * time.Millisecond)
 
+// allocFloorPerEvent is the absolute slack applied to the E6
+// allocs-per-event comparison. The record path's steady state is a few
+// thousandths of an allocation per event (pooled slabs amortised over
+// drains), so relative tolerance alone would flag GC-assist noise; the
+// gate exists to catch an allocation creeping back into the per-event
+// hot loop, which jumps the metric by ~1 (one heap object per event)
+// or at least ~1/batch-size per staged block. A quarter of an
+// allocation per event separates those decisively from noise.
+const allocFloorPerEvent = 0.25
+
 // rowKey identifies a sweep cell across artefacts: every config-like
 // field of the row, i.e. everything except the measurements.
 func rowKey(row map[string]any) string {
@@ -34,6 +44,7 @@ func rowKey(row map[string]any) string {
 		"events": true, "ratio": true,
 		"checkpoint_p50_ns": true, "checkpoint_p99_ns": true,
 		"files_opened": true, "files_total": true,
+		"ns_per_event": true, "bytes_per_event": true, "allocs_per_event": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {
@@ -104,6 +115,18 @@ func compareArtefacts(baseline, fresh []map[string]any, tol float64) ([]string, 
 				regressions = append(regressions, fmt.Sprintf(
 					"%s checkpoint p99 %v > baseline %v +%d%%",
 					rowKey(row), time.Duration(fP99), time.Duration(bP99), int(tol*100)))
+			}
+		}
+		// The alloc ceiling (E6 record-path rows): allocations per event
+		// must not rise beyond both the relative tolerance and the
+		// absolute noise floor. Baselines at exactly zero still gate via
+		// the floor — the relative band is degenerate there.
+		if bAPE, ok := num(bRow, "allocs_per_event"); ok {
+			if fAPE, ok := num(row, "allocs_per_event"); ok &&
+				fAPE > bAPE*(1+tol) && fAPE-bAPE > allocFloorPerEvent {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s allocs/event %.3f > baseline %.3f (ceiling %.3f)",
+					rowKey(row), fAPE, bAPE, bAPE*(1+tol)+allocFloorPerEvent))
 			}
 		}
 	}

@@ -77,6 +77,40 @@ func TestCompareArtefactsLatencyFloorAbsorbsNoise(t *testing.T) {
 	}
 }
 
+func TestCompareArtefactsAllocCeiling(t *testing.T) {
+	t.Parallel()
+	rpRow := func(eps, allocs float64) map[string]any {
+		return map[string]any{
+			"bench": "recordpath", "mode": "batch", "monitors": 8,
+			"producers": 16, "batch": 256,
+			"events_per_sec": eps, "allocs_per_event": allocs,
+		}
+	}
+	// Steady-state noise — thousandths of an allocation per event —
+	// stays under the absolute floor even when relatively large.
+	base := normalized(t, []map[string]any{rpRow(1e7, 0.001)})
+	fresh := normalized(t, []map[string]any{rpRow(1e7, 0.02)})
+	regs, err := compareArtefacts(base, fresh, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("regs=%v err=%v, want floor to absorb alloc noise", regs, err)
+	}
+	// A per-event allocation creeping back in (≈1 alloc/event) fails.
+	fresh = normalized(t, []map[string]any{rpRow(1e7, 1.0)})
+	regs, err = compareArtefacts(base, fresh, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/event") {
+		t.Fatalf("regs = %v, want one allocs/event regression", regs)
+	}
+	// A zero baseline still gates via the floor alone.
+	base = normalized(t, []map[string]any{rpRow(1e7, 0)})
+	regs, err = compareArtefacts(base, fresh, 0.25)
+	if err != nil || len(regs) != 1 {
+		t.Fatalf("regs=%v err=%v, want zero baseline to gate via the floor", regs, err)
+	}
+}
+
 func TestCompareArtefactsKeyMatching(t *testing.T) {
 	t.Parallel()
 	// Different scheduler cells must never be compared to each other.

@@ -85,6 +85,7 @@ func run(args []string, out, errOut io.Writer) int {
 		adaptive  = fs.Bool("adaptive", false, "add adaptive-scheduler rows to the -monitors sweep (per-monitor intervals next to every fixed-T cell)")
 		batch     = fs.Int("batch", 0, "batched-replay batch size for the -monitors sweep (0 = unbatched)")
 		store     = fs.Bool("tracestore", false, "add the E5 trace-store rows (full ReadDir vs index-backed windowed SeekReader over a synthetic export directory); combines with -monitors into one artefact, or runs standalone")
+		record    = fs.Bool("recordpath", false, "add the E6 record-path rows (singleton DB.Append vs BatchWriter ingest under concurrent producers: events/sec, ns/event, B/event, allocs/event); combines with -monitors into one artefact, or runs standalone")
 		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
 		baseline  = fs.String("baseline", "", "perf gate: compare the fresh sweep against this JSON artefact and exit non-zero on regression")
 		tolerance = fs.Float64("tolerance", 0.25, "perf gate: relative tolerance for -baseline comparisons")
@@ -115,24 +116,47 @@ func run(args []string, out, errOut io.Writer) int {
 			adaptive:      *adaptive,
 			batch:         *batch,
 			tracestore:    *store,
+			recordpath:    *record,
 			jsonPath:      *jsonPath,
 			baseline:      *baseline,
 			tolerance:     *tolerance,
 		}, out, errOut)
 	}
 
-	if *store {
-		// Standalone E5: its own artefact kind.
-		rows, cfgEntries, code := runTraceStore(*repeats, out, errOut)
-		if code != 0 {
-			return code
-		}
+	if *store || *record {
+		// Standalone E5/E6: their own artefact kinds; both flags at once
+		// share one artefact (the rows are keyed apart by "bench").
+		var kinds []string
 		art := benchArtefact{
-			Kind:        "E5-tracestore",
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-			Config:      cfgEntries,
-			Rows:        rows,
+			Config:      map[string]any{},
 		}
+		if *store {
+			rows, cfgEntries, code := runTraceStore(*repeats, out, errOut)
+			if code != 0 {
+				return code
+			}
+			kinds = append(kinds, "E5-tracestore")
+			art.Rows = append(art.Rows, rows...)
+			for k, v := range cfgEntries {
+				art.Config[k] = v
+			}
+		}
+		if *record {
+			if *store {
+				fmt.Fprintln(out)
+			}
+			rows, cfgEntries, code := runRecordPathSweep(*repeats, out, errOut)
+			if code != 0 {
+				return code
+			}
+			kinds = append(kinds, "E6-recordpath")
+			art.Rows = append(art.Rows, rows...)
+			for k, v := range cfgEntries {
+				art.Config[k] = v
+			}
+		}
+		art.Kind = strings.Join(kinds, "+")
 		if *jsonPath != "" {
 			if err := writeArtefact(*jsonPath, art); err != nil {
 				fmt.Fprintf(errOut, "monbench: %v\n", err)
@@ -250,6 +274,7 @@ type scalingFlags struct {
 	adaptive      bool
 	batch         int
 	tracestore    bool
+	recordpath    bool
 	jsonPath      string
 	baseline      string
 	tolerance     float64
@@ -300,6 +325,64 @@ func runTraceStore(repeats int, out, errOut io.Writer) ([]map[string]any, map[st
 		"store_max_file_bytes": cfg.MaxFileBytes,
 		"store_window":         cfg.Window,
 		"store_repeats":        cfg.Repeats,
+	}
+	return artRows, cfgEntries, 0
+}
+
+// runRecordPathSweep executes the E6 record-path sweep and returns its
+// artefact rows and config entries (exit code non-zero on failure).
+// The rows carry "bench":"recordpath" so they can share an artefact
+// with E4/E5 rows without colliding in the gate's key space; the
+// bytes/allocs-per-event measurements are gated alongside events/sec,
+// so an allocation creeping back into the ingest hot loop fails CI
+// like a throughput regression does.
+func runRecordPathSweep(repeats int, out, errOut io.Writer) ([]map[string]any, map[string]any, int) {
+	cfg := experiment.DefaultRecordPathConfig()
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	fmt.Fprintf(out, "E6 (record path): producers/monitor=%d events/producer=%d batch=%d drain-every=%d repeats=%d\n\n",
+		cfg.ProducersPerMonitor, cfg.EventsPerProducer, cfg.Batch, cfg.DrainEveryEvents, cfg.Repeats)
+	rows, err := experiment.RunRecordPath(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return nil, nil, 1
+	}
+	fmt.Fprint(out, experiment.RecordPathTable(rows).String())
+	// Headline: batch speedup over singleton Append at the largest
+	// monitor count (the acceptance shape).
+	byMode := map[string]experiment.RecordPathRow{}
+	maxMon := 0
+	for _, r := range rows {
+		if r.Monitors > maxMon {
+			maxMon = r.Monitors
+		}
+	}
+	for _, r := range rows {
+		if r.Monitors == maxMon {
+			byMode[r.Mode] = r
+		}
+	}
+	if a, b := byMode["append"], byMode["batch"]; a.EventsPerSec > 0 {
+		fmt.Fprintf(out, "\nbatched ingest is %.1fx the singleton-Append rate at %d monitors\n",
+			b.EventsPerSec/a.EventsPerSec, maxMon)
+	}
+	var artRows []map[string]any
+	for _, r := range rows {
+		artRows = append(artRows, map[string]any{
+			"bench": "recordpath", "mode": r.Mode,
+			"monitors": r.Monitors, "producers": r.Producers, "batch": r.Batch,
+			"events": r.Events, "elapsed_ns": r.Elapsed.Nanoseconds(),
+			"events_per_sec": r.EventsPerSec, "ns_per_event": r.NsPerEvent,
+			"bytes_per_event": r.BytesPerEvent, "allocs_per_event": r.AllocsPerEvent,
+		})
+	}
+	cfgEntries := map[string]any{
+		"recordpath_producers_per_monitor": cfg.ProducersPerMonitor,
+		"recordpath_events_per_producer":   cfg.EventsPerProducer,
+		"recordpath_batch":                 cfg.Batch,
+		"recordpath_drain_every":           cfg.DrainEveryEvents,
+		"recordpath_repeats":               cfg.Repeats,
 	}
 	return artRows, cfgEntries, 0
 }
@@ -386,6 +469,17 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 		// their "bench" field, the config blocks merge disjoint keys.
 		art.Rows = append(art.Rows, storeRows...)
 		for k, v := range storeCfg {
+			art.Config[k] = v
+		}
+	}
+	if f.recordpath {
+		fmt.Fprintln(out)
+		rpRows, rpCfg, code := runRecordPathSweep(f.repeats, out, errOut)
+		if code != 0 {
+			return code
+		}
+		art.Rows = append(art.Rows, rpRows...)
+		for k, v := range rpCfg {
 			art.Config[k] = v
 		}
 	}

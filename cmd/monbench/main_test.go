@@ -250,3 +250,49 @@ func TestTraceStoreStandaloneArtefactAndSelfGate(t *testing.T) {
 		t.Fatalf("self-baseline gate failed: %s", errOut)
 	}
 }
+
+func TestRecordPathStandaloneArtefactAndSelfGate(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rp.json")
+	code, out, errOut := runTool(t, "-recordpath", "-repeats", "1", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q", code, errOut)
+	}
+	for _, want := range []string{"E6 (record path)", "allocs/event", "batched ingest is"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Kind string           `json:"kind"`
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatal(err)
+	}
+	// Default sweep: 2 monitor counts x 2 modes.
+	if art.Kind != "E6-recordpath" || len(art.Rows) != 4 {
+		t.Fatalf("artefact kind=%q rows=%d, want E6-recordpath with 4 rows", art.Kind, len(art.Rows))
+	}
+	for _, row := range art.Rows {
+		for _, field := range []string{"events_per_sec", "ns_per_event", "bytes_per_event", "allocs_per_event"} {
+			if _, ok := row[field].(float64); !ok {
+				t.Fatalf("row missing %s: %+v", field, row)
+			}
+		}
+		if row["bench"] != "recordpath" {
+			t.Fatalf("row missing the bench key that separates E6 from E4/E5 rows: %+v", row)
+		}
+	}
+	// A sweep gated against its own artefact must pass (the CI gate's
+	// happy path, alloc ceiling included).
+	code, _, errOut = runTool(t, "-recordpath", "-repeats", "1", "-baseline", path, "-tolerance", "0.99")
+	if code != 0 {
+		t.Fatalf("self-baseline gate failed: %s", errOut)
+	}
+}

@@ -1,0 +1,123 @@
+// Batchingest: the raw-speed record path end to end. Eight monitors
+// record through per-monitor BatchWriters — each event lands in a
+// lock-free local staging buffer and is published to the sharded
+// history database in blocks, one lock acquire and one global-sequence
+// claim per block instead of per event. The detector's checkpoints
+// flush the staged blocks automatically (the handshake runs while each
+// monitor is frozen, which is what makes the cross-goroutine flush
+// safe), stream the drained segments to a WAL, and the program then
+// replays the directory and proves the count: every recorded event
+// reached the WAL exactly once, in global sequence order — batching
+// changes the cost of recording, not the history recorded.
+//
+//	go run ./examples/batchingest
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"robustmon"
+)
+
+const (
+	nMonitors   = 8
+	procsPerMon = 2
+	pairsPerOp  = 200
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "batchingest-*")
+	if err != nil {
+		log.Fatalf("batchingest: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	sink, err := robustmon.NewWALSink(dir, robustmon.WALConfig{MaxFileBytes: 16 << 10})
+	if err != nil {
+		log.Fatalf("batchingest: %v", err)
+	}
+	exp := robustmon.NewExporter(sink, robustmon.ExporterConfig{Policy: robustmon.ExportBlock})
+
+	db := robustmon.NewHistory()
+	mons := make([]*robustmon.Monitor, nMonitors)
+	writers := make([]*robustmon.BatchWriter, nMonitors)
+	for i := range mons {
+		spec := robustmon.Spec{
+			Name:       fmt.Sprintf("svc%02d", i),
+			Kind:       robustmon.OperationManager,
+			Conditions: []string{"ok"},
+			Procedures: []string{"Op"},
+		}
+		// The one-line switch from the serial path: record through a
+		// BatchWriter instead of the database itself. Everything else —
+		// monitors, detector, export — is wired exactly as before.
+		writers[i] = db.NewBatchWriter(spec.Name, 0)
+		m, err := robustmon.NewMonitor(spec, robustmon.WithRecorder(writers[i]))
+		if err != nil {
+			log.Fatalf("batchingest: %v", err)
+		}
+		mons[i] = m
+	}
+	det := robustmon.NewDetector(db, robustmon.DetectorConfig{
+		Tmax:     time.Hour,
+		Tio:      time.Hour,
+		Exporter: exp,
+	}, mons...)
+
+	// Concurrent producers: procsPerMon goroutines per monitor hammer
+	// Enter/Exit pairs while checkpoints fire mid-stream. A checkpoint
+	// freezes each monitor, flushes its writers' staged blocks, then
+	// drains and checks — so the staged tail is never invisible to a
+	// check, and a producer never races its own flush.
+	rt := robustmon.NewRuntime()
+	for _, m := range mons {
+		m := m
+		for w := 0; w < procsPerMon; w++ {
+			rt.Spawn("producer", func(p *robustmon.Process) {
+				for j := 0; j < pairsPerOp; j++ {
+					if err := m.Enter(p, "Op"); err != nil {
+						return
+					}
+					_ = m.Exit(p, "Op")
+					if j%50 == 49 {
+						det.CheckNow()
+					}
+				}
+			})
+		}
+	}
+	rt.Join()
+	det.CheckNow() // final checkpoint flushes and drains the tails
+	if err := exp.Close(); err != nil {
+		log.Fatalf("batchingest: close exporter: %v", err)
+	}
+
+	want := int64(nMonitors) * procsPerMon * pairsPerOp * 2 // Enter + Exit
+	st := exp.Stats()
+	fmt.Printf("recorded %d events through %d batch writers (staging %d each)\n",
+		db.Total(), len(writers), robustmon.DefaultBatchSize)
+	fmt.Printf("exporter streamed %d segments (%d events), dropped %d\n",
+		st.Written, st.Events, st.DroppedSegments)
+
+	rep, err := robustmon.ReadExportDir(dir)
+	if err != nil {
+		log.Fatalf("batchingest: replay: %v", err)
+	}
+	ordered := true
+	for i, e := range rep.Events {
+		if e.Seq != int64(i+1) {
+			ordered = false
+			break
+		}
+	}
+	fmt.Printf("replayed %d events from %d files; want %d; global order intact: %v\n",
+		len(rep.Events), rep.Files, want, ordered)
+	if int64(len(rep.Events)) != want || db.Total() != want || !ordered {
+		log.Fatalf("batchingest: count/order mismatch — recorded %d, exported %d, want %d",
+			db.Total(), len(rep.Events), want)
+	}
+	fmt.Println("every batched event reached the WAL exactly once, in order")
+}

@@ -191,6 +191,10 @@ type Detector struct {
 	// byName maps monitor name → d.mons index; fixed at construction,
 	// used by every adaptive checkpoint to translate due names.
 	byName map[string]int
+	// monNames lists this detector's monitors — the set a hold-world
+	// checkpoint freezes, and so the set whose batch writers the flush
+	// handshake publishes. Fixed at construction.
+	monNames []string
 
 	mu    sync.Mutex
 	mons  []*monState
@@ -269,6 +273,7 @@ func New(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector {
 		prev := m.Snapshot().Clone()
 		m.Thaw()
 		d.byName[m.Name()] = len(d.mons)
+		d.monNames = append(d.monNames, m.Name())
 		d.mons = append(d.mons, &monState{
 			mon:  m,
 			prev: prev,
@@ -380,6 +385,15 @@ func (d *Detector) checkSubsetLocked(sel []int) []rules.Violation {
 		for _, ms := range d.mons {
 			ms.mon.Freeze()
 		}
+		// Flush-on-checkpoint handshake: monitors publishing through
+		// batch writers may hold recorded-but-unpublished events in
+		// writer-local buffers. The monitors are frozen — nothing new
+		// can be staged, and the freeze is the happens-before edge that
+		// makes reading their writers safe — so publishing the
+		// stragglers here, before the horizon is fixed, makes the
+		// checkpoint observe exactly the events a serial (unbatched)
+		// record path would have published.
+		d.db.FlushMonitorWriters(d.monNames...)
 		lastSeq := d.db.LastSeq()
 		snaps := make([]state.Snapshot, len(sel))
 		for k, i := range sel {
@@ -440,6 +454,14 @@ func (d *Detector) checkSubsetLocked(sel []int) []rules.Violation {
 		d.runPool(len(sel), func(k int) {
 			ms := d.mons[sel[k]]
 			ms.mon.Freeze()
+			// Same flush-on-checkpoint handshake as hold-world mode,
+			// scoped to the one monitor this worker froze: its writers
+			// are quiescent behind the freeze, so the flush publishes
+			// every event it recorded before this checkpoint's horizon is
+			// fixed below. Other monitors' writers stay untouched — their
+			// producers may be live, and their events are not this
+			// checkpoint's business.
+			d.db.FlushMonitorWriters(ms.mon.Name())
 			t0 := d.cfg.Clock.Now()
 			snap := ms.mon.Snapshot().Clone()
 			var drain func() (event.Seq, bool)

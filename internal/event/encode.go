@@ -107,6 +107,47 @@ func WriteBinary(w io.Writer, s Seq) error {
 	return nil
 }
 
+// AppendBinary appends the sequence's binary trace encoding to dst and
+// returns the extended slice, exactly the bytes WriteBinary would have
+// written (pinned by TestAppendBinaryMatchesWriteBinary and
+// FuzzAppendBinary). It is the allocation-free encode for the export
+// hot path: callers hand it a pooled buffer (dst may be nil) and the
+// only allocations are the amortised growth of dst itself.
+func AppendBinary(dst []byte, s Seq) []byte {
+	dst = append(dst, binaryMagic[:]...)
+	var scratch [binary.MaxVarintLen64]byte
+	dst = append(dst, scratch[:binary.PutUvarint(scratch[:], uint64(len(s)))]...)
+	for i := range s {
+		dst = appendEventBinary(dst, &s[i])
+	}
+	return dst
+}
+
+// appendEventBinary appends one event's binary encoding — the field
+// order of WriteBinary's encode loop.
+func appendEventBinary(dst []byte, e *Event) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	putVarint := func(v int64) {
+		dst = append(dst, scratch[:binary.PutVarint(scratch[:], v)]...)
+	}
+	putUvarint := func(v uint64) {
+		dst = append(dst, scratch[:binary.PutUvarint(scratch[:], v)]...)
+	}
+	putString := func(v string) {
+		putUvarint(uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	putVarint(e.Seq)
+	putString(e.Monitor)
+	putUvarint(uint64(e.Type))
+	putVarint(e.Pid)
+	putString(e.Proc)
+	putString(e.Cond)
+	putUvarint(uint64(e.Flag))
+	putVarint(e.Time.UnixNano())
+	return dst
+}
+
 // ReadBinary reads a binary trace written by WriteBinary.
 func ReadBinary(r io.Reader) (Seq, error) {
 	br := bufio.NewReader(r)

@@ -164,3 +164,36 @@ func TestCodecsQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendBinaryMatchesWriteBinary(t *testing.T) {
+	t.Parallel()
+	for _, s := range []Seq{nil, {}, sampleSeq()} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		got := AppendBinary(nil, s)
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatalf("AppendBinary diverged from WriteBinary for %d events:\n  append %x\n  write  %x",
+				len(s), got, buf.Bytes())
+		}
+		// Appending onto an existing prefix must leave the prefix intact
+		// and produce the same encoding after it — the pooled-buffer
+		// contract the WAL sink relies on.
+		withPrefix := AppendBinary([]byte("prefix"), s)
+		if !bytes.HasPrefix(withPrefix, []byte("prefix")) || !bytes.Equal(withPrefix[6:], buf.Bytes()) {
+			t.Fatalf("AppendBinary with prefix diverged")
+		}
+	}
+}
+
+func TestAppendBinaryIsAllocFreeIntoSizedBuffer(t *testing.T) {
+	// Not parallel: AllocsPerRun measures the whole process heap.
+	s := sampleSeq()
+	dst := make([]byte, 0, 4096)
+	if avg := testing.AllocsPerRun(100, func() {
+		dst = AppendBinary(dst[:0], s)
+	}); avg != 0 {
+		t.Fatalf("AppendBinary into a sized buffer allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -89,3 +89,48 @@ func TestReadBinaryLyingCountDoesNotOverAllocate(t *testing.T) {
 		t.Fatalf("ReadBinary allocated %d bytes on a lying 9-byte stream", grew)
 	}
 }
+
+// FuzzAppendBinary pins the two encoders to each other: any trace the
+// decoder accepts must produce byte-identical output through
+// WriteBinary (the io.Writer path) and AppendBinary (the pooled-buffer
+// path the batched WAL sink uses), and that encoding must round-trip.
+// A divergence here would mean a WAL written by the pooled path reads
+// back differently from one written by the legacy path.
+func FuzzAppendBinary(f *testing.F) {
+	var good bytes.Buffer
+	err := WriteBinary(&good, Seq{
+		{Seq: 1, Monitor: "buf", Type: Enter, Pid: 3, Proc: "Send", Flag: Completed,
+			Time: time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)},
+		{Seq: 2, Monitor: "buf", Type: Wait, Pid: 3, Proc: "Send", Cond: "notEmpty", Flag: Blocked,
+			Time: time.Date(2001, 7, 1, 0, 0, 1, 0, time.UTC)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(AppendBinary(nil, nil)) // empty trace header
+	f.Add([]byte("junk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trace, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var w bytes.Buffer
+		if err := WriteBinary(&w, trace); err != nil {
+			t.Fatalf("WriteBinary of accepted trace failed: %v", err)
+		}
+		appended := AppendBinary(nil, trace)
+		if !bytes.Equal(appended, w.Bytes()) {
+			t.Fatalf("encoders diverged for %d events:\n  append %x\n  write  %x",
+				len(trace), appended, w.Bytes())
+		}
+		again, err := ReadBinary(bytes.NewReader(appended))
+		if err != nil {
+			t.Fatalf("decode of AppendBinary output failed: %v", err)
+		}
+		if len(again) != len(trace) {
+			t.Fatalf("round trip changed length: %d → %d", len(trace), len(again))
+		}
+	})
+}

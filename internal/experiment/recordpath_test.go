@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRecordPathRowsAndAccounting(t *testing.T) {
+	cfg := RecordPathConfig{
+		Monitors:            []int{1, 2},
+		ProducersPerMonitor: 2,
+		EventsPerProducer:   3000,
+		Batch:               64,
+		DrainEveryEvents:    512,
+		Repeats:             2,
+	}
+	rows, err := RunRecordPath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 monitor counts x 2 modes, append first within each count.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for i, r := range rows {
+		wantMode := []string{"append", "batch"}[i%2]
+		if r.Mode != wantMode {
+			t.Fatalf("row %d mode = %q, want %q", i, r.Mode, wantMode)
+		}
+		wantEvents := int64(cfg.Monitors[i/2]) * int64(cfg.ProducersPerMonitor) * int64(cfg.EventsPerProducer)
+		if r.Events != wantEvents {
+			t.Fatalf("row %d events = %d, want %d", i, r.Events, wantEvents)
+		}
+		if r.Producers != cfg.Monitors[i/2]*cfg.ProducersPerMonitor {
+			t.Fatalf("row %d producers = %d", i, r.Producers)
+		}
+		if r.Mode == "batch" && r.Batch != 64 {
+			t.Fatalf("batch row carries batch=%d, want 64", r.Batch)
+		}
+		if r.Mode == "append" && r.Batch != 0 {
+			t.Fatalf("append row carries batch=%d, want 0", r.Batch)
+		}
+		if r.Elapsed <= 0 || r.EventsPerSec <= 0 || r.NsPerEvent <= 0 {
+			t.Fatalf("row %d has empty measurements: %+v", i, r)
+		}
+		if r.BytesPerEvent < 0 || r.AllocsPerEvent < 0 {
+			t.Fatalf("row %d has negative alloc profile: %+v", i, r)
+		}
+	}
+	table := RecordPathTable(rows).String()
+	for _, col := range []string{"mode", "allocs/event", "append", "batch"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestRunRecordPathRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range []RecordPathConfig{
+		{},
+		{Monitors: []int{1}, ProducersPerMonitor: 0, EventsPerProducer: 1},
+		{Monitors: []int{0}, ProducersPerMonitor: 1, EventsPerProducer: 1},
+	} {
+		if _, err := RunRecordPath(cfg); err == nil {
+			t.Fatalf("config %+v accepted, want error", cfg)
+		}
+	}
+}

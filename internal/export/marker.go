@@ -32,33 +32,40 @@ type MarkerSink interface {
 // markerVersion versions the marker payload blob.
 const markerVersion = 1
 
-// encodeMarker serialises a marker into the self-contained payload
-// blob of a recMarker WAL record: a version byte followed by varint
-// fields (horizon, dropped, pid, unix-nano instant) and the
-// length-prefixed rule and monitor strings. Self-contained on purpose
-// — a marker payload can be interpreted without its record header,
-// mirroring how a segment payload is a well-formed trace on its own.
-func encodeMarker(m history.RecoveryMarker) []byte {
-	var buf bytes.Buffer
+// appendMarker serialises a marker into the self-contained payload
+// blob of a recMarker WAL record, appended to dst: a version byte
+// followed by varint fields (horizon, dropped, pid, unix-nano instant)
+// and the length-prefixed rule and monitor strings. Self-contained on
+// purpose — a marker payload can be interpreted without its record
+// header, mirroring how a segment payload is a well-formed trace on
+// its own. Appending (rather than returning a fresh buffer) lets the
+// WAL sink encode into its pooled payload buffers.
+func appendMarker(dst []byte, m history.RecoveryMarker) []byte {
 	var scratch [binary.MaxVarintLen64]byte
 	putVarint := func(v int64) {
-		buf.Write(scratch[:binary.PutVarint(scratch[:], v)])
+		dst = append(dst, scratch[:binary.PutVarint(scratch[:], v)]...)
 	}
 	putUvarint := func(v uint64) {
-		buf.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+		dst = append(dst, scratch[:binary.PutUvarint(scratch[:], v)]...)
 	}
 	putString := func(s string) {
 		putUvarint(uint64(len(s)))
-		buf.WriteString(s)
+		dst = append(dst, s...)
 	}
-	buf.WriteByte(markerVersion)
+	dst = append(dst, markerVersion)
 	putVarint(m.Horizon)
 	putUvarint(uint64(m.Dropped))
 	putVarint(m.Pid)
 	putVarint(m.At.UnixNano())
 	putString(m.Rule)
 	putString(m.Monitor)
-	return buf.Bytes()
+	return dst
+}
+
+// encodeMarker is appendMarker into a fresh buffer (tests and
+// non-pooled callers).
+func encodeMarker(m history.RecoveryMarker) []byte {
+	return appendMarker(nil, m)
 }
 
 // decodeMarker reverses encodeMarker.

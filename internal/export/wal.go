@@ -2,7 +2,6 @@ package export
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -116,10 +115,13 @@ type WALSink struct {
 	cfg  WALConfig
 	next int // number of the next file to create
 
-	f        *os.File
-	bw       *bufio.Writer
-	size     int64
-	hdr      bytes.Buffer
+	f    *os.File
+	bw   *bufio.Writer
+	size int64
+	// hdr is the record-header scratch buffer, reused across every
+	// record the sink ever writes (nothing downstream retains it:
+	// summaryBuilder folds it into a CRC and lets go).
+	hdr      []byte
 	openedAt time.Time
 	cur      *summaryBuilder // summary of the file being written
 }
@@ -212,25 +214,34 @@ func (w *WALSink) open() error {
 }
 
 // WriteSegment appends one segment record and rotates if the file
-// outgrew the threshold.
+// outgrew the threshold. The payload is encoded into a pooled buffer
+// (event.AppendBinary), so steady-state segment writes allocate
+// nothing per event.
 func (w *WALSink) WriteSegment(seg Segment) error {
 	if len(seg.Events) == 0 {
 		return nil
 	}
-	var payload bytes.Buffer
-	if err := event.WriteBinary(&payload, seg.Events); err != nil {
-		return fmt.Errorf("export: encode segment: %w", err)
-	}
-	return w.writeRecord(recSegment, seg.Monitor,
-		seg.First(), seg.Last(), uint32(len(seg.Events)), payload.Bytes())
+	// ~48 bytes/event covers typical traces; undersizing only costs
+	// one growth step inside AppendBinary (and the grown buffer is
+	// what re-enters the pool).
+	p := getPayloadBuf(16 + 48*len(seg.Events))
+	*p = event.AppendBinary((*p)[:0], seg.Events)
+	err := w.writeRecord(recSegment, seg.Monitor,
+		seg.First(), seg.Last(), uint32(len(seg.Events)), *p)
+	putPayloadBuf(p)
+	return err
 }
 
 // WriteMarker appends one recovery-marker record — the durable trace of
 // a shard-local online reset (see history.RecoveryMarker). It
 // implements the optional MarkerSink extension.
 func (w *WALSink) WriteMarker(m history.RecoveryMarker) error {
-	return w.writeRecord(recMarker, m.Monitor,
-		m.Horizon, m.Horizon, uint32(m.Dropped), encodeMarker(m))
+	p := getPayloadBuf(64 + len(m.Rule) + len(m.Monitor))
+	*p = appendMarker((*p)[:0], m)
+	err := w.writeRecord(recMarker, m.Monitor,
+		m.Horizon, m.Horizon, uint32(m.Dropped), *p)
+	putPayloadBuf(p)
+	return err
 }
 
 // writeRecord appends one record of either type and rotates if the
@@ -252,24 +263,16 @@ func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count
 			return err
 		}
 	}
-	w.hdr.Reset()
-	var scratch [8]byte
-	put := func(b []byte) { w.hdr.Write(b) }
-	w.hdr.WriteByte(typ)
-	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(monitor)))
-	put(scratch[:2])
-	w.hdr.WriteString(monitor)
-	binary.LittleEndian.PutUint64(scratch[:], uint64(first))
-	put(scratch[:])
-	binary.LittleEndian.PutUint64(scratch[:], uint64(last))
-	put(scratch[:])
-	binary.LittleEndian.PutUint32(scratch[:4], count)
-	put(scratch[:4])
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(payload)))
-	put(scratch[:4])
-	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload))
-	put(scratch[:4])
-	if _, err := w.bw.Write(w.hdr.Bytes()); err != nil {
+	w.hdr = w.hdr[:0]
+	w.hdr = append(w.hdr, typ)
+	w.hdr = binary.LittleEndian.AppendUint16(w.hdr, uint16(len(monitor)))
+	w.hdr = append(w.hdr, monitor...)
+	w.hdr = binary.LittleEndian.AppendUint64(w.hdr, uint64(first))
+	w.hdr = binary.LittleEndian.AppendUint64(w.hdr, uint64(last))
+	w.hdr = binary.LittleEndian.AppendUint32(w.hdr, count)
+	w.hdr = binary.LittleEndian.AppendUint32(w.hdr, uint32(len(payload)))
+	w.hdr = binary.LittleEndian.AppendUint32(w.hdr, crc32.ChecksumIEEE(payload))
+	if _, err := w.bw.Write(w.hdr); err != nil {
 		return fmt.Errorf("export: write record header: %w", err)
 	}
 	if _, err := w.bw.Write(payload); err != nil {
@@ -277,9 +280,9 @@ func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count
 	}
 	w.cur.add(&recHeader{
 		typ: typ, monitor: monitor, first: first, last: last,
-		count: count, payloadLen: uint32(len(payload)), raw: w.hdr.Bytes(),
+		count: count, payloadLen: uint32(len(payload)), raw: w.hdr,
 	}, w.size)
-	w.size += int64(w.hdr.Len() + len(payload))
+	w.size += int64(len(w.hdr) + len(payload))
 	if w.cfg.SyncEveryWrite {
 		if err := w.sync(); err != nil {
 			return err

@@ -33,6 +33,15 @@
 // one mutex — the pre-sharding contention profile, kept for the
 // comparative benchmarks (BenchmarkHistoryGlobal vs
 // BenchmarkHistorySharded).
+//
+// # Batched publication
+//
+// Append pays one shard-lock acquire and three atomic updates per
+// event. AppendBatch publishes a block under a single acquire with one
+// contiguous sequence-range claim, and BatchWriter (see batch.go)
+// stages events per producer so blocks form without shared state; the
+// checkpoint flush handshake (FlushWriters) keeps drains and
+// checkpoints exactly as consistent as the singleton path.
 package history
 
 import (
@@ -98,6 +107,14 @@ type DB struct {
 	// readers (EventCount) never take a lock on the hot path.
 	countMu sync.RWMutex
 	counts  map[string]*counter
+
+	// writerMu guards the registry of live BatchWriters — the set the
+	// checkpoint flush handshake (FlushWriters) publishes. Writers
+	// register in NewBatchWriter and leave in Close; the registry is
+	// touched at construction, close and checkpoint rhythm, never per
+	// event.
+	writerMu sync.Mutex
+	writers  map[*BatchWriter]struct{}
 
 	// stateMu guards the checkpoint snapshots — a cold path written only
 	// at checkpoints, deliberately outside the shard locks.
@@ -290,6 +307,16 @@ func splitByMonitor(seg event.Seq) []teePair {
 // Append records the event, assigns it the next global sequence number
 // (starting at 1), and returns the stored copy. Appends to different
 // monitors contend only on the atomic counter, never on a common lock.
+// For block publication amortising the lock and the sequence claim,
+// see AppendBatch and BatchWriter (batch.go).
+//
+// This is the hottest function in the repository: the counter lookup
+// is resolved before the lock (the shard caches its monitor's counter;
+// only the WithGlobalLock shared shard pays a map lookup, outside the
+// critical section), the unlock is explicit rather than deferred, and
+// the atomic counter updates happen after the lock is released — the
+// critical section is exactly the sequence claim and the two slice
+// appends.
 func (db *DB) Append(e event.Event) event.Event {
 	s := db.shardFor(e.Monitor)
 	c := s.counter
@@ -297,7 +324,6 @@ func (db *DB) Append(e event.Event) event.Event {
 		c = db.counterFor(e.Monitor)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Claimed under the shard lock, so the shard's segment stays sorted
 	// by global sequence number.
 	e.Seq = db.nextSeq.Add(1)
@@ -305,6 +331,7 @@ func (db *DB) Append(e event.Event) event.Event {
 	if db.keepFull {
 		s.full = append(s.full, e)
 	}
+	s.mu.Unlock()
 	db.total.Add(1)
 	c.n.Add(1)
 	return e
@@ -327,8 +354,7 @@ func (db *DB) Drain() event.Seq {
 		if len(s.segment) == 0 {
 			continue
 		}
-		seg := event.Seq(s.segment)
-		s.segment = nil
+		seg := s.drainSegmentLocked(len(s.segment))
 		segs = append(segs, seg)
 		if tees != nil {
 			if db.global {
@@ -375,8 +401,7 @@ func (db *DB) DrainMonitor(monitor string) event.Seq {
 		seg = mine
 	} else {
 		s.mu.Lock()
-		seg = event.Seq(s.segment)
-		s.segment = nil
+		seg = s.drainSegmentLocked(len(s.segment))
 		s.mu.Unlock()
 	}
 	if len(seg) > 0 {
@@ -431,10 +456,11 @@ func (db *DB) DrainMonitorUpTo(monitor string, upTo int64, max int) (event.Seq, 
 		if max > 0 && n > max {
 			n = max
 		}
-		// Cap the drained slice so an appending consumer can never
-		// scribble over the events left buffered.
-		seg = event.Seq(s.segment[:n:n])
-		s.segment = s.segment[n:]
+		// The drained prefix is copied out (see drainSegmentLocked), so
+		// the returned slice is exclusively the consumers' — nothing can
+		// scribble over the events left buffered, and the shard's slab
+		// is retained instead of regrowing from nil every checkpoint.
+		seg = s.drainSegmentLocked(n)
 		more = k > n
 	}
 	s.mu.Unlock()

@@ -1,0 +1,159 @@
+package history
+
+import (
+	"sync"
+
+	"robustmon/internal/event"
+)
+
+// Pooled segment slices. The record path's steady-state garbage used
+// to be the segment slabs themselves: every drain handed the shard's
+// backing array to the consumer and left nil behind, so the next
+// append cycle regrew a fresh slab from zero (log₂ n allocations plus
+// copies), and the GC then had to scan and reclaim the pointer-dense
+// drained slab. At millions of events per second that dominates the
+// whole hot loop — the CPU profile is runtime.scanobject, not
+// history.Append. Two changes remove it:
+//
+//   - A full drain swaps slabs instead of abandoning them: the shard
+//     hands its slab to the consumer and installs a replacement sized
+//     for the burst it just drained, so no drain rhythm ever regrows a
+//     slab from zero.
+//
+//   - Consumers which exclusively own a drained segment refill the
+//     slab pool via DB.Recycle. With a recycling consumer (the E6
+//     record-path harness; any tool that drains, uses, and discards)
+//     the slab cycles shard → consumer → pool → shard and the record
+//     path allocates nothing per event in steady state.
+//
+// Consumers that never call Recycle lose nothing: the handed-off slabs
+// are ordinary garbage, and the pool's classes are refilled by fresh
+// class-capacity allocations — one bounded make per drain instead of a
+// regrowth series per drain.
+//
+// Pool hygiene: every pooled slab has exactly a class capacity
+// (Recycle reslices odd append-grown capacities down to the class
+// below, so a Get always returns the capacity its class promises), and
+// pooled slabs hold no stale events — Recycle clears the written
+// prefix, and every other slab source (make, append growth) starts
+// zeroed. Two bounded retention exceptions, both unreachable through
+// any pooled slice: the region a partial drain advanced past, and the
+// tail a reslice cut off. Each can pin at most one slab's worth of
+// already-drained events until the backing array is overwritten or
+// collected.
+
+// maxRetainedCap bounds the slab capacity the pool accepts and the
+// replacement size a drain installs. Checkpoint-rhythm segments are a
+// few hundred to a few thousand events; the top class covers bursts
+// without letting a single spike park megabytes in the pool forever.
+const maxRetainedCap = 16384
+
+// segClasses are the pooled capacity classes (in events), smallest
+// first — power-of-two steps so an append-grown slab rounds down to a
+// nearby class instead of wasting half its capacity, and so the class
+// a burst hints at is never far above the burst.
+var segClasses = [...]int{1024, 2048, 4096, 8192, maxRetainedCap}
+
+var segPools [len(segClasses)]sync.Pool
+
+// classFor returns the index of the smallest class holding hint, or -1
+// when hint exceeds the top class.
+func classFor(hint int) int {
+	for i, class := range segClasses {
+		if hint <= class {
+			return i
+		}
+	}
+	return -1
+}
+
+// slabFor returns a zero-length slab with capacity at least hint: a
+// pooled slab when one is available, a fresh class-capacity allocation
+// for class-sized hints (so drain rhythms stay one-alloc-per-drain
+// even when nothing recycles), and nil for hints below the smallest
+// class (a small shard regrows naturally — eagerly allocating the
+// smallest class for a trickle would cost more than it saves) or
+// beyond the largest (unpoolable anyway).
+func slabFor(hint int) []event.Event {
+	i := classFor(hint)
+	if i < 0 {
+		return nil
+	}
+	if p, _ := segPools[i].Get().(*[]event.Event); p != nil {
+		return *p
+	}
+	if hint < segClasses[0] {
+		return nil
+	}
+	return make([]event.Event, 0, segClasses[i])
+}
+
+// newSegment returns a length-n slice for a drained segment copy, from
+// the pool when possible (an allocation beyond the top class will not
+// be pooled on Recycle).
+func newSegment(n int) event.Seq {
+	if s := slabFor(n); s != nil {
+		return s[:n]
+	}
+	if i := classFor(n); i >= 0 {
+		return make(event.Seq, n, segClasses[i])
+	}
+	return make(event.Seq, n)
+}
+
+// Recycle returns a drained segment's backing array to the segment
+// pool. Only call it when the segment is exclusively owned and dead:
+// the caller drained it itself, no drain tee is installed (an exporter
+// retains drained segments until written), and nothing else holds a
+// reference. Recycling a shared segment corrupts whatever the other
+// holder reads next — when in doubt, don't: an unrecycled segment is
+// merely garbage. The written prefix is cleared (it is pointer-dense;
+// a pooled slab must not pin event strings) and the capacity is
+// normalised down to its class before pooling; oversized and
+// undersized slices fall to the GC.
+func (db *DB) Recycle(seg event.Seq) {
+	c := cap(seg)
+	if c < segClasses[0] || c > maxRetainedCap {
+		return
+	}
+	s := []event.Event(seg)
+	clear(s)
+	for i := len(segClasses) - 1; i >= 0; i-- {
+		if c >= segClasses[i] {
+			s = s[:0:segClasses[i]]
+			segPools[i].Put(&s)
+			return
+		}
+	}
+}
+
+// drainSegmentLocked cuts the first n events out of s.segment as an
+// exclusively-owned segment and leaves the shard ready to record.
+// Caller holds s.mu.
+//
+// A full drain is a swap, not a copy: ownership of the slab transfers
+// to the caller and the shard installs a replacement sized by the
+// drained burst (or nil for a trickle — appends then regrow naturally,
+// which is the pre-pool behaviour). A slab that grew past
+// maxRetainedCap is handed off the same way but would be rejected by
+// Recycle, so a pathological burst cannot park megabytes in the pool.
+//
+// A partial cut (DrainMonitorUpTo's bounded batches) copies the
+// prefix out into a pooled segment and advances the slab in place —
+// repeated batch drains of a long backlog stay O(n) total, not
+// O(n²/batch), and the handed-out prefix shares nothing with the
+// events left buffered.
+func (s *shard) drainSegmentLocked(n int) event.Seq {
+	if n == 0 {
+		return nil
+	}
+	if n == len(s.segment) {
+		seg := event.Seq(s.segment)
+		s.segment = slabFor(n)
+		return seg
+	}
+	out := newSegment(n)
+	copy(out, s.segment[:n])
+	s.segment = s.segment[n:]
+	return out
+}

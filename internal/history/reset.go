@@ -85,7 +85,10 @@ func (db *DB) ResetMonitor(monitor string) int {
 		return dropped
 	}
 	dropped := len(s.segment)
-	s.segment = nil
+	// Truncate in place: nothing is handed out, so the slab (and its
+	// retained capacity) stays with the shard. The stale entries beyond
+	// the new length are overwritten by the monitor's fresh life.
+	s.segment = s.segment[:0]
 	s.counter.n.Store(0)
 	return dropped
 }

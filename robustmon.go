@@ -197,7 +197,17 @@ type (
 	EventSeq = event.Seq
 	// Snapshot is a monitor scheduling state ⟨EQ, CQ[], R#⟩ + Running.
 	Snapshot = state.Snapshot
+	// BatchWriter stages one monitor's events in a lock-free local
+	// buffer and publishes them in blocks — the raw-speed record path.
+	// Construct with History.NewBatchWriter and wire it to a monitor via
+	// monitor.WithRecorder; the detector's checkpoint handshake flushes
+	// it automatically while the monitor is frozen.
+	BatchWriter = history.BatchWriter
 )
+
+// DefaultBatchSize is the BatchWriter staging capacity used when
+// History.NewBatchWriter is given a non-positive size.
+const DefaultBatchSize = history.DefaultBatchSize
 
 // NewHistory returns an empty history database, sharded per monitor:
 // events from different monitors are recorded into independent shards
