@@ -45,6 +45,7 @@ func rowKey(row map[string]any) string {
 		"checkpoint_p50_ns": true, "checkpoint_p99_ns": true,
 		"files_opened": true, "files_total": true,
 		"ns_per_event": true, "bytes_per_event": true, "allocs_per_event": true,
+		"overhead_pct": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {

@@ -86,6 +86,8 @@ func run(args []string, out, errOut io.Writer) int {
 		batch     = fs.Int("batch", 0, "batched-replay batch size for the -monitors sweep (0 = unbatched)")
 		store     = fs.Bool("tracestore", false, "add the E5 trace-store rows (full ReadDir vs index-backed windowed SeekReader over a synthetic export directory); combines with -monitors into one artefact, or runs standalone")
 		record    = fs.Bool("recordpath", false, "add the E6 record-path rows (singleton DB.Append vs BatchWriter ingest under concurrent producers: events/sec, ns/event, B/event, allocs/event); combines with -monitors into one artefact, or runs standalone")
+		obsover   = fs.Bool("obsoverhead", false, "add the E7 self-observability rows (instrumented vs stripped ingest throughput, plus the bare-increment allocation profile); combines with -monitors into one artefact, or runs standalone")
+		batchw    = fs.Bool("batchwriters", false, "wire the -monitors workload through lock-free BatchWriters instead of direct DB.Append (the raw-speed record path under the full monitor protocol)")
 		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
 		baseline  = fs.String("baseline", "", "perf gate: compare the fresh sweep against this JSON artefact and exit non-zero on regression")
 		tolerance = fs.Float64("tolerance", 0.25, "perf gate: relative tolerance for -baseline comparisons")
@@ -115,17 +117,19 @@ func run(args []string, out, errOut io.Writer) int {
 			global:        *global,
 			adaptive:      *adaptive,
 			batch:         *batch,
+			batchwriters:  *batchw,
 			tracestore:    *store,
 			recordpath:    *record,
+			obsoverhead:   *obsover,
 			jsonPath:      *jsonPath,
 			baseline:      *baseline,
 			tolerance:     *tolerance,
 		}, out, errOut)
 	}
 
-	if *store || *record {
-		// Standalone E5/E6: their own artefact kinds; both flags at once
-		// share one artefact (the rows are keyed apart by "bench").
+	if *store || *record || *obsover {
+		// Standalone E5/E6/E7: their own artefact kinds; several flags at
+		// once share one artefact (the rows are keyed apart by "bench").
 		var kinds []string
 		art := benchArtefact{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -151,6 +155,20 @@ func run(args []string, out, errOut io.Writer) int {
 				return code
 			}
 			kinds = append(kinds, "E6-recordpath")
+			art.Rows = append(art.Rows, rows...)
+			for k, v := range cfgEntries {
+				art.Config[k] = v
+			}
+		}
+		if *obsover {
+			if *store || *record {
+				fmt.Fprintln(out)
+			}
+			rows, cfgEntries, code := runObsOverheadSweep(*repeats, out, errOut)
+			if code != 0 {
+				return code
+			}
+			kinds = append(kinds, "E7-obsoverhead")
 			art.Rows = append(art.Rows, rows...)
 			for k, v := range cfgEntries {
 				art.Config[k] = v
@@ -273,8 +291,10 @@ type scalingFlags struct {
 	global        bool
 	adaptive      bool
 	batch         int
+	batchwriters  bool
 	tracestore    bool
 	recordpath    bool
+	obsoverhead   bool
 	jsonPath      string
 	baseline      string
 	tolerance     float64
@@ -387,6 +407,71 @@ func runRecordPathSweep(repeats int, out, errOut io.Writer) ([]map[string]any, m
 	return artRows, cfgEntries, 0
 }
 
+// obsOverheadSelfGatePct is the standalone sanity bound on the E7
+// instrumented-vs-stripped throughput cost: an overhead past half the
+// stripped rate means the "nil-check or one atomic" contract broke
+// (a lock or allocation landed on the hot path), which no container
+// noise produces. Finer regressions are the baseline gate's job.
+const obsOverheadSelfGatePct = 50.0
+
+// runObsOverheadSweep executes the E7 self-observability sweep and
+// returns its artefact rows and config entries (exit code non-zero on
+// failure). The rows carry "bench":"obsoverhead"; the increment row's
+// allocs-per-event is the allocation-free claim and is self-gated
+// against the gate's own noise floor — instrumentation that allocates
+// per increment fails here even without a baseline. The instrumented
+// row's events/sec rides the normal baseline gate, so creeping
+// overhead fails CI like any throughput regression.
+func runObsOverheadSweep(repeats int, out, errOut io.Writer) ([]map[string]any, map[string]any, int) {
+	cfg := experiment.DefaultObsOverheadConfig()
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	fmt.Fprintf(out, "E7 (obs overhead): monitors=%d producers/monitor=%d events/producer=%d increment-ops=%d repeats=%d\n\n",
+		cfg.Monitors, cfg.ProducersPerMonitor, cfg.EventsPerProducer, cfg.IncrementOps, cfg.Repeats)
+	rows, err := experiment.RunObsOverhead(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return nil, nil, 1
+	}
+	fmt.Fprint(out, experiment.ObsOverheadTable(rows).String())
+	for _, r := range rows {
+		switch r.Mode {
+		case "instrumented":
+			fmt.Fprintf(out, "\ninstrumentation costs %.2f%% of stripped ingest throughput\n", r.OverheadPct)
+			if r.OverheadPct > obsOverheadSelfGatePct {
+				fmt.Fprintf(errOut, "monbench: obs overhead %.2f%% exceeds the %.0f%% sanity bound — instrumentation is no longer allocation- and lock-free\n",
+					r.OverheadPct, obsOverheadSelfGatePct)
+				return nil, nil, 1
+			}
+		case "increment":
+			if r.AllocsPerEvent > allocFloorPerEvent {
+				fmt.Fprintf(errOut, "monbench: obs increment path allocates %.3f/op (claim: 0, noise floor %.2f)\n",
+					r.AllocsPerEvent, allocFloorPerEvent)
+				return nil, nil, 1
+			}
+		}
+	}
+	var artRows []map[string]any
+	for _, r := range rows {
+		artRows = append(artRows, map[string]any{
+			"bench": "obsoverhead", "mode": r.Mode, "monitors": r.Monitors,
+			"events": r.Events, "elapsed_ns": r.Elapsed.Nanoseconds(),
+			"events_per_sec": r.EventsPerSec, "ns_per_event": r.NsPerEvent,
+			"allocs_per_event": r.AllocsPerEvent, "overhead_pct": r.OverheadPct,
+		})
+	}
+	cfgEntries := map[string]any{
+		"obsoverhead_monitors":              cfg.Monitors,
+		"obsoverhead_producers_per_monitor": cfg.ProducersPerMonitor,
+		"obsoverhead_events_per_producer":   cfg.EventsPerProducer,
+		"obsoverhead_drain_every":           cfg.DrainEveryEvents,
+		"obsoverhead_increment_ops":         cfg.IncrementOps,
+		"obsoverhead_repeats":               cfg.Repeats,
+	}
+	return artRows, cfgEntries, 0
+}
+
 // runScaling executes the E4 many-monitor sweep (-monitors).
 func runScaling(f scalingFlags, out, errOut io.Writer) int {
 	cfg := experiment.DefaultScalingConfig()
@@ -421,14 +506,19 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 	cfg.GlobalLock = f.global
 	cfg.Adaptive = f.adaptive
 	cfg.BatchSize = f.batch
+	cfg.BatchWriters = f.batchwriters
 	cfg.Repeats = f.repeats
 
 	db := "sharded"
 	if f.global {
 		db = "global-lock"
 	}
-	fmt.Fprintf(out, "E4 (scaling): ops/monitor=%d procs/monitor=%d interval=%v workers=%d db=%s adaptive=%v batch=%d\n\n",
-		cfg.OpsPerMonitor, cfg.ProcsPerMonitor, cfg.Interval, cfg.Workers, db, cfg.Adaptive, cfg.BatchSize)
+	recorder := "direct"
+	if f.batchwriters {
+		recorder = "batchwriter"
+	}
+	fmt.Fprintf(out, "E4 (scaling): ops/monitor=%d procs/monitor=%d interval=%v workers=%d db=%s adaptive=%v batch=%d recorder=%s\n\n",
+		cfg.OpsPerMonitor, cfg.ProcsPerMonitor, cfg.Interval, cfg.Workers, db, cfg.Adaptive, cfg.BatchSize, recorder)
 	rows, err := experiment.RunScaling(cfg)
 	if err != nil {
 		fmt.Fprintf(errOut, "monbench: %v\n", err)
@@ -446,7 +536,7 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 			"ops_per_monitor": cfg.OpsPerMonitor, "procs_per_monitor": cfg.ProcsPerMonitor,
 			"interval_ns": cfg.Interval.Nanoseconds(), "workers": cfg.Workers,
 			"db": db, "adaptive": cfg.Adaptive, "batch": cfg.BatchSize,
-			"repeats": cfg.Repeats,
+			"recorder": recorder, "repeats": cfg.Repeats,
 		},
 	}
 	for _, r := range rows {
@@ -480,6 +570,17 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 		}
 		art.Rows = append(art.Rows, rpRows...)
 		for k, v := range rpCfg {
+			art.Config[k] = v
+		}
+	}
+	if f.obsoverhead {
+		fmt.Fprintln(out)
+		obsRows, obsCfg, code := runObsOverheadSweep(f.repeats, out, errOut)
+		if code != 0 {
+			return code
+		}
+		art.Rows = append(art.Rows, obsRows...)
+		for k, v := range obsCfg {
 			art.Config[k] = v
 		}
 	}

@@ -42,6 +42,21 @@
 //     was discarded, a broken call-order pair, …) may be artefacts of
 //     the gap rather than faults in the monitored program.
 //
+// # Health timeline
+//
+// An export directory can also hold health snapshots — records a
+// detector writes at a configured cadence (DetectorConfig.HealthEvery
+// with an obs registry) capturing the whole self-observability
+// registry at a sequence horizon. stats renders them as a timeline
+// after the trace statistics: one row per snapshot with the pipeline's
+// well-known metrics (history appends, checkpoints, violations,
+// exported events, exporter queue depth, checkpoint-latency p99)
+// pulled out as columns, so a trace directory answers not only "what
+// did the monitors do" but "how did the detection pipeline itself
+// behave" — after the fact, from disk, windowed through the index.
+//
+//	montrace stats -in run/ -from 12000 -to 24000
+//
 // # Trace store: windowed queries, index, compact
 //
 // A long run leaves hundreds of rotated segment files; decoding all of

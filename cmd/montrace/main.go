@@ -20,6 +20,7 @@ import (
 	"robustmon/internal/history"
 	"robustmon/internal/mdl"
 	"robustmon/internal/monitor"
+	"robustmon/internal/obs"
 	"robustmon/internal/proc"
 	"robustmon/internal/report"
 	"robustmon/internal/rules"
@@ -63,18 +64,60 @@ func run() int {
 func stats(args []string) int {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "trace file to analyse")
+	var win window
+	win.addFlags(fs)
 	_ = fs.Parse(args)
 	if *in == "" {
 		usage()
 		return 2
 	}
-	trace, _, err := load(*in)
+	trace, _, healths, err := loadWindowed(*in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
 	}
 	fmt.Print(tracestat.Compute(trace).String())
+	renderHealthTimeline(healths)
 	return 0
+}
+
+// renderHealthTimeline prints the run's health snapshots (periodic
+// obs-registry captures the detector streamed into the WAL) as a
+// timeline: one row per snapshot at its sequence horizon, with the
+// well-known pipeline metrics pulled out as columns. Snapshots outside
+// the -from/-to window were already filtered (and their files never
+// opened) by the trace-store index.
+func renderHealthTimeline(healths []obs.HealthRecord) {
+	if len(healths) == 0 {
+		return
+	}
+	sort.SliceStable(healths, func(i, j int) bool { return healths[i].Seq < healths[j].Seq })
+	fmt.Printf("\nhealth timeline: %d snapshots\n", len(healths))
+	fmt.Printf("%-20s  %9s  %8s  %6s  %9s  %8s  %6s  %11s\n",
+		"at", "seq", "appends", "checks", "viols", "exported", "queue", "check p99")
+	counter := func(s obs.Snapshot, name string) string {
+		if v, ok := s.Counter(name); ok {
+			return fmt.Sprint(v)
+		}
+		return "-"
+	}
+	for _, h := range healths {
+		queue := "-"
+		if v, ok := h.Metrics.Gauge("export_queue_depth"); ok {
+			queue = fmt.Sprint(v)
+		}
+		p99 := "-"
+		if hist, ok := h.Metrics.Histogram("detect_check_ns"); ok && hist.Count > 0 {
+			p99 = time.Duration(hist.Quantile(0.99)).Round(time.Microsecond).String()
+		}
+		fmt.Printf("%-20s  %9d  %8s  %6s  %9s  %8s  %6s  %11s\n",
+			h.At.UTC().Format("2006-01-02T15:04:05Z"), h.Seq,
+			counter(h.Metrics, "history_append_total"),
+			counter(h.Metrics, "detect_checks_total"),
+			counter(h.Metrics, "detect_violations_total"),
+			counter(h.Metrics, "export_events_total"),
+			queue, p99)
+	}
 }
 
 // usageText is the full help text (montrace help); the golden test in
@@ -84,7 +127,7 @@ const usageText = `usage:
   montrace check   -in  <file|dir> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
                    [-from N] [-to N] [-monitor a,b]
   montrace dump    -in  <file|dir> [-original] [-from N] [-to N] [-monitor a,b]
-  montrace stats   -in  <file|dir>
+  montrace stats   -in  <file|dir> [-from N] [-to N] [-monitor a,b]
   montrace index   -in  <dir> [-verify]
   montrace compact -in  <dir> [-keep N] [-drop-reset] [-max-bytes N]
   montrace help
@@ -108,8 +151,19 @@ recovery markers:
   can be artefacts of the deliberate trace gap rather than faults in
   the monitored program.
 
+health timeline:
+  An export directory may also contain health snapshots: periodic
+  captures of the run's self-observability metrics (robustmon's obs
+  registry, emitted by a detector configured with HealthEvery).
+  stats renders them as a timeline — one row per snapshot at its
+  sequence horizon, with append/check/violation/export counters, the
+  exporter queue depth and the checkpoint-latency p99 — windowed by
+  -from/-to through the trace-store index like everything else.
+  Snapshots are per-process records, so -monitor does not filter
+  them. Compaction preserves them byte-identically.
+
 trace store (windowing, index, compact):
-  -from/-to restrict dump and check to a sequence-number window and
+  -from/-to restrict dump, check and stats to a sequence-number window and
   -monitor to a comma-separated monitor set. Over an export directory
   the window is answered through the trace-store index (wal.index):
   only the segment files whose indexed seq ranges intersect the
@@ -371,26 +425,28 @@ func (w window) names() []string {
 // is answered through the trace-store SeekReader — only the files the
 // index admits are opened, and the pruning is reported on stderr; a
 // flat file is filtered after loading (there is nothing to prune).
-func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, error) {
+// Health snapshots window on their seq horizon but are per-process
+// records, so the -monitor filter does not apply to them.
+func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, error) {
 	info, err := os.Stat(path)
 	if err == nil && info.IsDir() && w.active() {
 		r, err := index.OpenDir(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		rep, err := r.ReplayRange(w.from, w.to, w.names()...)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		st := r.LastStats()
 		fmt.Fprintf(os.Stderr, "montrace: window opened %d of %d files (%d skipped via index, %d unindexed)\n",
 			st.Opened, st.FilesTotal, st.Skipped, st.Unindexed)
 		warnReplay(rep)
-		return rep.Events, rep.Markers, nil
+		return rep.Events, rep.Markers, rep.Healths, nil
 	}
-	trace, markers, err := load(path)
+	trace, markers, healths, err := load(path)
 	if err != nil || !w.active() {
-		return trace, markers, err
+		return trace, markers, healths, err
 	}
 	from, to := w.from, w.to
 	if from <= 0 {
@@ -400,6 +456,13 @@ func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, e
 		to = math.MaxInt64
 	}
 	trace = trace.SubSeq(from, to)
+	keptHealths := healths[:0]
+	for _, h := range healths {
+		if h.Seq <= to && (h.Seq >= from || from <= 1) {
+			keptHealths = append(keptHealths, h)
+		}
+	}
+	healths = keptHealths
 	if names := w.names(); names != nil {
 		keep := make(map[string]bool, len(names))
 		for _, n := range names {
@@ -420,7 +483,7 @@ func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, e
 		}
 		markers = kept
 	}
-	return trace, markers, nil
+	return trace, markers, healths, nil
 }
 
 // warnReplay surfaces a replay's damage accounting on stderr.
@@ -444,20 +507,20 @@ func warnReplay(rep *export.Replay) {
 }
 
 // load reads a trace from a file or an export directory. Recovery
-// markers only exist in export directories; for flat files the marker
-// slice is always nil.
-func load(path string) (event.Seq, []history.RecoveryMarker, error) {
+// markers and health snapshots only exist in export directories; for
+// flat files both slices are always nil.
+func load(path string) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, error) {
 	if info, err := os.Stat(path); err == nil && info.IsDir() {
 		rep, err := export.ReadDir(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		warnReplay(rep)
-		return rep.Events, rep.Markers, nil
+		return rep.Events, rep.Markers, rep.Healths, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer f.Close()
 	var trace event.Seq
@@ -466,7 +529,7 @@ func load(path string) (event.Seq, []history.RecoveryMarker, error) {
 	} else {
 		trace, err = event.ReadJSON(f)
 	}
-	return trace, nil, err
+	return trace, nil, nil, err
 }
 
 func check(args []string) int {
@@ -483,7 +546,7 @@ func check(args []string) int {
 		usage()
 		return 2
 	}
-	trace, markers, err := loadWindowed(*in, win)
+	trace, markers, _, err := loadWindowed(*in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
@@ -561,7 +624,7 @@ func dump(args []string) int {
 		usage()
 		return 2
 	}
-	trace, markers, err := loadWindowed(*in, win)
+	trace, markers, _, err := loadWindowed(*in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1

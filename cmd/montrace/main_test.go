@@ -54,7 +54,7 @@ func TestLoadExportDirWithMarkers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	trace, markers, err := load(dir)
+	trace, markers, _, err := load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestRecordCheckCleanJSON(t *testing.T) {
 	if code := record([]string{"-out", path, "-items", "20"}); code != 0 {
 		t.Fatalf("record exit = %d", code)
 	}
-	trace, _, err := load(path)
+	trace, _, _, err := load(path)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -158,7 +158,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if code := record([]string{"-out", filepath.Join(dir, "ok.jsonl"), "-items", "1"}); code != 0 {
 		t.Fatal("setup record failed")
 	}
-	if _, _, err := load(bad); err == nil {
+	if _, _, _, err := load(bad); err == nil {
 		t.Fatal("load of missing file succeeded")
 	}
 }
@@ -169,7 +169,7 @@ func TestRecordToExportDirRoundTrip(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "20"}); code != 0 {
 		t.Fatalf("record -outdir exit = %d", code)
 	}
-	trace, _, err := load(dir)
+	trace, _, _, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(dir): %v", err)
 	}
@@ -208,7 +208,7 @@ func TestLoadTruncatedExportDirRecovers(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "20"}); code != 0 {
 		t.Fatalf("record -outdir exit = %d", code)
 	}
-	full, _, err := load(dir)
+	full, _, _, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(full): %v", err)
 	}
@@ -226,7 +226,7 @@ func TestLoadTruncatedExportDirRecovers(t *testing.T) {
 	if err := os.WriteFile(newest, blob[:len(blob)-5], 0o666); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := load(dir)
+	got, _, _, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(truncated): %v", err)
 	}
@@ -249,7 +249,7 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "64"}); code != 0 {
 		t.Fatalf("record exit = %d", code)
 	}
-	full, _, err := load(dir)
+	full, _, _, err := load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	// A window in the middle, via the index-backed reader.
 	mid := full[len(full)/2].Seq
 	win := window{from: mid - 10, to: mid + 10}
-	got, _, err := loadWindowed(dir, win)
+	got, _, _, err := loadWindowed(dir, win)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	}
 
 	// Monitor filtering composes with the window.
-	byMon, _, err := loadWindowed(dir, window{from: mid - 10, to: mid + 10, monitors: "boundedbuffer"})
+	byMon, _, _, err := loadWindowed(dir, window{from: mid - 10, to: mid + 10, monitors: "boundedbuffer"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	if code := compactCmd([]string{"-in", dir, "-keep", "0"}); code != 0 {
 		t.Fatalf("compact exit = %d", code)
 	}
-	after, _, err := load(dir)
+	after, _, _, err := load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,11 +315,11 @@ func TestWindowFlagsOnFlatFile(t *testing.T) {
 	if code := record([]string{"-out", path, "-items", "16"}); code != 0 {
 		t.Fatalf("record exit = %d", code)
 	}
-	full, _, err := load(path)
+	full, _, _, err := load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := loadWindowed(path, window{from: 5, to: 14})
+	got, _, _, err := loadWindowed(path, window{from: 5, to: 14})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,165 @@
+// Observability: the self-observability layer end to end. A sharded
+// history database, a detector and a streaming WAL exporter all
+// instrument themselves on one lock-free metrics registry; the
+// detector additionally captures the whole registry as periodic
+// health-snapshot records in the same WAL that carries the trace. The
+// program then exposes the registry over HTTP — /metrics in Prometheus
+// text exposition plus the standard /debug/pprof suite — scrapes its
+// own endpoint once, and finally replays the export directory to show
+// the health timeline that `montrace stats` renders after the fact.
+//
+//	go run ./examples/observability
+//	go run ./examples/observability -addr 127.0.0.1:9188 -serve 30s
+//
+// With -serve the endpoint stays up after the workload so an external
+// scraper (curl, Prometheus, go tool pprof) can pull from it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"robustmon"
+)
+
+const (
+	nMonitors   = 4
+	procsPerMon = 2
+	pairsPerOp  = 300
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "observability endpoint listen address")
+	serve := flag.Duration("serve", 0, "keep the endpoint up this long after the workload (0: exit immediately)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "observability-*")
+	if err != nil {
+		log.Fatalf("observability: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	// One registry, wired through every layer: the history database
+	// counts appends and slab-pool traffic, the detector its
+	// checkpoints, violations and latency histograms, the exporter its
+	// queue and drop accounting.
+	reg := robustmon.NewObsRegistry()
+
+	sink, err := robustmon.NewWALSink(dir, robustmon.WALConfig{MaxFileBytes: 16 << 10})
+	if err != nil {
+		log.Fatalf("observability: %v", err)
+	}
+	exp := robustmon.NewExporter(sink, robustmon.ExporterConfig{
+		Policy: robustmon.ExportBlock,
+		Obs:    reg,
+	})
+
+	db := robustmon.NewHistory(robustmon.WithObsMetrics(reg))
+	mons := make([]*robustmon.Monitor, nMonitors)
+	for i := range mons {
+		m, err := robustmon.NewMonitor(robustmon.Spec{
+			Name:       fmt.Sprintf("svc%02d", i),
+			Kind:       robustmon.OperationManager,
+			Conditions: []string{"ok"},
+			Procedures: []string{"Op"},
+		}, robustmon.WithRecorder(db))
+		if err != nil {
+			log.Fatalf("observability: %v", err)
+		}
+		mons[i] = m
+	}
+	det := robustmon.NewDetector(db, robustmon.DetectorConfig{
+		Tmax:     time.Hour,
+		Tio:      time.Hour,
+		Exporter: exp,
+		Obs:      reg,
+		// Every checkpoint boundary at least 5ms after the last snapshot
+		// captures the registry into the WAL — the health timeline.
+		HealthEvery: 5 * time.Millisecond,
+	}, mons...)
+
+	// The HTTP endpoint is up during the workload, so a scrape sees the
+	// counters move. ":0" picks a free port; Addr reads it back.
+	srv, err := robustmon.StartObsServer(robustmon.ObsConfig{Addr: *addr, Registry: reg})
+	if err != nil {
+		log.Fatalf("observability: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("observability endpoint: %s/metrics (pprof at %s/debug/pprof/)\n", srv.URL(), srv.URL())
+
+	rt := robustmon.NewRuntime()
+	for _, m := range mons {
+		m := m
+		for w := 0; w < procsPerMon; w++ {
+			rt.Spawn("worker", func(p *robustmon.Process) {
+				for j := 0; j < pairsPerOp; j++ {
+					if err := m.Enter(p, "Op"); err != nil {
+						return
+					}
+					_ = m.Exit(p, "Op")
+					if j%50 == 49 {
+						det.CheckNow()
+						time.Sleep(time.Millisecond) // let the health cadence elapse
+					}
+				}
+			})
+		}
+	}
+	rt.Join()
+	det.CheckNow()
+	if err := exp.Close(); err != nil {
+		log.Fatalf("observability: close exporter: %v", err)
+	}
+
+	// Scrape our own endpoint once: the exposition is plain Prometheus
+	// text, one sample per line.
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		log.Fatalf("observability: scrape: %v", err)
+	}
+	shown := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, prefix := range []string{"history_append_total", "detect_checks_total", "detect_violations_total", "export_written_total"} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Printf("  scrape: %s\n", line)
+				shown++
+			}
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if shown == 0 {
+		log.Fatal("observability: scrape returned none of the expected metrics")
+	}
+
+	// The same registry also went to disk: the WAL carries health
+	// snapshots alongside the trace, each stamped with the sequence
+	// horizon it was captured at.
+	rep, err := robustmon.ReadExportDir(dir)
+	if err != nil {
+		log.Fatalf("observability: replay: %v", err)
+	}
+	fmt.Printf("replayed %d events and %d health snapshots from %s\n",
+		len(rep.Events), len(rep.Healths), dir)
+	if len(rep.Healths) == 0 {
+		log.Fatal("observability: no health snapshots reached the WAL")
+	}
+	last := rep.Healths[len(rep.Healths)-1]
+	checks, _ := last.Metrics.Counter("detect_checks_total")
+	fmt.Printf("last snapshot: horizon seq %d, detect_checks_total %d (montrace stats -in <dir> renders the timeline)\n",
+		last.Seq, checks)
+
+	if *serve > 0 {
+		fmt.Printf("serving for %v…\n", *serve)
+		time.Sleep(*serve)
+	}
+}

@@ -41,7 +41,6 @@ package detect
 
 import (
 	"context"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -53,6 +52,7 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 	"robustmon/internal/monitor"
+	"robustmon/internal/obs"
 	"robustmon/internal/rules"
 	"robustmon/internal/state"
 )
@@ -128,6 +128,20 @@ type Config struct {
 	// adaptive scheduler tunes each monitor's interval toward. Zero
 	// means BatchSize when set, else sched.DefaultTargetBatch.
 	TargetBatch int
+	// Obs, when set, instruments the detector on the registry (see
+	// obs.go): checkpoint/freeze latency histograms, check, replay,
+	// violation and reset counters, and per-monitor interval gauges
+	// when the adaptive scheduler is on. It is also the registry
+	// HealthEvery snapshots are captured from. Nil disables at zero
+	// cost (Stats.CheckP50/CheckP99 still work — the latency histogram
+	// is kept standalone).
+	Obs *obs.Registry
+	// HealthEvery, when positive (and Obs is set, and Exporter
+	// implements HealthExporter), captures the registry as a health
+	// snapshot at the first checkpoint boundary after each elapsed
+	// period and sends it through the exporter, so the export WAL
+	// carries a health timeline alongside the trace. Zero disables.
+	HealthEvery time.Duration
 	// SuspendOverhead simulates the fixed per-checkpoint cost of the
 	// paper's prototype, whose checking routine suspended every user
 	// process via 2001-era JVM thread suspension — a platform cost that
@@ -196,14 +210,19 @@ type Detector struct {
 	// handshake publishes. Fixed at construction.
 	monNames []string
 
-	mu    sync.Mutex
-	mons  []*monState
-	found []rules.Violation
-	stats Stats
-	// lat is a bounded ring of recent per-checkpoint durations (the
-	// p50/p99 source); latN counts how many were ever recorded.
-	lat  []time.Duration
-	latN int
+	// met are the obs handles (see obs.go); met.checkNs is live even
+	// without Config.Obs, backing Stats.CheckP50/CheckP99. health is
+	// Config.Exporter's HealthExporter side, resolved at construction
+	// (nil when health emission is off); lastHealth is the cadence
+	// anchor, guarded by mu like the rest of the checkpoint state.
+	met    detMetrics
+	health HealthExporter
+
+	mu         sync.Mutex
+	mons       []*monState
+	found      []rules.Violation
+	stats      Stats
+	lastHealth time.Time
 
 	// resetMu guards the queue of pending shard-local recovery resets;
 	// they are applied under d.mu at checkpoint boundaries (see
@@ -211,10 +230,6 @@ type Detector struct {
 	resetMu sync.Mutex
 	resetQ  []resetReq
 }
-
-// latWindow bounds the latency ring: recent enough to reflect the
-// current regime, large enough for a stable p99.
-const latWindow = 4096
 
 // Stats summarises detector activity (used by the overhead benches).
 type Stats struct {
@@ -230,10 +245,17 @@ type Stats struct {
 	// individual freeze windows — which batching shrinks to the
 	// horizon fix, and which this metric exists to show.
 	FrozenFor time.Duration
-	// CheckP50 and CheckP99 are percentile checkpoint latencies over
-	// the most recent latWindow checkpoints — the perf-gate signal for
-	// "a huge shard no longer stalls a checkpoint". Zero until the
-	// first checkpoint completes.
+	// CheckP50 and CheckP99 are percentile checkpoint latencies — the
+	// perf-gate signal for "a huge shard no longer stalls a
+	// checkpoint". Zero until the first checkpoint completes.
+	//
+	// Since the obs subsystem landed they are computed from the
+	// detect_check_ns histogram (power-of-two buckets, interpolated
+	// within the matched bucket — exact to a factor of two) over the
+	// whole run, not from the old exact 4096-checkpoint ring. The
+	// field surface is kept for compatibility; consumers needing
+	// full bucket resolution should read the histogram through
+	// Config.Obs instead.
 	CheckP50, CheckP99 time.Duration
 	// Resets is the number of shard-local recovery resets applied
 	// (RequestReset), and ResetDropped the total buffered events those
@@ -297,6 +319,14 @@ func New(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector {
 		now := cfg.Clock.Now()
 		for _, ms := range d.mons {
 			d.sched.Add(ms.mon.Name(), now)
+		}
+	}
+	d.met = newDetMetrics(cfg.Obs, d.monNames, d.sched != nil)
+	if cfg.HealthEvery > 0 && cfg.Obs != nil {
+		// Health emission needs all three legs: a cadence, a registry to
+		// snapshot, and an exporter that can carry the record.
+		if he, ok := cfg.Exporter.(HealthExporter); ok {
+			d.health = he
 		}
 	}
 	return d
@@ -369,6 +399,10 @@ func (d *Detector) checkSubset(sel []int) []rules.Violation {
 	// this drain are picked up by their own detached goroutines (see
 	// RequestReset) as soon as the lock frees.
 	d.applyResetsLocked()
+	// Health snapshots interleave with checkpoints, never run inside
+	// one — captured here the record also reflects this checkpoint's
+	// own counters.
+	d.maybeEmitHealthLocked()
 	return out
 }
 
@@ -487,6 +521,7 @@ func (d *Detector) checkSubsetLocked(sel []int) []rules.Violation {
 		})
 		for _, f := range frozen {
 			d.stats.FrozenFor += f
+			d.met.freezeNs.Observe(f.Nanoseconds())
 		}
 		// Duplicated rather than hoisted below the if/else: the HoldWorld
 		// branch must run extras before thawing, this one has no frozen
@@ -502,14 +537,18 @@ func (d *Detector) checkSubsetLocked(sel []int) []rules.Violation {
 	}
 	for _, n := range events {
 		d.stats.Events += n
+		d.met.eventsReplayed.Add(int64(n))
 	}
 	elapsed := d.cfg.Clock.Now().Sub(start)
 	if d.cfg.HoldWorld {
 		// The world was stopped for the whole checkpoint; per-monitor
 		// mode accumulated its individual freeze windows above.
 		d.stats.FrozenFor += elapsed
+		d.met.freezeNs.Observe(elapsed.Nanoseconds())
 	}
-	d.recordLatency(elapsed)
+	d.met.checkNs.Observe(elapsed.Nanoseconds())
+	d.met.checks.Inc()
+	d.met.violations.Add(int64(len(out)))
 	d.stats.Checks++
 	d.stats.Violations += len(out)
 	for i := range out {
@@ -520,17 +559,6 @@ func (d *Detector) checkSubsetLocked(sel []int) []rules.Violation {
 		}
 	}
 	return out
-}
-
-// recordLatency folds one checkpoint duration into the bounded ring
-// behind Stats.CheckP50/CheckP99. Caller holds d.mu.
-func (d *Detector) recordLatency(elapsed time.Duration) {
-	if len(d.lat) < latWindow {
-		d.lat = append(d.lat, elapsed)
-	} else {
-		d.lat[d.latN%latWindow] = elapsed
-	}
-	d.latN++
 }
 
 // batchDrain returns a drain function pulling the named monitor's
@@ -699,6 +727,14 @@ func (d *Detector) runAdaptive(ctx context.Context) []rules.Violation {
 			for _, name := range due {
 				d.sched.MarkChecked(name, done)
 			}
+			if d.met.intervals != nil {
+				// Refresh the effective-interval gauges at checkpoint
+				// rhythm; the map was resolved at construction, so this
+				// is gauge stores, not registry lookups.
+				for name, iv := range d.sched.Intervals() {
+					d.met.intervals[name].Set(int64(iv))
+				}
+			}
 		}
 	}
 }
@@ -721,32 +757,13 @@ func (d *Detector) Violations() []rules.Violation {
 }
 
 // Stats returns a copy of the detector's activity counters, with the
-// checkpoint-latency percentiles computed over the recent window.
+// checkpoint-latency percentiles computed from the detect_check_ns
+// histogram (see the CheckP50 field note).
 func (d *Detector) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := d.stats
-	st.CheckP50, st.CheckP99 = latencyQuantiles(d.lat)
+	st.CheckP50 = time.Duration(d.met.checkNs.Quantile(0.50))
+	st.CheckP99 = time.Duration(d.met.checkNs.Quantile(0.99))
 	return st
-}
-
-// latencyQuantiles computes the p50/p99 of the recorded checkpoint
-// durations (zeros when none were recorded yet). Nearest-rank
-// (ceil(p·n)): with the few checkpoints a short run completes, p99
-// must report the worst observation, not exclude it — a single
-// stalled checkpoint is exactly what the perf gate watches for.
-func latencyQuantiles(lat []time.Duration) (p50, p99 time.Duration) {
-	if len(lat) == 0 {
-		return 0, 0
-	}
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	q := func(p float64) time.Duration {
-		i := int(math.Ceil(p*float64(len(sorted)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return sorted[i]
-	}
-	return q(0.50), q(0.99)
 }

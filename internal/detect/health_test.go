@@ -1,0 +1,169 @@
+package detect
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"robustmon/internal/clock"
+	"robustmon/internal/event"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/obs"
+	"robustmon/internal/proc"
+)
+
+// healthCapture is a SegmentExporter that also captures health
+// snapshots — the HealthExporter leg of the wiring, observable.
+type healthCapture struct {
+	mu      sync.Mutex
+	healths []obs.HealthRecord
+}
+
+func (c *healthCapture) Consume(string, event.Seq) {}
+func (c *healthCapture) Flush() error              { return nil }
+func (c *healthCapture) ConsumeHealth(h obs.HealthRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.healths = append(c.healths, h)
+}
+func (c *healthCapture) captured() []obs.HealthRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.HealthRecord(nil), c.healths...)
+}
+
+// segOnly is a SegmentExporter with no health support.
+type segOnly struct{}
+
+func (segOnly) Consume(string, event.Seq) {}
+func (segOnly) Flush() error              { return nil }
+
+// TestHealthEmissionCadence: the first checkpoint always emits (the
+// timeline's anchor), later checkpoints emit only after HealthEvery
+// has elapsed on the configured clock, and each record carries the
+// database's current sequence horizon plus the live registry.
+func TestHealthEmissionCadence(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	cap := &healthCapture{}
+	f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
+		Obs: reg, HealthEvery: time.Minute, Exporter: cap,
+	})
+	f.rt.Spawn("worker", func(p *proc.P) {
+		if err := f.mon.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = f.mon.Exit(p, "Op")
+	})
+	f.rt.Join()
+
+	f.det.CheckNow() // anchor: always emits
+	f.det.CheckNow() // same instant: cadence not elapsed
+	if got := cap.captured(); len(got) != 1 {
+		t.Fatalf("after two same-instant checkpoints: %d snapshots, want the anchor only", len(got))
+	}
+
+	f.clk.Advance(30 * time.Second)
+	f.det.CheckNow() // half the cadence: still nothing
+	if got := cap.captured(); len(got) != 1 {
+		t.Fatalf("after half the cadence: %d snapshots, want 1", len(got))
+	}
+
+	f.clk.Advance(30 * time.Second)
+	f.det.CheckNow() // cadence elapsed since the anchor
+	got := cap.captured()
+	if len(got) != 2 {
+		t.Fatalf("after a full cadence: %d snapshots, want 2", len(got))
+	}
+
+	// Each record: the capture instant, the horizon, the registry.
+	if !got[0].At.Equal(epoch) {
+		t.Fatalf("anchor captured at %v, want the epoch", got[0].At)
+	}
+	if !got[1].At.Equal(epoch.Add(time.Minute)) {
+		t.Fatalf("second snapshot at %v, want epoch+1m", got[1].At)
+	}
+	if want := f.db.LastSeq(); got[1].Seq != want {
+		t.Fatalf("snapshot horizon %d, database says %d", got[1].Seq, want)
+	}
+	if v, ok := got[1].Metrics.Counter("detect_checks_total"); !ok || v < 3 {
+		t.Fatalf("snapshot registry detect_checks_total = %d (ok=%v), want >= 3", v, ok)
+	}
+	if v, _ := reg.Snapshot().Counter("detect_health_emitted_total"); v != 2 {
+		t.Fatalf("detect_health_emitted_total = %d, want 2", v)
+	}
+}
+
+// TestHealthEmissionRequiresAllLegs: emission needs a cadence, a
+// registry and a health-capable exporter; missing any one leg
+// disables it without disturbing the checkpoint path.
+func TestHealthEmissionRequiresAllLegs(t *testing.T) {
+	t.Parallel()
+	t.Run("no cadence", func(t *testing.T) {
+		t.Parallel()
+		cap := &healthCapture{}
+		f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
+			Obs: obs.NewRegistry(), Exporter: cap,
+		})
+		f.det.CheckNow()
+		if got := cap.captured(); len(got) != 0 {
+			t.Fatalf("HealthEvery=0 still emitted %d snapshots", len(got))
+		}
+	})
+	t.Run("no registry", func(t *testing.T) {
+		t.Parallel()
+		cap := &healthCapture{}
+		f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
+			HealthEvery: time.Minute, Exporter: cap,
+		})
+		f.det.CheckNow()
+		if got := cap.captured(); len(got) != 0 {
+			t.Fatalf("nil registry still emitted %d snapshots", len(got))
+		}
+	})
+	t.Run("plain exporter", func(t *testing.T) {
+		t.Parallel()
+		reg := obs.NewRegistry()
+		f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
+			Obs: reg, HealthEvery: time.Minute, Exporter: segOnly{},
+		})
+		f.det.CheckNow() // must not panic on the missing extension
+		if v, _ := reg.Snapshot().Counter("detect_health_emitted_total"); v != 0 {
+			t.Fatalf("plain exporter counted %d emissions", v)
+		}
+	})
+}
+
+// TestStatsLatencyFromHistogram: CheckP50/CheckP99 are derived from
+// the detect_check_ns histogram — live with and without a registry,
+// ordered, and (with a registry) in step with the exposed histogram.
+func TestStatsLatencyFromHistogram(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	// A real clock: checkpoint latency is measured on Config.Clock, and
+	// a virtual clock would observe every checkpoint as instantaneous.
+	db := history.New(history.WithFullTrace())
+	m, err := monitor.New(managerSpec(), monitor.WithRecorder(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := New(db, Config{Clock: clock.Real{}, HoldWorld: true, Obs: reg}, m)
+	for i := 0; i < 5; i++ {
+		det.CheckNow()
+	}
+	st := det.Stats()
+	if st.Checks != 5 {
+		t.Fatalf("Checks = %d, want 5", st.Checks)
+	}
+	if st.CheckP99 <= 0 || st.CheckP50 > st.CheckP99 {
+		t.Fatalf("latency percentiles p50=%v p99=%v, want 0 < p50 <= p99", st.CheckP50, st.CheckP99)
+	}
+	h, ok := reg.Snapshot().Histogram("detect_check_ns")
+	if !ok || h.Count != 5 {
+		t.Fatalf("detect_check_ns count = %d (ok=%v), want the 5 checkpoints", h.Count, ok)
+	}
+	if got := time.Duration(h.Quantile(0.99)); got != st.CheckP99 {
+		t.Fatalf("histogram p99 %v != Stats p99 %v — two readings of one histogram", got, st.CheckP99)
+	}
+}

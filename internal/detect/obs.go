@@ -1,0 +1,84 @@
+package detect
+
+import "robustmon/internal/obs"
+
+// Detector self-observability. Config.Obs instruments the checkpoint
+// pipeline on an obs registry — checkpoint and freeze latency
+// histograms, check/replay/violation/reset counters, and per-monitor
+// effective-interval gauges under the adaptive scheduler — and
+// Config.HealthEvery periodically captures the whole registry as a
+// health snapshot sent through the exporter (HealthExporter), so the
+// export WAL carries the detector's health timeline alongside its
+// trace (see internal/export and `montrace stats`).
+
+// HealthExporter is the optional SegmentExporter extension for health
+// snapshots: when Config.Exporter also implements it (export.Exporter
+// does) and both Config.Obs and Config.HealthEvery are set, the
+// detector sends a periodic obs.HealthRecord through it. A plain
+// SegmentExporter simply records no health timeline.
+type HealthExporter interface {
+	ConsumeHealth(obs.HealthRecord)
+}
+
+// detMetrics are the detector's obs handles. checkNs is always live —
+// a standalone histogram when no registry is configured — because
+// Stats.CheckP50/CheckP99 are computed from it either way; every
+// other handle is nil (a no-op) without Config.Obs.
+type detMetrics struct {
+	checks, violations   *obs.Counter
+	eventsReplayed       *obs.Counter
+	resets, resetDropped *obs.Counter
+	healthsEmitted       *obs.Counter
+	checkNs, freezeNs    *obs.Histogram
+	// intervals are the per-monitor effective-interval gauges
+	// (detect_interval_ns{monitor="..."}), resolved once at
+	// construction; nil unless the adaptive scheduler is on.
+	intervals map[string]*obs.Gauge
+}
+
+func newDetMetrics(reg *obs.Registry, monitors []string, adaptive bool) detMetrics {
+	if reg == nil {
+		return detMetrics{checkNs: obs.NewHistogram()}
+	}
+	m := detMetrics{
+		checks:         reg.Counter("detect_checks_total"),
+		violations:     reg.Counter("detect_violations_total"),
+		eventsReplayed: reg.Counter("detect_events_replayed_total"),
+		resets:         reg.Counter("detect_resets_total"),
+		resetDropped:   reg.Counter("detect_reset_dropped_events_total"),
+		healthsEmitted: reg.Counter("detect_health_emitted_total"),
+		checkNs:        reg.Histogram("detect_check_ns"),
+		freezeNs:       reg.Histogram("detect_freeze_ns"),
+	}
+	if adaptive {
+		m.intervals = make(map[string]*obs.Gauge, len(monitors))
+		for _, name := range monitors {
+			m.intervals[name] = reg.Gauge(`detect_interval_ns{monitor="` + name + `"}`)
+		}
+	}
+	return m
+}
+
+// maybeEmitHealthLocked sends a health snapshot through the exporter
+// when the cadence has elapsed. Called at checkpoint boundaries under
+// d.mu, so snapshots interleave with checkpoints, never inside one;
+// the first checkpoint always emits (the timeline's anchor). The
+// horizon is the database's current LastSeq — the same windowing key
+// segment records carry — which is what lets `montrace stats` window
+// the timeline through the trace-store index.
+func (d *Detector) maybeEmitHealthLocked() {
+	if d.health == nil {
+		return
+	}
+	now := d.cfg.Clock.Now()
+	if !d.lastHealth.IsZero() && now.Sub(d.lastHealth) < d.cfg.HealthEvery {
+		return
+	}
+	d.lastHealth = now
+	d.met.healthsEmitted.Inc()
+	d.health.ConsumeHealth(obs.HealthRecord{
+		At:      now,
+		Seq:     d.db.LastSeq(),
+		Metrics: d.cfg.Obs.Snapshot(),
+	})
+}

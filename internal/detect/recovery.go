@@ -150,6 +150,8 @@ func (d *Detector) resetOneLocked(r resetReq) {
 
 	d.stats.Resets++
 	d.stats.ResetDropped += dropped
+	d.met.resets.Inc()
+	d.met.resetDropped.Add(int64(dropped))
 	if me, ok := d.cfg.Exporter.(MarkerExporter); ok {
 		me.ConsumeMarker(history.RecoveryMarker{
 			Monitor: r.name,

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunObsOverheadRowsAndAccounting(t *testing.T) {
+	cfg := ObsOverheadConfig{
+		Monitors:            2,
+		ProducersPerMonitor: 2,
+		EventsPerProducer:   2000,
+		DrainEveryEvents:    512,
+		IncrementOps:        50_000,
+		Repeats:             2,
+	}
+	rows, err := RunObsOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want stripped/instrumented/increment", len(rows))
+	}
+	for i, wantMode := range []string{"stripped", "instrumented", "increment"} {
+		if rows[i].Mode != wantMode {
+			t.Fatalf("row %d mode = %q, want %q", i, rows[i].Mode, wantMode)
+		}
+	}
+	workloadEvents := int64(cfg.Monitors) * int64(cfg.ProducersPerMonitor) * int64(cfg.EventsPerProducer)
+	for i, r := range rows[:2] {
+		if r.Events != workloadEvents || r.Monitors != cfg.Monitors {
+			t.Fatalf("workload row %d accounting: %+v", i, r)
+		}
+	}
+	if inc := rows[2]; inc.Events != int64(cfg.IncrementOps) || inc.Monitors != 0 {
+		t.Fatalf("increment row accounting: %+v", inc)
+	}
+	for i, r := range rows {
+		if r.Elapsed <= 0 || r.EventsPerSec <= 0 || r.NsPerEvent <= 0 {
+			t.Fatalf("row %d has empty measurements: %+v", i, r)
+		}
+		if r.AllocsPerEvent < 0 {
+			t.Fatalf("row %d has negative alloc profile: %+v", i, r)
+		}
+	}
+	// OverheadPct lives on the instrumented row only, and must be
+	// consistent with the two throughput readings it summarises.
+	if rows[0].OverheadPct != 0 || rows[2].OverheadPct != 0 {
+		t.Fatalf("overhead reported off the instrumented row: %+v", rows)
+	}
+	want := (rows[0].EventsPerSec - rows[1].EventsPerSec) / rows[0].EventsPerSec * 100
+	if got := rows[1].OverheadPct; got != want {
+		t.Fatalf("OverheadPct = %v, want %v from the row throughputs", got, want)
+	}
+	table := ObsOverheadTable(rows).String()
+	for _, col := range []string{"mode", "overhead", "allocs/event", "stripped", "instrumented", "increment"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestRunObsOverheadRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range []ObsOverheadConfig{
+		{},
+		{Monitors: 1, ProducersPerMonitor: 0, EventsPerProducer: 1},
+		{Monitors: 0, ProducersPerMonitor: 1, EventsPerProducer: 1},
+		{Monitors: 1, ProducersPerMonitor: 1, EventsPerProducer: 0},
+	} {
+		if _, err := RunObsOverhead(cfg); err == nil {
+			t.Fatalf("config %+v accepted, want error", cfg)
+		}
+	}
+}

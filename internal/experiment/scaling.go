@@ -40,6 +40,15 @@ type ScalingConfig struct {
 	// batches of this many events (detect.Config.BatchSize) in every
 	// cell of the sweep.
 	BatchSize int
+	// BatchWriters, when set, wires every monitor to the database
+	// through a lock-free BatchWriter (history.DB.NewBatchWriter with
+	// the default staging size) instead of recording directly — the
+	// raw-speed record path under the full monitor protocol. The
+	// detector's checkpoint handshake flushes each frozen monitor's
+	// staged block before its shard is drained, so the violation set
+	// and the final event count are unchanged; only the record-side
+	// contention profile differs.
+	BatchWriters bool
 	// Adaptive, when set, doubles the sweep: next to every fixed-T cell
 	// an adaptive-scheduler cell runs with per-monitor intervals in
 	// [MinInterval, MaxInterval].
@@ -173,6 +182,7 @@ func runScalingCell(cfg ScalingConfig, monitors int, hold, adaptive bool) (Scali
 	}
 	db := history.New(dbOpts...)
 	mons := make([]*monitor.Monitor, monitors)
+	var writers []*history.BatchWriter
 	for i := range mons {
 		spec := monitor.Spec{
 			Name:       fmt.Sprintf("shard%03d", i),
@@ -180,7 +190,13 @@ func runScalingCell(cfg ScalingConfig, monitors int, hold, adaptive bool) (Scali
 			Conditions: []string{"ok"},
 			Procedures: []string{"Op"},
 		}
-		m, err := monitor.New(spec, monitor.WithRecorder(db))
+		rec := monitor.Recorder(db)
+		if cfg.BatchWriters {
+			w := db.NewBatchWriter(spec.Name, 0)
+			writers = append(writers, w)
+			rec = w
+		}
+		m, err := monitor.New(spec, monitor.WithRecorder(rec))
 		if err != nil {
 			return ScalingRow{}, fmt.Errorf("experiment: scaling monitor %d: %w", i, err)
 		}
@@ -234,6 +250,11 @@ func runScalingCell(cfg ScalingConfig, monitors int, hold, adaptive bool) (Scali
 	}
 	rt.Join()
 	elapsed := time.Since(start)
+	// Close before the detector's final checkpoint so every staged
+	// block is published and db.Total counts the full workload.
+	for _, w := range writers {
+		w.Close()
+	}
 	cancel()
 	<-detDone
 	st := det.Stats()

@@ -13,11 +13,12 @@
 // # Invariants
 //
 // Replaying a compacted directory yields the identical merged event
-// stream and marker list as replaying the uncompacted original
-// (pinned by TestCompactionReplayByteIdentical): sequence numbers are
-// globally unique, so per-monitor re-segmentation never changes the
-// k-way merge, and recovery markers are carried over in their original
-// record order with their horizons intact. Pre-reset records — a reset
+// stream, marker list and health timeline as replaying the uncompacted
+// original (pinned by TestCompactionReplayByteIdentical): sequence
+// numbers are globally unique, so per-monitor re-segmentation never
+// changes the k-way merge, and recovery markers and health snapshots
+// are carried over in their original record order with their horizons
+// intact. Pre-reset records — a reset
 // monitor's events at or below its reset horizon — are preserved by
 // default; Config.DropBelowReset discards them, counted in
 // Result.DroppedPreReset, never silently.
@@ -54,6 +55,7 @@ import (
 	"robustmon/internal/export"
 	"robustmon/internal/export/index"
 	"robustmon/internal/history"
+	"robustmon/internal/obs"
 )
 
 // tmpDirName is the staging subdirectory inside the export directory.
@@ -91,6 +93,11 @@ type Config struct {
 	// equivalence with the original deliberately no longer holds for
 	// the dropped monitor. Off by default.
 	DropBelowReset bool
+	// Obs, when set, counts compactions on the registry:
+	// compact_passes_total and compact_bytes_reclaimed_total (input
+	// bytes minus output bytes; a no-op pass counts neither). Nil
+	// disables at zero cost (see internal/obs).
+	Obs *obs.Registry
 }
 
 // Result accounts one compaction.
@@ -104,6 +111,11 @@ type Result struct {
 	Events int64
 	// Markers is the number of recovery markers carried over.
 	Markers int
+	// Healths is the number of health snapshots carried over.
+	Healths int
+	// BytesReclaimed is the input bytes minus the output bytes — what
+	// the pass actually shrank the directory by.
+	BytesReclaimed int64
 	// DroppedPreReset counts events discarded under DropBelowReset.
 	DroppedPreReset int
 	// CorruptDropped counts CRC-corrupt input records left behind —
@@ -130,6 +142,9 @@ func (r Result) String() string {
 	}
 	s := fmt.Sprintf("compact: %d files (%d records) -> %d files (%d records), %d events, %d markers",
 		r.FilesIn, r.RecordsIn, r.FilesOut, r.RecordsOut, r.Events, r.Markers)
+	if r.Healths > 0 {
+		s += fmt.Sprintf(", %d health snapshots", r.Healths)
+	}
 	if r.DroppedPreReset > 0 {
 		s += fmt.Sprintf(", %d pre-reset events dropped", r.DroppedPreReset)
 	}
@@ -192,11 +207,18 @@ func Dir(dir string, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{FilesIn: len(eligible)}
-	streams, markers, err := readInputs(eligible, cfg.KeepNewest == 0, res)
+	var bytesIn int64
+	for _, name := range eligible {
+		if info, err := os.Stat(name); err == nil {
+			bytesIn += info.Size()
+		}
+	}
+	streams, markers, healths, err := readInputs(eligible, cfg.KeepNewest == 0, res)
 	if err != nil {
 		return nil, err
 	}
 	res.Markers = len(markers)
+	res.Healths = len(healths)
 	if cfg.DropBelowReset {
 		for _, st := range streams {
 			if st.horizon <= 0 {
@@ -208,7 +230,7 @@ func Dir(dir string, cfg Config) (*Result, error) {
 		}
 	}
 
-	outs, err := writeOutputs(tmpDir, cfg, streams, markers, res)
+	outs, err := writeOutputs(tmpDir, cfg, streams, markers, healths, res)
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +268,17 @@ func Dir(dir string, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("compact: clear staging dir: %w", err)
 	}
 	res.FilesOut = len(outs)
+	var bytesOut int64
+	for _, name := range installed {
+		if info, err := os.Stat(name); err == nil {
+			bytesOut += info.Size()
+		}
+	}
+	res.BytesReclaimed = bytesIn - bytesOut
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("compact_passes_total").Inc()
+		cfg.Obs.Counter("compact_bytes_reclaimed_total").Add(res.BytesReclaimed)
+	}
 
 	if err := updateIndex(dir, eligible, installed, res); err != nil {
 		return nil, err
@@ -293,24 +326,27 @@ func outputName(input string, gen int) (string, error) {
 }
 
 // readInputs reads the eligible files into per-monitor merged streams
-// plus the marker list in record order. tornOK tolerates a torn tail
-// on the last eligible file (only correct when it is the directory's
-// newest, i.e. KeepNewest == 0 on a closed directory).
-func readInputs(eligible []string, tornOK bool, res *Result) ([]*monStream, []history.RecoveryMarker, error) {
+// plus the marker and health-snapshot lists in record order. tornOK
+// tolerates a torn tail on the last eligible file (only correct when
+// it is the directory's newest, i.e. KeepNewest == 0 on a closed
+// directory).
+func readInputs(eligible []string, tornOK bool, res *Result) ([]*monStream, []history.RecoveryMarker, []obs.HealthRecord, error) {
 	byMon := make(map[string]*monStream, 8)
 	var order []*monStream
 	var segsByMon = make(map[string][]event.Seq, 8)
 	var markers []history.RecoveryMarker
+	var healths []obs.HealthRecord
 	for i, name := range eligible {
 		fr, err := export.ReadWALFile(name)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if fr.Torn && !(tornOK && i == len(eligible)-1) {
-			return nil, nil, fmt.Errorf("compact: %s: torn record in a rotated file — corruption, not a crash tail", name)
+			return nil, nil, nil, fmt.Errorf("compact: %s: torn record in a rotated file — corruption, not a crash tail", name)
 		}
 		res.CorruptDropped += fr.CorruptRecords
-		res.RecordsIn += len(fr.Segments) + len(fr.Markers)
+		res.RecordsIn += len(fr.Segments) + len(fr.Markers) + len(fr.Healths)
+		healths = append(healths, fr.Healths...)
 		for _, seg := range fr.Segments {
 			st := byMon[seg.Monitor]
 			if st == nil {
@@ -341,7 +377,7 @@ func readInputs(eligible []string, tornOK bool, res *Result) ([]*monStream, []hi
 		for _, e := range merged {
 			if n := len(out); n > 0 && out[n-1].Seq == e.Seq {
 				if out[n-1] != e {
-					return nil, nil, fmt.Errorf("compact: monitor %q: two different events share sequence number %d", st.monitor, e.Seq)
+					return nil, nil, nil, fmt.Errorf("compact: monitor %q: two different events share sequence number %d", st.monitor, e.Seq)
 				}
 				res.DuplicatesDropped++
 				continue
@@ -364,6 +400,24 @@ func readInputs(eligible []string, tornOK bool, res *Result) ([]*monStream, []hi
 		}
 		markers = kept
 	}
+	// Health snapshots too — dedup on the canonical encoding
+	// (HealthRecord holds slices, so it is not map-comparable),
+	// preserving first-occurrence (capture) order. Without this an
+	// interrupted compaction's leftovers would be copied forward on
+	// every later pass instead of converging.
+	if len(healths) > 0 {
+		seen := make(map[string]bool, len(healths))
+		kept := healths[:0]
+		for _, h := range healths {
+			k := export.HealthKey(h)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, h)
+		}
+		healths = kept
+	}
 	// Write monitors in order of their first event so output files'
 	// seq ranges grow roughly with file number — the shape the windowed
 	// reader prunes best.
@@ -374,14 +428,14 @@ func readInputs(eligible []string, tornOK bool, res *Result) ([]*monStream, []hi
 		}
 		return a[0].Seq < b[0].Seq
 	})
-	return order, markers, nil
+	return order, markers, healths, nil
 }
 
-// writeOutputs writes the merged streams and markers through a WALSink
-// in the staging directory and returns the output paths in creation
-// order. The sink fsyncs each file as it rotates, so everything
-// returned is durable.
-func writeOutputs(tmpDir string, cfg Config, streams []*monStream, markers []history.RecoveryMarker, res *Result) ([]string, error) {
+// writeOutputs writes the merged streams, markers and health snapshots
+// through a WALSink in the staging directory and returns the output
+// paths in creation order. The sink fsyncs each file as it rotates, so
+// everything returned is durable.
+func writeOutputs(tmpDir string, cfg Config, streams []*monStream, markers []history.RecoveryMarker, healths []obs.HealthRecord, res *Result) ([]string, error) {
 	var summaries []export.FileSummary
 	sink, err := export.NewWALSink(tmpDir, export.WALConfig{
 		MaxFileBytes: cfg.MaxFileBytes,
@@ -403,6 +457,12 @@ func writeOutputs(tmpDir string, cfg Config, streams []*monStream, markers []his
 	}
 	for _, m := range markers {
 		if err := sink.WriteMarker(m); err != nil {
+			return nil, err
+		}
+		res.RecordsOut++
+	}
+	for _, h := range healths {
+		if err := sink.WriteHealth(h); err != nil {
 			return nil, err
 		}
 		res.RecordsOut++

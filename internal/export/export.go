@@ -66,6 +66,7 @@ package export
 import (
 	"robustmon/internal/event"
 	"robustmon/internal/history"
+	"robustmon/internal/obs"
 )
 
 // Segment is one drained per-monitor history segment: the unit the
@@ -111,11 +112,13 @@ type Sink interface {
 	Close() error
 }
 
-// MemorySink collects segments (and recovery markers) in memory — the
-// test double and the cheapest way to tail a database programmatically.
+// MemorySink collects segments (and recovery markers and health
+// snapshots) in memory — the test double and the cheapest way to tail
+// a database programmatically.
 type MemorySink struct {
 	segments []Segment
 	markers  []history.RecoveryMarker
+	healths  []obs.HealthRecord
 }
 
 // WriteSegment appends the segment.
@@ -132,6 +135,15 @@ func (m *MemorySink) WriteMarker(mk history.RecoveryMarker) error {
 
 // Markers returns the collected recovery markers in arrival order.
 func (m *MemorySink) Markers() []history.RecoveryMarker { return m.markers }
+
+// WriteHealth appends the health snapshot (the HealthSink extension).
+func (m *MemorySink) WriteHealth(h obs.HealthRecord) error {
+	m.healths = append(m.healths, h)
+	return nil
+}
+
+// Healths returns the collected health snapshots in arrival order.
+func (m *MemorySink) Healths() []obs.HealthRecord { return m.healths }
 
 // Flush is a no-op.
 func (m *MemorySink) Flush() error { return nil }

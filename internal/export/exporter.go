@@ -7,6 +7,7 @@ import (
 
 	"robustmon/internal/event"
 	"robustmon/internal/history"
+	"robustmon/internal/obs"
 )
 
 // Policy selects what Consume does when the exporter's buffer is full.
@@ -68,6 +69,48 @@ type Config struct {
 	// OnError and counted (Stats.CompactErrors) but are not sticky:
 	// a failed background compaction must not fail a later Flush.
 	Compact func() error
+	// Obs, when set, instruments the exporter: accept/write/drop
+	// counters mirroring Stats (drops split by reason — "full" vs
+	// "closed") and the export_queue_depth gauge. The counters are
+	// updated by the same atomics that feed Stats, so the two surfaces
+	// can never disagree. Nil disables at zero cost (see internal/obs).
+	Obs *obs.Registry
+}
+
+// expMetrics are the exporter's obs handles; the zero value (all nil)
+// is the disabled mode.
+type expMetrics struct {
+	segments, events, written          *obs.Counter
+	markers, markersWritten            *obs.Counter
+	healths, healthsWritten            *obs.Counter
+	droppedSegsFull, droppedSegsClosed *obs.Counter
+	droppedEvsFull, droppedEvsClosed   *obs.Counter
+	writeErrors                        *obs.Counter
+	compactions, compactErrors         *obs.Counter
+	queueDepth                         *obs.Gauge
+}
+
+func newExpMetrics(reg *obs.Registry) expMetrics {
+	if reg == nil {
+		return expMetrics{}
+	}
+	return expMetrics{
+		segments:          reg.Counter("export_segments_total"),
+		events:            reg.Counter("export_events_total"),
+		written:           reg.Counter("export_written_total"),
+		markers:           reg.Counter("export_markers_total"),
+		markersWritten:    reg.Counter("export_markers_written_total"),
+		healths:           reg.Counter("export_healths_total"),
+		healthsWritten:    reg.Counter("export_healths_written_total"),
+		droppedSegsFull:   reg.Counter(`export_dropped_segments_total{reason="full"}`),
+		droppedSegsClosed: reg.Counter(`export_dropped_segments_total{reason="closed"}`),
+		droppedEvsFull:    reg.Counter(`export_dropped_events_total{reason="full"}`),
+		droppedEvsClosed:  reg.Counter(`export_dropped_events_total{reason="closed"}`),
+		writeErrors:       reg.Counter("export_write_errors_total"),
+		compactions:       reg.Counter("export_compactions_total"),
+		compactErrors:     reg.Counter("export_compact_errors_total"),
+		queueDepth:        reg.Gauge("export_queue_depth"),
+	}
 }
 
 // SealedFileCounter is the optional Sink extension the background-
@@ -87,9 +130,19 @@ type Stats struct {
 	// Markers counts recovery markers accepted; MarkersWritten those a
 	// MarkerSink persisted without error (zero for a plain Sink).
 	Markers, MarkersWritten int64
-	// DroppedSegments and DroppedEvents were discarded: buffer full
-	// under Drop, or arrival after Close.
+	// Healths counts health snapshots accepted; HealthsWritten those a
+	// HealthSink persisted without error (zero for a plain Sink).
+	Healths, HealthsWritten int64
+	// DroppedSegments and DroppedEvents were discarded — the totals of
+	// the by-reason split below.
 	DroppedSegments, DroppedEvents int64
+	// DroppedSegmentsFull/DroppedEventsFull were discarded because the
+	// buffer was full under the Drop policy — the backpressure signal
+	// an operator tunes Buffer against. DroppedSegmentsClosed/
+	// DroppedEventsClosed arrived after Close — a shutdown-ordering
+	// signal, not a capacity one.
+	DroppedSegmentsFull, DroppedEventsFull     int64
+	DroppedSegmentsClosed, DroppedEventsClosed int64
 	// WriteErrors counts failed sink writes.
 	WriteErrors int64
 	// Compactions counts background compactions launched
@@ -101,11 +154,12 @@ type Stats struct {
 // ErrClosed reports an operation on a closed exporter.
 var ErrClosed = errors.New("export: exporter closed")
 
-// item is one unit of writer work: a segment, a recovery marker, or a
-// flush request.
+// item is one unit of writer work: a segment, a recovery marker, a
+// health snapshot, or a flush request.
 type item struct {
 	seg    Segment
 	marker *history.RecoveryMarker
+	health *obs.HealthRecord
 	flush  chan error
 }
 
@@ -124,14 +178,17 @@ type Exporter struct {
 	mu     sync.RWMutex
 	closed bool
 
-	segments, events, written      atomic.Int64
-	markers, markersWritten        atomic.Int64
-	droppedSegments, droppedEvents atomic.Int64
-	writeErrors                    atomic.Int64
-	compactions, compactErrors     atomic.Int64
-	compacting                     atomic.Bool
-	compactDone                    atomic.Bool
-	compactWG                      sync.WaitGroup
+	segments, events, written           atomic.Int64
+	markers, markersWritten             atomic.Int64
+	healths, healthsWritten             atomic.Int64
+	droppedSegsFull, droppedEvsFull     atomic.Int64
+	droppedSegsClosed, droppedEvsClosed atomic.Int64
+	writeErrors                         atomic.Int64
+	compactions, compactErrors          atomic.Int64
+	met                                 expMetrics
+	compacting                          atomic.Bool
+	compactDone                         atomic.Bool
+	compactWG                           sync.WaitGroup
 	// compactFloor is the sealed-file count the last compaction could
 	// not shrink below — the re-trigger baseline. Writer goroutine
 	// only.
@@ -151,6 +208,7 @@ func New(sink Sink, cfg Config) *Exporter {
 		sink: sink,
 		ch:   make(chan item, cfg.Buffer),
 		done: make(chan struct{}),
+		met:  newExpMetrics(cfg.Obs),
 	}
 	go e.writer()
 	return e
@@ -160,6 +218,11 @@ func New(sink Sink, cfg Config) *Exporter {
 func (e *Exporter) writer() {
 	defer close(e.done)
 	for it := range e.ch {
+		// Depth after dequeue: what is still waiting. Drain-rhythm, not
+		// event-rhythm, so the gauge write is cheap; a scrape between
+		// updates sees the last drained depth, which is the queue's
+		// steady-state signal.
+		e.met.queueDepth.Set(int64(len(e.ch)))
 		if it.flush != nil {
 			it.flush <- e.sink.Flush()
 			continue
@@ -171,17 +234,38 @@ func (e *Exporter) writer() {
 			}
 			if err := ms.WriteMarker(*it.marker); err != nil {
 				e.writeErrors.Add(1)
+				e.met.writeErrors.Inc()
 				e.setErr(err)
 				if e.cfg.OnError != nil {
 					e.cfg.OnError(err)
 				}
 			} else {
 				e.markersWritten.Add(1)
+				e.met.markersWritten.Inc()
+			}
+			continue
+		}
+		if it.health != nil {
+			hs, ok := e.sink.(HealthSink)
+			if !ok {
+				continue // sink has no health support; nothing to persist
+			}
+			if err := hs.WriteHealth(*it.health); err != nil {
+				e.writeErrors.Add(1)
+				e.met.writeErrors.Inc()
+				e.setErr(err)
+				if e.cfg.OnError != nil {
+					e.cfg.OnError(err)
+				}
+			} else {
+				e.healthsWritten.Add(1)
+				e.met.healthsWritten.Inc()
 			}
 			continue
 		}
 		if err := e.sink.WriteSegment(it.seg); err != nil {
 			e.writeErrors.Add(1)
+			e.met.writeErrors.Inc()
 			e.setErr(err)
 			if e.cfg.OnError != nil {
 				e.cfg.OnError(err)
@@ -189,6 +273,7 @@ func (e *Exporter) writer() {
 			continue
 		}
 		e.written.Add(1)
+		e.met.written.Inc()
 		e.maybeCompact()
 	}
 	e.errMu.Lock()
@@ -231,6 +316,7 @@ func (e *Exporter) maybeCompact() {
 		return // one in flight already
 	}
 	e.compactions.Add(1)
+	e.met.compactions.Inc()
 	e.compactWG.Add(1)
 	go func() {
 		defer e.compactWG.Done()
@@ -240,6 +326,7 @@ func (e *Exporter) maybeCompact() {
 		defer e.compactDone.Store(true)
 		if err := e.cfg.Compact(); err != nil {
 			e.compactErrors.Add(1)
+			e.met.compactErrors.Inc()
 			if e.cfg.OnError != nil {
 				e.cfg.OnError(err)
 			}
@@ -260,7 +347,7 @@ func (e *Exporter) Consume(monitor string, events event.Seq) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
-		e.drop(events)
+		e.dropClosed(events)
 		return
 	}
 	it := item{seg: Segment{Monitor: monitor, Events: events}}
@@ -268,7 +355,7 @@ func (e *Exporter) Consume(monitor string, events event.Seq) {
 		select {
 		case e.ch <- it:
 		default:
-			e.drop(events)
+			e.dropFull(events)
 			return
 		}
 	} else {
@@ -276,6 +363,9 @@ func (e *Exporter) Consume(monitor string, events event.Seq) {
 	}
 	e.segments.Add(1)
 	e.events.Add(int64(len(events)))
+	e.met.segments.Inc()
+	e.met.events.Add(int64(len(events)))
+	e.met.queueDepth.Set(int64(len(e.ch)))
 }
 
 // ConsumeMarker accepts one recovery marker (detect.MarkerExporter's
@@ -293,11 +383,42 @@ func (e *Exporter) ConsumeMarker(m history.RecoveryMarker) {
 	}
 	e.ch <- item{marker: &m}
 	e.markers.Add(1)
+	e.met.markers.Inc()
 }
 
-func (e *Exporter) drop(events event.Seq) {
-	e.droppedSegments.Add(1)
-	e.droppedEvents.Add(int64(len(events)))
+// ConsumeHealth accepts one health snapshot (detect.HealthExporter's
+// signature). Like markers, health records are rare and cheap, and a
+// gap in the health timeline is a diagnostic loss exactly when the
+// system is under the pressure the timeline exists to explain — so the
+// send always blocks for a free slot, even under the Drop policy. A
+// snapshot arriving after Close is discarded.
+func (e *Exporter) ConsumeHealth(h obs.HealthRecord) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return
+	}
+	e.ch <- item{health: &h}
+	e.healths.Add(1)
+	e.met.healths.Inc()
+}
+
+// dropFull counts a segment discarded because the buffer was full
+// under the Drop policy.
+func (e *Exporter) dropFull(events event.Seq) {
+	e.droppedSegsFull.Add(1)
+	e.droppedEvsFull.Add(int64(len(events)))
+	e.met.droppedSegsFull.Inc()
+	e.met.droppedEvsFull.Add(int64(len(events)))
+}
+
+// dropClosed counts a segment discarded because it arrived after
+// Close.
+func (e *Exporter) dropClosed(events event.Seq) {
+	e.droppedSegsClosed.Add(1)
+	e.droppedEvsClosed.Add(int64(len(events)))
+	e.met.droppedSegsClosed.Inc()
+	e.met.droppedEvsClosed.Add(int64(len(events)))
 }
 
 // Flush blocks until every segment accepted before the call has been
@@ -354,16 +475,24 @@ func (e *Exporter) Close() error {
 
 // Stats returns a snapshot of the exporter's counters.
 func (e *Exporter) Stats() Stats {
+	dsf, dsc := e.droppedSegsFull.Load(), e.droppedSegsClosed.Load()
+	def, dec := e.droppedEvsFull.Load(), e.droppedEvsClosed.Load()
 	return Stats{
-		Segments:        e.segments.Load(),
-		Events:          e.events.Load(),
-		Written:         e.written.Load(),
-		Markers:         e.markers.Load(),
-		MarkersWritten:  e.markersWritten.Load(),
-		DroppedSegments: e.droppedSegments.Load(),
-		DroppedEvents:   e.droppedEvents.Load(),
-		WriteErrors:     e.writeErrors.Load(),
-		Compactions:     e.compactions.Load(),
-		CompactErrors:   e.compactErrors.Load(),
+		Segments:              e.segments.Load(),
+		Events:                e.events.Load(),
+		Written:               e.written.Load(),
+		Markers:               e.markers.Load(),
+		MarkersWritten:        e.markersWritten.Load(),
+		Healths:               e.healths.Load(),
+		HealthsWritten:        e.healthsWritten.Load(),
+		DroppedSegments:       dsf + dsc,
+		DroppedEvents:         def + dec,
+		DroppedSegmentsFull:   dsf,
+		DroppedEventsFull:     def,
+		DroppedSegmentsClosed: dsc,
+		DroppedEventsClosed:   dec,
+		WriteErrors:           e.writeErrors.Load(),
+		Compactions:           e.compactions.Load(),
+		CompactErrors:         e.compactErrors.Load(),
 	}
 }

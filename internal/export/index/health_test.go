@@ -1,0 +1,274 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"robustmon/internal/export"
+	"robustmon/internal/obs"
+)
+
+// th builds a test health snapshot at the given sequence horizon, with
+// enough registry content (a counter, a gauge, a histogram) that a
+// codec slip could not round-trip by accident.
+func th(seq int64) obs.HealthRecord {
+	return obs.HealthRecord{
+		At:  time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Second),
+		Seq: seq,
+		Metrics: obs.Snapshot{
+			Counters: []obs.Metric{{Name: "history_append_total", Value: seq * 3}},
+			Gauges:   []obs.Metric{{Name: "export_queue_depth", Value: 2}},
+			Histograms: []obs.HistogramSnapshot{{
+				Name: "detect_check_ns", Count: 8, Sum: 4096,
+				Buckets: []obs.Bucket{{Index: 9, Count: 8}},
+			}},
+		},
+	}
+}
+
+// buildHealthDir writes an indexed directory interleaving health
+// snapshots with segments, one record per file (MaxFileBytes 1):
+//
+//	file 1: health seq 0   (horizon-0 anchor, before any event)
+//	file 2: segment a 1..10
+//	file 3: health seq 10
+//	file 4: segment a 11..20
+//	file 5: health seq 20
+//	file 6: segment a 21..30
+func buildHealthDir(t *testing.T) (dir string, healths []obs.HealthRecord) {
+	t.Helper()
+	dir = t.TempDir()
+	m := NewMaintainer(dir)
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnRotate: m.OnRotate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healths = []obs.HealthRecord{th(0), th(10), th(20)}
+	if err := sink.WriteHealth(healths[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSegment(export.Segment{Monitor: "a", Events: tseq("a", 1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteHealth(healths[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSegment(export.Segment{Monitor: "a", Events: tseq("a", 11, 20)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteHealth(healths[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.WriteSegment(export.Segment{Monitor: "a", Events: tseq("a", 21, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("maintainer: %v", err)
+	}
+	return dir, healths
+}
+
+func TestIndexRecordsHealthOffsets(t *testing.T) {
+	t.Parallel()
+	dir, healths := buildHealthDir(t)
+	maintained, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maintained.Files) != 6 {
+		t.Fatalf("index holds %d files, want 6", len(maintained.Files))
+	}
+	var got []export.HealthInfo
+	for _, f := range maintained.Files {
+		if len(f.Healths) > 0 && f.Events != 0 {
+			t.Fatalf("file %s mixes healths and events in this fixture: %+v", f.Name, f)
+		}
+		got = append(got, f.Healths...)
+	}
+	if len(got) != len(healths) {
+		t.Fatalf("index records %d health entries, want %d", len(got), len(healths))
+	}
+	for i, hi := range got {
+		if hi.Seq != healths[i].Seq {
+			t.Fatalf("health entry %d has seq %d, want %d", i, hi.Seq, healths[i].Seq)
+		}
+	}
+
+	// The sink-maintained table and a from-scratch rebuild must agree —
+	// OnRotate's incremental summary and ScanFile's header scan are two
+	// producers of the same truth, health offsets included.
+	rebuilt, err := Rebuild(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(maintained, rebuilt) {
+		t.Fatalf("maintained index != rebuilt index:\n%+v\nvs\n%+v", maintained, rebuilt)
+	}
+
+	// The v2 codec round-trips the health section.
+	re, err := decode(maintained.encode())
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if !reflect.DeepEqual(maintained, re) {
+		t.Fatalf("encode/decode changed the index:\n%+v\nvs\n%+v", maintained, re)
+	}
+	if errs := maintained.Verify(dir); len(errs) != 0 {
+		t.Fatalf("Verify: %v", errs)
+	}
+}
+
+// encodeV1 serialises an index in format version 1 — exactly encode()
+// without the per-file health section, as every pre-health release
+// wrote.
+func encodeV1(x *Index) []byte {
+	var buf bytes.Buffer
+	buf.Write(indexMagic[:])
+	buf.WriteByte(indexVersion1)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) { buf.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+	putVarint := func(v int64) { buf.Write(scratch[:binary.PutVarint(scratch[:], v)]) }
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putUvarint(uint64(len(x.Files)))
+	for _, f := range x.Files {
+		putString(f.Name)
+		buf.WriteByte(f.Version)
+		flags := byte(0)
+		if f.Torn {
+			flags |= 1
+		}
+		buf.WriteByte(flags)
+		putVarint(f.Size)
+		putUvarint(uint64(f.Records))
+		putVarint(f.Events)
+		putVarint(f.MinSeq)
+		putVarint(f.MaxSeq)
+		putUvarint(uint64(f.HeaderCRC))
+		putUvarint(uint64(len(f.Monitors)))
+		for _, mr := range f.Monitors {
+			putString(mr.Monitor)
+			putVarint(mr.MinSeq)
+			putVarint(mr.MaxSeq)
+			putVarint(mr.Events)
+		}
+		putUvarint(uint64(len(f.Markers)))
+		for _, mk := range f.Markers {
+			putString(mk.Monitor)
+			putVarint(mk.Horizon)
+			putVarint(mk.Offset)
+		}
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	binary.LittleEndian.PutUint32(scratch[:4], sum)
+	buf.Write(scratch[:4])
+	return buf.Bytes()
+}
+
+func TestIndexDecodeAcceptsVersion1(t *testing.T) {
+	t.Parallel()
+	// A health-free directory indexed by an old release: its v1 bytes
+	// must decode to exactly what the v2 codec holds for the same
+	// files — no health section, not a damaged one.
+	dir := buildDir(t, []string{"a", "b"}, 4, 5)
+	idx, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := decode(encodeV1(idx))
+	if err != nil {
+		t.Fatalf("decode of a v1 index: %v", err)
+	}
+	if !reflect.DeepEqual(idx, decoded) {
+		t.Fatalf("v1 decode diverged from the v2 index:\n%+v\nvs\n%+v", idx, decoded)
+	}
+}
+
+func TestSeekReaderHealthPointReads(t *testing.T) {
+	t.Parallel()
+	dir, healths := buildHealthDir(t)
+	r, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opened []string
+	inner := r.readFile
+	r.readFile = func(name string) (*export.FileReplay, error) {
+		opened = append(opened, filepath.Base(name))
+		return inner(name)
+	}
+
+	// Full replay: every snapshot, in horizon order.
+	rep, err := r.ReplayRange(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Healths, healths) {
+		t.Fatalf("full replay healths:\n%+v\nwant\n%+v", rep.Healths, healths)
+	}
+	if len(rep.Events) != 30 {
+		t.Fatalf("full replay returned %d events, want 30", len(rep.Events))
+	}
+
+	// A mid-trace window admits only the snapshots whose horizon falls
+	// inside it, and collects them from skipped files by point read —
+	// the health-only file holding seq 10 must not be decoded.
+	opened = nil
+	rep, err = r.ReplayRange(5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Healths) != 1 || rep.Healths[0].Seq != 10 {
+		t.Fatalf("window [5,12] healths = %+v, want only seq 10", rep.Healths)
+	}
+	if !reflect.DeepEqual(rep.Healths[0], healths[1]) {
+		t.Fatalf("point-read snapshot diverged:\n%+v\nwant\n%+v", rep.Healths[0], healths[1])
+	}
+	if len(opened) != 2 {
+		t.Fatalf("window [5,12] opened %v, want only the two segment files", opened)
+	}
+	st := r.LastStats()
+	if st.HealthReads != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 health point-read", st)
+	}
+
+	// A from-the-beginning window also admits the horizon-0 anchor —
+	// the snapshot captured before the first event belongs to any query
+	// that starts at the start.
+	rep, err = r.ReplayRange(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Healths) != 1 || rep.Healths[0].Seq != 0 {
+		t.Fatalf("window [0,5] healths = %+v, want only the horizon-0 anchor", rep.Healths)
+	}
+	// …and a window that starts later excludes it.
+	rep, err = r.ReplayRange(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Healths) != 0 {
+		t.Fatalf("window [2,5] healths = %+v, want none", rep.Healths)
+	}
+
+	// Health snapshots are per-process: a monitor filter that matches
+	// no events still yields the window's timeline.
+	rep, err = r.ReplayRange(5, 12, "no-such-monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 0 || len(rep.Healths) != 1 || rep.Healths[0].Seq != 10 {
+		t.Fatalf("filtered window: events=%d healths=%+v, want 0 events and the seq-10 snapshot",
+			len(rep.Events), rep.Healths)
+	}
+}

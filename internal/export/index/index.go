@@ -49,8 +49,17 @@ const FileName = "wal.index"
 // disk is the format version.
 var indexMagic = [4]byte{'R', 'M', 'I', 'X'}
 
-// indexVersion is the current index format version.
-const indexVersion = 1
+// Index format versions. Version 2 added the per-file health-snapshot
+// offset table (FileSummary.Healths); a version-1 index simply has no
+// health section, so decode accepts both and Write always emits the
+// latest. A v1 index over a directory containing health records still
+// works — the records live in the WAL files, and a windowed reader
+// falls back to opening any file whose entry lacks the offsets only
+// when the timeline is asked for (the index is advisory either way).
+const (
+	indexVersion1 = 1
+	indexVersion  = 2
+)
 
 // ErrNoIndex reports that the directory has no index file.
 var ErrNoIndex = errors.New("index: no index file")
@@ -152,6 +161,11 @@ func (x *Index) encode() []byte {
 			putVarint(mk.Horizon)
 			putVarint(mk.Offset)
 		}
+		putUvarint(uint64(len(f.Healths)))
+		for _, hi := range f.Healths {
+			putVarint(hi.Seq)
+			putVarint(hi.Offset)
+		}
 	}
 	sum := crc32.ChecksumIEEE(buf.Bytes())
 	binary.LittleEndian.PutUint32(scratch[:4], sum)
@@ -172,8 +186,9 @@ func decode(data []byte) (*Index, error) {
 	if [4]byte(body[:4]) != indexMagic {
 		return nil, errors.New("index: bad magic")
 	}
-	if v := body[4]; v != indexVersion {
-		return nil, fmt.Errorf("index: unknown format version %d", v)
+	version := body[4]
+	if version < indexVersion1 || version > indexVersion {
+		return nil, fmt.Errorf("index: unknown format version %d", version)
 	}
 	br := bytes.NewReader(body[5:])
 	getUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -283,6 +298,25 @@ func decode(data []byte) (*Index, error) {
 				return nil, fmt.Errorf("index: entry %d marker %d offset: %w", i, j, err)
 			}
 			f.Markers = append(f.Markers, mk)
+		}
+		if version >= 2 {
+			nHealths, err := getUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: entry %d health count: %w", i, err)
+			}
+			if nHealths > maxIndexEntries {
+				return nil, fmt.Errorf("index: entry %d: implausible health count %d", i, nHealths)
+			}
+			for j := uint64(0); j < nHealths; j++ {
+				var hi export.HealthInfo
+				if hi.Seq, err = getVarint(); err != nil {
+					return nil, fmt.Errorf("index: entry %d health %d seq: %w", i, j, err)
+				}
+				if hi.Offset, err = getVarint(); err != nil {
+					return nil, fmt.Errorf("index: entry %d health %d offset: %w", i, j, err)
+				}
+				f.Healths = append(f.Healths, hi)
+			}
 		}
 		x.Files = append(x.Files, f)
 	}

@@ -10,6 +10,7 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/export"
 	"robustmon/internal/history"
+	"robustmon/internal/obs"
 )
 
 // SeekReader answers windowed replay queries over an export directory:
@@ -32,11 +33,11 @@ type SeekReader struct {
 // pruned. FilesTotal is the directory's segment-file count; Opened of
 // those were fully read (because the index admitted them or did not
 // cover them — the Unindexed subset); Skipped were excluded by the
-// index without being opened; MarkerReads counts marker point-reads
-// into otherwise skipped files.
+// index without being opened; MarkerReads and HealthReads count marker
+// and health-snapshot point-reads into otherwise skipped files.
 type Stats struct {
 	FilesTotal, Opened, Skipped, Unindexed int
-	MarkerReads                            int
+	MarkerReads, HealthReads               int
 }
 
 // OpenDir opens the directory for windowed reads, loading its index.
@@ -78,7 +79,10 @@ func (r *SeekReader) LastStats() Stats { return r.stats }
 // file — except that Replay.Markers carries every marker matching the
 // monitor filter regardless of its horizon: a reset before, inside or
 // after the window can all make the window's violations artefacts,
-// and the caller needs to know.
+// and the caller needs to know. Replay.Healths is windowed by each
+// snapshot's sequence horizon (health records are per-process, so the
+// monitor filter does not apply to them); a from-the-beginning query
+// also admits horizon-0 snapshots captured before the first event.
 //
 // Admission is per file. An indexed, size-validated file is opened
 // only if one of its (per-monitor, when filtering) sequence ranges
@@ -114,6 +118,13 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 	rep := &export.Replay{Files: len(names)}
 	var payloads []event.Seq
 	var markers []history.RecoveryMarker
+	var healths []obs.HealthRecord
+	// Health snapshots window on their horizon. A horizon-0 snapshot
+	// (captured before the first event) belongs to any query that runs
+	// from the beginning.
+	admitHealth := func(seq int64) bool {
+		return seq <= maxSeq && (seq >= minSeq || minSeq <= 1)
+	}
 	for i, name := range names {
 		newest := i == len(names)-1
 		fs, indexed := r.lookup(name)
@@ -134,6 +145,17 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 				}
 				markers = append(markers, m)
 				r.stats.MarkerReads++
+			}
+			for _, hi := range fs.Healths {
+				if !admitHealth(hi.Seq) {
+					continue
+				}
+				h, err := export.ReadHealthAt(name, hi.Offset)
+				if err != nil {
+					return nil, err
+				}
+				healths = append(healths, h)
+				r.stats.HealthReads++
 			}
 			r.stats.Skipped++
 			continue
@@ -165,16 +187,23 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 			}
 			markers = append(markers, m)
 		}
+		for _, h := range fr.Healths {
+			if admitHealth(h.Seq) {
+				healths = append(healths, h)
+			}
+		}
 	}
 	rep.Segments = len(payloads)
-	merged, err := export.MergeReplay(payloads, markers)
+	merged, err := export.MergeReplay(payloads, markers, healths)
 	if err != nil {
 		return nil, err
 	}
 	rep.Events = merged.Events
 	rep.Markers = merged.Markers
+	rep.Healths = merged.Healths
 	rep.DuplicateEvents = merged.DuplicateEvents
 	rep.DuplicateMarkers = merged.DuplicateMarkers
+	rep.DuplicateHealths = merged.DuplicateHealths
 	return rep, nil
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"robustmon/internal/event"
 	"robustmon/internal/history"
+	"robustmon/internal/obs"
 )
 
 // ErrBadWALMagic reports that a file in the export directory does not
@@ -43,6 +44,12 @@ type Replay struct {
 	// that monitor may be reset artefacts. Nil for a run that never
 	// reset (including every format-v1 WAL).
 	Markers []history.RecoveryMarker
+	// Healths are the health-snapshot records found in the WAL, in
+	// record order (which is capture order — the exporter's single
+	// writer serialises them): the run's own metrics timeline. Nil for
+	// a run recorded without a health cadence (including every
+	// format-v1 WAL).
+	Healths []obs.HealthRecord
 	// Files and Segments count the WAL files and valid segment records
 	// read (Segments excludes marker records).
 	Files, Segments int
@@ -52,14 +59,14 @@ type Replay struct {
 	// skipped and the reader continues with the next one, so a single
 	// corrupt record costs its own events, never the rest of the file.
 	CorruptRecords int
-	// DuplicateEvents and DuplicateMarkers count identical records
-	// collapsed during the merge. Duplicates never occur in a healthy
+	// DuplicateEvents, DuplicateMarkers and DuplicateHealths count
+	// identical records collapsed during the merge. Duplicates never occur in a healthy
 	// WAL (sequence numbers are globally unique); they are the
 	// signature of a compaction interrupted between installing its
 	// merged output and unlinking the inputs it replaced — the reader
 	// recovers the exact stream either way. A sequence-number collision
 	// between *different* events is corruption and an error.
-	DuplicateEvents, DuplicateMarkers int
+	DuplicateEvents, DuplicateMarkers, DuplicateHealths int
 	// Recovered reports that the newest file ended in a torn record
 	// (crash mid-write); the tail was dropped and Events holds
 	// everything up to the last valid record.
@@ -94,6 +101,7 @@ func ReadDir(dir string) (*Replay, error) {
 	rep := &Replay{Files: len(names)}
 	var payloads []event.Seq
 	var markers []history.RecoveryMarker
+	var healths []obs.HealthRecord
 	for i, name := range names {
 		fr, err := readWALFile(name)
 		if err != nil {
@@ -108,30 +116,34 @@ func ReadDir(dir string) (*Replay, error) {
 		}
 		payloads = append(payloads, fr.segs...)
 		markers = append(markers, fr.markers...)
+		healths = append(healths, fr.healths...)
 		rep.CorruptRecords += fr.corrupt
 	}
 	rep.Segments = len(payloads)
-	merged, err := MergeReplay(payloads, markers)
+	merged, err := MergeReplay(payloads, markers, healths)
 	if err != nil {
 		return nil, err
 	}
 	rep.Events = merged.Events
 	rep.Markers = merged.Markers
+	rep.Healths = merged.Healths
 	rep.DuplicateEvents = merged.DuplicateEvents
 	rep.DuplicateMarkers = merged.DuplicateMarkers
+	rep.DuplicateHealths = merged.DuplicateHealths
 	return rep, nil
 }
 
-// MergeReplay assembles per-record event payloads and markers into the
-// replayed form: events k-way-merged into the global <L order with
-// identical duplicates collapsed (and counted), markers deduplicated
-// preserving first-occurrence order. It is the shared back half of
-// ReadDir and the windowed index.SeekReader; only Events, Markers and
-// the duplicate counters of the returned Replay are populated. A
-// sequence-number collision between two different events is an error —
-// that is two runs (or a corrupted record) sharing one directory, not
-// a recoverable duplicate.
-func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker) (*Replay, error) {
+// MergeReplay assembles per-record event payloads, markers and health
+// snapshots into the replayed form: events k-way-merged into the
+// global <L order with identical duplicates collapsed (and counted),
+// markers and health records deduplicated preserving first-occurrence
+// order. It is the shared back half of ReadDir and the windowed
+// index.SeekReader; only Events, Markers, Healths and the duplicate
+// counters of the returned Replay are populated. A sequence-number
+// collision between two different events is an error — that is two
+// runs (or a corrupted record) sharing one directory, not a
+// recoverable duplicate.
+func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker, healths []obs.HealthRecord) (*Replay, error) {
 	rep := &Replay{}
 	merged := event.Merge(payloads...)
 	out := merged[:0]
@@ -165,6 +177,24 @@ func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker) (*Repla
 		}
 		rep.Markers = kept
 	}
+	if len(healths) > 0 {
+		// Health records hold slices, so the dedup identity is the
+		// deterministic encoding rather than Go equality — same
+		// semantics: exact duplicates are compaction overlap, collapsed
+		// and counted.
+		seen := make(map[string]bool, len(healths))
+		kept := make([]obs.HealthRecord, 0, len(healths))
+		for _, h := range healths {
+			k := HealthKey(h)
+			if seen[k] {
+				rep.DuplicateHealths++
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, h)
+		}
+		rep.Healths = kept
+	}
 	return rep, nil
 }
 
@@ -177,6 +207,8 @@ type FileReplay struct {
 	Segments []Segment
 	// Markers holds the file's recovery markers in record order.
 	Markers []history.RecoveryMarker
+	// Healths holds the file's health-snapshot records in record order.
+	Healths []obs.HealthRecord
 	// CorruptRecords counts skipped CRC-corrupt records (see Replay).
 	CorruptRecords int
 	// Torn reports that the file ends in a torn record; Segments and
@@ -194,6 +226,7 @@ func ReadWALFile(name string) (*FileReplay, error) {
 	}
 	out := &FileReplay{
 		Markers:        fr.markers,
+		Healths:        fr.healths,
 		CorruptRecords: fr.corrupt,
 		Torn:           fr.torn != nil,
 	}
@@ -209,42 +242,69 @@ func ReadWALFile(name string) (*FileReplay, error) {
 // is creation order, since names are zero-padded numbers.
 func WALFiles(dir string) ([]string, error) { return walFiles(dir) }
 
+// readRecordAt reads the single record at the given byte offset of a
+// WAL file — the shared machinery of the index's point reads
+// (ReadMarkerAt, ReadHealthAt).
+func readRecordAt(name string, offset int64) (*history.RecoveryMarker, *obs.HealthRecord, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("export: open wal file: %w", err)
+	}
+	defer f.Close()
+	var magic [5]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("export: %s: read magic: %w", name, err)
+	}
+	version := magic[4]
+	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
+		return nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+	}
+	if offset < int64(len(magic)) || offset >= math.MaxInt64 {
+		return nil, nil, fmt.Errorf("export: %s: implausible record offset %d", name, offset)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return nil, nil, fmt.Errorf("export: %s: seek record: %w", name, err)
+	}
+	_, marker, health, terr, rerr := readRecord(bufio.NewReader(f), version)
+	if rerr != nil {
+		return nil, nil, fmt.Errorf("export: %s offset %d: %w", name, offset, rerr)
+	}
+	if terr != nil {
+		return nil, nil, fmt.Errorf("export: %s offset %d: torn record: %w", name, offset, terr)
+	}
+	return marker, health, nil
+}
+
 // ReadMarkerAt reads the single marker record at the given byte offset
 // of a WAL file — the point-read behind the index's marker offsets: a
 // windowed replay can collect a file's recovery markers without
 // decoding any of its segment payloads.
 func ReadMarkerAt(name string, offset int64) (history.RecoveryMarker, error) {
 	var zero history.RecoveryMarker
-	f, err := os.Open(name)
+	marker, _, err := readRecordAt(name, offset)
 	if err != nil {
-		return zero, fmt.Errorf("export: open wal file: %w", err)
-	}
-	defer f.Close()
-	var magic [5]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return zero, fmt.Errorf("export: %s: read magic: %w", name, err)
-	}
-	version := magic[4]
-	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
-		return zero, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
-	}
-	if offset < int64(len(magic)) || offset >= math.MaxInt64 {
-		return zero, fmt.Errorf("export: %s: implausible marker offset %d", name, offset)
-	}
-	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		return zero, fmt.Errorf("export: %s: seek marker: %w", name, err)
-	}
-	_, marker, terr, rerr := readRecord(bufio.NewReader(f), version)
-	if rerr != nil {
-		return zero, fmt.Errorf("export: %s offset %d: %w", name, offset, rerr)
-	}
-	if terr != nil {
-		return zero, fmt.Errorf("export: %s offset %d: torn record: %w", name, offset, terr)
+		return zero, err
 	}
 	if marker == nil {
-		return zero, fmt.Errorf("export: %s offset %d holds a segment record, not a marker", name, offset)
+		return zero, fmt.Errorf("export: %s offset %d does not hold a marker record", name, offset)
 	}
 	return *marker, nil
+}
+
+// ReadHealthAt reads the single health-snapshot record at the given
+// byte offset of a WAL file — the point-read behind the index's
+// health offsets, so a windowed replay collects a skipped file's
+// health timeline without decoding its segment payloads.
+func ReadHealthAt(name string, offset int64) (obs.HealthRecord, error) {
+	var zero obs.HealthRecord
+	_, health, err := readRecordAt(name, offset)
+	if err != nil {
+		return zero, err
+	}
+	if health == nil {
+		return zero, fmt.Errorf("export: %s offset %d does not hold a health record", name, offset)
+	}
+	return *health, nil
 }
 
 // fileReplay is readWALFile's result: the decoded records of one file
@@ -252,6 +312,7 @@ func ReadMarkerAt(name string, offset int64) (history.RecoveryMarker, error) {
 type fileReplay struct {
 	segs    []event.Seq
 	markers []history.RecoveryMarker
+	healths []obs.HealthRecord
 	corrupt int
 	torn    error // non-nil when the file ends mid-record
 }
@@ -279,7 +340,7 @@ func readWALFile(name string) (*fileReplay, error) {
 		return nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
 	}
 	for {
-		events, marker, terr, rerr := readRecord(br, version)
+		events, marker, health, terr, rerr := readRecord(br, version)
 		if rerr != nil {
 			if errors.Is(rerr, errCRCMismatch) {
 				// Localised damage: the payload was fully consumed, so the
@@ -287,7 +348,7 @@ func readWALFile(name string) (*fileReplay, error) {
 				fr.corrupt++
 				continue
 			}
-			return nil, fmt.Errorf("export: %s record %d: %w", name, len(fr.segs)+len(fr.markers)+fr.corrupt, rerr)
+			return nil, fmt.Errorf("export: %s record %d: %w", name, len(fr.segs)+len(fr.markers)+len(fr.healths)+fr.corrupt, rerr)
 		}
 		if terr != nil {
 			if terr == io.EOF {
@@ -296,9 +357,12 @@ func readWALFile(name string) (*fileReplay, error) {
 			fr.torn = terr
 			return fr, nil
 		}
-		if marker != nil {
+		switch {
+		case marker != nil:
 			fr.markers = append(fr.markers, *marker)
-		} else {
+		case health != nil:
+			fr.healths = append(fr.healths, *health)
+		default:
 			fr.segs = append(fr.segs, events)
 		}
 	}
@@ -339,7 +403,7 @@ func readHeader(br *bufio.Reader, version byte) (*recHeader, error) {
 			return nil, err // io.EOF here = clean boundary
 		}
 		h.typ = scratch[0]
-		if h.typ != recSegment && h.typ != recMarker {
+		if h.typ != recSegment && h.typ != recMarker && h.typ != recHealth {
 			// No writer emits such a type, but a torn tail leaves
 			// arbitrary bytes behind — torn at the tail, corruption
 			// elsewhere (the caller decides which).
@@ -410,11 +474,11 @@ func readHeader(br *bufio.Reader, version byte) (*recHeader, error) {
 // that cannot result from a crashed append — a CRC mismatch over a
 // full-length payload (errCRCMismatch, which the caller may skip), or
 // a CRC-valid record whose header and payload disagree. Exactly one of
-// events / marker is set on success.
-func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *history.RecoveryMarker, terr, rerr error) {
+// events / marker / health is set on success.
+func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *history.RecoveryMarker, health *obs.HealthRecord, terr, rerr error) {
 	h, err := readHeader(br, version)
 	if err != nil {
-		return nil, nil, err, nil
+		return nil, nil, nil, err, nil
 	}
 	// Pre-size only a bounded buffer and grow as real bytes arrive
 	// (io.CopyN), so a lying sub-cap length field still cannot allocate
@@ -427,14 +491,14 @@ func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *histo
 	}
 	pbuf := bytes.NewBuffer(make([]byte, 0, prealloc))
 	if _, err := io.CopyN(pbuf, br, int64(h.payloadLen)); err != nil {
-		return nil, nil, noEOFBoundary(err), nil
+		return nil, nil, nil, noEOFBoundary(err), nil
 	}
 	payload := pbuf.Bytes()
 	if got := crc32.ChecksumIEEE(payload); got != h.sum {
 		// The payload is full-length, so this is no crash tear (an
 		// append-only tear is always a prefix, i.e. a short read):
 		// corruption of this one record, wherever it appears.
-		return nil, nil, nil, fmt.Errorf("%w (got %08x, header says %08x)", errCRCMismatch, got, h.sum)
+		return nil, nil, nil, nil, fmt.Errorf("%w (got %08x, header says %08x)", errCRCMismatch, got, h.sum)
 	}
 
 	// The CRC passed, so header/payload disagreement below is a writer
@@ -442,30 +506,42 @@ func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *histo
 	if h.typ == recMarker {
 		m, err := decodeMarker(payload)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("decode marker payload: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("decode marker payload: %w", err)
 		}
 		if m.Monitor != h.monitor || m.Horizon != h.first || m.Horizon != h.last || m.Dropped != int(h.count) {
-			return nil, nil, nil, fmt.Errorf("marker header (monitor %q, horizon %d..%d, %d dropped) disagrees with payload (monitor %q, horizon %d, %d dropped)",
+			return nil, nil, nil, nil, fmt.Errorf("marker header (monitor %q, horizon %d..%d, %d dropped) disagrees with payload (monitor %q, horizon %d, %d dropped)",
 				h.monitor, h.first, h.last, h.count, m.Monitor, m.Horizon, m.Dropped)
 		}
-		return nil, &m, nil, nil
+		return nil, &m, nil, nil, nil
+	}
+
+	if h.typ == recHealth {
+		hr, err := decodeHealth(payload)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("decode health payload: %w", err)
+		}
+		if h.monitor != "" || hr.Seq != h.first || hr.Seq != h.last || h.count != 0 {
+			return nil, nil, nil, nil, fmt.Errorf("health header (monitor %q, horizon %d..%d, count %d) disagrees with payload (horizon %d)",
+				h.monitor, h.first, h.last, h.count, hr.Seq)
+		}
+		return nil, nil, &hr, nil, nil
 	}
 
 	events, err = event.ReadBinary(bytes.NewReader(payload))
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("decode payload: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("decode payload: %w", err)
 	}
 	seg := Segment{Monitor: h.monitor, Events: events}
 	if len(events) != int(h.count) || seg.First() != h.first || seg.Last() != h.last {
-		return nil, nil, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
+		return nil, nil, nil, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
 			h.monitor, h.count, h.first, h.last, len(events), seg.First(), seg.Last())
 	}
 	for _, e := range events {
 		if e.Monitor != seg.Monitor {
-			return nil, nil, nil, fmt.Errorf("event %d belongs to monitor %q, record header says %q", e.Seq, e.Monitor, seg.Monitor)
+			return nil, nil, nil, nil, fmt.Errorf("event %d belongs to monitor %q, record header says %q", e.Seq, e.Monitor, seg.Monitor)
 		}
 	}
-	return events, nil, nil, nil
+	return events, nil, nil, nil, nil
 }
 
 // noEOFBoundary maps io.EOF mid-record to io.ErrUnexpectedEOF so only

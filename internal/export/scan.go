@@ -43,6 +43,18 @@ type MarkerInfo struct {
 	Offset int64
 }
 
+// HealthInfo locates one health-snapshot record inside a WAL file.
+// Like MarkerInfo, the byte offset lets a windowed reader collect a
+// skipped file's health timeline with a point read (ReadHealthAt)
+// instead of decoding the whole file.
+type HealthInfo struct {
+	// Seq is the snapshot's global-sequence horizon (the record header
+	// carries it, so no payload decode is needed to index it).
+	Seq int64
+	// Offset is the record's byte offset from the start of the file.
+	Offset int64
+}
+
 // FileSummary describes one sealed WAL segment file: everything a
 // reader needs to decide whether the file can possibly matter to a
 // windowed query, without opening it.
@@ -67,6 +79,8 @@ type FileSummary struct {
 	Monitors []MonitorRange
 	// Markers lists the file's recovery markers in record order.
 	Markers []MarkerInfo
+	// Healths lists the file's health-snapshot records in record order.
+	Healths []HealthInfo
 	// HeaderCRC is the CRC-32 (IEEE) over the file's record headers,
 	// concatenated in record order — the header chain. It pins the
 	// file's record structure: verifying it needs only a header scan
@@ -121,6 +135,12 @@ func (b *summaryBuilder) add(h *recHeader, offset int64) {
 		})
 		return
 	}
+	if h.typ == recHealth {
+		b.sum.Healths = append(b.sum.Healths, HealthInfo{
+			Seq: h.first, Offset: offset,
+		})
+		return
+	}
 	if b.sum.Events == 0 {
 		b.sum.MinSeq, b.sum.MaxSeq = h.first, h.last
 	} else {
@@ -144,6 +164,11 @@ func (b *summaryBuilder) done(size int64, torn bool) FileSummary {
 	s := b.sum
 	s.Size = size
 	s.Torn = torn
+	if len(b.mons) == 0 {
+		// Nil, not empty: the codec decodes an absent section to nil, and
+		// the two producers of a summary must agree structurally too.
+		return s
+	}
 	s.Monitors = make([]MonitorRange, 0, len(b.mons))
 	for _, mr := range b.mons {
 		s.Monitors = append(s.Monitors, *mr)

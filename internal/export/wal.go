@@ -14,6 +14,7 @@ import (
 	"robustmon/internal/clock"
 	"robustmon/internal/event"
 	"robustmon/internal/history"
+	"robustmon/internal/obs"
 )
 
 // The on-disk WAL layout. A directory of numbered files
@@ -21,15 +22,16 @@ import (
 // prefix + format version) and holds a sequence of records. In format
 // version 2 every record begins with a one-byte record type; version 1
 // files (written before recovery markers existed) have no type byte
-// and hold only segment records. Both record types share one header:
+// and hold only segment records. All record types share one header:
 //
-//	uint8   record type (v2 only: 0 = segment, 1 = recovery marker)
+//	uint8   record type (v2 only: 0 = segment, 1 = recovery marker,
+//	                     2 = health snapshot)
 //	uint16  len(monitor)      ┐
 //	bytes   monitor           │ little-endian record header
-//	int64   first seq         │ (marker: reset horizon twice)
-//	int64   last seq          │
-//	uint32  event count       │ (marker: discarded-event count)
-//	uint32  len(payload)      │
+//	int64   first seq         │ (marker: reset horizon twice;
+//	int64   last seq          │  health: capture horizon twice)
+//	uint32  event count       │ (marker: discarded-event count;
+//	uint32  len(payload)      │  health: 0)
 //	uint32  CRC-32 (IEEE) of payload ┘
 //	bytes   payload
 //
@@ -37,13 +39,17 @@ import (
 // events — itself a well-formed single-segment trace. A recovery
 // marker's payload is the self-contained marker blob of
 // encodeMarker: the shard-local reset's horizon, discarded-event
-// count, triggering rule/pid and instant. The header duplicates the
-// seq range and count so a reader can index a WAL without decoding
-// payloads, and the CRC turns a torn write into a detectable
-// truncation instead of silent corruption. Files are fsynced when
-// rotated and on Flush/Close; a crash can therefore only lose or tear
-// the tail of the newest file, which the reader recovers from by
-// dropping the torn record.
+// count, triggering rule/pid and instant. A health-snapshot record's
+// payload is the self-contained blob of encodeHealth: a periodic
+// obs.Snapshot of the detector's metrics registry pinned to its
+// capture instant and global-sequence horizon (the monitor field is
+// empty — health is per-process, not per-monitor). The header
+// duplicates the seq range and count so a reader can index a WAL
+// without decoding payloads, and the CRC turns a torn write into a
+// detectable truncation instead of silent corruption. Files are
+// fsynced when rotated and on Flush/Close; a crash can therefore only
+// lose or tear the tail of the newest file, which the reader recovers
+// from by dropping the torn record.
 
 // walMagicPrefix identifies a WAL segment file; the byte that follows
 // it on disk is the format version.
@@ -57,10 +63,15 @@ const (
 	walVersionLatest = walVersion2
 )
 
-// Record types (format version ≥ 2).
+// Record types (format version ≥ 2). recHealth rides the same v2
+// framing recMarker introduced: the header layout is unchanged, so
+// the format version does not bump — v1 and marker-era v2 files read
+// exactly as before, and only tooling older than the health-record
+// type refuses a file containing one.
 const (
 	recSegment byte = 0
 	recMarker  byte = 1
+	recHealth  byte = 2
 )
 
 // walExt is the segment-file extension.
@@ -104,6 +115,32 @@ type WALConfig struct {
 	// directory's index tracks every sealed segment for free. Called
 	// from whatever goroutine drives the sink (the exporter's writer).
 	OnRotate func(FileSummary)
+	// Obs, when set, instruments the sink: export_wal_bytes_total
+	// (header + payload bytes written), export_wal_records_total,
+	// export_wal_rotations_total and the export_wal_fsync_ns latency
+	// histogram. Nil disables at zero cost (see internal/obs).
+	Obs *obs.Registry
+}
+
+// walMetrics are the sink's obs handles; the zero value (all nil) is
+// the disabled mode.
+type walMetrics struct {
+	bytes     *obs.Counter
+	records   *obs.Counter
+	rotations *obs.Counter
+	fsyncNs   *obs.Histogram
+}
+
+func newWALMetrics(reg *obs.Registry) walMetrics {
+	if reg == nil {
+		return walMetrics{}
+	}
+	return walMetrics{
+		bytes:     reg.Counter("export_wal_bytes_total"),
+		records:   reg.Counter("export_wal_records_total"),
+		rotations: reg.Counter("export_wal_rotations_total"),
+		fsyncNs:   reg.Histogram("export_wal_fsync_ns"),
+	}
 }
 
 // WALSink persists exported segments to a directory of numbered,
@@ -124,6 +161,7 @@ type WALSink struct {
 	hdr      []byte
 	openedAt time.Time
 	cur      *summaryBuilder // summary of the file being written
+	met      walMetrics
 }
 
 // NewWALSink opens (creating if needed) dir for appending. An existing
@@ -151,7 +189,7 @@ func NewWALSink(dir string, cfg WALConfig) (*WALSink, error) {
 		}
 		next++
 	}
-	return &WALSink{dir: dir, cfg: cfg, next: next}, nil
+	return &WALSink{dir: dir, cfg: cfg, next: next, met: newWALMetrics(cfg.Obs)}, nil
 }
 
 // walFiles lists dir's segment files sorted by name — numeric order,
@@ -244,6 +282,19 @@ func (w *WALSink) WriteMarker(m history.RecoveryMarker) error {
 	return err
 }
 
+// WriteHealth appends one health-snapshot record — a periodic capture
+// of the detector's metrics registry, pinned to its global-sequence
+// horizon so offline tooling can place it in the trace's timeline. It
+// implements the optional HealthSink extension. The monitor field is
+// empty: health describes the whole process, not one monitor.
+func (w *WALSink) WriteHealth(h obs.HealthRecord) error {
+	p := getPayloadBuf(256)
+	*p = appendHealth((*p)[:0], h)
+	err := w.writeRecord(recHealth, "", h.Seq, h.Seq, 0, *p)
+	putPayloadBuf(p)
+	return err
+}
+
 // writeRecord appends one record of either type and rotates if the
 // file outgrew the threshold.
 func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count uint32, payload []byte) error {
@@ -283,6 +334,8 @@ func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count
 		count: count, payloadLen: uint32(len(payload)), raw: w.hdr,
 	}, w.size)
 	w.size += int64(len(w.hdr) + len(payload))
+	w.met.records.Inc()
+	w.met.bytes.Add(int64(len(w.hdr) + len(payload)))
 	if w.cfg.SyncEveryWrite {
 		if err := w.sync(); err != nil {
 			return err
@@ -302,9 +355,11 @@ func (w *WALSink) sync() error {
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("export: flush wal: %w", err)
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("export: fsync wal: %w", err)
 	}
+	w.met.fsyncNs.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -329,6 +384,7 @@ func (w *WALSink) rotate() error {
 		return fmt.Errorf("export: close wal file: %w", err)
 	}
 	w.f, w.bw = nil, nil
+	w.met.rotations.Inc()
 	if w.cfg.OnRotate != nil && w.cur != nil && w.cur.sum.Records > 0 {
 		w.cfg.OnRotate(w.cur.done(w.size, false))
 	}

@@ -76,6 +76,8 @@ func (db *DB) AppendBatch(monitor string, events []event.Event) (first, last int
 	// delays visibility by nanoseconds.
 	db.total.Add(n)
 	c.n.Add(n)
+	db.met.batches.Inc()
+	db.met.batchEvents.Add(n)
 	return base + 1, base + n
 }
 

@@ -67,6 +67,10 @@ type shard struct {
 	// events span monitors — that mode looks counters up per append
 	// (it is the legacy contention profile anyway).
 	counter *counter
+	// met points at the owning DB's obs handles (never nil; the
+	// handles inside are nil without WithObs), so the drain path can
+	// count pool traffic without reaching back to the DB.
+	met *histMetrics
 }
 
 // counter is one monitor's cumulative event count. It lives outside
@@ -120,6 +124,9 @@ type DB struct {
 	// at checkpoints, deliberately outside the shard locks.
 	stateMu sync.Mutex
 	states  []state.Snapshot
+
+	// met are the obs handles (see obs.go); zero value = disabled.
+	met histMetrics
 }
 
 // Option configures a DB.
@@ -173,7 +180,7 @@ func (db *DB) shardFor(monitor string) *shard {
 	db.shardMu.Lock()
 	defer db.shardMu.Unlock()
 	if s = db.shards[monitor]; s == nil {
-		s = &shard{}
+		s = &shard{met: &db.met}
 		if !db.global {
 			s.counter = db.counterFor(monitor)
 		}
@@ -334,6 +341,7 @@ func (db *DB) Append(e event.Event) event.Event {
 	s.mu.Unlock()
 	db.total.Add(1)
 	c.n.Add(1)
+	db.met.appends.Inc()
 	return e
 }
 

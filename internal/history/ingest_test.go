@@ -242,7 +242,7 @@ func TestClosedWriterLeavesHandshake(t *testing.T) {
 func TestRecycleAndSlabReuse(t *testing.T) {
 	// Not parallel: the segment pool is package-global and this test
 	// reasons about what it returns.
-	seg := newSegment(segClasses[0])
+	seg, _ := newSegment(segClasses[0])
 	if len(seg) != segClasses[0] || cap(seg) != segClasses[0] {
 		t.Fatalf("newSegment(%d): len=%d cap=%d", segClasses[0], len(seg), cap(seg))
 	}
@@ -251,7 +251,7 @@ func TestRecycleAndSlabReuse(t *testing.T) {
 	}
 	db := New()
 	db.Recycle(seg)
-	got := slabFor(segClasses[0])
+	got, _ := slabFor(segClasses[0])
 	if cap(got) < segClasses[0] {
 		t.Fatalf("slabFor(%d) cap = %d", segClasses[0], cap(got))
 	}
@@ -290,12 +290,12 @@ func TestRecycleNormalisesOddCaps(t *testing.T) {
 	}
 	// A class-sized hint with a dry pool must still produce a slab (the
 	// non-recycling-consumer path allocates one bounded slab per drain).
-	if s := slabFor(segClasses[1]); cap(s) < segClasses[1] {
+	if s, _ := slabFor(segClasses[1]); cap(s) < segClasses[1] {
 		t.Fatalf("slabFor(%d) cap = %d, want >= class", segClasses[1], cap(s))
 	}
 	// A trickle hint below the smallest class may return nil (regrow
 	// naturally) but must never return an undersized slab.
-	if s := slabFor(8); s != nil && cap(s) < 8 {
+	if s, _ := slabFor(8); s != nil && cap(s) < 8 {
 		t.Fatalf("slabFor(8) returned undersized cap %d", cap(s))
 	}
 }

@@ -1,0 +1,54 @@
+package history
+
+import "robustmon/internal/obs"
+
+// Instrumentation. The database self-reports through internal/obs:
+// WithObs hands it a registry and every layer of the record path
+// counts itself — appends and batch publications at event rhythm,
+// slab-pool traffic and drain sizes at drain rhythm. Without WithObs
+// the handles are nil and every update is a nil-safe no-op (obs's
+// off switch), so the uninstrumented hot path pays only a predicted
+// branch per counter; the E7 benchmark (monbench -obsoverhead) gates
+// the instrumented cost.
+
+// histMetrics are the database's obs handles; the zero value (all
+// nil) is the disabled mode. Shards hold a pointer to the DB's copy,
+// so shard-side updates never touch the DB struct's hot cache lines
+// beyond the counters themselves.
+type histMetrics struct {
+	// appends counts singleton Append calls; batches and batchEvents
+	// count AppendBatch publications and the events they carried.
+	appends, batches, batchEvents *obs.Counter
+	// poolHit/poolMiss count drain-rhythm slab requests served from
+	// the segment pool vs freshly allocated (requests outside the
+	// pooled classes count as neither); recycles counts slabs actually
+	// returned to the pool.
+	poolHit, poolMiss, recycles *obs.Counter
+	// drainEvents is the distribution of drained-segment sizes, the
+	// shape the checkpoint cadence and batch knobs are tuned against.
+	drainEvents *obs.Histogram
+}
+
+func newHistMetrics(reg *obs.Registry) histMetrics {
+	if reg == nil {
+		return histMetrics{}
+	}
+	return histMetrics{
+		appends:     reg.Counter("history_append_total"),
+		batches:     reg.Counter("history_append_batch_total"),
+		batchEvents: reg.Counter("history_append_batch_events_total"),
+		poolHit:     reg.Counter("history_pool_hit_total"),
+		poolMiss:    reg.Counter("history_pool_miss_total"),
+		recycles:    reg.Counter("history_slab_recycle_total"),
+		drainEvents: reg.Histogram("history_drain_events"),
+	}
+}
+
+// WithObs instruments the database on the given registry (see
+// internal/obs): history_append_total, history_append_batch_total,
+// history_append_batch_events_total, history_pool_hit_total,
+// history_pool_miss_total, history_slab_recycle_total and the
+// history_drain_events histogram. Nil disables at zero cost.
+func WithObs(reg *obs.Registry) Option {
+	return func(db *DB) { db.met = newHistMetrics(reg) }
+}

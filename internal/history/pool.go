@@ -73,32 +73,34 @@ func classFor(hint int) int {
 // even when nothing recycles), and nil for hints below the smallest
 // class (a small shard regrows naturally — eagerly allocating the
 // smallest class for a trickle would cost more than it saves) or
-// beyond the largest (unpoolable anyway).
-func slabFor(hint int) []event.Event {
+// beyond the largest (unpoolable anyway). pooled reports whether the
+// slab came out of the pool — the hit/miss signal the obs counters
+// publish.
+func slabFor(hint int) (slab []event.Event, pooled bool) {
 	i := classFor(hint)
 	if i < 0 {
-		return nil
+		return nil, false
 	}
 	if p, _ := segPools[i].Get().(*[]event.Event); p != nil {
-		return *p
+		return *p, true
 	}
 	if hint < segClasses[0] {
-		return nil
+		return nil, false
 	}
-	return make([]event.Event, 0, segClasses[i])
+	return make([]event.Event, 0, segClasses[i]), false
 }
 
 // newSegment returns a length-n slice for a drained segment copy, from
 // the pool when possible (an allocation beyond the top class will not
-// be pooled on Recycle).
-func newSegment(n int) event.Seq {
-	if s := slabFor(n); s != nil {
-		return s[:n]
+// be pooled on Recycle). pooled reports a pool hit, as in slabFor.
+func newSegment(n int) (seg event.Seq, pooled bool) {
+	if s, hit := slabFor(n); s != nil {
+		return s[:n], hit
 	}
 	if i := classFor(n); i >= 0 {
-		return make(event.Seq, n, segClasses[i])
+		return make(event.Seq, n, segClasses[i]), false
 	}
-	return make(event.Seq, n)
+	return make(event.Seq, n), false
 }
 
 // Recycle returns a drained segment's backing array to the segment
@@ -122,6 +124,7 @@ func (db *DB) Recycle(seg event.Seq) {
 		if c >= segClasses[i] {
 			s = s[:0:segClasses[i]]
 			segPools[i].Put(&s)
+			db.met.recycles.Inc()
 			return
 		}
 	}
@@ -147,12 +150,26 @@ func (s *shard) drainSegmentLocked(n int) event.Seq {
 	if n == 0 {
 		return nil
 	}
+	s.met.drainEvents.Observe(int64(n))
 	if n == len(s.segment) {
 		seg := event.Seq(s.segment)
-		s.segment = slabFor(n)
+		slab, pooled := slabFor(n)
+		s.segment = slab
+		// A nil slab is a deliberate trickle-path non-allocation, neither
+		// hit nor miss.
+		if pooled {
+			s.met.poolHit.Inc()
+		} else if slab != nil {
+			s.met.poolMiss.Inc()
+		}
 		return seg
 	}
-	out := newSegment(n)
+	out, pooled := newSegment(n)
+	if pooled {
+		s.met.poolHit.Inc()
+	} else {
+		s.met.poolMiss.Inc()
+	}
 	copy(out, s.segment[:n])
 	s.segment = s.segment[n:]
 	return out

@@ -1,0 +1,23 @@
+package obs
+
+import "time"
+
+// HealthRecord is one periodic health snapshot: the registry's
+// metrics pinned to an instant and to a position in the global event
+// order. The detector emits them at a configured cadence through the
+// export pipeline's marker seam, so a trace carries its own health
+// timeline — `montrace stats` over any export directory renders how
+// checkpoint latency, queue depths and drop counters evolved across
+// the run, windowed through the trace-store index like everything
+// else.
+type HealthRecord struct {
+	// At is the wall-clock capture instant (UTC on the wire).
+	At time.Time
+	// Seq is the global history sequence horizon at capture time: every
+	// event at or below it had been recorded when the snapshot was
+	// taken. It is what orders the record inside the trace and what a
+	// windowed query filters on.
+	Seq int64
+	// Metrics is the captured registry state.
+	Metrics Snapshot
+}

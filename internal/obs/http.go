@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Config parameterises the observability HTTP endpoint (the facade
+// re-exports it as robustmon.ObsConfig).
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:9188"; ":0" picks a free
+	// port — read it back from Server.Addr).
+	Addr string
+	// Registry is the registry /metrics exposes. May be nil (the
+	// endpoint then serves an empty exposition — useful when only pprof
+	// is wanted).
+	Registry *Registry
+	// DisablePprof leaves the /debug/pprof/ handlers unmounted. The
+	// default mounts them: profiling a live detector is half the point
+	// of the endpoint, and the handlers cost nothing until scraped.
+	DisablePprof bool
+}
+
+// Server is a running observability endpoint: /metrics in Prometheus
+// text exposition, /healthz as a liveness probe, and (unless
+// disabled) the standard /debug/pprof/ suite on the same listener.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Handler returns the exposition handler for a registry: GET /metrics
+// renders Registry.Snapshot() as Prometheus text. Exported separately
+// so a host application can mount it on its own mux instead of
+// running a dedicated Server.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+}
+
+// StartServer binds cfg.Addr and serves the endpoint until Close. The
+// pprof handlers are mounted explicitly on the server's private mux —
+// importing net/http/pprof for its DefaultServeMux side effect would
+// leak profiling onto whatever mux the host application serves.
+func StartServer(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("obs: no listen address")
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(cfg.Registry))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if !cfg.DisablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	lis, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		lis: lis,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+	}
+	go func() {
+		// Serve returns http.ErrServerClosed on Close; any other error
+		// means the listener died, which Close surfaces too.
+		_ = s.srv.Serve(lis)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43021") — the
+// way to discover the port after Addr ":0".
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the endpoint's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

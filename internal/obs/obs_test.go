@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("second lookup returned a different handle")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// None of these may panic; all reads are zero.
+	c.Inc()
+	c.Add(3)
+	g.Set(9)
+	g.Add(1)
+	h.Observe(123)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations of 1000ns and one of 1_000_000ns: p50 must land
+	// in 1000's bucket [512,1024), p99+ must reach the outlier's.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1_000_000)
+	if got := h.Count(); got != 101 {
+		t.Fatalf("count = %d, want 101", got)
+	}
+	if got := h.Sum(); got != 100*1000+1_000_000 {
+		t.Fatalf("sum = %d", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 512 || p50 > 1024 {
+		t.Fatalf("p50 = %v, want within [512,1024)", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 524288 || p999 > 1<<20 {
+		t.Fatalf("p99.9 = %v, want within the outlier's bucket [2^19,2^20)", p999)
+	}
+	// Monotonicity across p.
+	last := 0.0
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		q := h.Quantile(p)
+		if q < last {
+			t.Fatalf("quantiles not monotone: q(%v)=%v < %v", p, q, last)
+		}
+		last = q
+	}
+	// Negative and zero observations land in bucket 0.
+	h2 := NewHistogram()
+	h2.Observe(-5)
+	h2.Observe(0)
+	if got := h2.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero histogram p50 = %v, want 0", got)
+	}
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zzz_total", "aaa_total", "mmm_total"} {
+		r.Counter(name).Add(3)
+	}
+	r.Gauge("g2").Set(2)
+	r.Gauge("g1").Set(1)
+	r.Histogram("lat_ns").Observe(100)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	wantC := []string{"aaa_total", "mmm_total", "zzz_total"}
+	for i, m := range s1.Counters {
+		if m.Name != wantC[i] {
+			t.Fatalf("counters not sorted: %v", s1.Counters)
+		}
+	}
+	if len(s1.Gauges) != 2 || s1.Gauges[0].Name != "g1" {
+		t.Fatalf("gauges not sorted: %v", s1.Gauges)
+	}
+	if v, ok := s1.Counter("mmm_total"); !ok || v != 3 {
+		t.Fatalf("Counter lookup = %d,%v", v, ok)
+	}
+	if v, ok := s1.Gauge("g2"); !ok || v != 2 {
+		t.Fatalf("Gauge lookup = %d,%v", v, ok)
+	}
+	hs, ok := s1.Histogram("lat_ns")
+	if !ok || hs.Count != 1 {
+		t.Fatalf("Histogram lookup = %+v,%v", hs, ok)
+	}
+	// Quiescent registry: snapshots must be deeply equal.
+	if len(s1.Counters) != len(s2.Counters) || len(s1.Histograms) != len(s2.Histograms) {
+		t.Fatal("snapshots of identical state differ")
+	}
+	for i := range s1.Counters {
+		if s1.Counters[i] != s2.Counters[i] {
+			t.Fatal("snapshots of identical state differ")
+		}
+	}
+}
+
+func TestIncrementPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_ns")
+	var nilC *Counter
+	var nilH *Histogram
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"counter-inc", func() { c.Inc() }},
+		{"counter-add", func() { c.Add(3) }},
+		{"gauge-set", func() { g.Set(42) }},
+		{"histogram-observe", func() { h.Observe(1234) }},
+		{"nil-counter-inc", func() { nilC.Inc() }},
+		{"nil-histogram-observe", func() { nilH.Observe(1) }},
+	}
+	for _, tc := range cases {
+		if got := testing.AllocsPerRun(1000, tc.f); got != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestConcurrentIncrementsAndSnapshots is the -race pin: handles are
+// hammered from many goroutines while snapshots and registrations run
+// concurrently, and the final counts must be exact.
+func TestConcurrentIncrementsAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 10_000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			h := r.Histogram("shared_ns")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				r.Gauge("last").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := r.Counter("shared_total").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("shared_ns").Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("history_append_total").Add(12)
+	r.Counter(`detect_resets_total`).Add(1)
+	r.Gauge(`detect_interval_ns{monitor="m1"}`).Set(5_000_000)
+	r.Gauge(`detect_interval_ns{monitor="m2"}`).Set(7_000_000)
+	h := r.Histogram("detect_check_ns")
+	h.Observe(1000)
+	h.Observe(3000)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE history_append_total counter\nhistory_append_total 12\n",
+		"# TYPE detect_interval_ns gauge\n",
+		`detect_interval_ns{monitor="m1"} 5000000`,
+		`detect_interval_ns{monitor="m2"} 7000000`,
+		"# TYPE detect_check_ns histogram\n",
+		`detect_check_ns_bucket{le="1023"} 1`,
+		`detect_check_ns_bucket{le="4095"} 2`,
+		`detect_check_ns_bucket{le="+Inf"} 2`,
+		"detect_check_ns_sum 4000\ndetect_check_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The labeled family's TYPE line must appear exactly once.
+	if got := strings.Count(out, "# TYPE detect_interval_ns gauge"); got != 1 {
+		t.Errorf("labeled family TYPE line appears %d times, want 1", got)
+	}
+}
+
+func TestServerServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("history_append_total").Add(99)
+	srv, err := StartServer(Config{Addr: "127.0.0.1:0", Registry: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "history_append_total 99") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}

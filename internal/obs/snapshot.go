@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metric is one named counter or gauge value in a snapshot.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// Bucket is one non-zero histogram bucket in a snapshot: Index is the
+// power-of-two bucket index (bucket 0 holds v ≤ 0, bucket i>0 holds v
+// in [2^(i-1), 2^i)), Count the observations in it.
+type Bucket struct {
+	Index int
+	Count int64
+}
+
+// HistogramSnapshot is one histogram captured as plain data. Buckets
+// holds only the non-zero buckets in ascending index order, so a
+// snapshot's size tracks the value spread, not the 65-bucket layout.
+type HistogramSnapshot struct {
+	Name       string
+	Count, Sum int64
+	Buckets    []Bucket
+}
+
+// bucketBounds returns the [lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = float64(int64(1) << (i - 1))
+	if i >= 64 {
+		return lo, 2 * lo
+	}
+	return lo, float64((int64(1) << i) - 1)
+}
+
+// Quantile returns the p-quantile (p in [0,1], clamped) of the
+// snapshot's observations: nearest-rank bucket selection with linear
+// interpolation inside the matched bucket.
+func (h HistogramSnapshot) Quantile(p float64) float64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for _, b := range h.Buckets {
+		next := cum + float64(b.Count)
+		if rank <= next {
+			lo, hi := bucketBounds(b.Index)
+			frac := (rank - cum) / float64(b.Count)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(h.Buckets[len(h.Buckets)-1].Index)
+	return hi
+}
+
+// Snapshot is the whole registry captured as plain data, each section
+// sorted by name — deterministic, so two snapshots of identical state
+// are identical values (the property the health-record codec and its
+// byte-identical round-trip tests rely on).
+type Snapshot struct {
+	Counters   []Metric
+	Gauges     []Metric
+	Histograms []HistogramSnapshot
+}
+
+// Snapshot captures every registered metric. Nil registry → zero
+// snapshot. Concurrent increments make the values mutually
+// approximate (each individually exact), which is what a live scrape
+// is.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for name, c := range sh.counters {
+			s.Counters = append(s.Counters, Metric{Name: name, Value: c.Value()})
+		}
+		for name, g := range sh.gauges {
+			s.Gauges = append(s.Gauges, Metric{Name: name, Value: g.Value()})
+		}
+		for name, h := range sh.histograms {
+			s.Histograms = append(s.Histograms, h.snapshot(name))
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the named counter's value from the snapshot.
+func (s Snapshot) Counter(name string) (int64, bool) { return findMetric(s.Counters, name) }
+
+// Gauge returns the named gauge's value from the snapshot.
+func (s Snapshot) Gauge(name string) (int64, bool) { return findMetric(s.Gauges, name) }
+
+// Histogram returns the named histogram from the snapshot.
+func (s Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+func findMetric(ms []Metric, name string) (int64, bool) {
+	for _, m := range ms {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// family splits a metric name into its Prometheus family (the part
+// before any {label} suffix) and the label block (including braces,
+// empty when none).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples (a {label} suffix in the name renders verbatim as the
+// sample's labels; the # TYPE line is emitted once per family), and
+// histograms as cumulative _bucket series with power-of-two le bounds
+// plus _sum and _count.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	writeScalars := func(ms []Metric, typ string) error {
+		lastFam := ""
+		for _, m := range ms {
+			fam, _ := family(m.Name)
+			if fam != lastFam {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ); err != nil {
+					return err
+				}
+				lastFam = fam
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeScalars(s.Counters, "counter"); err != nil {
+		return err
+	}
+	if err := writeScalars(s.Gauges, "gauge"); err != nil {
+		return err
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			_, hi := bucketBounds(b.Index)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%.0f\"} %d\n", h.Name, hi, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -98,6 +98,7 @@ import (
 	"robustmon/internal/history"
 	"robustmon/internal/mdl"
 	"robustmon/internal/monitor"
+	"robustmon/internal/obs"
 	"robustmon/internal/pathexpr"
 	"robustmon/internal/proc"
 	"robustmon/internal/recovery"
@@ -341,6 +342,62 @@ func OpenTraceReader(dir string) (*TraceSeekReader, error) { return index.OpenDi
 func CompactExportDir(dir string, cfg CompactionConfig) (*CompactionResult, error) {
 	return compact.Dir(dir, cfg)
 }
+
+// Self-observability (internal/obs): an allocation-free metrics
+// registry instrumenting every layer of the pipeline. Pass one
+// registry to the layers that accept it — NewHistory(WithObsMetrics
+// (reg)), DetectorConfig.Obs, ExporterConfig.Obs,
+// CompactionConfig.Obs — and read it back three ways: ObsRegistry.
+// Snapshot() in process, StartObsServer for a Prometheus-text
+// /metrics endpoint with the pprof suite on the same listener, and
+// DetectorConfig.HealthEvery for periodic HealthRecord snapshots
+// streamed into the export WAL (rendered by `montrace stats`).
+// Instrumentation is strictly optional: a nil registry configures
+// nil handles whose methods are no-ops, so an uninstrumented run
+// pays only an untaken nil check per increment.
+type (
+	// ObsRegistry names and owns metrics. Handles (Counter, Gauge,
+	// Histogram) are resolved once and then increment lock-free and
+	// allocation-free.
+	ObsRegistry = obs.Registry
+	// ObsCounter is a monotone counter handle.
+	ObsCounter = obs.Counter
+	// ObsGauge is a set/add gauge handle.
+	ObsGauge = obs.Gauge
+	// ObsHistogram is a fixed-bucket (power-of-two) histogram handle.
+	ObsHistogram = obs.Histogram
+	// ObsSnapshot is the registry captured as plain, name-sorted data.
+	ObsSnapshot = obs.Snapshot
+	// ObsConfig parameterises StartObsServer.
+	ObsConfig = obs.Config
+	// ObsServer is a running /metrics + /healthz + /debug/pprof
+	// endpoint.
+	ObsServer = obs.Server
+	// HealthRecord is one periodic health snapshot in the trace: the
+	// registry's metrics pinned to a wall-clock instant and a history
+	// sequence horizon. Exported through the WAL and returned by
+	// ReadExportDir in ExportReplay.Healths.
+	HealthRecord = obs.HealthRecord
+)
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// StartObsServer binds cfg.Addr and serves /metrics (Prometheus text
+// exposition of cfg.Registry), /healthz, and — unless disabled — the
+// /debug/pprof suite, until Close.
+func StartObsServer(cfg ObsConfig) (*ObsServer, error) { return obs.StartServer(cfg) }
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, s ObsSnapshot) error { return obs.WritePrometheus(w, s) }
+
+// WithObsMetrics instruments the history database on reg: append and
+// batch rates, slab-pool hit/miss/recycle counters and the drain-size
+// histogram. The option form matches the database's other knobs; the
+// detector, exporter and compactor take the same registry through
+// their config structs.
+func WithObsMetrics(reg *ObsRegistry) HistoryOption { return history.WithObs(reg) }
 
 // Trace I/O.
 
