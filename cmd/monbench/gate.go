@@ -45,7 +45,7 @@ func rowKey(row map[string]any) string {
 		"checkpoint_p50_ns": true, "checkpoint_p99_ns": true,
 		"files_opened": true, "files_total": true,
 		"ns_per_event": true, "bytes_per_event": true, "allocs_per_event": true,
-		"overhead_pct": true,
+		"overhead_pct": true, "records": true, "records_per_sec": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {
@@ -103,11 +103,22 @@ func compareArtefacts(baseline, fresh []map[string]any, tol float64) ([]string, 
 			continue
 		}
 		matched++
+		// Collector (E8) rows measure TCP-loopback shipping all the way
+		// to fsynced-ack durability; their per-cell medians spread ~±15%
+		// between runs on an idle host (more on shared runners), so the
+		// fine-grained band would flake. They gate at twice the
+		// tolerance — still catching the wire-path failure classes worth
+		// gating (a per-record fsync, a busy-waiting shipper, handshake
+		// storms), all of which cost well over half the throughput.
+		epsTol := tol
+		if kind, _ := row["bench"].(string); kind == "collector" {
+			epsTol = 2 * tol
+		}
 		if bEPS, ok := num(bRow, "events_per_sec"); ok && bEPS > 0 {
-			if fEPS, ok := num(row, "events_per_sec"); ok && fEPS < bEPS*(1-tol) {
+			if fEPS, ok := num(row, "events_per_sec"); ok && fEPS < bEPS*(1-epsTol) {
 				regressions = append(regressions, fmt.Sprintf(
 					"%s events/sec %.0f < baseline %.0f −%d%%",
-					rowKey(row), fEPS, bEPS, int(tol*100)))
+					rowKey(row), fEPS, bEPS, int(epsTol*100)))
 			}
 		}
 		if bP99, ok := num(bRow, "checkpoint_p99_ns"); ok && bP99 > 0 {

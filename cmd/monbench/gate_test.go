@@ -77,6 +77,28 @@ func TestCompareArtefactsLatencyFloorAbsorbsNoise(t *testing.T) {
 	}
 }
 
+func TestCompareArtefactsCollectorRowsGetWidenedBand(t *testing.T) {
+	t.Parallel()
+	// Collector (E8) throughput gates at twice the tolerance: −40%
+	// passes where an ordinary sweep row would fail, −60% still fails.
+	mk := func(eps float64) []map[string]any {
+		return normalized(t, []map[string]any{
+			{"bench": "collector", "mode": "fleet", "producers": 1, "events_per_sec": eps},
+		})
+	}
+	regs, err := compareArtefacts(mk(1000), mk(600), 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("regs=%v err=%v, want −40%% absorbed by the widened band", regs, err)
+	}
+	regs, err = compareArtefacts(mk(1000), mk(400), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "events/sec") || !strings.Contains(regs[0], "50%") {
+		t.Fatalf("regs = %v, want one events/sec regression at the ±50%% band", regs)
+	}
+}
+
 func TestCompareArtefactsAllocCeiling(t *testing.T) {
 	t.Parallel()
 	rpRow := func(eps, allocs float64) map[string]any {

@@ -87,6 +87,7 @@ func run(args []string, out, errOut io.Writer) int {
 		store     = fs.Bool("tracestore", false, "add the E5 trace-store rows (full ReadDir vs index-backed windowed SeekReader over a synthetic export directory); combines with -monitors into one artefact, or runs standalone")
 		record    = fs.Bool("recordpath", false, "add the E6 record-path rows (singleton DB.Append vs BatchWriter ingest under concurrent producers: events/sec, ns/event, B/event, allocs/event); combines with -monitors into one artefact, or runs standalone")
 		obsover   = fs.Bool("obsoverhead", false, "add the E7 self-observability rows (instrumented vs stripped ingest throughput, plus the bare-increment allocation profile); combines with -monitors into one artefact, or runs standalone")
+		collector = fs.Bool("collector", false, "add the E8 collector rows (N NetSink producers over loopback into one fleet collector vs a single-process WALSink baseline); combines with -monitors into one artefact, or runs standalone")
 		batchw    = fs.Bool("batchwriters", false, "wire the -monitors workload through lock-free BatchWriters instead of direct DB.Append (the raw-speed record path under the full monitor protocol)")
 		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
 		baseline  = fs.String("baseline", "", "perf gate: compare the fresh sweep against this JSON artefact and exit non-zero on regression")
@@ -121,15 +122,16 @@ func run(args []string, out, errOut io.Writer) int {
 			tracestore:    *store,
 			recordpath:    *record,
 			obsoverhead:   *obsover,
+			collector:     *collector,
 			jsonPath:      *jsonPath,
 			baseline:      *baseline,
 			tolerance:     *tolerance,
 		}, out, errOut)
 	}
 
-	if *store || *record || *obsover {
-		// Standalone E5/E6/E7: their own artefact kinds; several flags at
-		// once share one artefact (the rows are keyed apart by "bench").
+	if *store || *record || *obsover || *collector {
+		// Standalone E5/E6/E7/E8: their own artefact kinds; several flags
+		// at once share one artefact (the rows are keyed apart by "bench").
 		var kinds []string
 		art := benchArtefact{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -169,6 +171,20 @@ func run(args []string, out, errOut io.Writer) int {
 				return code
 			}
 			kinds = append(kinds, "E7-obsoverhead")
+			art.Rows = append(art.Rows, rows...)
+			for k, v := range cfgEntries {
+				art.Config[k] = v
+			}
+		}
+		if *collector {
+			if *store || *record || *obsover {
+				fmt.Fprintln(out)
+			}
+			rows, cfgEntries, code := runCollectorSweep(*repeats, out, errOut)
+			if code != 0 {
+				return code
+			}
+			kinds = append(kinds, "E8-collector")
 			art.Rows = append(art.Rows, rows...)
 			for k, v := range cfgEntries {
 				art.Config[k] = v
@@ -295,6 +311,7 @@ type scalingFlags struct {
 	tracestore    bool
 	recordpath    bool
 	obsoverhead   bool
+	collector     bool
 	jsonPath      string
 	baseline      string
 	tolerance     float64
@@ -472,6 +489,61 @@ func runObsOverheadSweep(repeats int, out, errOut io.Writer) ([]map[string]any, 
 	return artRows, cfgEntries, 0
 }
 
+// runCollectorSweep executes the E8 collector sweep and returns its
+// artefact rows and config entries (exit code non-zero on failure).
+// The rows carry "bench":"collector" so they can share an artefact
+// with the other sweeps; the fleet rows' events/sec ride the normal
+// baseline gate, so a regression in the framing, ack or resume path
+// fails CI like any throughput regression.
+func runCollectorSweep(repeats int, out, errOut io.Writer) ([]map[string]any, map[string]any, int) {
+	cfg := experiment.DefaultCollectorConfig()
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	fmt.Fprintf(out, "E8 (collector): segments/producer=%d events/segment=%d repeats=%d\n\n",
+		cfg.SegmentsPerProducer, cfg.EventsPerSegment, cfg.Repeats)
+	rows, err := experiment.RunCollector(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return nil, nil, 1
+	}
+	fmt.Fprint(out, experiment.CollectorTable(rows).String())
+	// Headline: the wire-hop cost (1 fleet producer vs the local
+	// baseline) and the largest fleet cell's share of local throughput.
+	var local, one, widest experiment.CollectorRow
+	for _, r := range rows {
+		switch {
+		case r.Mode == "local":
+			local = r
+		case r.Producers == 1:
+			one = r
+		}
+		if r.Mode == "fleet" && r.Producers > widest.Producers {
+			widest = r
+		}
+	}
+	if local.EventsPerSec > 0 && one.EventsPerSec > 0 {
+		fmt.Fprintf(out, "\none shipped producer runs at %.0f%% of local WALSink throughput; %d producers at %.0f%%\n",
+			100*one.EventsPerSec/local.EventsPerSec, widest.Producers,
+			100*widest.EventsPerSec/local.EventsPerSec)
+	}
+	var artRows []map[string]any
+	for _, r := range rows {
+		artRows = append(artRows, map[string]any{
+			"bench": "collector", "mode": r.Mode, "producers": r.Producers,
+			"records": r.Records, "events": r.Events,
+			"elapsed_ns":     r.Elapsed.Nanoseconds(),
+			"events_per_sec": r.EventsPerSec, "records_per_sec": r.RecordsPerSec,
+		})
+	}
+	cfgEntries := map[string]any{
+		"collector_segments_per_producer": cfg.SegmentsPerProducer,
+		"collector_events_per_segment":    cfg.EventsPerSegment,
+		"collector_repeats":               cfg.Repeats,
+	}
+	return artRows, cfgEntries, 0
+}
+
 // runScaling executes the E4 many-monitor sweep (-monitors).
 func runScaling(f scalingFlags, out, errOut io.Writer) int {
 	cfg := experiment.DefaultScalingConfig()
@@ -581,6 +653,17 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 		}
 		art.Rows = append(art.Rows, obsRows...)
 		for k, v := range obsCfg {
+			art.Config[k] = v
+		}
+	}
+	if f.collector {
+		fmt.Fprintln(out)
+		colRows, colCfg, code := runCollectorSweep(f.repeats, out, errOut)
+		if code != 0 {
+			return code
+		}
+		art.Rows = append(art.Rows, colRows...)
+		for k, v := range colCfg {
 			art.Config[k] = v
 		}
 	}

@@ -1,0 +1,98 @@
+// Command moncollect runs the fleet-mode trace collector: a TCP
+// service that accepts NetSink producer connections, resume-handshakes
+// each one, and lands every shipped record in a per-origin WAL export
+// directory under the fleet root — with the trace index maintained as
+// segments seal, so the offline tools (montrace dump/check/stats over
+// the fleet root or any origin subdirectory, the compactor, the
+// SeekReader) work on the collected store unchanged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"robustmon/internal/export/net"
+	"robustmon/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("moncollect", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9190", "listen address for producer connections (\":0\" picks a free port, printed on start)")
+	dir := fs.String("dir", "", "fleet root directory; each origin lands in <dir>/<origin>/ (required)")
+	metrics := fs.String("metrics", "", "observability endpoint address (/metrics, /healthz, pprof); empty = disabled")
+	ackEvery := fs.Int("ack-every", 64, "flush the origin WAL and acknowledge after this many records (a producer Flush always forces it)")
+	noIndex := fs.Bool("no-index", false, "skip maintaining the per-origin trace index as segments seal")
+	_ = fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "moncollect: -dir is required")
+		fs.Usage()
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	col, err := netexport.NewCollector(netexport.CollectorConfig{
+		Dir:      *dir,
+		AckEvery: *ackEvery,
+		NoIndex:  *noIndex,
+		Obs:      reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moncollect: %v\n", err)
+		return 1
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moncollect: %v\n", err)
+		return 1
+	}
+	fmt.Printf("moncollect: listening on %s, fleet root %s\n", lis.Addr(), *dir)
+
+	var obsSrv *obs.Server
+	if *metrics != "" {
+		obsSrv, err = obs.StartServer(obs.Config{Addr: *metrics, Registry: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moncollect: %v\n", err)
+			lis.Close()
+			return 1
+		}
+		fmt.Printf("moncollect: metrics on %s\n", obsSrv.URL())
+	}
+
+	// A signal closes the collector: the accept loop and every live
+	// producer connection unwind, each flushing its origin's WAL and
+	// resume state on the way out, so a restarted collector welcomes
+	// producers back at exactly the durable point.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- col.Serve(lis) }()
+
+	rc := 0
+	select {
+	case s := <-sig:
+		fmt.Printf("moncollect: %v, shutting down\n", s)
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moncollect: %v\n", err)
+			rc = 1
+		}
+	}
+	if err := col.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "moncollect: %v\n", err)
+		rc = 1
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Close()
+	}
+	fmt.Printf("moncollect: origins collected: %d\n", len(col.Origins()))
+	return rc
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunRequiresDir(t *testing.T) {
+	if code := run([]string{"-addr", "127.0.0.1:0"}); code != 2 {
+		t.Fatalf("run without -dir exit = %d, want 2", code)
+	}
+}

@@ -4,6 +4,7 @@
 //
 //	montrace record -out trace.jsonl [-faulty]   # run a demo workload, export its trace
 //	montrace record -outdir run/     [-faulty]   # same, streamed to a WAL export directory
+//	montrace record -ship host:9190 -origin a    # same, shipped to a moncollect collector
 //	montrace check  -in  trace.jsonl             # offline-check a trace with both rule engines
 //	montrace check  -in  run/                    # …directly from an export directory
 //	montrace dump   -in  trace.jsonl             # print the events in the paper's notation
@@ -56,6 +57,20 @@
 // behave" — after the fact, from disk, windowed through the index.
 //
 //	montrace stats -in run/ -from 12000 -to 24000
+//
+// # Fleet mode: shipping, collectors, fleet roots
+//
+// record -ship streams the same records a WAL directory would hold to
+// a moncollect collector over TCP (internal/export/net): at-least-once
+// delivery behind a resume handshake, replayed on the collector
+// byte-identically and exactly-once. -origin names the producer, and
+// the collector lands each origin in its own subdirectory of its
+// fleet root — every one an ordinary export directory. -ship composes
+// with -outdir through a tee. The reading subcommands (dump, check,
+// stats) detect a fleet root — a directory with no *.wal files of its
+// own whose immediate subdirectories hold them — and run once per
+// origin under a heading, reporting the worst exit code; origins are
+// never merged, because each numbers its events independently.
 //
 // # Trace store: windowed queries, index, compact
 //

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"robustmon/internal/export"
 	"robustmon/internal/export/compact"
 	"robustmon/internal/export/index"
+	"robustmon/internal/export/net"
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
 	"robustmon/internal/mdl"
@@ -71,7 +73,11 @@ func stats(args []string) int {
 		usage()
 		return 2
 	}
-	trace, _, healths, err := loadWindowed(*in, win)
+	return forEachInput(*in, func(path string) int { return statsOne(path, win) })
+}
+
+func statsOne(in string, win window) int {
+	trace, _, healths, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
@@ -79,6 +85,60 @@ func stats(args []string) int {
 	fmt.Print(tracestat.Compute(trace).String())
 	renderHealthTimeline(healths)
 	return 0
+}
+
+// fleetOrigins reports the origin subdirectories of a fleet root — a
+// directory a collector (moncollect) filled: it holds no *.wal files
+// of its own, but at least one immediate subdirectory does. nil means
+// path is not a fleet root (a flat file, an ordinary export
+// directory, or anything else). os.ReadDir's sorted order keeps the
+// per-origin output stable.
+func fleetOrigins(path string) []string {
+	info, err := os.Stat(path)
+	if err != nil || !info.IsDir() {
+		return nil
+	}
+	if own, _ := filepath.Glob(filepath.Join(path, "*.wal")); len(own) > 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil
+	}
+	var origins []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if wals, _ := filepath.Glob(filepath.Join(path, e.Name(), "*.wal")); len(wals) > 0 {
+			origins = append(origins, e.Name())
+		}
+	}
+	return origins
+}
+
+// forEachInput runs fn once per input: over a fleet root it iterates
+// the origin subdirectories, a heading per origin, and returns the
+// worst exit code; anything else runs fn on the path itself. Origins
+// are never merged — every origin numbers its events independently,
+// so a combined trace would interleave unrelated sequence spaces.
+func forEachInput(path string, fn func(string) int) int {
+	origins := fleetOrigins(path)
+	if origins == nil {
+		return fn(path)
+	}
+	fmt.Printf("fleet root %s: %d origins\n", path, len(origins))
+	worst := 0
+	for i, o := range origins {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== origin %s ==\n", o)
+		if rc := fn(filepath.Join(path, o)); rc > worst {
+			worst = rc
+		}
+	}
+	return worst
 }
 
 // renderHealthTimeline prints the run's health snapshots (periodic
@@ -123,7 +183,8 @@ func renderHealthTimeline(healths []obs.HealthRecord) {
 // usageText is the full help text (montrace help); the golden test in
 // main_test.go pins it so the documented surface cannot drift silently.
 const usageText = `usage:
-  montrace record  -out <file> | -outdir <dir> [-faulty] [-items N]
+  montrace record  -out <file> | -outdir <dir> | -ship <addr> [-origin <name>]
+                   [-faulty] [-items N]
   montrace check   -in  <file|dir> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
                    [-from N] [-to N] [-monitor a,b]
   montrace dump    -in  <file|dir> [-original] [-from N] [-to N] [-monitor a,b]
@@ -161,6 +222,19 @@ health timeline:
   -from/-to through the trace-store index like everything else.
   Snapshots are per-process records, so -monitor does not filter
   them. Compaction preserves them byte-identically.
+
+fleet mode (ship, collector, fleet roots):
+  record -ship streams the records a WAL directory would hold to a
+  moncollect collector over TCP instead — at-least-once delivery
+  behind a resume handshake, with replay on the collector
+  byte-identical and exactly-once. -origin names the producer; the
+  collector lands every origin in its own subdirectory of its fleet
+  root, each a plain export directory. -ship composes with -outdir
+  (the trace is teed to both). dump, check and stats detect a fleet
+  root — a directory with no *.wal files of its own whose immediate
+  subdirectories hold them — and run once per origin under a
+  heading, reporting the worst exit code. Origins are never merged:
+  each numbers its events independently.
 
 trace store (windowing, index, compact):
   -from/-to restrict dump, check and stats to a sequence-number window and
@@ -273,15 +347,19 @@ func record(args []string) int {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	out := fs.String("out", "trace.jsonl", "output trace file (.bin = binary)")
 	outdir := fs.String("outdir", "", "stream the trace into a WAL export directory instead of a single file (no full trace is kept in memory)")
+	ship := fs.String("ship", "", "stream the trace to a fleet collector (moncollect) at this address; composes with -outdir")
+	origin := fs.String("origin", "montrace", "origin name for -ship: the collector's per-producer subdirectory and metric label")
 	faulty := fs.Bool("faulty", false, "inject a send-overflow fault into the workload")
 	items := fs.Int("items", 50, "items to transfer through the buffer")
 	_ = fs.Parse(args)
 
 	// Single-file mode keeps the full trace and serializes it at the
-	// end; -outdir keeps nothing: a detector checkpoint drains the
-	// segments and the exporter streams them to disk as the run goes.
+	// end; -outdir and -ship keep nothing: a detector checkpoint drains
+	// the segments and the exporter streams them to the WAL, the
+	// collector, or (teed) both as the run goes.
+	streaming := *outdir != "" || *ship != ""
 	var dbOpts []history.Option
-	if *outdir == "" {
+	if !streaming {
 		dbOpts = append(dbOpts, history.WithFullTrace())
 	}
 	db := history.New(dbOpts...)
@@ -301,11 +379,29 @@ func record(args []string) int {
 	}
 	var exp *export.Exporter
 	var det *detect.Detector
-	if *outdir != "" {
-		sink, err := export.NewWALSink(*outdir, export.WALConfig{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
-			return 1
+	var netSink *netexport.NetSink
+	if streaming {
+		var sinks []export.Sink
+		if *outdir != "" {
+			wal, err := export.NewWALSink(*outdir, export.WALConfig{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+				return 1
+			}
+			sinks = append(sinks, wal)
+		}
+		if *ship != "" {
+			ns, err := netexport.NewNetSink(netexport.NetSinkConfig{Addr: *ship, Origin: *origin})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
+				return 1
+			}
+			netSink = ns
+			sinks = append(sinks, ns)
+		}
+		sink := sinks[0]
+		if len(sinks) > 1 {
+			sink = export.NewTeeSink(sinks...)
 		}
 		exp = export.New(sink, export.Config{Policy: export.Block})
 		// The detector exists to drain checkpoints into the exporter;
@@ -356,17 +452,26 @@ func record(args []string) int {
 	})
 	rt.Join()
 
-	if *outdir != "" {
+	if streaming {
 		// Final checkpoint drains every remaining segment through the
 		// exporter; mid-run violations are deliberately ignored here.
+		// Close flushes the sink chain — for a NetSink that blocks
+		// until the collector has acknowledged everything durable.
 		det.CheckNow()
 		if err := exp.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 			return 1
 		}
 		st := exp.Stats()
-		fmt.Printf("recorded %d events to %s in %d segments (faulty=%v)\n",
-			st.Events, *outdir, st.Written, *faulty)
+		if *outdir != "" {
+			fmt.Printf("recorded %d events to %s in %d segments (faulty=%v)\n",
+				st.Events, *outdir, st.Written, *faulty)
+		}
+		if netSink != nil {
+			ss := netSink.Stats()
+			fmt.Printf("shipped %d records to %s as origin %q (%d acked, %d dropped, faulty=%v)\n",
+				ss.Accepted, *ship, *origin, ss.Acked, ss.Dropped, *faulty)
+		}
 		return 0
 	}
 
@@ -546,7 +651,13 @@ func check(args []string) int {
 		usage()
 		return 2
 	}
-	trace, markers, _, err := loadWindowed(*in, win)
+	return forEachInput(*in, func(path string) int {
+		return checkOne(path, *specFile, *tmax, *tio, *tlimit, win)
+	})
+}
+
+func checkOne(in, specFile string, tmax, tio, tlimit time.Duration, win window) int {
+	trace, markers, _, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
@@ -560,8 +671,8 @@ func check(args []string) int {
 			mk.Monitor, mk.Horizon, mk.Rule, mk.Dropped)
 	}
 	specs := []monitor.Spec{boundedbuffer.Spec("boundedbuffer", demoCapacity)}
-	if *specFile != "" {
-		src, err := os.ReadFile(*specFile)
+	if specFile != "" {
+		src, err := os.ReadFile(specFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 			return 1
@@ -574,9 +685,9 @@ func check(args []string) int {
 	}
 	results, err := verify.Trace(trace, verify.Options{
 		Specs:  specs,
-		Tmax:   *tmax,
-		Tio:    *tio,
-		Tlimit: *tlimit,
+		Tmax:   tmax,
+		Tio:    tio,
+		Tlimit: tlimit,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
@@ -624,12 +735,16 @@ func dump(args []string) int {
 		usage()
 		return 2
 	}
-	trace, markers, _, err := loadWindowed(*in, win)
+	return forEachInput(*in, func(path string) int { return dumpOne(path, *original, win) })
+}
+
+func dumpOne(in string, original bool, win window) int {
+	trace, markers, _, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
 	}
-	if *original {
+	if original {
 		trace = rules.Effective(trace)
 	}
 	// Markers interleave at their horizon: every event at or below the

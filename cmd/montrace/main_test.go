@@ -2,14 +2,17 @@ package main
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"testing"
 	"time"
 
 	"robustmon/internal/event"
 	"robustmon/internal/export"
+	"robustmon/internal/export/net"
 	"robustmon/internal/history"
 )
 
@@ -304,6 +307,82 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	}
 	if code := check([]string{"-in", dir}); code != 0 {
 		t.Fatalf("check on compacted dir exit = %d", code)
+	}
+}
+
+// TestFleetRootPerOrigin: a directory of origin subdirectories (a
+// collector's fleet root) is detected and read per origin, never
+// merged, with the worst per-origin exit code surfacing at the root.
+func TestFleetRootPerOrigin(t *testing.T) {
+	t.Parallel()
+	root := filepath.Join(t.TempDir(), "fleet")
+	// A fleet root is nothing but origin subdirectories, each an
+	// ordinary export directory — so the plain recorder can build one.
+	if code := record([]string{"-outdir", filepath.Join(root, "prod-a"), "-items", "10"}); code != 0 {
+		t.Fatalf("record prod-a exit = %d", code)
+	}
+	if code := record([]string{"-outdir", filepath.Join(root, "prod-b"), "-items", "8", "-faulty"}); code != 0 {
+		t.Fatalf("record prod-b exit = %d", code)
+	}
+	origins := fleetOrigins(root)
+	if len(origins) != 2 || origins[0] != "prod-a" || origins[1] != "prod-b" {
+		t.Fatalf("fleetOrigins = %v, want [prod-a prod-b]", origins)
+	}
+	if o := fleetOrigins(filepath.Join(root, "prod-a")); o != nil {
+		t.Fatalf("an ordinary export dir claimed to be a fleet root: %v", o)
+	}
+	if code := dump([]string{"-in", root}); code != 0 {
+		t.Fatalf("dump on fleet root exit = %d", code)
+	}
+	if code := stats([]string{"-in", root}); code != 0 {
+		t.Fatalf("stats on fleet root exit = %d", code)
+	}
+	// prod-b's injected fault must surface through the root.
+	if code := check([]string{"-in", root}); code != 3 {
+		t.Fatalf("check on fleet root exit = %d, want 3 (faulty origin wins)", code)
+	}
+}
+
+// TestRecordShipToCollector: record -ship streams the run to an
+// in-process collector; the collected origin directory replays
+// identically to the -outdir copy teed off the same run.
+func TestRecordShipToCollector(t *testing.T) {
+	t.Parallel()
+	root := filepath.Join(t.TempDir(), "fleet")
+	col, err := netexport.NewCollector(netexport.CollectorConfig{Dir: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go col.Serve(lis)
+
+	local := filepath.Join(t.TempDir(), "local")
+	if code := record([]string{
+		"-outdir", local, "-ship", lis.Addr().String(), "-origin", "prod-a", "-items", "20",
+	}); code != 0 {
+		t.Fatalf("record -ship exit = %d", code)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatalf("collector close: %v", err)
+	}
+
+	want, _, _, err := load(local)
+	if err != nil {
+		t.Fatalf("load(local): %v", err)
+	}
+	got, _, _, err := load(filepath.Join(root, "prod-a"))
+	if err != nil {
+		t.Fatalf("load(collected): %v", err)
+	}
+	if len(want) == 0 || !reflect.DeepEqual(want, got) {
+		t.Fatalf("collected replay differs from local: %d events local, %d collected", len(want), len(got))
+	}
+	// The fleet root reads back through the normal toolchain.
+	if code := check([]string{"-in", root}); code != 0 {
+		t.Fatalf("check on collected fleet root exit = %d", code)
 	}
 }
 

@@ -39,7 +39,7 @@ func main() {
 	sink, err := robustmon.NewWALSink(dir, robustmon.WALConfig{
 		MaxFileBytes: 4 << 10,          // rotate often: a real backlog
 		RotateEvery:  10 * time.Second, // idle monitors still seal segments
-		OnRotate:     maint.OnRotate,
+		OnSeal:       []robustmon.ExportSealedSink{maint},
 	})
 	if err != nil {
 		log.Fatalf("tracequery: %v", err)

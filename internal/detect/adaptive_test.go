@@ -13,6 +13,7 @@ import (
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
 	"robustmon/internal/monitor"
+	"robustmon/internal/obs"
 	"robustmon/internal/proc"
 	"robustmon/internal/rules"
 )
@@ -146,8 +147,9 @@ func TestBatchedAdaptiveEquivalence(t *testing.T) {
 	}
 }
 
-// collectExporter implements SegmentExporter, collecting every teed
-// segment for offline merging.
+// collectExporter implements TraceExporter, collecting every teed
+// segment for offline merging (markers and health are irrelevant to
+// these tests, so those record kinds are explicit no-ops).
 type collectExporter struct {
 	mu   sync.Mutex
 	segs []event.Seq
@@ -159,7 +161,9 @@ func (c *collectExporter) Consume(monitor string, seg event.Seq) {
 	c.segs = append(c.segs, seg)
 }
 
-func (c *collectExporter) Flush() error { return nil }
+func (c *collectExporter) ConsumeMarker(history.RecoveryMarker) {}
+func (c *collectExporter) ConsumeHealth(obs.HealthRecord)       {}
+func (c *collectExporter) Flush() error                         { return nil }
 
 func (c *collectExporter) merged() event.Seq {
 	c.mu.Lock()

@@ -91,14 +91,16 @@ type Config struct {
 	// Extra checkers run at every checkpoint while the world is frozen;
 	// the assertion sets of the §5 extension plug in here.
 	Extra []Checker
-	// Exporter, when set, receives every segment drained from the
-	// history database: New adds it as a drain tee (additive, so
-	// detectors sharing a database never unwire each other), and Run
-	// flushes it after the final checkpoint so the exported trace
+	// Exporter, when set, receives every record the detector produces:
+	// New adds its Consume as a drain tee (additive, so detectors
+	// sharing a database never unwire each other), shard-local resets
+	// send their recovery markers through ConsumeMarker, the health
+	// cadence (HealthEvery) sends snapshots through ConsumeHealth, and
+	// Run flushes it after the final checkpoint so the exported trace
 	// covers the whole run. This is the streaming replacement for
 	// history.WithFullTrace — offline tooling replays the exporter's
 	// sink instead of an in-memory full trace.
-	Exporter SegmentExporter
+	Exporter TraceExporter
 	// BatchSize, when positive, drains and replays checkpoint segments
 	// in batches of this many events instead of one drain per monitor:
 	// the checking lists are seeded once per checkpoint and each batch
@@ -136,8 +138,8 @@ type Config struct {
 	// cost (Stats.CheckP50/CheckP99 still work — the latency histogram
 	// is kept standalone).
 	Obs *obs.Registry
-	// HealthEvery, when positive (and Obs is set, and Exporter
-	// implements HealthExporter), captures the registry as a health
+	// HealthEvery, when positive (and Obs and Exporter are both
+	// set), captures the registry as a health
 	// snapshot at the first checkpoint boundary after each elapsed
 	// period and sends it through the exporter, so the export WAL
 	// carries a health timeline alongside the trace. Zero disables.
@@ -160,22 +162,53 @@ type Checker interface {
 	Check(now time.Time) []rules.Violation
 }
 
-// SegmentExporter is the detector's view of the async trace-export
+// TraceExporter is the detector's view of the async trace-export
 // pipeline (internal/export.Exporter implements it; the indirection
-// keeps detect free of an export dependency). Consume matches
-// history.DrainTee; Flush forces everything consumed so far to the
-// sink.
+// keeps detect free of an export dependency). Its methods mirror the
+// three WAL record kinds, so the dispatch is by record kind at the
+// seam instead of by type assertion behind it: Consume receives
+// drained segments (it matches history.DrainTee), ConsumeMarker the
+// recovery markers of shard-local resets, ConsumeHealth the periodic
+// health snapshots, and Flush forces everything consumed so far to
+// the sink.
+//
+// This seam used to be three interfaces — SegmentExporter with
+// optional MarkerExporter/HealthExporter extensions discovered by
+// type sniffing — which meant a sink could silently lose markers or
+// health records by not implementing an extension it never heard of.
+// One interface makes the full record surface explicit; exporters
+// that genuinely ignore a record kind implement it with a no-op.
+type TraceExporter interface {
+	// Consume accepts one drained per-monitor segment (the
+	// history.DrainTee signature).
+	Consume(monitor string, seg event.Seq)
+	// ConsumeMarker accepts the recovery marker of one shard-local
+	// online reset.
+	ConsumeMarker(m history.RecoveryMarker)
+	// ConsumeHealth accepts one periodic health snapshot.
+	ConsumeHealth(h obs.HealthRecord)
+	// Flush forces everything consumed so far to the sink.
+	Flush() error
+}
+
+// SegmentExporter is the segment-and-flush subset of the old
+// three-interface exporter seam.
+//
+// Deprecated: Config.Exporter now requires the full TraceExporter.
+// The name remains so older call sites that merely reference the
+// interface keep compiling; implement TraceExporter (with no-op
+// ConsumeMarker/ConsumeHealth if markers and health snapshots are
+// irrelevant to the sink).
 type SegmentExporter interface {
 	Consume(monitor string, seg event.Seq)
 	Flush() error
 }
 
-// MarkerExporter is the optional SegmentExporter extension for
-// shard-local recovery: when Config.Exporter also implements it, every
-// reset applied through RequestReset emits a history.RecoveryMarker
-// into the export stream, so offline replay (export.ReadDir,
-// cmd/montrace) knows a reset horizon exists. export.Exporter
-// implements it; a plain SegmentExporter simply records no markers.
+// MarkerExporter is the old optional extension through which recovery
+// markers reached the export stream.
+//
+// Deprecated: ConsumeMarker is part of TraceExporter; the detector no
+// longer type-sniffs for this interface.
 type MarkerExporter interface {
 	ConsumeMarker(history.RecoveryMarker)
 }
@@ -212,11 +245,11 @@ type Detector struct {
 
 	// met are the obs handles (see obs.go); met.checkNs is live even
 	// without Config.Obs, backing Stats.CheckP50/CheckP99. health is
-	// Config.Exporter's HealthExporter side, resolved at construction
-	// (nil when health emission is off); lastHealth is the cadence
-	// anchor, guarded by mu like the rest of the checkpoint state.
+	// Config.Exporter when health emission is on (nil otherwise);
+	// lastHealth is the cadence anchor, guarded by mu like the rest of
+	// the checkpoint state.
 	met    detMetrics
-	health HealthExporter
+	health TraceExporter
 
 	mu         sync.Mutex
 	mons       []*monState
@@ -322,12 +355,11 @@ func New(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector {
 		}
 	}
 	d.met = newDetMetrics(cfg.Obs, d.monNames, d.sched != nil)
-	if cfg.HealthEvery > 0 && cfg.Obs != nil {
+	if cfg.HealthEvery > 0 && cfg.Obs != nil && cfg.Exporter != nil {
 		// Health emission needs all three legs: a cadence, a registry to
-		// snapshot, and an exporter that can carry the record.
-		if he, ok := cfg.Exporter.(HealthExporter); ok {
-			d.health = he
-		}
+		// snapshot, and an exporter to carry the record — no type sniff:
+		// ConsumeHealth is part of the TraceExporter contract.
+		d.health = cfg.Exporter
 	}
 	return d
 }

@@ -13,15 +13,16 @@ import (
 	"robustmon/internal/proc"
 )
 
-// healthCapture is a SegmentExporter that also captures health
-// snapshots — the HealthExporter leg of the wiring, observable.
+// healthCapture is a TraceExporter that captures health snapshots —
+// the ConsumeHealth leg of the wiring, observable.
 type healthCapture struct {
 	mu      sync.Mutex
 	healths []obs.HealthRecord
 }
 
-func (c *healthCapture) Consume(string, event.Seq) {}
-func (c *healthCapture) Flush() error              { return nil }
+func (c *healthCapture) Consume(string, event.Seq)            {}
+func (c *healthCapture) ConsumeMarker(history.RecoveryMarker) {}
+func (c *healthCapture) Flush() error                         { return nil }
 func (c *healthCapture) ConsumeHealth(h obs.HealthRecord) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -32,12 +33,6 @@ func (c *healthCapture) captured() []obs.HealthRecord {
 	defer c.mu.Unlock()
 	return append([]obs.HealthRecord(nil), c.healths...)
 }
-
-// segOnly is a SegmentExporter with no health support.
-type segOnly struct{}
-
-func (segOnly) Consume(string, event.Seq) {}
-func (segOnly) Flush() error              { return nil }
 
 // TestHealthEmissionCadence: the first checkpoint always emits (the
 // timeline's anchor), later checkpoints emit only after HealthEvery
@@ -122,15 +117,15 @@ func TestHealthEmissionRequiresAllLegs(t *testing.T) {
 			t.Fatalf("nil registry still emitted %d snapshots", len(got))
 		}
 	})
-	t.Run("plain exporter", func(t *testing.T) {
+	t.Run("no exporter", func(t *testing.T) {
 		t.Parallel()
 		reg := obs.NewRegistry()
 		f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
-			Obs: reg, HealthEvery: time.Minute, Exporter: segOnly{},
+			Obs: reg, HealthEvery: time.Minute,
 		})
-		f.det.CheckNow() // must not panic on the missing extension
+		f.det.CheckNow() // must not panic with nothing to carry the record
 		if v, _ := reg.Snapshot().Counter("detect_health_emitted_total"); v != 0 {
-			t.Fatalf("plain exporter counted %d emissions", v)
+			t.Fatalf("nil exporter counted %d emissions", v)
 		}
 	})
 }

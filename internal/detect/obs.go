@@ -7,15 +7,15 @@ import "robustmon/internal/obs"
 // histograms, check/replay/violation/reset counters, and per-monitor
 // effective-interval gauges under the adaptive scheduler — and
 // Config.HealthEvery periodically captures the whole registry as a
-// health snapshot sent through the exporter (HealthExporter), so the
+// health snapshot sent through the exporter's ConsumeHealth, so the
 // export WAL carries the detector's health timeline alongside its
 // trace (see internal/export and `montrace stats`).
 
-// HealthExporter is the optional SegmentExporter extension for health
-// snapshots: when Config.Exporter also implements it (export.Exporter
-// does) and both Config.Obs and Config.HealthEvery are set, the
-// detector sends a periodic obs.HealthRecord through it. A plain
-// SegmentExporter simply records no health timeline.
+// HealthExporter is the old optional extension through which health
+// snapshots reached the export stream.
+//
+// Deprecated: ConsumeHealth is part of TraceExporter; the detector no
+// longer type-sniffs for this interface.
 type HealthExporter interface {
 	ConsumeHealth(obs.HealthRecord)
 }

@@ -58,8 +58,8 @@ type resetReq struct {
 //     request list);
 //   - the adaptive scheduler re-arms the monitor at Tmin with its rate
 //     history cleared (sched.Reset);
-//   - a history.RecoveryMarker is emitted through Config.Exporter when
-//     it implements MarkerExporter.
+//   - a history.RecoveryMarker is emitted through Config.Exporter's
+//     ConsumeMarker when an exporter is wired.
 //
 // Duplicate requests for the same monitor that are pending together
 // coalesce into a single reset.
@@ -152,8 +152,8 @@ func (d *Detector) resetOneLocked(r resetReq) {
 	d.stats.ResetDropped += dropped
 	d.met.resets.Inc()
 	d.met.resetDropped.Add(int64(dropped))
-	if me, ok := d.cfg.Exporter.(MarkerExporter); ok {
-		me.ConsumeMarker(history.RecoveryMarker{
+	if d.cfg.Exporter != nil {
+		d.cfg.Exporter.ConsumeMarker(history.RecoveryMarker{
 			Monitor: r.name,
 			Horizon: horizon,
 			Dropped: dropped,

@@ -1,0 +1,254 @@
+package experiment
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"slices"
+	"sync"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/export/net"
+)
+
+// E8 — collector throughput. Fleet mode moves the WAL to the other
+// side of a socket: N producers ship sealed records over loopback TCP
+// to one collector, which lands every origin in its own server-side
+// WAL. This sweep measures what the wire hop costs and how the
+// collector scales as producers are added, against a single-process
+// baseline writing the identical records straight into a local
+// WALSink. Each fleet cell counts only fully durable work — every
+// producer Flushes and Closes before the clock stops, so the measured
+// rate includes the resume handshake, framing, CRCs, acks and the
+// collector-side fsync cadence, not just socket buffering.
+
+// CollectorConfig parameterises the E8 sweep.
+type CollectorConfig struct {
+	// Producers is the swept producer counts; each fleet cell runs that
+	// many concurrent NetSinks against one collector. The baseline row
+	// writes the same total records into a local WALSink.
+	Producers []int
+	// SegmentsPerProducer and EventsPerSegment size each producer's
+	// workload: every producer ships SegmentsPerProducer segment
+	// records of EventsPerSegment events each.
+	SegmentsPerProducer int
+	EventsPerSegment    int
+	// AckEvery is the collector's flush-and-ack cadence (<= 0: the
+	// collector default).
+	AckEvery int
+	// Repeats reruns each cell; the reported row takes the median
+	// elapsed.
+	Repeats int
+}
+
+// DefaultCollectorConfig is the sweep cmd/monbench runs for
+// -collector: one producer (the pure wire-hop cost against the local
+// baseline) and four (concurrent origins sharing one collector).
+func DefaultCollectorConfig() CollectorConfig {
+	return CollectorConfig{
+		Producers:           []int{1, 4},
+		SegmentsPerProducer: 256,
+		EventsPerSegment:    128,
+		Repeats:             3,
+	}
+}
+
+// CollectorRow is one cell of the E8 sweep.
+type CollectorRow struct {
+	// Mode is "local" (single-process WALSink baseline) or "fleet"
+	// (NetSink producers over loopback into one collector).
+	Mode string
+	// Producers is the concurrent producer count (1 for local: the
+	// baseline is the single-process shape fleet mode replaces).
+	Producers int
+	// Records and Events are the totals shipped and made durable per
+	// run.
+	Records, Events int64
+	// Elapsed is the median wall time from first write to full
+	// durability (every producer flushed and closed).
+	Elapsed time.Duration
+	// EventsPerSec and RecordsPerSec are the throughput pair.
+	EventsPerSec  float64
+	RecordsPerSec float64
+}
+
+// RunCollector executes the E8 sweep.
+func RunCollector(cfg CollectorConfig) ([]CollectorRow, error) {
+	if len(cfg.Producers) == 0 || cfg.SegmentsPerProducer <= 0 || cfg.EventsPerSegment <= 0 {
+		return nil, fmt.Errorf("experiment: bad collector config %+v", cfg)
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	maxProducers := slices.Max(cfg.Producers)
+
+	var rows []CollectorRow
+	addRow := func(mode string, producers int, run func() (time.Duration, error)) error {
+		row := CollectorRow{
+			Mode:      mode,
+			Producers: producers,
+			Records:   int64(producers) * int64(cfg.SegmentsPerProducer),
+			Events:    int64(producers) * int64(cfg.SegmentsPerProducer) * int64(cfg.EventsPerSegment),
+		}
+		elapsed := make([]time.Duration, 0, repeats)
+		for i := 0; i < repeats; i++ {
+			e, err := run()
+			if err != nil {
+				return err
+			}
+			elapsed = append(elapsed, e)
+		}
+		slices.Sort(elapsed)
+		row.Elapsed = elapsed[len(elapsed)/2]
+		if s := row.Elapsed.Seconds(); s > 0 {
+			row.EventsPerSec = float64(row.Events) / s
+			row.RecordsPerSec = float64(row.Records) / s
+		}
+		rows = append(rows, row)
+		return nil
+	}
+
+	// Baseline: the largest cell's record volume through a local
+	// WALSink, one process, no wire. Comparing the 1-producer fleet
+	// cell to this row is the wire-hop cost; comparing larger cells is
+	// the scaling story.
+	if err := addRow("local", maxProducers, func() (time.Duration, error) {
+		return collectorLocalOnce(cfg, maxProducers)
+	}); err != nil {
+		return nil, err
+	}
+	for _, producers := range cfg.Producers {
+		if producers <= 0 {
+			return nil, fmt.Errorf("experiment: bad producer count %d", producers)
+		}
+		p := producers
+		if err := addRow("fleet", p, func() (time.Duration, error) {
+			return collectorFleetOnce(cfg, p)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// benchSegment builds one deterministic segment for a producer.
+func benchSegment(monitor string, pid int64, first int64, events int) export.Segment {
+	seq := make(event.Seq, events)
+	at := time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := range seq {
+		seq[i] = event.Event{
+			Seq: first + int64(i), Monitor: monitor, Type: event.Enter,
+			Pid: pid, Proc: "Op", Flag: event.Completed, Time: at,
+		}
+	}
+	return export.Segment{Monitor: monitor, Events: seq}
+}
+
+// collectorLocalOnce writes producers' worth of records into one local
+// WALSink — the single-process shape fleet mode replaces.
+func collectorLocalOnce(cfg CollectorConfig, producers int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "robustmon-collector-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	sink, err := export.NewWALSink(dir, export.WALConfig{})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	next := int64(1)
+	for p := 0; p < producers; p++ {
+		mon := fmt.Sprintf("m%d", p)
+		for s := 0; s < cfg.SegmentsPerProducer; s++ {
+			if err := sink.WriteSegment(benchSegment(mon, int64(p+1), next, cfg.EventsPerSegment)); err != nil {
+				return 0, err
+			}
+			next += int64(cfg.EventsPerSegment)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return elapsed, sink.Close()
+}
+
+// collectorFleetOnce ships the same records from `producers`
+// concurrent NetSinks over loopback into one collector, stopping the
+// clock only when every producer has flushed and closed — i.e. when
+// the collector has made everything durable and said so.
+func collectorFleetOnce(cfg CollectorConfig, producers int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "robustmon-collector-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	col, err := netexport.NewCollector(netexport.CollectorConfig{Dir: dir, AckEvery: cfg.AckEvery})
+	if err != nil {
+		return 0, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go col.Serve(lis)
+	addr := lis.Addr().String()
+
+	errs := make([]error, producers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sink, err := netexport.NewNetSink(netexport.NetSinkConfig{
+				Addr:   addr,
+				Origin: fmt.Sprintf("p%d", p),
+				Policy: export.Block,
+			})
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			next := int64(1)
+			for s := 0; s < cfg.SegmentsPerProducer; s++ {
+				if err := sink.WriteSegment(benchSegment("m", int64(p+1), next, cfg.EventsPerSegment)); err != nil {
+					errs[p] = err
+					break
+				}
+				next += int64(cfg.EventsPerSegment)
+			}
+			if err := sink.Close(); err != nil && errs[p] == nil {
+				errs[p] = err
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := col.Close(); err != nil {
+		return 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// CollectorTable renders the E8 sweep.
+func CollectorTable(rows []CollectorRow) *Table {
+	t := NewTable("mode", "producers", "records", "events", "elapsed", "events/sec", "records/sec")
+	for _, r := range rows {
+		t.AddRow(r.Mode, fmt.Sprint(r.Producers),
+			fmt.Sprint(r.Records), fmt.Sprint(r.Events),
+			r.Elapsed.Round(time.Microsecond).String(),
+			FormatEventsPerSec(r.EventsPerSec),
+			fmt.Sprintf("%.0f", r.RecordsPerSec))
+	}
+	return t
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCollectorRowsAndAccounting(t *testing.T) {
+	t.Parallel()
+	cfg := CollectorConfig{
+		Producers:           []int{1, 2},
+		SegmentsPerProducer: 16,
+		EventsPerSegment:    8,
+		Repeats:             1,
+	}
+	rows, err := RunCollector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One local baseline row plus one fleet row per producer count.
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Mode != "local" || rows[0].Producers != 2 {
+		t.Fatalf("baseline row = %+v, want local at the largest producer count", rows[0])
+	}
+	for i, r := range rows[1:] {
+		if r.Mode != "fleet" || r.Producers != cfg.Producers[i] {
+			t.Fatalf("fleet row %d = %+v", i, r)
+		}
+	}
+	for i, r := range rows {
+		wantRecords := int64(r.Producers) * int64(cfg.SegmentsPerProducer)
+		if r.Records != wantRecords || r.Events != wantRecords*int64(cfg.EventsPerSegment) {
+			t.Fatalf("row %d accounting: %+v", i, r)
+		}
+		if r.Elapsed <= 0 || r.EventsPerSec <= 0 || r.RecordsPerSec <= 0 {
+			t.Fatalf("row %d has empty measurements: %+v", i, r)
+		}
+	}
+	table := CollectorTable(rows).String()
+	for _, col := range []string{"mode", "producers", "records/sec", "local", "fleet"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestRunCollectorRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	for _, cfg := range []CollectorConfig{
+		{},
+		{Producers: []int{1}, SegmentsPerProducer: 0, EventsPerSegment: 1},
+		{Producers: []int{0}, SegmentsPerProducer: 1, EventsPerSegment: 1},
+	} {
+		if _, err := RunCollector(cfg); err == nil {
+			t.Fatalf("config %+v accepted, want error", cfg)
+		}
+	}
+}

@@ -168,7 +168,7 @@ func buildTraceStoreDir(dir string, cfg TraceStoreConfig) error {
 	m := index.NewMaintainer(dir)
 	sink, err := export.NewWALSink(dir, export.WALConfig{
 		MaxFileBytes: cfg.MaxFileBytes,
-		OnRotate:     m.OnRotate,
+		OnSeal:       []export.SealedSink{m},
 	})
 	if err != nil {
 		return err

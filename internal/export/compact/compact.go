@@ -439,7 +439,10 @@ func writeOutputs(tmpDir string, cfg Config, streams []*monStream, markers []his
 	var summaries []export.FileSummary
 	sink, err := export.NewWALSink(tmpDir, export.WALConfig{
 		MaxFileBytes: cfg.MaxFileBytes,
-		OnRotate:     func(fs export.FileSummary) { summaries = append(summaries, fs) },
+		OnSeal: []export.SealedSink{export.SealedSinkFunc(func(fs export.FileSummary) error {
+			summaries = append(summaries, fs)
+			return nil
+		})},
 	})
 	if err != nil {
 		return nil, err

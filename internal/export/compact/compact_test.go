@@ -46,7 +46,7 @@ func buildMessyDir(t *testing.T, indexed bool) (string, []history.RecoveryMarker
 	var m *index.Maintainer
 	if indexed {
 		m = index.NewMaintainer(dir)
-		cfg.OnRotate = m.OnRotate
+		cfg.OnSeal = []export.SealedSink{m}
 	}
 	sink, err := export.NewWALSink(dir, cfg)
 	if err != nil {
@@ -322,7 +322,7 @@ func TestExporterBackgroundCompactionEndToEnd(t *testing.T) {
 	m := index.NewMaintainer(dir)
 	sink, err := export.NewWALSink(dir, export.WALConfig{
 		MaxFileBytes: 1, // rotate per record: worst-case backlog
-		OnRotate:     m.OnRotate,
+		OnSeal:       []export.SealedSink{m},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -426,7 +426,7 @@ func TestMaintainerDoesNotResurrectCompactedEntries(t *testing.T) {
 	// still lists the merged-away inputs.
 	dir := t.TempDir()
 	m := index.NewMaintainer(dir)
-	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnRotate: m.OnRotate})
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnSeal: []export.SealedSink{m}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,7 +52,7 @@
 //
 // Two subpackages make the on-disk artefact cheap to consume and keep
 // it bounded (see DESIGN.md §5). index maintains a sparse per-file
-// index — WALConfig.OnRotate hands each sealed file's FileSummary
+// index — WALConfig.OnSeal hands each sealed file's FileSummary
 // (seq ranges, monitor set, marker offsets, header-chain CRC; also
 // rebuildable via ScanFile) to an index.Maintainer — and answers
 // windowed queries (index.SeekReader.ReplayRange) by opening only the

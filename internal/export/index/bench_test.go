@@ -24,7 +24,7 @@ func benchDir(b *testing.B, events int) string {
 	m := NewMaintainer(dir)
 	sink, err := export.NewWALSink(dir, export.WALConfig{
 		MaxFileBytes: 2 << 10,
-		OnRotate:     m.OnRotate,
+		OnSeal:       []export.SealedSink{m},
 	})
 	if err != nil {
 		b.Fatal(err)

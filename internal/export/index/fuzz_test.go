@@ -21,7 +21,7 @@ func FuzzReadIndex(f *testing.F) {
 	// Seed with a real maintained index.
 	dir := f.TempDir()
 	m := NewMaintainer(dir)
-	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnRotate: m.OnRotate})
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnSeal: []export.SealedSink{m}})
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -44,7 +44,7 @@ func buildHealthDir(t *testing.T) (dir string, healths []obs.HealthRecord) {
 	t.Helper()
 	dir = t.TempDir()
 	m := NewMaintainer(dir)
-	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnRotate: m.OnRotate})
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnSeal: []export.SealedSink{m}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestIndexRecordsHealthOffsets(t *testing.T) {
 	}
 
 	// The sink-maintained table and a from-scratch rebuild must agree —
-	// OnRotate's incremental summary and ScanFile's header scan are two
+	// OnSeal's incremental summary and ScanFile's header scan are two
 	// producers of the same truth, health offsets included.
 	rebuilt, err := Rebuild(dir)
 	if err != nil {

@@ -432,8 +432,9 @@ func (x *Index) Verify(dir string) []error {
 }
 
 // Maintainer keeps a directory's index file in step with its WAL sink:
-// wire OnRotate into export.WALConfig.OnRotate and every sealed file
-// is appended to the index and the index rewritten (atomically). The
+// wire it into export.WALConfig.OnSeal (it implements
+// export.SealedSink) and every sealed file is appended to the index
+// and the index rewritten (atomically). The
 // index file is re-read from disk on every rotation — deliberately not
 // cached, because the compactor rewrites the same file (dropping
 // merged inputs' entries) between rotations, and writing back a cached
@@ -454,10 +455,12 @@ func NewMaintainer(dir string) *Maintainer {
 	return &Maintainer{dir: dir}
 }
 
-// OnRotate records one sealed file into the index. Errors are sticky
-// and surfaced by Err — the sink's write path must not fail because an
-// advisory index could not be written.
-func (m *Maintainer) OnRotate(fs export.FileSummary) {
+// OnSeal records one sealed file into the index; it implements
+// export.SealedSink. The returned error is also sticky and surfaced
+// by Err — the sink's write path never fails because an advisory
+// index could not be written, but a seal fan-out that wants to report
+// it (WALConfig.OnSealError) can.
+func (m *Maintainer) OnSeal(fs export.FileSummary) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	idx, err := Load(m.dir)
@@ -470,7 +473,18 @@ func (m *Maintainer) OnRotate(fs export.FileSummary) {
 	idx.Add(fs)
 	if err := idx.Write(m.dir); err != nil {
 		m.err = err
+		return err
 	}
+	return nil
+}
+
+// OnRotate records one sealed file into the index.
+//
+// Deprecated: wire the Maintainer into export.WALConfig.OnSeal
+// instead; OnRotate survives for the single-consumer
+// WALConfig.OnRotate seam it was built for.
+func (m *Maintainer) OnRotate(fs export.FileSummary) {
+	_ = m.OnSeal(fs)
 }
 
 // Err returns the most recent index-write error, if any.

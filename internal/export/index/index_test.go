@@ -47,7 +47,7 @@ func buildDir(t *testing.T, monitors []string, segments int, step int64) string 
 	m := NewMaintainer(dir)
 	sink, err := export.NewWALSink(dir, export.WALConfig{
 		MaxFileBytes: 1,
-		OnRotate:     m.OnRotate,
+		OnSeal:       []export.SealedSink{m},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestMaintainerExtendsExistingIndex(t *testing.T) {
 	// A second sink session resumes numbering; its maintainer must
 	// extend the session-one index, not clobber it.
 	m := NewMaintainer(dir)
-	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnRotate: m.OnRotate})
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnSeal: []export.SealedSink{m}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -147,7 +147,7 @@ func TestSeekReaderMarkerPointReads(t *testing.T) {
 	// file being decoded.
 	dir := t.TempDir()
 	m := NewMaintainer(dir)
-	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnRotate: m.OnRotate})
+	sink, err := export.NewWALSink(dir, export.WALConfig{MaxFileBytes: 1, OnSeal: []export.SealedSink{m}})
 	if err != nil {
 		t.Fatal(err)
 	}

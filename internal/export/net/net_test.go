@@ -1,0 +1,541 @@
+package netexport
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/export"
+	"robustmon/internal/faults"
+	"robustmon/internal/history"
+	"robustmon/internal/obs"
+)
+
+// tev/tseq mirror the export package's test fixtures: a deterministic
+// segment of events for one monitor.
+func tev(monitor string, seq int64) event.Event {
+	return event.Event{
+		Seq:     seq,
+		Monitor: monitor,
+		Type:    event.Enter,
+		Pid:     seq,
+		Proc:    "Op",
+		Flag:    event.Completed,
+		Time:    time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Millisecond),
+	}
+}
+
+func tseq(monitor string, from, to int64) event.Seq {
+	var s event.Seq
+	for i := from; i <= to; i++ {
+		s = append(s, tev(monitor, i))
+	}
+	return s
+}
+
+func tmarker(monitor string, horizon int64) history.RecoveryMarker {
+	return history.RecoveryMarker{
+		Monitor: monitor, Horizon: horizon, Dropped: 2, Rule: "ST-R", Pid: 7,
+		At: time.Date(2001, 7, 1, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func thealth(seq int64) obs.HealthRecord {
+	return obs.HealthRecord{
+		At:  time.Date(2001, 7, 1, 12, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Second),
+		Seq: seq,
+		Metrics: obs.Snapshot{Counters: []obs.Metric{
+			{Name: "detect_checks_total", Value: seq},
+		}},
+	}
+}
+
+// startCollector runs a collector on a loopback listener and returns
+// it with its address.
+func startCollector(t *testing.T, cfg CollectorConfig) (*Collector, string) {
+	t.Helper()
+	col, err := NewCollector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = col.Serve(l) }()
+	return col, l.Addr().String()
+}
+
+// assertReplayIdentical requires the two directories to replay to the
+// same trace — compared on the encoded bytes of the merged event
+// sequence (the strongest normal form: one byte of divergence fails)
+// plus deep-equal markers and health timelines.
+func assertReplayIdentical(t *testing.T, localDir, originDir string) {
+	t.Helper()
+	local, err := export.ReadDir(localDir)
+	if err != nil {
+		t.Fatalf("read local WAL: %v", err)
+	}
+	remote, err := export.ReadDir(originDir)
+	if err != nil {
+		t.Fatalf("read collector WAL: %v", err)
+	}
+	lb := event.AppendBinary(nil, local.Events)
+	rb := event.AppendBinary(nil, remote.Events)
+	if !bytes.Equal(lb, rb) {
+		t.Fatalf("replayed event streams diverge: local %d events/%d bytes, collector %d events/%d bytes",
+			len(local.Events), len(lb), len(remote.Events), len(rb))
+	}
+	if !reflect.DeepEqual(local.Markers, remote.Markers) {
+		t.Fatalf("markers diverge:\nlocal %+v\ncollector %+v", local.Markers, remote.Markers)
+	}
+	if !reflect.DeepEqual(local.Healths, remote.Healths) {
+		t.Fatalf("health timelines diverge:\nlocal %+v\ncollector %+v", local.Healths, remote.Healths)
+	}
+}
+
+// assertConservation pins the sink's counter law: every accepted
+// record is acked, buffered or dropped — nothing leaks.
+func assertConservation(t *testing.T, s *NetSink) {
+	t.Helper()
+	st := s.Stats()
+	if st.Accepted != st.Acked+st.Dropped+int64(st.Buffered) {
+		t.Fatalf("conservation violated: accepted %d != acked %d + dropped %d + buffered %d",
+			st.Accepted, st.Acked, st.Dropped, st.Buffered)
+	}
+}
+
+func TestProtocolFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	var wire []byte
+	wire = appendFrame(wire, appendHello(nil, "node-1"))
+	wire = appendFrame(wire, appendWelcome(nil, 42))
+	wire = appendFrame(wire, appendRecordFrame(nil, 7, []byte("payload")))
+	wire = appendFrame(wire, appendAck(nil, 7))
+	wire = appendFrame(wire, appendFlushFrame(nil))
+	wire = appendFrame(wire, appendErrorFrame(nil, "nope"))
+
+	br := bufio.NewReader(bytes.NewReader(wire))
+	b, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin, err := parseHello(b); err != nil || origin != "node-1" {
+		t.Fatalf("hello = %q, %v", origin, err)
+	}
+	b, _ = readFrame(br)
+	if seq, err := parseWelcome(b); err != nil || seq != 42 {
+		t.Fatalf("welcome = %d, %v", seq, err)
+	}
+	b, _ = readFrame(br)
+	seq, rec, err := parseRecordFrame(b)
+	if err != nil || seq != 7 || string(rec) != "payload" {
+		t.Fatalf("record = %d, %q, %v", seq, rec, err)
+	}
+	b, _ = readFrame(br)
+	if seq, err := parseAck(b); err != nil || seq != 7 {
+		t.Fatalf("ack = %d, %v", seq, err)
+	}
+	b, _ = readFrame(br)
+	if len(b) != 1 || b[0] != frameFlush {
+		t.Fatalf("flush frame = %v", b)
+	}
+	b, _ = readFrame(br)
+	if msg := parseErrorFrame(b); msg != "nope" {
+		t.Fatalf("error frame = %q", msg)
+	}
+
+	// A flipped byte is a CRC failure, not a mis-parse.
+	bad := appendFrame(nil, appendAck(nil, 9))
+	bad[5] ^= 0xff
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+		t.Fatal("corrupted frame passed CRC")
+	}
+}
+
+func TestValidOrigin(t *testing.T) {
+	t.Parallel()
+	for _, ok := range []string{"a", "node-1", "host.rack_3", "A9"} {
+		if !ValidOrigin(ok) {
+			t.Errorf("ValidOrigin(%q) = false", ok)
+		}
+	}
+	long := make([]byte, maxOriginLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", "a b", "naïve", string(long)} {
+		if ValidOrigin(bad) {
+			t.Errorf("ValidOrigin(%q) = true", bad)
+		}
+	}
+}
+
+// TestShipAndReplayIdentical: the happy path — one producer teeing
+// into a local WAL and a NetSink; after Flush the collector's
+// per-origin directory replays byte-identically.
+func TestShipAndReplayIdentical(t *testing.T) {
+	t.Parallel()
+	fleetDir := t.TempDir()
+	col, addr := startCollector(t, CollectorConfig{Dir: fleetDir, AckEvery: 3})
+	defer col.Close()
+
+	localDir := t.TempDir()
+	local, err := export.NewWALSink(localDir, export.WALConfig{MaxFileBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := NewNetSink(NetSinkConfig{
+		Addr: addr, Origin: "p1", FlushTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tee := export.NewTeeSink(local, ship)
+
+	next := int64(1)
+	for i := 0; i < 10; i++ {
+		n := next + 4
+		if err := tee.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", next, n)}); err != nil {
+			t.Fatal(err)
+		}
+		next = n + 1
+	}
+	if err := tee.WriteMarker(tmarker("m", next-1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.WriteHealth(thealth(next - 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatalf("collector close: %v", err)
+	}
+	assertReplayIdentical(t, localDir, fleetDir+"/p1")
+	assertConservation(t, ship)
+	if st := ship.Stats(); st.Dropped != 0 || st.Buffered != 0 || st.Acked != st.Accepted {
+		t.Fatalf("clean run left stats %+v", st)
+	}
+}
+
+// TestDegradedNetwork: the partition/reconnect gauntlet. A
+// fault-injected dialer severs the link mid-frame (CutAfter), then
+// black-holes the collector entirely (Partition) while the producer
+// keeps writing into the buffer, then heals. The collector's replica
+// must still replay byte-identically, and the conservation law must
+// hold with zero drops under the Block policy.
+func TestDegradedNetwork(t *testing.T) {
+	t.Parallel()
+	fleetDir := t.TempDir()
+	reg := obs.NewRegistry()
+	col, addr := startCollector(t, CollectorConfig{Dir: fleetDir, AckEvery: 2, Obs: reg})
+	defer col.Close()
+
+	nf := faults.NewNetFault()
+	localDir := t.TempDir()
+	local, err := export.NewWALSink(localDir, export.WALConfig{MaxFileBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := NewNetSink(NetSinkConfig{
+		Addr: addr, Origin: "flaky", Dial: nf.Dial,
+		BufferRecords: 256, Policy: export.Block,
+		RetryMin: time.Millisecond, RetryMax: 20 * time.Millisecond,
+		FlushTimeout: 20 * time.Second, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tee := export.NewTeeSink(local, ship)
+
+	write := func(lo, hi int64) {
+		t.Helper()
+		if err := tee.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", lo, hi)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 1: healthy traffic, then force it durable so the cut lands
+	// on a live, caught-up connection.
+	write(1, 20)
+	write(21, 40)
+	if err := tee.Flush(); err != nil {
+		t.Fatalf("phase-1 flush: %v", err)
+	}
+
+	// Phase 2: tear the link mid-frame. The next record's frame dies
+	// partway; the collector sees a torn frame and resyncs on
+	// reconnect, the shipper rewinds and retransmits.
+	nf.CutAfter(30)
+	write(41, 60)
+	write(61, 80)
+	if err := tee.WriteMarker(tmarker("m", 80)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: full partition. Writes pile into the buffer; nothing is
+	// lost (Block policy) and nothing gets through.
+	nf.Partition()
+	time.Sleep(10 * time.Millisecond) // let a retry or two slam into the wall
+	for lo := int64(81); lo <= 180; lo += 20 {
+		write(lo, lo+19)
+	}
+	if err := tee.WriteHealth(thealth(180)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 4: heal and drain. Everything buffered during the
+	// partition ships; the resume handshake deduplicates whatever the
+	// torn-frame era double-sent.
+	nf.Heal()
+	write(181, 200)
+	if err := tee.Flush(); err != nil {
+		t.Fatalf("post-heal flush: %v", err)
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatalf("collector close: %v", err)
+	}
+
+	assertReplayIdentical(t, localDir, fleetDir+"/flaky")
+	assertConservation(t, ship)
+	st := ship.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("Block policy dropped %d records", st.Dropped)
+	}
+	if st.Buffered != 0 || st.Acked != st.Accepted {
+		t.Fatalf("drain incomplete: %+v", st)
+	}
+	if st.Reconnects < 2 {
+		t.Fatalf("reconnects = %d, want at least the initial connect and one recovery", st.Reconnects)
+	}
+	// The registry view agrees with Stats (the counters the CI smoke
+	// scrapes are the ones the law was proven on).
+	snap := reg.Snapshot()
+	rec, _ := snap.Counter("netship_records_total")
+	ack, _ := snap.Counter("netship_acked_total")
+	drop, _ := snap.Counter("netship_dropped_total")
+	buf, _ := snap.Gauge("netship_buffered")
+	if rec != ack+drop+buf {
+		t.Fatalf("registry conservation violated: %d != %d + %d + %d", rec, ack, drop, buf)
+	}
+}
+
+// TestDropPolicyConservation: with a tiny buffer and the collector
+// black-holed, the Drop policy sheds records but never loses count of
+// them; after healing, the survivors replay cleanly.
+func TestDropPolicyConservation(t *testing.T) {
+	t.Parallel()
+	fleetDir := t.TempDir()
+	col, addr := startCollector(t, CollectorConfig{Dir: fleetDir, AckEvery: 1})
+	defer col.Close()
+
+	nf := faults.NewNetFault()
+	nf.Partition() // down from the start
+	ship, err := NewNetSink(NetSinkConfig{
+		Addr: addr, Origin: "lossy", Dial: nf.Dial,
+		BufferRecords: 4, Policy: export.Drop,
+		RetryMin: time.Millisecond, RetryMax: 10 * time.Millisecond,
+		FlushTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 12; i++ {
+		lo := i*5 + 1
+		if err := ship.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", lo, lo+4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ship.Stats()
+	if st.Accepted != 12 || st.Dropped != 8 || st.Buffered != 4 {
+		t.Fatalf("pre-heal stats = %+v, want 12 accepted, 8 dropped, 4 buffered", st)
+	}
+	assertConservation(t, ship)
+
+	nf.Heal()
+	if err := ship.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := ship.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertConservation(t, ship)
+	if st := ship.Stats(); st.Acked != 4 {
+		t.Fatalf("post-heal stats = %+v, want the 4 buffered records acked", st)
+	}
+	rep, err := export.ReadDir(fleetDir + "/lossy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Segments != 4 {
+		t.Fatalf("collector stored %d segments, want the 4 survivors", rep.Segments)
+	}
+}
+
+// TestCollectorRestartResume: the collector process dies and comes
+// back on the same address; the producer's resume handshake picks up
+// from the persisted durable seq, and nothing is lost or duplicated
+// in the replayed store.
+func TestCollectorRestartResume(t *testing.T) {
+	t.Parallel()
+	fleetDir := t.TempDir()
+	col1, err := NewCollector(CollectorConfig{Dir: fleetDir, AckEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l1.Addr().String()
+	go func() { _ = col1.Serve(l1) }()
+
+	localDir := t.TempDir()
+	local, err := export.NewWALSink(localDir, export.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := NewNetSink(NetSinkConfig{
+		Addr: addr, Origin: "phoenix",
+		RetryMin: time.Millisecond, RetryMax: 20 * time.Millisecond,
+		FlushTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tee := export.NewTeeSink(local, ship)
+
+	if err := tee.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", 1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Flush(); err != nil {
+		t.Fatalf("flush before restart: %v", err)
+	}
+	if err := col1.Close(); err != nil {
+		t.Fatalf("first collector close: %v", err)
+	}
+
+	// Down. The producer keeps writing into its buffer.
+	if err := tee.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", 11, 20)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Back, same address, same fleet root: the durable seq is read off
+	// disk, so WELCOME resumes rather than restarts.
+	col2, err := NewCollector(CollectorConfig{Dir: fleetDir, AckEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l2 net.Listener
+	for i := 0; ; i++ {
+		l2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	go func() { _ = col2.Serve(l2) }()
+
+	if err := tee.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", 21, 30)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Flush(); err != nil {
+		t.Fatalf("flush after restart: %v", err)
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertReplayIdentical(t, localDir, fleetDir+"/phoenix")
+	assertConservation(t, ship)
+}
+
+// TestDuplicateOriginRefused: while one producer owns an origin, a
+// second HELLO for it is answered with an error frame, not
+// interleaved writes.
+func TestDuplicateOriginRefused(t *testing.T) {
+	t.Parallel()
+	col, addr := startCollector(t, CollectorConfig{Dir: t.TempDir()})
+	defer col.Close()
+	ship, err := NewNetSink(NetSinkConfig{
+		Addr: addr, Origin: "solo",
+		RetryMin: time.Millisecond, RetryMax: 10 * time.Millisecond,
+		FlushTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ship.Close()
+	if err := ship.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", 1, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ship.Flush(); err != nil {
+		t.Fatal(err) // also proves the first connection is established
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(appendFrame(nil, appendHello(nil, "solo"))); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 || body[0] != frameError {
+		t.Fatalf("duplicate origin got frame %v, want an error frame", body)
+	}
+}
+
+// TestShipStateRoundTrip: the resume-state file survives a round trip
+// and degrades to zero on damage.
+func TestShipStateRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if got := loadShipState(dir); got != 0 {
+		t.Fatalf("missing state = %d, want 0", got)
+	}
+	if err := saveShipState(dir, 4217); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadShipState(dir); got != 4217 {
+		t.Fatalf("state = %d, want 4217", got)
+	}
+	// Corrupt it: CRC catches the flip and resyncs from zero.
+	name := dir + "/" + shipStateName
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[7] ^= 0xff
+	if err := os.WriteFile(name, b, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadShipState(dir); got != 0 {
+		t.Fatalf("corrupt state = %d, want 0", got)
+	}
+}

@@ -1,0 +1,77 @@
+package netexport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// The per-origin resume state: the highest ship sequence the
+// collector has made durable, persisted next to the origin's WAL so a
+// collector restart resumes the handshake where durability actually
+// stands. The file is tiny and rewritten atomically (temp + rename)
+// after every flush-and-ack; losing it is safe — the collector then
+// under-reports in WELCOME, the producer resends its un-acked tail,
+// and replay-level dedup (export.MergeReplay) collapses whatever was
+// already on disk.
+
+// shipStateName is the state file's name inside an origin directory.
+const shipStateName = "shipstate"
+
+// shipStateMagic identifies a resume-state file; the byte after it is
+// a format version.
+var shipStateMagic = [4]byte{'R', 'M', 'S', 'S'}
+
+const shipStateVersion = 1
+
+// loadShipState reads the origin directory's durable ship sequence; a
+// missing or damaged file is sequence 0 (resync from scratch — safe,
+// see above).
+func loadShipState(dir string) uint64 {
+	b, err := os.ReadFile(filepath.Join(dir, shipStateName))
+	if err != nil || len(b) != 17 {
+		return 0
+	}
+	if [4]byte(b[:4]) != shipStateMagic || b[4] != shipStateVersion {
+		return 0
+	}
+	if crc32.ChecksumIEEE(b[:13]) != binary.LittleEndian.Uint32(b[13:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[5:13])
+}
+
+// saveShipState atomically persists the durable ship sequence.
+func saveShipState(dir string, seq uint64) error {
+	b := make([]byte, 0, 17)
+	b = append(b, shipStateMagic[:]...)
+	b = append(b, shipStateVersion)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	tmp := filepath.Join(dir, shipStateName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("netexport: write ship state: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("netexport: write ship state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("netexport: sync ship state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("netexport: close ship state: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, shipStateName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("netexport: install ship state: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package export
+
+// The standalone record codec. A WAL file is a magic header followed
+// by framed records; this file exposes the record framing itself —
+// encode one record to bytes, decode one record from bytes — so the
+// same encoding that lands on local disk can travel a wire (see
+// internal/export/net) and be re-applied to a sink on the far side
+// byte-for-byte identically. Sharing appendRecordHeader with
+// WALSink.writeRecord is what makes that identity a structural
+// property rather than a convention: there is exactly one encoder.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"robustmon/internal/event"
+	"robustmon/internal/history"
+	"robustmon/internal/obs"
+)
+
+// appendRecordHeader appends the v2 record header (type byte, monitor,
+// seq range, count, payload length, payload CRC) for the given payload.
+// The single shared encoder behind both the WAL writer and the wire
+// codec.
+func appendRecordHeader(dst []byte, typ byte, monitor string, first, last int64, count uint32, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(monitor)))
+	dst = append(dst, monitor...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(first))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(last))
+	dst = binary.LittleEndian.AppendUint32(dst, count)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// Record is one trace record in standalone (wire) form — exactly one
+// of the three kinds is set. The zero Record is invalid.
+type Record struct {
+	Segment *Segment
+	Marker  *history.RecoveryMarker
+	Health  *obs.HealthRecord
+}
+
+// AppendSegmentRecord appends one fully framed segment record
+// (header + payload, no file magic) and returns the extended buffer.
+// The bytes are exactly what WALSink.WriteSegment would put on disk.
+func AppendSegmentRecord(dst []byte, seg Segment) ([]byte, error) {
+	if len(seg.Events) == 0 {
+		return dst, fmt.Errorf("export: encode record: empty segment")
+	}
+	if len(seg.Monitor) > maxMonitorName {
+		return dst, fmt.Errorf("export: monitor name %d bytes long (limit %d)", len(seg.Monitor), maxMonitorName)
+	}
+	p := getPayloadBuf(16 + 48*len(seg.Events))
+	*p = event.AppendBinary((*p)[:0], seg.Events)
+	dst = appendRecordHeader(dst, recSegment, seg.Monitor,
+		seg.First(), seg.Last(), uint32(len(seg.Events)), *p)
+	dst = append(dst, *p...)
+	putPayloadBuf(p)
+	return dst, nil
+}
+
+// AppendMarkerRecord appends one fully framed recovery-marker record;
+// byte-identical to WALSink.WriteMarker's on-disk form.
+func AppendMarkerRecord(dst []byte, m history.RecoveryMarker) ([]byte, error) {
+	if len(m.Monitor) > maxMonitorName {
+		return dst, fmt.Errorf("export: monitor name %d bytes long (limit %d)", len(m.Monitor), maxMonitorName)
+	}
+	p := getPayloadBuf(64 + len(m.Rule) + len(m.Monitor))
+	*p = appendMarker((*p)[:0], m)
+	dst = appendRecordHeader(dst, recMarker, m.Monitor,
+		m.Horizon, m.Horizon, uint32(m.Dropped), *p)
+	dst = append(dst, *p...)
+	putPayloadBuf(p)
+	return dst, nil
+}
+
+// AppendHealthRecord appends one fully framed health-snapshot record;
+// byte-identical to WALSink.WriteHealth's on-disk form.
+func AppendHealthRecord(dst []byte, h obs.HealthRecord) ([]byte, error) {
+	p := getPayloadBuf(256)
+	*p = appendHealth((*p)[:0], h)
+	dst = appendRecordHeader(dst, recHealth, "", h.Seq, h.Seq, 0, *p)
+	dst = append(dst, *p...)
+	putPayloadBuf(p)
+	return dst, nil
+}
+
+// AppendRecord appends whichever kind r carries.
+func AppendRecord(dst []byte, r Record) ([]byte, error) {
+	switch {
+	case r.Segment != nil:
+		return AppendSegmentRecord(dst, *r.Segment)
+	case r.Marker != nil:
+		return AppendMarkerRecord(dst, *r.Marker)
+	case r.Health != nil:
+		return AppendHealthRecord(dst, *r.Health)
+	}
+	return dst, fmt.Errorf("export: encode record: empty record")
+}
+
+// DecodeRecord decodes exactly one framed record from b, applying the
+// same CRC and header/payload-agreement validation the WAL reader
+// applies on disk. Trailing bytes are an error: a frame carries one
+// record.
+func DecodeRecord(b []byte) (Record, error) {
+	r := bytes.NewReader(b)
+	br := bufio.NewReader(r)
+	events, marker, health, terr, rerr := readRecord(br, walVersionLatest)
+	if rerr != nil {
+		return Record{}, fmt.Errorf("export: decode record: %w", rerr)
+	}
+	if terr != nil {
+		return Record{}, fmt.Errorf("export: decode record: truncated: %w", terr)
+	}
+	if rest := br.Buffered() + r.Len(); rest > 0 {
+		return Record{}, fmt.Errorf("export: decode record: %d trailing bytes", rest)
+	}
+	switch {
+	case marker != nil:
+		return Record{Marker: marker}, nil
+	case health != nil:
+		return Record{Health: health}, nil
+	case len(events) > 0:
+		return Record{Segment: &Segment{Monitor: events[0].Monitor, Events: events}}, nil
+	}
+	return Record{}, fmt.Errorf("export: decode record: empty segment")
+}
+
+// Apply writes the record to sink, routing markers and health
+// snapshots through the sink's optional extensions. Unlike the
+// exporter's best-effort type sniffing, a record that the sink cannot
+// store is an error: Apply exists for replication, where a silent drop
+// would break the byte-identity of the replica.
+func (r Record) Apply(sink Sink) error {
+	switch {
+	case r.Segment != nil:
+		return sink.WriteSegment(*r.Segment)
+	case r.Marker != nil:
+		ms, ok := sink.(MarkerSink)
+		if !ok {
+			return fmt.Errorf("export: sink %T cannot store recovery markers", sink)
+		}
+		return ms.WriteMarker(*r.Marker)
+	case r.Health != nil:
+		hs, ok := sink.(HealthSink)
+		if !ok {
+			return fmt.Errorf("export: sink %T cannot store health snapshots", sink)
+		}
+		return hs.WriteHealth(*r.Health)
+	}
+	return fmt.Errorf("export: apply record: empty record")
+}

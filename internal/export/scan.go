@@ -12,7 +12,8 @@ import (
 // File summaries — the per-file metadata the trace-store index is made
 // of. A FileSummary is produced two ways that must agree byte for
 // byte: incrementally by WALSink as it writes (handed to
-// WALConfig.OnRotate when the file is sealed), and by ScanFile reading
+// WALConfig.OnSeal consumers when the file is sealed), and by
+// ScanFile reading
 // an existing file's record headers back — which is what makes an
 // index rebuildable from any v1/v2 directory, no matter who wrote it.
 

@@ -1,0 +1,93 @@
+package export
+
+import (
+	"errors"
+
+	"robustmon/internal/history"
+	"robustmon/internal/obs"
+)
+
+// TeeSink fans every record out to several sinks — e.g. a local
+// WALSink for durability plus a network shipper for fleet collection.
+// Each call is delivered to every sink regardless of individual
+// failures; the errors are joined. Markers and health snapshots are
+// delivered only to the sinks that implement the matching optional
+// extension (TeeSink itself always advertises both, so an exporter
+// routes them here and the tee dispatches to whoever can store them).
+// Like the sinks it wraps, a TeeSink is driven by one goroutine.
+type TeeSink struct {
+	sinks []Sink
+}
+
+// NewTeeSink builds a tee over the given sinks; nil entries are
+// dropped.
+func NewTeeSink(sinks ...Sink) *TeeSink {
+	t := &TeeSink{sinks: make([]Sink, 0, len(sinks))}
+	for _, s := range sinks {
+		if s != nil {
+			t.sinks = append(t.sinks, s)
+		}
+	}
+	return t
+}
+
+// WriteSegment delivers the segment to every sink.
+func (t *TeeSink) WriteSegment(seg Segment) error {
+	var errs []error
+	for _, s := range t.sinks {
+		if err := s.WriteSegment(seg); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteMarker delivers the marker to every sink implementing
+// MarkerSink.
+func (t *TeeSink) WriteMarker(m history.RecoveryMarker) error {
+	var errs []error
+	for _, s := range t.sinks {
+		if ms, ok := s.(MarkerSink); ok {
+			if err := ms.WriteMarker(m); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteHealth delivers the snapshot to every sink implementing
+// HealthSink.
+func (t *TeeSink) WriteHealth(h obs.HealthRecord) error {
+	var errs []error
+	for _, s := range t.sinks {
+		if hs, ok := s.(HealthSink); ok {
+			if err := hs.WriteHealth(h); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Flush flushes every sink.
+func (t *TeeSink) Flush() error {
+	var errs []error
+	for _, s := range t.sinks {
+		if err := s.Flush(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close closes every sink.
+func (t *TeeSink) Close() error {
+	var errs []error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

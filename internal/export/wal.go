@@ -2,9 +2,7 @@ package export
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -85,6 +83,29 @@ const maxMonitorName = 1 << 10
 // this many bytes.
 const DefaultMaxFileBytes = 8 << 20
 
+// SealedSink consumes sealed-file summaries. A WAL file is "sealed"
+// when it has been flushed, fsynced and closed — rotation or Close —
+// so a summary handed to OnSeal always describes durable bytes. This
+// is the incremental-maintenance seam of the trace store (the index
+// maintainer is one SealedSink; a network shipper is another), and
+// WALConfig.OnSeal fans each seal out to any number of them.
+//
+// OnSeal is called from whatever goroutine drives the sink (the
+// exporter's writer); a slow consumer stalls the write path, so do
+// real work asynchronously. A returned error is reported through
+// WALConfig.OnSealError and counted, but never fails the write path
+// and never starves the other consumers: every registered sink sees
+// every seal.
+type SealedSink interface {
+	OnSeal(fs FileSummary) error
+}
+
+// SealedSinkFunc adapts a plain function to the SealedSink interface.
+type SealedSinkFunc func(fs FileSummary) error
+
+// OnSeal calls f.
+func (f SealedSinkFunc) OnSeal(fs FileSummary) error { return f(fs) }
+
 // WALConfig parameterises a WALSink.
 type WALConfig struct {
 	// MaxFileBytes rotates to a new segment file once the current one
@@ -107,13 +128,25 @@ type WALConfig struct {
 	// SyncEveryWrite additionally fsyncs after every record — maximum
 	// durability for crash-recovery tests; too slow for production.
 	SyncEveryWrite bool
-	// OnRotate, when set, is called with the sealed file's summary each
-	// time a file is rotated or closed — after the file is flushed,
-	// fsynced and closed, so the summary always describes durable
-	// bytes. This is the incremental-maintenance seam of the trace
-	// store: wire index.NewMaintainer(dir).OnRotate here and the
-	// directory's index tracks every sealed segment for free. Called
-	// from whatever goroutine drives the sink (the exporter's writer).
+	// OnSeal holds the consumers notified with the sealed file's summary
+	// each time a file is rotated or closed. Every consumer sees every
+	// seal, in registration order; one consumer's error is routed to
+	// OnSealError (and counted as export_wal_seal_errors_total) without
+	// skipping the rest and without failing the write path. Wire
+	// index.NewMaintainer(dir) here and the directory's index tracks
+	// every sealed segment for free; wire a network shipper alongside it
+	// and sealed segments stream off-box too.
+	OnSeal []SealedSink
+	// OnSealError, when set, receives each error an OnSeal consumer
+	// returns. Seal errors are advisory — the file is already durable
+	// locally — so they are reported, not propagated.
+	OnSealError func(error)
+	// OnRotate is the single-consumer ancestor of OnSeal, retained for
+	// compatibility; when set it is called (before the OnSeal fan-out)
+	// with the same summary.
+	//
+	// Deprecated: use OnSeal, which supports multiple consumers and
+	// error reporting.
 	OnRotate func(FileSummary)
 	// Obs, when set, instruments the sink: export_wal_bytes_total
 	// (header + payload bytes written), export_wal_records_total,
@@ -125,10 +158,11 @@ type WALConfig struct {
 // walMetrics are the sink's obs handles; the zero value (all nil) is
 // the disabled mode.
 type walMetrics struct {
-	bytes     *obs.Counter
-	records   *obs.Counter
-	rotations *obs.Counter
-	fsyncNs   *obs.Histogram
+	bytes      *obs.Counter
+	records    *obs.Counter
+	rotations  *obs.Counter
+	sealErrors *obs.Counter
+	fsyncNs    *obs.Histogram
 }
 
 func newWALMetrics(reg *obs.Registry) walMetrics {
@@ -136,10 +170,11 @@ func newWALMetrics(reg *obs.Registry) walMetrics {
 		return walMetrics{}
 	}
 	return walMetrics{
-		bytes:     reg.Counter("export_wal_bytes_total"),
-		records:   reg.Counter("export_wal_records_total"),
-		rotations: reg.Counter("export_wal_rotations_total"),
-		fsyncNs:   reg.Histogram("export_wal_fsync_ns"),
+		bytes:      reg.Counter("export_wal_bytes_total"),
+		records:    reg.Counter("export_wal_records_total"),
+		rotations:  reg.Counter("export_wal_rotations_total"),
+		sealErrors: reg.Counter("export_wal_seal_errors_total"),
+		fsyncNs:    reg.Histogram("export_wal_fsync_ns"),
 	}
 }
 
@@ -314,15 +349,7 @@ func (w *WALSink) writeRecord(typ byte, monitor string, first, last int64, count
 			return err
 		}
 	}
-	w.hdr = w.hdr[:0]
-	w.hdr = append(w.hdr, typ)
-	w.hdr = binary.LittleEndian.AppendUint16(w.hdr, uint16(len(monitor)))
-	w.hdr = append(w.hdr, monitor...)
-	w.hdr = binary.LittleEndian.AppendUint64(w.hdr, uint64(first))
-	w.hdr = binary.LittleEndian.AppendUint64(w.hdr, uint64(last))
-	w.hdr = binary.LittleEndian.AppendUint32(w.hdr, count)
-	w.hdr = binary.LittleEndian.AppendUint32(w.hdr, uint32(len(payload)))
-	w.hdr = binary.LittleEndian.AppendUint32(w.hdr, crc32.ChecksumIEEE(payload))
+	w.hdr = appendRecordHeader(w.hdr[:0], typ, monitor, first, last, count, payload)
 	if _, err := w.bw.Write(w.hdr); err != nil {
 		return fmt.Errorf("export: write record header: %w", err)
 	}
@@ -372,7 +399,10 @@ func (w *WALSink) stale() bool {
 // rotate seals the current file — flush, fsync, close — and arranges
 // for the next write to open a fresh one. Everything before the
 // rotation point is durable from here on; the sealed file's summary is
-// handed to OnRotate (if set) once it is.
+// then fanned out to OnRotate (deprecated single consumer) and every
+// OnSeal consumer. One consumer's failure never starves another: the
+// error goes to OnSealError and the seal-error counter, and the loop
+// continues.
 func (w *WALSink) rotate() error {
 	if w.f == nil {
 		return nil
@@ -385,8 +415,22 @@ func (w *WALSink) rotate() error {
 	}
 	w.f, w.bw = nil, nil
 	w.met.rotations.Inc()
-	if w.cfg.OnRotate != nil && w.cur != nil && w.cur.sum.Records > 0 {
-		w.cfg.OnRotate(w.cur.done(w.size, false))
+	if w.cur != nil && w.cur.sum.Records > 0 {
+		fs := w.cur.done(w.size, false)
+		if w.cfg.OnRotate != nil {
+			w.cfg.OnRotate(fs)
+		}
+		for _, s := range w.cfg.OnSeal {
+			if s == nil {
+				continue
+			}
+			if err := s.OnSeal(fs); err != nil {
+				w.met.sealErrors.Inc()
+				if w.cfg.OnSealError != nil {
+					w.cfg.OnSealError(err)
+				}
+			}
+		}
 	}
 	w.cur = nil
 	return nil

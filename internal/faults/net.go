@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Network fault injection for the fleet-export path (internal/
+// export/net): a controllable dialer that wraps every connection it
+// hands out, so a test can sever the link mid-stream, black-hole the
+// endpoint during a partition, and heal it again — the degraded-
+// network conditions the shipper's buffer-and-resume machinery must
+// survive. This deliberately lives outside the Kind taxonomy: those
+// are the paper's monitor/program faults, injected into monitored
+// code; a network fault is injected into the transport under the
+// exporter, a different layer with different semantics (a severed
+// link must cost no events, only latency).
+
+// ErrPartitioned is the dial/write error while a NetFault is
+// partitioned.
+var ErrPartitioned = errors.New("faults: network partitioned")
+
+// NetFault is a fault-injecting network control plane. Use Dial as
+// the shipper's dial function; then Partition/Heal/CutAfter steer the
+// connection's fate from the test. The zero value is not ready — use
+// NewNetFault. Safe for concurrent use.
+type NetFault struct {
+	mu          sync.Mutex
+	partitioned bool
+	cutAfter    int64 // >0: sever the link after this many more written bytes
+	cutArmed    bool
+	conns       []*faultConn
+	dials       int
+	refused     int
+	severed     int
+}
+
+// NewNetFault returns a healthy fault controller: connections pass
+// bytes through untouched until a fault is injected.
+func NewNetFault() *NetFault { return &NetFault{} }
+
+// Dial opens a connection through the controller; it has the shape of
+// net.Dial so it can slot straight into a shipper's Dial hook. While
+// partitioned it refuses immediately with ErrPartitioned — the
+// connection-refused shape of a black-holed endpoint, without the
+// test paying real dial timeouts.
+func (f *NetFault) Dial(network, addr string) (net.Conn, error) {
+	f.mu.Lock()
+	if f.partitioned {
+		f.refused++
+		f.mu.Unlock()
+		return nil, ErrPartitioned
+	}
+	f.mu.Unlock()
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{Conn: c, ctl: f}
+	f.mu.Lock()
+	// A partition that raced the dial wins: the connection is severed
+	// before the caller sees it.
+	if f.partitioned {
+		f.mu.Unlock()
+		c.Close()
+		return nil, ErrPartitioned
+	}
+	f.conns = append(f.conns, fc)
+	f.dials++
+	f.mu.Unlock()
+	return fc, nil
+}
+
+// Partition severs every live connection and refuses new dials until
+// Heal. The injected failure is abrupt — closed sockets, not graceful
+// shutdowns — which is what a real partition looks like from the
+// endpoints.
+func (f *NetFault) Partition() {
+	f.mu.Lock()
+	f.partitioned = true
+	conns := f.conns
+	f.conns = nil
+	f.severed += len(conns)
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Conn.Close()
+	}
+}
+
+// Heal lifts the partition: new dials succeed again. Connections
+// severed while partitioned stay dead — recovering is the caller's
+// job, exactly as on a real network.
+func (f *NetFault) Heal() {
+	f.mu.Lock()
+	f.partitioned = false
+	f.mu.Unlock()
+}
+
+// CutAfter arms a one-shot flaky-link fault: after n more bytes have
+// been written across the controller's connections, the writing
+// connection is severed mid-stream — so a frame can be torn at any
+// byte boundary the test chooses. Unlike Partition, subsequent dials
+// succeed; the fault models a dropped connection, not a dead network.
+func (f *NetFault) CutAfter(n int64) {
+	f.mu.Lock()
+	f.cutAfter = n
+	f.cutArmed = true
+	f.mu.Unlock()
+}
+
+// Stats reports the controller's activity: successful dials, dials
+// refused by a partition, and connections severed by faults.
+func (f *NetFault) Stats() (dials, refused, severed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dials, f.refused, f.severed
+}
+
+// consume accounts n written bytes against an armed cut; it reports
+// whether the connection must be severed, and how many of the n bytes
+// may still be written first.
+func (f *NetFault) consume(n int) (allow int, sever bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.cutArmed {
+		return n, false
+	}
+	if int64(n) < f.cutAfter {
+		f.cutAfter -= int64(n)
+		return n, false
+	}
+	allow = int(f.cutAfter)
+	f.cutArmed = false
+	f.cutAfter = 0
+	f.severed++
+	return allow, true
+}
+
+// faultConn wraps a real connection, consulting the controller on
+// every write.
+type faultConn struct {
+	net.Conn
+	ctl  *NetFault
+	dead bool
+	mu   sync.Mutex
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, net.ErrClosed
+	}
+	allow, sever := c.ctl.consume(len(b))
+	if !sever {
+		return c.Conn.Write(b)
+	}
+	n := 0
+	if allow > 0 {
+		// Land the allowed prefix so the far side observes a torn frame,
+		// not a clean boundary.
+		n, _ = c.Conn.Write(b[:allow])
+	}
+	c.dead = true
+	c.Conn.Close()
+	if n < len(b) {
+		return n, net.ErrClosed
+	}
+	return n, nil
+}

@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// echoListener accepts connections and copies every byte back,
+// returning the listener's address.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() { defer c.Close(); _, _ = io.Copy(c, c) }()
+		}
+	}()
+	return l
+}
+
+func TestNetFaultPassThrough(t *testing.T) {
+	t.Parallel()
+	l := echoListener(t)
+	f := NewNetFault()
+	c, err := f.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("echo = %q, %v; want hello", buf, err)
+	}
+	if dials, refused, severed := f.Stats(); dials != 1 || refused != 0 || severed != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 1/0/0", dials, refused, severed)
+	}
+}
+
+func TestNetFaultPartitionAndHeal(t *testing.T) {
+	t.Parallel()
+	l := echoListener(t)
+	f := NewNetFault()
+	c, err := f.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Partition()
+	// The live connection is severed abruptly...
+	if _, err := io.ReadFull(c, make([]byte, 1)); err == nil {
+		t.Fatal("read from a severed connection succeeded")
+	}
+	// ...and new dials are refused while the partition holds.
+	if _, err := f.Dial("tcp", l.Addr().String()); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial during partition: %v, want ErrPartitioned", err)
+	}
+	f.Heal()
+	c2, err := f.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c2.Close()
+	if dials, refused, severed := f.Stats(); dials != 2 || refused != 1 || severed != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 2/1/1", dials, refused, severed)
+	}
+}
+
+func TestNetFaultCutAfterTearsMidWrite(t *testing.T) {
+	t.Parallel()
+	l := echoListener(t)
+	f := NewNetFault()
+	c, err := f.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CutAfter(3)
+	n, err := c.Write([]byte("hello"))
+	if err == nil || n != 3 {
+		t.Fatalf("torn write = %d, %v; want 3 bytes then an error", n, err)
+	}
+	// The prefix landed: the far side echoes exactly the allowed bytes.
+	// (Read through a fresh connection is impossible — the echo conn
+	// died — so just assert subsequent writes fail and dials succeed.)
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write after a cut succeeded")
+	}
+	c2, err := f.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("redial after cut: %v", err)
+	}
+	c2.Close()
+}

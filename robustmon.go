@@ -93,6 +93,7 @@ import (
 	"robustmon/internal/export"
 	"robustmon/internal/export/compact"
 	"robustmon/internal/export/index"
+	"robustmon/internal/export/net"
 	"robustmon/internal/external"
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
@@ -245,6 +246,18 @@ type (
 	// ExportMarkerSink is the optional ExportSink extension persisting
 	// recovery markers (both built-in sinks implement it).
 	ExportMarkerSink = export.MarkerSink
+	// ExportHealthSink is the optional ExportSink extension persisting
+	// health snapshots (both built-in sinks implement it).
+	ExportHealthSink = export.HealthSink
+	// ExportRecord is one trace record in standalone (wire) form.
+	ExportRecord = export.Record
+	// ExportSealedSink consumes sealed-file summaries
+	// (WALConfig.OnSeal fan-out).
+	ExportSealedSink = export.SealedSink
+	// ExportSealedSinkFunc adapts a function to ExportSealedSink.
+	ExportSealedSinkFunc = export.SealedSinkFunc
+	// TeeExportSink fans every record out to several sinks.
+	TeeExportSink = export.TeeSink
 	// WALSink persists segments to a directory of CRC-protected,
 	// fsync-on-rotate files.
 	WALSink = export.WALSink
@@ -278,6 +291,10 @@ func NewExporter(sink ExportSink, cfg ExporterConfig) *Exporter { return export.
 // appending.
 func NewWALSink(dir string, cfg WALConfig) (*WALSink, error) { return export.NewWALSink(dir, cfg) }
 
+// NewTeeExportSink builds a tee over the given sinks; nil entries are
+// dropped.
+func NewTeeExportSink(sinks ...ExportSink) *TeeExportSink { return export.NewTeeSink(sinks...) }
+
 // ReadExportDir replays an export directory back into the global <L
 // order, recovering from a crash-truncated tail.
 func ReadExportDir(dir string) (*ExportReplay, error) { return export.ReadDir(dir) }
@@ -295,7 +312,7 @@ type (
 	// TraceIndex is the per-directory file-summary table.
 	TraceIndex = index.Index
 	// TraceIndexMaintainer keeps the index in step with a WALSink
-	// (wire its OnRotate into WALConfig.OnRotate).
+	// (wire it into WALConfig.OnSeal).
 	TraceIndexMaintainer = index.Maintainer
 	// TraceSeekReader answers windowed replay queries through the
 	// index.
@@ -342,6 +359,45 @@ func OpenTraceReader(dir string) (*TraceSeekReader, error) { return index.OpenDi
 func CompactExportDir(dir string, cfg CompactionConfig) (*CompactionResult, error) {
 	return compact.Dir(dir, cfg)
 }
+
+// Fleet mode (internal/export/net): ship trace records from detector
+// processes to a central collector over TCP instead of (or teed with)
+// a local WAL directory. A NetSink implements ExportSink plus both
+// extensions, so it slots anywhere a WALSink does; the collector
+// lands every producer origin in its own subdirectory of a fleet
+// root — each a plain export directory the offline tools (montrace,
+// OpenTraceReader, CompactExportDir) understand unchanged. Delivery
+// is at-least-once behind a resume handshake with bounded
+// buffer-and-resume during partitions; replay on the collector is
+// byte-identical and exactly-once.
+type (
+	// NetSink ships sealed trace records to a collector.
+	NetSink = netexport.NetSink
+	// NetSinkConfig parameterises NewNetSink (address, origin,
+	// buffering, backpressure policy, retry bounds).
+	NetSinkConfig = netexport.NetSinkConfig
+	// NetSinkStats counts a sink's activity; Accepted = Acked +
+	// Dropped + Buffered always holds.
+	NetSinkStats = netexport.NetSinkStats
+	// Collector is the fleet-mode server (cmd/moncollect wraps it).
+	Collector = netexport.Collector
+	// CollectorConfig parameterises NewCollector (fleet root,
+	// flush-and-ack cadence, per-origin WAL knobs).
+	CollectorConfig = netexport.CollectorConfig
+)
+
+// NewNetSink validates cfg and starts the background shipper. The
+// collector does not need to be reachable yet: records buffer until
+// the first successful resume handshake.
+func NewNetSink(cfg NetSinkConfig) (*NetSink, error) { return netexport.NewNetSink(cfg) }
+
+// NewCollector creates the fleet root and returns a collector ready
+// to Serve on any number of listeners.
+func NewCollector(cfg CollectorConfig) (*Collector, error) { return netexport.NewCollector(cfg) }
+
+// ValidOrigin reports whether name is usable as a producer origin
+// (portable filename charset, no path meaning).
+func ValidOrigin(name string) bool { return netexport.ValidOrigin(name) }
 
 // Self-observability (internal/obs): an allocation-free metrics
 // registry instrumenting every layer of the pipeline. Pass one
@@ -429,6 +485,29 @@ type (
 	Violation = rules.Violation
 	// RuleID names a violated rule (FD-* or ST-*).
 	RuleID = rules.ID
+	// TraceExporter is the one exporter seam the detector drives:
+	// segments, recovery markers, health snapshots and flush in a
+	// single interface (DetectorConfig.Exporter). Exporter, WALSink
+	// and NetSink all satisfy it.
+	TraceExporter = detect.TraceExporter
+
+	// SegmentExporter is the segment-and-flush subset of the old
+	// three-interface exporter seam.
+	//
+	// Deprecated: DetectorConfig.Exporter now requires the full
+	// TraceExporter; implement it (with no-op
+	// ConsumeMarker/ConsumeHealth where irrelevant) instead.
+	SegmentExporter = detect.SegmentExporter
+	// MarkerExporter is the old optional marker extension.
+	//
+	// Deprecated: ConsumeMarker is part of TraceExporter; the
+	// detector no longer type-sniffs for this interface.
+	MarkerExporter = detect.MarkerExporter
+	// HealthExporter is the old optional health extension.
+	//
+	// Deprecated: ConsumeHealth is part of TraceExporter; the
+	// detector no longer type-sniffs for this interface.
+	HealthExporter = detect.HealthExporter
 )
 
 // NewDetector builds the periodic detector over the database and

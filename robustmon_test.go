@@ -269,7 +269,7 @@ func TestPublicAPITraceStore(t *testing.T) {
 	maint := robustmon.NewTraceIndexMaintainer(dir)
 	sink, err := robustmon.NewWALSink(dir, robustmon.WALConfig{
 		MaxFileBytes: 1 << 10, // rotate often: a real backlog to index
-		OnRotate:     maint.OnRotate,
+		OnSeal:       []robustmon.ExportSealedSink{maint},
 	})
 	if err != nil {
 		t.Fatalf("NewWALSink: %v", err)
