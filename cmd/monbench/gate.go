@@ -36,6 +36,14 @@ const latencyFloorNs = float64(10 * time.Millisecond)
 // allocation per event separates those decisively from noise.
 const allocFloorPerEvent = 0.25
 
+// heapFloorBytes is the absolute slack applied to the E9
+// peak-heap comparison. The heap sampler observes live allocation
+// through GC timing, so a few megabytes of jitter between runs is
+// normal on any host; the gate exists to catch the streaming compactor
+// regressing to whole-backlog buffering, which inflates the peak by
+// the decoded backlog — tens of megabytes at the E9 sweep sizes.
+const heapFloorBytes = float64(8 << 20)
+
 // rowKey identifies a sweep cell across artefacts: every config-like
 // field of the row, i.e. everything except the measurements.
 func rowKey(row map[string]any) string {
@@ -46,6 +54,8 @@ func rowKey(row map[string]any) string {
 		"files_opened": true, "files_total": true,
 		"ns_per_event": true, "bytes_per_event": true, "allocs_per_event": true,
 		"overhead_pct": true, "records": true, "records_per_sec": true,
+		"peak_heap_bytes": true, "bytes_in": true, "bytes_reclaimed": true,
+		"events_dropped": true, "files_in": true, "files_out": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {
@@ -127,6 +137,18 @@ func compareArtefacts(baseline, fresh []map[string]any, tol float64) ([]string, 
 				regressions = append(regressions, fmt.Sprintf(
 					"%s checkpoint p99 %v > baseline %v +%d%%",
 					rowKey(row), time.Duration(fP99), time.Duration(bP99), int(tol*100)))
+			}
+		}
+		// The memory ceiling (E9 soak rows): the streaming compaction
+		// pass's peak heap must not rise beyond both the relative
+		// tolerance and the absolute sampler-noise floor — a regression
+		// here means compaction memory started tracking the backlog.
+		if bPeak, ok := num(bRow, "peak_heap_bytes"); ok && bPeak > 0 {
+			if fPeak, ok := num(row, "peak_heap_bytes"); ok &&
+				fPeak > bPeak*(1+tol) && fPeak-bPeak > heapFloorBytes {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s peak heap %.1f MiB > baseline %.1f MiB +%d%%",
+					rowKey(row), fPeak/(1<<20), bPeak/(1<<20), int(tol*100)))
 			}
 		}
 		// The alloc ceiling (E6 record-path rows): allocations per event

@@ -133,6 +133,32 @@ func TestCompareArtefactsAllocCeiling(t *testing.T) {
 	}
 }
 
+func TestCompareArtefactsHeapCeiling(t *testing.T) {
+	t.Parallel()
+	soakRow := func(peak float64) map[string]any {
+		return map[string]any{
+			"bench": "soak", "backlog": 131072, "peak_heap_bytes": peak,
+		}
+	}
+	// Sampler jitter of a few MiB stays under the absolute floor even
+	// when relatively large.
+	base := normalized(t, []map[string]any{soakRow(2 << 20)})
+	fresh := normalized(t, []map[string]any{soakRow(6 << 20)})
+	regs, err := compareArtefacts(base, fresh, 0.25)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("regs=%v err=%v, want floor to absorb heap-sampler jitter", regs, err)
+	}
+	// Whole-backlog buffering (tens of MiB over baseline) fails.
+	fresh = normalized(t, []map[string]any{soakRow(40 << 20)})
+	regs, err = compareArtefacts(base, fresh, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "peak heap") {
+		t.Fatalf("regs = %v, want one peak-heap regression", regs)
+	}
+}
+
 func TestCompareArtefactsKeyMatching(t *testing.T) {
 	t.Parallel()
 	// Different scheduler cells must never be compared to each other.

@@ -88,6 +88,7 @@ func run(args []string, out, errOut io.Writer) int {
 		record    = fs.Bool("recordpath", false, "add the E6 record-path rows (singleton DB.Append vs BatchWriter ingest under concurrent producers: events/sec, ns/event, B/event, allocs/event); combines with -monitors into one artefact, or runs standalone")
 		obsover   = fs.Bool("obsoverhead", false, "add the E7 self-observability rows (instrumented vs stripped ingest throughput, plus the bare-increment allocation profile); combines with -monitors into one artefact, or runs standalone")
 		collector = fs.Bool("collector", false, "add the E8 collector rows (N NetSink producers over loopback into one fleet collector vs a single-process WALSink baseline); combines with -monitors into one artefact, or runs standalone")
+		soakf     = fs.Bool("soak", false, "add the E9 long-horizon compaction rows (streaming retention pass over backlogs many times the chunk budget: peak heap, bytes reclaimed); combines with -monitors into one artefact, or runs standalone")
 		batchw    = fs.Bool("batchwriters", false, "wire the -monitors workload through lock-free BatchWriters instead of direct DB.Append (the raw-speed record path under the full monitor protocol)")
 		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
 		baseline  = fs.String("baseline", "", "perf gate: compare the fresh sweep against this JSON artefact and exit non-zero on regression")
@@ -123,15 +124,17 @@ func run(args []string, out, errOut io.Writer) int {
 			recordpath:    *record,
 			obsoverhead:   *obsover,
 			collector:     *collector,
+			soak:          *soakf,
 			jsonPath:      *jsonPath,
 			baseline:      *baseline,
 			tolerance:     *tolerance,
 		}, out, errOut)
 	}
 
-	if *store || *record || *obsover || *collector {
-		// Standalone E5/E6/E7/E8: their own artefact kinds; several flags
-		// at once share one artefact (the rows are keyed apart by "bench").
+	if *store || *record || *obsover || *collector || *soakf {
+		// Standalone E5/E6/E7/E8/E9: their own artefact kinds; several
+		// flags at once share one artefact (the rows are keyed apart by
+		// "bench").
 		var kinds []string
 		art := benchArtefact{
 			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -185,6 +188,20 @@ func run(args []string, out, errOut io.Writer) int {
 				return code
 			}
 			kinds = append(kinds, "E8-collector")
+			art.Rows = append(art.Rows, rows...)
+			for k, v := range cfgEntries {
+				art.Config[k] = v
+			}
+		}
+		if *soakf {
+			if *store || *record || *obsover || *collector {
+				fmt.Fprintln(out)
+			}
+			rows, cfgEntries, code := runSoakSweep(*repeats, out, errOut)
+			if code != 0 {
+				return code
+			}
+			kinds = append(kinds, "E9-soak")
 			art.Rows = append(art.Rows, rows...)
 			for k, v := range cfgEntries {
 				art.Config[k] = v
@@ -312,6 +329,7 @@ type scalingFlags struct {
 	recordpath    bool
 	obsoverhead   bool
 	collector     bool
+	soak          bool
 	jsonPath      string
 	baseline      string
 	tolerance     float64
@@ -544,6 +562,73 @@ func runCollectorSweep(repeats int, out, errOut io.Writer) ([]map[string]any, ma
 	return artRows, cfgEntries, 0
 }
 
+// soakSelfGateRatio bounds how much the peak heap of the largest E9
+// backlog may exceed the smallest one's. The streaming compactor's
+// memory tracks the chunk budget, not the backlog, so the ratio should
+// hover near 1; a 4x backlog growth pushing peak heap past this bound
+// means the pass buffers the backlog again, which no sampler noise
+// produces. Finer regressions are the baseline gate's job
+// (peak_heap_bytes rides it like any other measurement).
+const soakSelfGateRatio = 3.0
+
+// runSoakSweep executes the E9 long-horizon compaction sweep and
+// returns its artefact rows and config entries (exit code non-zero on
+// failure). The rows carry "bench":"soak"; peak_heap_bytes is both
+// self-gated (backlog-proportional growth fails standalone) and
+// baseline-gated, so the bounded-memory claim regressing fails CI like
+// a throughput regression.
+func runSoakSweep(repeats int, out, errOut io.Writer) ([]map[string]any, map[string]any, int) {
+	cfg := experiment.DefaultSoakBenchConfig()
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	fmt.Fprintf(out, "E9 (long-horizon compaction): monitors=%d segment=%d chunk=%d retain=%.0f%% repeats=%d\n\n",
+		cfg.Monitors, cfg.SegmentEvents, cfg.ChunkEvents, cfg.RetainFrac*100, cfg.Repeats)
+	rows, err := experiment.RunSoakBench(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return nil, nil, 1
+	}
+	fmt.Fprint(out, experiment.SoakBenchTable(rows).String())
+	small, large := rows[0], rows[len(rows)-1]
+	if large.Backlog > small.Backlog {
+		// A fast pass can report a zero peak (GC keeps HeapAlloc at the
+		// baseline); a 1 MiB denominator floor keeps the ratio meaningful.
+		denom := float64(small.PeakHeapBytes)
+		if denom < 1<<20 {
+			denom = 1 << 20
+		}
+		ratio := float64(large.PeakHeapBytes) / denom
+		fmt.Fprintf(out, "\na %dx larger backlog costs %.1fx the peak heap (streaming bound: ~1x)\n",
+			large.Backlog/small.Backlog, ratio)
+		if ratio > soakSelfGateRatio && float64(large.PeakHeapBytes-small.PeakHeapBytes) > heapFloorBytes {
+			fmt.Fprintf(errOut, "monbench: peak heap grew %.1fx across a %dx backlog growth (bound %.1fx) — compaction memory tracks the backlog, not the chunk budget\n",
+				ratio, large.Backlog/small.Backlog, soakSelfGateRatio)
+			return nil, nil, 1
+		}
+	}
+	var artRows []map[string]any
+	for _, r := range rows {
+		artRows = append(artRows, map[string]any{
+			"bench": "soak", "backlog": r.Backlog,
+			"bytes_in": r.BytesIn, "bytes_reclaimed": r.BytesReclaimed,
+			"events": r.EventsOut, "events_dropped": r.EventsDropped,
+			"peak_heap_bytes": r.PeakHeapBytes,
+			"elapsed_ns":      r.Elapsed.Nanoseconds(),
+			"files_in":        r.FilesIn, "files_out": r.FilesOut,
+		})
+	}
+	cfgEntries := map[string]any{
+		"soak_monitors":       cfg.Monitors,
+		"soak_segment_events": cfg.SegmentEvents,
+		"soak_max_file_bytes": cfg.MaxFileBytes,
+		"soak_chunk_events":   cfg.ChunkEvents,
+		"soak_retain_frac":    cfg.RetainFrac,
+		"soak_repeats":        cfg.Repeats,
+	}
+	return artRows, cfgEntries, 0
+}
+
 // runScaling executes the E4 many-monitor sweep (-monitors).
 func runScaling(f scalingFlags, out, errOut io.Writer) int {
 	cfg := experiment.DefaultScalingConfig()
@@ -664,6 +749,17 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 		}
 		art.Rows = append(art.Rows, colRows...)
 		for k, v := range colCfg {
+			art.Config[k] = v
+		}
+	}
+	if f.soak {
+		fmt.Fprintln(out)
+		soakRows, soakCfg, code := runSoakSweep(f.repeats, out, errOut)
+		if code != 0 {
+			return code
+		}
+		art.Rows = append(art.Rows, soakRows...)
+		for k, v := range soakCfg {
 			art.Config[k] = v
 		}
 	}

@@ -251,6 +251,51 @@ func TestTraceStoreStandaloneArtefactAndSelfGate(t *testing.T) {
 	}
 }
 
+func TestSoakStandaloneArtefactAndSelfGate(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "soak.json")
+	code, out, errOut := runTool(t, "-soak", "-repeats", "1", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, err=%q\n%s", code, errOut, out)
+	}
+	for _, want := range []string{"E9 (long-horizon compaction)", "peak heap", "larger backlog costs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Kind string           `json:"kind"`
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatal(err)
+	}
+	// Default sweep: one row per backlog size.
+	if art.Kind != "E9-soak" || len(art.Rows) != 2 {
+		t.Fatalf("artefact kind=%q rows=%d, want E9-soak with 2 rows", art.Kind, len(art.Rows))
+	}
+	for _, row := range art.Rows {
+		for _, field := range []string{"peak_heap_bytes", "bytes_reclaimed", "bytes_in", "events_dropped", "elapsed_ns"} {
+			if _, ok := row[field].(float64); !ok {
+				t.Fatalf("row missing %s: %+v", field, row)
+			}
+		}
+		if row["bench"] != "soak" {
+			t.Fatalf("row missing the bench key that separates E9 from the other rows: %+v", row)
+		}
+	}
+	// A sweep gated against its own artefact must pass (the CI gate's
+	// happy path, heap ceiling included).
+	code, _, errOut = runTool(t, "-soak", "-repeats", "1", "-baseline", path, "-tolerance", "0.99")
+	if code != 0 {
+		t.Fatalf("self-baseline gate failed: %s", errOut)
+	}
+}
+
 func TestRecordPathStandaloneArtefactAndSelfGate(t *testing.T) {
 	t.Parallel()
 	dir := t.TempDir()

@@ -15,6 +15,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"robustmon/internal/export/compact"
 	"robustmon/internal/export/net"
 	"robustmon/internal/obs"
 )
@@ -30,6 +31,8 @@ func run(args []string) int {
 	metrics := fs.String("metrics", "", "observability endpoint address (/metrics, /healthz, pprof); empty = disabled")
 	ackEvery := fs.Int("ack-every", 64, "flush the origin WAL and acknowledge after this many records (a producer Flush always forces it)")
 	noIndex := fs.Bool("no-index", false, "skip maintaining the per-origin trace index as segments seal")
+	compactEvery := fs.Int("compact-every", 0, "compact an origin's backlog in the background once this many rotated files pile up since its last pass; 0 = disabled")
+	retainSeq := fs.Int64("retain-seq", 0, "retention floor for background compaction: drop origin files wholly below this sequence number behind a tombstone; 0 = keep everything")
 	_ = fs.Parse(args)
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "moncollect: -dir is required")
@@ -38,12 +41,23 @@ func run(args []string) int {
 	}
 
 	reg := obs.NewRegistry()
-	col, err := netexport.NewCollector(netexport.CollectorConfig{
+	cfg := netexport.CollectorConfig{
 		Dir:      *dir,
 		AckEvery: *ackEvery,
 		NoIndex:  *noIndex,
 		Obs:      reg,
-	})
+	}
+	if *compactEvery > 0 {
+		cfg.CompactEvery = *compactEvery
+		floor := *retainSeq
+		cfg.Compact = func(origin string) error {
+			// KeepNewest defaults to 1: the origin's sink is live and the
+			// newest file is the one it appends to.
+			_, err := compact.Dir(origin, compact.Config{RetainSeq: floor, Obs: reg})
+			return err
+		}
+	}
+	col, err := netexport.NewCollector(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moncollect: %v\n", err)
 		return 1

@@ -1,0 +1,84 @@
+// Command monsoak runs generative long-horizon soak campaigns: each
+// seed expands into a randomized composition of workload, fault
+// injection, periodic detection, streaming export, background
+// compaction and an advancing retention floor, all running
+// concurrently, and the run passes only if the store's conservation
+// invariants hold (see internal/soak).
+//
+//	monsoak -seed 42             # one campaign
+//	monsoak -seeds 1,2,3         # a fixed list (the CI soak job)
+//	monsoak -count 25 -from 100  # a consecutive block
+//	monsoak -seed 42 -dir /tmp/s # keep the store for post-mortems
+//
+// A failing campaign prints its seed and the exact replay command, so
+// a soak find anywhere reduces to a one-line local repro.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"robustmon/internal/soak"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("monsoak", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "run exactly this campaign seed")
+	seeds := fs.String("seeds", "", "comma-separated campaign seeds (overrides -seed)")
+	from := fs.Int64("from", 1, "first seed of the -count block")
+	count := fs.Int("count", 0, "run this many consecutive seeds starting at -from")
+	ops := fs.Int("ops", 0, "approximate monitor operations per campaign (0 = default)")
+	dir := fs.String("dir", "", "export directory to use and keep (single-seed runs only)")
+	verbose := fs.Bool("v", false, "print per-campaign progress")
+	_ = fs.Parse(args)
+
+	var list []int64
+	switch {
+	case *seeds != "":
+		for _, s := range strings.Split(*seeds, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "monsoak: bad seed %q: %v\n", s, err)
+				return 2
+			}
+			list = append(list, n)
+		}
+	case *count > 0:
+		for i := 0; i < *count; i++ {
+			list = append(list, *from+int64(i))
+		}
+	default:
+		list = []int64{*seed}
+	}
+	if *dir != "" && len(list) != 1 {
+		fmt.Fprintln(os.Stderr, "monsoak: -dir only makes sense with a single seed")
+		return 2
+	}
+
+	failures := 0
+	for _, s := range list {
+		cfg := soak.Config{Seed: s, Ops: *ops, Dir: *dir}
+		if *verbose {
+			cfg.Log = os.Stderr
+		}
+		rep, err := soak.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monsoak: FAIL %v\n", err)
+			failures++
+			continue
+		}
+		fmt.Printf("monsoak: PASS %s\n", rep)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "monsoak: %d of %d campaigns failed\n", failures, len(list))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunSingleSeed pins the CLI exit contract: a passing campaign
+// exits 0.
+func TestRunSingleSeed(t *testing.T) {
+	if code := run([]string{"-seed", "20010704", "-ops", "400"}); code != 0 {
+		t.Fatalf("run exit = %d, want 0", code)
+	}
+}
+
+// TestRunSeedList pins the -seeds form the CI soak job uses.
+func TestRunSeedList(t *testing.T) {
+	if code := run([]string{"-seeds", "20010704, 20010705", "-ops", "400"}); code != 0 {
+		t.Fatalf("run exit = %d, want 0", code)
+	}
+}
+
+// TestRunBadSeedList pins the usage exit code.
+func TestRunBadSeedList(t *testing.T) {
+	if code := run([]string{"-seeds", "1,x"}); code != 2 {
+		t.Fatalf("run exit = %d, want 2", code)
+	}
+}
+
+// TestRunDirNeedsSingleSeed pins the -dir guard.
+func TestRunDirNeedsSingleSeed(t *testing.T) {
+	if code := run([]string{"-seeds", "1,2", "-dir", t.TempDir()}); code != 2 {
+		t.Fatalf("run exit = %d, want 2", code)
+	}
+}
+
+// TestRunKeepsDir pins that -dir keeps the store for post-mortems.
+func TestRunKeepsDir(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-seed", "20010704", "-ops", "400", "-dir", dir}); code != 0 {
+		t.Fatalf("run exit = %d, want 0", code)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("store not kept in %s: %d entries, err=%v", dir, len(ents), err)
+	}
+}

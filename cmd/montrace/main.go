@@ -77,14 +77,31 @@ func stats(args []string) int {
 }
 
 func statsOne(in string, win window) int {
-	trace, _, healths, err := loadWindowed(in, win)
+	trace, _, healths, tombs, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
 	}
 	fmt.Print(tracestat.Compute(trace).String())
+	if tb := newestTombstone(tombs); tb != nil {
+		fmt.Printf("retention: truncated below seq %d (%d events in %d files dropped)\n",
+			tb.Horizon, tb.Events, tb.Files)
+	}
 	renderHealthTimeline(healths)
 	return 0
+}
+
+// newestTombstone picks the live retention tombstone (the one with the
+// highest horizon; compaction folds passes together, so a healthy
+// store has at most one). Nil when the store was never truncated.
+func newestTombstone(tombs []export.Tombstone) *export.Tombstone {
+	var tb *export.Tombstone
+	for i := range tombs {
+		if tb == nil || tombs[i].Horizon > tb.Horizon {
+			tb = &tombs[i]
+		}
+	}
+	return tb
 }
 
 // fleetOrigins reports the origin subdirectories of a fleet root — a
@@ -191,6 +208,7 @@ const usageText = `usage:
   montrace stats   -in  <file|dir> [-from N] [-to N] [-monitor a,b]
   montrace index   -in  <dir> [-verify]
   montrace compact -in  <dir> [-keep N] [-drop-reset] [-max-bytes N]
+                   [-retain-seq N] [-retain-age D]
   montrace help
 
 inputs and outputs:
@@ -244,13 +262,26 @@ trace store (windowing, index, compact):
   window are opened; everything else is skipped. index rebuilds that
   index from the segment files (v1 and v2 alike) — or, with -verify,
   checks the existing one against the files (sizes and record-header
-  chains). compact merges the rotated segment files per monitor into
-  dense records, preserving markers at their horizons; -keep N
-  protects the N newest files (default 1 — the active segment of a
-  live recorder), -drop-reset additionally discards events at or
-  below each reset horizon (reported, never silent). Violations that
-  pair across a window's edges can be artefacts of the cut; check
-  prints the window it used.
+  chains). compact streams the rotated segment files through a
+  per-monitor bounded-memory merge into dense records, preserving
+  markers at their horizons; -keep N protects the N newest files
+  (default 1 — the active segment of a live recorder), -drop-reset
+  additionally discards events at or below each reset horizon
+  (reported, never silent). Violations that pair across a window's
+  edges can be artefacts of the cut; check prints the window it used.
+
+retention (tombstones):
+  compact -retain-seq N (a sequence floor) and -retain-age D (a
+  file-age floor) drop whole segment files below the floor instead of
+  merging them, bounding the store in bytes. The drop is never
+  silent: a tombstone record lands in the store recording the
+  retention horizon — every event at or above it is still present —
+  and the cumulative files/records/events dropped, per monitor. dump
+  renders the tombstone ahead of the surviving events, check notes
+  that violations pairing against the missing prefix are retention
+  artefacts, stats prints the truncation, and a -from/-to window that
+  precedes the horizon reports "dropped by retention" instead of
+  silently returning less.
 
 exit codes: 0 clean, 1 error, 2 usage, 3 faults found (check)
 `
@@ -318,6 +349,8 @@ func compactCmd(args []string) int {
 	keep := fs.Int("keep", 1, "newest files to leave untouched (use 0 only when no recorder is live)")
 	dropReset := fs.Bool("drop-reset", false, "also drop events at or below each monitor's reset horizon (the superseded pre-reset life); the drop is reported")
 	maxBytes := fs.Int64("max-bytes", 0, "output file rotation threshold (0 = default)")
+	retainSeq := fs.Int64("retain-seq", 0, "retention floor: drop whole files below this sequence number behind a tombstone (0 = keep everything)")
+	retainAge := fs.Duration("retain-age", 0, "drop whole files older than this (by mtime) behind a tombstone (0 = keep everything)")
 	_ = fs.Parse(args)
 	if *in == "" {
 		usage()
@@ -330,11 +363,16 @@ func compactCmd(args []string) int {
 		// default of 1).
 		keepNewest = -1
 	}
-	res, err := compact.Dir(*in, compact.Config{
+	cfg := compact.Config{
 		KeepNewest:     keepNewest,
 		DropBelowReset: *dropReset,
 		MaxFileBytes:   *maxBytes,
-	})
+		RetainSeq:      *retainSeq,
+	}
+	if *retainAge > 0 {
+		cfg.RetainBefore = time.Now().Add(-*retainAge)
+	}
+	res, err := compact.Dir(*in, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
@@ -532,26 +570,29 @@ func (w window) names() []string {
 // flat file is filtered after loading (there is nothing to prune).
 // Health snapshots window on their seq horizon but are per-process
 // records, so the -monitor filter does not apply to them.
-func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, error) {
+func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, []export.Tombstone, error) {
 	info, err := os.Stat(path)
 	if err == nil && info.IsDir() && w.active() {
 		r, err := index.OpenDir(path)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		rep, err := r.ReplayRange(w.from, w.to, w.names()...)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		st := r.LastStats()
 		fmt.Fprintf(os.Stderr, "montrace: window opened %d of %d files (%d skipped via index, %d unindexed)\n",
 			st.Opened, st.FilesTotal, st.Skipped, st.Unindexed)
 		warnReplay(rep)
-		return rep.Events, rep.Markers, rep.Healths, nil
+		if h := rep.RetentionHorizon(); h > 0 && w.to > 0 && w.to < h {
+			fmt.Fprintf(os.Stderr, "montrace: the window precedes the retention horizon %d: the requested range was dropped by retention, not absent from the run\n", h)
+		}
+		return rep.Events, rep.Markers, rep.Healths, rep.Tombstones, nil
 	}
-	trace, markers, healths, err := load(path)
+	trace, markers, healths, tombs, err := load(path)
 	if err != nil || !w.active() {
-		return trace, markers, healths, err
+		return trace, markers, healths, tombs, err
 	}
 	from, to := w.from, w.to
 	if from <= 0 {
@@ -588,7 +629,7 @@ func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, [
 		}
 		markers = kept
 	}
-	return trace, markers, healths, nil
+	return trace, markers, healths, tombs, nil
 }
 
 // warnReplay surfaces a replay's damage accounting on stderr.
@@ -609,23 +650,26 @@ func warnReplay(rep *export.Replay) {
 		fmt.Fprintf(os.Stderr, "montrace: %d duplicate events collapsed (interrupted compaction leftovers; run montrace compact)\n",
 			rep.DuplicateEvents)
 	}
+	if h := rep.RetentionHorizon(); h > 0 {
+		fmt.Fprintf(os.Stderr, "montrace: store truncated by retention below seq %d (events below that horizon were dropped by compaction, not lost)\n", h)
+	}
 }
 
 // load reads a trace from a file or an export directory. Recovery
-// markers and health snapshots only exist in export directories; for
-// flat files both slices are always nil.
-func load(path string) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, error) {
+// markers, health snapshots and retention tombstones only exist in
+// export directories; for flat files those slices are always nil.
+func load(path string) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, []export.Tombstone, error) {
 	if info, err := os.Stat(path); err == nil && info.IsDir() {
 		rep, err := export.ReadDir(path)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		warnReplay(rep)
-		return rep.Events, rep.Markers, rep.Healths, nil
+		return rep.Events, rep.Markers, rep.Healths, rep.Tombstones, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	defer f.Close()
 	var trace event.Seq
@@ -634,7 +678,7 @@ func load(path string) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord,
 	} else {
 		trace, err = event.ReadJSON(f)
 	}
-	return trace, nil, nil, err
+	return trace, nil, nil, nil, err
 }
 
 func check(args []string) int {
@@ -657,7 +701,7 @@ func check(args []string) int {
 }
 
 func checkOne(in, specFile string, tmax, tio, tlimit time.Duration, win window) int {
-	trace, markers, _, err := loadWindowed(in, win)
+	trace, markers, _, tombs, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
@@ -665,6 +709,10 @@ func checkOne(in, specFile string, tmax, tio, tlimit time.Duration, win window) 
 	if win.active() && len(trace) > 0 {
 		fmt.Printf("note: checking the window seq %d..%d; calling-order or pairing violations at the window edges may be artefacts of the cut, not program faults\n",
 			trace[0].Seq, trace[len(trace)-1].Seq)
+	}
+	if tb := newestTombstone(tombs); tb != nil {
+		fmt.Printf("note: the store was truncated by retention below seq %d (%d events dropped); pairing violations against the missing prefix are retention artefacts, not program faults\n",
+			tb.Horizon, tb.Events)
 	}
 	for _, mk := range markers {
 		fmt.Printf("note: monitor %q was reset online at seq %d (rule %s, %d unchecked events discarded); violations on it at or below that horizon may be reset artefacts, not program faults\n",
@@ -739,13 +787,24 @@ func dump(args []string) int {
 }
 
 func dumpOne(in string, original bool, win window) int {
-	trace, markers, _, err := loadWindowed(in, win)
+	trace, markers, _, tombs, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
 	}
 	if original {
 		trace = rules.Effective(trace)
+	}
+	// The tombstone leads the dump: everything below its horizon was
+	// dropped by retention, and the reader should know before the first
+	// surviving event scrolls past.
+	if tb := newestTombstone(tombs); tb != nil {
+		fmt.Printf("------  %-13s  TRUNCATED below seq %d by retention (%d events, %d records, %d files dropped)\n",
+			"(retention)", tb.Horizon, tb.Events, tb.Records, tb.Files)
+		for _, tr := range tb.Monitors {
+			fmt.Printf("------  %-13s  dropped seq %d..%d (%d events)\n",
+				tr.Monitor, tr.MinSeq, tr.MaxSeq, tr.Events)
+		}
 	}
 	// Markers interleave at their horizon: every event at or below the
 	// horizon precedes the reset, everything after belongs to the

@@ -1,0 +1,56 @@
+package experiment
+
+import "testing"
+
+func TestRunSoakBenchShape(t *testing.T) {
+	t.Parallel()
+	cfg := SoakBenchConfig{
+		Monitors:      4,
+		SegmentEvents: 64,
+		MaxFileBytes:  4 << 10,
+		ChunkEvents:   256,
+		Backlogs:      []int{2048, 4096},
+		RetainFrac:    0.5,
+		Repeats:       1,
+	}
+	rows, err := RunSoakBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Backlog != 2048 || rows[1].Backlog != 4096 {
+		t.Fatalf("rows = %+v, want one per backlog", rows)
+	}
+	for _, r := range rows {
+		if r.EventsDropped == 0 {
+			t.Fatalf("backlog %d: retention dropped nothing: %+v", r.Backlog, r)
+		}
+		if r.EventsOut != int64(r.Backlog)-r.EventsDropped {
+			t.Fatalf("backlog %d: out %d + dropped %d != backlog: %+v",
+				r.Backlog, r.EventsOut, r.EventsDropped, r)
+		}
+		if r.BytesReclaimed <= 0 || r.BytesIn <= r.BytesReclaimed {
+			t.Fatalf("backlog %d: byte accounting off: %+v", r.Backlog, r)
+		}
+		if r.FilesIn <= r.FilesOut || r.FilesOut == 0 {
+			t.Fatalf("backlog %d: file accounting off: %+v", r.Backlog, r)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("backlog %d: no elapsed time: %+v", r.Backlog, r)
+		}
+	}
+	if SoakBenchTable(rows) == nil {
+		t.Fatal("nil table")
+	}
+
+	for _, bad := range []SoakBenchConfig{
+		{}, // zero
+		{Monitors: 4, SegmentEvents: 64, ChunkEvents: 256,
+			Backlogs: []int{512}, RetainFrac: 0.5}, // backlog under the 4x floor
+		{Monitors: 4, SegmentEvents: 64, ChunkEvents: 256,
+			Backlogs: []int{2048}, RetainFrac: 1.0}, // retain-everything frac
+	} {
+		if _, err := RunSoakBench(bad); err == nil {
+			t.Fatalf("bad config accepted: %+v", bad)
+		}
+	}
+}

@@ -119,6 +119,7 @@ type MemorySink struct {
 	segments []Segment
 	markers  []history.RecoveryMarker
 	healths  []obs.HealthRecord
+	tombs    []Tombstone
 }
 
 // WriteSegment appends the segment.
@@ -144,6 +145,17 @@ func (m *MemorySink) WriteHealth(h obs.HealthRecord) error {
 
 // Healths returns the collected health snapshots in arrival order.
 func (m *MemorySink) Healths() []obs.HealthRecord { return m.healths }
+
+// WriteTombstone appends the retention tombstone (the TombstoneSink
+// extension).
+func (m *MemorySink) WriteTombstone(t Tombstone) error {
+	m.tombs = append(m.tombs, t)
+	return nil
+}
+
+// Tombstones returns the collected retention tombstones in arrival
+// order.
+func (m *MemorySink) Tombstones() []Tombstone { return m.tombs }
 
 // Flush is a no-op.
 func (m *MemorySink) Flush() error { return nil }

@@ -99,6 +99,32 @@ func FuzzReadWALFile(f *testing.F) {
 			f.Add(blob)
 		}
 	}
+	// A tombstone record (the retention horizon, record kind 3) so the
+	// fuzzer mutates that shape too: horizon fields, cumulative counts
+	// and the per-monitor truncated ranges.
+	tdir := f.TempDir()
+	tw, err := NewWALSink(tdir, WALConfig{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tw.WriteTombstone(Tombstone{
+		Horizon: 10, Events: 9, Records: 3, Files: 1,
+		Monitors: []TruncatedRange{
+			{Monitor: "a", MinSeq: 1, MaxSeq: 4, Events: 4},
+			{Monitor: "b", MinSeq: 5, MaxSeq: 9, Events: 5},
+		},
+		At: time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC),
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	if names, err := walFiles(tdir); err == nil && len(names) == 1 {
+		if blob, err := os.ReadFile(names[0]); err == nil {
+			f.Add(blob)
+		}
+	}
 	f.Add([]byte("not a wal at all"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -128,7 +154,7 @@ func FuzzReadWALFile(f *testing.F) {
 		if serr != nil {
 			t.Fatalf("ScanFile rejected what readWALFile accepted: %v", serr)
 		}
-		if want := len(segs) + len(markers) + fr.corrupt; sum.Records != want {
+		if want := len(segs) + len(markers) + len(fr.healths) + len(fr.tombs) + fr.corrupt; sum.Records != want {
 			t.Fatalf("ScanFile saw %d records, reader decoded %d", sum.Records, want)
 		}
 		// Corrupt records keep their headers in the scan, so the scanner

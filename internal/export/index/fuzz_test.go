@@ -52,6 +52,38 @@ func FuzzReadIndex(f *testing.F) {
 			f.Add(seed[:cut])
 		}
 	}
+	// A version-3 index: a retention-truncated store whose files carry
+	// tombstone records, so the fuzzer mutates the tombstone table too.
+	tdir := f.TempDir()
+	tm := NewMaintainer(tdir)
+	tsink, err := export.NewWALSink(tdir, export.WALConfig{MaxFileBytes: 1, OnSeal: []export.SealedSink{tm}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tsink.WriteTombstone(export.Tombstone{
+		Horizon: 5, Events: 4, Records: 1, Files: 1,
+		Monitors: []export.TruncatedRange{{Monitor: "a", MinSeq: 1, MaxSeq: 4, Events: 4}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	if err := tsink.WriteSegment(at("a", 5, 9)); err != nil {
+		f.Fatal(err)
+	}
+	if err := tsink.Close(); err != nil {
+		f.Fatal(err)
+	}
+	tidx, err := Load(tdir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tombs := 0
+	for _, fs := range tidx.Files {
+		tombs += len(fs.Tombstones)
+	}
+	if tombs == 0 {
+		f.Fatal("v3 seed has no tombstone entries — the seed is vacuous")
+	}
+	f.Add(tidx.encode())
 	// Valid frame, hostile body: a file count claiming the maximum.
 	hostile := []byte{'R', 'M', 'I', 'X', 1, 0xff, 0xff, 0x3f}
 	f.Add(withCRC(hostile))

@@ -50,15 +50,17 @@ const FileName = "wal.index"
 var indexMagic = [4]byte{'R', 'M', 'I', 'X'}
 
 // Index format versions. Version 2 added the per-file health-snapshot
-// offset table (FileSummary.Healths); a version-1 index simply has no
-// health section, so decode accepts both and Write always emits the
-// latest. A v1 index over a directory containing health records still
-// works — the records live in the WAL files, and a windowed reader
-// falls back to opening any file whose entry lacks the offsets only
-// when the timeline is asked for (the index is advisory either way).
+// offset table (FileSummary.Healths); version 3 the retention
+// tombstone table (FileSummary.Tombstones). An older index simply has
+// no such section, so decode accepts every version and Write always
+// emits the latest. An old index over a directory containing the newer
+// records still works — the records live in the WAL files, and a
+// windowed reader falls back to opening any file whose entry lacks the
+// offsets (the index is advisory either way).
 const (
 	indexVersion1 = 1
-	indexVersion  = 2
+	indexVersion2 = 2
+	indexVersion  = 3
 )
 
 // ErrNoIndex reports that the directory has no index file.
@@ -165,6 +167,11 @@ func (x *Index) encode() []byte {
 		for _, hi := range f.Healths {
 			putVarint(hi.Seq)
 			putVarint(hi.Offset)
+		}
+		putUvarint(uint64(len(f.Tombstones)))
+		for _, ti := range f.Tombstones {
+			putVarint(ti.Horizon)
+			putVarint(ti.Offset)
 		}
 	}
 	sum := crc32.ChecksumIEEE(buf.Bytes())
@@ -299,7 +306,7 @@ func decode(data []byte) (*Index, error) {
 			}
 			f.Markers = append(f.Markers, mk)
 		}
-		if version >= 2 {
+		if version >= indexVersion2 {
 			nHealths, err := getUvarint()
 			if err != nil {
 				return nil, fmt.Errorf("index: entry %d health count: %w", i, err)
@@ -316,6 +323,25 @@ func decode(data []byte) (*Index, error) {
 					return nil, fmt.Errorf("index: entry %d health %d offset: %w", i, j, err)
 				}
 				f.Healths = append(f.Healths, hi)
+			}
+		}
+		if version >= 3 {
+			nTombs, err := getUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: entry %d tombstone count: %w", i, err)
+			}
+			if nTombs > maxIndexEntries {
+				return nil, fmt.Errorf("index: entry %d: implausible tombstone count %d", i, nTombs)
+			}
+			for j := uint64(0); j < nTombs; j++ {
+				var ti export.TombstoneInfo
+				if ti.Horizon, err = getVarint(); err != nil {
+					return nil, fmt.Errorf("index: entry %d tombstone %d horizon: %w", i, j, err)
+				}
+				if ti.Offset, err = getVarint(); err != nil {
+					return nil, fmt.Errorf("index: entry %d tombstone %d offset: %w", i, j, err)
+				}
+				f.Tombstones = append(f.Tombstones, ti)
 			}
 		}
 		x.Files = append(x.Files, f)

@@ -36,8 +36,8 @@ type SeekReader struct {
 // index without being opened; MarkerReads and HealthReads count marker
 // and health-snapshot point-reads into otherwise skipped files.
 type Stats struct {
-	FilesTotal, Opened, Skipped, Unindexed int
-	MarkerReads, HealthReads               int
+	FilesTotal, Opened, Skipped, Unindexed   int
+	MarkerReads, HealthReads, TombstoneReads int
 }
 
 // OpenDir opens the directory for windowed reads, loading its index.
@@ -119,6 +119,7 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 	var payloads []event.Seq
 	var markers []history.RecoveryMarker
 	var healths []obs.HealthRecord
+	var tombs []export.Tombstone
 	// Health snapshots window on their horizon. A horizon-0 snapshot
 	// (captured before the first event) belongs to any query that runs
 	// from the beginning.
@@ -157,6 +158,18 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 				healths = append(healths, h)
 				r.stats.HealthReads++
 			}
+			// Tombstones are always admitted, like markers: whatever the
+			// window, the caller must learn that the store was truncated
+			// below the retention horizon, or a below-horizon query would
+			// silently read as "nothing happened".
+			for _, ti := range fs.Tombstones {
+				tb, err := export.ReadTombstoneAt(name, ti.Offset)
+				if err != nil {
+					return nil, err
+				}
+				tombs = append(tombs, tb)
+				r.stats.TombstoneReads++
+			}
 			r.stats.Skipped++
 			continue
 		}
@@ -192,18 +205,21 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 				healths = append(healths, h)
 			}
 		}
+		tombs = append(tombs, fr.Tombstones...)
 	}
 	rep.Segments = len(payloads)
-	merged, err := export.MergeReplay(payloads, markers, healths)
+	merged, err := export.MergeReplay(payloads, markers, healths, tombs)
 	if err != nil {
 		return nil, err
 	}
 	rep.Events = merged.Events
 	rep.Markers = merged.Markers
 	rep.Healths = merged.Healths
+	rep.Tombstones = merged.Tombstones
 	rep.DuplicateEvents = merged.DuplicateEvents
 	rep.DuplicateMarkers = merged.DuplicateMarkers
 	rep.DuplicateHealths = merged.DuplicateHealths
+	rep.DuplicateTombstones = merged.DuplicateTombstones
 	return rep, nil
 }
 

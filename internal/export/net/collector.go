@@ -32,6 +32,18 @@ type CollectorConfig struct {
 	RotateEvery  time.Duration
 	// NoIndex disables the per-origin trace-index maintainer.
 	NoIndex bool
+	// CompactEvery, together with Compact, arms per-origin background
+	// compaction: once an origin's sink has sealed CompactEvery rotated
+	// files since the last pass for that origin, Compact runs against
+	// the origin's directory on its own goroutine — one in flight per
+	// origin at a time, so a slow pass never stacks. Zero (or a nil
+	// Compact) disables.
+	CompactEvery int
+	// Compact is the per-origin compaction to run when CompactEvery
+	// triggers — typically a compact.Dir closure. It must leave the
+	// newest file alone (compact.Config.KeepNewest >= 1, the default):
+	// the origin's sink is live and appending to it.
+	Compact func(dir string) error
 	// Obs, when set, instruments the collector: per-origin
 	// collect_records_total{origin="x"}, collect_dup_records_total and
 	// collect_durable_seq gauges, plus process-wide
@@ -56,6 +68,7 @@ type Collector struct {
 	listeners []net.Listener
 	conns     map[net.Conn]struct{} // live producer connections
 	wg        sync.WaitGroup
+	compactWG sync.WaitGroup // in-flight per-origin compactions
 
 	connsTotal *obs.Counter
 	actives    *obs.Gauge
@@ -72,9 +85,20 @@ type originState struct {
 	pending int    // records applied since the last flush-and-ack
 	active  bool   // a connection currently owns this origin
 
-	records *obs.Counter
-	dups    *obs.Counter
-	durGa   *obs.Gauge
+	// Background-compaction scheduling, guarded by mu like the sink it
+	// watches: floor is the sealed-file count right after the last pass
+	// (its incompressible remainder — only CompactEvery NEW files on
+	// top justify another), compacting keeps passes one-at-a-time,
+	// done marks a finished pass whose floor awaits refresh.
+	compacting   bool
+	compactDone  bool
+	compactFloor int
+
+	records     *obs.Counter
+	dups        *obs.Counter
+	compactions *obs.Counter
+	compactErrs *obs.Counter
+	durGa       *obs.Gauge
 }
 
 // NewCollector creates the fleet root and returns a collector ready
@@ -164,6 +188,9 @@ func (c *Collector) Close() error {
 	}
 	c.lMu.Unlock()
 	c.wg.Wait()
+	// In-flight compactions next: they rewrite origin directories and
+	// must unwind before the sinks close underneath them.
+	c.compactWG.Wait()
 	var firstErr error
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -211,6 +238,8 @@ func (c *Collector) origin(name string) (*originState, error) {
 	if reg := c.cfg.Obs; reg != nil {
 		st.records = reg.Counter(`collect_records_total{origin="` + name + `"}`)
 		st.dups = reg.Counter(`collect_dup_records_total{origin="` + name + `"}`)
+		st.compactions = reg.Counter(`collect_compactions_total{origin="` + name + `"}`)
+		st.compactErrs = reg.Counter(`collect_compact_errors_total{origin="` + name + `"}`)
 		st.durGa = reg.Gauge(`collect_durable_seq{origin="` + name + `"}`)
 		st.durGa.Set(int64(st.durable))
 	}
@@ -234,6 +263,41 @@ func (st *originState) flushLocked() error {
 	st.pending = 0
 	st.durGa.Set(int64(st.durable))
 	return nil
+}
+
+// maybeCompactLocked launches the configured per-origin background
+// compaction when the origin's rotated backlog has grown CompactEvery
+// files past the floor left by the last pass. Caller holds st.mu; the
+// compaction itself runs on its own goroutine (the connection handler
+// must keep applying frames, or a long pass would backpressure the
+// producer), one at a time per origin. The pass works on sealed files
+// only — the sink keeps appending to the newest file throughout.
+func (c *Collector) maybeCompactLocked(st *originState) {
+	if c.cfg.CompactEvery <= 0 || c.cfg.Compact == nil {
+		return
+	}
+	sealed := st.sink.SealedFiles()
+	if st.compactDone {
+		st.compactFloor = sealed
+		st.compactDone = false
+	}
+	if st.compacting || sealed-st.compactFloor < c.cfg.CompactEvery {
+		return
+	}
+	st.compacting = true
+	st.compactions.Inc()
+	c.compactWG.Add(1)
+	go func() {
+		defer c.compactWG.Done()
+		err := c.cfg.Compact(st.dir)
+		st.mu.Lock()
+		st.compacting = false
+		st.compactDone = true
+		st.mu.Unlock()
+		if err != nil {
+			st.compactErrs.Inc()
+		}
+	}()
 }
 
 // handle runs one producer connection: HELLO/WELCOME, then record
@@ -305,6 +369,9 @@ func (c *Collector) handle(conn net.Conn) {
 			st.mu.Lock()
 			err := st.flushLocked()
 			durable := st.durable
+			if err == nil {
+				c.maybeCompactLocked(st)
+			}
 			st.mu.Unlock()
 			if err != nil {
 				_, _ = conn.Write(appendFrame(nil, appendErrorFrame(nil, err.Error())))
@@ -347,6 +414,7 @@ func (c *Collector) apply(st *originState, conn net.Conn, seq uint64, recBytes [
 		if err := st.flushLocked(); err != nil {
 			return err
 		}
+		c.maybeCompactLocked(st)
 		if _, err := conn.Write(appendFrame(nil, appendAck(nil, st.durable))); err != nil {
 			return fmt.Errorf("netexport: write ack: %w", err)
 		}

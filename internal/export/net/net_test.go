@@ -11,6 +11,7 @@ import (
 
 	"robustmon/internal/event"
 	"robustmon/internal/export"
+	"robustmon/internal/export/compact"
 	"robustmon/internal/faults"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
@@ -537,5 +538,93 @@ func TestShipStateRoundTrip(t *testing.T) {
 	}
 	if got := loadShipState(dir); got != 0 {
 		t.Fatalf("corrupt state = %d, want 0", got)
+	}
+}
+
+// TestCollectorCompactsOriginsWithRetention: satellite of the
+// long-horizon store — a collector armed with CompactEvery+Compact
+// compacts each origin's backlog in the background, independently,
+// with a retention floor. Each origin's directory must stay a valid
+// export directory throughout: everything at or above the horizon
+// replays byte-identically to what the producer shipped, and the
+// truncation is recorded in a tombstone, per origin.
+func TestCollectorCompactsOriginsWithRetention(t *testing.T) {
+	t.Parallel()
+	fleetDir := t.TempDir()
+	reg := obs.NewRegistry()
+	col, addr := startCollector(t, CollectorConfig{
+		Dir:          fleetDir,
+		AckEvery:     2,
+		MaxFileBytes: 1, // rotate every record: a file per record, plenty to compact
+		CompactEvery: 4,
+		Compact: func(dir string) error {
+			_, err := compact.Dir(dir, compact.Config{RetainSeq: 20, Obs: reg})
+			return err
+		},
+		Obs: reg,
+	})
+	defer col.Close()
+
+	origins := []string{"node-a", "node-b"}
+	want := make(map[string]event.Seq)
+	for _, origin := range origins {
+		ship, err := NewNetSink(NetSinkConfig{
+			Addr: addr, Origin: origin, FlushTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := int64(1)
+		for i := 0; i < 16; i++ {
+			n := next + 3
+			seg := tseq("m", next, n)
+			want[origin] = append(want[origin], seg...)
+			if err := ship.WriteSegment(export.Segment{Monitor: "m", Events: seg}); err != nil {
+				t.Fatal(err)
+			}
+			next = n + 1
+		}
+		if err := ship.WriteMarker(tmarker("m", next-1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ship.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ship.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Compactions run on their own goroutines; Close waits for the
+	// in-flight ones, and the counters prove at least one ran.
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var passes int64
+	for _, origin := range origins {
+		passes += reg.Counter(`collect_compactions_total{origin="` + origin + `"}`).Value()
+	}
+	if passes == 0 {
+		t.Fatal("no background compaction ran despite CompactEvery=4 and per-record rotation")
+	}
+
+	for _, origin := range origins {
+		rep, err := export.ReadDir(fleetDir + "/" + origin)
+		if err != nil {
+			t.Fatalf("origin %s after compaction: %v", origin, err)
+		}
+		h := rep.RetentionHorizon()
+		if h == 0 || h > 20 {
+			t.Fatalf("origin %s: retention horizon %d, want in (0, 20]", origin, h)
+		}
+		surviving := want[origin].SubSeq(h, 1<<62)
+		got := event.AppendBinary(nil, rep.Events)
+		if !bytes.Equal(got, event.AppendBinary(nil, surviving)) {
+			t.Fatalf("origin %s: replay above horizon %d diverges from what was shipped (%d vs %d events)",
+				origin, h, len(rep.Events), len(surviving))
+		}
+		if len(rep.Markers) != 1 {
+			t.Fatalf("origin %s: marker lost under retention: %+v", origin, rep.Markers)
+		}
 	}
 }

@@ -29,6 +29,13 @@ var ErrBadWALMagic = errors.New("export: bad wal magic")
 // of abandoning everything after them.
 var errCRCMismatch = errors.New("record CRC mismatch")
 
+// ErrCorruptRecord is the exported identity of a CRC-corrupt record —
+// localised damage the caller may skip (errors.Is(err,
+// ErrCorruptRecord) holds for the wrapped errors RecordReader and the
+// file readers return). The streaming compactor uses it to skip and
+// count a damaged record instead of abandoning a pass.
+var ErrCorruptRecord = errCRCMismatch
+
 // Replay is the result of reading an export directory back.
 type Replay struct {
 	// Events is the recorded trace merged into the global <L order —
@@ -50,6 +57,12 @@ type Replay struct {
 	// a run recorded without a health cadence (including every
 	// format-v1 WAL).
 	Healths []obs.HealthRecord
+	// Tombstones are the retention tombstones found in the WAL, exact
+	// duplicates collapsed. A tombstone records a deliberate
+	// retention truncation: events below Tombstone.Horizon may be
+	// missing from Events by design — disk was reclaimed, not lost.
+	// Nil for a store retention never truncated.
+	Tombstones []Tombstone
 	// Files and Segments count the WAL files and valid segment records
 	// read (Segments excludes marker records).
 	Files, Segments int
@@ -67,6 +80,10 @@ type Replay struct {
 	// recovers the exact stream either way. A sequence-number collision
 	// between *different* events is corruption and an error.
 	DuplicateEvents, DuplicateMarkers, DuplicateHealths int
+	// DuplicateTombstones counts identical tombstones collapsed during
+	// the merge (the same interrupted-compaction signature as the
+	// other duplicate counters).
+	DuplicateTombstones int
 	// Recovered reports that the newest file ended in a torn record
 	// (crash mid-write); the tail was dropped and Events holds
 	// everything up to the last valid record.
@@ -74,6 +91,20 @@ type Replay struct {
 	// TruncatedFile names the file with the torn tail (empty when
 	// Recovered is false).
 	TruncatedFile string
+}
+
+// RetentionHorizon returns the highest tombstone horizon in the replay
+// — the sequence number below which retention may have dropped records
+// — or 0 when retention never truncated this store. A windowed query
+// whose window starts below this value is incomplete by design.
+func (r *Replay) RetentionHorizon() int64 {
+	var h int64
+	for _, t := range r.Tombstones {
+		if t.Horizon > h {
+			h = t.Horizon
+		}
+	}
+	return h
 }
 
 // ReadDir replays an export directory written by WALSink: every valid
@@ -102,6 +133,7 @@ func ReadDir(dir string) (*Replay, error) {
 	var payloads []event.Seq
 	var markers []history.RecoveryMarker
 	var healths []obs.HealthRecord
+	var tombs []Tombstone
 	for i, name := range names {
 		fr, err := readWALFile(name)
 		if err != nil {
@@ -117,33 +149,36 @@ func ReadDir(dir string) (*Replay, error) {
 		payloads = append(payloads, fr.segs...)
 		markers = append(markers, fr.markers...)
 		healths = append(healths, fr.healths...)
+		tombs = append(tombs, fr.tombs...)
 		rep.CorruptRecords += fr.corrupt
 	}
 	rep.Segments = len(payloads)
-	merged, err := MergeReplay(payloads, markers, healths)
+	merged, err := MergeReplay(payloads, markers, healths, tombs)
 	if err != nil {
 		return nil, err
 	}
 	rep.Events = merged.Events
 	rep.Markers = merged.Markers
 	rep.Healths = merged.Healths
+	rep.Tombstones = merged.Tombstones
 	rep.DuplicateEvents = merged.DuplicateEvents
 	rep.DuplicateMarkers = merged.DuplicateMarkers
 	rep.DuplicateHealths = merged.DuplicateHealths
+	rep.DuplicateTombstones = merged.DuplicateTombstones
 	return rep, nil
 }
 
-// MergeReplay assembles per-record event payloads, markers and health
-// snapshots into the replayed form: events k-way-merged into the
-// global <L order with identical duplicates collapsed (and counted),
-// markers and health records deduplicated preserving first-occurrence
-// order. It is the shared back half of ReadDir and the windowed
-// index.SeekReader; only Events, Markers, Healths and the duplicate
-// counters of the returned Replay are populated. A sequence-number
-// collision between two different events is an error — that is two
-// runs (or a corrupted record) sharing one directory, not a
-// recoverable duplicate.
-func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker, healths []obs.HealthRecord) (*Replay, error) {
+// MergeReplay assembles per-record event payloads, markers, health
+// snapshots and retention tombstones into the replayed form: events
+// k-way-merged into the global <L order with identical duplicates
+// collapsed (and counted), the record-kind slices deduplicated
+// preserving first-occurrence order. It is the shared back half of
+// ReadDir and the windowed index.SeekReader; only Events, Markers,
+// Healths, Tombstones and the duplicate counters of the returned
+// Replay are populated. A sequence-number collision between two
+// different events is an error — that is two runs (or a corrupted
+// record) sharing one directory, not a recoverable duplicate.
+func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker, healths []obs.HealthRecord, tombstones []Tombstone) (*Replay, error) {
 	rep := &Replay{}
 	merged := event.Merge(payloads...)
 	out := merged[:0]
@@ -195,6 +230,22 @@ func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker, healths
 		}
 		rep.Healths = kept
 	}
+	if len(tombstones) > 0 {
+		// Tombstones hold a slice, so the dedup identity is the
+		// deterministic encoding (TombstoneKey), like health records.
+		seen := make(map[string]bool, len(tombstones))
+		kept := make([]Tombstone, 0, len(tombstones))
+		for _, tb := range tombstones {
+			k := TombstoneKey(tb)
+			if seen[k] {
+				rep.DuplicateTombstones++
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, tb)
+		}
+		rep.Tombstones = kept
+	}
 	return rep, nil
 }
 
@@ -209,6 +260,8 @@ type FileReplay struct {
 	Markers []history.RecoveryMarker
 	// Healths holds the file's health-snapshot records in record order.
 	Healths []obs.HealthRecord
+	// Tombstones holds the file's retention tombstones in record order.
+	Tombstones []Tombstone
 	// CorruptRecords counts skipped CRC-corrupt records (see Replay).
 	CorruptRecords int
 	// Torn reports that the file ends in a torn record; Segments and
@@ -227,6 +280,7 @@ func ReadWALFile(name string) (*FileReplay, error) {
 	out := &FileReplay{
 		Markers:        fr.markers,
 		Healths:        fr.healths,
+		Tombstones:     fr.tombs,
 		CorruptRecords: fr.corrupt,
 		Torn:           fr.torn != nil,
 	}
@@ -244,35 +298,35 @@ func WALFiles(dir string) ([]string, error) { return walFiles(dir) }
 
 // readRecordAt reads the single record at the given byte offset of a
 // WAL file — the shared machinery of the index's point reads
-// (ReadMarkerAt, ReadHealthAt).
-func readRecordAt(name string, offset int64) (*history.RecoveryMarker, *obs.HealthRecord, error) {
+// (ReadMarkerAt, ReadHealthAt, ReadTombstoneAt).
+func readRecordAt(name string, offset int64) (*history.RecoveryMarker, *obs.HealthRecord, *Tombstone, error) {
 	f, err := os.Open(name)
 	if err != nil {
-		return nil, nil, fmt.Errorf("export: open wal file: %w", err)
+		return nil, nil, nil, fmt.Errorf("export: open wal file: %w", err)
 	}
 	defer f.Close()
 	var magic [5]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return nil, nil, fmt.Errorf("export: %s: read magic: %w", name, err)
+		return nil, nil, nil, fmt.Errorf("export: %s: read magic: %w", name, err)
 	}
 	version := magic[4]
 	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
-		return nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+		return nil, nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
 	}
 	if offset < int64(len(magic)) || offset >= math.MaxInt64 {
-		return nil, nil, fmt.Errorf("export: %s: implausible record offset %d", name, offset)
+		return nil, nil, nil, fmt.Errorf("export: %s: implausible record offset %d", name, offset)
 	}
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		return nil, nil, fmt.Errorf("export: %s: seek record: %w", name, err)
+		return nil, nil, nil, fmt.Errorf("export: %s: seek record: %w", name, err)
 	}
-	_, marker, health, terr, rerr := readRecord(bufio.NewReader(f), version)
+	rec, terr, rerr := readRecord(bufio.NewReader(f), version)
 	if rerr != nil {
-		return nil, nil, fmt.Errorf("export: %s offset %d: %w", name, offset, rerr)
+		return nil, nil, nil, fmt.Errorf("export: %s offset %d: %w", name, offset, rerr)
 	}
 	if terr != nil {
-		return nil, nil, fmt.Errorf("export: %s offset %d: torn record: %w", name, offset, terr)
+		return nil, nil, nil, fmt.Errorf("export: %s offset %d: torn record: %w", name, offset, terr)
 	}
-	return marker, health, nil
+	return rec.marker, rec.health, rec.tomb, nil
 }
 
 // ReadMarkerAt reads the single marker record at the given byte offset
@@ -281,7 +335,7 @@ func readRecordAt(name string, offset int64) (*history.RecoveryMarker, *obs.Heal
 // decoding any of its segment payloads.
 func ReadMarkerAt(name string, offset int64) (history.RecoveryMarker, error) {
 	var zero history.RecoveryMarker
-	marker, _, err := readRecordAt(name, offset)
+	marker, _, _, err := readRecordAt(name, offset)
 	if err != nil {
 		return zero, err
 	}
@@ -297,7 +351,7 @@ func ReadMarkerAt(name string, offset int64) (history.RecoveryMarker, error) {
 // health timeline without decoding its segment payloads.
 func ReadHealthAt(name string, offset int64) (obs.HealthRecord, error) {
 	var zero obs.HealthRecord
-	_, health, err := readRecordAt(name, offset)
+	_, health, _, err := readRecordAt(name, offset)
 	if err != nil {
 		return zero, err
 	}
@@ -307,12 +361,29 @@ func ReadHealthAt(name string, offset int64) (obs.HealthRecord, error) {
 	return *health, nil
 }
 
+// ReadTombstoneAt reads the single retention-tombstone record at the
+// given byte offset of a WAL file — the point-read behind the index's
+// tombstone offsets, so a windowed replay learns the retention horizon
+// of a skipped file without decoding its segment payloads.
+func ReadTombstoneAt(name string, offset int64) (Tombstone, error) {
+	var zero Tombstone
+	_, _, tomb, err := readRecordAt(name, offset)
+	if err != nil {
+		return zero, err
+	}
+	if tomb == nil {
+		return zero, fmt.Errorf("export: %s offset %d does not hold a tombstone record", name, offset)
+	}
+	return *tomb, nil
+}
+
 // fileReplay is readWALFile's result: the decoded records of one file
 // plus its damage accounting.
 type fileReplay struct {
 	segs    []event.Seq
 	markers []history.RecoveryMarker
 	healths []obs.HealthRecord
+	tombs   []Tombstone
 	corrupt int
 	torn    error // non-nil when the file ends mid-record
 }
@@ -340,7 +411,7 @@ func readWALFile(name string) (*fileReplay, error) {
 		return nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
 	}
 	for {
-		events, marker, health, terr, rerr := readRecord(br, version)
+		rec, terr, rerr := readRecord(br, version)
 		if rerr != nil {
 			if errors.Is(rerr, errCRCMismatch) {
 				// Localised damage: the payload was fully consumed, so the
@@ -348,7 +419,7 @@ func readWALFile(name string) (*fileReplay, error) {
 				fr.corrupt++
 				continue
 			}
-			return nil, fmt.Errorf("export: %s record %d: %w", name, len(fr.segs)+len(fr.markers)+len(fr.healths)+fr.corrupt, rerr)
+			return nil, fmt.Errorf("export: %s record %d: %w", name, len(fr.segs)+len(fr.markers)+len(fr.healths)+len(fr.tombs)+fr.corrupt, rerr)
 		}
 		if terr != nil {
 			if terr == io.EOF {
@@ -358,12 +429,14 @@ func readWALFile(name string) (*fileReplay, error) {
 			return fr, nil
 		}
 		switch {
-		case marker != nil:
-			fr.markers = append(fr.markers, *marker)
-		case health != nil:
-			fr.healths = append(fr.healths, *health)
+		case rec.marker != nil:
+			fr.markers = append(fr.markers, *rec.marker)
+		case rec.health != nil:
+			fr.healths = append(fr.healths, *rec.health)
+		case rec.tomb != nil:
+			fr.tombs = append(fr.tombs, *rec.tomb)
 		default:
-			fr.segs = append(fr.segs, events)
+			fr.segs = append(fr.segs, rec.events)
 		}
 	}
 }
@@ -403,7 +476,7 @@ func readHeader(br *bufio.Reader, version byte) (*recHeader, error) {
 			return nil, err // io.EOF here = clean boundary
 		}
 		h.typ = scratch[0]
-		if h.typ != recSegment && h.typ != recMarker && h.typ != recHealth {
+		if h.typ != recSegment && h.typ != recMarker && h.typ != recHealth && h.typ != recTombstone {
 			// No writer emits such a type, but a torn tail leaves
 			// arbitrary bytes behind — torn at the tail, corruption
 			// elsewhere (the caller decides which).
@@ -460,11 +533,22 @@ func readHeader(br *bufio.Reader, version byte) (*recHeader, error) {
 		// The writer skips empty segments, so no real segment record has
 		// count 0 — but a filesystem that zero-fills a torn tail block
 		// produces exactly this shape (in v2 the zero fill also reads as
-		// type 0 = segment). Torn, not corrupt. Markers are exempt: a
-		// reset that found nothing buffered legitimately drops 0 events.
+		// type 0 = segment). Torn, not corrupt. Markers and tombstones
+		// are exempt: a reset that found nothing buffered legitimately
+		// drops 0 events, and a tombstone's count merely mirrors its
+		// (possibly zero, possibly saturated) dropped total.
 		return nil, fmt.Errorf("export: zero-count record (zero-filled torn tail)")
 	}
 	return h, nil
+}
+
+// decodedRecord is readRecord's success result: exactly one of the
+// kind fields is set.
+type decodedRecord struct {
+	events event.Seq
+	marker *history.RecoveryMarker
+	health *obs.HealthRecord
+	tomb   *Tombstone
 }
 
 // readRecord reads one WAL record of the given format version. A short
@@ -473,12 +557,12 @@ func readHeader(br *bufio.Reader, version byte) (*recHeader, error) {
 // implausible-header error otherwise); rerr is reserved for damage
 // that cannot result from a crashed append — a CRC mismatch over a
 // full-length payload (errCRCMismatch, which the caller may skip), or
-// a CRC-valid record whose header and payload disagree. Exactly one of
-// events / marker / health is set on success.
-func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *history.RecoveryMarker, health *obs.HealthRecord, terr, rerr error) {
+// a CRC-valid record whose header and payload disagree. Exactly one
+// kind field of the returned record is set on success.
+func readRecord(br *bufio.Reader, version byte) (rec decodedRecord, terr, rerr error) {
 	h, err := readHeader(br, version)
 	if err != nil {
-		return nil, nil, nil, err, nil
+		return rec, err, nil
 	}
 	// Pre-size only a bounded buffer and grow as real bytes arrive
 	// (io.CopyN), so a lying sub-cap length field still cannot allocate
@@ -491,14 +575,14 @@ func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *histo
 	}
 	pbuf := bytes.NewBuffer(make([]byte, 0, prealloc))
 	if _, err := io.CopyN(pbuf, br, int64(h.payloadLen)); err != nil {
-		return nil, nil, nil, noEOFBoundary(err), nil
+		return rec, noEOFBoundary(err), nil
 	}
 	payload := pbuf.Bytes()
 	if got := crc32.ChecksumIEEE(payload); got != h.sum {
 		// The payload is full-length, so this is no crash tear (an
 		// append-only tear is always a prefix, i.e. a short read):
 		// corruption of this one record, wherever it appears.
-		return nil, nil, nil, nil, fmt.Errorf("%w (got %08x, header says %08x)", errCRCMismatch, got, h.sum)
+		return rec, nil, fmt.Errorf("%w (got %08x, header says %08x)", errCRCMismatch, got, h.sum)
 	}
 
 	// The CRC passed, so header/payload disagreement below is a writer
@@ -506,42 +590,58 @@ func readRecord(br *bufio.Reader, version byte) (events event.Seq, marker *histo
 	if h.typ == recMarker {
 		m, err := decodeMarker(payload)
 		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("decode marker payload: %w", err)
+			return rec, nil, fmt.Errorf("decode marker payload: %w", err)
 		}
 		if m.Monitor != h.monitor || m.Horizon != h.first || m.Horizon != h.last || m.Dropped != int(h.count) {
-			return nil, nil, nil, nil, fmt.Errorf("marker header (monitor %q, horizon %d..%d, %d dropped) disagrees with payload (monitor %q, horizon %d, %d dropped)",
+			return rec, nil, fmt.Errorf("marker header (monitor %q, horizon %d..%d, %d dropped) disagrees with payload (monitor %q, horizon %d, %d dropped)",
 				h.monitor, h.first, h.last, h.count, m.Monitor, m.Horizon, m.Dropped)
 		}
-		return nil, &m, nil, nil, nil
+		rec.marker = &m
+		return rec, nil, nil
 	}
 
 	if h.typ == recHealth {
 		hr, err := decodeHealth(payload)
 		if err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("decode health payload: %w", err)
+			return rec, nil, fmt.Errorf("decode health payload: %w", err)
 		}
 		if h.monitor != "" || hr.Seq != h.first || hr.Seq != h.last || h.count != 0 {
-			return nil, nil, nil, nil, fmt.Errorf("health header (monitor %q, horizon %d..%d, count %d) disagrees with payload (horizon %d)",
+			return rec, nil, fmt.Errorf("health header (monitor %q, horizon %d..%d, count %d) disagrees with payload (horizon %d)",
 				h.monitor, h.first, h.last, h.count, hr.Seq)
 		}
-		return nil, nil, &hr, nil, nil
+		rec.health = &hr
+		return rec, nil, nil
 	}
 
-	events, err = event.ReadBinary(bytes.NewReader(payload))
+	if h.typ == recTombstone {
+		tb, err := decodeTombstone(payload)
+		if err != nil {
+			return rec, nil, fmt.Errorf("decode tombstone payload: %w", err)
+		}
+		if h.monitor != "" || tb.Horizon != h.first || tb.Horizon != h.last || h.count != saturatingUint32(tb.Events) {
+			return rec, nil, fmt.Errorf("tombstone header (monitor %q, horizon %d..%d, count %d) disagrees with payload (horizon %d, %d events)",
+				h.monitor, h.first, h.last, h.count, tb.Horizon, tb.Events)
+		}
+		rec.tomb = &tb
+		return rec, nil, nil
+	}
+
+	events, err := event.ReadBinary(bytes.NewReader(payload))
 	if err != nil {
-		return nil, nil, nil, nil, fmt.Errorf("decode payload: %w", err)
+		return rec, nil, fmt.Errorf("decode payload: %w", err)
 	}
 	seg := Segment{Monitor: h.monitor, Events: events}
 	if len(events) != int(h.count) || seg.First() != h.first || seg.Last() != h.last {
-		return nil, nil, nil, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
+		return rec, nil, fmt.Errorf("header (monitor %q, %d events, seq %d..%d) disagrees with payload (%d events, seq %d..%d)",
 			h.monitor, h.count, h.first, h.last, len(events), seg.First(), seg.Last())
 	}
 	for _, e := range events {
 		if e.Monitor != seg.Monitor {
-			return nil, nil, nil, nil, fmt.Errorf("event %d belongs to monitor %q, record header says %q", e.Seq, e.Monitor, seg.Monitor)
+			return rec, nil, fmt.Errorf("event %d belongs to monitor %q, record header says %q", e.Seq, e.Monitor, seg.Monitor)
 		}
 	}
-	return events, nil, nil, nil, nil
+	rec.events = events
+	return rec, nil, nil
 }
 
 // noEOFBoundary maps io.EOF mid-record to io.ErrUnexpectedEOF so only
@@ -556,3 +656,70 @@ func noEOFBoundary(err error) error {
 // baseName is filepath.Base shared by the scanner and the sink so
 // FileSummary.Name is always the bare segment-file name.
 func baseName(name string) string { return filepath.Base(name) }
+
+// RecordReader holds one WAL file open for repeated record point
+// reads — the streaming compactor's input cursor: a header-only scan
+// (ScanFileRecords) locates every record, then a RecordReader decodes
+// them one at a time in whatever order the merge needs, so a
+// multi-gigabyte file never has to be resident at once. Unlike the
+// one-shot ReadMarkerAt family it amortises the open across the whole
+// merge. Not safe for concurrent use.
+type RecordReader struct {
+	name    string
+	f       *os.File
+	version byte
+	br      *bufio.Reader
+}
+
+// OpenRecordReader opens the file and validates its WAL magic.
+func OpenRecordReader(name string) (*RecordReader, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("export: open wal file: %w", err)
+	}
+	var magic [5]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("export: %s: read magic: %w", name, err)
+	}
+	version := magic[4]
+	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
+		f.Close()
+		return nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+	}
+	return &RecordReader{name: name, f: f, version: version, br: bufio.NewReader(f)}, nil
+}
+
+// ReadAt decodes the single record at the given byte offset. A
+// CRC-corrupt record comes back as an error wrapping ErrCorruptRecord
+// (the reader stays usable — the stream position is re-seeked on every
+// call); a torn record is an error too, since point reads target
+// offsets a header scan already validated.
+func (r *RecordReader) ReadAt(offset int64) (Record, error) {
+	if offset < 5 {
+		return Record{}, fmt.Errorf("export: %s: implausible record offset %d", r.name, offset)
+	}
+	if _, err := r.f.Seek(offset, io.SeekStart); err != nil {
+		return Record{}, fmt.Errorf("export: %s: seek record: %w", r.name, err)
+	}
+	r.br.Reset(r.f)
+	rec, terr, rerr := readRecord(r.br, r.version)
+	if rerr != nil {
+		return Record{}, fmt.Errorf("export: %s offset %d: %w", r.name, offset, rerr)
+	}
+	if terr != nil {
+		return Record{}, fmt.Errorf("export: %s offset %d: torn record: %w", r.name, offset, terr)
+	}
+	switch {
+	case rec.marker != nil:
+		return Record{Marker: rec.marker}, nil
+	case rec.health != nil:
+		return Record{Health: rec.health}, nil
+	case rec.tomb != nil:
+		return Record{Tombstone: rec.tomb}, nil
+	}
+	return Record{Segment: &Segment{Monitor: rec.events[0].Monitor, Events: rec.events}}, nil
+}
+
+// Close releases the underlying file.
+func (r *RecordReader) Close() error { return r.f.Close() }

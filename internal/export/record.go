@@ -38,11 +38,12 @@ func appendRecordHeader(dst []byte, typ byte, monitor string, first, last int64,
 }
 
 // Record is one trace record in standalone (wire) form — exactly one
-// of the three kinds is set. The zero Record is invalid.
+// of the four kinds is set. The zero Record is invalid.
 type Record struct {
-	Segment *Segment
-	Marker  *history.RecoveryMarker
-	Health  *obs.HealthRecord
+	Segment   *Segment
+	Marker    *history.RecoveryMarker
+	Health    *obs.HealthRecord
+	Tombstone *Tombstone
 }
 
 // AppendSegmentRecord appends one fully framed segment record
@@ -90,6 +91,18 @@ func AppendHealthRecord(dst []byte, h obs.HealthRecord) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendTombstoneRecord appends one fully framed retention-tombstone
+// record; byte-identical to WALSink.WriteTombstone's on-disk form.
+func AppendTombstoneRecord(dst []byte, t Tombstone) ([]byte, error) {
+	p := getPayloadBuf(128 + 32*len(t.Monitors))
+	*p = appendTombstone((*p)[:0], t)
+	dst = appendRecordHeader(dst, recTombstone, "", t.Horizon, t.Horizon,
+		saturatingUint32(t.Events), *p)
+	dst = append(dst, *p...)
+	putPayloadBuf(p)
+	return dst, nil
+}
+
 // AppendRecord appends whichever kind r carries.
 func AppendRecord(dst []byte, r Record) ([]byte, error) {
 	switch {
@@ -99,6 +112,8 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 		return AppendMarkerRecord(dst, *r.Marker)
 	case r.Health != nil:
 		return AppendHealthRecord(dst, *r.Health)
+	case r.Tombstone != nil:
+		return AppendTombstoneRecord(dst, *r.Tombstone)
 	}
 	return dst, fmt.Errorf("export: encode record: empty record")
 }
@@ -110,7 +125,7 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 func DecodeRecord(b []byte) (Record, error) {
 	r := bytes.NewReader(b)
 	br := bufio.NewReader(r)
-	events, marker, health, terr, rerr := readRecord(br, walVersionLatest)
+	rec, terr, rerr := readRecord(br, walVersionLatest)
 	if rerr != nil {
 		return Record{}, fmt.Errorf("export: decode record: %w", rerr)
 	}
@@ -121,12 +136,14 @@ func DecodeRecord(b []byte) (Record, error) {
 		return Record{}, fmt.Errorf("export: decode record: %d trailing bytes", rest)
 	}
 	switch {
-	case marker != nil:
-		return Record{Marker: marker}, nil
-	case health != nil:
-		return Record{Health: health}, nil
-	case len(events) > 0:
-		return Record{Segment: &Segment{Monitor: events[0].Monitor, Events: events}}, nil
+	case rec.marker != nil:
+		return Record{Marker: rec.marker}, nil
+	case rec.health != nil:
+		return Record{Health: rec.health}, nil
+	case rec.tomb != nil:
+		return Record{Tombstone: rec.tomb}, nil
+	case len(rec.events) > 0:
+		return Record{Segment: &Segment{Monitor: rec.events[0].Monitor, Events: rec.events}}, nil
 	}
 	return Record{}, fmt.Errorf("export: decode record: empty segment")
 }
@@ -152,6 +169,12 @@ func (r Record) Apply(sink Sink) error {
 			return fmt.Errorf("export: sink %T cannot store health snapshots", sink)
 		}
 		return hs.WriteHealth(*r.Health)
+	case r.Tombstone != nil:
+		ts, ok := sink.(TombstoneSink)
+		if !ok {
+			return fmt.Errorf("export: sink %T cannot store retention tombstones", sink)
+		}
+		return ts.WriteTombstone(*r.Tombstone)
 	}
 	return fmt.Errorf("export: apply record: empty record")
 }

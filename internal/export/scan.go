@@ -56,6 +56,18 @@ type HealthInfo struct {
 	Offset int64
 }
 
+// TombstoneInfo locates one retention-tombstone record inside a WAL
+// file. The horizon rides in the record header, so the index can
+// surface "this store was truncated below seq H" without any payload
+// decode; the byte offset lets a windowed reader point-read the full
+// accounting (ReadTombstoneAt) from an otherwise skipped file.
+type TombstoneInfo struct {
+	// Horizon is the tombstone's retention horizon.
+	Horizon int64
+	// Offset is the record's byte offset from the start of the file.
+	Offset int64
+}
+
 // FileSummary describes one sealed WAL segment file: everything a
 // reader needs to decide whether the file can possibly matter to a
 // windowed query, without opening it.
@@ -82,6 +94,8 @@ type FileSummary struct {
 	Markers []MarkerInfo
 	// Healths lists the file's health-snapshot records in record order.
 	Healths []HealthInfo
+	// Tombstones lists the file's retention tombstones in record order.
+	Tombstones []TombstoneInfo
 	// HeaderCRC is the CRC-32 (IEEE) over the file's record headers,
 	// concatenated in record order — the header chain. It pins the
 	// file's record structure: verifying it needs only a header scan
@@ -142,6 +156,12 @@ func (b *summaryBuilder) add(h *recHeader, offset int64) {
 		})
 		return
 	}
+	if h.typ == recTombstone {
+		b.sum.Tombstones = append(b.sum.Tombstones, TombstoneInfo{
+			Horizon: h.first, Offset: offset,
+		})
+		return
+	}
 	if b.sum.Events == 0 {
 		b.sum.MinSeq, b.sum.MaxSeq = h.first, h.last
 	} else {
@@ -190,9 +210,36 @@ func (b *summaryBuilder) done(size int64, torn bool) FileSummary {
 // file, and the replaying reader skips the record. The index
 // deliberately over-admits rather than under-admits.
 func ScanFile(name string) (FileSummary, error) {
+	fs, _, err := ScanFileRecords(name)
+	return fs, err
+}
+
+// SegmentLocation locates one segment record inside a WAL file — the
+// header fields a streaming merge needs to order and size the record,
+// plus the byte offset to point-read it later (RecordReader.ReadAt).
+// Locations stay out of FileSummary (and therefore out of the index)
+// on purpose: they are per-pass scaffolding for the compactor, not
+// durable metadata.
+type SegmentLocation struct {
+	// Monitor names the record's monitor.
+	Monitor string
+	// First and Last bound the record's sequence numbers (inclusive).
+	First, Last int64
+	// Count is the record's event count.
+	Count uint32
+	// Offset is the record's byte offset from the start of the file.
+	Offset int64
+}
+
+// ScanFileRecords is ScanFile plus the byte locations of every segment
+// record — the header-only discovery pass of the streaming compactor:
+// one scan yields both the file's summary (markers, healths,
+// tombstones, ranges) and the per-segment cursor table a bounded-RAM
+// k-way merge reads through.
+func ScanFileRecords(name string) (FileSummary, []SegmentLocation, error) {
 	f, err := os.Open(name)
 	if err != nil {
-		return FileSummary{}, fmt.Errorf("export: open wal file: %w", err)
+		return FileSummary{}, nil, fmt.Errorf("export: open wal file: %w", err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
@@ -200,24 +247,31 @@ func ScanFile(name string) (FileSummary, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		// Torn magic (crash right after creation): an empty summary.
 		b := newSummaryBuilder(baseName(name), 0)
-		return b.done(0, true), nil
+		return b.done(0, true), nil, nil
 	}
 	version := magic[4]
 	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
-		return FileSummary{}, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+		return FileSummary{}, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
 	}
 	b := newSummaryBuilder(baseName(name), version)
+	var locs []SegmentLocation
 	offset := int64(len(magic))
 	for {
 		h, err := readHeader(br, version)
 		if err != nil {
 			if err == io.EOF {
-				return b.done(offset, false), nil // clean record boundary
+				return b.done(offset, false), locs, nil // clean record boundary
 			}
-			return b.done(offset, true), nil
+			return b.done(offset, true), locs, nil
 		}
 		if _, err := io.CopyN(io.Discard, br, int64(h.payloadLen)); err != nil {
-			return b.done(offset, true), nil
+			return b.done(offset, true), locs, nil
+		}
+		if h.typ == recSegment {
+			locs = append(locs, SegmentLocation{
+				Monitor: h.monitor, First: h.first, Last: h.last,
+				Count: h.count, Offset: offset,
+			})
 		}
 		b.add(h, offset)
 		offset += int64(len(h.raw)) + int64(h.payloadLen)

@@ -23,7 +23,7 @@ import (
 // and hold only segment records. All record types share one header:
 //
 //	uint8   record type (v2 only: 0 = segment, 1 = recovery marker,
-//	                     2 = health snapshot)
+//	                     2 = health snapshot, 3 = retention tombstone)
 //	uint16  len(monitor)      ┐
 //	bytes   monitor           │ little-endian record header
 //	int64   first seq         │ (marker: reset horizon twice;
@@ -41,7 +41,11 @@ import (
 // payload is the self-contained blob of encodeHealth: a periodic
 // obs.Snapshot of the detector's metrics registry pinned to its
 // capture instant and global-sequence horizon (the monitor field is
-// empty — health is per-process, not per-monitor). The header
+// empty — health is per-process, not per-monitor). A retention
+// tombstone's payload is the self-contained blob of encodeTombstone:
+// the horizon below which retention may have dropped records, plus the
+// cumulative accounting of exactly what was dropped (the monitor field
+// is empty — the tombstone describes the whole store). The header
 // duplicates the seq range and count so a reader can index a WAL
 // without decoding payloads, and the CRC turns a torn write into a
 // detectable truncation instead of silent corruption. Files are
@@ -61,15 +65,16 @@ const (
 	walVersionLatest = walVersion2
 )
 
-// Record types (format version ≥ 2). recHealth rides the same v2
-// framing recMarker introduced: the header layout is unchanged, so
-// the format version does not bump — v1 and marker-era v2 files read
-// exactly as before, and only tooling older than the health-record
-// type refuses a file containing one.
+// Record types (format version ≥ 2). recHealth and recTombstone ride
+// the same v2 framing recMarker introduced: the header layout is
+// unchanged, so the format version does not bump — v1 and marker-era
+// v2 files read exactly as before, and only tooling older than the
+// new record type refuses a file containing one.
 const (
-	recSegment byte = 0
-	recMarker  byte = 1
-	recHealth  byte = 2
+	recSegment   byte = 0
+	recMarker    byte = 1
+	recHealth    byte = 2
+	recTombstone byte = 3
 )
 
 // walExt is the segment-file extension.
@@ -326,6 +331,22 @@ func (w *WALSink) WriteHealth(h obs.HealthRecord) error {
 	p := getPayloadBuf(256)
 	*p = appendHealth((*p)[:0], h)
 	err := w.writeRecord(recHealth, "", h.Seq, h.Seq, 0, *p)
+	putPayloadBuf(p)
+	return err
+}
+
+// WriteTombstone appends one retention-tombstone record — the durable
+// trace of a retention pass that dropped whole segment files below a
+// horizon (see internal/export/compact). It implements the optional
+// TombstoneSink extension. The monitor field is empty (the tombstone
+// describes the whole store); the header carries the horizon as its
+// seq range and the dropped-event total (saturated) as its count, so
+// the index can place it without decoding the payload.
+func (w *WALSink) WriteTombstone(t Tombstone) error {
+	p := getPayloadBuf(128 + 32*len(t.Monitors))
+	*p = appendTombstone((*p)[:0], t)
+	err := w.writeRecord(recTombstone, "", t.Horizon, t.Horizon,
+		saturatingUint32(t.Events), *p)
 	putPayloadBuf(p)
 	return err
 }
