@@ -56,6 +56,7 @@ func rowKey(row map[string]any) string {
 		"overhead_pct": true, "records": true, "records_per_sec": true,
 		"peak_heap_bytes": true, "bytes_in": true, "bytes_reclaimed": true,
 		"events_dropped": true, "files_in": true, "files_out": true,
+		"transitions": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {

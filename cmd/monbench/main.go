@@ -89,6 +89,7 @@ func run(args []string, out, errOut io.Writer) int {
 		obsover   = fs.Bool("obsoverhead", false, "add the E7 self-observability rows (instrumented vs stripped ingest throughput, plus the bare-increment allocation profile); combines with -monitors into one artefact, or runs standalone")
 		collector = fs.Bool("collector", false, "add the E8 collector rows (N NetSink producers over loopback into one fleet collector vs a single-process WALSink baseline); combines with -monitors into one artefact, or runs standalone")
 		soakf     = fs.Bool("soak", false, "add the E9 long-horizon compaction rows (streaming retention pass over backlogs many times the chunk budget: peak heap, bytes reclaimed); combines with -monitors into one artefact, or runs standalone")
+		obsrulesf = fs.Bool("obsrules", false, "add the E10 threshold-rule rows (rule-engine Eval cost per registry snapshot, quiet vs flapping, with the quiet path's zero-alloc claim gated); combines with -monitors into one artefact, or runs standalone")
 		batchw    = fs.Bool("batchwriters", false, "wire the -monitors workload through lock-free BatchWriters instead of direct DB.Append (the raw-speed record path under the full monitor protocol)")
 		jsonPath  = fs.String("json", "", "also write the sweep results as a JSON artefact to this path (e.g. BENCH_scaling.json)")
 		baseline  = fs.String("baseline", "", "perf gate: compare the fresh sweep against this JSON artefact and exit non-zero on regression")
@@ -125,14 +126,15 @@ func run(args []string, out, errOut io.Writer) int {
 			obsoverhead:   *obsover,
 			collector:     *collector,
 			soak:          *soakf,
+			obsrules:      *obsrulesf,
 			jsonPath:      *jsonPath,
 			baseline:      *baseline,
 			tolerance:     *tolerance,
 		}, out, errOut)
 	}
 
-	if *store || *record || *obsover || *collector || *soakf {
-		// Standalone E5/E6/E7/E8/E9: their own artefact kinds; several
+	if *store || *record || *obsover || *collector || *soakf || *obsrulesf {
+		// Standalone E5/E6/E7/E8/E9/E10: their own artefact kinds; several
 		// flags at once share one artefact (the rows are keyed apart by
 		// "bench").
 		var kinds []string
@@ -202,6 +204,20 @@ func run(args []string, out, errOut io.Writer) int {
 				return code
 			}
 			kinds = append(kinds, "E9-soak")
+			art.Rows = append(art.Rows, rows...)
+			for k, v := range cfgEntries {
+				art.Config[k] = v
+			}
+		}
+		if *obsrulesf {
+			if *store || *record || *obsover || *collector || *soakf {
+				fmt.Fprintln(out)
+			}
+			rows, cfgEntries, code := runObsRulesSweep(*repeats, out, errOut)
+			if code != 0 {
+				return code
+			}
+			kinds = append(kinds, "E10-obsrules")
 			art.Rows = append(art.Rows, rows...)
 			for k, v := range cfgEntries {
 				art.Config[k] = v
@@ -330,6 +346,7 @@ type scalingFlags struct {
 	obsoverhead   bool
 	collector     bool
 	soak          bool
+	obsrules      bool
 	jsonPath      string
 	baseline      string
 	tolerance     float64
@@ -629,6 +646,59 @@ func runSoakSweep(repeats int, out, errOut io.Writer) ([]map[string]any, map[str
 	return artRows, cfgEntries, 0
 }
 
+// runObsRulesSweep executes the E10 threshold-rule sweep and returns
+// its artefact rows and config entries (exit code non-zero on
+// failure). The rows carry "bench":"obsrules"; the quiet row's
+// allocs-per-event is the zero-alloc claim of the steady-state rule
+// walk and is self-gated against the shared noise floor — a rule
+// engine that allocates when nothing transitions fails here even
+// without a baseline. Both rows' evals/sec ride the normal baseline
+// gate, so a slowdown in the per-snapshot walk fails CI like any
+// throughput regression.
+func runObsRulesSweep(repeats int, out, errOut io.Writer) ([]map[string]any, map[string]any, int) {
+	cfg := experiment.DefaultObsRulesConfig()
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	fmt.Fprintf(out, "E10 (threshold rules): rules=%d metrics=%d evals=%d flap-every=%d repeats=%d\n\n",
+		cfg.Rules, cfg.Metrics, cfg.Evals, cfg.FlapEvery, cfg.Repeats)
+	rows, err := experiment.RunObsRules(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "monbench: %v\n", err)
+		return nil, nil, 1
+	}
+	fmt.Fprint(out, experiment.ObsRulesTable(rows).String())
+	for _, r := range rows {
+		if r.Mode == "quiet" && r.AllocsPerEval > allocFloorPerEvent {
+			fmt.Fprintf(errOut, "monbench: obs-rules quiet path allocates %.3f/eval (claim: 0, noise floor %.2f)\n",
+				r.AllocsPerEval, allocFloorPerEvent)
+			return nil, nil, 1
+		}
+	}
+	if q, f := rows[0], rows[1]; q.NsPerEval > 0 {
+		fmt.Fprintf(out, "\nflapping churn costs %.1fx the quiet walk per eval\n", f.NsPerEval/q.NsPerEval)
+	}
+	var artRows []map[string]any
+	for _, r := range rows {
+		artRows = append(artRows, map[string]any{
+			"bench": "obsrules", "mode": r.Mode,
+			"rules": r.Rules, "metrics": r.Metrics,
+			"events": r.Evals, "transitions": r.Transitions,
+			"elapsed_ns":     r.Elapsed.Nanoseconds(),
+			"events_per_sec": r.EvalsPerSec, "ns_per_event": r.NsPerEval,
+			"allocs_per_event": r.AllocsPerEval,
+		})
+	}
+	cfgEntries := map[string]any{
+		"obsrules_rules":      cfg.Rules,
+		"obsrules_metrics":    cfg.Metrics,
+		"obsrules_evals":      cfg.Evals,
+		"obsrules_flap_every": cfg.FlapEvery,
+		"obsrules_repeats":    cfg.Repeats,
+	}
+	return artRows, cfgEntries, 0
+}
+
 // runScaling executes the E4 many-monitor sweep (-monitors).
 func runScaling(f scalingFlags, out, errOut io.Writer) int {
 	cfg := experiment.DefaultScalingConfig()
@@ -760,6 +830,17 @@ func runScaling(f scalingFlags, out, errOut io.Writer) int {
 		}
 		art.Rows = append(art.Rows, soakRows...)
 		for k, v := range soakCfg {
+			art.Config[k] = v
+		}
+	}
+	if f.obsrules {
+		fmt.Fprintln(out)
+		orRows, orCfg, code := runObsRulesSweep(f.repeats, out, errOut)
+		if code != 0 {
+			return code
+		}
+		art.Rows = append(art.Rows, orRows...)
+		for k, v := range orCfg {
 			art.Config[k] = v
 		}
 	}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"robustmon/internal/export"
+	netexport "robustmon/internal/export/net"
+	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
+)
+
+// fleetWatcher is the fleet timer's state: it folds the collector's
+// per-origin liveness (Collector.Activity) into fleet_origin_* gauges
+// on the registry, lets an obsrules engine judge them — one staleness
+// rule per origin, grown as origins appear — and persists the result
+// as the fleet-wide timeline: one health record per tick plus an
+// origin-tagged alert per rule transition, in an ordinary WAL
+// directory montrace reads like any origin's.
+type fleetWatcher struct {
+	col        *netexport.Collector
+	reg        *obs.Registry
+	sink       *export.WALSink
+	engine     *obsrules.Engine
+	staleAfter time.Duration
+	start      time.Time
+
+	// Per-origin gauge handles and rule-name → origin mapping, grown
+	// on first sight of each origin so steady-state ticks do no
+	// registry lookups.
+	staleGa  map[string]*obs.Gauge
+	seqGa    map[string]*obs.Gauge
+	originOf map[string]string
+	alerts   []obsrules.Alert
+}
+
+// staleRuleName names the staleness rule watching one origin.
+func staleRuleName(origin string) string { return "origin-stale:" + origin }
+
+func newFleetWatcher(col *netexport.Collector, reg *obs.Registry, sink *export.WALSink, staleAfter time.Duration) *fleetWatcher {
+	engine, err := obsrules.New(reg)
+	if err != nil {
+		// Unreachable: an empty rule set cannot be invalid.
+		panic(err)
+	}
+	return &fleetWatcher{
+		col: col, reg: reg, sink: sink, engine: engine,
+		staleAfter: staleAfter, start: time.Now(),
+		staleGa:  make(map[string]*obs.Gauge),
+		seqGa:    make(map[string]*obs.Gauge),
+		originOf: make(map[string]string),
+	}
+}
+
+// tick runs one fleet evaluation at now.
+func (w *fleetWatcher) tick(now time.Time) {
+	act := w.col.Activity()
+	var maxSeq int64
+	for _, a := range act {
+		if _, ok := w.staleGa[a.Origin]; !ok {
+			w.staleGa[a.Origin] = w.reg.Gauge(`fleet_origin_stale_ns{origin="` + a.Origin + `"}`)
+			w.seqGa[a.Origin] = w.reg.Gauge(`fleet_origin_seq{origin="` + a.Origin + `"}`)
+			if w.staleAfter > 0 {
+				rn := staleRuleName(a.Origin)
+				w.originOf[rn] = a.Origin
+				if err := w.engine.Add(obsrules.Rule{
+					Name:   rn,
+					Metric: `fleet_origin_stale_ns{origin="` + a.Origin + `"}`,
+					// Staleness is judged per evaluation, not per streak:
+					// the gauge already integrates silence over time, so
+					// one breaching reading means the origin has been
+					// quiet for the whole horizon.
+					Ceiling: float64(w.staleAfter.Nanoseconds()),
+				}); err != nil {
+					panic(err) // unreachable: names are unique by construction
+				}
+			}
+		}
+		last := a.LastRecord
+		if last.IsZero() {
+			// An origin resumed from disk that has shipped nothing this
+			// process: silent since the collector started.
+			last = w.start
+		}
+		w.staleGa[a.Origin].Set(now.Sub(last).Nanoseconds())
+		w.seqGa[a.Origin].Set(a.LastHealthSeq)
+		if a.LastHealthSeq > maxSeq {
+			maxSeq = a.LastHealthSeq
+		}
+	}
+
+	// One registry snapshot serves both the persisted fleet health
+	// record and the rule evaluation — the same shared-snapshot
+	// discipline the detector uses at its health cadence.
+	snap := w.reg.Snapshot()
+	w.alerts = w.engine.Eval(w.alerts[:0], now, maxSeq, snap)
+	for i := range w.alerts {
+		w.alerts[i].Origin = w.originOf[w.alerts[i].Rule]
+		if err := w.sink.WriteAlert(w.alerts[i]); err != nil {
+			fmt.Printf("moncollect: fleet alert write: %v\n", err)
+			continue
+		}
+		fmt.Printf("moncollect: fleet %s\n", w.alerts[i])
+	}
+	if err := w.sink.WriteHealth(obs.HealthRecord{At: now, Seq: maxSeq, Metrics: snap}); err != nil {
+		fmt.Printf("moncollect: fleet health write: %v\n", err)
+		return
+	}
+	if err := w.sink.Flush(); err != nil {
+		fmt.Printf("moncollect: fleet flush: %v\n", err)
+	}
+}

@@ -5,6 +5,20 @@
 // segments seal, so the offline tools (montrace dump/check/stats over
 // the fleet root or any origin subdirectory, the compactor, the
 // SeekReader) work on the collected store unchanged.
+//
+// Two timers sit on top of the collector. The fleet timer
+// (-fleet-every) folds every origin's liveness into a fleet-wide
+// health timeline under <dir>/_fleet — a WAL directory like any
+// origin's, holding one health record per tick (the collector's whole
+// registry, including the per-origin fleet_origin_stale_ns and
+// fleet_origin_seq gauges) — and evaluates fleet-level threshold
+// rules over it: each origin gets a staleness rule (-stale-after), so
+// a producer that stops shipping raises a persisted, origin-tagged
+// alert exactly like a producer's own self-watching rules do. The
+// retention timer (-retain-every) runs a background compaction pass
+// over every origin on a wall-clock cadence, dropping files older
+// than -retain-age (and/or wholly below -retain-seq) behind a
+// tombstone — the knob that bounds a month-long fleet store.
 package main
 
 import (
@@ -13,8 +27,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
+	"robustmon/internal/export"
 	"robustmon/internal/export/compact"
 	"robustmon/internal/export/net"
 	"robustmon/internal/obs"
@@ -33,10 +50,18 @@ func run(args []string) int {
 	noIndex := fs.Bool("no-index", false, "skip maintaining the per-origin trace index as segments seal")
 	compactEvery := fs.Int("compact-every", 0, "compact an origin's backlog in the background once this many rotated files pile up since its last pass; 0 = disabled")
 	retainSeq := fs.Int64("retain-seq", 0, "retention floor for background compaction: drop origin files wholly below this sequence number behind a tombstone; 0 = keep everything")
+	retainEvery := fs.Duration("retain-every", 0, "run a wall-clock retention pass over every origin on this cadence (with -retain-age and/or -retain-seq as the floor); 0 = disabled")
+	retainAge := fs.Duration("retain-age", 0, "with -retain-every: drop origin files whose mtime is older than this behind a tombstone; 0 = no age floor")
+	fleetEvery := fs.Duration("fleet-every", 0, "fold origin liveness into the <dir>/_fleet health timeline and evaluate fleet rules on this cadence; 0 = disabled")
+	staleAfter := fs.Duration("stale-after", 30*time.Second, "with -fleet-every: fire a per-origin staleness alert when an origin has shipped nothing for this long")
 	_ = fs.Parse(args)
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "moncollect: -dir is required")
 		fs.Usage()
+		return 2
+	}
+	if *retainEvery > 0 && *retainAge <= 0 && *retainSeq <= 0 {
+		fmt.Fprintln(os.Stderr, "moncollect: -retain-every needs a floor: set -retain-age and/or -retain-seq")
 		return 2
 	}
 
@@ -81,6 +106,70 @@ func run(args []string) int {
 		fmt.Printf("moncollect: metrics on %s\n", obsSrv.URL())
 	}
 
+	// The timers stop before the collector closes: stopTimers is
+	// closed first on shutdown, and timersDone joined, so no fleet
+	// tick or retention pass races the closing sinks.
+	stopTimers := make(chan struct{})
+	var timersDone []chan struct{}
+
+	var fleetSink *export.WALSink
+	if *fleetEvery > 0 {
+		fleetSink, err = export.NewWALSink(filepath.Join(*dir, netexport.FleetDirName), export.WALConfig{Obs: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "moncollect: fleet sink: %v\n", err)
+			lis.Close()
+			return 1
+		}
+		fleet := newFleetWatcher(col, reg, fleetSink, *staleAfter)
+		ch := make(chan struct{})
+		timersDone = append(timersDone, ch)
+		go func() {
+			defer close(ch)
+			tick := time.NewTicker(*fleetEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopTimers:
+					return
+				case <-tick.C:
+					fleet.tick(time.Now())
+				}
+			}
+		}()
+		fmt.Printf("moncollect: fleet timeline in %s every %v (stale after %v)\n",
+			filepath.Join(*dir, netexport.FleetDirName), *fleetEvery, *staleAfter)
+	}
+
+	if *retainEvery > 0 {
+		ch := make(chan struct{})
+		timersDone = append(timersDone, ch)
+		go func() {
+			defer close(ch)
+			tick := time.NewTicker(*retainEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopTimers:
+					return
+				case <-tick.C:
+					// The age floor advances with the wall clock — this
+					// pass's RetainBefore is this tick's now minus the
+					// retention horizon, which is what makes the store's
+					// footprint a function of age, not of operator-supplied
+					// sequence numbers.
+					rcfg := compact.Config{RetainSeq: *retainSeq, Obs: reg}
+					if *retainAge > 0 {
+						rcfg.RetainBefore = time.Now().Add(-*retainAge)
+					}
+					col.CompactOrigins(func(origin string) error {
+						_, err := compact.Dir(origin, rcfg)
+						return err
+					})
+				}
+			}
+		}()
+	}
+
 	// A signal closes the collector: the accept loop and every live
 	// producer connection unwind, each flushing its origin's WAL and
 	// resume state on the way out, so a restarted collector welcomes
@@ -100,9 +189,19 @@ func run(args []string) int {
 			rc = 1
 		}
 	}
+	close(stopTimers)
+	for _, ch := range timersDone {
+		<-ch
+	}
 	if err := col.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "moncollect: %v\n", err)
 		rc = 1
+	}
+	if fleetSink != nil {
+		if err := fleetSink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "moncollect: fleet sink: %v\n", err)
+			rc = 1
+		}
 	}
 	if obsSrv != nil {
 		_ = obsSrv.Close()

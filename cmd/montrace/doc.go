@@ -55,8 +55,27 @@
 // pulled out as columns, so a trace directory answers not only "what
 // did the monitors do" but "how did the detection pipeline itself
 // behave" — after the fact, from disk, windowed through the index.
+// stats -rates re-renders the same snapshots as per-interval deltas —
+// appends/checks/violations/exported per interval, appends-per-second
+// and the interval-local check p99 — which is where a degradation
+// trend is visible long before the cumulative counters show it.
 //
 //	montrace stats -in run/ -from 12000 -to 24000
+//	montrace stats -in run/ -rates
+//
+// # Pipeline alerts: the pipeline watching itself
+//
+// An export directory can also hold pipeline alerts — records written
+// when a threshold rule over the metrics registry
+// (DetectorConfig.Rules, or a collector's fleet rules) fired or
+// cleared: detection noticed its own degradation and said so in the
+// same WAL that carries the trace. stats lists the alert timeline
+// after the health timeline; dump interleaves "ALERT at seq H" lines
+// at their horizons alongside the RESET markers; check prints a note
+// per alert, because application violations near a horizon where
+// detection itself was degraded deserve suspicion. In the live
+// process the same transition also raised a synthetic META violation
+// (and, for rules with ResetMonitor set, a shard-local reset).
 //
 // # Fleet mode: shipping, collectors, fleet roots
 //
@@ -70,7 +89,14 @@
 // stats) detect a fleet root — a directory with no *.wal files of its
 // own whose immediate subdirectories hold them — and run once per
 // origin under a heading, reporting the worst exit code; origins are
-// never merged, because each numbers its events independently.
+// never merged, because each numbers its events independently. The
+// exception is wall-clock health: after the per-origin sections,
+// stats renders one fleet timeline — every origin's health snapshots
+// and alerts (including the collector's own _fleet origin, where
+// moncollect's watcher records per-origin staleness alerts) merged in
+// wall-clock order, each row tagged with its origin — because "which
+// producer went quiet, and when" is inherently a cross-origin
+// question.
 //
 // # Trace store: windowed queries, index, compact
 //

@@ -23,6 +23,7 @@ import (
 	"robustmon/internal/mdl"
 	"robustmon/internal/monitor"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 	"robustmon/internal/proc"
 	"robustmon/internal/report"
 	"robustmon/internal/rules"
@@ -66,6 +67,7 @@ func run() int {
 func stats(args []string) int {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "trace file to analyse")
+	rates := fs.Bool("rates", false, "render the health timeline as per-interval deltas and rates instead of cumulative counters")
 	var win window
 	win.addFlags(fs)
 	_ = fs.Parse(args)
@@ -73,21 +75,32 @@ func stats(args []string) int {
 		usage()
 		return 2
 	}
-	return forEachInput(*in, func(path string) int { return statsOne(path, win) })
+	rc := forEachInput(*in, func(path string) int { return statsOne(path, win, *rates) })
+	if origins := fleetOrigins(*in); origins != nil {
+		if frc := fleetStats(*in, origins, win, *rates); frc > rc {
+			rc = frc
+		}
+	}
+	return rc
 }
 
-func statsOne(in string, win window) int {
-	trace, _, healths, tombs, err := loadWindowed(in, win)
+func statsOne(in string, win window, rates bool) int {
+	ld, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
 	}
-	fmt.Print(tracestat.Compute(trace).String())
-	if tb := newestTombstone(tombs); tb != nil {
+	fmt.Print(tracestat.Compute(ld.trace).String())
+	if tb := newestTombstone(ld.tombs); tb != nil {
 		fmt.Printf("retention: truncated below seq %d (%d events in %d files dropped)\n",
 			tb.Horizon, tb.Events, tb.Files)
 	}
-	renderHealthTimeline(healths)
+	if rates {
+		renderHealthRates(ld.healths)
+	} else {
+		renderHealthTimeline(ld.healths)
+	}
+	renderAlertTimeline(ld.alerts)
 	return 0
 }
 
@@ -197,6 +210,169 @@ func renderHealthTimeline(healths []obs.HealthRecord) {
 	}
 }
 
+// renderHealthRates prints the health timeline as per-interval deltas
+// (obs.Snapshot.Delta between consecutive snapshots) with an
+// appends-per-second rate and the checkpoint-latency p99 of each
+// interval alone — the shape that makes a slowdown visible as a dip
+// in one row instead of a bend in a cumulative curve.
+func renderHealthRates(healths []obs.HealthRecord) {
+	if len(healths) < 2 {
+		if len(healths) == 1 {
+			fmt.Printf("\nhealth timeline: 1 snapshot (need 2 for -rates; rerun without it)\n")
+		}
+		return
+	}
+	sort.SliceStable(healths, func(i, j int) bool { return healths[i].Seq < healths[j].Seq })
+	fmt.Printf("\nhealth timeline (rates): %d snapshots, %d intervals\n", len(healths), len(healths)-1)
+	fmt.Printf("%-20s  %9s  %9s  %7s  %6s  %9s  %9s  %11s\n",
+		"at", "seq", "Δappends", "Δchecks", "Δviols", "Δexported", "append/s", "check p99")
+	counter := func(s obs.Snapshot, name string) string {
+		if v, ok := s.Counter(name); ok {
+			return fmt.Sprint(v)
+		}
+		return "-"
+	}
+	for i := 1; i < len(healths); i++ {
+		prev, cur := healths[i-1], healths[i]
+		d := cur.Metrics.Delta(prev.Metrics)
+		rate := "-"
+		if secs := cur.At.Sub(prev.At).Seconds(); secs > 0 {
+			if appends, ok := d.Counter("history_append_total"); ok {
+				rate = fmt.Sprintf("%.1f", float64(appends)/secs)
+			}
+		}
+		p99 := "-"
+		if hist, ok := d.Histogram("detect_check_ns"); ok && hist.Count > 0 {
+			p99 = time.Duration(hist.Quantile(0.99)).Round(time.Microsecond).String()
+		}
+		fmt.Printf("%-20s  %9d  %9s  %7s  %6s  %9s  %9s  %11s\n",
+			cur.At.UTC().Format("2006-01-02T15:04:05Z"), cur.Seq,
+			counter(d, "history_append_total"),
+			counter(d, "detect_checks_total"),
+			counter(d, "detect_violations_total"),
+			counter(d, "export_events_total"),
+			rate, p99)
+	}
+}
+
+// renderAlertTimeline prints the store's threshold alerts — the
+// pipeline's own degradation episodes, recorded when a self-watching
+// rule fired or cleared — in horizon order.
+func renderAlertTimeline(alerts []obsrules.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	sort.SliceStable(alerts, func(i, j int) bool { return alerts[i].Seq < alerts[j].Seq })
+	fired := 0
+	for _, a := range alerts {
+		if a.Firing {
+			fired++
+		}
+	}
+	fmt.Printf("\npipeline alerts: %d (%d fired, %d cleared)\n", len(alerts), fired, len(alerts)-fired)
+	for _, a := range alerts {
+		origin := ""
+		if a.Origin != "" {
+			origin = "  [" + a.Origin + "]"
+		}
+		fmt.Printf("  %-20s  %9d  %s%s\n",
+			a.At.UTC().Format("2006-01-02T15:04:05Z"), a.Seq, a.String(), origin)
+	}
+}
+
+// fleetStats renders the merged cross-origin view of a fleet root: one
+// timeline of every origin's health snapshots in wall-clock order (an
+// origin column tells them apart — sequence spaces are per-origin and
+// never comparable), and one merged alert list, the collector's
+// _fleet staleness alerts alongside every producer's own. With rates,
+// each row deltas against the same origin's previous snapshot.
+func fleetStats(root string, origins []string, win window, rates bool) int {
+	type row struct {
+		origin string
+		h      obs.HealthRecord
+	}
+	var rows []row
+	var alerts []obsrules.Alert
+	for _, o := range origins {
+		ld, err := loadWindowed(filepath.Join(root, o), win)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "montrace: fleet timeline: %s: %v\n", o, err)
+			return 1
+		}
+		for _, h := range ld.healths {
+			rows = append(rows, row{o, h})
+		}
+		for _, a := range ld.alerts {
+			if a.Origin == "" {
+				a.Origin = o
+			}
+			alerts = append(alerts, a)
+		}
+	}
+	if len(rows) == 0 && len(alerts) == 0 {
+		return 0
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if !rows[i].h.At.Equal(rows[j].h.At) {
+			return rows[i].h.At.Before(rows[j].h.At)
+		}
+		return rows[i].origin < rows[j].origin
+	})
+	fmt.Printf("\n== fleet timeline ==\n%d snapshots across %d origins, %d alerts\n",
+		len(rows), len(origins), len(alerts))
+	counter := func(s obs.Snapshot, name string) string {
+		if v, ok := s.Counter(name); ok {
+			return fmt.Sprint(v)
+		}
+		return "-"
+	}
+	if rates {
+		fmt.Printf("%-20s  %-12s  %9s  %9s  %7s  %6s  %9s\n",
+			"at", "origin", "seq", "Δappends", "Δchecks", "Δviols", "append/s")
+		prev := make(map[string]obs.HealthRecord, len(origins))
+		for _, r := range rows {
+			p, ok := prev[r.origin]
+			prev[r.origin] = r.h
+			if !ok {
+				continue // an origin's first snapshot anchors its deltas
+			}
+			d := r.h.Metrics.Delta(p.Metrics)
+			rate := "-"
+			if secs := r.h.At.Sub(p.At).Seconds(); secs > 0 {
+				if appends, ok := d.Counter("history_append_total"); ok {
+					rate = fmt.Sprintf("%.1f", float64(appends)/secs)
+				}
+			}
+			fmt.Printf("%-20s  %-12s  %9d  %9s  %7s  %6s  %9s\n",
+				r.h.At.UTC().Format("2006-01-02T15:04:05Z"), r.origin, r.h.Seq,
+				counter(d, "history_append_total"),
+				counter(d, "detect_checks_total"),
+				counter(d, "detect_violations_total"),
+				rate)
+		}
+	} else {
+		fmt.Printf("%-20s  %-12s  %9s  %8s  %6s  %9s  %8s\n",
+			"at", "origin", "seq", "appends", "checks", "viols", "exported")
+		for _, r := range rows {
+			fmt.Printf("%-20s  %-12s  %9d  %8s  %6s  %9s  %8s\n",
+				r.h.At.UTC().Format("2006-01-02T15:04:05Z"), r.origin, r.h.Seq,
+				counter(r.h.Metrics, "history_append_total"),
+				counter(r.h.Metrics, "detect_checks_total"),
+				counter(r.h.Metrics, "detect_violations_total"),
+				counter(r.h.Metrics, "export_events_total"))
+		}
+	}
+	if len(alerts) > 0 {
+		fmt.Println("fleet alerts:")
+	}
+	sort.SliceStable(alerts, func(i, j int) bool { return alerts[i].At.Before(alerts[j].At) })
+	for _, a := range alerts {
+		fmt.Printf("  %-20s  %-12s  %s\n",
+			a.At.UTC().Format("2006-01-02T15:04:05Z"), a.Origin, a.String())
+	}
+	return 0
+}
+
 // usageText is the full help text (montrace help); the golden test in
 // main_test.go pins it so the documented surface cannot drift silently.
 const usageText = `usage:
@@ -205,7 +381,7 @@ const usageText = `usage:
   montrace check   -in  <file|dir> [-spec decls.mdl] [-tmax 10s] [-tio 10s] [-tlimit 10s]
                    [-from N] [-to N] [-monitor a,b]
   montrace dump    -in  <file|dir> [-original] [-from N] [-to N] [-monitor a,b]
-  montrace stats   -in  <file|dir> [-from N] [-to N] [-monitor a,b]
+  montrace stats   -in  <file|dir> [-rates] [-from N] [-to N] [-monitor a,b]
   montrace index   -in  <dir> [-verify]
   montrace compact -in  <dir> [-keep N] [-drop-reset] [-max-bytes N]
                    [-retain-seq N] [-retain-age D]
@@ -238,8 +414,23 @@ health timeline:
   sequence horizon, with append/check/violation/export counters, the
   exporter queue depth and the checkpoint-latency p99 — windowed by
   -from/-to through the trace-store index like everything else.
-  Snapshots are per-process records, so -monitor does not filter
-  them. Compaction preserves them byte-identically.
+  stats -rates renders the same timeline as per-interval deltas with
+  an appends-per-second rate and each interval's own latency p99,
+  the shape that shows a slowdown as a dip in one row. Snapshots are
+  per-process records, so -monitor does not filter them. Compaction
+  preserves them byte-identically.
+
+pipeline alerts (threshold rules):
+  A detector configured with threshold rules (DetectorConfig.Rules)
+  watches its own registry at the health cadence: a rule breaching
+  its ceiling for long enough fires, raises a synthetic
+  meta-violation (rule META, phase meta) through the ordinary
+  violation path, optionally triggers a shard-local reset, and lands
+  an alert record in the WAL. stats lists the store's alerts after
+  the health timeline, dump interleaves "ALERT at seq H" lines at
+  their horizons, and check prints a note per alert — a trace
+  checked while the pipeline itself was degraded deserves less
+  confidence than one checked clean.
 
 fleet mode (ship, collector, fleet roots):
   record -ship streams the records a WAL directory would hold to a
@@ -252,7 +443,12 @@ fleet mode (ship, collector, fleet roots):
   root — a directory with no *.wal files of its own whose immediate
   subdirectories hold them — and run once per origin under a
   heading, reporting the worst exit code. Origins are never merged:
-  each numbers its events independently.
+  each numbers its events independently. stats over a fleet root
+  additionally renders the merged fleet timeline: every origin's
+  health snapshots in wall-clock order under an origin column
+  (per-origin deltas and rates with -rates), then every origin's
+  alerts — including the per-origin staleness alerts a collector's
+  fleet timer (moncollect -fleet-every) lands under _fleet.
 
 trace store (windowing, index, compact):
   -from/-to restrict dump, check and stats to a sequence-number window and
@@ -564,22 +760,34 @@ func (w window) names() []string {
 	return out
 }
 
+// loaded is everything a reading subcommand gets back from a trace
+// input: the events plus the side records that only exist in export
+// directories (all nil for flat files).
+type loaded struct {
+	trace   event.Seq
+	markers []history.RecoveryMarker
+	healths []obs.HealthRecord
+	tombs   []export.Tombstone
+	alerts  []obsrules.Alert
+}
+
 // loadWindowed reads a trace applying the window. An export directory
 // is answered through the trace-store SeekReader — only the files the
 // index admits are opened, and the pruning is reported on stderr; a
 // flat file is filtered after loading (there is nothing to prune).
-// Health snapshots window on their seq horizon but are per-process
-// records, so the -monitor filter does not apply to them.
-func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, []export.Tombstone, error) {
+// Health snapshots and threshold alerts window on their seq horizon
+// but are per-process records, so the -monitor filter does not apply
+// to them.
+func loadWindowed(path string, w window) (loaded, error) {
 	info, err := os.Stat(path)
 	if err == nil && info.IsDir() && w.active() {
 		r, err := index.OpenDir(path)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return loaded{}, err
 		}
 		rep, err := r.ReplayRange(w.from, w.to, w.names()...)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return loaded{}, err
 		}
 		st := r.LastStats()
 		fmt.Fprintf(os.Stderr, "montrace: window opened %d of %d files (%d skipped via index, %d unindexed)\n",
@@ -588,11 +796,11 @@ func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, [
 		if h := rep.RetentionHorizon(); h > 0 && w.to > 0 && w.to < h {
 			fmt.Fprintf(os.Stderr, "montrace: the window precedes the retention horizon %d: the requested range was dropped by retention, not absent from the run\n", h)
 		}
-		return rep.Events, rep.Markers, rep.Healths, rep.Tombstones, nil
+		return loaded{rep.Events, rep.Markers, rep.Healths, rep.Tombstones, rep.Alerts}, nil
 	}
-	trace, markers, healths, tombs, err := load(path)
+	ld, err := load(path)
 	if err != nil || !w.active() {
-		return trace, markers, healths, tombs, err
+		return ld, err
 	}
 	from, to := w.from, w.to
 	if from <= 0 {
@@ -601,35 +809,42 @@ func loadWindowed(path string, w window) (event.Seq, []history.RecoveryMarker, [
 	if to <= 0 {
 		to = math.MaxInt64
 	}
-	trace = trace.SubSeq(from, to)
-	keptHealths := healths[:0]
-	for _, h := range healths {
+	ld.trace = ld.trace.SubSeq(from, to)
+	keptHealths := ld.healths[:0]
+	for _, h := range ld.healths {
 		if h.Seq <= to && (h.Seq >= from || from <= 1) {
 			keptHealths = append(keptHealths, h)
 		}
 	}
-	healths = keptHealths
+	ld.healths = keptHealths
+	keptAlerts := ld.alerts[:0]
+	for _, a := range ld.alerts {
+		if a.Seq <= to && (a.Seq >= from || from <= 1) {
+			keptAlerts = append(keptAlerts, a)
+		}
+	}
+	ld.alerts = keptAlerts
 	if names := w.names(); names != nil {
 		keep := make(map[string]bool, len(names))
 		for _, n := range names {
 			keep[n] = true
 		}
-		filtered := make(event.Seq, 0, len(trace))
-		for _, e := range trace {
+		filtered := make(event.Seq, 0, len(ld.trace))
+		for _, e := range ld.trace {
 			if keep[e.Monitor] {
 				filtered = append(filtered, e)
 			}
 		}
-		trace = filtered
-		kept := markers[:0]
-		for _, m := range markers {
+		ld.trace = filtered
+		kept := ld.markers[:0]
+		for _, m := range ld.markers {
 			if keep[m.Monitor] {
 				kept = append(kept, m)
 			}
 		}
-		markers = kept
+		ld.markers = kept
 	}
-	return trace, markers, healths, tombs, nil
+	return ld, nil
 }
 
 // warnReplay surfaces a replay's damage accounting on stderr.
@@ -656,20 +871,21 @@ func warnReplay(rep *export.Replay) {
 }
 
 // load reads a trace from a file or an export directory. Recovery
-// markers, health snapshots and retention tombstones only exist in
-// export directories; for flat files those slices are always nil.
-func load(path string) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord, []export.Tombstone, error) {
+// markers, health snapshots, retention tombstones and threshold
+// alerts only exist in export directories; for flat files those
+// slices are always nil.
+func load(path string) (loaded, error) {
 	if info, err := os.Stat(path); err == nil && info.IsDir() {
 		rep, err := export.ReadDir(path)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return loaded{}, err
 		}
 		warnReplay(rep)
-		return rep.Events, rep.Markers, rep.Healths, rep.Tombstones, nil
+		return loaded{rep.Events, rep.Markers, rep.Healths, rep.Tombstones, rep.Alerts}, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return loaded{}, err
 	}
 	defer f.Close()
 	var trace event.Seq
@@ -678,7 +894,7 @@ func load(path string) (event.Seq, []history.RecoveryMarker, []obs.HealthRecord,
 	} else {
 		trace, err = event.ReadJSON(f)
 	}
-	return trace, nil, nil, nil, err
+	return loaded{trace: trace}, err
 }
 
 func check(args []string) int {
@@ -701,22 +917,30 @@ func check(args []string) int {
 }
 
 func checkOne(in, specFile string, tmax, tio, tlimit time.Duration, win window) int {
-	trace, markers, _, tombs, err := loadWindowed(in, win)
+	ld, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
 	}
+	trace, markers := ld.trace, ld.markers
 	if win.active() && len(trace) > 0 {
 		fmt.Printf("note: checking the window seq %d..%d; calling-order or pairing violations at the window edges may be artefacts of the cut, not program faults\n",
 			trace[0].Seq, trace[len(trace)-1].Seq)
 	}
-	if tb := newestTombstone(tombs); tb != nil {
+	if tb := newestTombstone(ld.tombs); tb != nil {
 		fmt.Printf("note: the store was truncated by retention below seq %d (%d events dropped); pairing violations against the missing prefix are retention artefacts, not program faults\n",
 			tb.Horizon, tb.Events)
 	}
 	for _, mk := range markers {
 		fmt.Printf("note: monitor %q was reset online at seq %d (rule %s, %d unchecked events discarded); violations on it at or below that horizon may be reset artefacts, not program faults\n",
 			mk.Monitor, mk.Horizon, mk.Rule, mk.Dropped)
+	}
+	// The pipeline's own degradation episodes sit next to the program's
+	// faults: a trace checked while the detection pipeline was breaching
+	// its thresholds deserves less confidence than one checked clean.
+	for _, a := range ld.alerts {
+		fmt.Printf("note: pipeline alert at seq %d: %s — detection itself was degraded around this horizon, so treat nearby results with care\n",
+			a.Seq, a)
 	}
 	specs := []monitor.Spec{boundedbuffer.Spec("boundedbuffer", demoCapacity)}
 	if specFile != "" {
@@ -787,18 +1011,19 @@ func dump(args []string) int {
 }
 
 func dumpOne(in string, original bool, win window) int {
-	trace, markers, _, tombs, err := loadWindowed(in, win)
+	ld, err := loadWindowed(in, win)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "montrace: %v\n", err)
 		return 1
 	}
+	trace := ld.trace
 	if original {
 		trace = rules.Effective(trace)
 	}
 	// The tombstone leads the dump: everything below its horizon was
 	// dropped by retention, and the reader should know before the first
 	// surviving event scrolls past.
-	if tb := newestTombstone(tombs); tb != nil {
+	if tb := newestTombstone(ld.tombs); tb != nil {
 		fmt.Printf("------  %-13s  TRUNCATED below seq %d by retention (%d events, %d records, %d files dropped)\n",
 			"(retention)", tb.Horizon, tb.Events, tb.Records, tb.Files)
 		for _, tr := range tb.Monitors {
@@ -806,28 +1031,45 @@ func dumpOne(in string, original bool, win window) int {
 				tr.Monitor, tr.MinSeq, tr.MaxSeq, tr.Events)
 		}
 	}
-	// Markers interleave at their horizon: every event at or below the
-	// horizon precedes the reset, everything after belongs to the
-	// monitor's fresh life.
-	sort.SliceStable(markers, func(i, j int) bool { return markers[i].Horizon < markers[j].Horizon })
-	next := 0
-	printMarker := func(mk history.RecoveryMarker) {
-		fmt.Printf("------  %-13s  RESET at seq %d (rule %s, %d unchecked events discarded)\n",
-			mk.Monitor, mk.Horizon, mk.Rule, mk.Dropped)
+	// Markers and pipeline alerts interleave at their horizon: every
+	// event at or below the horizon precedes the reset (or the rule
+	// transition), everything after follows it.
+	type annotation struct {
+		horizon int64
+		line    string
 	}
+	var notes []annotation
+	for _, mk := range ld.markers {
+		notes = append(notes, annotation{mk.Horizon, fmt.Sprintf("------  %-13s  RESET at seq %d (rule %s, %d unchecked events discarded)",
+			mk.Monitor, mk.Horizon, mk.Rule, mk.Dropped)})
+	}
+	for _, a := range ld.alerts {
+		who := "(pipeline)"
+		if a.Origin != "" {
+			who = "(" + a.Origin + ")"
+		}
+		notes = append(notes, annotation{a.Seq, fmt.Sprintf("------  %-13s  ALERT at seq %d: %s", who, a.Seq, a)})
+	}
+	sort.SliceStable(notes, func(i, j int) bool { return notes[i].horizon < notes[j].horizon })
+	next := 0
 	for _, e := range trace {
-		for next < len(markers) && markers[next].Horizon < e.Seq {
-			printMarker(markers[next])
+		for next < len(notes) && notes[next].horizon < e.Seq {
+			fmt.Println(notes[next].line)
 			next++
 		}
 		fmt.Printf("%6d  %-13s  %s\n", e.Seq, e.Monitor, e)
 	}
-	for ; next < len(markers); next++ {
-		printMarker(markers[next])
+	for ; next < len(notes); next++ {
+		fmt.Println(notes[next].line)
 	}
-	if len(markers) > 0 {
-		fmt.Printf("%d events, %d recovery markers\n", len(trace), len(markers))
-	} else {
+	switch {
+	case len(ld.markers) > 0 && len(ld.alerts) > 0:
+		fmt.Printf("%d events, %d recovery markers, %d pipeline alerts\n", len(trace), len(ld.markers), len(ld.alerts))
+	case len(ld.markers) > 0:
+		fmt.Printf("%d events, %d recovery markers\n", len(trace), len(ld.markers))
+	case len(ld.alerts) > 0:
+		fmt.Printf("%d events, %d pipeline alerts\n", len(trace), len(ld.alerts))
+	default:
 		fmt.Printf("%d events\n", len(trace))
 	}
 	return 0

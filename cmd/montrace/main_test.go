@@ -17,6 +17,8 @@ import (
 	"robustmon/internal/export/compact"
 	"robustmon/internal/export/net"
 	"robustmon/internal/history"
+	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // TestHelpTextGolden pins the documented command surface: `montrace
@@ -60,10 +62,11 @@ func TestLoadExportDirWithMarkers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	trace, markers, _, _, err := load(dir)
+	ld, err := load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	trace, markers := ld.trace, ld.markers
 	if len(trace) != 2 || len(markers) != 1 || markers[0] != mk {
 		t.Fatalf("load: %d events, markers %+v", len(trace), markers)
 	}
@@ -84,10 +87,11 @@ func TestRecordCheckCleanJSON(t *testing.T) {
 	if code := record([]string{"-out", path, "-items", "20"}); code != 0 {
 		t.Fatalf("record exit = %d", code)
 	}
-	trace, _, _, _, err := load(path)
+	traceLd, err := load(path)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
+	trace := traceLd.trace
 	// 20 sends + 20 receives, two events each, plus schedule-dependent
 	// Wait events when the buffer boundary is hit.
 	if len(trace) < 80 {
@@ -164,7 +168,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if code := record([]string{"-out", filepath.Join(dir, "ok.jsonl"), "-items", "1"}); code != 0 {
 		t.Fatal("setup record failed")
 	}
-	if _, _, _, _, err := load(bad); err == nil {
+	if _, err := load(bad); err == nil {
 		t.Fatal("load of missing file succeeded")
 	}
 }
@@ -175,10 +179,11 @@ func TestRecordToExportDirRoundTrip(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "20"}); code != 0 {
 		t.Fatalf("record -outdir exit = %d", code)
 	}
-	trace, _, _, _, err := load(dir)
+	traceLd, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(dir): %v", err)
 	}
+	trace := traceLd.trace
 	if len(trace) < 80 {
 		t.Fatalf("directory trace has %d events, want ≥ 80", len(trace))
 	}
@@ -214,10 +219,11 @@ func TestLoadTruncatedExportDirRecovers(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "20"}); code != 0 {
 		t.Fatalf("record -outdir exit = %d", code)
 	}
-	full, _, _, _, err := load(dir)
+	fullLd, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(full): %v", err)
 	}
+	full := fullLd.trace
 	// Simulate a crash mid-append: chop the tail off the newest file.
 	names, err := filepath.Glob(filepath.Join(dir, "*.wal"))
 	if err != nil || len(names) == 0 {
@@ -232,10 +238,11 @@ func TestLoadTruncatedExportDirRecovers(t *testing.T) {
 	if err := os.WriteFile(newest, blob[:len(blob)-5], 0o666); err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, _, err := load(dir)
+	gotLd, err := load(dir)
 	if err != nil {
 		t.Fatalf("load(truncated): %v", err)
 	}
+	got := gotLd.trace
 	if len(got) == 0 || len(got) >= len(full) {
 		t.Fatalf("recovered %d events from torn dir, want a strict non-empty prefix of %d", len(got), len(full))
 	}
@@ -255,10 +262,11 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	if code := record([]string{"-outdir", dir, "-items", "64"}); code != 0 {
 		t.Fatalf("record exit = %d", code)
 	}
-	full, _, _, _, err := load(dir)
+	fullLd, err := load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	full := fullLd.trace
 	if code := indexCmd([]string{"-in", dir}); code != 0 {
 		t.Fatalf("index exit = %d", code)
 	}
@@ -269,20 +277,22 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	// A window in the middle, via the index-backed reader.
 	mid := full[len(full)/2].Seq
 	win := window{from: mid - 10, to: mid + 10}
-	got, _, _, _, err := loadWindowed(dir, win)
+	gotLd, err := loadWindowed(dir, win)
 	if err != nil {
 		t.Fatal(err)
 	}
+	got := gotLd.trace
 	want := full.SubSeq(mid-10, mid+10)
 	if len(got) != len(want) {
 		t.Fatalf("windowed load returned %d events, want %d", len(got), len(want))
 	}
 
 	// Monitor filtering composes with the window.
-	byMon, _, _, _, err := loadWindowed(dir, window{from: mid - 10, to: mid + 10, monitors: "boundedbuffer"})
+	byMonLd, err := loadWindowed(dir, window{from: mid - 10, to: mid + 10, monitors: "boundedbuffer"})
 	if err != nil {
 		t.Fatal(err)
 	}
+	byMon := byMonLd.trace
 	if len(byMon) != len(want.ByMonitor("boundedbuffer")) {
 		t.Fatalf("monitor-filtered window returned %d events, want %d",
 			len(byMon), len(want.ByMonitor("boundedbuffer")))
@@ -298,10 +308,11 @@ func TestTraceStoreWorkflow(t *testing.T) {
 	if code := compactCmd([]string{"-in", dir, "-keep", "0"}); code != 0 {
 		t.Fatalf("compact exit = %d", code)
 	}
-	after, _, _, _, err := load(dir)
+	afterLd, err := load(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	after := afterLd.trace
 	if len(after) != len(full) {
 		t.Fatalf("compaction changed the trace: %d -> %d events", len(full), len(after))
 	}
@@ -372,14 +383,16 @@ func TestRecordShipToCollector(t *testing.T) {
 		t.Fatalf("collector close: %v", err)
 	}
 
-	want, _, _, _, err := load(local)
+	wantLd, err := load(local)
 	if err != nil {
 		t.Fatalf("load(local): %v", err)
 	}
-	got, _, _, _, err := load(filepath.Join(root, "prod-a"))
+	want := wantLd.trace
+	gotLd, err := load(filepath.Join(root, "prod-a"))
 	if err != nil {
 		t.Fatalf("load(collected): %v", err)
 	}
+	got := gotLd.trace
 	if len(want) == 0 || !reflect.DeepEqual(want, got) {
 		t.Fatalf("collected replay differs from local: %d events local, %d collected", len(want), len(got))
 	}
@@ -397,14 +410,16 @@ func TestWindowFlagsOnFlatFile(t *testing.T) {
 	if code := record([]string{"-out", path, "-items", "16"}); code != 0 {
 		t.Fatalf("record exit = %d", code)
 	}
-	full, _, _, _, err := load(path)
+	fullLd, err := load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, _, err := loadWindowed(path, window{from: 5, to: 14})
+	full := fullLd.trace
+	gotLd, err := loadWindowed(path, window{from: 5, to: 14})
 	if err != nil {
 		t.Fatal(err)
 	}
+	got := gotLd.trace
 	if want := full.SubSeq(5, 14); len(got) != len(want) {
 		t.Fatalf("flat-file window returned %d events, want %d", len(got), len(want))
 	}
@@ -560,5 +575,129 @@ end beta.
 	})
 	if c := strings.Count(checkOut, "truncated by retention below seq 10"); c != 2 {
 		t.Fatalf("check over the fleet root noted the truncation %d times, want once per origin:\n%s", c, checkOut)
+	}
+}
+
+// buildAlertedDir writes a deterministic export directory holding a
+// short trace, one health snapshot and a fire/clear alert pair — the
+// store a self-watching detector leaves behind.
+func buildAlertedDir(t *testing.T, dir string) {
+	t.Helper()
+	sink, err := export.NewWALSink(dir, export.WALConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2001, 7, 1, 12, 0, 0, 0, time.UTC)
+	seg := event.Seq{
+		{Seq: 1, Monitor: "boundedbuffer", Type: event.Enter, Pid: 1, Proc: "Send", Flag: event.Completed, Time: at},
+		{Seq: 2, Monitor: "boundedbuffer", Type: event.SignalExit, Pid: 1, Proc: "Send", Cond: "notEmpty", Time: at},
+	}
+	if err := sink.WriteSegment(export.Segment{Monitor: "boundedbuffer", Events: seg}); err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 2; seq++ {
+		h := obs.HealthRecord{
+			At: at.Add(time.Duration(seq) * time.Second), Seq: seq,
+			Metrics: obs.Snapshot{Counters: []obs.Metric{{Name: "history_append_total", Value: 10 * seq}}},
+		}
+		if err := sink.WriteHealth(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fire := obsrules.Alert{
+		At: at.Add(time.Second), Seq: 1, Rule: "slow-checks",
+		Metric: "detect_check_ns", Value: 9, Ceiling: 5, Firing: true,
+	}
+	clear := fire
+	clear.At, clear.Seq, clear.Value, clear.Firing = at.Add(2*time.Second), 2, 3, false
+	for _, a := range []obsrules.Alert{fire, clear} {
+		if err := sink.WriteAlert(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlertsSurfaceInSubcommands: a store holding threshold alerts
+// shows them in every reading subcommand — stats lists the alert
+// timeline (and -rates the delta view), dump interleaves ALERT lines
+// at their horizons, check notes the degradation episode — and the
+// alerts never turn a clean trace into a faulty exit code.
+func TestAlertsSurfaceInSubcommands(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join(t.TempDir(), "run")
+	buildAlertedDir(t, dir)
+
+	statsOut := captureStdout(t, func() {
+		if code := stats([]string{"-in", dir}); code != 0 {
+			t.Errorf("stats exit = %d", code)
+		}
+	})
+	if !strings.Contains(statsOut, "pipeline alerts: 2 (1 fired, 1 cleared)") ||
+		!strings.Contains(statsOut, "FIRED slow-checks (detect_check_ns=9 > 5)") {
+		t.Fatalf("stats does not render the alert timeline:\n%s", statsOut)
+	}
+	ratesOut := captureStdout(t, func() {
+		if code := stats([]string{"-in", dir, "-rates"}); code != 0 {
+			t.Errorf("stats -rates exit = %d", code)
+		}
+	})
+	if !strings.Contains(ratesOut, "health timeline (rates): 2 snapshots, 1 intervals") ||
+		!strings.Contains(ratesOut, "10.0") { // Δ10 appends over 1s
+		t.Fatalf("stats -rates does not render the delta view:\n%s", ratesOut)
+	}
+	dumpOut := captureStdout(t, func() {
+		if code := dump([]string{"-in", dir}); code != 0 {
+			t.Errorf("dump exit = %d", code)
+		}
+	})
+	if !strings.Contains(dumpOut, "ALERT at seq 1: FIRED slow-checks") ||
+		!strings.Contains(dumpOut, "2 events, 2 pipeline alerts") {
+		t.Fatalf("dump does not interleave the alerts:\n%s", dumpOut)
+	}
+	checkOut := captureStdout(t, func() {
+		if code := check([]string{"-in", dir}); code != 0 {
+			t.Errorf("check exit = %d, want 0 (alerts are notes, not faults)", code)
+		}
+	})
+	if !strings.Contains(checkOut, "note: pipeline alert at seq 1: FIRED slow-checks") {
+		t.Fatalf("check does not note the alert:\n%s", checkOut)
+	}
+}
+
+// TestFleetStatsMergedTimeline: stats over a fleet root appends the
+// merged cross-origin view — every origin's health snapshots in
+// wall-clock order under an origin column, and every origin's alerts
+// tagged with where they came from.
+func TestFleetStatsMergedTimeline(t *testing.T) {
+	t.Parallel()
+	root := filepath.Join(t.TempDir(), "fleet")
+	buildAlertedDir(t, filepath.Join(root, "prod-a"))
+	buildAlertedDir(t, filepath.Join(root, "prod-b"))
+
+	out := captureStdout(t, func() {
+		if code := stats([]string{"-in", root}); code != 0 {
+			t.Errorf("stats on fleet root exit = %d", code)
+		}
+	})
+	if !strings.Contains(out, "== fleet timeline ==") ||
+		!strings.Contains(out, "4 snapshots across 2 origins, 4 alerts") {
+		t.Fatalf("fleet stats lacks the merged timeline header:\n%s", out)
+	}
+	// Each origin's two alerts appear under "fleet alerts:", each row
+	// naming its origin in the column and the origin= tag (2 rows × 2).
+	aIdx := strings.Index(out, "fleet alerts:")
+	if aIdx < 0 || strings.Count(out[aIdx:], "prod-a") != 4 || strings.Count(out[aIdx:], "prod-b") != 4 {
+		t.Fatalf("fleet alerts are not origin-tagged:\n%s", out)
+	}
+	ratesOut := captureStdout(t, func() {
+		if code := stats([]string{"-in", root, "-rates"}); code != 0 {
+			t.Errorf("stats -rates on fleet root exit = %d", code)
+		}
+	})
+	if !strings.Contains(ratesOut, "Δappends") || !strings.Contains(ratesOut, "append/s") {
+		t.Fatalf("fleet stats -rates lacks the delta columns:\n%s", ratesOut)
 	}
 }

@@ -2,7 +2,10 @@
 // history database, a detector and a streaming WAL exporter all
 // instrument themselves on one lock-free metrics registry; the
 // detector additionally captures the whole registry as periodic
-// health-snapshot records in the same WAL that carries the trace. The
+// health-snapshot records in the same WAL that carries the trace, and
+// evaluates threshold rules over each snapshot (the self-watching
+// pipeline — fired rules would surface as META violations and WAL
+// alerts). The
 // program then exposes the registry over HTTP — /metrics in Prometheus
 // text exposition plus the standard /debug/pprof suite — scrapes its
 // own endpoint once, and finally replays the export directory to show
@@ -83,6 +86,16 @@ func main() {
 		// Every checkpoint boundary at least 5ms after the last snapshot
 		// captures the registry into the WAL — the health timeline.
 		HealthEvery: 5 * time.Millisecond,
+		// The pipeline also watches itself: each health snapshot is run
+		// through these threshold rules, and a transition raises a META
+		// violation plus a WAL pipeline alert. The ceilings here are far
+		// above anything this workload produces, so the run stays quiet —
+		// but the engine's obs_rule_* meters appear on /metrics either
+		// way.
+		Rules: []robustmon.ObsRule{
+			{Name: "check-storm", Metric: "detect_checks_total", Rate: true, Ceiling: 1e9},
+			{Name: "slow-checks", Metric: "detect_check_ns", Quantile: 0.99, Ceiling: float64(time.Hour)},
+		},
 	}, mons...)
 
 	// The HTTP endpoint is up during the workload, so a scrape sees the
@@ -148,8 +161,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("observability: replay: %v", err)
 	}
-	fmt.Printf("replayed %d events and %d health snapshots from %s\n",
-		len(rep.Events), len(rep.Healths), dir)
+	fmt.Printf("replayed %d events, %d health snapshots and %d pipeline alerts from %s\n",
+		len(rep.Events), len(rep.Healths), len(rep.Alerts), dir)
 	if len(rep.Healths) == 0 {
 		log.Fatal("observability: no health snapshots reached the WAL")
 	}

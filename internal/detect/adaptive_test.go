@@ -14,6 +14,7 @@ import (
 	"robustmon/internal/history"
 	"robustmon/internal/monitor"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 	"robustmon/internal/proc"
 	"robustmon/internal/rules"
 )
@@ -163,6 +164,7 @@ func (c *collectExporter) Consume(monitor string, seg event.Seq) {
 
 func (c *collectExporter) ConsumeMarker(history.RecoveryMarker) {}
 func (c *collectExporter) ConsumeHealth(obs.HealthRecord)       {}
+func (c *collectExporter) ConsumeAlert(obsrules.Alert)          {}
 func (c *collectExporter) Flush() error                         { return nil }
 
 func (c *collectExporter) merged() event.Seq {

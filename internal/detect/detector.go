@@ -53,6 +53,7 @@ import (
 	"robustmon/internal/history"
 	"robustmon/internal/monitor"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 	"robustmon/internal/rules"
 	"robustmon/internal/state"
 )
@@ -144,6 +145,21 @@ type Config struct {
 	// period and sends it through the exporter, so the export WAL
 	// carries a health timeline alongside the trace. Zero disables.
 	HealthEvery time.Duration
+	// Rules are threshold rules the detector evaluates over its own
+	// registry at the health cadence (internal/obs/rules): each health
+	// snapshot is shared between the exported health record and one
+	// Engine.Eval pass, so watching the watcher costs one extra linear
+	// scan per emission, nothing per event. A rule crossing into the
+	// firing state is persisted as a WAL alert record (ConsumeAlert)
+	// and raised as a synthetic meta-violation (rules.Meta, Phase
+	// "meta") through the ordinary found/OnViolation path; a rule with
+	// ResetMonitor set additionally drives a shard-local RequestReset.
+	// Clears are persisted but raise no violation. Rules need the same
+	// three legs as health emission — Obs, Exporter and HealthEvery —
+	// and are ignored without them. New panics on an invalid rule set
+	// (duplicate or unnamed rules), like any other static-config
+	// programming error.
+	Rules []obsrules.Rule
 	// SuspendOverhead simulates the fixed per-checkpoint cost of the
 	// paper's prototype, whose checking routine suspended every user
 	// process via 2001-era JVM thread suspension — a platform cost that
@@ -187,6 +203,9 @@ type TraceExporter interface {
 	ConsumeMarker(m history.RecoveryMarker)
 	// ConsumeHealth accepts one periodic health snapshot.
 	ConsumeHealth(h obs.HealthRecord)
+	// ConsumeAlert accepts one threshold-rule transition (fire or
+	// clear) from the detector's self-watching rules (Config.Rules).
+	ConsumeAlert(a obsrules.Alert)
 	// Flush forces everything consumed so far to the sink.
 	Flush() error
 }
@@ -250,6 +269,15 @@ type Detector struct {
 	// the checkpoint state.
 	met    detMetrics
 	health TraceExporter
+	// rules is the self-watching threshold engine (nil unless
+	// Config.Rules and the health legs are all configured); resetFor
+	// maps a rule name to its ResetMonitor target, and alertBuf is the
+	// reused Eval destination keeping the no-transition path
+	// allocation-free. All guarded by mu like the rest of the
+	// checkpoint state.
+	rules    *obsrules.Engine
+	resetFor map[string]string
+	alertBuf []obsrules.Alert
 
 	mu         sync.Mutex
 	mons       []*monState
@@ -270,7 +298,8 @@ type Stats struct {
 	Checks int
 	// Events is the number of events replayed.
 	Events int
-	// Violations is the number of violations found (periodic phase).
+	// Violations is the number of violations found (periodic and meta
+	// phases).
 	Violations int
 	// FrozenFor is the cumulative wall time monitors were held frozen:
 	// in hold-world mode the whole checkpoint duration (the world is
@@ -361,6 +390,21 @@ func New(db *history.DB, cfg Config, mons ...*monitor.Monitor) *Detector {
 		// ConsumeHealth is part of the TraceExporter contract.
 		d.health = cfg.Exporter
 	}
+	if len(cfg.Rules) > 0 && d.health != nil {
+		eng, err := obsrules.New(cfg.Obs, cfg.Rules...)
+		if err != nil {
+			// Static config, programming error: fail loudly at
+			// construction rather than silently not watching.
+			panic("detect: invalid Config.Rules: " + err.Error())
+		}
+		d.rules = eng
+		d.resetFor = make(map[string]string, len(cfg.Rules))
+		for _, r := range cfg.Rules {
+			if r.ResetMonitor != "" {
+				d.resetFor[r.Name] = r.ResetMonitor
+			}
+		}
+	}
 	return d
 }
 
@@ -433,8 +477,13 @@ func (d *Detector) checkSubset(sel []int) []rules.Violation {
 	d.applyResetsLocked()
 	// Health snapshots interleave with checkpoints, never run inside
 	// one — captured here the record also reflects this checkpoint's
-	// own counters.
+	// own counters. The same snapshot feeds the self-watching rules,
+	// whose firing transitions may enqueue further resets …
 	d.maybeEmitHealthLocked()
+	// … which this final drain applies, so a rule-driven reset lands
+	// before the checkpoint that fired it returns, same as one
+	// requested from OnViolation.
+	d.applyResetsLocked()
 	return out
 }
 

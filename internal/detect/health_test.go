@@ -10,6 +10,7 @@ import (
 	"robustmon/internal/history"
 	"robustmon/internal/monitor"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 	"robustmon/internal/proc"
 )
 
@@ -22,6 +23,7 @@ type healthCapture struct {
 
 func (c *healthCapture) Consume(string, event.Seq)            {}
 func (c *healthCapture) ConsumeMarker(history.RecoveryMarker) {}
+func (c *healthCapture) ConsumeAlert(obsrules.Alert)          {}
 func (c *healthCapture) Flush() error                         { return nil }
 func (c *healthCapture) ConsumeHealth(h obs.HealthRecord) {
 	c.mu.Lock()

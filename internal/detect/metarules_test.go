@@ -1,0 +1,212 @@
+package detect
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"robustmon/internal/event"
+	"robustmon/internal/history"
+	"robustmon/internal/monitor"
+	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
+	"robustmon/internal/proc"
+	"robustmon/internal/rules"
+)
+
+// alertCapture is a TraceExporter observing the self-watching legs:
+// alert transitions and the recovery markers of rule-driven resets.
+type alertCapture struct {
+	mu      sync.Mutex
+	alerts  []obsrules.Alert
+	markers []history.RecoveryMarker
+}
+
+func (c *alertCapture) Consume(string, event.Seq)      {}
+func (c *alertCapture) ConsumeHealth(obs.HealthRecord) {}
+func (c *alertCapture) Flush() error                   { return nil }
+func (c *alertCapture) ConsumeAlert(a obsrules.Alert) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.alerts = append(c.alerts, a)
+}
+func (c *alertCapture) ConsumeMarker(m history.RecoveryMarker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markers = append(c.markers, m)
+}
+func (c *alertCapture) captured() ([]obsrules.Alert, []history.RecoveryMarker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obsrules.Alert(nil), c.alerts...),
+		append([]history.RecoveryMarker(nil), c.markers...)
+}
+
+// TestMetaViolationFromFiringRule: a threshold rule breaching at the
+// health cadence fires exactly once per episode, is persisted through
+// ConsumeAlert, and surfaces as a synthetic meta-violation (rules.Meta,
+// Phase "meta") through found and OnViolation — hysteresis included:
+// FireAfter 2 needs two consecutive breaching evaluations.
+func TestMetaViolationFromFiringRule(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	cap := &alertCapture{}
+	var onViolation []rules.Violation
+	var vmu sync.Mutex
+	f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
+		Obs: reg, HealthEvery: time.Minute, Exporter: cap,
+		Rules: []obsrules.Rule{{
+			// detect_checks_total grows by one per checkpoint, so the
+			// breach instant is exact: evaluations 1 and 2 observe 1 and
+			// 2 (no breach), 3 and 4 observe 3 and 4 (breach streak),
+			// and FireAfter 2 fires on the 4th.
+			Name: "too-many-checks", Metric: "detect_checks_total",
+			Ceiling: 2, FireAfter: 2,
+		}},
+		OnViolation: func(v rules.Violation) {
+			vmu.Lock()
+			onViolation = append(onViolation, v)
+			vmu.Unlock()
+		},
+	})
+	checkpoint := func() {
+		f.det.CheckNow()
+		f.clk.Advance(time.Minute) // next checkpoint is a fresh evaluation
+	}
+	checkpoint() // eval 1: checks=1, under the ceiling
+	checkpoint() // eval 2: checks=2, still under
+	checkpoint() // eval 3: checks=3, breach 1 of 2 — armed, not firing
+	alerts, _ := cap.captured()
+	if len(alerts) != 0 {
+		t.Fatalf("rule fired after one breaching evaluation despite FireAfter=2: %v", alerts)
+	}
+	checkpoint() // eval 4: checks=4, breach 2 of 2 — fires
+	checkpoint() // eval 5: still breaching, already firing — no new alert
+
+	alerts, _ = cap.captured()
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alert transitions, want exactly 1 fire", len(alerts))
+	}
+	a := alerts[0]
+	if !a.Firing || a.Rule != "too-many-checks" || a.Value != 4 || a.Ceiling != 2 {
+		t.Fatalf("fire alert = %+v", a)
+	}
+	if want := f.db.LastSeq(); a.Seq != want {
+		t.Fatalf("alert horizon %d, database says %d", a.Seq, want)
+	}
+
+	vmu.Lock()
+	got := append([]rules.Violation(nil), onViolation...)
+	vmu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("OnViolation saw %d violations, want 1", len(got))
+	}
+	v := got[0]
+	if v.Rule != rules.Meta || v.Phase != "meta" || v.Monitor != "too-many-checks" {
+		t.Fatalf("meta violation = %+v", v)
+	}
+	if !rules.HasRule(f.det.Violations(), rules.Meta) {
+		t.Fatal("meta violation missing from Detector.Violations")
+	}
+	if st := f.det.Stats(); st.Violations != 1 {
+		t.Fatalf("Stats.Violations = %d, want 1", st.Violations)
+	}
+	snap := reg.Snapshot()
+	if fired, _ := snap.Counter("obs_rule_fired_total"); fired != 1 {
+		t.Fatalf("obs_rule_fired_total = %d, want 1", fired)
+	}
+	if firing, _ := snap.Gauge("obs_rules_firing"); firing != 1 {
+		t.Fatalf("obs_rules_firing = %d, want 1", firing)
+	}
+}
+
+// TestRuleDrivenReset: a firing rule with ResetMonitor set applies a
+// shard-local reset before the checkpoint that fired it returns, and
+// the reset's recovery marker carries the META rule id — the detector
+// healing itself, observable end to end through the exporter seam.
+func TestRuleDrivenReset(t *testing.T) {
+	t.Parallel()
+	reg := obs.NewRegistry()
+	cap := &alertCapture{}
+	f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
+		Obs: reg, HealthEvery: time.Minute, Exporter: cap,
+		Rules: []obsrules.Rule{{
+			// Ceiling 0 over the checkpoint counter: the anchor
+			// evaluation (checks=1) already breaches, so the very first
+			// CheckNow fires and resets.
+			Name: "reset-on-anything", Metric: "detect_checks_total",
+			Ceiling: 0, ResetMonitor: "m",
+		}},
+	})
+	f.rt.Spawn("worker", func(p *proc.P) {
+		if err := f.mon.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = f.mon.Exit(p, "Op")
+	})
+	f.rt.Join()
+
+	f.det.CheckNow()
+	st := f.det.Stats()
+	if st.Resets != 1 {
+		t.Fatalf("Stats.Resets = %d, want the rule-driven reset applied before CheckNow returned", st.Resets)
+	}
+	alerts, markers := cap.captured()
+	if len(alerts) != 1 || !alerts[0].Firing {
+		t.Fatalf("alerts = %+v, want one fire", alerts)
+	}
+	if len(markers) != 1 {
+		t.Fatalf("markers = %+v, want the reset's recovery marker", markers)
+	}
+	if markers[0].Monitor != "m" || markers[0].Rule != string(rules.Meta) {
+		t.Fatalf("marker = %+v, want monitor m reset under META", markers[0])
+	}
+	// The reset must not wedge the monitor: it keeps accepting work.
+	f.rt.Spawn("after", func(p *proc.P) {
+		if err := f.mon.Enter(p, "Op"); err != nil {
+			return
+		}
+		_ = f.mon.Exit(p, "Op")
+	})
+	f.rt.Join()
+	f.det.CheckNow()
+}
+
+// TestRulesRequireHealthLegs: Config.Rules without the health legs
+// (cadence, registry, exporter) is inert, not a crash.
+func TestRulesRequireHealthLegs(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, managerSpec(), monitor.Hooks{}, Config{
+		Obs: obs.NewRegistry(), // no cadence, no exporter
+		Rules: []obsrules.Rule{{
+			Name: "r", Metric: "detect_checks_total", Ceiling: 0,
+		}},
+	})
+	f.det.CheckNow()
+	if st := f.det.Stats(); st.Violations != 0 {
+		t.Fatalf("rules evaluated without the health legs: %d violations", st.Violations)
+	}
+}
+
+// TestInvalidRulesPanic: a duplicate rule name is a programming error
+// caught loudly at construction.
+func TestInvalidRulesPanic(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a duplicate rule name")
+		}
+	}()
+	db := history.New()
+	m, err := monitor.New(managerSpec(), monitor.WithRecorder(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	New(db, Config{
+		Obs: obs.NewRegistry(), HealthEvery: time.Minute, Exporter: &alertCapture{},
+		Rules: []obsrules.Rule{
+			{Name: "dup", Metric: "a", Ceiling: 1},
+			{Name: "dup", Metric: "b", Ceiling: 2},
+		},
+	}, m)
+}

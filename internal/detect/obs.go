@@ -1,6 +1,11 @@
 package detect
 
-import "robustmon/internal/obs"
+import (
+	"time"
+
+	"robustmon/internal/obs"
+	"robustmon/internal/rules"
+)
 
 // Detector self-observability. Config.Obs instruments the checkpoint
 // pipeline on an obs registry — checkpoint and freeze latency
@@ -66,6 +71,11 @@ func newDetMetrics(reg *obs.Registry, monitors []string, adaptive bool) detMetri
 // horizon is the database's current LastSeq — the same windowing key
 // segment records carry — which is what lets `montrace stats` window
 // the timeline through the trace-store index.
+//
+// One registry snapshot serves both consumers at the boundary: the
+// exported health record and the self-watching rule engine's Eval
+// (Config.Rules) — the rules judge exactly the timeline the WAL
+// carries, and the snapshot cost is paid once.
 func (d *Detector) maybeEmitHealthLocked() {
 	if d.health == nil {
 		return
@@ -76,9 +86,51 @@ func (d *Detector) maybeEmitHealthLocked() {
 	}
 	d.lastHealth = now
 	d.met.healthsEmitted.Inc()
+	seq := d.db.LastSeq()
+	snap := d.cfg.Obs.Snapshot()
 	d.health.ConsumeHealth(obs.HealthRecord{
 		At:      now,
-		Seq:     d.db.LastSeq(),
-		Metrics: d.cfg.Obs.Snapshot(),
+		Seq:     seq,
+		Metrics: snap,
 	})
+	d.evalRulesLocked(now, seq, snap)
+}
+
+// evalRulesLocked runs the self-watching threshold rules against the
+// health snapshot just emitted. Every transition (fire or clear) is
+// persisted through the exporter as a WAL alert record; a fire
+// additionally raises a synthetic meta-violation (rules.Meta, Phase
+// "meta") through the ordinary found/OnViolation path — pipeline
+// degradation surfaces exactly where application faults do — and,
+// when the rule names a ResetMonitor, enqueues a shard-local
+// RequestReset that the caller's boundary drain applies before the
+// checkpoint returns. Caller holds d.mu.
+func (d *Detector) evalRulesLocked(now time.Time, seq int64, snap obs.Snapshot) {
+	if d.rules == nil {
+		return
+	}
+	d.alertBuf = d.rules.Eval(d.alertBuf[:0], now, seq, snap)
+	for _, a := range d.alertBuf {
+		d.health.ConsumeAlert(a)
+		if !a.Firing {
+			continue
+		}
+		v := rules.Violation{
+			Rule:    rules.Meta,
+			Monitor: a.Rule,
+			Seq:     a.Seq,
+			At:      a.At,
+			Phase:   "meta",
+			Message: a.String(),
+		}
+		d.stats.Violations++
+		d.met.violations.Inc()
+		d.found = append(d.found, v)
+		if d.cfg.OnViolation != nil {
+			d.cfg.OnViolation(v)
+		}
+		if target := d.resetFor[a.Rule]; target != "" {
+			d.RequestReset(target, v)
+		}
+	}
 }

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"time"
+
+	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
+)
+
+// E10 — threshold-rule evaluation cost. The rule engine (internal/
+// obs/rules) runs inside the detector at every health checkpoint and
+// inside the collector's fleet timer, so its per-snapshot cost is paid
+// on the monitoring path itself: a slow or allocating Eval would make
+// watching the watcher a new overhead class. This sweep evaluates an
+// engine of R rules against a registry snapshot of M series in two
+// modes — "quiet" (no rule ever transitions: the steady state, which
+// must stay allocation-free) and "flapping" (every rule fires and
+// clears on a fixed rhythm: the worst-case transition churn) — and
+// reports evals/sec, ns/eval and allocs/eval. The perf gate bounds
+// the quiet row's allocs at zero (plus the shared noise floor).
+
+// ObsRulesConfig parameterises the E10 sweep.
+type ObsRulesConfig struct {
+	// Rules is the engine's rule count; each watches its own gauge.
+	Rules int
+	// Metrics is the registry's total series count — the watched gauges
+	// plus unwatched filler, so Eval pays realistic snapshot-lookup
+	// costs, not best-case ones.
+	Metrics int
+	// Evals is how many Eval calls each mode times per run.
+	Evals int
+	// FlapEvery is the flapping mode's rhythm: the watched values swap
+	// between breaching and clear every FlapEvery evals.
+	FlapEvery int
+	// Repeats reruns each mode; elapsed and allocs take the minimum
+	// (one-sided noise, as in E7).
+	Repeats int
+}
+
+// DefaultObsRulesConfig is the sweep cmd/monbench runs for -obsrules:
+// enough rules and filler series that the per-snapshot walk dominates,
+// enough evals that the timer resolution does not.
+func DefaultObsRulesConfig() ObsRulesConfig {
+	return ObsRulesConfig{
+		Rules:     64,
+		Metrics:   256,
+		Evals:     50_000,
+		FlapEvery: 50,
+		Repeats:   3,
+	}
+}
+
+// ObsRulesRow is one cell of the E10 sweep.
+type ObsRulesRow struct {
+	// Mode is "quiet" (no transitions) or "flapping" (every rule
+	// transitions every FlapEvery evals).
+	Mode string
+	// Rules and Metrics echo the engine and snapshot shape.
+	Rules, Metrics int
+	// Evals is the Eval calls measured.
+	Evals int64
+	// Transitions is the alerts the engine emitted across the run
+	// (zero on the quiet row by construction).
+	Transitions int64
+	// Elapsed is the minimum wall time across repeats.
+	Elapsed time.Duration
+	// EvalsPerSec and NsPerEval are the throughput pair.
+	EvalsPerSec float64
+	NsPerEval   float64
+	// AllocsPerEval is heap allocations per Eval call — the gated
+	// zero-alloc claim on the quiet row.
+	AllocsPerEval float64
+}
+
+// RunObsRules executes the E10 sweep: quiet steady state, then
+// flapping transition churn.
+func RunObsRules(cfg ObsRulesConfig) ([]ObsRulesRow, error) {
+	if cfg.Rules <= 0 || cfg.Metrics < cfg.Rules || cfg.Evals <= 0 {
+		return nil, fmt.Errorf("experiment: bad obs-rules config %+v", cfg)
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	flapEvery := cfg.FlapEvery
+	if flapEvery <= 0 {
+		flapEvery = 50
+	}
+
+	var rows []ObsRulesRow
+	for _, mode := range []string{"quiet", "flapping"} {
+		row := ObsRulesRow{
+			Mode: mode, Rules: cfg.Rules, Metrics: cfg.Metrics,
+			Evals: int64(cfg.Evals),
+		}
+		elapsed := make([]time.Duration, 0, repeats)
+		allocs := make([]float64, 0, repeats)
+		for i := 0; i < repeats; i++ {
+			e, ape, transitions, err := obsRulesOnce(cfg, mode == "flapping", flapEvery)
+			if err != nil {
+				return nil, err
+			}
+			elapsed = append(elapsed, e)
+			allocs = append(allocs, ape)
+			row.Transitions = transitions
+		}
+		row.Elapsed = slices.Min(elapsed)
+		row.AllocsPerEval = slices.Min(allocs)
+		if s := row.Elapsed.Seconds(); s > 0 {
+			row.EvalsPerSec = float64(row.Evals) / s
+			row.NsPerEval = float64(row.Elapsed.Nanoseconds()) / float64(row.Evals)
+		}
+		if mode == "quiet" && row.Transitions != 0 {
+			return nil, fmt.Errorf("experiment: obs-rules quiet mode emitted %d transitions", row.Transitions)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// obsRulesOnce times one run: cfg.Evals Eval calls over pre-captured
+// snapshots, so the measurement is the engine's walk alone — snapshot
+// capture is the health path's cost, gated by E7, not this sweep's.
+// Flapping alternates between a breaching and a clear snapshot every
+// flapEvery evals, driving every rule through a full fire/clear cycle
+// per period.
+func obsRulesOnce(cfg ObsRulesConfig, flapping bool, flapEvery int) (time.Duration, float64, int64, error) {
+	reg := obs.NewRegistry()
+	rules := make([]obsrules.Rule, cfg.Rules)
+	for i := range rules {
+		name := fmt.Sprintf("e10_watched_%d", i)
+		reg.Gauge(name).Set(1)
+		rules[i] = obsrules.Rule{
+			Name:   fmt.Sprintf("rule-%d", i),
+			Metric: name,
+			// Quiet keeps every value under the ceiling forever; flapping
+			// swaps in a snapshot where every value breaches it.
+			Ceiling: 5,
+		}
+	}
+	for i := cfg.Rules; i < cfg.Metrics; i++ {
+		reg.Counter(fmt.Sprintf("e10_filler_%d", i)).Add(int64(i))
+	}
+	engine, err := obsrules.New(reg, rules...)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	clear := reg.Snapshot()
+	for i := range rules {
+		reg.Gauge(rules[i].Metric).Set(9)
+	}
+	breaching := reg.Snapshot()
+
+	at := time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+	var dst []obsrules.Alert
+	var transitions int64
+	// Two warm-up evals (a full fire/clear cycle) size dst's backing
+	// array before the timed loop, so append growth is not billed to
+	// the steady state; they leave every rule cleared.
+	dst = engine.Eval(dst[:0], at, 0, breaching)
+	dst = engine.Eval(dst[:0], at, 0, clear)
+
+	snap, high := clear, false
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 1; i <= cfg.Evals; i++ {
+		if flapping && i%flapEvery == 0 {
+			high = !high
+			if high {
+				snap = breaching
+			} else {
+				snap = clear
+			}
+		}
+		dst = engine.Eval(dst[:0], at.Add(time.Duration(i)*time.Millisecond), int64(i), snap)
+		transitions += int64(len(dst))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return elapsed, float64(after.Mallocs-before.Mallocs) / float64(cfg.Evals), transitions, nil
+}
+
+// ObsRulesTable renders the E10 sweep.
+func ObsRulesTable(rows []ObsRulesRow) *Table {
+	t := NewTable("mode", "rules", "metrics", "evals", "transitions", "elapsed", "evals/sec", "ns/eval", "allocs/eval")
+	for _, r := range rows {
+		t.AddRow(r.Mode, fmt.Sprint(r.Rules), fmt.Sprint(r.Metrics),
+			fmt.Sprint(r.Evals), fmt.Sprint(r.Transitions),
+			r.Elapsed.Round(time.Microsecond).String(),
+			FormatEventsPerSec(r.EvalsPerSec),
+			fmt.Sprintf("%.1f", r.NsPerEval),
+			fmt.Sprintf("%.3f", r.AllocsPerEval))
+	}
+	return t
+}

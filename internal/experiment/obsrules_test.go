@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunObsRulesRowsAndAccounting(t *testing.T) {
+	cfg := ObsRulesConfig{
+		Rules:     8,
+		Metrics:   32,
+		Evals:     10_000,
+		FlapEvery: 100,
+		Repeats:   2,
+	}
+	rows, err := RunObsRules(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "quiet" || rows[1].Mode != "flapping" {
+		t.Fatalf("got rows %+v, want quiet then flapping", rows)
+	}
+	for i, r := range rows {
+		if r.Rules != cfg.Rules || r.Metrics != cfg.Metrics || r.Evals != int64(cfg.Evals) {
+			t.Fatalf("row %d shape accounting: %+v", i, r)
+		}
+		if r.Elapsed <= 0 || r.EvalsPerSec <= 0 || r.NsPerEval <= 0 {
+			t.Fatalf("row %d has empty measurements: %+v", i, r)
+		}
+		if r.AllocsPerEval < 0 {
+			t.Fatalf("row %d has negative alloc profile: %+v", i, r)
+		}
+	}
+	if rows[0].Transitions != 0 {
+		t.Fatalf("quiet row emitted %d transitions, want 0", rows[0].Transitions)
+	}
+	// Flapping swaps the snapshot Evals/FlapEvery times; each swap
+	// transitions every rule exactly once.
+	wantTransitions := int64(cfg.Evals/cfg.FlapEvery) * int64(cfg.Rules)
+	if rows[1].Transitions != wantTransitions {
+		t.Fatalf("flapping row emitted %d transitions, want %d", rows[1].Transitions, wantTransitions)
+	}
+	// The steady-state walk allocates nothing: the claim the perf gate
+	// bounds, pinned here without the gate's noise floor.
+	if rows[0].AllocsPerEval > 0.01 {
+		t.Fatalf("quiet eval path allocates %.4f/eval, want 0", rows[0].AllocsPerEval)
+	}
+	table := ObsRulesTable(rows).String()
+	for _, col := range []string{"mode", "transitions", "allocs/eval", "quiet", "flapping"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestRunObsRulesRejectsBadConfig(t *testing.T) {
+	if _, err := RunObsRules(ObsRulesConfig{Rules: 0, Metrics: 8, Evals: 10}); err == nil {
+		t.Fatal("zero rules accepted")
+	}
+	if _, err := RunObsRules(ObsRulesConfig{Rules: 8, Metrics: 4, Evals: 10}); err == nil {
+		t.Fatal("metrics < rules accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package export
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	obsrules "robustmon/internal/obs/rules"
+)
+
+// Threshold-alert records in the export stream. A detector running an
+// obsrules.Engine over its health snapshots (detect.Config.Rules)
+// persists every rule transition — fire or clear — as a typed WAL
+// record right next to the health timeline that triggered it, and a
+// fleet collector does the same for its fleet-level rules (per-origin
+// staleness), stamping Alert.Origin. Sinks implementing AlertSink
+// store them; ReadDir returns them in Replay.Alerts, so `montrace
+// check`/`dump` show the pipeline's own degradation alongside the
+// application faults it was recording at the time.
+
+// AlertSink is the optional Sink extension for threshold-alert
+// records. A sink without it simply drops them (the exporter counts
+// them as accepted either way); both built-in sinks implement it.
+type AlertSink interface {
+	// WriteAlert persists one rule-transition alert. Like WriteSegment
+	// it is driven by the exporter's single writer goroutine.
+	WriteAlert(a obsrules.Alert) error
+}
+
+// alertVersion versions the alert payload blob.
+const alertVersion = 1
+
+// appendAlert serialises an alert into the self-contained payload blob
+// of a recAlert WAL record, appended to dst: a version byte, varint
+// instant and horizon, the rule/metric/origin strings length-prefixed,
+// the observed value and ceiling as IEEE-754 bit patterns, and the
+// transition direction as one byte. Deterministic by construction, so
+// identical alerts encode to identical bytes — the dedup identity
+// (AlertKey) that lets replay collapse compaction overlap, exactly as
+// for health records.
+func appendAlert(dst []byte, a obsrules.Alert) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	putVarint := func(v int64) {
+		dst = append(dst, scratch[:binary.PutVarint(scratch[:], v)]...)
+	}
+	putUvarint := func(v uint64) {
+		dst = append(dst, scratch[:binary.PutUvarint(scratch[:], v)]...)
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	dst = append(dst, alertVersion)
+	putVarint(a.At.UnixNano())
+	putVarint(a.Seq)
+	putString(a.Rule)
+	putString(a.Metric)
+	putString(a.Origin)
+	putUvarint(math.Float64bits(a.Value))
+	putUvarint(math.Float64bits(a.Ceiling))
+	firing := byte(0)
+	if a.Firing {
+		firing = 1
+	}
+	dst = append(dst, firing)
+	return dst
+}
+
+// encodeAlert is appendAlert into a fresh buffer (tests and non-pooled
+// callers).
+func encodeAlert(a obsrules.Alert) []byte {
+	return appendAlert(nil, a)
+}
+
+// decodeAlert reverses encodeAlert.
+func decodeAlert(payload []byte) (obsrules.Alert, error) {
+	br := bytes.NewReader(payload)
+	var a obsrules.Alert
+	ver, err := br.ReadByte()
+	if err != nil {
+		return a, fmt.Errorf("alert version: %w", err)
+	}
+	if ver != alertVersion {
+		return a, fmt.Errorf("unknown alert version %d", ver)
+	}
+	getString := func(what string) (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", fmt.Errorf("alert %s length: %w", what, err)
+		}
+		if n > maxMonitorName {
+			return "", fmt.Errorf("implausible alert %s length %d", what, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", fmt.Errorf("alert %s: %w", what, err)
+		}
+		return string(buf), nil
+	}
+	getFloat := func(what string) (float64, error) {
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("alert %s: %w", what, err)
+		}
+		return math.Float64frombits(bits), nil
+	}
+	nanos, err := binary.ReadVarint(br)
+	if err != nil {
+		return a, fmt.Errorf("alert instant: %w", err)
+	}
+	a.At = time.Unix(0, nanos).UTC()
+	if a.Seq, err = binary.ReadVarint(br); err != nil {
+		return a, fmt.Errorf("alert horizon: %w", err)
+	}
+	if a.Rule, err = getString("rule"); err != nil {
+		return a, err
+	}
+	if a.Metric, err = getString("metric"); err != nil {
+		return a, err
+	}
+	if a.Origin, err = getString("origin"); err != nil {
+		return a, err
+	}
+	if a.Value, err = getFloat("value"); err != nil {
+		return a, err
+	}
+	if a.Ceiling, err = getFloat("ceiling"); err != nil {
+		return a, err
+	}
+	firing, err := br.ReadByte()
+	if err != nil {
+		return a, fmt.Errorf("alert direction: %w", err)
+	}
+	if firing > 1 {
+		return a, fmt.Errorf("implausible alert direction byte %d", firing)
+	}
+	a.Firing = firing == 1
+	if br.Len() != 0 {
+		return a, fmt.Errorf("%d trailing bytes after alert", br.Len())
+	}
+	return a, nil
+}
+
+// AlertKey is the exact-duplicate identity of an alert — its
+// deterministic encoding — used by MergeReplay (and the compactor) to
+// collapse the duplicates an interrupted compaction leaves behind.
+// Alert is Go-comparable, but keying on the encoding keeps the dedup
+// semantics identical across all record kinds: two alerts are the same
+// record iff their bytes are.
+func AlertKey(a obsrules.Alert) string {
+	return string(encodeAlert(a))
+}

@@ -41,7 +41,7 @@
 // Config.RetainSeq (a sequence floor) and Config.RetainBefore (a
 // file-age floor) bound the directory in bytes, not just file count:
 // an input file is dropped — not merged — when every horizon it
-// carries (segment seq ranges, marker horizons, health seqs) lies
+// carries (segment seq ranges, marker horizons, health and alert seqs) lies
 // strictly below the seq floor, or its mtime predates the age floor.
 // The drop is never silent: a tombstone record (WAL record kind 3)
 // lands in the lowest-numbered output, recording the retention horizon
@@ -92,6 +92,7 @@ import (
 	"robustmon/internal/export/index"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // tmpDirName is the staging subdirectory inside the export directory.
@@ -168,6 +169,8 @@ type Result struct {
 	Markers int
 	// Healths is the number of health snapshots carried over.
 	Healths int
+	// Alerts is the number of threshold alerts carried over.
+	Alerts int
 	// EventsDropped and RecordsDropped count what retention dropped
 	// this pass (the tombstone carries the cumulative totals).
 	EventsDropped, RecordsDropped int64
@@ -206,6 +209,9 @@ func (r Result) String() string {
 		r.FilesIn, r.RecordsIn, r.FilesOut, r.RecordsOut, r.Events, r.Markers)
 	if r.Healths > 0 {
 		s += fmt.Sprintf(", %d health snapshots", r.Healths)
+	}
+	if r.Alerts > 0 {
+		s += fmt.Sprintf(", %d alerts", r.Alerts)
 	}
 	if r.FilesDropped > 0 {
 		s += fmt.Sprintf(", %d files (%d records, %d events) dropped below retention horizon %d",
@@ -329,20 +335,21 @@ func run(dir string, cfg Config) (*Result, error) {
 	}
 	tomb := foldTombstone(priors, dropped, res)
 
-	// Side records (markers, health snapshots) come from kept files
-	// only — dropped files' copies are below the retention floor by
-	// construction — via point reads at their scanned offsets.
-	markers, healths, horizons, err := readSideRecords(keep, res)
+	// Side records (markers, health snapshots, alerts) come from kept
+	// files only — dropped files' copies are below the retention floor
+	// by construction — via point reads at their scanned offsets.
+	markers, healths, alerts, horizons, err := readSideRecords(keep, res)
 	if err != nil {
 		return nil, err
 	}
 	res.Markers = len(markers)
 	res.Healths = len(healths)
+	res.Alerts = len(alerts)
 	if !cfg.DropBelowReset {
 		horizons = nil
 	}
 
-	outs, err := writeOutputs(tmpDir, cfg, keep, tomb, markers, healths, horizons, res)
+	outs, err := writeOutputs(tmpDir, cfg, keep, tomb, markers, healths, alerts, horizons, res)
 	if err != nil {
 		return nil, err
 	}
@@ -437,6 +444,11 @@ func belowFloor(fs export.FileSummary, floor int64) bool {
 			return false
 		}
 	}
+	for _, ai := range fs.Alerts {
+		if ai.Seq >= floor {
+			return false
+		}
+	}
 	return true
 }
 
@@ -517,6 +529,11 @@ func foldTombstone(priors []export.Tombstone, dropped []input, res *Result) *exp
 				maxDropSeq = hi.Seq
 			}
 		}
+		for _, ai := range in.fs.Alerts {
+			if ai.Seq > maxDropSeq {
+				maxDropSeq = ai.Seq
+			}
+		}
 		for _, mr := range in.fs.Monitors {
 			tr := mons[mr.Monitor]
 			if tr == nil {
@@ -573,18 +590,20 @@ func newerTombstone(a, b export.Tombstone) bool {
 	return a.At.After(b.At)
 }
 
-// readSideRecords point-reads the kept files' recovery markers and
-// health snapshots at their scanned offsets (no segment payload is
-// decoded), collapsing exact duplicates — the leftovers of an
-// interrupted earlier compaction — while preserving first-occurrence
-// order, and returns each monitor's highest reset horizon for
-// DropBelowReset.
-func readSideRecords(keep []input, res *Result) ([]history.RecoveryMarker, []obs.HealthRecord, map[string]int64, error) {
+// readSideRecords point-reads the kept files' recovery markers, health
+// snapshots and threshold alerts at their scanned offsets (no segment
+// payload is decoded), collapsing exact duplicates — the leftovers of
+// an interrupted earlier compaction — while preserving first-
+// occurrence order, and returns each monitor's highest reset horizon
+// for DropBelowReset.
+func readSideRecords(keep []input, res *Result) ([]history.RecoveryMarker, []obs.HealthRecord, []obsrules.Alert, map[string]int64, error) {
 	var markers []history.RecoveryMarker
 	var healths []obs.HealthRecord
+	var alerts []obsrules.Alert
 	horizons := make(map[string]int64)
 	seenM := make(map[history.RecoveryMarker]bool)
 	seenH := make(map[string]bool)
+	seenA := make(map[string]bool)
 	for _, in := range keep {
 		for _, mk := range in.fs.Markers {
 			m, err := export.ReadMarkerAt(in.name, mk.Offset)
@@ -593,7 +612,7 @@ func readSideRecords(keep []input, res *Result) ([]history.RecoveryMarker, []obs
 					res.CorruptDropped++
 					continue
 				}
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			res.RecordsIn++
 			if m.Horizon > horizons[m.Monitor] {
@@ -612,7 +631,7 @@ func readSideRecords(keep []input, res *Result) ([]history.RecoveryMarker, []obs
 					res.CorruptDropped++
 					continue
 				}
-				return nil, nil, nil, err
+				return nil, nil, nil, nil, err
 			}
 			res.RecordsIn++
 			k := export.HealthKey(h)
@@ -622,8 +641,25 @@ func readSideRecords(keep []input, res *Result) ([]history.RecoveryMarker, []obs
 			seenH[k] = true
 			healths = append(healths, h)
 		}
+		for _, ai := range in.fs.Alerts {
+			a, err := export.ReadAlertAt(in.name, ai.Offset)
+			if err != nil {
+				if errors.Is(err, export.ErrCorruptRecord) {
+					res.CorruptDropped++
+					continue
+				}
+				return nil, nil, nil, nil, err
+			}
+			res.RecordsIn++
+			k := export.AlertKey(a)
+			if seenA[k] {
+				continue
+			}
+			seenA[k] = true
+			alerts = append(alerts, a)
+		}
 	}
-	return markers, healths, horizons, nil
+	return markers, healths, alerts, horizons, nil
 }
 
 // monCursor walks one input file's segment records of one monitor in
@@ -673,10 +709,10 @@ func (c *monCursor) peek(res *Result) (e event.Event, ok bool, err error) {
 // file as it rotates, so everything returned is durable. Record
 // order: tombstone first (the lowest-numbered output must carry it),
 // then each monitor's chunked stream in order of first event, then
-// markers, then health snapshots.
+// markers, then health snapshots, then threshold alerts.
 func writeOutputs(tmpDir string, cfg Config, keep []input, tomb *export.Tombstone,
 	markers []history.RecoveryMarker, healths []obs.HealthRecord,
-	horizons map[string]int64, res *Result) ([]string, error) {
+	alerts []obsrules.Alert, horizons map[string]int64, res *Result) ([]string, error) {
 	var summaries []export.FileSummary
 	sink, err := export.NewWALSink(tmpDir, export.WALConfig{
 		MaxFileBytes: cfg.MaxFileBytes,
@@ -828,6 +864,12 @@ func writeOutputs(tmpDir string, cfg Config, keep []input, tomb *export.Tombston
 	}
 	for _, h := range healths {
 		if err := sink.WriteHealth(h); err != nil {
+			return nil, err
+		}
+		res.RecordsOut++
+	}
+	for _, a := range alerts {
+		if err := sink.WriteAlert(a); err != nil {
 			return nil, err
 		}
 		res.RecordsOut++

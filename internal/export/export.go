@@ -67,6 +67,7 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // Segment is one drained per-monitor history segment: the unit the
@@ -120,6 +121,7 @@ type MemorySink struct {
 	markers  []history.RecoveryMarker
 	healths  []obs.HealthRecord
 	tombs    []Tombstone
+	alerts   []obsrules.Alert
 }
 
 // WriteSegment appends the segment.
@@ -156,6 +158,15 @@ func (m *MemorySink) WriteTombstone(t Tombstone) error {
 // Tombstones returns the collected retention tombstones in arrival
 // order.
 func (m *MemorySink) Tombstones() []Tombstone { return m.tombs }
+
+// WriteAlert appends the threshold alert (the AlertSink extension).
+func (m *MemorySink) WriteAlert(a obsrules.Alert) error {
+	m.alerts = append(m.alerts, a)
+	return nil
+}
+
+// Alerts returns the collected threshold alerts in arrival order.
+func (m *MemorySink) Alerts() []obsrules.Alert { return m.alerts }
 
 // Flush is a no-op.
 func (m *MemorySink) Flush() error { return nil }

@@ -8,6 +8,7 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // Policy selects what Consume does when the exporter's buffer is full.
@@ -83,6 +84,7 @@ type expMetrics struct {
 	segments, events, written          *obs.Counter
 	markers, markersWritten            *obs.Counter
 	healths, healthsWritten            *obs.Counter
+	alerts, alertsWritten              *obs.Counter
 	droppedSegsFull, droppedSegsClosed *obs.Counter
 	droppedEvsFull, droppedEvsClosed   *obs.Counter
 	writeErrors                        *obs.Counter
@@ -102,6 +104,8 @@ func newExpMetrics(reg *obs.Registry) expMetrics {
 		markersWritten:    reg.Counter("export_markers_written_total"),
 		healths:           reg.Counter("export_healths_total"),
 		healthsWritten:    reg.Counter("export_healths_written_total"),
+		alerts:            reg.Counter("export_alerts_total"),
+		alertsWritten:     reg.Counter("export_alerts_written_total"),
 		droppedSegsFull:   reg.Counter(`export_dropped_segments_total{reason="full"}`),
 		droppedSegsClosed: reg.Counter(`export_dropped_segments_total{reason="closed"}`),
 		droppedEvsFull:    reg.Counter(`export_dropped_events_total{reason="full"}`),
@@ -133,6 +137,9 @@ type Stats struct {
 	// Healths counts health snapshots accepted; HealthsWritten those a
 	// HealthSink persisted without error (zero for a plain Sink).
 	Healths, HealthsWritten int64
+	// Alerts counts threshold alerts accepted; AlertsWritten those an
+	// AlertSink persisted without error (zero for a plain Sink).
+	Alerts, AlertsWritten int64
 	// DroppedSegments and DroppedEvents were discarded — the totals of
 	// the by-reason split below.
 	DroppedSegments, DroppedEvents int64
@@ -155,11 +162,12 @@ type Stats struct {
 var ErrClosed = errors.New("export: exporter closed")
 
 // item is one unit of writer work: a segment, a recovery marker, a
-// health snapshot, or a flush request.
+// health snapshot, a threshold alert, or a flush request.
 type item struct {
 	seg    Segment
 	marker *history.RecoveryMarker
 	health *obs.HealthRecord
+	alert  *obsrules.Alert
 	flush  chan error
 }
 
@@ -181,6 +189,7 @@ type Exporter struct {
 	segments, events, written           atomic.Int64
 	markers, markersWritten             atomic.Int64
 	healths, healthsWritten             atomic.Int64
+	alerts, alertsWritten               atomic.Int64
 	droppedSegsFull, droppedEvsFull     atomic.Int64
 	droppedSegsClosed, droppedEvsClosed atomic.Int64
 	writeErrors                         atomic.Int64
@@ -260,6 +269,24 @@ func (e *Exporter) writer() {
 			} else {
 				e.healthsWritten.Add(1)
 				e.met.healthsWritten.Inc()
+			}
+			continue
+		}
+		if it.alert != nil {
+			as, ok := e.sink.(AlertSink)
+			if !ok {
+				continue // sink has no alert support; nothing to persist
+			}
+			if err := as.WriteAlert(*it.alert); err != nil {
+				e.writeErrors.Add(1)
+				e.met.writeErrors.Inc()
+				e.setErr(err)
+				if e.cfg.OnError != nil {
+					e.cfg.OnError(err)
+				}
+			} else {
+				e.alertsWritten.Add(1)
+				e.met.alertsWritten.Inc()
 			}
 			continue
 		}
@@ -403,6 +430,23 @@ func (e *Exporter) ConsumeHealth(h obs.HealthRecord) {
 	e.met.healths.Inc()
 }
 
+// ConsumeAlert accepts one threshold alert (detect.AlertExporter's
+// signature). Alerts mark the pipeline's own degradation episodes —
+// rare, small, and most valuable exactly when the system is under
+// pressure — so like markers and health snapshots the send always
+// blocks for a free slot, even under the Drop policy. An alert
+// arriving after Close is discarded.
+func (e *Exporter) ConsumeAlert(a obsrules.Alert) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return
+	}
+	e.ch <- item{alert: &a}
+	e.alerts.Add(1)
+	e.met.alerts.Inc()
+}
+
 // dropFull counts a segment discarded because the buffer was full
 // under the Drop policy.
 func (e *Exporter) dropFull(events event.Seq) {
@@ -485,6 +529,8 @@ func (e *Exporter) Stats() Stats {
 		MarkersWritten:        e.markersWritten.Load(),
 		Healths:               e.healths.Load(),
 		HealthsWritten:        e.healthsWritten.Load(),
+		Alerts:                e.alerts.Load(),
+		AlertsWritten:         e.alertsWritten.Load(),
 		DroppedSegments:       dsf + dsc,
 		DroppedEvents:         def + dec,
 		DroppedSegmentsFull:   dsf,

@@ -244,7 +244,7 @@ func TestMergeReplayDedupsHealths(t *testing.T) {
 	h1 := healthRecordSeed()
 	h2 := healthRecordSeed()
 	h2.Metrics.Counters[0].Value++ // same horizon, different state
-	rep, err := MergeReplay(nil, nil, []obs.HealthRecord{h1, h2, h1}, nil)
+	rep, err := MergeReplay(nil, nil, []obs.HealthRecord{h1, h2, h1}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,16 +51,18 @@ var indexMagic = [4]byte{'R', 'M', 'I', 'X'}
 
 // Index format versions. Version 2 added the per-file health-snapshot
 // offset table (FileSummary.Healths); version 3 the retention
-// tombstone table (FileSummary.Tombstones). An older index simply has
-// no such section, so decode accepts every version and Write always
-// emits the latest. An old index over a directory containing the newer
-// records still works — the records live in the WAL files, and a
-// windowed reader falls back to opening any file whose entry lacks the
-// offsets (the index is advisory either way).
+// tombstone table (FileSummary.Tombstones); version 4 the threshold-
+// alert table (FileSummary.Alerts). An older index simply has no such
+// section, so decode accepts every version and Write always emits the
+// latest. An old index over a directory containing the newer records
+// still works — the records live in the WAL files, and a windowed
+// reader falls back to opening any file whose entry lacks the offsets
+// (the index is advisory either way).
 const (
 	indexVersion1 = 1
 	indexVersion2 = 2
-	indexVersion  = 3
+	indexVersion3 = 3
+	indexVersion  = 4
 )
 
 // ErrNoIndex reports that the directory has no index file.
@@ -172,6 +174,11 @@ func (x *Index) encode() []byte {
 		for _, ti := range f.Tombstones {
 			putVarint(ti.Horizon)
 			putVarint(ti.Offset)
+		}
+		putUvarint(uint64(len(f.Alerts)))
+		for _, ai := range f.Alerts {
+			putVarint(ai.Seq)
+			putVarint(ai.Offset)
 		}
 	}
 	sum := crc32.ChecksumIEEE(buf.Bytes())
@@ -325,7 +332,7 @@ func decode(data []byte) (*Index, error) {
 				f.Healths = append(f.Healths, hi)
 			}
 		}
-		if version >= 3 {
+		if version >= indexVersion3 {
 			nTombs, err := getUvarint()
 			if err != nil {
 				return nil, fmt.Errorf("index: entry %d tombstone count: %w", i, err)
@@ -342,6 +349,25 @@ func decode(data []byte) (*Index, error) {
 					return nil, fmt.Errorf("index: entry %d tombstone %d offset: %w", i, j, err)
 				}
 				f.Tombstones = append(f.Tombstones, ti)
+			}
+		}
+		if version >= 4 {
+			nAlerts, err := getUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("index: entry %d alert count: %w", i, err)
+			}
+			if nAlerts > maxIndexEntries {
+				return nil, fmt.Errorf("index: entry %d: implausible alert count %d", i, nAlerts)
+			}
+			for j := uint64(0); j < nAlerts; j++ {
+				var ai export.AlertInfo
+				if ai.Seq, err = getVarint(); err != nil {
+					return nil, fmt.Errorf("index: entry %d alert %d seq: %w", i, j, err)
+				}
+				if ai.Offset, err = getVarint(); err != nil {
+					return nil, fmt.Errorf("index: entry %d alert %d offset: %w", i, j, err)
+				}
+				f.Alerts = append(f.Alerts, ai)
 			}
 		}
 		x.Files = append(x.Files, f)

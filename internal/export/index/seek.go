@@ -11,14 +11,16 @@ import (
 	"robustmon/internal/export"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // SeekReader answers windowed replay queries over an export directory:
 // ReplayRange(minSeq, maxSeq, monitors...) opens only the segment
 // files whose indexed ranges can intersect the window, scans the
 // (hopefully few) files the index does not cover, and point-reads
-// recovery markers through their indexed byte offsets. Construct with
-// OpenDir. Not safe for concurrent use.
+// recovery markers (and health, tombstone and alert records) through
+// their indexed byte offsets. Construct with OpenDir. Not safe for
+// concurrent use.
 type SeekReader struct {
 	dir   string
 	idx   *Index
@@ -33,11 +35,12 @@ type SeekReader struct {
 // pruned. FilesTotal is the directory's segment-file count; Opened of
 // those were fully read (because the index admitted them or did not
 // cover them — the Unindexed subset); Skipped were excluded by the
-// index without being opened; MarkerReads and HealthReads count marker
-// and health-snapshot point-reads into otherwise skipped files.
+// index without being opened; MarkerReads, HealthReads, TombstoneReads
+// and AlertReads count per-kind point-reads into otherwise skipped
+// files.
 type Stats struct {
-	FilesTotal, Opened, Skipped, Unindexed   int
-	MarkerReads, HealthReads, TombstoneReads int
+	FilesTotal, Opened, Skipped, Unindexed               int
+	MarkerReads, HealthReads, TombstoneReads, AlertReads int
 }
 
 // OpenDir opens the directory for windowed reads, loading its index.
@@ -120,9 +123,11 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 	var markers []history.RecoveryMarker
 	var healths []obs.HealthRecord
 	var tombs []export.Tombstone
-	// Health snapshots window on their horizon. A horizon-0 snapshot
-	// (captured before the first event) belongs to any query that runs
-	// from the beginning.
+	var alerts []obsrules.Alert
+	// Health snapshots — and alerts, which carry the same horizon
+	// semantics — window on their horizon. A horizon-0 record (captured
+	// before the first event) belongs to any query that runs from the
+	// beginning.
 	admitHealth := func(seq int64) bool {
 		return seq <= maxSeq && (seq >= minSeq || minSeq <= 1)
 	}
@@ -170,6 +175,17 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 				tombs = append(tombs, tb)
 				r.stats.TombstoneReads++
 			}
+			for _, ai := range fs.Alerts {
+				if !admitHealth(ai.Seq) {
+					continue
+				}
+				a, err := export.ReadAlertAt(name, ai.Offset)
+				if err != nil {
+					return nil, err
+				}
+				alerts = append(alerts, a)
+				r.stats.AlertReads++
+			}
 			r.stats.Skipped++
 			continue
 		}
@@ -206,9 +222,14 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 			}
 		}
 		tombs = append(tombs, fr.Tombstones...)
+		for _, a := range fr.Alerts {
+			if admitHealth(a.Seq) {
+				alerts = append(alerts, a)
+			}
+		}
 	}
 	rep.Segments = len(payloads)
-	merged, err := export.MergeReplay(payloads, markers, healths, tombs)
+	merged, err := export.MergeReplay(payloads, markers, healths, tombs, alerts)
 	if err != nil {
 		return nil, err
 	}
@@ -216,10 +237,12 @@ func (r *SeekReader) ReplayRange(minSeq, maxSeq int64, monitors ...string) (*exp
 	rep.Markers = merged.Markers
 	rep.Healths = merged.Healths
 	rep.Tombstones = merged.Tombstones
+	rep.Alerts = merged.Alerts
 	rep.DuplicateEvents = merged.DuplicateEvents
 	rep.DuplicateMarkers = merged.DuplicateMarkers
 	rep.DuplicateHealths = merged.DuplicateHealths
 	rep.DuplicateTombstones = merged.DuplicateTombstones
+	rep.DuplicateAlerts = merged.DuplicateAlerts
 	return rep, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -93,6 +94,15 @@ type originState struct {
 	compacting   bool
 	compactDone  bool
 	compactFloor int
+
+	// Liveness cursors for the fleet health timeline (moncollect's
+	// staleness rules read them through Activity): when the last
+	// record frame applied, how many have, and the horizon and capture
+	// instant of the newest health snapshot among them.
+	lastRecord    time.Time
+	applied64     int64
+	lastHealthSeq int64
+	lastHealthAt  time.Time
 
 	records     *obs.Counter
 	dups        *obs.Counter
@@ -207,6 +217,13 @@ func (c *Collector) Close() error {
 	return firstErr
 }
 
+// FleetDirName is the reserved subdirectory of the fleet root where
+// the collector's own fleet-level timeline lands (moncollect's fleet
+// health records and staleness alerts). Producers cannot claim it as
+// an origin, so the fleet timeline never interleaves with a producer's
+// WAL.
+const FleetDirName = "_fleet"
+
 // origin returns (creating on first contact) the named origin's
 // state.
 func (c *Collector) origin(name string) (*originState, error) {
@@ -214,6 +231,9 @@ func (c *Collector) origin(name string) (*originState, error) {
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, fmt.Errorf("netexport: collector closed")
+	}
+	if name == FleetDirName {
+		return nil, fmt.Errorf("netexport: origin %q is reserved for the fleet timeline", name)
 	}
 	if st, ok := c.origins[name]; ok {
 		return st, nil
@@ -298,6 +318,48 @@ func (c *Collector) maybeCompactLocked(st *originState) {
 			st.compactErrs.Inc()
 		}
 	}()
+}
+
+// CompactOrigins runs fn against every known origin's directory, each
+// on its own goroutine under the same one-pass-at-a-time-per-origin
+// guard as background compaction (an origin with a pass already in
+// flight is skipped, not queued). This is the wall-clock retention
+// timer's entry point: moncollect calls it on a ticker with a
+// compact.Dir closure whose RetainBefore floor advances each tick.
+// No-op after Close.
+func (c *Collector) CompactOrigins(fn func(dir string) error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	states := make([]*originState, 0, len(c.origins))
+	for _, st := range c.origins {
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+	for _, st := range states {
+		st.mu.Lock()
+		if st.compacting {
+			st.mu.Unlock()
+			continue
+		}
+		st.compacting = true
+		st.compactions.Inc()
+		c.compactWG.Add(1)
+		go func(st *originState) {
+			defer c.compactWG.Done()
+			err := fn(st.dir)
+			st.mu.Lock()
+			st.compacting = false
+			st.compactDone = true
+			st.mu.Unlock()
+			if err != nil {
+				st.compactErrs.Inc()
+			}
+		}(st)
+		st.mu.Unlock()
+	}
 }
 
 // handle runs one producer connection: HELLO/WELCOME, then record
@@ -410,6 +472,12 @@ func (c *Collector) apply(st *originState, conn net.Conn, seq uint64, recBytes [
 	st.applied = seq
 	st.pending++
 	st.records.Inc()
+	st.lastRecord = time.Now()
+	st.applied64++
+	if rec.Health != nil && rec.Health.Seq >= st.lastHealthSeq {
+		st.lastHealthSeq = rec.Health.Seq
+		st.lastHealthAt = rec.Health.At
+	}
 	if st.pending >= c.cfg.AckEvery {
 		if err := st.flushLocked(); err != nil {
 			return err
@@ -431,5 +499,53 @@ func (c *Collector) Origins() []string {
 	for name := range c.origins {
 		out = append(out, name)
 	}
+	return out
+}
+
+// OriginActivity is one origin's liveness summary — the input to the
+// fleet-level staleness rules (moncollect sets per-origin gauges from
+// it and lets an obsrules engine judge them).
+type OriginActivity struct {
+	// Origin names the producer.
+	Origin string
+	// Connected reports whether a connection currently owns the origin.
+	Connected bool
+	// LastRecord is the collector-side wall-clock instant the last
+	// record frame was applied (zero before the first this process —
+	// resumed origins start stale until their producer reconnects).
+	LastRecord time.Time
+	// Records counts record frames applied this process (duplicates
+	// excluded).
+	Records int64
+	// LastHealthSeq and LastHealthAt are the sequence horizon and
+	// producer-side capture instant of the newest health snapshot
+	// applied (zero if none yet).
+	LastHealthSeq int64
+	LastHealthAt  time.Time
+}
+
+// Activity reports every known origin's liveness, sorted by origin
+// name so callers render a stable fleet timeline.
+func (c *Collector) Activity() []OriginActivity {
+	c.mu.Lock()
+	states := make(map[string]*originState, len(c.origins))
+	for name, st := range c.origins {
+		states[name] = st
+	}
+	c.mu.Unlock()
+	out := make([]OriginActivity, 0, len(states))
+	for name, st := range states {
+		st.mu.Lock()
+		out = append(out, OriginActivity{
+			Origin:        name,
+			Connected:     st.active,
+			LastRecord:    st.lastRecord,
+			Records:       st.applied64,
+			LastHealthSeq: st.lastHealthSeq,
+			LastHealthAt:  st.lastHealthAt,
+		})
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
 	return out
 }

@@ -1,0 +1,144 @@
+package netexport
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmon/internal/export"
+	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
+)
+
+// originHealth builds a health record distinguishable per origin: the
+// counter name carries the origin, so a record landing in the wrong
+// origin's WAL is detected, not just miscounted.
+func originHealth(origin string, seq int64) obs.HealthRecord {
+	return obs.HealthRecord{
+		At:  time.Date(2001, 7, 1, 12, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Second),
+		Seq: seq,
+		Metrics: obs.Snapshot{Counters: []obs.Metric{
+			{Name: "health_from_" + origin, Value: seq},
+		}},
+	}
+}
+
+func originAlert(origin string, seq int64, firing bool) obsrules.Alert {
+	return obsrules.Alert{
+		At:      time.Date(2001, 7, 1, 12, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Second),
+		Seq:     seq,
+		Rule:    "rule_of_" + origin,
+		Metric:  "health_from_" + origin,
+		Value:   float64(seq),
+		Ceiling: 1,
+		Firing:  firing,
+		Origin:  origin,
+	}
+}
+
+// TestFleetHealthForwardingConservation: several producers concurrently
+// ship interleaved segments, health snapshots and threshold alerts into
+// one fleet root. Every health record and every alert a producer wrote
+// must appear in exactly that producer's origin directory, exactly
+// once, in emission order — the conservation law of the fleet health
+// timeline, raced deliberately (run under -race).
+func TestFleetHealthForwardingConservation(t *testing.T) {
+	t.Parallel()
+	const producers = 3
+	const healthsPer = 40
+	fleetDir := t.TempDir()
+	col, addr := startCollector(t, CollectorConfig{Dir: fleetDir, AckEvery: 5})
+	defer col.Close()
+
+	type written struct {
+		healths []obs.HealthRecord
+		alerts  []obsrules.Alert
+	}
+	wrote := make([]written, producers)
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			origin := fmt.Sprintf("p%d", i)
+			ship, err := NewNetSink(NetSinkConfig{
+				Addr: addr, Origin: origin, FlushTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			next := int64(1)
+			for seq := int64(1); seq <= healthsPer; seq++ {
+				// Interleave the record kinds the way a live detector
+				// does: a segment, then at the same horizon a health
+				// snapshot and (every few) an alert transition.
+				hi := next + 2
+				if err := ship.WriteSegment(export.Segment{Monitor: "m", Events: tseq("m", next, hi)}); err != nil {
+					t.Error(err)
+					return
+				}
+				next = hi + 1
+				h := originHealth(origin, seq)
+				wrote[i].healths = append(wrote[i].healths, h)
+				if err := ship.WriteHealth(h); err != nil {
+					t.Error(err)
+					return
+				}
+				if seq%10 == 0 {
+					a := originAlert(origin, seq, (seq/10)%2 == 1)
+					wrote[i].alerts = append(wrote[i].alerts, a)
+					if err := ship.WriteAlert(a); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			if err := ship.Flush(); err != nil {
+				t.Errorf("%s: flush: %v", origin, err)
+			}
+			if err := ship.Close(); err != nil {
+				t.Errorf("%s: close: %v", origin, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	act := col.Activity()
+	if len(act) != producers {
+		t.Fatalf("Activity reports %d origins, want %d", len(act), producers)
+	}
+	for _, a := range act {
+		if a.LastHealthSeq != healthsPer {
+			t.Fatalf("origin %s LastHealthSeq = %d, want %d", a.Origin, a.LastHealthSeq, healthsPer)
+		}
+		if a.LastRecord.IsZero() || a.Records == 0 {
+			t.Fatalf("origin %s has empty liveness cursors: %+v", a.Origin, a)
+		}
+	}
+
+	if err := col.Close(); err != nil {
+		t.Fatalf("collector close: %v", err)
+	}
+	for i := 0; i < producers; i++ {
+		origin := fmt.Sprintf("p%d", i)
+		rep, err := export.ReadDir(fleetDir + "/" + origin)
+		if err != nil {
+			t.Fatalf("read %s: %v", origin, err)
+		}
+		// Exactly once, in order: the replayed timeline deep-equals the
+		// emission log. Origin-tagged metric names make a record landing
+		// in the wrong directory a name mismatch, not a silent count.
+		if !reflect.DeepEqual(rep.Healths, wrote[i].healths) {
+			t.Fatalf("%s: health timeline diverges:\ngot  %+v\nwant %+v", origin, rep.Healths, wrote[i].healths)
+		}
+		if !reflect.DeepEqual(rep.Alerts, wrote[i].alerts) {
+			t.Fatalf("%s: alert timeline diverges:\ngot  %+v\nwant %+v", origin, rep.Alerts, wrote[i].alerts)
+		}
+		if rep.DuplicateHealths != 0 || rep.DuplicateAlerts != 0 {
+			t.Fatalf("%s: %d duplicate healths, %d duplicate alerts", origin, rep.DuplicateHealths, rep.DuplicateAlerts)
+		}
+	}
+}

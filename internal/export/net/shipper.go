@@ -11,6 +11,7 @@ import (
 	"robustmon/internal/export"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // NetSinkConfig parameterises a NetSink.
@@ -101,7 +102,8 @@ type NetSinkStats struct {
 }
 
 // NetSink ships trace records to a collector. It implements
-// export.Sink plus the MarkerSink and HealthSink extensions, so it
+// export.Sink plus the MarkerSink, HealthSink and AlertSink
+// extensions, so it
 // slots anywhere a WALSink does — an exporter's sink, one leg of an
 // export.TeeSink, or WALConfig.OnSeal-adjacent plumbing. Write calls
 // encode and buffer; a background shipper owns the connection,
@@ -184,6 +186,17 @@ func (s *NetSink) WriteMarker(m history.RecoveryMarker) error {
 // WriteHealth encodes and buffers one health-snapshot record.
 func (s *NetSink) WriteHealth(h obs.HealthRecord) error {
 	data, err := export.AppendHealthRecord(nil, h)
+	if err != nil {
+		return err
+	}
+	return s.enqueue(data)
+}
+
+// WriteAlert encodes and buffers one threshold-alert record, so a
+// producer's self-watching rule transitions reach the fleet root in
+// the same byte-identical record framing the local WAL uses.
+func (s *NetSink) WriteAlert(a obsrules.Alert) error {
+	data, err := export.AppendAlertRecord(nil, a)
 	if err != nil {
 		return err
 	}

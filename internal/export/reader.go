@@ -15,6 +15,7 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // ErrBadWALMagic reports that a file in the export directory does not
@@ -57,6 +58,12 @@ type Replay struct {
 	// a run recorded without a health cadence (including every
 	// format-v1 WAL).
 	Healths []obs.HealthRecord
+	// Alerts are the threshold-alert records found in the WAL, in
+	// record order (which is transition order — the exporter's single
+	// writer serialises them): the run's rule-engine timeline, every
+	// fire and clear of the self-watching rules. Nil for a run recorded
+	// without rules (including every pre-alert WAL).
+	Alerts []obsrules.Alert
 	// Tombstones are the retention tombstones found in the WAL, exact
 	// duplicates collapsed. A tombstone records a deliberate
 	// retention truncation: events below Tombstone.Horizon may be
@@ -80,10 +87,11 @@ type Replay struct {
 	// recovers the exact stream either way. A sequence-number collision
 	// between *different* events is corruption and an error.
 	DuplicateEvents, DuplicateMarkers, DuplicateHealths int
-	// DuplicateTombstones counts identical tombstones collapsed during
-	// the merge (the same interrupted-compaction signature as the
-	// other duplicate counters).
-	DuplicateTombstones int
+	// DuplicateTombstones and DuplicateAlerts count identical
+	// tombstones and alerts collapsed during the merge (the same
+	// interrupted-compaction signature as the other duplicate
+	// counters).
+	DuplicateTombstones, DuplicateAlerts int
 	// Recovered reports that the newest file ended in a torn record
 	// (crash mid-write); the tail was dropped and Events holds
 	// everything up to the last valid record.
@@ -134,6 +142,7 @@ func ReadDir(dir string) (*Replay, error) {
 	var markers []history.RecoveryMarker
 	var healths []obs.HealthRecord
 	var tombs []Tombstone
+	var alerts []obsrules.Alert
 	for i, name := range names {
 		fr, err := readWALFile(name)
 		if err != nil {
@@ -150,10 +159,11 @@ func ReadDir(dir string) (*Replay, error) {
 		markers = append(markers, fr.markers...)
 		healths = append(healths, fr.healths...)
 		tombs = append(tombs, fr.tombs...)
+		alerts = append(alerts, fr.alerts...)
 		rep.CorruptRecords += fr.corrupt
 	}
 	rep.Segments = len(payloads)
-	merged, err := MergeReplay(payloads, markers, healths, tombs)
+	merged, err := MergeReplay(payloads, markers, healths, tombs, alerts)
 	if err != nil {
 		return nil, err
 	}
@@ -161,24 +171,27 @@ func ReadDir(dir string) (*Replay, error) {
 	rep.Markers = merged.Markers
 	rep.Healths = merged.Healths
 	rep.Tombstones = merged.Tombstones
+	rep.Alerts = merged.Alerts
 	rep.DuplicateEvents = merged.DuplicateEvents
 	rep.DuplicateMarkers = merged.DuplicateMarkers
 	rep.DuplicateHealths = merged.DuplicateHealths
 	rep.DuplicateTombstones = merged.DuplicateTombstones
+	rep.DuplicateAlerts = merged.DuplicateAlerts
 	return rep, nil
 }
 
 // MergeReplay assembles per-record event payloads, markers, health
-// snapshots and retention tombstones into the replayed form: events
-// k-way-merged into the global <L order with identical duplicates
-// collapsed (and counted), the record-kind slices deduplicated
-// preserving first-occurrence order. It is the shared back half of
-// ReadDir and the windowed index.SeekReader; only Events, Markers,
-// Healths, Tombstones and the duplicate counters of the returned
-// Replay are populated. A sequence-number collision between two
-// different events is an error — that is two runs (or a corrupted
-// record) sharing one directory, not a recoverable duplicate.
-func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker, healths []obs.HealthRecord, tombstones []Tombstone) (*Replay, error) {
+// snapshots, retention tombstones and threshold alerts into the
+// replayed form: events k-way-merged into the global <L order with
+// identical duplicates collapsed (and counted), the record-kind slices
+// deduplicated preserving first-occurrence order. It is the shared
+// back half of ReadDir and the windowed index.SeekReader; only Events,
+// Markers, Healths, Tombstones, Alerts and the duplicate counters of
+// the returned Replay are populated. A sequence-number collision
+// between two different events is an error — that is two runs (or a
+// corrupted record) sharing one directory, not a recoverable
+// duplicate.
+func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker, healths []obs.HealthRecord, tombstones []Tombstone, alerts []obsrules.Alert) (*Replay, error) {
 	rep := &Replay{}
 	merged := event.Merge(payloads...)
 	out := merged[:0]
@@ -246,6 +259,23 @@ func MergeReplay(payloads []event.Seq, markers []history.RecoveryMarker, healths
 		}
 		rep.Tombstones = kept
 	}
+	if len(alerts) > 0 {
+		// Alerts dedup on their deterministic encoding (AlertKey) like
+		// health records and tombstones — one identity rule for every
+		// record kind.
+		seen := make(map[string]bool, len(alerts))
+		kept := make([]obsrules.Alert, 0, len(alerts))
+		for _, a := range alerts {
+			k := AlertKey(a)
+			if seen[k] {
+				rep.DuplicateAlerts++
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, a)
+		}
+		rep.Alerts = kept
+	}
 	return rep, nil
 }
 
@@ -262,6 +292,8 @@ type FileReplay struct {
 	Healths []obs.HealthRecord
 	// Tombstones holds the file's retention tombstones in record order.
 	Tombstones []Tombstone
+	// Alerts holds the file's threshold-alert records in record order.
+	Alerts []obsrules.Alert
 	// CorruptRecords counts skipped CRC-corrupt records (see Replay).
 	CorruptRecords int
 	// Torn reports that the file ends in a torn record; Segments and
@@ -281,6 +313,7 @@ func ReadWALFile(name string) (*FileReplay, error) {
 		Markers:        fr.markers,
 		Healths:        fr.healths,
 		Tombstones:     fr.tombs,
+		Alerts:         fr.alerts,
 		CorruptRecords: fr.corrupt,
 		Torn:           fr.torn != nil,
 	}
@@ -298,35 +331,36 @@ func WALFiles(dir string) ([]string, error) { return walFiles(dir) }
 
 // readRecordAt reads the single record at the given byte offset of a
 // WAL file — the shared machinery of the index's point reads
-// (ReadMarkerAt, ReadHealthAt, ReadTombstoneAt).
-func readRecordAt(name string, offset int64) (*history.RecoveryMarker, *obs.HealthRecord, *Tombstone, error) {
+// (ReadMarkerAt, ReadHealthAt, ReadTombstoneAt, ReadAlertAt).
+func readRecordAt(name string, offset int64) (decodedRecord, error) {
+	var zero decodedRecord
 	f, err := os.Open(name)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("export: open wal file: %w", err)
+		return zero, fmt.Errorf("export: open wal file: %w", err)
 	}
 	defer f.Close()
 	var magic [5]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return nil, nil, nil, fmt.Errorf("export: %s: read magic: %w", name, err)
+		return zero, fmt.Errorf("export: %s: read magic: %w", name, err)
 	}
 	version := magic[4]
 	if [4]byte(magic[:4]) != walMagicPrefix || version < walVersion1 || version > walVersionLatest {
-		return nil, nil, nil, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
+		return zero, fmt.Errorf("%w in %s", ErrBadWALMagic, name)
 	}
 	if offset < int64(len(magic)) || offset >= math.MaxInt64 {
-		return nil, nil, nil, fmt.Errorf("export: %s: implausible record offset %d", name, offset)
+		return zero, fmt.Errorf("export: %s: implausible record offset %d", name, offset)
 	}
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		return nil, nil, nil, fmt.Errorf("export: %s: seek record: %w", name, err)
+		return zero, fmt.Errorf("export: %s: seek record: %w", name, err)
 	}
 	rec, terr, rerr := readRecord(bufio.NewReader(f), version)
 	if rerr != nil {
-		return nil, nil, nil, fmt.Errorf("export: %s offset %d: %w", name, offset, rerr)
+		return zero, fmt.Errorf("export: %s offset %d: %w", name, offset, rerr)
 	}
 	if terr != nil {
-		return nil, nil, nil, fmt.Errorf("export: %s offset %d: torn record: %w", name, offset, terr)
+		return zero, fmt.Errorf("export: %s offset %d: torn record: %w", name, offset, terr)
 	}
-	return rec.marker, rec.health, rec.tomb, nil
+	return rec, nil
 }
 
 // ReadMarkerAt reads the single marker record at the given byte offset
@@ -335,14 +369,14 @@ func readRecordAt(name string, offset int64) (*history.RecoveryMarker, *obs.Heal
 // decoding any of its segment payloads.
 func ReadMarkerAt(name string, offset int64) (history.RecoveryMarker, error) {
 	var zero history.RecoveryMarker
-	marker, _, _, err := readRecordAt(name, offset)
+	rec, err := readRecordAt(name, offset)
 	if err != nil {
 		return zero, err
 	}
-	if marker == nil {
+	if rec.marker == nil {
 		return zero, fmt.Errorf("export: %s offset %d does not hold a marker record", name, offset)
 	}
-	return *marker, nil
+	return *rec.marker, nil
 }
 
 // ReadHealthAt reads the single health-snapshot record at the given
@@ -351,14 +385,14 @@ func ReadMarkerAt(name string, offset int64) (history.RecoveryMarker, error) {
 // health timeline without decoding its segment payloads.
 func ReadHealthAt(name string, offset int64) (obs.HealthRecord, error) {
 	var zero obs.HealthRecord
-	_, health, _, err := readRecordAt(name, offset)
+	rec, err := readRecordAt(name, offset)
 	if err != nil {
 		return zero, err
 	}
-	if health == nil {
+	if rec.health == nil {
 		return zero, fmt.Errorf("export: %s offset %d does not hold a health record", name, offset)
 	}
-	return *health, nil
+	return *rec.health, nil
 }
 
 // ReadTombstoneAt reads the single retention-tombstone record at the
@@ -367,14 +401,30 @@ func ReadHealthAt(name string, offset int64) (obs.HealthRecord, error) {
 // of a skipped file without decoding its segment payloads.
 func ReadTombstoneAt(name string, offset int64) (Tombstone, error) {
 	var zero Tombstone
-	_, _, tomb, err := readRecordAt(name, offset)
+	rec, err := readRecordAt(name, offset)
 	if err != nil {
 		return zero, err
 	}
-	if tomb == nil {
+	if rec.tomb == nil {
 		return zero, fmt.Errorf("export: %s offset %d does not hold a tombstone record", name, offset)
 	}
-	return *tomb, nil
+	return *rec.tomb, nil
+}
+
+// ReadAlertAt reads the single threshold-alert record at the given
+// byte offset of a WAL file — the point-read behind the index's alert
+// offsets, so a windowed replay collects a skipped file's rule-engine
+// timeline without decoding its segment payloads.
+func ReadAlertAt(name string, offset int64) (obsrules.Alert, error) {
+	var zero obsrules.Alert
+	rec, err := readRecordAt(name, offset)
+	if err != nil {
+		return zero, err
+	}
+	if rec.alert == nil {
+		return zero, fmt.Errorf("export: %s offset %d does not hold an alert record", name, offset)
+	}
+	return *rec.alert, nil
 }
 
 // fileReplay is readWALFile's result: the decoded records of one file
@@ -384,6 +434,7 @@ type fileReplay struct {
 	markers []history.RecoveryMarker
 	healths []obs.HealthRecord
 	tombs   []Tombstone
+	alerts  []obsrules.Alert
 	corrupt int
 	torn    error // non-nil when the file ends mid-record
 }
@@ -419,7 +470,7 @@ func readWALFile(name string) (*fileReplay, error) {
 				fr.corrupt++
 				continue
 			}
-			return nil, fmt.Errorf("export: %s record %d: %w", name, len(fr.segs)+len(fr.markers)+len(fr.healths)+len(fr.tombs)+fr.corrupt, rerr)
+			return nil, fmt.Errorf("export: %s record %d: %w", name, len(fr.segs)+len(fr.markers)+len(fr.healths)+len(fr.tombs)+len(fr.alerts)+fr.corrupt, rerr)
 		}
 		if terr != nil {
 			if terr == io.EOF {
@@ -435,6 +486,8 @@ func readWALFile(name string) (*fileReplay, error) {
 			fr.healths = append(fr.healths, *rec.health)
 		case rec.tomb != nil:
 			fr.tombs = append(fr.tombs, *rec.tomb)
+		case rec.alert != nil:
+			fr.alerts = append(fr.alerts, *rec.alert)
 		default:
 			fr.segs = append(fr.segs, rec.events)
 		}
@@ -476,7 +529,7 @@ func readHeader(br *bufio.Reader, version byte) (*recHeader, error) {
 			return nil, err // io.EOF here = clean boundary
 		}
 		h.typ = scratch[0]
-		if h.typ != recSegment && h.typ != recMarker && h.typ != recHealth && h.typ != recTombstone {
+		if h.typ != recSegment && h.typ != recMarker && h.typ != recHealth && h.typ != recTombstone && h.typ != recAlert {
 			// No writer emits such a type, but a torn tail leaves
 			// arbitrary bytes behind — torn at the tail, corruption
 			// elsewhere (the caller decides which).
@@ -549,6 +602,7 @@ type decodedRecord struct {
 	marker *history.RecoveryMarker
 	health *obs.HealthRecord
 	tomb   *Tombstone
+	alert  *obsrules.Alert
 }
 
 // readRecord reads one WAL record of the given format version. A short
@@ -610,6 +664,19 @@ func readRecord(br *bufio.Reader, version byte) (rec decodedRecord, terr, rerr e
 				h.monitor, h.first, h.last, h.count, hr.Seq)
 		}
 		rec.health = &hr
+		return rec, nil, nil
+	}
+
+	if h.typ == recAlert {
+		a, err := decodeAlert(payload)
+		if err != nil {
+			return rec, nil, fmt.Errorf("decode alert payload: %w", err)
+		}
+		if h.monitor != "" || a.Seq != h.first || a.Seq != h.last || h.count != 0 {
+			return rec, nil, fmt.Errorf("alert header (monitor %q, horizon %d..%d, count %d) disagrees with payload (horizon %d)",
+				h.monitor, h.first, h.last, h.count, a.Seq)
+		}
+		rec.alert = &a
 		return rec, nil, nil
 	}
 
@@ -717,6 +784,8 @@ func (r *RecordReader) ReadAt(offset int64) (Record, error) {
 		return Record{Health: rec.health}, nil
 	case rec.tomb != nil:
 		return Record{Tombstone: rec.tomb}, nil
+	case rec.alert != nil:
+		return Record{Alert: rec.alert}, nil
 	}
 	return Record{Segment: &Segment{Monitor: rec.events[0].Monitor, Events: rec.events}}, nil
 }

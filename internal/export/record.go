@@ -19,6 +19,7 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // appendRecordHeader appends the v2 record header (type byte, monitor,
@@ -38,12 +39,13 @@ func appendRecordHeader(dst []byte, typ byte, monitor string, first, last int64,
 }
 
 // Record is one trace record in standalone (wire) form — exactly one
-// of the four kinds is set. The zero Record is invalid.
+// of the five kinds is set. The zero Record is invalid.
 type Record struct {
 	Segment   *Segment
 	Marker    *history.RecoveryMarker
 	Health    *obs.HealthRecord
 	Tombstone *Tombstone
+	Alert     *obsrules.Alert
 }
 
 // AppendSegmentRecord appends one fully framed segment record
@@ -91,6 +93,17 @@ func AppendHealthRecord(dst []byte, h obs.HealthRecord) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendAlertRecord appends one fully framed threshold-alert record;
+// byte-identical to WALSink.WriteAlert's on-disk form.
+func AppendAlertRecord(dst []byte, a obsrules.Alert) ([]byte, error) {
+	p := getPayloadBuf(64 + len(a.Rule) + len(a.Metric) + len(a.Origin))
+	*p = appendAlert((*p)[:0], a)
+	dst = appendRecordHeader(dst, recAlert, "", a.Seq, a.Seq, 0, *p)
+	dst = append(dst, *p...)
+	putPayloadBuf(p)
+	return dst, nil
+}
+
 // AppendTombstoneRecord appends one fully framed retention-tombstone
 // record; byte-identical to WALSink.WriteTombstone's on-disk form.
 func AppendTombstoneRecord(dst []byte, t Tombstone) ([]byte, error) {
@@ -114,6 +127,8 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 		return AppendHealthRecord(dst, *r.Health)
 	case r.Tombstone != nil:
 		return AppendTombstoneRecord(dst, *r.Tombstone)
+	case r.Alert != nil:
+		return AppendAlertRecord(dst, *r.Alert)
 	}
 	return dst, fmt.Errorf("export: encode record: empty record")
 }
@@ -142,6 +157,8 @@ func DecodeRecord(b []byte) (Record, error) {
 		return Record{Health: rec.health}, nil
 	case rec.tomb != nil:
 		return Record{Tombstone: rec.tomb}, nil
+	case rec.alert != nil:
+		return Record{Alert: rec.alert}, nil
 	case len(rec.events) > 0:
 		return Record{Segment: &Segment{Monitor: rec.events[0].Monitor, Events: rec.events}}, nil
 	}
@@ -175,6 +192,12 @@ func (r Record) Apply(sink Sink) error {
 			return fmt.Errorf("export: sink %T cannot store retention tombstones", sink)
 		}
 		return ts.WriteTombstone(*r.Tombstone)
+	case r.Alert != nil:
+		as, ok := sink.(AlertSink)
+		if !ok {
+			return fmt.Errorf("export: sink %T cannot store threshold alerts", sink)
+		}
+		return as.WriteAlert(*r.Alert)
 	}
 	return fmt.Errorf("export: apply record: empty record")
 }

@@ -68,6 +68,18 @@ type TombstoneInfo struct {
 	Offset int64
 }
 
+// AlertInfo locates one threshold-alert record inside a WAL file. The
+// sequence horizon rides in the record header, so the index places an
+// alert without any payload decode; the byte offset lets a windowed
+// reader point-read the full alert (ReadAlertAt) from an otherwise
+// skipped file.
+type AlertInfo struct {
+	// Seq is the alert's global-sequence horizon.
+	Seq int64
+	// Offset is the record's byte offset from the start of the file.
+	Offset int64
+}
+
 // FileSummary describes one sealed WAL segment file: everything a
 // reader needs to decide whether the file can possibly matter to a
 // windowed query, without opening it.
@@ -96,6 +108,8 @@ type FileSummary struct {
 	Healths []HealthInfo
 	// Tombstones lists the file's retention tombstones in record order.
 	Tombstones []TombstoneInfo
+	// Alerts lists the file's threshold-alert records in record order.
+	Alerts []AlertInfo
 	// HeaderCRC is the CRC-32 (IEEE) over the file's record headers,
 	// concatenated in record order — the header chain. It pins the
 	// file's record structure: verifying it needs only a header scan
@@ -159,6 +173,12 @@ func (b *summaryBuilder) add(h *recHeader, offset int64) {
 	if h.typ == recTombstone {
 		b.sum.Tombstones = append(b.sum.Tombstones, TombstoneInfo{
 			Horizon: h.first, Offset: offset,
+		})
+		return
+	}
+	if h.typ == recAlert {
+		b.sum.Alerts = append(b.sum.Alerts, AlertInfo{
+			Seq: h.first, Offset: offset,
 		})
 		return
 	}

@@ -5,6 +5,7 @@ import (
 
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // TeeSink fans every record out to several sinks — e.g. a local
@@ -63,6 +64,20 @@ func (t *TeeSink) WriteHealth(h obs.HealthRecord) error {
 	for _, s := range t.sinks {
 		if hs, ok := s.(HealthSink); ok {
 			if err := hs.WriteHealth(h); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteAlert delivers the threshold alert to every sink implementing
+// AlertSink.
+func (t *TeeSink) WriteAlert(a obsrules.Alert) error {
+	var errs []error
+	for _, s := range t.sinks {
+		if as, ok := s.(AlertSink); ok {
+			if err := as.WriteAlert(a); err != nil {
 				errs = append(errs, err)
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"robustmon/internal/event"
 	"robustmon/internal/history"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 )
 
 // The on-disk WAL layout. A directory of numbered files
@@ -23,7 +24,8 @@ import (
 // and hold only segment records. All record types share one header:
 //
 //	uint8   record type (v2 only: 0 = segment, 1 = recovery marker,
-//	                     2 = health snapshot, 3 = retention tombstone)
+//	                     2 = health snapshot, 3 = retention tombstone,
+//	                     4 = threshold alert)
 //	uint16  len(monitor)      ┐
 //	bytes   monitor           │ little-endian record header
 //	int64   first seq         │ (marker: reset horizon twice;
@@ -37,7 +39,12 @@ import (
 // events — itself a well-formed single-segment trace. A recovery
 // marker's payload is the self-contained marker blob of
 // encodeMarker: the shard-local reset's horizon, discarded-event
-// count, triggering rule/pid and instant. A health-snapshot record's
+// count, triggering rule/pid and instant. A threshold-alert record's
+// payload is the self-contained blob of encodeAlert: one rule
+// transition (fire or clear) of the self-watching rule engine, pinned
+// like a health record to its evaluation instant and global-sequence
+// horizon (the monitor field is empty — an alert judges the pipeline,
+// not one monitor). A health-snapshot record's
 // payload is the self-contained blob of encodeHealth: a periodic
 // obs.Snapshot of the detector's metrics registry pinned to its
 // capture instant and global-sequence horizon (the monitor field is
@@ -65,16 +72,17 @@ const (
 	walVersionLatest = walVersion2
 )
 
-// Record types (format version ≥ 2). recHealth and recTombstone ride
-// the same v2 framing recMarker introduced: the header layout is
-// unchanged, so the format version does not bump — v1 and marker-era
-// v2 files read exactly as before, and only tooling older than the
-// new record type refuses a file containing one.
+// Record types (format version ≥ 2). recHealth, recTombstone and
+// recAlert ride the same v2 framing recMarker introduced: the header
+// layout is unchanged, so the format version does not bump — v1 and
+// marker-era v2 files read exactly as before, and only tooling older
+// than the new record type refuses a file containing one.
 const (
 	recSegment   byte = 0
 	recMarker    byte = 1
 	recHealth    byte = 2
 	recTombstone byte = 3
+	recAlert     byte = 4
 )
 
 // walExt is the segment-file extension.
@@ -331,6 +339,20 @@ func (w *WALSink) WriteHealth(h obs.HealthRecord) error {
 	p := getPayloadBuf(256)
 	*p = appendHealth((*p)[:0], h)
 	err := w.writeRecord(recHealth, "", h.Seq, h.Seq, 0, *p)
+	putPayloadBuf(p)
+	return err
+}
+
+// WriteAlert appends one threshold-alert record — the durable trace of
+// a rule transition in the self-watching engine (see
+// internal/obs/rules). It implements the optional AlertSink extension.
+// The monitor field is empty (an alert judges the pipeline, not one
+// monitor); the header carries the alert's sequence horizon twice, so
+// the index can place it without decoding the payload.
+func (w *WALSink) WriteAlert(a obsrules.Alert) error {
+	p := getPayloadBuf(64 + len(a.Rule) + len(a.Metric) + len(a.Origin))
+	*p = appendAlert((*p)[:0], a)
+	err := w.writeRecord(recAlert, "", a.Seq, a.Seq, 0, *p)
 	putPayloadBuf(p)
 	return err
 }

@@ -1,0 +1,86 @@
+package obs
+
+// Delta returns the change from prev to cur as a snapshot of
+// differences: counters and gauges as value deltas, histograms as
+// Count/Sum deltas with per-bucket count deltas. A metric absent from
+// prev deltas from zero (it is new); a metric absent from cur is
+// omitted (its series ended — there is no current value to anchor a
+// delta to). Zero-delta entries are kept for counters and gauges (a
+// flat series is information) but zero-delta histogram buckets are
+// dropped, matching Snapshot's only-non-zero-buckets shape.
+//
+// Both snapshots' sections are sorted by name (Snapshot guarantees
+// this), so the merge is a single linear walk. Callers rendering rates
+// divide by the wall-clock gap between the snapshots' capture instants
+// — the health timeline carries that in HealthRecord.At.
+func (cur Snapshot) Delta(prev Snapshot) Snapshot {
+	return Snapshot{
+		Counters:   deltaMetrics(cur.Counters, prev.Counters),
+		Gauges:     deltaMetrics(cur.Gauges, prev.Gauges),
+		Histograms: deltaHistograms(cur.Histograms, prev.Histograms),
+	}
+}
+
+// deltaMetrics merges two sorted metric slices into cur−prev.
+func deltaMetrics(cur, prev []Metric) []Metric {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]Metric, 0, len(cur))
+	j := 0
+	for _, m := range cur {
+		for j < len(prev) && prev[j].Name < m.Name {
+			j++
+		}
+		d := m
+		if j < len(prev) && prev[j].Name == m.Name {
+			d.Value -= prev[j].Value
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// deltaHistograms merges two sorted histogram slices into cur−prev.
+func deltaHistograms(cur, prev []HistogramSnapshot) []HistogramSnapshot {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make([]HistogramSnapshot, 0, len(cur))
+	j := 0
+	for _, h := range cur {
+		for j < len(prev) && prev[j].Name < h.Name {
+			j++
+		}
+		if j < len(prev) && prev[j].Name == h.Name {
+			out = append(out, deltaHistogram(h, prev[j]))
+		} else {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// deltaHistogram subtracts prev's buckets from cur's; both bucket
+// lists are in ascending index order.
+func deltaHistogram(cur, prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Name:  cur.Name,
+		Count: cur.Count - prev.Count,
+		Sum:   cur.Sum - prev.Sum,
+	}
+	j := 0
+	for _, b := range cur.Buckets {
+		for j < len(prev.Buckets) && prev.Buckets[j].Index < b.Index {
+			j++
+		}
+		n := b.Count
+		if j < len(prev.Buckets) && prev.Buckets[j].Index == b.Index {
+			n -= prev.Buckets[j].Count
+		}
+		if n != 0 {
+			d.Buckets = append(d.Buckets, Bucket{Index: b.Index, Count: n})
+		}
+	}
+	return d
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h")
+	c.Add(10)
+	g.Set(5)
+	h.Observe(3)
+	h.Observe(100)
+	prev := reg.Snapshot()
+
+	c.Add(7)
+	g.Set(2)
+	h.Observe(3)
+	reg.Counter("new").Add(4)
+	cur := reg.Snapshot()
+
+	d := cur.Delta(prev)
+	if v, ok := d.Counter("c"); !ok || v != 7 {
+		t.Fatalf("counter delta = %d, want 7", v)
+	}
+	if v, ok := d.Counter("new"); !ok || v != 4 {
+		t.Fatalf("new counter deltas from zero: got %d, want 4", v)
+	}
+	if v, ok := d.Gauge("g"); !ok || v != -3 {
+		t.Fatalf("gauge delta = %d, want -3 (gauges go down)", v)
+	}
+	hd, ok := d.Histogram("h")
+	if !ok {
+		t.Fatal("histogram missing from delta")
+	}
+	if hd.Count != 1 || hd.Sum != 3 {
+		t.Fatalf("histogram delta count=%d sum=%d, want 1/3", hd.Count, hd.Sum)
+	}
+	// Only the bucket that changed survives: one more observation of 3
+	// (bucket index 2); the bucket holding 100 deltas to zero and drops.
+	if !reflect.DeepEqual(hd.Buckets, []Bucket{{Index: 2, Count: 1}}) {
+		t.Fatalf("bucket deltas = %v", hd.Buckets)
+	}
+
+	// Delta of a snapshot against itself is all zeros (and keeps the
+	// scalar entries — a flat series is information).
+	z := cur.Delta(cur)
+	if v, _ := z.Counter("c"); v != 0 {
+		t.Fatalf("self-delta counter = %d", v)
+	}
+	if zh, _ := z.Histogram("h"); zh.Count != 0 || len(zh.Buckets) != 0 {
+		t.Fatalf("self-delta histogram = %+v", zh)
+	}
+
+	// Metrics absent from cur are omitted.
+	if _, ok := (Snapshot{}).Delta(prev).Counter("c"); ok {
+		t.Fatal("metric absent from cur survived the delta")
+	}
+}

@@ -80,6 +80,15 @@ const (
 // future-work extension implemented in internal/assert).
 const Assert ID = "ASSERT"
 
+// Meta is the rule ID for synthetic meta-violations: the detection
+// pipeline watching itself. A threshold rule over the obs registry
+// (internal/obs/rules, detect.Config.Rules) that crosses into the
+// firing state is reported through the ordinary violation path with
+// this ID and Phase "meta", so pipeline degradation — checkpoint p99
+// over budget, exporter drops climbing — surfaces exactly where
+// application faults do.
+const Meta ID = "META"
+
 // Violation is one detected rule violation.
 type Violation struct {
 	// Rule is the violated rule.
@@ -104,7 +113,9 @@ type Violation struct {
 	// Phase records which detection phase found the violation:
 	// "realtime" for the per-event calling-order checks on allocator
 	// monitors, "periodic" for the checkpoint algorithms, "offline" for
-	// trace re-checking (§3.3: "two phases").
+	// trace re-checking (§3.3: "two phases"), "meta" for synthetic
+	// violations raised by threshold rules over the pipeline's own
+	// metrics (see Meta).
 	Phase string
 	// Message is a human-readable description.
 	Message string

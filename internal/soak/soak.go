@@ -50,6 +50,7 @@ import (
 	"robustmon/internal/history"
 	"robustmon/internal/monitor"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 	"robustmon/internal/proc"
 	"robustmon/internal/rules"
 	"robustmon/internal/workload"
@@ -171,6 +172,7 @@ func (l *ledger) ConsumeMarker(m history.RecoveryMarker) {
 }
 
 func (l *ledger) ConsumeHealth(h obs.HealthRecord) { l.inner.ConsumeHealth(h) }
+func (l *ledger) ConsumeAlert(a obsrules.Alert)    { l.inner.ConsumeAlert(a) }
 func (l *ledger) Flush() error                     { return l.inner.Flush() }
 
 // campaign is the seed-derived plan: everything random is drawn up

@@ -100,6 +100,7 @@ import (
 	"robustmon/internal/mdl"
 	"robustmon/internal/monitor"
 	"robustmon/internal/obs"
+	obsrules "robustmon/internal/obs/rules"
 	"robustmon/internal/pathexpr"
 	"robustmon/internal/proc"
 	"robustmon/internal/recovery"
@@ -434,7 +435,27 @@ type (
 	// sequence horizon. Exported through the WAL and returned by
 	// ReadExportDir in ExportReplay.Healths.
 	HealthRecord = obs.HealthRecord
+	// ObsRule is one declarative threshold over the registry — an
+	// absolute ceiling on a gauge or histogram quantile, or (with Rate)
+	// on a counter's per-second slope — with FireAfter/ClearAfter
+	// hysteresis. Attach rules via DetectorConfig.Rules and the
+	// detector evaluates them at every HealthEvery snapshot, raising a
+	// synthetic META violation and a WAL pipeline alert on each
+	// transition; ResetMonitor additionally drives the shard-local
+	// recovery path. The quiet (no-transition) evaluation walk is
+	// allocation-free — gated by the E10 sweep.
+	ObsRule = obsrules.Rule
+	// ObsAlert is one rule transition (fired or cleared), streamed
+	// through the export WAL and returned by ReadExportDir in
+	// ExportReplay.Alerts; `montrace stats`/`dump`/`check` render
+	// alerts alongside the application's violations.
+	ObsAlert = obsrules.Alert
 )
+
+// MetaRule is the synthetic RuleID carried by violations that report
+// pipeline degradation (a fired threshold rule) rather than an
+// application fault.
+const MetaRule = rules.Meta
 
 // NewObsRegistry returns an empty metrics registry.
 func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
@@ -486,9 +507,9 @@ type (
 	// RuleID names a violated rule (FD-* or ST-*).
 	RuleID = rules.ID
 	// TraceExporter is the one exporter seam the detector drives:
-	// segments, recovery markers, health snapshots and flush in a
-	// single interface (DetectorConfig.Exporter). Exporter, WALSink
-	// and NetSink all satisfy it.
+	// segments, recovery markers, health snapshots, pipeline alerts
+	// and flush in a single interface (DetectorConfig.Exporter).
+	// Exporter, WALSink and NetSink all satisfy it.
 	TraceExporter = detect.TraceExporter
 
 	// SegmentExporter is the segment-and-flush subset of the old
